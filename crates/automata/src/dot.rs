@@ -1,0 +1,146 @@
+//! Graphviz (DOT) rendering of automata and transducers, for debugging
+//! and documentation.
+
+use crate::dfa::Dfa;
+use crate::fst::{Fst, FstLabel};
+use crate::nfa::Nfa;
+use crate::symset::SymSet;
+use crate::SymbolTable;
+use std::fmt::Write;
+
+fn fmt_set(set: &SymSet, table: Option<&SymbolTable>) -> String {
+    let name = |s: crate::Symbol| -> String {
+        match table {
+            Some(t) if s.index() < t.len() => t.name(s).to_owned(),
+            _ => s.to_string(),
+        }
+    };
+    match set {
+        SymSet::Finite(v) if v.len() == 1 => name(v[0]),
+        SymSet::Finite(v) => {
+            let items: Vec<_> = v.iter().map(|&s| name(s)).collect();
+            format!("{{{}}}", items.join(","))
+        }
+        SymSet::CoFinite(v) if v.is_empty() => ".".to_owned(),
+        SymSet::CoFinite(v) => {
+            let items: Vec<_> = v.iter().map(|&s| name(s)).collect();
+            format!("!{{{}}}", items.join(","))
+        }
+    }
+}
+
+/// Render an NFA as a DOT digraph. Pass a table to use symbol names.
+pub fn nfa_to_dot(nfa: &Nfa, table: Option<&SymbolTable>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph nfa {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  __start [shape=point];");
+    let _ = writeln!(out, "  __start -> q{};", nfa.start());
+    for s in 0..nfa.len() {
+        let shape = if nfa.is_accepting(s) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let _ = writeln!(out, "  q{s} [shape={shape}];");
+        for (label, t) in nfa.arcs_from(s) {
+            let _ = writeln!(out, "  q{s} -> q{t} [label=\"{}\"];", fmt_set(label, table));
+        }
+        for &t in nfa.eps_from(s) {
+            let _ = writeln!(out, "  q{s} -> q{t} [label=\"ε\", style=dashed];");
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render a DFA as a DOT digraph.
+pub fn dfa_to_dot(dfa: &Dfa, table: Option<&SymbolTable>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph dfa {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  __start [shape=point];");
+    let _ = writeln!(out, "  __start -> q{};", dfa.start());
+    for s in 0..dfa.len() {
+        let shape = if dfa.is_accepting(s) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let _ = writeln!(out, "  q{s} [shape={shape}];");
+        for (label, t) in dfa.arcs_from(s) {
+            let _ = writeln!(out, "  q{s} -> q{t} [label=\"{}\"];", fmt_set(label, table));
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render an FST as a DOT digraph with `input:output` arc labels.
+pub fn fst_to_dot(fst: &Fst, table: Option<&SymbolTable>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph fst {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  __start [shape=point];");
+    let _ = writeln!(out, "  __start -> q{};", fst.start());
+    for s in 0..fst.len() {
+        let shape = if fst.is_accepting(s) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let _ = writeln!(out, "  q{s} [shape={shape}];");
+        for (label, t) in fst.arcs_from(s) {
+            let text = match label {
+                FstLabel::Eps => "ε:ε".to_owned(),
+                FstLabel::In(set) => format!("{}:ε", fmt_set(set, table)),
+                FstLabel::Out(set) => format!("ε:{}", fmt_set(set, table)),
+                FstLabel::Pair(a, b) => {
+                    format!("{}:{}", fmt_set(a, table), fmt_set(b, table))
+                }
+                FstLabel::Id(set) => format!("id({})", fmt_set(set, table)),
+            };
+            let _ = writeln!(out, "  q{s} -> q{t} [label=\"{text}\"];");
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+    use crate::Symbol;
+
+    #[test]
+    fn nfa_dot_contains_states_and_arcs() {
+        let a = Symbol::from_index(0);
+        let dot = nfa_to_dot(&Regex::sym(a).star().to_nfa(), None);
+        assert!(dot.contains("digraph nfa"));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("s0"));
+    }
+
+    #[test]
+    fn dfa_dot_renders() {
+        let a = Symbol::from_index(0);
+        let d = crate::determinize(&Regex::sym(a).to_nfa());
+        let dot = dfa_to_dot(&d, None);
+        assert!(dot.contains("digraph dfa"));
+    }
+
+    #[test]
+    fn fst_dot_uses_symbol_names() {
+        let mut table = SymbolTable::new();
+        let a = table.intern("A1");
+        let b = table.intern("B1");
+        let f = Fst::cross(
+            &Nfa::symbol_set(SymSet::singleton(a)),
+            &Nfa::symbol_set(SymSet::singleton(b)),
+        );
+        let dot = fst_to_dot(&f, Some(&table));
+        assert!(dot.contains("A1"));
+        assert!(dot.contains("B1"));
+    }
+}

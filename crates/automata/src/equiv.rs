@@ -1,0 +1,279 @@
+//! Language equivalence and inclusion for symbolic DFAs.
+//!
+//! Equivalence uses the Hopcroft–Karp union-find algorithm generalized to
+//! symbolic arcs via local minterms: two states are merged, then their
+//! outgoing minterms are explored pairwise; a conflict on acceptance
+//! yields a distinguishing word. This avoids full minimization and is the
+//! core decision step of the Rela checker (paper §6.2).
+
+use crate::dfa::{product, Dfa, ProductMode};
+use crate::nfa::StateId;
+use crate::symset::{minterms, SymSet};
+use crate::witness::shortest_word;
+
+/// Outcome of an equivalence/inclusion check: either the relation holds,
+/// or a witness word (as a sequence of arc-set constraints) shows it fails.
+pub type CheckResult = Result<(), Vec<SymSet>>;
+
+/// Union-find over `Option<StateId>` pairs packed into a dense index
+/// space: `None` (the virtual dead state) is index 0; `Some(s)` is `s+1`.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+    /// Union; returns false if already joined.
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra] = rb;
+        true
+    }
+}
+
+fn pack(s: Option<StateId>) -> usize {
+    match s {
+        None => 0,
+        Some(s) => s + 1,
+    }
+}
+
+/// Are `a` and `b` language-equivalent?
+///
+/// On failure returns a shortest-ish distinguishing word, expressed as a
+/// sequence of symbol sets (any concretization of which is accepted by
+/// exactly one of the automata).
+///
+/// # Examples
+///
+/// ```
+/// use rela_automata::{determinize, equivalent, Regex, Symbol};
+/// let a = Symbol::from_index(0);
+/// let r1 = determinize(&Regex::sym(a).star().to_nfa());
+/// let r2 = determinize(&Regex::union(vec![Regex::Eps, Regex::sym(a).plus()]).to_nfa());
+/// assert!(equivalent(&r1, &r2).is_ok());
+///
+/// let r3 = determinize(&Regex::sym(a).plus().to_nfa());
+/// let diff = equivalent(&r1, &r3).unwrap_err();
+/// assert!(diff.is_empty()); // ε distinguishes a* from a+
+/// ```
+pub fn equivalent(a: &Dfa, b: &Dfa) -> CheckResult {
+    let n_pairs = (a.len() + 1) * (b.len() + 1);
+    let mut uf = UnionFind::new(a.len() + b.len() + 2);
+    // indices: a-side states occupy [0, a.len()], b-side [a.len()+1, ...]
+    let b_off = a.len() + 1;
+    let accept_a = |s: Option<StateId>| s.map(|x| a.is_accepting(x)).unwrap_or(false);
+    let accept_b = |s: Option<StateId>| s.map(|x| b.is_accepting(x)).unwrap_or(false);
+
+    // stack holds (a_state, b_state, path from the root)
+    let mut stack: Vec<(Option<StateId>, Option<StateId>, Vec<SymSet>)> = Vec::new();
+    if uf.union(pack(Some(a.start())), b_off + pack(Some(b.start()))) {
+        stack.push((Some(a.start()), Some(b.start()), Vec::new()));
+    }
+    let mut explored = 0usize;
+    while let Some((sa, sb, path)) = stack.pop() {
+        explored += 1;
+        debug_assert!(explored <= n_pairs * 2 + 2, "equivalence check diverged");
+        if accept_a(sa) != accept_b(sb) {
+            return Err(path);
+        }
+        let mut labels: Vec<SymSet> = Vec::new();
+        if let Some(s) = sa {
+            labels.extend(a.arcs_from(s).iter().map(|(l, _)| l.clone()));
+        }
+        if let Some(s) = sb {
+            labels.extend(b.arcs_from(s).iter().map(|(l, _)| l.clone()));
+        }
+        for part in minterms(&labels) {
+            let ta = sa.and_then(|s| {
+                a.arcs_from(s)
+                    .iter()
+                    .find(|(l, _)| part.is_subset(l))
+                    .map(|&(_, t)| t)
+            });
+            let tb = sb.and_then(|s| {
+                b.arcs_from(s)
+                    .iter()
+                    .find(|(l, _)| part.is_subset(l))
+                    .map(|&(_, t)| t)
+            });
+            if ta.is_none() && tb.is_none() {
+                continue;
+            }
+            if uf.union(pack(ta), b_off + pack(tb)) {
+                let mut next_path = path.clone();
+                next_path.push(part);
+                stack.push((ta, tb, next_path));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Is `L(a) ⊆ L(b)`?
+///
+/// On failure returns a word in `L(a) \ L(b)`.
+pub fn included(a: &Dfa, b: &Dfa) -> CheckResult {
+    let diff = product(a, b, ProductMode::Difference);
+    match shortest_word(&diff) {
+        None => Ok(()),
+        Some(w) => Err(w),
+    }
+}
+
+/// Is the symmetric difference empty, and if not, which side has the
+/// extra word? Useful for counterexample reporting where both directions
+/// matter (paper §6.3: expected-but-missing vs. unexpected paths).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffWitness {
+    /// The languages are equal.
+    Equal,
+    /// A word accepted by the left automaton only.
+    LeftOnly(Vec<SymSet>),
+    /// A word accepted by the right automaton only.
+    RightOnly(Vec<SymSet>),
+}
+
+/// Compare two DFAs, reporting which side has a witness word if they
+/// differ. Checks left-only first.
+pub fn compare(a: &Dfa, b: &Dfa) -> DiffWitness {
+    if let Err(w) = included(a, b) {
+        return DiffWitness::LeftOnly(w);
+    }
+    if let Err(w) = included(b, a) {
+        return DiffWitness::RightOnly(w);
+    }
+    DiffWitness::Equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::determinize::determinize;
+    use crate::regex::Regex;
+    use crate::Symbol;
+
+    fn sym(ix: usize) -> Symbol {
+        Symbol::from_index(ix)
+    }
+
+    fn dfa_of(re: &Regex) -> Dfa {
+        determinize(&re.to_nfa())
+    }
+
+    #[test]
+    fn identical_regexes_equivalent() {
+        let re = Regex::concat(vec![Regex::sym(sym(0)).star(), Regex::sym(sym(1))]);
+        assert!(equivalent(&dfa_of(&re), &dfa_of(&re)).is_ok());
+    }
+
+    #[test]
+    fn structurally_different_equal_languages() {
+        let a = sym(0);
+        let b = sym(1);
+        let r1 = Regex::union(vec![Regex::sym(a), Regex::sym(b)]).star();
+        let r2 = Regex::concat(vec![Regex::sym(a).star(), Regex::sym(b).star()]).star();
+        assert!(equivalent(&dfa_of(&r1), &dfa_of(&r2)).is_ok());
+    }
+
+    #[test]
+    fn unequal_languages_give_witness() {
+        let a = sym(0);
+        let r1 = Regex::sym(a).star();
+        let r2 = Regex::sym(a).plus();
+        let w = equivalent(&dfa_of(&r1), &dfa_of(&r2)).unwrap_err();
+        assert!(w.is_empty(), "ε should distinguish: {w:?}");
+    }
+
+    #[test]
+    fn witness_is_usable() {
+        let a = sym(0);
+        let b = sym(1);
+        // a(a|b) vs aa — witness must end in b
+        let r1 = Regex::concat(vec![
+            Regex::sym(a),
+            Regex::union(vec![Regex::sym(a), Regex::sym(b)]),
+        ]);
+        let r2 = Regex::word(&[a, a]);
+        let d1 = dfa_of(&r1);
+        let d2 = dfa_of(&r2);
+        let w = equivalent(&d1, &d2).unwrap_err();
+        assert_eq!(w.len(), 2);
+        // concretize: first position must admit a; second must admit b
+        assert!(w[0].contains(a));
+        assert!(w[1].contains(b));
+    }
+
+    #[test]
+    fn inclusion_positive() {
+        let a = sym(0);
+        let small = dfa_of(&Regex::word(&[a, a]));
+        let big = dfa_of(&Regex::sym(a).star());
+        assert!(included(&small, &big).is_ok());
+        assert!(included(&big, &small).is_err());
+    }
+
+    #[test]
+    fn inclusion_witness_in_difference() {
+        let a = sym(0);
+        let big = dfa_of(&Regex::sym(a).star());
+        let small = dfa_of(&Regex::word(&[a, a]));
+        let w = included(&big, &small).unwrap_err();
+        // witness is in a* \ {aa}: any length != 2
+        assert_ne!(w.len(), 2);
+        for set in &w {
+            assert!(set.contains(a));
+        }
+    }
+
+    #[test]
+    fn compare_directions() {
+        let a = sym(0);
+        let left = dfa_of(&Regex::sym(a).star());
+        let right = dfa_of(&Regex::sym(a).plus());
+        match compare(&left, &right) {
+            DiffWitness::LeftOnly(w) => assert!(w.is_empty()),
+            other => panic!("expected LeftOnly, got {other:?}"),
+        }
+        match compare(&right, &left) {
+            DiffWitness::RightOnly(w) => assert!(w.is_empty()),
+            other => panic!("expected RightOnly, got {other:?}"),
+        }
+        assert_eq!(compare(&left, &left), DiffWitness::Equal);
+    }
+
+    #[test]
+    fn empty_vs_nonempty() {
+        let d_empty = Dfa::empty_language();
+        let a = sym(0);
+        let d = dfa_of(&Regex::sym(a));
+        assert!(equivalent(&d_empty, &d_empty).is_ok());
+        assert!(equivalent(&d_empty, &d).is_err());
+    }
+
+    #[test]
+    fn cofinite_equivalence() {
+        // . and ({a} | !{a}) are the same single-symbol language
+        let a = sym(0);
+        let r1 = Regex::any();
+        let r2 = Regex::union(vec![
+            Regex::Set(SymSet::singleton(a)),
+            Regex::Set(SymSet::all_except(vec![a])),
+        ]);
+        assert!(equivalent(&dfa_of(&r1), &dfa_of(&r2)).is_ok());
+    }
+}

@@ -1,0 +1,257 @@
+//! A generic regular-expression AST over symbol sets, with Thompson
+//! construction to [`Nfa`].
+//!
+//! This is the automata-level counterpart of the path-set sublanguage `r`
+//! of the Rela front end (paper Fig. 2): locations, union, concatenation,
+//! and Kleene star — with convenience forms (`+`, `?`, literal words) that
+//! desugar into the core.
+
+use crate::nfa::Nfa;
+use crate::symset::SymSet;
+use crate::Symbol;
+
+/// Regular expressions over an interned alphabet.
+///
+/// # Examples
+///
+/// ```
+/// use rela_automata::{Regex, SymSet, Symbol};
+///
+/// let a = Symbol::from_index(0);
+/// let b = Symbol::from_index(1);
+/// // (a|b)* a
+/// let re = Regex::concat(vec![
+///     Regex::union(vec![Regex::sym(a), Regex::sym(b)]).star(),
+///     Regex::sym(a),
+/// ]);
+/// let nfa = re.to_nfa();
+/// assert!(nfa.accepts(&[a]));
+/// assert!(nfa.accepts(&[b, b, a]));
+/// assert!(!nfa.accepts(&[a, b]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Regex {
+    /// The empty language `∅` (RIR `0`).
+    Empty,
+    /// The empty-path language `{ε}` (RIR `1`).
+    Eps,
+    /// Any single symbol drawn from the set.
+    Set(SymSet),
+    /// Concatenation of the parts, in order.
+    Concat(Vec<Regex>),
+    /// Union of the alternatives.
+    Union(Vec<Regex>),
+    /// Zero or more repetitions.
+    Star(Box<Regex>),
+}
+
+impl Regex {
+    /// Single-symbol expression.
+    pub fn sym(sym: Symbol) -> Regex {
+        Regex::Set(SymSet::singleton(sym))
+    }
+
+    /// Any single symbol (`.`).
+    pub fn any() -> Regex {
+        Regex::Set(SymSet::universe())
+    }
+
+    /// Any path, including the empty one (`.*`).
+    pub fn any_star() -> Regex {
+        Regex::any().star()
+    }
+
+    /// A literal word.
+    pub fn word(word: &[Symbol]) -> Regex {
+        Regex::Concat(word.iter().map(|&s| Regex::sym(s)).collect())
+    }
+
+    /// Concatenation; flattens nested concatenations.
+    pub fn concat(parts: Vec<Regex>) -> Regex {
+        let mut flat = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Regex::Concat(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Regex::Eps,
+            1 => flat.pop().expect("len checked"),
+            _ => Regex::Concat(flat),
+        }
+    }
+
+    /// Union; flattens nested unions.
+    pub fn union(parts: Vec<Regex>) -> Regex {
+        let mut flat = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Regex::Union(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Regex::Empty,
+            1 => flat.pop().expect("len checked"),
+            _ => Regex::Union(flat),
+        }
+    }
+
+    /// Kleene star.
+    pub fn star(self) -> Regex {
+        match self {
+            // (r*)* = r*, ∅* = ε* = ε
+            Regex::Star(inner) => Regex::Star(inner),
+            Regex::Empty | Regex::Eps => Regex::Eps,
+            other => Regex::Star(Box::new(other)),
+        }
+    }
+
+    /// One or more repetitions (`r+` desugars to `r r*`).
+    pub fn plus(self) -> Regex {
+        Regex::concat(vec![self.clone(), self.star()])
+    }
+
+    /// Zero or one occurrence (`r?` desugars to `r | ε`).
+    pub fn optional(self) -> Regex {
+        Regex::union(vec![self, Regex::Eps])
+    }
+
+    /// True if the expression trivially denotes the empty language.
+    ///
+    /// This is syntactic: `is_void` returning `false` does not guarantee a
+    /// non-empty language (use automaton emptiness for that).
+    pub fn is_void(&self) -> bool {
+        match self {
+            Regex::Empty => true,
+            Regex::Set(s) => s.is_empty(),
+            Regex::Concat(parts) => parts.iter().any(Regex::is_void),
+            Regex::Union(parts) => parts.iter().all(Regex::is_void),
+            Regex::Eps | Regex::Star(_) => false,
+        }
+    }
+
+    /// Whether the expression matches the empty path.
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Eps | Regex::Star(_) => true,
+            Regex::Empty | Regex::Set(_) => false,
+            Regex::Concat(parts) => parts.iter().all(Regex::nullable),
+            Regex::Union(parts) => parts.iter().any(Regex::nullable),
+        }
+    }
+
+    /// Thompson construction.
+    pub fn to_nfa(&self) -> Nfa {
+        match self {
+            Regex::Empty => Nfa::empty_language(),
+            Regex::Eps => Nfa::epsilon_language(),
+            Regex::Set(set) => Nfa::symbol_set(set.clone()),
+            Regex::Concat(parts) => {
+                let mut acc = Nfa::epsilon_language();
+                for p in parts {
+                    acc = acc.concat(&p.to_nfa());
+                }
+                acc
+            }
+            Regex::Union(parts) => {
+                let mut acc = Nfa::empty_language();
+                for p in parts {
+                    acc = acc.union(&p.to_nfa());
+                }
+                acc
+            }
+            Regex::Star(inner) => inner.to_nfa().star(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(ix: usize) -> Symbol {
+        Symbol::from_index(ix)
+    }
+
+    #[test]
+    fn constructors_simplify() {
+        assert_eq!(Regex::concat(vec![]), Regex::Eps);
+        assert_eq!(Regex::union(vec![]), Regex::Empty);
+        assert_eq!(Regex::Empty.star(), Regex::Eps);
+        assert_eq!(Regex::Eps.star(), Regex::Eps);
+        let a = Regex::sym(sym(0));
+        assert_eq!(a.clone().star().star(), a.clone().star());
+        assert_eq!(Regex::concat(vec![a.clone()]), a);
+    }
+
+    #[test]
+    fn flattening() {
+        let a = Regex::sym(sym(0));
+        let b = Regex::sym(sym(1));
+        let c = Regex::sym(sym(2));
+        let nested = Regex::concat(vec![a.clone(), Regex::concat(vec![b.clone(), c.clone()])]);
+        assert_eq!(nested, Regex::Concat(vec![a.clone(), b.clone(), c.clone()]));
+        let nested_u = Regex::union(vec![a.clone(), Regex::union(vec![b.clone(), c.clone()])]);
+        assert_eq!(nested_u, Regex::Union(vec![a, b, c]));
+    }
+
+    #[test]
+    fn nullable_and_void() {
+        let a = Regex::sym(sym(0));
+        assert!(!a.nullable());
+        assert!(a.clone().star().nullable());
+        assert!(a.clone().optional().nullable());
+        assert!(!a.clone().plus().nullable());
+        assert!(Regex::Empty.is_void());
+        assert!(Regex::concat(vec![a.clone(), Regex::Empty]).is_void());
+        assert!(!Regex::union(vec![a, Regex::Empty]).is_void());
+    }
+
+    #[test]
+    fn word_matches_only_itself() {
+        let w = [sym(0), sym(1)];
+        let n = Regex::word(&w).to_nfa();
+        assert!(n.accepts(&w));
+        assert!(!n.accepts(&[sym(0)]));
+        assert!(!n.accepts(&[sym(1), sym(0)]));
+    }
+
+    #[test]
+    fn any_star_accepts_everything() {
+        let n = Regex::any_star().to_nfa();
+        assert!(n.accepts(&[]));
+        assert!(n.accepts(&[sym(0)]));
+        assert!(n.accepts(&[sym(5), sym(9), sym(5)]));
+    }
+
+    #[test]
+    fn plus_semantics() {
+        let n = Regex::sym(sym(3)).plus().to_nfa();
+        assert!(!n.accepts(&[]));
+        assert!(n.accepts(&[sym(3)]));
+        assert!(n.accepts(&[sym(3), sym(3)]));
+        assert!(!n.accepts(&[sym(3), sym(4)]));
+    }
+
+    #[test]
+    fn complex_expression() {
+        // (a b | c)* d?
+        let a = sym(0);
+        let b = sym(1);
+        let c = sym(2);
+        let d = sym(3);
+        let re = Regex::concat(vec![
+            Regex::union(vec![Regex::word(&[a, b]), Regex::sym(c)]).star(),
+            Regex::sym(d).optional(),
+        ]);
+        let n = re.to_nfa();
+        assert!(n.accepts(&[]));
+        assert!(n.accepts(&[d]));
+        assert!(n.accepts(&[a, b, c, a, b]));
+        assert!(n.accepts(&[c, c, d]));
+        assert!(!n.accepts(&[a, d]));
+        assert!(!n.accepts(&[d, d]));
+    }
+}

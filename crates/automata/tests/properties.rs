@@ -1,0 +1,370 @@
+//! Property-based tests for the automata algebra.
+//!
+//! Strategy: generate small random regexes over a 3-symbol alphabet,
+//! enumerate all words up to a length bound, and cross-check every
+//! construction (determinize, minimize, complement, products,
+//! equivalence, transducers) against direct NFA simulation or against
+//! set-theoretic definitions evaluated by brute force.
+
+use proptest::prelude::*;
+use rela_automata::*;
+
+const ALPHABET: usize = 3;
+const MAX_WORD_LEN: usize = 4;
+
+fn sym(ix: usize) -> Symbol {
+    Symbol::from_index(ix)
+}
+
+/// All words over {s0..s_{ALPHABET-1}} with length ≤ MAX_WORD_LEN.
+fn all_words() -> Vec<Vec<Symbol>> {
+    let mut out = vec![vec![]];
+    let mut frontier = vec![vec![]];
+    for _ in 0..MAX_WORD_LEN {
+        let mut next = Vec::new();
+        for w in &frontier {
+            for a in 0..ALPHABET {
+                let mut w2 = w.clone();
+                w2.push(sym(a));
+                out.push(w2.clone());
+                next.push(w2);
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+/// Random regex over the small alphabet.
+fn regex_strategy() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        Just(Regex::Empty),
+        Just(Regex::Eps),
+        (0..ALPHABET).prop_map(|i| Regex::sym(sym(i))),
+        Just(Regex::any()),
+        proptest::collection::vec(0..ALPHABET, 1..3)
+            .prop_map(|v| Regex::Set(SymSet::from_syms(v.into_iter().map(sym).collect()))),
+        (0..ALPHABET).prop_map(|i| Regex::Set(SymSet::all_except(vec![sym(i)]))),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Regex::concat),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Regex::union),
+            inner.prop_map(|r| r.star()),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn determinize_preserves_language(re in regex_strategy()) {
+        let nfa = re.to_nfa();
+        let dfa = determinize(&nfa);
+        for w in all_words() {
+            prop_assert_eq!(nfa.accepts(&w), dfa.accepts(&w), "word {:?}", w);
+        }
+    }
+
+    #[test]
+    fn minimize_preserves_language(re in regex_strategy()) {
+        let dfa = determinize(&re.to_nfa());
+        let min = minimize(&dfa);
+        prop_assert!(min.len() <= dfa.complete().len() + 1);
+        for w in all_words() {
+            prop_assert_eq!(dfa.accepts(&w), min.accepts(&w), "word {:?}", w);
+        }
+    }
+
+    #[test]
+    fn minimize_is_idempotent_in_size(re in regex_strategy()) {
+        let m1 = minimize(&determinize(&re.to_nfa()));
+        let m2 = minimize(&m1);
+        prop_assert_eq!(m1.len(), m2.len());
+        prop_assert!(equivalent(&m1, &m2).is_ok());
+    }
+
+    #[test]
+    fn complement_flips_membership(re in regex_strategy()) {
+        let dfa = determinize(&re.to_nfa());
+        let comp = dfa.complement();
+        for w in all_words() {
+            prop_assert_eq!(dfa.accepts(&w), !comp.accepts(&w), "word {:?}", w);
+        }
+    }
+
+    #[test]
+    fn product_modes_match_boolean_semantics(
+        r1 in regex_strategy(),
+        r2 in regex_strategy(),
+    ) {
+        let d1 = determinize(&r1.to_nfa());
+        let d2 = determinize(&r2.to_nfa());
+        let inter = product(&d1, &d2, ProductMode::Intersection);
+        let union_ = product(&d1, &d2, ProductMode::Union);
+        let diff = product(&d1, &d2, ProductMode::Difference);
+        let symdiff = product(&d1, &d2, ProductMode::SymmetricDifference);
+        for w in all_words() {
+            let (a, b) = (d1.accepts(&w), d2.accepts(&w));
+            prop_assert_eq!(inter.accepts(&w), a && b);
+            prop_assert_eq!(union_.accepts(&w), a || b);
+            prop_assert_eq!(diff.accepts(&w), a && !b);
+            prop_assert_eq!(symdiff.accepts(&w), a != b);
+        }
+    }
+
+    #[test]
+    fn de_morgan_for_languages(r1 in regex_strategy(), r2 in regex_strategy()) {
+        let d1 = determinize(&r1.to_nfa());
+        let d2 = determinize(&r2.to_nfa());
+        let lhs = product(&d1, &d2, ProductMode::Union);
+        let rhs = product(&d1.complement(), &d2.complement(), ProductMode::Intersection)
+            .complement();
+        prop_assert!(equivalent(&lhs, &rhs).is_ok());
+    }
+
+    #[test]
+    fn equivalence_agrees_with_brute_force(
+        r1 in regex_strategy(),
+        r2 in regex_strategy(),
+    ) {
+        let d1 = determinize(&r1.to_nfa());
+        let d2 = determinize(&r2.to_nfa());
+        match equivalent(&d1, &d2) {
+            Ok(()) => {
+                for w in all_words() {
+                    prop_assert_eq!(d1.accepts(&w), d2.accepts(&w), "claimed equal, differ on {:?}", w);
+                }
+            }
+            Err(witness) => {
+                // the witness, concretized with any member per set, must
+                // be accepted by exactly one automaton
+                let mut table = SymbolTable::new();
+                for i in 0..ALPHABET + 1 {
+                    table.intern(&format!("s{i}"));
+                }
+                let conc = concretize(&witness, &table).expect("concretizable");
+                prop_assert_ne!(d1.accepts(&conc), d2.accepts(&conc), "bogus witness {:?}", conc);
+            }
+        }
+    }
+
+    #[test]
+    fn inclusion_in_union_always_holds(r1 in regex_strategy(), r2 in regex_strategy()) {
+        let d1 = determinize(&r1.to_nfa());
+        let d2 = determinize(&r2.to_nfa());
+        let u = product(&d1, &d2, ProductMode::Union);
+        prop_assert!(included(&d1, &u).is_ok());
+        prop_assert!(included(&d2, &u).is_ok());
+    }
+
+    #[test]
+    fn inclusion_witness_is_in_difference(r1 in regex_strategy(), r2 in regex_strategy()) {
+        let d1 = determinize(&r1.to_nfa());
+        let d2 = determinize(&r2.to_nfa());
+        if let Err(witness) = included(&d1, &d2) {
+            let mut table = SymbolTable::new();
+            for i in 0..ALPHABET + 1 {
+                table.intern(&format!("s{i}"));
+            }
+            let conc = concretize(&witness, &table).expect("concretizable");
+            prop_assert!(d1.accepts(&conc));
+            prop_assert!(!d2.accepts(&conc));
+        }
+    }
+
+    #[test]
+    fn reverse_reverses(re in regex_strategy()) {
+        let nfa = re.to_nfa();
+        let rev = nfa.reverse();
+        for w in all_words() {
+            let mut wr = w.clone();
+            wr.reverse();
+            prop_assert_eq!(nfa.accepts(&w), rev.accepts(&wr), "word {:?}", w);
+        }
+    }
+
+    #[test]
+    fn remove_eps_preserves(re in regex_strategy()) {
+        let nfa = re.to_nfa();
+        let ef = nfa.remove_eps();
+        for w in all_words() {
+            prop_assert_eq!(nfa.accepts(&w), ef.accepts(&w), "word {:?}", w);
+        }
+    }
+
+    #[test]
+    fn trim_preserves(re in regex_strategy()) {
+        let nfa = re.to_nfa();
+        let t = nfa.trim();
+        for w in all_words() {
+            prop_assert_eq!(nfa.accepts(&w), t.accepts(&w), "word {:?}", w);
+        }
+    }
+
+    #[test]
+    fn shortest_word_is_shortest(re in regex_strategy()) {
+        let dfa = determinize(&re.to_nfa());
+        let shortest = shortest_word(&dfa);
+        let brute: Option<usize> = all_words()
+            .into_iter()
+            .filter(|w| dfa.accepts(w))
+            .map(|w| w.len())
+            .min();
+        match (shortest, brute) {
+            (Some(w), Some(len)) => prop_assert_eq!(w.len().min(MAX_WORD_LEN + 1), len.min(w.len())),
+            (None, Some(_)) => prop_assert!(false, "missed an accepted word"),
+            // shortest word longer than our enumeration bound is fine
+            (Some(w), None) => prop_assert!(w.len() > MAX_WORD_LEN),
+            (None, None) => {}
+        }
+    }
+
+    #[test]
+    fn enumerate_words_all_accepted(re in regex_strategy()) {
+        let dfa = determinize(&re.to_nfa());
+        let mut table = SymbolTable::new();
+        for i in 0..ALPHABET + 1 {
+            table.intern(&format!("s{i}"));
+        }
+        for w in enumerate_words(&dfa, 8, MAX_WORD_LEN) {
+            let conc = concretize(&w, &table).expect("concretizable");
+            prop_assert!(dfa.accepts(&conc));
+        }
+    }
+}
+
+// ---- transducer properties --------------------------------------------
+
+/// Words up to length 3 for relation-level brute force (pairs are quadratic).
+fn short_words() -> Vec<Vec<Symbol>> {
+    all_words().into_iter().filter(|w| w.len() <= 3).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cross_relates_exactly_the_product(r1 in regex_strategy(), r2 in regex_strategy()) {
+        let n1 = r1.to_nfa();
+        let n2 = r2.to_nfa();
+        let f = Fst::cross(&n1, &n2);
+        for x in short_words() {
+            for y in short_words() {
+                prop_assert_eq!(
+                    f.relates(&x, &y),
+                    n1.accepts(&x) && n2.accepts(&y),
+                    "pair {:?} {:?}", x, y
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_relates_exactly_the_diagonal(re in regex_strategy()) {
+        let n = re.to_nfa();
+        let f = Fst::identity(&n);
+        for x in short_words() {
+            for y in short_words() {
+                prop_assert_eq!(
+                    f.relates(&x, &y),
+                    x == y && n.accepts(&x),
+                    "pair {:?} {:?}", x, y
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn image_matches_brute_force(rp in regex_strategy(), r1 in regex_strategy(), r2 in regex_strategy()) {
+        // R = (P1 × P2) | I(P1): a union of a rewrite and a preserve part,
+        // the shape Rela compilation produces (paper Fig. 4).
+        let p = rp.to_nfa();
+        let n1 = r1.to_nfa();
+        let n2 = r2.to_nfa();
+        let r = Fst::cross(&n1, &n2).union(&Fst::identity(&n1));
+        let img = image(&p, &r);
+        let mut table = SymbolTable::new();
+        for i in 0..ALPHABET + 1 {
+            table.intern(&format!("s{i}"));
+        }
+        for y in short_words() {
+            let brute = short_words()
+                .into_iter()
+                .any(|x| p.accepts(&x) && r.relates(&x, &y));
+            if brute {
+                prop_assert!(img.accepts(&y), "missing image word {:?}", y);
+            } else if img.accepts(&y) {
+                // the witness x may be longer than any enumeration bound
+                // (e.g. P's shortest word exceeds it): extract a candidate
+                // from the automata — x ∈ P ∩ preimage(R, {y}) — and verify
+                // it with the independent `relates` simulator
+                let pre_y = preimage(&r, &Nfa::word(&y));
+                let candidates = product(
+                    &determinize(&pre_y.trim()),
+                    &determinize(&p.trim()),
+                    ProductMode::Intersection,
+                );
+                let witness = shortest_word(&candidates);
+                prop_assert!(witness.is_some(), "spurious image word {:?}", y);
+                let x = concretize(&witness.expect("checked"), &table)
+                    .expect("concretizable witness");
+                prop_assert!(
+                    p.accepts(&x) && r.relates(&x, &y),
+                    "extracted witness {:?} does not justify image word {:?}",
+                    x,
+                    y
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compose_matches_brute_force(r1 in regex_strategy(), r2 in regex_strategy(), r3 in regex_strategy()) {
+        // f = I(P1), g = P2 × P3 — composition must equal brute-force join
+        let n1 = r1.to_nfa();
+        let n2 = r2.to_nfa();
+        let n3 = r3.to_nfa();
+        let f = Fst::identity(&n1);
+        let g = Fst::cross(&n2, &n3);
+        let fg = compose(&f, &g);
+        for x in short_words() {
+            for z in short_words() {
+                let direct = fg.relates(&x, &z);
+                let brute = n1.accepts(&x) && n2.accepts(&x) && n3.accepts(&z);
+                prop_assert_eq!(direct, brute, "pair {:?} {:?}", x, z);
+            }
+        }
+    }
+
+    #[test]
+    fn invert_swaps_pairs(r1 in regex_strategy(), r2 in regex_strategy()) {
+        let f = Fst::cross(&r1.to_nfa(), &r2.to_nfa());
+        let g = f.invert();
+        for x in short_words() {
+            for y in short_words() {
+                prop_assert_eq!(f.relates(&x, &y), g.relates(&y, &x));
+            }
+        }
+    }
+
+    #[test]
+    fn domain_range_match_brute_force(r1 in regex_strategy(), r2 in regex_strategy()) {
+        let n1 = r1.to_nfa();
+        let n2 = r2.to_nfa();
+        let f = Fst::cross(&n1, &n2).union(&Fst::identity(&n2));
+        let dom = f.domain();
+        let rng = f.range();
+        for w in short_words() {
+            let in_dom = short_words().into_iter().any(|y| f.relates(&w, &y));
+            let in_rng = short_words().into_iter().any(|x| f.relates(&x, &w));
+            if in_dom {
+                prop_assert!(dom.accepts(&w));
+            }
+            if in_rng {
+                prop_assert!(rng.accepts(&w));
+            }
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # rela-baseline
+//!
+//! The two comparison points the paper positions Rela against:
+//!
+//! - [`single_snapshot`]: classic network verification of one snapshot
+//!   (reachability, waypointing, path patterns) plus the "naive tactic"
+//!   of §2.2 — per-flow exists/forbidden checks that miss collateral
+//!   damage by construction;
+//! - [`pathdiff`]: the §2.3 manual-inspection workflow — an exact path
+//!   diff whose size is what makes human audits take weeks.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod pathdiff;
+pub mod single_snapshot;
+
+pub use pathdiff::{audit_days, path_diff, DiffEntry, DiffOptions, PathDiff};
+pub use single_snapshot::{
+    naive_change_check, SingleSnapshotChecker, SnapshotSpec, SnapshotVerdict,
+};

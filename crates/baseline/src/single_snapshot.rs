@@ -1,0 +1,304 @@
+//! Single-snapshot verification — the incumbent approach (paper §2.2).
+//!
+//! Checks properties of *one* snapshot: reachability, path membership in
+//! a regular pattern, waypointing, and isolation. This is the "naive
+//! tactic" baseline the paper contrasts with: to validate a change one
+//! must assert `P₂ exists ∧ P₁ gone`, which misses all collateral damage
+//! because "all other traffic should remain unchanged" has no
+//! single-snapshot encoding.
+
+use rela_automata::{determinize, included, Dfa, SymbolTable};
+use rela_core::{compile_program, parse_program, PairFsas, PathSet, RelaError};
+use rela_net::{graph_to_fsa, FlowSpec, Granularity, LocationDb, Snapshot};
+use std::collections::BTreeMap;
+
+/// A single-snapshot assertion about one traffic class (or all classes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotSpec {
+    /// Some path matching the pattern exists.
+    Exists(String),
+    /// No path matches the pattern.
+    Forbidden(String),
+    /// Every path matches the pattern (waypointing: `.* fw .*`).
+    All(String),
+    /// The traffic class is carried at all (has at least one path).
+    Reachable,
+    /// The traffic class is not carried (isolation).
+    Unreachable,
+}
+
+/// The verdict for one (flow, spec) pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotVerdict {
+    /// The traffic class.
+    pub flow: FlowSpec,
+    /// Whether the assertion held.
+    pub holds: bool,
+    /// Human-readable explanation on failure.
+    pub reason: Option<String>,
+}
+
+/// A compiled single-snapshot checker.
+pub struct SingleSnapshotChecker<'a> {
+    db: &'a LocationDb,
+    granularity: Granularity,
+    table: SymbolTable,
+    patterns: BTreeMap<String, Dfa>,
+}
+
+impl<'a> SingleSnapshotChecker<'a> {
+    /// Create a checker; `patterns` maps names to path patterns in the
+    /// Rela regex syntax (e.g. `".* B1 .*"`). Patterns are compiled once.
+    pub fn new(
+        db: &'a LocationDb,
+        granularity: Granularity,
+        patterns: &[(&str, &str)],
+    ) -> Result<SingleSnapshotChecker<'a>, RelaError> {
+        // reuse the Rela front end: wrap each pattern in a trivial program
+        let mut compiled_patterns = BTreeMap::new();
+        let mut table = SymbolTable::new();
+        for (name, pattern) in patterns {
+            let src = format!("regex p := {pattern}\nspec s := {{ p : preserve }}\ncheck s");
+            let program = parse_program(&src)?;
+            let compiled = compile_program(&program, db, granularity)?;
+            // extract the zone automaton of the lone part
+            let dfa = match &compiled.default_check {
+                rela_core::CompiledCheck::Relational { parts, .. } => {
+                    let env = PairFsas::new(
+                        rela_automata::Nfa::empty_language(),
+                        rela_automata::Nfa::empty_language(),
+                    );
+                    let zone: &PathSet = &parts[0].zone;
+                    rela_core::lower_pathset_dfa(zone, &env)
+                }
+                _ => unreachable!("preserve compiles to a relational check"),
+            };
+            // keep the largest table so rendering works for all patterns
+            if compiled.table.len() > table.len() {
+                table = compiled.table.clone();
+            }
+            compiled_patterns.insert((*name).to_owned(), dfa);
+        }
+        Ok(SingleSnapshotChecker {
+            db,
+            granularity,
+            table,
+            patterns: compiled_patterns,
+        })
+    }
+
+    /// Check one assertion for every traffic class in the snapshot.
+    pub fn check(&self, snapshot: &Snapshot, spec: &SnapshotSpec) -> Vec<SnapshotVerdict> {
+        snapshot
+            .iter()
+            .map(|(flow, graph)| {
+                let mut table = self.table.clone();
+                let fsa = graph_to_fsa(graph, self.db, self.granularity, &mut table);
+                let paths = determinize(&fsa.trim());
+                let (holds, reason) = self.evaluate(spec, &paths);
+                SnapshotVerdict {
+                    flow: flow.clone(),
+                    holds,
+                    reason,
+                }
+            })
+            .collect()
+    }
+
+    fn evaluate(&self, spec: &SnapshotSpec, paths: &Dfa) -> (bool, Option<String>) {
+        match spec {
+            SnapshotSpec::Reachable => {
+                let ok = !paths.language_is_empty();
+                (ok, (!ok).then(|| "no forwarding path".to_owned()))
+            }
+            SnapshotSpec::Unreachable => {
+                let ok = paths.language_is_empty();
+                (ok, (!ok).then(|| "traffic is carried".to_owned()))
+            }
+            SnapshotSpec::Exists(name) => {
+                let pattern = &self.patterns[name];
+                let empty = rela_automata::product(
+                    paths,
+                    pattern,
+                    rela_automata::ProductMode::Intersection,
+                )
+                .language_is_empty();
+                (
+                    !empty,
+                    empty.then(|| format!("no path matches `{name}`")),
+                )
+            }
+            SnapshotSpec::Forbidden(name) => {
+                let pattern = &self.patterns[name];
+                let inter = rela_automata::product(
+                    paths,
+                    pattern,
+                    rela_automata::ProductMode::Intersection,
+                );
+                match rela_automata::shortest_word(&inter) {
+                    None => (true, None),
+                    Some(w) => {
+                        let conc = rela_automata::concretize(&w, &self.table);
+                        (
+                            false,
+                            Some(format!(
+                                "forbidden path present: {}",
+                                render(&conc, &self.table)
+                            )),
+                        )
+                    }
+                }
+            }
+            SnapshotSpec::All(name) => {
+                let pattern = &self.patterns[name];
+                match included(paths, pattern) {
+                    Ok(()) => (true, None),
+                    Err(w) => {
+                        let conc = rela_automata::concretize(&w, &self.table);
+                        (
+                            false,
+                            Some(format!(
+                                "path escapes `{name}`: {}",
+                                render(&conc, &self.table)
+                            )),
+                        )
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn render(path: &Option<Vec<rela_automata::Symbol>>, table: &SymbolTable) -> String {
+    match path {
+        None => "<unprintable>".to_owned(),
+        Some(syms) => syms
+            .iter()
+            .map(|&s| table.name(s).to_owned())
+            .collect::<Vec<_>>()
+            .join(" "),
+    }
+}
+
+/// Compare two snapshots with two *independent* single-snapshot checks —
+/// the incomplete change-validation tactic of §2.2: assert the new path
+/// exists and the old one is gone, per flow. Returns flows failing either
+/// assertion. Collateral damage on other flows is invisible by design
+/// (that is the point of the baseline).
+pub fn naive_change_check(
+    checker: &SingleSnapshotChecker<'_>,
+    post: &Snapshot,
+    new_path_pattern: &str,
+    old_path_pattern: &str,
+    affected: impl Fn(&FlowSpec) -> bool,
+) -> Vec<SnapshotVerdict> {
+    let mut out = Vec::new();
+    for v in checker.check(post, &SnapshotSpec::Exists(new_path_pattern.to_owned())) {
+        if affected(&v.flow) && !v.holds {
+            out.push(v);
+        }
+    }
+    for v in checker.check(post, &SnapshotSpec::Forbidden(old_path_pattern.to_owned())) {
+        if affected(&v.flow) && !v.holds {
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rela_net::{linear_graph, Device};
+
+    fn db() -> LocationDb {
+        let mut db = LocationDb::new();
+        for (n, g) in [("x1", "x1"), ("A1", "A1"), ("B1", "B1"), ("y1", "y1")] {
+            db.add_device(Device::new(n, g));
+        }
+        db
+    }
+
+    fn snapshot(paths: &[(&str, Vec<&str>)]) -> Snapshot {
+        let mut snap = Snapshot::new();
+        for (dst, path) in paths {
+            snap.insert(
+                FlowSpec::new(dst.parse().unwrap(), "x1"),
+                linear_graph(path),
+            );
+        }
+        snap
+    }
+
+    #[test]
+    fn reachable_and_unreachable() {
+        let db = db();
+        let checker = SingleSnapshotChecker::new(&db, Granularity::Device, &[]).unwrap();
+        let snap = snapshot(&[
+            ("10.1.0.0/24", vec!["x1", "A1", "y1"]),
+            ("10.2.0.0/24", vec![]),
+        ]);
+        let verdicts = checker.check(&snap, &SnapshotSpec::Reachable);
+        assert!(verdicts[0].holds);
+        assert!(!verdicts[1].holds);
+        let verdicts = checker.check(&snap, &SnapshotSpec::Unreachable);
+        assert!(!verdicts[0].holds);
+        assert!(verdicts[1].holds);
+    }
+
+    #[test]
+    fn exists_and_forbidden_patterns() {
+        let db = db();
+        let checker = SingleSnapshotChecker::new(
+            &db,
+            Granularity::Device,
+            &[("viaA1", ".* A1 .*"), ("viaB1", ".* B1 .*")],
+        )
+        .unwrap();
+        let snap = snapshot(&[("10.1.0.0/24", vec!["x1", "A1", "y1"])]);
+        assert!(checker.check(&snap, &SnapshotSpec::Exists("viaA1".into()))[0].holds);
+        assert!(!checker.check(&snap, &SnapshotSpec::Exists("viaB1".into()))[0].holds);
+        assert!(checker.check(&snap, &SnapshotSpec::Forbidden("viaB1".into()))[0].holds);
+        let v = &checker.check(&snap, &SnapshotSpec::Forbidden("viaA1".into()))[0];
+        assert!(!v.holds);
+        assert!(v.reason.as_ref().unwrap().contains("x1 A1 y1"));
+    }
+
+    #[test]
+    fn all_paths_waypointing() {
+        let db = db();
+        let checker =
+            SingleSnapshotChecker::new(&db, Granularity::Device, &[("wp", ".* A1 .*")])
+                .unwrap();
+        let good = snapshot(&[("10.1.0.0/24", vec!["x1", "A1", "y1"])]);
+        assert!(checker.check(&good, &SnapshotSpec::All("wp".into()))[0].holds);
+        let bad = snapshot(&[("10.1.0.0/24", vec!["x1", "B1", "y1"])]);
+        let v = &checker.check(&bad, &SnapshotSpec::All("wp".into()))[0];
+        assert!(!v.holds);
+        assert!(v.reason.as_ref().unwrap().contains("x1 B1 y1"));
+    }
+
+    #[test]
+    fn naive_change_check_misses_collateral_damage() {
+        // the motivating blindspot: flow 1 is checked (moved A1→B1);
+        // flow 2's collateral change is invisible to the naive tactic
+        let db = db();
+        let checker = SingleSnapshotChecker::new(
+            &db,
+            Granularity::Device,
+            &[("new", "x1 B1 y1"), ("old", "x1 A1 y1")],
+        )
+        .unwrap();
+        let post = snapshot(&[
+            ("10.1.0.0/24", vec!["x1", "B1", "y1"]), // intended move: ok
+            ("10.2.0.0/24", vec!["x1", "B1", "A1"]), // collateral damage!
+        ]);
+        let affected =
+            |f: &FlowSpec| f.dst == "10.1.0.0/24".parse::<rela_net::Ipv4Prefix>().unwrap();
+        let failures = naive_change_check(&checker, &post, "new", "old", affected);
+        assert!(
+            failures.is_empty(),
+            "the naive tactic reports success despite collateral damage"
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks for the automata substrate: the primitive
+//! costs behind the paper's decision procedure (§6) — determinization,
+//! minimization, equivalence, transducer composition, and image
+//! computation — as a function of input size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rela_automata::{
+    compose, determinize, equivalent, image, minimize, Fst, Nfa, Regex, Symbol,
+};
+use std::hint::black_box;
+
+fn sym(ix: usize) -> Symbol {
+    Symbol::from_index(ix)
+}
+
+/// A chain-of-choices regex: (a0|b0)(a1|b1)...(an|bn) — DFA-friendly but
+/// grows linearly.
+fn chain_regex(n: usize) -> Regex {
+    Regex::concat(
+        (0..n)
+            .map(|i| Regex::union(vec![Regex::sym(sym(2 * i)), Regex::sym(sym(2 * i + 1))]))
+            .collect(),
+    )
+}
+
+/// The classic exponential-determinization family: .* a .{n}
+fn needle_regex(n: usize) -> Regex {
+    let mut parts = vec![Regex::any_star(), Regex::sym(sym(0))];
+    parts.extend(std::iter::repeat_n(Regex::any(), n));
+    Regex::concat(parts)
+}
+
+fn bench_determinize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("determinize");
+    for n in [4usize, 8, 12] {
+        let nfa = needle_regex(n).to_nfa();
+        group.bench_with_input(BenchmarkId::new("needle", n), &nfa, |b, nfa| {
+            b.iter(|| determinize(black_box(nfa)))
+        });
+        let chain = chain_regex(n * 4).to_nfa();
+        group.bench_with_input(BenchmarkId::new("chain", n * 4), &chain, |b, nfa| {
+            b.iter(|| determinize(black_box(nfa)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_minimize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minimize");
+    for n in [4usize, 8] {
+        let dfa = determinize(&needle_regex(n).to_nfa());
+        group.bench_with_input(BenchmarkId::new("needle", n), &dfa, |b, dfa| {
+            b.iter(|| minimize(black_box(dfa)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_equivalence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equivalence");
+    for n in [8usize, 16, 32] {
+        let d1 = determinize(&chain_regex(n).to_nfa());
+        let d2 = determinize(&chain_regex(n).to_nfa());
+        group.bench_with_input(BenchmarkId::new("equal-chains", n), &n, |b, _| {
+            b.iter(|| equivalent(black_box(&d1), black_box(&d2)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fst");
+    for n in [4usize, 8, 16] {
+        // identity over a chain, composed with a rewrite relation
+        let base = chain_regex(n).to_nfa();
+        let ident = Fst::identity(&base);
+        let rewrite = Fst::cross(&base, &chain_regex(n).to_nfa());
+        group.bench_with_input(BenchmarkId::new("compose", n), &n, |b, _| {
+            b.iter(|| compose(black_box(&ident), black_box(&rewrite)))
+        });
+        let word: Vec<Symbol> = (0..n).map(|i| sym(2 * i)).collect();
+        let p = Nfa::word(&word);
+        group.bench_with_input(BenchmarkId::new("image", n), &n, |b, _| {
+            b.iter(|| image(black_box(&p), black_box(&rewrite)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_determinize,
+    bench_minimize,
+    bench_equivalence,
+    bench_fst
+);
+criterion_main!(benches);

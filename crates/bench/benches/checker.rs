@@ -1,0 +1,108 @@
+//! Criterion version of the paper's performance evaluation (§9.2):
+//! end-to-end validation cost by spec size and granularity on the
+//! synthetic WAN, plus the path-diff baseline for comparison.
+//!
+//! This complements the `fig6`/`fig7` harness bins: the bins print the
+//! paper's exact rows/series; these benches give statistically robust
+//! per-configuration timings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rela_baseline::{path_diff, DiffOptions};
+use rela_bench::{build_testbed, Testbed};
+use rela_core::check::run_check;
+use rela_net::Granularity;
+use rela_sim::workload::{spec_of_size, WanParams};
+use std::hint::black_box;
+
+fn small_params() -> WanParams {
+    WanParams {
+        regions: 4,
+        routers_per_group: 2,
+        parallel_links: 2,
+        fecs_per_pair: 2,
+    }
+}
+
+fn bench_by_spec_size(c: &mut Criterion) {
+    let params = small_params();
+    let tb: Testbed = build_testbed(&params);
+    let mut group = c.benchmark_group("validation-by-spec-size");
+    group.sample_size(10);
+    for n in [1usize, 4, 7, 13] {
+        let source = spec_of_size(n, params.regions);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &source, |b, src| {
+            b.iter(|| {
+                run_check(
+                    black_box(src),
+                    &tb.wan.topology.db,
+                    Granularity::Group,
+                    &tb.pair,
+                )
+                .expect("spec compiles")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_by_granularity(c: &mut Criterion) {
+    let params = small_params();
+    let tb = build_testbed(&params);
+    let source = spec_of_size(4, params.regions);
+    let mut group = c.benchmark_group("validation-by-granularity");
+    group.sample_size(10);
+    for granularity in [
+        Granularity::Group,
+        Granularity::Device,
+        Granularity::Interface,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(granularity),
+            &granularity,
+            |b, &g| {
+                b.iter(|| {
+                    run_check(black_box(&source), &tb.wan.topology.db, g, &tb.pair)
+                        .expect("spec compiles")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pathdiff_baseline(c: &mut Criterion) {
+    let params = small_params();
+    let tb = build_testbed(&params);
+    let mut group = c.benchmark_group("baseline");
+    group.sample_size(10);
+    group.bench_function("path-diff", |b| {
+        b.iter(|| {
+            path_diff(
+                black_box(&tb.pair),
+                &tb.wan.topology.db,
+                DiffOptions::default(),
+            )
+        })
+    });
+    let nochange = spec_of_size(1, params.regions);
+    group.bench_function("rela-nochange", |b| {
+        b.iter(|| {
+            run_check(
+                black_box(&nochange),
+                &tb.wan.topology.db,
+                Granularity::Device,
+                &tb.pair,
+            )
+            .expect("spec compiles")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_by_spec_size,
+    bench_by_granularity,
+    bench_pathdiff_baseline
+);
+criterion_main!(benches);

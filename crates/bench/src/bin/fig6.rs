@@ -1,0 +1,73 @@
+//! Regenerates **Figure 6**: the CDF of validation time across the
+//! change dataset, following the paper's methodology (§9.2): every spec
+//! is validated against the same snapshot pair, and the reported time
+//! covers deserialization-equivalent work, FSA/FST construction, and
+//! equivalence checking.
+//!
+//! Expected shape: the median equals the cost of the "no change" spec
+//! (half the dataset is exactly that spec), and the tail is driven by
+//! the N=13 / N=37 outliers.
+//!
+//! Run: `cargo run --release -p rela-bench --bin fig6 [-- --regions 6 --fecs-per-pair 10]`
+
+use rela_bench::{build_testbed, cdf, percentile, secs, time_validation};
+use rela_sim::workload::{evaluation_specs, spec_of_size};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let params = rela_bench::params_from_args(&args);
+    eprintln!(
+        "building testbed: {} regions, {} routers/group, {} parallel links, {} FECs/pair",
+        params.regions, params.routers_per_group, params.parallel_links, params.fecs_per_pair
+    );
+    let tb = build_testbed(&params);
+    eprintln!("testbed ready: {} FECs", tb.pair.len());
+
+    let specs = evaluation_specs(&params);
+    let mut times: Vec<Duration> = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        let (elapsed, report) = time_validation(
+            &spec.source,
+            &tb.wan.topology.db,
+            spec.granularity,
+            &tb.pair,
+        );
+        eprintln!(
+            "  {} (N={}, {}): {} — {} violations",
+            spec.id,
+            spec.atomic_count,
+            spec.granularity,
+            secs(elapsed),
+            report.violations.len()
+        );
+        times.push(elapsed);
+    }
+
+    println!("== Figure 6: CDF of validation time ({} changes) ==", specs.len());
+    println!();
+    println!("{:>12} {:>8}", "time", "CDF");
+    for (t, fraction) in cdf(times.clone()) {
+        println!("{:>12} {fraction:>8.3}", secs(t));
+    }
+
+    let mut sorted = times;
+    sorted.sort();
+    let (nochange_time, _) = time_validation(
+        &spec_of_size(1, params.regions),
+        &tb.wan.topology.db,
+        rela_net::Granularity::Group,
+        &tb.pair,
+    );
+    println!();
+    println!(
+        "median {} vs. no-change spec {} (paper: the median IS the no-change spec)",
+        secs(percentile(&sorted, 50.0)),
+        secs(nochange_time),
+    );
+    println!(
+        "p80 {} | max {} (paper: 80% under 20 min, max 150 min on 10^6 FECs)",
+        secs(percentile(&sorted, 80.0)),
+        secs(percentile(&sorted, 100.0)),
+    );
+}

@@ -1,0 +1,60 @@
+//! Regenerates **Figure 7**: validation time for spec sizes
+//! N ∈ {1, 4, 7, 13, 37} at the three location granularities.
+//!
+//! Expected shape (paper §9.2): time grows with N; router-group and
+//! router granularity are close; interface granularity costs ~10× more
+//! because of the interface-level path explosion.
+//!
+//! Run: `cargo run --release -p rela-bench --bin fig7 [-- --regions 6 --parallel-links 4]`
+
+use rela_bench::{build_testbed, secs, time_validation};
+use rela_net::Granularity;
+use rela_sim::workload::spec_of_size;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let params = rela_bench::params_from_args(&args);
+    eprintln!(
+        "building testbed: {} regions, {} routers/group, {} parallel links, {} FECs/pair",
+        params.regions, params.routers_per_group, params.parallel_links, params.fecs_per_pair
+    );
+    let tb = build_testbed(&params);
+    eprintln!("testbed ready: {} FECs", tb.pair.len());
+
+    const SIZES: [usize; 5] = [1, 4, 7, 13, 37];
+    const GRANULARITIES: [Granularity; 3] = [
+        Granularity::Group,
+        Granularity::Device,
+        Granularity::Interface,
+    ];
+
+    println!("== Figure 7: validation time by spec size × granularity ==");
+    println!();
+    println!(
+        "{:>5} {:>14} {:>14} {:>14}",
+        "N", "group", "router", "interface"
+    );
+    let mut group_total = 0.0f64;
+    let mut iface_total = 0.0f64;
+    for n in SIZES {
+        let source = spec_of_size(n, params.regions);
+        let mut row = Vec::new();
+        for granularity in GRANULARITIES {
+            let (elapsed, _) =
+                time_validation(&source, &tb.wan.topology.db, granularity, &tb.pair);
+            if granularity == Granularity::Group {
+                group_total += elapsed.as_secs_f64();
+            }
+            if granularity == Granularity::Interface {
+                iface_total += elapsed.as_secs_f64();
+            }
+            row.push(secs(elapsed));
+        }
+        println!("{n:>5} {:>14} {:>14} {:>14}", row[0], row[1], row[2]);
+    }
+    println!();
+    println!(
+        "interface/group cost ratio: {:.1}× (paper: ~10×; ratio grows with --parallel-links)",
+        iface_total / group_total.max(f64::EPSILON)
+    );
+}

@@ -1,0 +1,33 @@
+//! Regenerates **Table 1**: the counterexamples Rela reports when
+//! verifying the Figure 1c implementation (iteration v2) against the §4
+//! change spec — one wrong path change for T1 (the B3 bounce) and one
+//! collateral-damage entry for T2.
+//!
+//! Run: `cargo run --release -p rela-bench --bin table1`
+
+use rela_core::check::run_check;
+use rela_net::{Granularity, SnapshotPair};
+use rela_sim::scenarios::{case_study, CASE_STUDY_SPEC};
+
+fn main() {
+    let study = case_study();
+    let spec = format!(
+        "{CASE_STUDY_SPEC}\n\
+         rir sideEffects := pre <= post && post <= (pre | xa .*)\n\
+         pspec sideP := (ingress == \"xa\") -> sideEffects\n"
+    );
+    let pre = study.pre_snapshot();
+    let post = study.post_snapshot(1); // v2 = Figure 1c
+    let pair = SnapshotPair::align(&pre, &post);
+    let report = run_check(&spec, &study.topology.db, Granularity::Group, &pair)
+        .expect("case-study spec compiles");
+
+    println!("== Table 1: counterexamples for the Figure 1c implementation (v2) ==");
+    println!();
+    println!("{report}");
+    println!();
+    println!("paper reference (Table 1):");
+    println!("  T1 row: pre x1 A1 B1 B2 B3 D1 y1 → post x1 A1 A2 A3 B3 D1 y1,");
+    println!("          e2e expected {{x1 A1 A2 A3 D1 y1}}");
+    println!("  T2 row: pre x2 C1 B1 B2 B3 D1 y2 → post x2 C1 C2 D1 y2 (nochange)");
+}

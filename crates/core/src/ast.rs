@@ -1,0 +1,281 @@
+//! The Rela surface language AST (paper §4, Fig. 2), plus the practical
+//! extensions of §7: prefix-predicate routing (`pspec`) and the RIR
+//! escape hatch for expert users (§5: "an expert user may use the RIR
+//! directly if they choose").
+
+use rela_net::{AttrPred, Ipv4Prefix};
+
+/// A path pattern: a regular expression over network locations
+/// (Fig. 2, `r`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathRegex {
+    /// `.` — any single location.
+    Any,
+    /// A bare identifier: a reference to a named regex, or a literal
+    /// location name at the chosen granularity.
+    Name(String),
+    /// `where(attr == "glob")` — a location-database query.
+    Where(AttrPred),
+    /// The special `drop` location.
+    Drop,
+    /// `r₁ | r₂`
+    Union(Vec<PathRegex>),
+    /// `r₁ r₂`
+    Concat(Vec<PathRegex>),
+    /// `r*`
+    Star(Box<PathRegex>),
+    /// `r+`
+    Plus(Box<PathRegex>),
+    /// `r?`
+    Opt(Box<PathRegex>),
+}
+
+/// A path modifier (Fig. 2, `m`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Modifier {
+    /// Paths in the zone stay the same.
+    Preserve,
+    /// Paths in `r` are added when the zone is populated.
+    Add(PathRegex),
+    /// Paths in `r` are removed from the zone.
+    Remove(PathRegex),
+    /// Paths in the first pattern are replaced by all paths of the second.
+    Replace(PathRegex, PathRegex),
+    /// Traffic in the zone is dropped.
+    Drop,
+    /// Traffic in the zone moves to *some* path in `r`.
+    Any(PathRegex),
+}
+
+/// A change specification (Fig. 2, `s`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecExpr {
+    /// `zone : modifier`
+    Atomic {
+        /// The change zone.
+        zone: PathRegex,
+        /// What happens inside the zone.
+        modifier: Modifier,
+    },
+    /// Reference to a named spec.
+    Ref(String),
+    /// `s₁ s₂` — sub-path concatenation (written `;` in blocks).
+    Concat(Vec<SpecExpr>),
+    /// `s₁ else s₂` — prioritized union.
+    Else(Box<SpecExpr>, Box<SpecExpr>),
+}
+
+/// A path-set expression in the RIR surface syntax (expert escape hatch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RirExpr {
+    /// `pre` — the pre-change path set.
+    Pre,
+    /// `post` — the post-change path set.
+    Post,
+    /// An embedded path pattern.
+    Pattern(PathRegex),
+    /// `e₁ | e₂`
+    Union(Vec<RirExpr>),
+    /// `e₁ e₂`
+    Concat(Vec<RirExpr>),
+    /// `e*`
+    Star(Box<RirExpr>),
+    /// `e₁ & e₂` — intersection.
+    Inter(Box<RirExpr>, Box<RirExpr>),
+    /// `!e` — complement.
+    Complement(Box<RirExpr>),
+}
+
+/// An RIR assertion in the surface syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RirSpecExpr {
+    /// `e₁ == e₂`
+    Equal(RirExpr, RirExpr),
+    /// `e₁ <= e₂` — set inclusion.
+    Subset(RirExpr, RirExpr),
+    /// `a && b`
+    And(Box<RirSpecExpr>, Box<RirSpecExpr>),
+    /// `a || b`
+    Or(Box<RirSpecExpr>, Box<RirSpecExpr>),
+    /// `!a`
+    Not(Box<RirSpecExpr>),
+}
+
+/// A traffic predicate for `pspec` routing (paper §7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredExpr {
+    /// `dstPrefix == p` — the FEC's destination is inside `p`.
+    DstIn(Ipv4Prefix),
+    /// `srcPrefix == p` — the FEC's source is inside `p`.
+    SrcIn(Ipv4Prefix),
+    /// `ingress == "glob"` — the FEC enters at a matching device.
+    IngressEq(String),
+    /// `a && b`
+    And(Box<PredExpr>, Box<PredExpr>),
+    /// `a || b`
+    Or(Box<PredExpr>, Box<PredExpr>),
+    /// `!a`
+    Not(Box<PredExpr>),
+}
+
+/// One top-level definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Def {
+    /// `regex name := r`
+    Regex(String, PathRegex),
+    /// `spec name := s`
+    Spec(String, SpecExpr),
+    /// `rir name := assertion` — an expert-level RIR spec.
+    Rir(String, RirSpecExpr),
+    /// `limit name := n` — an ECMP path-count ceiling (the extension the
+    /// paper sketches in §9.1: "generalizing the `any` modifier to
+    /// include a path count"). A flow complies when its post-change
+    /// forwarding graph encodes at most `n` link-level paths.
+    Limit(String, u64),
+    /// `pspec name := predicate -> specname`
+    PSpec {
+        /// Definition name.
+        name: String,
+        /// Which FECs this routing applies to.
+        pred: PredExpr,
+        /// The spec (relational or RIR) to check for them.
+        spec: String,
+    },
+    /// `check name` — the default spec checked for unrouted FECs.
+    Check(String),
+}
+
+/// A full Rela program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Definitions in source order.
+    pub defs: Vec<Def>,
+}
+
+impl Program {
+    /// All `check` targets in order.
+    pub fn checks(&self) -> Vec<&str> {
+        self.defs
+            .iter()
+            .filter_map(|d| match d {
+                Def::Check(name) => Some(name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The named spec definitions.
+    pub fn spec_defs(&self) -> impl Iterator<Item = (&str, &SpecExpr)> {
+        self.defs.iter().filter_map(|d| match d {
+            Def::Spec(name, body) => Some((name.as_str(), body)),
+            _ => None,
+        })
+    }
+
+    /// Count the atomic specs (`zone : modifier` terms) a named spec
+    /// expands to after inlining references — the size metric of the
+    /// paper's Fig. 5. Returns `None` for unknown names or reference
+    /// cycles.
+    pub fn atomic_count(&self, spec_name: &str) -> Option<usize> {
+        let defs: std::collections::BTreeMap<&str, &SpecExpr> = self.spec_defs().collect();
+        fn walk<'a>(
+            s: &'a SpecExpr,
+            defs: &std::collections::BTreeMap<&'a str, &'a SpecExpr>,
+            visiting: &mut std::collections::BTreeSet<&'a str>,
+        ) -> Option<usize> {
+            match s {
+                SpecExpr::Atomic { .. } => Some(1),
+                SpecExpr::Ref(name) => {
+                    let body = defs.get(name.as_str())?;
+                    if !visiting.insert(name) {
+                        return None; // cycle
+                    }
+                    let n = walk(body, defs, visiting)?;
+                    visiting.remove(name.as_str());
+                    Some(n)
+                }
+                SpecExpr::Concat(parts) => parts
+                    .iter()
+                    .map(|p| walk(p, defs, visiting))
+                    .sum::<Option<usize>>(),
+                SpecExpr::Else(a, b) => {
+                    Some(walk(a, defs, visiting)? + walk(b, defs, visiting)?)
+                }
+            }
+        }
+        let body = defs.get(spec_name)?;
+        let mut visiting = std::collections::BTreeSet::from([spec_name]);
+        walk(body, &defs, &mut visiting)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_checks_listing() {
+        let prog = Program {
+            defs: vec![
+                Def::Regex("a1".into(), PathRegex::Any),
+                Def::Check("change".into()),
+            ],
+        };
+        assert_eq!(prog.checks(), vec!["change"]);
+    }
+}
+
+#[cfg(test)]
+mod atomic_count_tests {
+    use super::*;
+
+    fn atomic() -> SpecExpr {
+        SpecExpr::Atomic {
+            zone: PathRegex::Any,
+            modifier: Modifier::Preserve,
+        }
+    }
+
+    #[test]
+    fn counts_through_refs_concat_and_else() {
+        let prog = Program {
+            defs: vec![
+                Def::Spec("a".into(), atomic()),
+                Def::Spec(
+                    "b".into(),
+                    SpecExpr::Concat(vec![atomic(), SpecExpr::Ref("a".into()), atomic()]),
+                ),
+                Def::Spec(
+                    "c".into(),
+                    SpecExpr::Else(
+                        Box::new(SpecExpr::Ref("b".into())),
+                        Box::new(SpecExpr::Ref("a".into())),
+                    ),
+                ),
+            ],
+        };
+        assert_eq!(prog.atomic_count("a"), Some(1));
+        assert_eq!(prog.atomic_count("b"), Some(3));
+        assert_eq!(prog.atomic_count("c"), Some(4));
+        assert_eq!(prog.atomic_count("missing"), None);
+    }
+
+    #[test]
+    fn cycles_yield_none() {
+        let prog = Program {
+            defs: vec![
+                Def::Spec("x".into(), SpecExpr::Ref("y".into())),
+                Def::Spec("y".into(), SpecExpr::Ref("x".into())),
+            ],
+        };
+        assert_eq!(prog.atomic_count("x"), None);
+    }
+
+    #[test]
+    fn self_reference_is_a_cycle() {
+        let prog = Program {
+            defs: vec![Def::Spec("x".into(), SpecExpr::Ref("x".into()))],
+        };
+        assert_eq!(prog.atomic_count("x"), None);
+    }
+}

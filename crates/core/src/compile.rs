@@ -1,0 +1,1095 @@
+//! Name resolution and the Rela → RIR translation (paper §5.3, Fig. 4).
+//!
+//! Compilation happens once per program and granularity:
+//!
+//! 1. **Resolve**: inline named definitions, evaluate `where` queries
+//!    against the location database, intern every location into a
+//!    [`SymbolTable`], and allocate a fresh `#k` marker per `any`
+//!    modifier (recording how to undo it for counterexample display).
+//! 2. **Translate**: apply Fig. 4 — producing, for the top-level `else`
+//!    chain, one [`GuardedPart`] per branch. Branch *i* carries the zone
+//!    guard `I(¬Z₁ ∩ … ∩ ¬Zᵢ₋₁) ∘ R⟦sᵢ⟧`, so each branch is checked (and
+//!    violations attributed, §6.3) independently; the conjunction of the
+//!    per-branch equations is equivalent to the single Fig. 4 equation
+//!    for zone-guarded specs.
+//!
+//! The result is FEC-independent: `PreState`/`PostState` stay symbolic
+//! and are bound per flow by the checker.
+
+use crate::ast::{Def, Modifier, PathRegex, PredExpr, Program, RirExpr, RirSpecExpr, SpecExpr};
+use crate::rir::{PathSet, Rel, RirSpec};
+use rela_automata::{Regex, SymSet, Symbol, SymbolTable};
+use rela_net::{Granularity, LocationDb, DROP_LOCATION};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Compilation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// An identifier is neither a definition nor a known location.
+    UnknownName(String),
+    /// The same name is defined twice in one namespace.
+    DuplicateDef(String),
+    /// Named definitions form a cycle.
+    CyclicDefinition(String),
+    /// The program has no `check` directive.
+    NoCheck,
+    /// The program has more than one `check` directive.
+    MultipleChecks,
+    /// A `check` or `pspec` references an undefined spec.
+    UnknownSpec(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnknownName(n) => {
+                write!(f, "unknown name or location: {n}")
+            }
+            CompileError::DuplicateDef(n) => write!(f, "duplicate definition: {n}"),
+            CompileError::CyclicDefinition(n) => {
+                write!(f, "cyclic definition involving: {n}")
+            }
+            CompileError::NoCheck => write!(f, "program has no `check` directive"),
+            CompileError::MultipleChecks => {
+                write!(f, "program has more than one `check` directive")
+            }
+            CompileError::UnknownSpec(n) => write!(f, "check references unknown spec: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A resolved spec: names inlined, locations interned, `any` markers
+/// allocated.
+#[derive(Debug, Clone)]
+pub enum RSpec {
+    /// `zone : modifier`
+    Atomic {
+        /// Resolved zone pattern.
+        zone: Regex,
+        /// Resolved modifier.
+        modifier: RModifier,
+    },
+    /// A name label retained for violation attribution.
+    Named(String, Box<RSpec>),
+    /// Sub-path concatenation.
+    Concat(Vec<RSpec>),
+    /// Prioritized union.
+    Else(Box<RSpec>, Box<RSpec>),
+}
+
+/// A resolved modifier.
+#[derive(Debug, Clone)]
+pub enum RModifier {
+    /// `preserve`
+    Preserve,
+    /// `add(P)`
+    Add(Regex),
+    /// `remove(P)`
+    Remove(Regex),
+    /// `replace(P₁, P₂)`
+    Replace(Regex, Regex),
+    /// `drop`, with the interned drop symbol.
+    Drop(Symbol),
+    /// `any(P)`, with its fresh `#k` marker.
+    Any(Regex, Symbol),
+}
+
+/// One branch of the top-level `else` chain, with its guard applied.
+#[derive(Debug, Clone)]
+pub struct GuardedPart {
+    /// Attribution name (`e2e`, `nochange`, or `part<i>`).
+    pub name: String,
+    /// The branch's own zone `Z⟦sᵢ⟧` (unguarded).
+    pub zone: PathSet,
+    /// Guarded pre-relation.
+    pub rpre: Rel,
+    /// Guarded post-relation.
+    pub rpost: Rel,
+}
+
+impl GuardedPart {
+    /// The branch's check: `PreState ⊲ rpre = PostState ⊲ rpost`.
+    pub fn equation(&self) -> RirSpec {
+        RirSpec::Equal(
+            PathSet::Image(Box::new(PathSet::PreState), Box::new(self.rpre.clone())),
+            PathSet::Image(Box::new(PathSet::PostState), Box::new(self.rpost.clone())),
+        )
+    }
+}
+
+/// A compiled check target.
+#[derive(Debug, Clone)]
+pub enum CompiledCheck {
+    /// A Fig. 2 relational spec, split into guarded `else` branches.
+    Relational {
+        /// The spec's name.
+        name: String,
+        /// Branches in priority order.
+        parts: Vec<GuardedPart>,
+    },
+    /// An expert-level RIR assertion.
+    Raw {
+        /// The spec's name.
+        name: String,
+        /// The assertion.
+        spec: RirSpec,
+    },
+    /// An ECMP path-count ceiling on the post-change forwarding graph
+    /// (the §9.1 extension). Checked combinatorially on the DAG, not via
+    /// automata — path counting is outside regular relations.
+    PathLimit {
+        /// The limit's name.
+        name: String,
+        /// Maximum number of link-level paths allowed per flow.
+        max: u64,
+    },
+}
+
+impl CompiledCheck {
+    /// The check's name.
+    pub fn name(&self) -> &str {
+        match self {
+            CompiledCheck::Relational { name, .. }
+            | CompiledCheck::Raw { name, .. }
+            | CompiledCheck::PathLimit { name, .. } => name,
+        }
+    }
+}
+
+/// A pspec route: FECs matching `pred` are checked against `check`.
+#[derive(Debug, Clone)]
+pub struct RoutedCheck {
+    /// The pspec's name.
+    pub name: String,
+    /// The traffic predicate.
+    pub pred: PredExpr,
+    /// The spec to check.
+    pub check: CompiledCheck,
+}
+
+/// A fully compiled program, reusable across every FEC of a snapshot
+/// pair.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// Interned alphabet: all locations at the granularity, `drop`, and
+    /// `#k` markers.
+    pub table: SymbolTable,
+    /// The granularity the program was compiled at.
+    pub granularity: Granularity,
+    /// pspec routes, in source order (first match wins).
+    pub routed: Vec<RoutedCheck>,
+    /// The default check for unrouted FECs.
+    pub default_check: CompiledCheck,
+    /// Undo map: `#k` symbol → the surface text it stands for (§6.3).
+    pub hash_undo: BTreeMap<Symbol, String>,
+}
+
+/// Compile a program against a location database at a granularity.
+pub fn compile_program(
+    program: &Program,
+    db: &LocationDb,
+    granularity: Granularity,
+) -> Result<CompiledProgram, CompileError> {
+    let mut resolver = Resolver::new(db, granularity);
+    // namespace maps
+    let mut checks: Vec<&str> = Vec::new();
+    for def in &program.defs {
+        match def {
+            Def::Regex(name, body) => {
+                if resolver
+                    .regex_defs
+                    .insert(name.clone(), body.clone())
+                    .is_some()
+                {
+                    return Err(CompileError::DuplicateDef(name.clone()));
+                }
+            }
+            Def::Spec(name, body) => {
+                if resolver.spec_defs.insert(name.clone(), body.clone()).is_some() {
+                    return Err(CompileError::DuplicateDef(name.clone()));
+                }
+            }
+            Def::Rir(name, body) => {
+                if resolver.rir_defs.insert(name.clone(), body.clone()).is_some() {
+                    return Err(CompileError::DuplicateDef(name.clone()));
+                }
+            }
+            Def::Limit(name, max) => {
+                if resolver.limit_defs.insert(name.clone(), *max).is_some() {
+                    return Err(CompileError::DuplicateDef(name.clone()));
+                }
+            }
+            Def::PSpec { .. } => {}
+            Def::Check(name) => checks.push(name),
+        }
+    }
+    let default_name = match checks.as_slice() {
+        [] => return Err(CompileError::NoCheck),
+        [one] => (*one).to_owned(),
+        _ => return Err(CompileError::MultipleChecks),
+    };
+
+    let default_check = resolver.compile_check(&default_name)?;
+    let mut routed = Vec::new();
+    for def in &program.defs {
+        if let Def::PSpec { name, pred, spec } = def {
+            routed.push(RoutedCheck {
+                name: name.clone(),
+                pred: pred.clone(),
+                check: resolver.compile_check(spec)?,
+            });
+        }
+    }
+    Ok(CompiledProgram {
+        table: resolver.table,
+        granularity,
+        routed,
+        default_check,
+        hash_undo: resolver.hash_undo,
+    })
+}
+
+struct Resolver<'a> {
+    db: &'a LocationDb,
+    granularity: Granularity,
+    table: SymbolTable,
+    regex_defs: BTreeMap<String, PathRegex>,
+    spec_defs: BTreeMap<String, SpecExpr>,
+    rir_defs: BTreeMap<String, RirSpecExpr>,
+    limit_defs: BTreeMap<String, u64>,
+    resolving: BTreeSet<String>,
+    locations: BTreeSet<String>,
+    drop_sym: Symbol,
+    hash_counter: u32,
+    hash_undo: BTreeMap<Symbol, String>,
+}
+
+impl<'a> Resolver<'a> {
+    fn new(db: &'a LocationDb, granularity: Granularity) -> Resolver<'a> {
+        let mut table = SymbolTable::new();
+        let locations: BTreeSet<String> =
+            db.all_locations(granularity).into_iter().collect();
+        for loc in &locations {
+            table.intern(loc);
+        }
+        let drop_sym = table.intern(DROP_LOCATION);
+        Resolver {
+            db,
+            granularity,
+            table,
+            regex_defs: BTreeMap::new(),
+            spec_defs: BTreeMap::new(),
+            rir_defs: BTreeMap::new(),
+            limit_defs: BTreeMap::new(),
+            resolving: BTreeSet::new(),
+            locations,
+            drop_sym,
+            hash_counter: 0,
+            hash_undo: BTreeMap::new(),
+        }
+    }
+
+    fn compile_check(&mut self, name: &str) -> Result<CompiledCheck, CompileError> {
+        if let Some(spec) = self.spec_defs.get(name).cloned() {
+            let resolved = self.resolve_spec(&spec)?;
+            let named = RSpec::Named(name.to_owned(), Box::new(resolved));
+            let mut parts = Vec::new();
+            flatten_else(&named, None, &mut parts);
+            Ok(CompiledCheck::Relational {
+                name: name.to_owned(),
+                parts,
+            })
+        } else if let Some(rir) = self.rir_defs.get(name).cloned() {
+            let spec = self.resolve_rir_spec(&rir)?;
+            Ok(CompiledCheck::Raw {
+                name: name.to_owned(),
+                spec,
+            })
+        } else if let Some(&max) = self.limit_defs.get(name) {
+            Ok(CompiledCheck::PathLimit {
+                name: name.to_owned(),
+                max,
+            })
+        } else {
+            Err(CompileError::UnknownSpec(name.to_owned()))
+        }
+    }
+
+    fn resolve_regex(&mut self, r: &PathRegex) -> Result<Regex, CompileError> {
+        Ok(match r {
+            PathRegex::Any => Regex::any(),
+            PathRegex::Drop => Regex::sym(self.drop_sym),
+            PathRegex::Name(name) => {
+                if let Some(def) = self.regex_defs.get(name).cloned() {
+                    if !self.resolving.insert(name.clone()) {
+                        return Err(CompileError::CyclicDefinition(name.clone()));
+                    }
+                    let resolved = self.resolve_regex(&def)?;
+                    self.resolving.remove(name);
+                    resolved
+                } else if self.locations.contains(name) {
+                    Regex::sym(self.table.intern(name))
+                } else {
+                    return Err(CompileError::UnknownName(name.clone()));
+                }
+            }
+            PathRegex::Where(pred) => {
+                let names = self.db.query(pred, self.granularity);
+                let syms: Vec<Symbol> =
+                    names.iter().map(|n| self.table.intern(n)).collect();
+                Regex::Set(SymSet::from_syms(syms))
+            }
+            PathRegex::Union(parts) => Regex::union(
+                parts
+                    .iter()
+                    .map(|p| self.resolve_regex(p))
+                    .collect::<Result<_, _>>()?,
+            ),
+            PathRegex::Concat(parts) => Regex::concat(
+                parts
+                    .iter()
+                    .map(|p| self.resolve_regex(p))
+                    .collect::<Result<_, _>>()?,
+            ),
+            PathRegex::Star(inner) => self.resolve_regex(inner)?.star(),
+            PathRegex::Plus(inner) => self.resolve_regex(inner)?.plus(),
+            PathRegex::Opt(inner) => self.resolve_regex(inner)?.optional(),
+        })
+    }
+
+    fn resolve_spec(&mut self, s: &SpecExpr) -> Result<RSpec, CompileError> {
+        Ok(match s {
+            SpecExpr::Atomic { zone, modifier } => {
+                let zone = self.resolve_regex(zone)?;
+                let modifier = match modifier {
+                    Modifier::Preserve => RModifier::Preserve,
+                    Modifier::Add(p) => RModifier::Add(self.resolve_regex(p)?),
+                    Modifier::Remove(p) => RModifier::Remove(self.resolve_regex(p)?),
+                    Modifier::Replace(p1, p2) => {
+                        RModifier::Replace(self.resolve_regex(p1)?, self.resolve_regex(p2)?)
+                    }
+                    Modifier::Drop => RModifier::Drop(self.drop_sym),
+                    Modifier::Any(p) => {
+                        self.hash_counter += 1;
+                        let marker = format!("#{}", self.hash_counter);
+                        let sym = self.table.intern(&marker);
+                        self.hash_undo.insert(sym, render_surface_regex(p));
+                        RModifier::Any(self.resolve_regex(p)?, sym)
+                    }
+                };
+                RSpec::Atomic { zone, modifier }
+            }
+            SpecExpr::Ref(name) => {
+                let def = self
+                    .spec_defs
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| CompileError::UnknownSpec(name.clone()))?;
+                if !self.resolving.insert(name.clone()) {
+                    return Err(CompileError::CyclicDefinition(name.clone()));
+                }
+                let resolved = self.resolve_spec(&def)?;
+                self.resolving.remove(name);
+                RSpec::Named(name.clone(), Box::new(resolved))
+            }
+            SpecExpr::Concat(parts) => RSpec::Concat(
+                parts
+                    .iter()
+                    .map(|p| self.resolve_spec(p))
+                    .collect::<Result<_, _>>()?,
+            ),
+            SpecExpr::Else(a, b) => RSpec::Else(
+                Box::new(self.resolve_spec(a)?),
+                Box::new(self.resolve_spec(b)?),
+            ),
+        })
+    }
+
+    fn resolve_rir_expr(&mut self, e: &RirExpr) -> Result<PathSet, CompileError> {
+        Ok(match e {
+            RirExpr::Pre => PathSet::PreState,
+            RirExpr::Post => PathSet::PostState,
+            RirExpr::Pattern(r) => PathSet::from_regex(&self.resolve_regex(r)?),
+            RirExpr::Union(parts) => PathSet::Union(
+                parts
+                    .iter()
+                    .map(|p| self.resolve_rir_expr(p))
+                    .collect::<Result<_, _>>()?,
+            ),
+            RirExpr::Concat(parts) => PathSet::Concat(
+                parts
+                    .iter()
+                    .map(|p| self.resolve_rir_expr(p))
+                    .collect::<Result<_, _>>()?,
+            ),
+            RirExpr::Star(inner) => PathSet::Star(Box::new(self.resolve_rir_expr(inner)?)),
+            RirExpr::Inter(a, b) => PathSet::Inter(
+                Box::new(self.resolve_rir_expr(a)?),
+                Box::new(self.resolve_rir_expr(b)?),
+            ),
+            RirExpr::Complement(inner) => {
+                PathSet::Complement(Box::new(self.resolve_rir_expr(inner)?))
+            }
+        })
+    }
+
+    fn resolve_rir_spec(&mut self, s: &RirSpecExpr) -> Result<RirSpec, CompileError> {
+        Ok(match s {
+            RirSpecExpr::Equal(a, b) => {
+                RirSpec::Equal(self.resolve_rir_expr(a)?, self.resolve_rir_expr(b)?)
+            }
+            RirSpecExpr::Subset(a, b) => {
+                RirSpec::Subset(self.resolve_rir_expr(a)?, self.resolve_rir_expr(b)?)
+            }
+            RirSpecExpr::And(a, b) => RirSpec::And(
+                Box::new(self.resolve_rir_spec(a)?),
+                Box::new(self.resolve_rir_spec(b)?),
+            ),
+            RirSpecExpr::Or(a, b) => RirSpec::Or(
+                Box::new(self.resolve_rir_spec(a)?),
+                Box::new(self.resolve_rir_spec(b)?),
+            ),
+            RirSpecExpr::Not(a) => RirSpec::Not(Box::new(self.resolve_rir_spec(a)?)),
+        })
+    }
+}
+
+/// Surface rendering of a path pattern, used to undo `#` rewriting in
+/// counterexamples.
+pub fn render_surface_regex(r: &PathRegex) -> String {
+    match r {
+        PathRegex::Any => ".".to_owned(),
+        PathRegex::Name(n) => n.clone(),
+        PathRegex::Drop => "drop".to_owned(),
+        PathRegex::Where(pred) => format!("where({pred:?})"),
+        PathRegex::Union(parts) => {
+            let inner: Vec<String> = parts.iter().map(render_surface_regex).collect();
+            format!("({})", inner.join(" | "))
+        }
+        PathRegex::Concat(parts) => {
+            let inner: Vec<String> = parts.iter().map(render_surface_regex).collect();
+            inner.join(" ")
+        }
+        PathRegex::Star(inner) => format!("{}*", render_atomic(inner)),
+        PathRegex::Plus(inner) => format!("{}+", render_atomic(inner)),
+        PathRegex::Opt(inner) => format!("{}?", render_atomic(inner)),
+    }
+}
+
+fn render_atomic(r: &PathRegex) -> String {
+    match r {
+        PathRegex::Any | PathRegex::Name(_) | PathRegex::Drop => render_surface_regex(r),
+        other => format!("({})", render_surface_regex(other)),
+    }
+}
+
+// ---- Fig. 4 translation -------------------------------------------------
+
+/// `Z⟦s⟧`: the zone of a resolved spec.
+pub fn zone_of(s: &RSpec) -> PathSet {
+    match s {
+        RSpec::Atomic { zone, modifier } => {
+            let d = PathSet::from_regex(zone);
+            match modifier {
+                RModifier::Preserve | RModifier::Remove(_) => d,
+                RModifier::Add(p) | RModifier::Any(p, _) => {
+                    d.or(PathSet::from_regex(p))
+                }
+                RModifier::Replace(_, p2) => d.or(PathSet::from_regex(p2)),
+                RModifier::Drop(sym) => d.or(PathSet::Atom(SymSet::singleton(*sym))),
+            }
+        }
+        RSpec::Named(_, inner) => zone_of(inner),
+        RSpec::Concat(parts) => {
+            PathSet::Concat(parts.iter().map(zone_of).collect())
+        }
+        RSpec::Else(a, b) => zone_of(a).or(zone_of(b)),
+    }
+}
+
+/// `R_pre⟦s⟧` (Fig. 4, left column).
+pub fn rpre_of(s: &RSpec) -> Rel {
+    match s {
+        RSpec::Atomic { zone, modifier } => {
+            let d = PathSet::from_regex(zone);
+            match modifier {
+                RModifier::Preserve => ident(d),
+                RModifier::Add(p) => {
+                    let p = PathSet::from_regex(p);
+                    ident(d.clone().or(p.clone())).or(cross(d, p))
+                }
+                RModifier::Remove(p) => ident(d.diff(PathSet::from_regex(p))),
+                RModifier::Replace(p1, p2) => {
+                    let p1 = PathSet::from_regex(p1);
+                    let p2 = PathSet::from_regex(p2);
+                    let keep = ident(d.clone().or(p2.clone()).diff(p1.clone()));
+                    let rewrite = cross(
+                        PathSet::Inter(Box::new(d), Box::new(p1)),
+                        p2,
+                    );
+                    keep.or(rewrite)
+                }
+                RModifier::Drop(sym) => {
+                    let drop_path = PathSet::Atom(SymSet::singleton(*sym));
+                    cross(d.or(drop_path.clone()), drop_path)
+                }
+                RModifier::Any(p, hash) => {
+                    let p = PathSet::from_regex(p);
+                    let marker = PathSet::Atom(SymSet::singleton(*hash));
+                    cross(d.or(p), marker)
+                }
+            }
+        }
+        RSpec::Named(_, inner) => rpre_of(inner),
+        RSpec::Concat(parts) => {
+            Rel::Concat(parts.iter().map(rpre_of).collect())
+        }
+        RSpec::Else(a, b) => {
+            let za = zone_of(a);
+            let guarded = Rel::Compose(
+                Box::new(ident(PathSet::Complement(Box::new(za)))),
+                Box::new(rpre_of(b)),
+            );
+            rpre_of(a).or(guarded)
+        }
+    }
+}
+
+/// `R_post⟦s⟧` (Fig. 4, right column).
+pub fn rpost_of(s: &RSpec) -> Rel {
+    match s {
+        RSpec::Atomic { zone, modifier } => {
+            let d = PathSet::from_regex(zone);
+            match modifier {
+                RModifier::Preserve => ident(d),
+                RModifier::Add(p) => ident(d.or(PathSet::from_regex(p))),
+                RModifier::Remove(_) => ident(d),
+                RModifier::Replace(_, p2) => ident(d.or(PathSet::from_regex(p2))),
+                RModifier::Drop(sym) => {
+                    ident(d.or(PathSet::Atom(SymSet::singleton(*sym))))
+                }
+                RModifier::Any(p, hash) => {
+                    let p = PathSet::from_regex(p);
+                    let marker = PathSet::Atom(SymSet::singleton(*hash));
+                    cross(p.clone(), marker).or(ident(d.diff(p)))
+                }
+            }
+        }
+        RSpec::Named(_, inner) => rpost_of(inner),
+        RSpec::Concat(parts) => {
+            Rel::Concat(parts.iter().map(rpost_of).collect())
+        }
+        RSpec::Else(a, b) => {
+            let za = zone_of(a);
+            let guarded = Rel::Compose(
+                Box::new(ident(PathSet::Complement(Box::new(za)))),
+                Box::new(rpost_of(b)),
+            );
+            rpost_of(a).or(guarded)
+        }
+    }
+}
+
+fn ident(p: PathSet) -> Rel {
+    Rel::Ident(Box::new(p))
+}
+
+fn cross(a: PathSet, b: PathSet) -> Rel {
+    Rel::Cross(Box::new(a), Box::new(b))
+}
+
+/// Flatten the top-level `else` chain into guarded branches.
+fn flatten_else(s: &RSpec, guard: Option<PathSet>, parts: &mut Vec<GuardedPart>) {
+    match s {
+        RSpec::Else(a, b) => {
+            flatten_else(a, guard.clone(), parts);
+            let za = zone_of(a);
+            let not_za = PathSet::Complement(Box::new(za));
+            let next_guard = match guard {
+                None => not_za,
+                Some(g) => PathSet::Inter(Box::new(g), Box::new(not_za)),
+            };
+            flatten_else(b, Some(next_guard), parts);
+        }
+        RSpec::Named(name, inner) => {
+            if matches!(**inner, RSpec::Else(_, _)) {
+                // a named chain: keep the inner branch names
+                flatten_else(inner, guard, parts);
+            } else {
+                // prefer the innermost name: `spec change := nochange`
+                // should attribute violations to `nochange`
+                let mut name = name;
+                let mut body: &RSpec = inner;
+                while let RSpec::Named(n, i) = body {
+                    name = n;
+                    body = i;
+                }
+                push_part(name.clone(), body, guard, parts);
+            }
+        }
+        other => {
+            let name = format!("part{}", parts.len() + 1);
+            push_part(name, other, guard, parts);
+        }
+    }
+}
+
+fn push_part(name: String, s: &RSpec, guard: Option<PathSet>, parts: &mut Vec<GuardedPart>) {
+    let apply_guard = |r: Rel| match &guard {
+        None => r,
+        Some(g) => Rel::Compose(Box::new(ident(g.clone())), Box::new(r)),
+    };
+    parts.push(GuardedPart {
+        name,
+        zone: zone_of(s),
+        rpre: apply_guard(rpre_of(s)),
+        rpost: apply_guard(rpost_of(s)),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{decide_spec, PairFsas};
+    use rela_automata::Nfa;
+    use rela_net::Device;
+
+    fn db() -> LocationDb {
+        let mut db = LocationDb::new();
+        for (name, group, region) in [
+            ("x1", "x1", "A"),
+            ("A1-r1", "A1", "A"),
+            ("A2-r1", "A2", "A"),
+            ("A3-r1", "A3", "A"),
+            ("B1-r1", "B1", "B"),
+            ("B2-r1", "B2", "B"),
+            ("B3-r1", "B3", "B"),
+            ("D1-r1", "D1", "D"),
+            ("y1", "y1", "D"),
+        ] {
+            db.add_device(Device::new(name, group).with_attr("region", region));
+        }
+        db
+    }
+
+    fn atomic(zone: PathRegex, modifier: Modifier) -> SpecExpr {
+        SpecExpr::Atomic { zone, modifier }
+    }
+
+    fn name(n: &str) -> PathRegex {
+        PathRegex::Name(n.into())
+    }
+
+    fn cat(parts: Vec<PathRegex>) -> PathRegex {
+        PathRegex::Concat(parts)
+    }
+
+    /// Compile a single-spec program at group granularity.
+    fn compile(spec: SpecExpr) -> CompiledProgram {
+        let program = Program {
+            defs: vec![
+                Def::Spec("s".into(), spec),
+                Def::Check("s".into()),
+            ],
+        };
+        compile_program(&program, &db(), Granularity::Group).expect("compiles")
+    }
+
+    /// Build snapshot FSAs from group-level paths given as name lists.
+    fn fsas(table: &SymbolTable, pre: &[&[&str]], post: &[&[&str]]) -> PairFsas {
+        let build = |paths: &[&[&str]]| -> Nfa {
+            paths
+                .iter()
+                .map(|p| {
+                    let w: Vec<Symbol> = p
+                        .iter()
+                        .map(|n| table.lookup(n).unwrap_or_else(|| panic!("no sym {n}")))
+                        .collect();
+                    Nfa::word(&w)
+                })
+                .fold(Nfa::empty_language(), |acc, n| acc.union(&n))
+        };
+        PairFsas::new(build(pre), build(post))
+    }
+
+    /// Do all guarded parts hold?
+    fn holds(prog: &CompiledProgram, env: &PairFsas) -> bool {
+        match &prog.default_check {
+            CompiledCheck::Relational { parts, .. } => {
+                parts.iter().all(|p| decide_spec(&p.equation(), env))
+            }
+            CompiledCheck::Raw { spec, .. } => decide_spec(spec, env),
+            CompiledCheck::PathLimit { .. } => unreachable!("not used in these tests"),
+        }
+    }
+
+    #[test]
+    fn preserve_accepts_identical_and_rejects_changes() {
+        let prog = compile(atomic(
+            PathRegex::Star(Box::new(PathRegex::Any)),
+            Modifier::Preserve,
+        ));
+        let same = fsas(&prog.table, &[&["A1", "B1"]], &[&["A1", "B1"]]);
+        assert!(holds(&prog, &same));
+        let diff = fsas(&prog.table, &[&["A1", "B1"]], &[&["A1", "A2"]]);
+        assert!(!holds(&prog, &diff));
+        let removed = fsas(&prog.table, &[&["A1", "B1"]], &[]);
+        assert!(!holds(&prog, &removed));
+        let added = fsas(&prog.table, &[], &[&["A1", "B1"]]);
+        assert!(!holds(&prog, &added));
+    }
+
+    #[test]
+    fn preserve_zone_scopes_the_comparison() {
+        // zone = A1 .*: only paths starting at A1 must be preserved
+        let prog = compile(atomic(
+            cat(vec![name("A1"), PathRegex::Star(Box::new(PathRegex::Any))]),
+            Modifier::Preserve,
+        ));
+        // a change outside the zone is invisible to this spec
+        let env = fsas(
+            &prog.table,
+            &[&["A1", "D1"], &["B1", "D1"]],
+            &[&["A1", "D1"], &["B1", "B2"]],
+        );
+        assert!(holds(&prog, &env));
+        // a change inside the zone is caught
+        let env2 = fsas(&prog.table, &[&["A1", "D1"]], &[&["A1", "B1"]]);
+        assert!(!holds(&prog, &env2));
+    }
+
+    #[test]
+    fn add_requires_the_addition_and_keeps_zone() {
+        // zone A1 D1 : add(A1 A2)
+        let prog = compile(atomic(
+            cat(vec![name("A1"), name("D1")]),
+            Modifier::Add(cat(vec![name("A1"), name("A2")])),
+        ));
+        // pre has the zone path; post must have zone path + added path
+        let ok = fsas(
+            &prog.table,
+            &[&["A1", "D1"]],
+            &[&["A1", "D1"], &["A1", "A2"]],
+        );
+        assert!(holds(&prog, &ok));
+        // missing addition fails
+        let missing = fsas(&prog.table, &[&["A1", "D1"]], &[&["A1", "D1"]]);
+        assert!(!holds(&prog, &missing));
+        // dropping the original zone path also fails
+        let dropped = fsas(&prog.table, &[&["A1", "D1"]], &[&["A1", "A2"]]);
+        assert!(!holds(&prog, &dropped));
+        // empty pre: nothing required
+        let vacuous = fsas(&prog.table, &[], &[]);
+        assert!(holds(&prog, &vacuous));
+    }
+
+    #[test]
+    fn remove_requires_deletion_and_preserves_rest() {
+        // zone A1 .* : remove(A1 B1)
+        let prog = compile(atomic(
+            cat(vec![name("A1"), PathRegex::Star(Box::new(PathRegex::Any))]),
+            Modifier::Remove(cat(vec![name("A1"), name("B1")])),
+        ));
+        let ok = fsas(
+            &prog.table,
+            &[&["A1", "B1"], &["A1", "D1"]],
+            &[&["A1", "D1"]],
+        );
+        assert!(holds(&prog, &ok));
+        // forgetting to remove fails
+        let kept = fsas(
+            &prog.table,
+            &[&["A1", "B1"], &["A1", "D1"]],
+            &[&["A1", "B1"], &["A1", "D1"]],
+        );
+        assert!(!holds(&prog, &kept));
+        // removing extra paths fails too
+        let overzealous = fsas(&prog.table, &[&["A1", "B1"], &["A1", "D1"]], &[]);
+        assert!(!holds(&prog, &overzealous));
+    }
+
+    #[test]
+    fn replace_rewrites_matching_paths() {
+        // zone A1 .* D1 : replace(A1 B1 D1, A1 A2 D1)
+        let prog = compile(atomic(
+            cat(vec![
+                name("A1"),
+                PathRegex::Star(Box::new(PathRegex::Any)),
+                name("D1"),
+            ]),
+            Modifier::Replace(
+                cat(vec![name("A1"), name("B1"), name("D1")]),
+                cat(vec![name("A1"), name("A2"), name("D1")]),
+            ),
+        ));
+        let ok = fsas(&prog.table, &[&["A1", "B1", "D1"]], &[&["A1", "A2", "D1"]]);
+        assert!(holds(&prog, &ok));
+        // no change: fails (replacement did not happen)
+        let unmoved = fsas(&prog.table, &[&["A1", "B1", "D1"]], &[&["A1", "B1", "D1"]]);
+        assert!(!holds(&prog, &unmoved));
+        // unrelated zone path must be preserved
+        let collateral = fsas(
+            &prog.table,
+            &[&["A1", "B1", "D1"], &["A1", "B2", "D1"]],
+            &[&["A1", "A2", "D1"]],
+        );
+        assert!(!holds(&prog, &collateral));
+        // replace also keeps pre-existing target paths
+        let kept_target = fsas(
+            &prog.table,
+            &[&["A1", "A2", "D1"]],
+            &[&["A1", "A2", "D1"]],
+        );
+        assert!(holds(&prog, &kept_target));
+    }
+
+    #[test]
+    fn any_accepts_any_target_path() {
+        // zone A1 .* D1 : any(A1 (A2|A3) D1) — traffic moves to SOME path
+        let target = cat(vec![
+            name("A1"),
+            PathRegex::Union(vec![name("A2"), name("A3")]),
+            name("D1"),
+        ]);
+        let prog = compile(atomic(
+            cat(vec![
+                name("A1"),
+                PathRegex::Star(Box::new(PathRegex::Any)),
+                name("D1"),
+            ]),
+            Modifier::Any(target),
+        ));
+        // either target alone satisfies
+        let via_a2 = fsas(&prog.table, &[&["A1", "B1", "D1"]], &[&["A1", "A2", "D1"]]);
+        assert!(holds(&prog, &via_a2));
+        let via_a3 = fsas(&prog.table, &[&["A1", "B1", "D1"]], &[&["A1", "A3", "D1"]]);
+        assert!(holds(&prog, &via_a3));
+        let both = fsas(
+            &prog.table,
+            &[&["A1", "B1", "D1"]],
+            &[&["A1", "A2", "D1"], &["A1", "A3", "D1"]],
+        );
+        assert!(holds(&prog, &both));
+        // staying put fails: the old path is in the zone but not in P
+        let unmoved = fsas(&prog.table, &[&["A1", "B1", "D1"]], &[&["A1", "B1", "D1"]]);
+        assert!(!holds(&prog, &unmoved));
+        // disappearing entirely fails
+        let vanished = fsas(&prog.table, &[&["A1", "B1", "D1"]], &[]);
+        assert!(!holds(&prog, &vanished));
+    }
+
+    #[test]
+    fn drop_requires_traffic_to_be_dropped() {
+        // zone A1 .* : drop
+        let prog = compile(atomic(
+            cat(vec![name("A1"), PathRegex::Star(Box::new(PathRegex::Any))]),
+            Modifier::Drop,
+        ));
+        let ok = fsas(&prog.table, &[&["A1", "B1"]], &[&["drop"]]);
+        assert!(holds(&prog, &ok));
+        let not_dropped = fsas(&prog.table, &[&["A1", "B1"]], &[&["A1", "B1"]]);
+        assert!(!holds(&prog, &not_dropped));
+    }
+
+    #[test]
+    fn concat_composes_subpath_specs() {
+        // { x1* : preserve ; A1 .* D1 : any(A1 A2 D1) ; y1* : preserve }
+        let spec = SpecExpr::Concat(vec![
+            atomic(
+                PathRegex::Star(Box::new(name("x1"))),
+                Modifier::Preserve,
+            ),
+            atomic(
+                cat(vec![
+                    name("A1"),
+                    PathRegex::Star(Box::new(PathRegex::Any)),
+                    name("D1"),
+                ]),
+                Modifier::Any(cat(vec![name("A1"), name("A2"), name("D1")])),
+            ),
+            atomic(
+                PathRegex::Star(Box::new(name("y1"))),
+                Modifier::Preserve,
+            ),
+        ]);
+        let prog = compile(spec);
+        let ok = fsas(
+            &prog.table,
+            &[&["x1", "A1", "B1", "D1", "y1"]],
+            &[&["x1", "A1", "A2", "D1", "y1"]],
+        );
+        assert!(holds(&prog, &ok));
+        // endpoint changed: x2 would not even be in the zone, but x1→A1
+        // sub-path rules mean a changed tail fails
+        let tail_changed = fsas(
+            &prog.table,
+            &[&["x1", "A1", "B1", "D1", "y1"]],
+            &[&["x1", "A1", "A2", "D1"]],
+        );
+        assert!(!holds(&prog, &tail_changed));
+    }
+
+    #[test]
+    fn else_falls_through_to_nochange() {
+        // spec e2e := { A1 .* D1 : any(A1 A2 D1) }
+        // spec change := e2e else { .* : preserve }
+        let e2e = atomic(
+            cat(vec![
+                name("A1"),
+                PathRegex::Star(Box::new(PathRegex::Any)),
+                name("D1"),
+            ]),
+            Modifier::Any(cat(vec![name("A1"), name("A2"), name("D1")])),
+        );
+        let program = Program {
+            defs: vec![
+                Def::Spec("e2e".into(), e2e),
+                Def::Spec(
+                    "nochange".into(),
+                    atomic(PathRegex::Star(Box::new(PathRegex::Any)), Modifier::Preserve),
+                ),
+                Def::Spec(
+                    "change".into(),
+                    SpecExpr::Else(
+                        Box::new(SpecExpr::Ref("e2e".into())),
+                        Box::new(SpecExpr::Ref("nochange".into())),
+                    ),
+                ),
+                Def::Check("change".into()),
+            ],
+        };
+        let prog = compile_program(&program, &db(), Granularity::Group).unwrap();
+        match &prog.default_check {
+            CompiledCheck::Relational { parts, .. } => {
+                assert_eq!(parts.len(), 2);
+                assert_eq!(parts[0].name, "e2e");
+                assert_eq!(parts[1].name, "nochange");
+            }
+            _ => panic!("expected relational"),
+        }
+        // in-zone traffic moved, out-of-zone unchanged → ok
+        let ok = fsas(
+            &prog.table,
+            &[&["A1", "B1", "D1"], &["B2", "B3"]],
+            &[&["A1", "A2", "D1"], &["B2", "B3"]],
+        );
+        assert!(holds(&prog, &ok));
+        // collateral damage on out-of-zone traffic → nochange violated
+        let collateral = fsas(
+            &prog.table,
+            &[&["A1", "B1", "D1"], &["B2", "B3"]],
+            &[&["A1", "A2", "D1"], &["B2", "D1"]],
+        );
+        assert!(!holds(&prog, &collateral));
+        // in-zone traffic unmoved → e2e violated
+        let unmoved = fsas(
+            &prog.table,
+            &[&["A1", "B1", "D1"], &["B2", "B3"]],
+            &[&["A1", "B1", "D1"], &["B2", "B3"]],
+        );
+        assert!(!holds(&prog, &unmoved));
+    }
+
+    #[test]
+    fn where_queries_resolve_to_location_sets() {
+        // zone where(region=="A")* : preserve — covers x1, A1, A2, A3
+        let prog = compile(atomic(
+            PathRegex::Star(Box::new(PathRegex::Where(AttrPredHelper::region_a()))),
+            Modifier::Preserve,
+        ));
+        let env = fsas(&prog.table, &[&["x1", "A1"]], &[&["x1", "A1"]]);
+        assert!(holds(&prog, &env));
+        // a region-A-only path change is caught
+        let env2 = fsas(&prog.table, &[&["x1", "A1"]], &[&["x1", "A2"]]);
+        assert!(!holds(&prog, &env2));
+        // a path leaving region A is outside the zone
+        let env3 = fsas(&prog.table, &[&["x1", "B1"]], &[&["x1", "B2"]]);
+        assert!(holds(&prog, &env3));
+    }
+
+    struct AttrPredHelper;
+    impl AttrPredHelper {
+        fn region_a() -> rela_net::AttrPred {
+            rela_net::AttrPred::eq("region", "A")
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let db = db();
+        // unknown location
+        let bad = Program {
+            defs: vec![
+                Def::Spec("s".into(), atomic(name("Zzz"), Modifier::Preserve)),
+                Def::Check("s".into()),
+            ],
+        };
+        assert_eq!(
+            compile_program(&bad, &db, Granularity::Group).unwrap_err(),
+            CompileError::UnknownName("Zzz".into())
+        );
+        // no check
+        let empty = Program { defs: vec![] };
+        assert_eq!(
+            compile_program(&empty, &db, Granularity::Group).unwrap_err(),
+            CompileError::NoCheck
+        );
+        // cyclic spec
+        let cyc = Program {
+            defs: vec![
+                Def::Spec("a".into(), SpecExpr::Ref("b".into())),
+                Def::Spec("b".into(), SpecExpr::Ref("a".into())),
+                Def::Check("a".into()),
+            ],
+        };
+        assert!(matches!(
+            compile_program(&cyc, &db, Granularity::Group).unwrap_err(),
+            CompileError::CyclicDefinition(_)
+        ));
+    }
+
+    #[test]
+    fn hash_undo_records_any_targets() {
+        let prog = compile(atomic(
+            cat(vec![name("A1"), name("D1")]),
+            Modifier::Any(cat(vec![name("A1"), name("A2"), name("D1")])),
+        ));
+        assert_eq!(prog.hash_undo.len(), 1);
+        let rendered = prog.hash_undo.values().next().unwrap();
+        assert_eq!(rendered, "A1 A2 D1");
+    }
+
+    #[test]
+    fn raw_rir_check_compiles_and_decides() {
+        // sideEffects := pre <= post && post <= (pre | xa-zone)
+        let program = Program {
+            defs: vec![
+                Def::Rir(
+                    "sideEffects".into(),
+                    RirSpecExpr::And(
+                        Box::new(RirSpecExpr::Subset(RirExpr::Pre, RirExpr::Post)),
+                        Box::new(RirSpecExpr::Subset(
+                            RirExpr::Post,
+                            RirExpr::Union(vec![
+                                RirExpr::Pre,
+                                RirExpr::Pattern(cat(vec![
+                                    name("A1"),
+                                    PathRegex::Star(Box::new(PathRegex::Any)),
+                                ])),
+                            ]),
+                        )),
+                    ),
+                ),
+                Def::Check("sideEffects".into()),
+            ],
+        };
+        let prog = compile_program(&program, &db(), Granularity::Group).unwrap();
+        let ok = fsas(&prog.table, &[], &[&["A1", "A2", "D1"]]);
+        assert!(holds(&prog, &ok));
+        let bad = fsas(&prog.table, &[], &[&["B1", "B2"]]);
+        assert!(!holds(&prog, &bad));
+    }
+}

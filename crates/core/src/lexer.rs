@@ -1,0 +1,425 @@
+//! Tokenizer for the Rela surface syntax.
+//!
+//! Identifiers may contain `-` (device names like `A1-r1`), with one
+//! carve-out: `->` always lexes as the pspec arrow. `//` starts a line
+//! comment. String literals use double quotes; IPv4 prefix literals
+//! (`10.0.0.0/24`) are recognized directly.
+
+use std::fmt;
+
+/// A token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub col: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Double-quoted string literal (unescaped).
+    Str(String),
+    /// IPv4 prefix literal, kept as text (parsed later).
+    Prefix(String),
+    /// Integer literal (used by the `limit` extension).
+    Int(u64),
+    /// `:=`
+    Assign,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `|`
+    Pipe,
+    /// `||`
+    PipePipe,
+    /// `&`
+    Amp,
+    /// `&&`
+    AmpAmp,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `?`
+    Question,
+    /// `.`
+    Dot,
+    /// `!`
+    Bang,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<=`
+    Le,
+    /// `->`
+    Arrow,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Str(s) => write!(f, "string \"{s}\""),
+            TokenKind::Prefix(s) => write!(f, "prefix {s}"),
+            TokenKind::Int(n) => write!(f, "integer {n}"),
+            TokenKind::Assign => write!(f, "`:=`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::Pipe => write!(f, "`|`"),
+            TokenKind::PipePipe => write!(f, "`||`"),
+            TokenKind::Amp => write!(f, "`&`"),
+            TokenKind::AmpAmp => write!(f, "`&&`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Question => write!(f, "`?`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Bang => write!(f, "`!`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::NotEq => write!(f, "`!=`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Arrow => write!(f, "`->`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Lexing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Explanation.
+    pub msg: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a source string. The result always ends with an `Eof` token.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let (mut line, mut col) = (1u32, 1u32);
+    let n = chars.len();
+
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            tokens.push(Token {
+                kind: $kind,
+                line,
+                col,
+            });
+            col += $len as u32;
+            i += $len;
+        }};
+    }
+
+    while i < n {
+        let c = chars[i];
+        let peek = chars.get(i + 1).copied();
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if peek == Some('/') => {
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start_col = col;
+                let mut j = i + 1;
+                let mut text = String::new();
+                while j < n && chars[j] != '"' {
+                    if chars[j] == '\n' {
+                        return Err(LexError {
+                            msg: "unterminated string literal".into(),
+                            line,
+                            col: start_col,
+                        });
+                    }
+                    text.push(chars[j]);
+                    j += 1;
+                }
+                if j >= n {
+                    return Err(LexError {
+                        msg: "unterminated string literal".into(),
+                        line,
+                        col: start_col,
+                    });
+                }
+                let len = j + 1 - i;
+                push!(TokenKind::Str(text), len);
+            }
+            ':' if peek == Some('=') => push!(TokenKind::Assign, 2),
+            ':' => push!(TokenKind::Colon, 1),
+            ';' => push!(TokenKind::Semi, 1),
+            ',' => push!(TokenKind::Comma, 1),
+            '{' => push!(TokenKind::LBrace, 1),
+            '}' => push!(TokenKind::RBrace, 1),
+            '(' => push!(TokenKind::LParen, 1),
+            ')' => push!(TokenKind::RParen, 1),
+            '|' if peek == Some('|') => push!(TokenKind::PipePipe, 2),
+            '|' => push!(TokenKind::Pipe, 1),
+            '&' if peek == Some('&') => push!(TokenKind::AmpAmp, 2),
+            '&' => push!(TokenKind::Amp, 1),
+            '*' => push!(TokenKind::Star, 1),
+            '+' => push!(TokenKind::Plus, 1),
+            '?' => push!(TokenKind::Question, 1),
+            '.' => push!(TokenKind::Dot, 1),
+            '=' if peek == Some('=') => push!(TokenKind::EqEq, 2),
+            '!' if peek == Some('=') => push!(TokenKind::NotEq, 2),
+            '!' => push!(TokenKind::Bang, 1),
+            '<' if peek == Some('=') => push!(TokenKind::Le, 2),
+            '-' if peek == Some('>') => push!(TokenKind::Arrow, 2),
+            c if c.is_ascii_digit() => {
+                // IPv4 prefix literal: d+.d+.d+.d+(/d+)?  — or a bare
+                // number is an error (no numeric tokens in the language)
+                let mut j = i;
+                let mut text = String::new();
+                let mut dots = 0;
+                while j < n
+                    && (chars[j].is_ascii_digit()
+                        || (chars[j] == '.' && dots < 3)
+                        || (chars[j] == '/' && dots == 3))
+                {
+                    if chars[j] == '.' {
+                        dots += 1;
+                    }
+                    text.push(chars[j]);
+                    j += 1;
+                }
+                if dots == 0 {
+                    let value: u64 = text.parse().map_err(|_| LexError {
+                        msg: format!("integer `{text}` out of range"),
+                        line,
+                        col,
+                    })?;
+                    let len = j - i;
+                    push!(TokenKind::Int(value), len);
+                } else if dots == 3 {
+                    let len = j - i;
+                    push!(TokenKind::Prefix(text), len);
+                } else {
+                    return Err(LexError {
+                        msg: format!("unexpected number `{text}` (expected IPv4 prefix)"),
+                        line,
+                        col,
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                let mut text = String::new();
+                while j < n {
+                    let cj = chars[j];
+                    let ident_char =
+                        cj.is_ascii_alphanumeric() || cj == '_' || cj == '-';
+                    if !ident_char {
+                        break;
+                    }
+                    // `-` followed by `>` is the arrow, not part of the name
+                    if cj == '-' && chars.get(j + 1) == Some(&'>') {
+                        break;
+                    }
+                    text.push(cj);
+                    j += 1;
+                }
+                let len = j - i;
+                push!(TokenKind::Ident(text), len);
+            }
+            other => {
+                return Err(LexError {
+                    msg: format!("unexpected character `{other}`"),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_spec_line() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("spec e2e := { a1 .* d1 : preserve ; }"),
+            vec![
+                Ident("spec".into()),
+                Ident("e2e".into()),
+                Assign,
+                LBrace,
+                Ident("a1".into()),
+                Dot,
+                Star,
+                Ident("d1".into()),
+                Colon,
+                Ident("preserve".into()),
+                Semi,
+                RBrace,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn where_query() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds(r#"where ( group == "A1" )"#),
+            vec![
+                Ident("where".into()),
+                LParen,
+                Ident("group".into()),
+                EqEq,
+                Str("A1".into()),
+                RParen,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn prefix_literal_and_arrow() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("(dstPrefix == 10.0.0.0/24) -> dealloc"),
+            vec![
+                LParen,
+                Ident("dstPrefix".into()),
+                EqEq,
+                Prefix("10.0.0.0/24".into()),
+                RParen,
+                Arrow,
+                Ident("dealloc".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn hyphenated_idents_vs_arrow() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("A1-r1 x->y"),
+            vec![
+                Ident("A1-r1".into()),
+                Ident("x".into()),
+                Arrow,
+                Ident("y".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds(":= == != <= && || -> | &"),
+            vec![Assign, EqEq, NotEq, Le, AmpAmp, PipePipe, Arrow, Pipe, Amp, Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("check x // trailing words := ;\ncheck y"),
+            vec![
+                Ident("check".into()),
+                Ident("x".into()),
+                Ident("check".into()),
+                Ident("y".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let tokens = lex("a\n  b").unwrap();
+        assert_eq!((tokens[0].line, tokens[0].col), (1, 1));
+        assert_eq!((tokens[1].line, tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("10.0").is_err(), "partial prefixes are not tokens");
+        assert!(lex("10.0.0.0/24").is_ok());
+    }
+
+    #[test]
+    fn integer_literals() {
+        use TokenKind::*;
+        assert_eq!(kinds("limit ecmp := 128"), vec![
+            Ident("limit".into()),
+            Ident("ecmp".into()),
+            Assign,
+            Int(128),
+            Eof
+        ]);
+        assert!(lex("99999999999999999999999").is_err(), "overflow");
+    }
+
+    #[test]
+    fn prefix_without_length() {
+        use TokenKind::*;
+        assert_eq!(kinds("10.1.2.3"), vec![Prefix("10.1.2.3".into()), Eof]);
+    }
+}

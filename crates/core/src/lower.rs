@@ -1,0 +1,332 @@
+//! Lowering RIR terms to automata and deciding specifications
+//! (paper §6.1–§6.2).
+//!
+//! Path sets become NFAs/DFAs; relations become transducers; the image
+//! `P ⊲ R` is transducer application; equalities and inclusions are
+//! decided with automaton equivalence. `PreState`/`PostState` are
+//! supplied per flow equivalence class as already-built FSAs
+//! ([`PairFsas`]), so one compiled spec is reusable across all FECs.
+
+use crate::rir::{PathSet, Rel, RirSpec};
+use rela_automata::{
+    compose, determinize, equivalent, image, included, product, Dfa, Fst, Nfa, ProductMode,
+};
+
+/// The per-FEC snapshot automata bound to `PreState` / `PostState`.
+#[derive(Debug, Clone)]
+pub struct PairFsas {
+    /// FSA of the pre-change forwarding paths.
+    pub pre: Nfa,
+    /// FSA of the post-change forwarding paths.
+    pub post: Nfa,
+}
+
+impl PairFsas {
+    /// Bind a pair of path FSAs.
+    pub fn new(pre: Nfa, post: Nfa) -> PairFsas {
+        PairFsas { pre, post }
+    }
+}
+
+/// Lower a path set to an NFA.
+pub fn lower_pathset(p: &PathSet, env: &PairFsas) -> Nfa {
+    match p {
+        PathSet::Empty => Nfa::empty_language(),
+        PathSet::Eps => Nfa::epsilon_language(),
+        PathSet::Atom(set) => Nfa::symbol_set(set.clone()),
+        PathSet::PreState => env.pre.clone(),
+        PathSet::PostState => env.post.clone(),
+        PathSet::Union(parts) => parts
+            .iter()
+            .map(|q| lower_pathset(q, env))
+            .fold(Nfa::empty_language(), |acc, n| acc.union(&n)),
+        PathSet::Concat(parts) => parts
+            .iter()
+            .map(|q| lower_pathset(q, env))
+            .fold(Nfa::epsilon_language(), |acc, n| acc.concat(&n)),
+        PathSet::Star(inner) => lower_pathset(inner, env).star(),
+        PathSet::Inter(a, b) => {
+            let da = determinize(&lower_pathset(a, env));
+            let db = determinize(&lower_pathset(b, env));
+            product(&da, &db, ProductMode::Intersection).to_nfa()
+        }
+        PathSet::Complement(inner) => {
+            let d = determinize(&lower_pathset(inner, env));
+            d.complement().to_nfa()
+        }
+        PathSet::Image(p, r) => {
+            let base = lower_pathset(p, env);
+            let rel = lower_rel(r, env);
+            image(&base, &rel)
+        }
+    }
+}
+
+/// Lower a path set straight to a (trimmed) DFA.
+pub fn lower_pathset_dfa(p: &PathSet, env: &PairFsas) -> Dfa {
+    determinize(&lower_pathset(p, env).trim())
+}
+
+/// Lower a relation to a transducer.
+pub fn lower_rel(r: &Rel, env: &PairFsas) -> Fst {
+    match r {
+        Rel::Empty => Fst::empty_relation(),
+        Rel::Eps => Fst::eps_relation(),
+        Rel::Cross(a, b) => {
+            let left = lower_pathset(a, env);
+            let right = lower_pathset(b, env);
+            Fst::cross(&left, &right)
+        }
+        Rel::Ident(p) => Fst::identity(&lower_pathset(p, env)),
+        Rel::Union(parts) => parts
+            .iter()
+            .map(|q| lower_rel(q, env))
+            .fold(Fst::empty_relation(), |acc, f| acc.union(&f)),
+        Rel::Concat(parts) => parts
+            .iter()
+            .map(|q| lower_rel(q, env))
+            .fold(Fst::eps_relation(), |acc, f| acc.concat(&f)),
+        Rel::Star(inner) => lower_rel(inner, env).star(),
+        Rel::Compose(a, b) => {
+            let left = lower_rel(a, env);
+            let right = lower_rel(b, env);
+            compose(&left, &right)
+        }
+    }
+}
+
+/// Decide an RIR specification against a snapshot pair.
+pub fn decide_spec(s: &RirSpec, env: &PairFsas) -> bool {
+    match s {
+        RirSpec::Equal(a, b) => {
+            let da = lower_pathset_dfa(a, env);
+            let db = lower_pathset_dfa(b, env);
+            equivalent(&da, &db).is_ok()
+        }
+        RirSpec::Subset(a, b) => {
+            let da = lower_pathset_dfa(a, env);
+            let db = lower_pathset_dfa(b, env);
+            included(&da, &db).is_ok()
+        }
+        RirSpec::And(a, b) => decide_spec(a, env) && decide_spec(b, env),
+        RirSpec::Or(a, b) => decide_spec(a, env) || decide_spec(b, env),
+        RirSpec::Not(a) => !decide_spec(a, env),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::{eval_pathset, eval_spec, EvalCtx, Paths};
+    use rela_automata::{SymSet, Symbol};
+
+    fn s(ix: usize) -> Symbol {
+        Symbol::from_index(ix)
+    }
+
+    fn atom(ix: usize) -> PathSet {
+        PathSet::Atom(SymSet::singleton(s(ix)))
+    }
+
+    fn any_star() -> PathSet {
+        PathSet::Star(Box::new(PathSet::Atom(SymSet::universe())))
+    }
+
+    fn env_from(pre: &[&[usize]], post: &[&[usize]]) -> (PairFsas, EvalCtx) {
+        let to_paths = |paths: &[&[usize]]| -> Paths {
+            paths
+                .iter()
+                .map(|p| p.iter().map(|&i| s(i)).collect::<Vec<_>>())
+                .collect()
+        };
+        let to_nfa = |paths: &[&[usize]]| -> Nfa {
+            paths
+                .iter()
+                .map(|p| {
+                    let w: Vec<Symbol> = p.iter().map(|&i| s(i)).collect();
+                    Nfa::word(&w)
+                })
+                .fold(Nfa::empty_language(), |acc, n| acc.union(&n))
+        };
+        let env = PairFsas::new(to_nfa(pre), to_nfa(post));
+        let ctx = EvalCtx {
+            pre: to_paths(pre),
+            post: to_paths(post),
+            alphabet: vec![s(0), s(1), s(2)],
+            max_len: 4,
+        };
+        (env, ctx)
+    }
+
+    /// Assert that the automaton for `p` and the reference evaluator
+    /// agree on all paths up to the context bound.
+    fn assert_matches_reference(p: &PathSet, env: &PairFsas, ctx: &EvalCtx) {
+        let nfa = lower_pathset(p, env);
+        let expected = eval_pathset(p, ctx);
+        for w in ctx.universe() {
+            assert_eq!(
+                nfa.accepts(&w),
+                expected.contains(&w),
+                "term {p:?} disagrees on {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn atoms_states_and_boolean_ops_match_reference() {
+        let (env, ctx) = env_from(&[&[0, 1]], &[&[0, 2]]);
+        for p in [
+            atom(0),
+            PathSet::PreState,
+            PathSet::PostState,
+            PathSet::Union(vec![PathSet::PreState, PathSet::PostState]),
+            PathSet::Inter(Box::new(PathSet::PreState), Box::new(PathSet::PostState)),
+            PathSet::Complement(Box::new(PathSet::PreState)),
+            PathSet::PreState.diff(PathSet::PostState),
+            PathSet::Concat(vec![atom(0), PathSet::Star(Box::new(atom(1)))]),
+        ] {
+            assert_matches_reference(&p, &env, &ctx);
+        }
+    }
+
+    #[test]
+    fn image_matches_reference() {
+        let (env, ctx) = env_from(&[&[0, 1], &[2]], &[&[0, 2]]);
+        let cases = [
+            // preserve: PreState ⊲ I(.*)
+            PathSet::Image(
+                Box::new(PathSet::PreState),
+                Box::new(Rel::Ident(Box::new(any_star()))),
+            ),
+            // rewrite: PreState ⊲ (({0}{1}) × {2})
+            PathSet::Image(
+                Box::new(PathSet::PreState),
+                Box::new(Rel::Cross(
+                    Box::new(PathSet::Concat(vec![atom(0), atom(1)])),
+                    Box::new(atom(2)),
+                )),
+            ),
+            // union of identity and rewrite (the add-modifier shape)
+            PathSet::Image(
+                Box::new(PathSet::PreState),
+                Box::new(Rel::Union(vec![
+                    Rel::Ident(Box::new(any_star())),
+                    Rel::Cross(Box::new(atom(2)), Box::new(atom(1))),
+                ])),
+            ),
+            // concatenated relation: I({0}) · ({1} × {2})
+            PathSet::Image(
+                Box::new(PathSet::PreState),
+                Box::new(Rel::Concat(vec![
+                    Rel::Ident(Box::new(atom(0))),
+                    Rel::Cross(Box::new(atom(1)), Box::new(atom(2))),
+                ])),
+            ),
+        ];
+        for p in cases {
+            assert_matches_reference(&p, &env, &ctx);
+        }
+    }
+
+    #[test]
+    fn compose_and_star_rel_match_reference() {
+        let (env, ctx) = env_from(&[&[0, 0]], &[&[1, 1]]);
+        let star_rel = Rel::Star(Box::new(Rel::Cross(Box::new(atom(0)), Box::new(atom(1)))));
+        let p1 = PathSet::Image(Box::new(PathSet::PreState), Box::new(star_rel));
+        assert_matches_reference(&p1, &env, &ctx);
+
+        let comp = Rel::Compose(
+            Box::new(Rel::Cross(Box::new(atom(0)), Box::new(atom(1)))),
+            Box::new(Rel::Cross(Box::new(atom(1)), Box::new(atom(2)))),
+        );
+        let p2 = PathSet::Image(Box::new(atom(0)), Box::new(comp));
+        assert_matches_reference(&p2, &env, &ctx);
+    }
+
+    #[test]
+    fn decide_spec_agrees_with_reference() {
+        let (env, ctx) = env_from(&[&[0, 1], &[2]], &[&[0, 1]]);
+        let specs = [
+            RirSpec::Equal(PathSet::PreState, PathSet::PostState),
+            RirSpec::Subset(PathSet::PostState, PathSet::PreState),
+            RirSpec::Subset(PathSet::PreState, PathSet::PostState),
+            RirSpec::Equal(
+                PathSet::Image(
+                    Box::new(PathSet::PreState),
+                    Box::new(Rel::Ident(Box::new(any_star()))),
+                ),
+                PathSet::Image(
+                    Box::new(PathSet::PostState),
+                    Box::new(Rel::Ident(Box::new(any_star()))),
+                ),
+            ),
+            RirSpec::Not(Box::new(RirSpec::Equal(
+                PathSet::PreState,
+                PathSet::PostState,
+            ))),
+            RirSpec::And(
+                Box::new(RirSpec::Subset(PathSet::PostState, PathSet::PreState)),
+                Box::new(RirSpec::Subset(PathSet::PreState, PathSet::PostState)),
+            ),
+            RirSpec::Or(
+                Box::new(RirSpec::Equal(PathSet::PreState, PathSet::PostState)),
+                Box::new(RirSpec::Subset(PathSet::PostState, PathSet::PreState)),
+            ),
+        ];
+        for spec in specs {
+            assert_eq!(
+                decide_spec(&spec, &env),
+                eval_spec(&spec, &ctx),
+                "spec {spec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn footnote3_unconditional_addition() {
+        // PostState = PreState | P: "exactly the paths of P are added"
+        let (env, _) = env_from(&[&[0]], &[&[0], &[1, 2]]);
+        let added = PathSet::Concat(vec![atom(1), atom(2)]);
+        let spec = RirSpec::Equal(
+            PathSet::PostState,
+            PathSet::Union(vec![PathSet::PreState, added]),
+        );
+        assert!(decide_spec(&spec, &env));
+        // wrong addition fails
+        let (env2, _) = env_from(&[&[0]], &[&[0], &[1, 1]]);
+        let spec2 = RirSpec::Equal(
+            PathSet::PostState,
+            PathSet::Union(vec![PathSet::PreState, PathSet::Concat(vec![atom(1), atom(2)])]),
+        );
+        assert!(!decide_spec(&spec2, &env2));
+    }
+
+    #[test]
+    fn side_effects_idiom() {
+        // PreState ⊆ PostState ∧ PostState ⊆ PreState | Zone
+        let zone = PathSet::Concat(vec![atom(1), any_star()]);
+        let spec = RirSpec::Subset(PathSet::PreState, PathSet::PostState).and(RirSpec::Subset(
+            PathSet::PostState,
+            PathSet::Union(vec![PathSet::PreState, zone]),
+        ));
+        // additions within the zone are fine
+        let (env_ok, _) = env_from(&[&[0]], &[&[0], &[1, 2]]);
+        assert!(decide_spec(&spec, &env_ok));
+        // additions outside the zone violate
+        let (env_bad, _) = env_from(&[&[0]], &[&[0], &[2, 2]]);
+        assert!(!decide_spec(&spec, &env_bad));
+        // removals violate
+        let (env_rm, _) = env_from(&[&[0]], &[]);
+        assert!(!decide_spec(&spec, &env_rm));
+    }
+
+    #[test]
+    fn empty_snapshots_are_handled() {
+        let (env, ctx) = env_from(&[], &[]);
+        assert_matches_reference(&PathSet::PreState, &env, &ctx);
+        assert!(decide_spec(
+            &RirSpec::Equal(PathSet::PreState, PathSet::PostState),
+            &env
+        ));
+    }
+}

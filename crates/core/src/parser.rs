@@ -1,0 +1,845 @@
+//! Recursive-descent parser for the Rela surface syntax.
+//!
+//! ```text
+//! program  := def*
+//! def      := "regex" IDENT ":=" regex
+//!           | "spec"  IDENT ":=" specExpr
+//!           | "rir"   IDENT ":=" rirSpec
+//!           | "pspec" IDENT ":=" pred "->" IDENT
+//!           | "check" IDENT
+//! specExpr := specTerm ("else" specTerm)*
+//! specTerm := "{" specItem (";" specItem)* ";"? "}" | IDENT
+//! specItem := regex ":" modifier | IDENT
+//! modifier := "preserve" | "drop" | "add" "(" regex ")"
+//!           | "remove" "(" regex ")" | "any" "(" regex ")"
+//!           | "replace" "(" regex "," regex ")"
+//! regex    := cat ("|" cat)* ; cat := rep+ ; rep := atom ("*"|"+"|"?")*
+//! atom     := "." | "drop" | IDENT | "(" regex ")" | "where" "(" wpred ")"
+//! rirSpec  := rterm (("&&"|"||") rterm)*       (left-assoc)
+//! rterm    := "!" rterm | rexpr ("==" | "<=") rexpr
+//! rexpr    := rinter ("|" rinter)* ; rinter := rcat ("&" rcat)*
+//! rcat     := rrep+ ; rrep := ratom ("*"|"+"|"?")*
+//! ratom    := "pre" | "post" | "!" ratom | regex-atom | "(" rexpr ")"
+//! pred     := pterm (("&&"|"||") pterm)*
+//! pterm    := "!" pterm | "(" pred ")"
+//!           | ("dstPrefix"|"srcPrefix") "==" PREFIX
+//!           | "ingress" "==" (STRING | IDENT)
+//! ```
+
+use crate::ast::{
+    Def, Modifier, PathRegex, PredExpr, Program, RirExpr, RirSpecExpr, SpecExpr,
+};
+use crate::lexer::{lex, LexError, Token, TokenKind};
+use rela_net::AttrPred;
+use std::fmt;
+
+/// Parse failure with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Explanation.
+    pub msg: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            msg: e.msg,
+            line: e.line,
+            col: e.col,
+        }
+    }
+}
+
+/// Parse a Rela program from source text.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn here(&self) -> (u32, u32) {
+        let t = &self.tokens[self.pos];
+        (t.line, t.col)
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn error<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        let (line, col) = self.here();
+        Err(ParseError {
+            msg: msg.into(),
+            line,
+            col,
+        })
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            self.error(format!("expected {kind}, found {}", self.peek()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => self.error(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Ident(name) if name == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    // ---- program & defs -------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut defs = Vec::new();
+        while !matches!(self.peek(), TokenKind::Eof) {
+            defs.push(self.def()?);
+        }
+        Ok(Program { defs })
+    }
+
+    fn def(&mut self) -> Result<Def, ParseError> {
+        let keyword = self.expect_ident()?;
+        match keyword.as_str() {
+            "regex" => {
+                let name = self.expect_ident()?;
+                self.expect(&TokenKind::Assign)?;
+                Ok(Def::Regex(name, self.regex()?))
+            }
+            "spec" => {
+                let name = self.expect_ident()?;
+                self.expect(&TokenKind::Assign)?;
+                Ok(Def::Spec(name, self.spec_expr()?))
+            }
+            "rir" => {
+                let name = self.expect_ident()?;
+                self.expect(&TokenKind::Assign)?;
+                Ok(Def::Rir(name, self.rir_spec()?))
+            }
+            "pspec" => {
+                let name = self.expect_ident()?;
+                self.expect(&TokenKind::Assign)?;
+                let pred = self.pred()?;
+                self.expect(&TokenKind::Arrow)?;
+                let spec = self.expect_ident()?;
+                Ok(Def::PSpec { name, pred, spec })
+            }
+            "limit" => {
+                let name = self.expect_ident()?;
+                self.expect(&TokenKind::Assign)?;
+                match self.bump() {
+                    TokenKind::Int(n) => Ok(Def::Limit(name, n)),
+                    other => self.error(format!("expected an integer, found {other}")),
+                }
+            }
+            "check" => Ok(Def::Check(self.expect_ident()?)),
+            other => self.error(format!(
+                "expected `regex`, `spec`, `rir`, `limit`, `pspec`, or `check`, found `{other}`"
+            )),
+        }
+    }
+
+    // ---- specs -----------------------------------------------------------
+
+    fn spec_expr(&mut self) -> Result<SpecExpr, ParseError> {
+        let mut acc = self.spec_term()?;
+        while self.eat_keyword("else") {
+            let rhs = self.spec_term()?;
+            acc = SpecExpr::Else(Box::new(acc), Box::new(rhs));
+        }
+        Ok(acc)
+    }
+
+    fn spec_term(&mut self) -> Result<SpecExpr, ParseError> {
+        if matches!(self.peek(), TokenKind::LBrace) {
+            self.bump();
+            let mut items = vec![self.spec_item()?];
+            while matches!(self.peek(), TokenKind::Semi) {
+                self.bump();
+                if matches!(self.peek(), TokenKind::RBrace) {
+                    break; // trailing semicolon
+                }
+                items.push(self.spec_item()?);
+            }
+            self.expect(&TokenKind::RBrace)?;
+            Ok(if items.len() == 1 {
+                items.pop().expect("one item")
+            } else {
+                SpecExpr::Concat(items)
+            })
+        } else {
+            Ok(SpecExpr::Ref(self.expect_ident()?))
+        }
+    }
+
+    fn spec_item(&mut self) -> Result<SpecExpr, ParseError> {
+        // `IDENT` alone is a spec reference; anything else must be a
+        // `zone : modifier` atomic spec. A zone may also *start* with an
+        // identifier, so parse a regex and decide by the next token.
+        let zone = self.regex()?;
+        if matches!(self.peek(), TokenKind::Colon) {
+            self.bump();
+            let modifier = self.modifier()?;
+            Ok(SpecExpr::Atomic { zone, modifier })
+        } else if let PathRegex::Name(name) = zone {
+            Ok(SpecExpr::Ref(name))
+        } else {
+            self.error("expected `:` after zone pattern")
+        }
+    }
+
+    fn modifier(&mut self) -> Result<Modifier, ParseError> {
+        let name = self.expect_ident()?;
+        match name.as_str() {
+            "preserve" => Ok(Modifier::Preserve),
+            "drop" => Ok(Modifier::Drop),
+            "add" | "remove" | "any" => {
+                self.expect(&TokenKind::LParen)?;
+                let arg = self.regex()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(match name.as_str() {
+                    "add" => Modifier::Add(arg),
+                    "remove" => Modifier::Remove(arg),
+                    _ => Modifier::Any(arg),
+                })
+            }
+            "replace" => {
+                self.expect(&TokenKind::LParen)?;
+                let a = self.regex()?;
+                self.expect(&TokenKind::Comma)?;
+                let b = self.regex()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(Modifier::Replace(a, b))
+            }
+            other => self.error(format!("unknown modifier `{other}`")),
+        }
+    }
+
+    // ---- path regexes ----------------------------------------------------
+
+    fn regex(&mut self) -> Result<PathRegex, ParseError> {
+        let mut alts = vec![self.regex_cat()?];
+        while matches!(self.peek(), TokenKind::Pipe) {
+            self.bump();
+            alts.push(self.regex_cat()?);
+        }
+        Ok(if alts.len() == 1 {
+            alts.pop().expect("one alt")
+        } else {
+            PathRegex::Union(alts)
+        })
+    }
+
+    /// Words that terminate a juxtaposition-concatenated pattern: the
+    /// definition keywords and `else`. They cannot be used as location
+    /// names.
+    const RESERVED: [&'static str; 7] =
+        ["else", "regex", "spec", "rir", "limit", "pspec", "check"];
+
+    fn starts_regex_atom(&self) -> bool {
+        match self.peek() {
+            TokenKind::Dot | TokenKind::LParen => true,
+            TokenKind::Ident(name) => !Self::RESERVED.contains(&name.as_str()),
+            _ => false,
+        }
+    }
+
+    fn regex_cat(&mut self) -> Result<PathRegex, ParseError> {
+        let mut parts = vec![self.regex_rep()?];
+        while self.starts_regex_atom() {
+            // stop if this identifier is really a spec item reference
+            // followed by `:` — zones inside blocks end at `:`
+            parts.push(self.regex_rep()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            PathRegex::Concat(parts)
+        })
+    }
+
+    fn regex_rep(&mut self) -> Result<PathRegex, ParseError> {
+        let mut atom = self.regex_atom()?;
+        loop {
+            match self.peek() {
+                TokenKind::Star => {
+                    self.bump();
+                    atom = PathRegex::Star(Box::new(atom));
+                }
+                TokenKind::Plus => {
+                    self.bump();
+                    atom = PathRegex::Plus(Box::new(atom));
+                }
+                TokenKind::Question => {
+                    self.bump();
+                    atom = PathRegex::Opt(Box::new(atom));
+                }
+                _ => return Ok(atom),
+            }
+        }
+    }
+
+    fn regex_atom(&mut self) -> Result<PathRegex, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Dot => {
+                self.bump();
+                Ok(PathRegex::Any)
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.regex()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Ident(name) if name == "drop" => {
+                self.bump();
+                Ok(PathRegex::Drop)
+            }
+            TokenKind::Ident(name) if name == "where" => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let pred = self.where_pred()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(PathRegex::Where(pred))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(PathRegex::Name(name))
+            }
+            other => self.error(format!("expected a path pattern, found {other}")),
+        }
+    }
+
+    fn where_pred(&mut self) -> Result<AttrPred, ParseError> {
+        let mut acc = self.where_and()?;
+        while matches!(self.peek(), TokenKind::PipePipe) {
+            self.bump();
+            let rhs = self.where_and()?;
+            acc = acc.or(rhs);
+        }
+        Ok(acc)
+    }
+
+    fn where_and(&mut self) -> Result<AttrPred, ParseError> {
+        let mut acc = self.where_atom()?;
+        while matches!(self.peek(), TokenKind::AmpAmp) {
+            self.bump();
+            let rhs = self.where_atom()?;
+            acc = acc.and(rhs);
+        }
+        Ok(acc)
+    }
+
+    fn where_atom(&mut self) -> Result<AttrPred, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Bang => {
+                self.bump();
+                Ok(AttrPred::Not(Box::new(self.where_atom()?)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.where_pred()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Ident(attr) => {
+                self.bump();
+                let negate = match self.bump() {
+                    TokenKind::EqEq => false,
+                    TokenKind::NotEq => true,
+                    other => {
+                        return self.error(format!("expected `==` or `!=`, found {other}"))
+                    }
+                };
+                let value = match self.bump() {
+                    TokenKind::Str(s) => s,
+                    TokenKind::Ident(s) => s,
+                    other => {
+                        return self.error(format!("expected a value, found {other}"))
+                    }
+                };
+                Ok(if negate {
+                    AttrPred::ne(attr, value)
+                } else {
+                    AttrPred::eq(attr, value)
+                })
+            }
+            other => self.error(format!("expected a where-predicate, found {other}")),
+        }
+    }
+
+    // ---- RIR surface -------------------------------------------------------
+
+    fn rir_spec(&mut self) -> Result<RirSpecExpr, ParseError> {
+        let mut acc = self.rir_term()?;
+        loop {
+            match self.peek() {
+                TokenKind::AmpAmp => {
+                    self.bump();
+                    let rhs = self.rir_term()?;
+                    acc = RirSpecExpr::And(Box::new(acc), Box::new(rhs));
+                }
+                TokenKind::PipePipe => {
+                    self.bump();
+                    let rhs = self.rir_term()?;
+                    acc = RirSpecExpr::Or(Box::new(acc), Box::new(rhs));
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn rir_term(&mut self) -> Result<RirSpecExpr, ParseError> {
+        if matches!(self.peek(), TokenKind::Bang) {
+            self.bump();
+            return Ok(RirSpecExpr::Not(Box::new(self.rir_term()?)));
+        }
+        let left = self.rir_expr()?;
+        match self.bump() {
+            TokenKind::EqEq => Ok(RirSpecExpr::Equal(left, self.rir_expr()?)),
+            TokenKind::Le => Ok(RirSpecExpr::Subset(left, self.rir_expr()?)),
+            other => self.error(format!("expected `==` or `<=`, found {other}")),
+        }
+    }
+
+    fn rir_expr(&mut self) -> Result<RirExpr, ParseError> {
+        let mut alts = vec![self.rir_inter()?];
+        while matches!(self.peek(), TokenKind::Pipe) {
+            self.bump();
+            alts.push(self.rir_inter()?);
+        }
+        Ok(if alts.len() == 1 {
+            alts.pop().expect("one alt")
+        } else {
+            RirExpr::Union(alts)
+        })
+    }
+
+    fn rir_inter(&mut self) -> Result<RirExpr, ParseError> {
+        let mut acc = self.rir_cat()?;
+        while matches!(self.peek(), TokenKind::Amp) {
+            self.bump();
+            let rhs = self.rir_cat()?;
+            acc = RirExpr::Inter(Box::new(acc), Box::new(rhs));
+        }
+        Ok(acc)
+    }
+
+    fn starts_rir_atom(&self) -> bool {
+        match self.peek() {
+            TokenKind::Dot | TokenKind::LParen | TokenKind::Bang => true,
+            TokenKind::Ident(name) => !Self::RESERVED.contains(&name.as_str()),
+            _ => false,
+        }
+    }
+
+    fn rir_cat(&mut self) -> Result<RirExpr, ParseError> {
+        let mut parts = vec![self.rir_rep()?];
+        while self.starts_rir_atom() {
+            parts.push(self.rir_rep()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            RirExpr::Concat(parts)
+        })
+    }
+
+    fn rir_rep(&mut self) -> Result<RirExpr, ParseError> {
+        let mut atom = self.rir_atom()?;
+        loop {
+            match self.peek() {
+                TokenKind::Star => {
+                    self.bump();
+                    atom = RirExpr::Star(Box::new(atom));
+                }
+                TokenKind::Plus => {
+                    self.bump();
+                    let star = RirExpr::Star(Box::new(atom.clone()));
+                    atom = RirExpr::Concat(vec![atom, star]);
+                }
+                TokenKind::Question => {
+                    self.bump();
+                    // e? = e | ε, with ε as the empty concatenation
+                    atom = RirExpr::Union(vec![atom, RirExpr::Concat(Vec::new())]);
+                }
+                _ => return Ok(atom),
+            }
+        }
+    }
+
+    fn rir_atom(&mut self) -> Result<RirExpr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Bang => {
+                self.bump();
+                Ok(RirExpr::Complement(Box::new(self.rir_atom()?)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.rir_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Ident(name) if name == "pre" => {
+                self.bump();
+                Ok(RirExpr::Pre)
+            }
+            TokenKind::Ident(name) if name == "post" => {
+                self.bump();
+                Ok(RirExpr::Post)
+            }
+            _ => Ok(RirExpr::Pattern(self.regex_atom()?)),
+        }
+    }
+
+    // ---- pspec predicates ---------------------------------------------------
+
+    fn pred(&mut self) -> Result<PredExpr, ParseError> {
+        let mut acc = self.pred_term()?;
+        loop {
+            match self.peek() {
+                TokenKind::AmpAmp => {
+                    self.bump();
+                    let rhs = self.pred_term()?;
+                    acc = PredExpr::And(Box::new(acc), Box::new(rhs));
+                }
+                TokenKind::PipePipe => {
+                    self.bump();
+                    let rhs = self.pred_term()?;
+                    acc = PredExpr::Or(Box::new(acc), Box::new(rhs));
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn pred_term(&mut self) -> Result<PredExpr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Bang => {
+                self.bump();
+                Ok(PredExpr::Not(Box::new(self.pred_term()?)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.pred()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Ident(field) => {
+                self.bump();
+                self.expect(&TokenKind::EqEq)?;
+                match field.as_str() {
+                    "dstPrefix" | "srcPrefix" => {
+                        let text = match self.bump() {
+                            TokenKind::Prefix(p) => p,
+                            TokenKind::Str(s) => s,
+                            other => {
+                                return self
+                                    .error(format!("expected a prefix, found {other}"))
+                            }
+                        };
+                        let prefix = text.parse().map_err(|_| ParseError {
+                            msg: format!("invalid IPv4 prefix `{text}`"),
+                            line: self.tokens[self.pos.saturating_sub(1)].line,
+                            col: self.tokens[self.pos.saturating_sub(1)].col,
+                        })?;
+                        Ok(if field == "dstPrefix" {
+                            PredExpr::DstIn(prefix)
+                        } else {
+                            PredExpr::SrcIn(prefix)
+                        })
+                    }
+                    "ingress" => {
+                        let value = match self.bump() {
+                            TokenKind::Str(s) => s,
+                            TokenKind::Ident(s) => s,
+                            other => {
+                                return self
+                                    .error(format!("expected a device glob, found {other}"))
+                            }
+                        };
+                        Ok(PredExpr::IngressEq(value))
+                    }
+                    other => self.error(format!(
+                        "unknown predicate field `{other}` \
+                         (expected dstPrefix, srcPrefix, or ingress)"
+                    )),
+                }
+            }
+            other => self.error(format!("expected a predicate, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_regex_defs() {
+        let prog = parse_program(r#"regex a1 := where(group == "A1")"#).unwrap();
+        assert_eq!(prog.defs.len(), 1);
+        match &prog.defs[0] {
+            Def::Regex(name, PathRegex::Where(pred)) => {
+                assert_eq!(name, "a1");
+                assert_eq!(*pred, AttrPred::eq("group", "A1"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_section4_example() {
+        // the running example of §4, lightly adapted
+        let src = r#"
+            regex a1 := where(group == "A1")
+            regex d1 := where(group == "D1")
+            regex a2 := where(group == "A2")
+            regex a3 := where(group == "A3")
+            spec pathShift := { a1 .* d1 : any(a1 a2 a3 d1) }
+            spec e2e := {
+                where(region == "A")* : preserve ;
+                pathShift ;
+                where(region == "D")* : preserve ;
+            }
+            spec nochange := { .* : preserve ; }
+            spec change := e2e else nochange
+            check change
+        "#;
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.defs.len(), 9);
+        assert_eq!(prog.checks(), vec!["change"]);
+        // e2e is a 3-part concatenation
+        match &prog.defs[5] {
+            Def::Spec(name, SpecExpr::Concat(parts)) => {
+                assert_eq!(name, "e2e");
+                assert_eq!(parts.len(), 3);
+                assert!(matches!(parts[1], SpecExpr::Ref(ref n) if n == "pathShift"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // change is an else of two refs
+        match &prog.defs[7] {
+            Def::Spec(_, SpecExpr::Else(a, b)) => {
+                assert!(matches!(**a, SpecExpr::Ref(ref n) if n == "e2e"));
+                assert!(matches!(**b, SpecExpr::Ref(ref n) if n == "nochange"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_all_modifiers() {
+        let src = r#"
+            spec s := {
+                a : preserve ;
+                b : add(x y) ;
+                c : remove(x) ;
+                d : replace(x, y z) ;
+                e : drop ;
+                f : any(x | y) ;
+            }
+            check s
+        "#;
+        let prog = parse_program(src).unwrap();
+        match &prog.defs[0] {
+            Def::Spec(_, SpecExpr::Concat(parts)) => {
+                assert_eq!(parts.len(), 6);
+                let mods: Vec<&Modifier> = parts
+                    .iter()
+                    .map(|p| match p {
+                        SpecExpr::Atomic { modifier, .. } => modifier,
+                        other => panic!("unexpected {other:?}"),
+                    })
+                    .collect();
+                assert!(matches!(mods[0], Modifier::Preserve));
+                assert!(matches!(mods[1], Modifier::Add(_)));
+                assert!(matches!(mods[2], Modifier::Remove(_)));
+                assert!(matches!(mods[3], Modifier::Replace(_, _)));
+                assert!(matches!(mods[4], Modifier::Drop));
+                assert!(matches!(mods[5], Modifier::Any(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn regex_precedence() {
+        // a b | c* d  parses as (a b) | ((c*) d)
+        let prog = parse_program("regex r := a b | c* d").unwrap();
+        match &prog.defs[0] {
+            Def::Regex(_, PathRegex::Union(alts)) => {
+                assert_eq!(alts.len(), 2);
+                assert!(matches!(&alts[0], PathRegex::Concat(p) if p.len() == 2));
+                match &alts[1] {
+                    PathRegex::Concat(parts) => {
+                        assert!(matches!(parts[0], PathRegex::Star(_)));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dot_star_with_and_without_space() {
+        for src in ["regex r := a .* b", "regex r := a . * b", "regex r := a .*b"] {
+            let prog = parse_program(src).unwrap();
+            match &prog.defs[0] {
+                Def::Regex(_, PathRegex::Concat(parts)) => {
+                    assert_eq!(parts.len(), 3, "{src}");
+                    assert!(matches!(parts[1], PathRegex::Star(_)), "{src}");
+                }
+                other => panic!("unexpected {other:?} for {src}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parses_pspec_and_rir() {
+        let src = r#"
+            spec dealloc := { .* : remove(.*) }
+            rir sideEffects := pre <= post && post <= (pre | xa .* y1)
+            pspec deallocP := (dstPrefix == 10.0.0.0/24) -> dealloc
+            pspec sideP := (ingress == "xa") -> sideEffects
+            check dealloc
+        "#;
+        let prog = parse_program(src).unwrap();
+        let pspecs: Vec<&Def> = prog
+            .defs
+            .iter()
+            .filter(|d| matches!(d, Def::PSpec { .. }))
+            .collect();
+        assert_eq!(pspecs.len(), 2);
+        match pspecs[0] {
+            Def::PSpec { name, pred, spec } => {
+                assert_eq!(name, "deallocP");
+                assert_eq!(spec, "dealloc");
+                assert!(matches!(pred, PredExpr::DstIn(p) if p.to_string() == "10.0.0.0/24"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &prog.defs[1] {
+            Def::Rir(name, RirSpecExpr::And(a, b)) => {
+                assert_eq!(name, "sideEffects");
+                assert!(matches!(**a, RirSpecExpr::Subset(RirExpr::Pre, RirExpr::Post)));
+                assert!(matches!(**b, RirSpecExpr::Subset(RirExpr::Post, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_drop_in_patterns() {
+        let prog = parse_program("regex r := a drop").unwrap();
+        match &prog.defs[0] {
+            Def::Regex(_, PathRegex::Concat(parts)) => {
+                assert!(matches!(parts[1], PathRegex::Drop));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_compound_predicates() {
+        let src = r#"
+            spec s := { .* : preserve }
+            pspec p := (dstPrefix == 10.0.0.0/8 && !(ingress == "x*")) || srcPrefix == 10.2.0.0/16 -> s
+            check s
+        "#;
+        let prog = parse_program(src).unwrap();
+        match &prog.defs[1] {
+            Def::PSpec { pred, .. } => {
+                assert!(matches!(pred, PredExpr::Or(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_messages_have_positions() {
+        let err = parse_program("spec s := { a : bogus }").unwrap_err();
+        assert!(err.msg.contains("unknown modifier"));
+        assert_eq!(err.line, 1);
+        let err2 = parse_program("frobnicate x").unwrap_err();
+        assert!(err2.msg.contains("expected"));
+    }
+
+    #[test]
+    fn rejects_missing_colon_in_atomic() {
+        let err = parse_program("spec s := { a b }").unwrap_err();
+        assert!(err.msg.contains("expected `:`"), "{}", err.msg);
+    }
+
+    #[test]
+    fn where_with_boolean_connectives() {
+        let src = r#"regex r := where(region == "A" && tier != "agg" || group == "B1")"#;
+        let prog = parse_program(src).unwrap();
+        match &prog.defs[0] {
+            Def::Regex(_, PathRegex::Where(AttrPred::Or(_, _))) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn else_chain_of_three() {
+        let src = r#"
+            spec a := { x : preserve }
+            spec b := { y : preserve }
+            spec c := { .* : preserve }
+            spec all := a else b else c
+            check all
+        "#;
+        let prog = parse_program(src).unwrap();
+        match &prog.defs[3] {
+            // left-assoc: (a else b) else c
+            Def::Spec(_, SpecExpr::Else(ab, c)) => {
+                assert!(matches!(**ab, SpecExpr::Else(_, _)));
+                assert!(matches!(**c, SpecExpr::Ref(ref n) if n == "c"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Prefix-predicate routing of specs to traffic classes (paper §7).
+//!
+//! "We allow change specifications of the form `prefix-predicate →
+//! change-spec`. Semantically, such a change spec is applied exclusively
+//! to traffic classes that satisfy the prefix-predicate." Predicates can
+//! filter on destination/source prefix and ingress location, with set
+//! operations; they sit outside the core language and act as a filter on
+//! the forwarding path data.
+
+use crate::ast::PredExpr;
+use rela_net::{glob_match, FlowSpec};
+
+impl PredExpr {
+    /// Does this predicate select the given traffic class?
+    pub fn matches(&self, flow: &FlowSpec) -> bool {
+        match self {
+            PredExpr::DstIn(p) => p.contains(&flow.dst),
+            PredExpr::SrcIn(p) => flow.src.map(|s| p.contains(&s)).unwrap_or(false),
+            PredExpr::IngressEq(glob) => glob_match(glob, &flow.ingress),
+            PredExpr::And(a, b) => a.matches(flow) && b.matches(flow),
+            PredExpr::Or(a, b) => a.matches(flow) || b.matches(flow),
+            PredExpr::Not(a) => !a.matches(flow),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rela_net::Ipv4Prefix;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn flow(dst: &str, ingress: &str) -> FlowSpec {
+        FlowSpec::new(p(dst), ingress)
+    }
+
+    #[test]
+    fn dst_containment() {
+        let pred = PredExpr::DstIn(p("10.0.0.0/8"));
+        assert!(pred.matches(&flow("10.1.2.0/24", "x1")));
+        assert!(!pred.matches(&flow("11.1.2.0/24", "x1")));
+        // equal prefix matches; broader does not
+        assert!(pred.matches(&flow("10.0.0.0/8", "x1")));
+        assert!(!PredExpr::DstIn(p("10.0.0.0/16")).matches(&flow("10.0.0.0/8", "x1")));
+    }
+
+    #[test]
+    fn src_requires_a_source() {
+        let pred = PredExpr::SrcIn(p("10.9.0.0/16"));
+        assert!(!pred.matches(&flow("10.1.0.0/24", "x1")));
+        let with_src = flow("10.1.0.0/24", "x1").with_src(p("10.9.1.0/24"));
+        assert!(pred.matches(&with_src));
+    }
+
+    #[test]
+    fn ingress_glob() {
+        let pred = PredExpr::IngressEq("x*".into());
+        assert!(pred.matches(&flow("10.1.0.0/24", "x1")));
+        assert!(pred.matches(&flow("10.1.0.0/24", "xa")));
+        assert!(!pred.matches(&flow("10.1.0.0/24", "A1-r1")));
+    }
+
+    #[test]
+    fn boolean_combinations() {
+        let pred = PredExpr::And(
+            Box::new(PredExpr::DstIn(p("10.0.0.0/8"))),
+            Box::new(PredExpr::Not(Box::new(PredExpr::IngressEq("xa".into())))),
+        );
+        assert!(pred.matches(&flow("10.1.0.0/24", "x1")));
+        assert!(!pred.matches(&flow("10.1.0.0/24", "xa")));
+        let or = PredExpr::Or(
+            Box::new(PredExpr::IngressEq("x1".into())),
+            Box::new(PredExpr::IngressEq("x2".into())),
+        );
+        assert!(or.matches(&flow("10.1.0.0/24", "x2")));
+        assert!(!or.matches(&flow("10.1.0.0/24", "x3")));
+    }
+}

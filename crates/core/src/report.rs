@@ -1,0 +1,256 @@
+//! Check reports: per-FEC verdicts with attributed counterexamples and
+//! aggregate statistics, rendered in the style of the paper's Table 1.
+
+use crate::counterexample::EquationDiff;
+use rela_net::FlowSpec;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// Why one sub-spec failed for one FEC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationDetail {
+    /// A relational equation diff (missing / unexpected paths).
+    Equation(EquationDiff),
+    /// Raw RIR assertion failures, as messages.
+    Raw(Vec<String>),
+}
+
+impl fmt::Display for ViolationDetail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationDetail::Equation(diff) => {
+                let mut first = true;
+                if !diff.missing.is_empty() {
+                    write!(f, "expected {{{}}}", diff.missing.join(", "))?;
+                    first = false;
+                }
+                if !diff.unexpected.is_empty() {
+                    if !first {
+                        write!(f, " ≠ ")?;
+                    }
+                    write!(f, "observed {{{}}}", diff.unexpected.join(", "))?;
+                }
+                Ok(())
+            }
+            ViolationDetail::Raw(msgs) => write!(f, "{}", msgs.join("; ")),
+        }
+    }
+}
+
+/// One violated sub-spec for one FEC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartViolation {
+    /// The violated sub-spec's name (e.g. `e2e`, `nochange`).
+    pub part: String,
+    /// The evidence.
+    pub detail: ViolationDetail,
+}
+
+/// The outcome for one FEC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FecResult {
+    /// The traffic class.
+    pub flow: FlowSpec,
+    /// Which spec was checked.
+    pub check_name: String,
+    /// The pspec that routed this FEC, if any.
+    pub route: Option<String>,
+    /// Rendered pre-change paths (populated for violations only).
+    pub pre_paths: Vec<String>,
+    /// Rendered post-change paths (populated for violations only).
+    pub post_paths: Vec<String>,
+    /// The violated sub-specs; empty means compliant.
+    pub violations: Vec<PartViolation>,
+}
+
+impl FecResult {
+    /// Did the FEC comply?
+    pub fn is_compliant(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Aggregate result of checking a snapshot pair.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Total FECs checked.
+    pub total: usize,
+    /// How many complied.
+    pub compliant: usize,
+    /// The violating FECs, in flow order.
+    pub violations: Vec<FecResult>,
+    /// Violation counts per sub-spec name (the §8.1 headline numbers).
+    pub part_counts: BTreeMap<String, usize>,
+    /// Wall-clock time of the check.
+    pub elapsed: Duration,
+}
+
+impl CheckReport {
+    /// Aggregate per-FEC results (already sorted by flow).
+    pub fn new(results: Vec<FecResult>, elapsed: Duration) -> CheckReport {
+        let total = results.len();
+        let mut part_counts: BTreeMap<String, usize> = BTreeMap::new();
+        let mut violations = Vec::new();
+        for r in results {
+            if r.is_compliant() {
+                continue;
+            }
+            for v in &r.violations {
+                *part_counts.entry(v.part.clone()).or_insert(0) += 1;
+            }
+            violations.push(r);
+        }
+        CheckReport {
+            total,
+            compliant: total - violations.len(),
+            violations,
+            part_counts,
+            elapsed,
+        }
+    }
+
+    /// "Thumbs up": every FEC complied.
+    pub fn is_compliant(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violation count for one sub-spec (0 if never violated).
+    pub fn count_for(&self, part: &str) -> usize {
+        self.part_counts.get(part).copied().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "checked {} traffic classes in {:.2?}: {} compliant, {} violating",
+            self.total,
+            self.elapsed,
+            self.compliant,
+            self.violations.len()
+        )?;
+        if self.is_compliant() {
+            return writeln!(f, "verdict: PASS");
+        }
+        writeln!(f, "violations per sub-spec:")?;
+        for (part, count) in &self.part_counts {
+            writeln!(f, "  {part}: {count}")?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "{:<38} | {:<34} | {:<34} | cause of violation",
+            "FEC", "pre-change paths", "post-change paths"
+        )?;
+        let dash = "-".repeat(120);
+        writeln!(f, "{dash}")?;
+        for v in &self.violations {
+            let pre = clip(&v.pre_paths.join(" ; "), 34);
+            let post = clip(&v.post_paths.join(" ; "), 34);
+            for (i, pv) in v.violations.iter().enumerate() {
+                let fec = if i == 0 {
+                    clip(&v.flow.to_string(), 38)
+                } else {
+                    String::new()
+                };
+                let (p1, p2) = if i == 0 {
+                    (pre.as_str(), post.as_str())
+                } else {
+                    ("", "")
+                };
+                writeln!(f, "{fec:<38} | {p1:<34} | {p2:<34} | {}: {}", pv.part, pv.detail)?;
+            }
+        }
+        writeln!(f, "verdict: FAIL")
+    }
+}
+
+fn clip(s: &str, width: usize) -> String {
+    if s.chars().count() <= width {
+        s.to_owned()
+    } else {
+        let cut: String = s.chars().take(width.saturating_sub(1)).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(dst: &str) -> FlowSpec {
+        FlowSpec::new(dst.parse().unwrap(), "x1")
+    }
+
+    fn violation(part: &str) -> PartViolation {
+        PartViolation {
+            part: part.into(),
+            detail: ViolationDetail::Equation(EquationDiff {
+                missing: vec!["x1 A1 y1".into()],
+                unexpected: vec!["x1 B1 y1".into()],
+            }),
+        }
+    }
+
+    fn result(dst: &str, parts: &[&str]) -> FecResult {
+        FecResult {
+            flow: flow(dst),
+            check_name: "change".into(),
+            route: None,
+            pre_paths: vec!["x1 A1 y1".into()],
+            post_paths: vec!["x1 B1 y1".into()],
+            violations: parts.iter().map(|p| violation(p)).collect(),
+        }
+    }
+
+    #[test]
+    fn aggregates_counts_per_part() {
+        let report = CheckReport::new(
+            vec![
+                result("10.1.0.0/24", &["e2e"]),
+                result("10.1.1.0/24", &["e2e", "nochange"]),
+                result("10.1.2.0/24", &[]),
+            ],
+            Duration::from_millis(5),
+        );
+        assert_eq!(report.total, 3);
+        assert_eq!(report.compliant, 1);
+        assert_eq!(report.count_for("e2e"), 2);
+        assert_eq!(report.count_for("nochange"), 1);
+        assert_eq!(report.count_for("ghost"), 0);
+        assert!(!report.is_compliant());
+    }
+
+    #[test]
+    fn display_contains_table_elements() {
+        let report = CheckReport::new(
+            vec![result("10.1.0.0/24", &["e2e"])],
+            Duration::from_millis(5),
+        );
+        let text = report.to_string();
+        assert!(text.contains("FEC"));
+        assert!(text.contains("(10.1.0.0/24, ingress=x1)"));
+        assert!(text.contains("e2e"));
+        assert!(text.contains("expected {x1 A1 y1}"));
+        assert!(text.contains("observed {x1 B1 y1}"));
+        assert!(text.contains("verdict: FAIL"));
+    }
+
+    #[test]
+    fn compliant_report_displays_pass() {
+        let report = CheckReport::new(vec![], Duration::from_millis(1));
+        assert!(report.is_compliant());
+        assert!(report.to_string().contains("verdict: PASS"));
+    }
+
+    #[test]
+    fn clip_truncates_long_text() {
+        assert_eq!(clip("short", 10), "short");
+        let long = "x".repeat(50);
+        let clipped = clip(&long, 10);
+        assert_eq!(clipped.chars().count(), 10);
+        assert!(clipped.ends_with('…'));
+    }
+}

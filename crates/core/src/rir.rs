@@ -1,0 +1,411 @@
+//! The Regular Intermediate Representation (RIR) — paper §5.2, Fig. 3.
+//!
+//! The RIR has three sublanguages: regular *path sets* (with the special
+//! symbols `PreState`/`PostState` and the image operator `P ⊲ R`),
+//! regular *relations* over paths, and *specifications* (set equalities,
+//! inclusions, and boolean combinations).
+//!
+//! Atoms are [`SymSet`]s over an interned location alphabet: `where`
+//! queries and location names have already been resolved by the time an
+//! RIR term exists.
+
+use rela_automata::{Regex, SymSet};
+
+/// A regular set of paths (RIR `PathSet`, Fig. 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathSet {
+    /// `0`: the empty set.
+    Empty,
+    /// `1`: the set containing only the empty path ε.
+    Eps,
+    /// One-hop paths drawn from a set of locations (`a` generalized).
+    Atom(SymSet),
+    /// The paths of the pre-change network.
+    PreState,
+    /// The paths of the post-change network.
+    PostState,
+    /// `P₁ | P₂ | …`
+    Union(Vec<PathSet>),
+    /// `P₁ P₂ …`
+    Concat(Vec<PathSet>),
+    /// `P*`
+    Star(Box<PathSet>),
+    /// `P₁ ∩ P₂`
+    Inter(Box<PathSet>, Box<PathSet>),
+    /// `P̄` (complement relative to Σ*)
+    Complement(Box<PathSet>),
+    /// `P ⊲ R`: the image of `P` under relation `R`.
+    Image(Box<PathSet>, Box<Rel>),
+}
+
+impl PathSet {
+    /// `P₁ \ P₂`, desugared to `P₁ ∩ P̄₂`.
+    pub fn diff(self, other: PathSet) -> PathSet {
+        PathSet::Inter(Box::new(self), Box::new(PathSet::Complement(Box::new(other))))
+    }
+
+    /// Binary union with trivial-identity simplification.
+    pub fn or(self, other: PathSet) -> PathSet {
+        match (self, other) {
+            (PathSet::Empty, x) | (x, PathSet::Empty) => x,
+            (PathSet::Union(mut xs), PathSet::Union(ys)) => {
+                xs.extend(ys);
+                PathSet::Union(xs)
+            }
+            (PathSet::Union(mut xs), y) => {
+                xs.push(y);
+                PathSet::Union(xs)
+            }
+            (x, PathSet::Union(mut ys)) => {
+                ys.insert(0, x);
+                PathSet::Union(ys)
+            }
+            (x, y) => PathSet::Union(vec![x, y]),
+        }
+    }
+
+    /// Lift a state-independent regex (no `PreState`/`PostState`) into a
+    /// path set.
+    pub fn from_regex(re: &Regex) -> PathSet {
+        match re {
+            Regex::Empty => PathSet::Empty,
+            Regex::Eps => PathSet::Eps,
+            Regex::Set(s) => PathSet::Atom(s.clone()),
+            Regex::Concat(parts) => {
+                PathSet::Concat(parts.iter().map(PathSet::from_regex).collect())
+            }
+            Regex::Union(parts) => {
+                PathSet::Union(parts.iter().map(PathSet::from_regex).collect())
+            }
+            Regex::Star(inner) => PathSet::Star(Box::new(PathSet::from_regex(inner))),
+        }
+    }
+
+    /// Does the term mention `PreState` or `PostState`? State-independent
+    /// terms can be lowered once and cached across FECs.
+    pub fn mentions_state(&self) -> bool {
+        match self {
+            PathSet::PreState | PathSet::PostState => true,
+            PathSet::Empty | PathSet::Eps | PathSet::Atom(_) => false,
+            PathSet::Union(xs) | PathSet::Concat(xs) => xs.iter().any(PathSet::mentions_state),
+            PathSet::Star(x) | PathSet::Complement(x) => x.mentions_state(),
+            PathSet::Inter(a, b) => a.mentions_state() || b.mentions_state(),
+            PathSet::Image(p, r) => p.mentions_state() || r.mentions_state(),
+        }
+    }
+}
+
+/// A regular relation over paths (RIR `Rel`, Fig. 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rel {
+    /// `0`: the empty relation.
+    Empty,
+    /// `1`: the relation `{(ε, ε)}`.
+    Eps,
+    /// `P₁ × P₂`: every path of `P₁` related to every path of `P₂`.
+    Cross(Box<PathSet>, Box<PathSet>),
+    /// `I(P)`: every path of `P` related to itself.
+    Ident(Box<PathSet>),
+    /// `R₁ | R₂ | …`
+    Union(Vec<Rel>),
+    /// `R₁ R₂ …` (concatenation of relations)
+    Concat(Vec<Rel>),
+    /// `R*`
+    Star(Box<Rel>),
+    /// `R₁ ∘ R₂` (relational composition)
+    Compose(Box<Rel>, Box<Rel>),
+}
+
+impl Rel {
+    /// Binary union with trivial-identity simplification.
+    pub fn or(self, other: Rel) -> Rel {
+        match (self, other) {
+            (Rel::Empty, x) | (x, Rel::Empty) => x,
+            (Rel::Union(mut xs), Rel::Union(ys)) => {
+                xs.extend(ys);
+                Rel::Union(xs)
+            }
+            (Rel::Union(mut xs), y) => {
+                xs.push(y);
+                Rel::Union(xs)
+            }
+            (x, Rel::Union(mut ys)) => {
+                ys.insert(0, x);
+                Rel::Union(ys)
+            }
+            (x, y) => Rel::Union(vec![x, y]),
+        }
+    }
+
+    /// Does the term mention `PreState` or `PostState`?
+    pub fn mentions_state(&self) -> bool {
+        match self {
+            Rel::Empty | Rel::Eps => false,
+            Rel::Cross(a, b) => a.mentions_state() || b.mentions_state(),
+            Rel::Ident(p) => p.mentions_state(),
+            Rel::Union(xs) | Rel::Concat(xs) => xs.iter().any(Rel::mentions_state),
+            Rel::Star(x) => x.mentions_state(),
+            Rel::Compose(a, b) => a.mentions_state() || b.mentions_state(),
+        }
+    }
+}
+
+/// An RIR specification (RIR `Spec`, Fig. 3): the decidable assertions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RirSpec {
+    /// `P₁ = P₂`
+    Equal(PathSet, PathSet),
+    /// `P₁ ⊆ P₂`
+    Subset(PathSet, PathSet),
+    /// `S₁ ∧ S₂`
+    And(Box<RirSpec>, Box<RirSpec>),
+    /// `S₁ ∨ S₂`
+    Or(Box<RirSpec>, Box<RirSpec>),
+    /// `¬S`
+    Not(Box<RirSpec>),
+}
+
+impl RirSpec {
+    /// Conjunction helper.
+    pub fn and(self, other: RirSpec) -> RirSpec {
+        RirSpec::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: RirSpec) -> RirSpec {
+        RirSpec::Or(Box::new(self), Box::new(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rela_automata::Symbol;
+
+    fn atom(ix: usize) -> PathSet {
+        PathSet::Atom(SymSet::singleton(Symbol::from_index(ix)))
+    }
+
+    #[test]
+    fn or_simplifies_empty() {
+        let a = atom(0);
+        assert_eq!(PathSet::Empty.or(a.clone()), a.clone());
+        assert_eq!(a.clone().or(PathSet::Empty), a);
+        assert_eq!(Rel::Empty.or(Rel::Eps), Rel::Eps);
+    }
+
+    #[test]
+    fn or_flattens_unions() {
+        let u = atom(0).or(atom(1)).or(atom(2));
+        match u {
+            PathSet::Union(xs) => assert_eq!(xs.len(), 3),
+            other => panic!("expected union, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_regex_structure() {
+        let re = Regex::concat(vec![
+            Regex::sym(Symbol::from_index(0)),
+            Regex::any_star(),
+        ]);
+        let ps = PathSet::from_regex(&re);
+        match ps {
+            PathSet::Concat(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[1], PathSet::Star(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mentions_state_detection() {
+        assert!(!atom(0).mentions_state());
+        assert!(PathSet::PreState.mentions_state());
+        assert!(PathSet::Union(vec![atom(0), PathSet::PostState]).mentions_state());
+        let img = PathSet::Image(
+            Box::new(atom(0)),
+            Box::new(Rel::Ident(Box::new(PathSet::PreState))),
+        );
+        assert!(img.mentions_state());
+        assert!(!Rel::Cross(Box::new(atom(0)), Box::new(atom(1))).mentions_state());
+    }
+
+    #[test]
+    fn diff_desugars() {
+        let d = atom(0).diff(atom(1));
+        assert!(matches!(d, PathSet::Inter(_, _)));
+    }
+}
+
+// ---- pretty-printing -----------------------------------------------------
+
+use std::fmt;
+
+/// Precedence-aware rendering: union < concat < star/atom.
+fn fmt_pathset(p: &PathSet, f: &mut fmt::Formatter<'_>, parent_tight: bool) -> fmt::Result {
+    let needs_parens = parent_tight
+        && matches!(
+            p,
+            PathSet::Union(_) | PathSet::Concat(_) | PathSet::Inter(_, _) | PathSet::Image(_, _)
+        );
+    if needs_parens {
+        write!(f, "(")?;
+    }
+    match p {
+        PathSet::Empty => write!(f, "0")?,
+        PathSet::Eps => write!(f, "1")?,
+        PathSet::Atom(s) => write!(f, "{s}")?,
+        PathSet::PreState => write!(f, "pre")?,
+        PathSet::PostState => write!(f, "post")?,
+        PathSet::Union(parts) => {
+            for (i, q) in parts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                fmt_pathset(q, f, false)?;
+            }
+        }
+        PathSet::Concat(parts) => {
+            for (i, q) in parts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                fmt_pathset(q, f, true)?;
+            }
+        }
+        PathSet::Star(inner) => {
+            fmt_pathset(inner, f, true)?;
+            write!(f, "*")?;
+        }
+        PathSet::Inter(a, b) => {
+            fmt_pathset(a, f, true)?;
+            write!(f, " & ")?;
+            fmt_pathset(b, f, true)?;
+        }
+        PathSet::Complement(inner) => {
+            write!(f, "!")?;
+            fmt_pathset(inner, f, true)?;
+        }
+        PathSet::Image(p, r) => {
+            fmt_pathset(p, f, true)?;
+            write!(f, " ⊲ {r}")?;
+        }
+    }
+    if needs_parens {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for PathSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_pathset(self, f, false)
+    }
+}
+
+impl fmt::Display for Rel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rel::Empty => write!(f, "0"),
+            Rel::Eps => write!(f, "1"),
+            Rel::Cross(a, b) => write!(f, "({a} × {b})"),
+            Rel::Ident(p) => write!(f, "I({p})"),
+            Rel::Union(parts) => {
+                write!(f, "(")?;
+                for (i, r) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                write!(f, ")")
+            }
+            Rel::Concat(parts) => {
+                write!(f, "(")?;
+                for (i, r) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " · ")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                write!(f, ")")
+            }
+            Rel::Star(inner) => write!(f, "{inner}*"),
+            Rel::Compose(a, b) => write!(f, "({a} ∘ {b})"),
+        }
+    }
+}
+
+impl fmt::Display for RirSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RirSpec::Equal(a, b) => write!(f, "{a} = {b}"),
+            RirSpec::Subset(a, b) => write!(f, "{a} ⊆ {b}"),
+            RirSpec::And(a, b) => write!(f, "({a}) ∧ ({b})"),
+            RirSpec::Or(a, b) => write!(f, "({a}) ∨ ({b})"),
+            RirSpec::Not(a) => write!(f, "¬({a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+    use rela_automata::Symbol;
+
+    fn atom(ix: usize) -> PathSet {
+        PathSet::Atom(SymSet::singleton(Symbol::from_index(ix)))
+    }
+
+    #[test]
+    fn renders_the_fig4_preserve_equation() {
+        let any_star = PathSet::Star(Box::new(PathSet::Atom(SymSet::universe())));
+        let spec = RirSpec::Equal(
+            PathSet::Image(
+                Box::new(PathSet::PreState),
+                Box::new(Rel::Ident(Box::new(any_star.clone()))),
+            ),
+            PathSet::Image(
+                Box::new(PathSet::PostState),
+                Box::new(Rel::Ident(Box::new(any_star))),
+            ),
+        );
+        assert_eq!(spec.to_string(), "pre ⊲ I(.*) = post ⊲ I(.*)");
+    }
+
+    #[test]
+    fn precedence_parenthesization() {
+        // ({s0} | {s1}) {s2}  — union under concat needs parens
+        let p = PathSet::Concat(vec![PathSet::Union(vec![atom(0), atom(1)]), atom(2)]);
+        assert_eq!(p.to_string(), "({s0} | {s1}) {s2}");
+        // star binds tighter than concat
+        let q = PathSet::Concat(vec![atom(0), PathSet::Star(Box::new(atom(1)))]);
+        assert_eq!(q.to_string(), "{s0} {s1}*");
+    }
+
+    #[test]
+    fn renders_relations() {
+        let r = Rel::Union(vec![
+            Rel::Ident(Box::new(atom(0))),
+            Rel::Cross(Box::new(atom(0)), Box::new(atom(1))),
+        ]);
+        assert_eq!(r.to_string(), "(I({s0}) | ({s0} × {s1}))");
+        let c = Rel::Compose(
+            Box::new(Rel::Ident(Box::new(PathSet::Complement(Box::new(atom(0)))))),
+            Box::new(Rel::Eps),
+        );
+        assert_eq!(c.to_string(), "(I(!{s0}) ∘ 1)");
+    }
+
+    #[test]
+    fn renders_boolean_specs() {
+        let s = RirSpec::Subset(PathSet::PreState, PathSet::PostState)
+            .and(RirSpec::Not(Box::new(RirSpec::Equal(
+                PathSet::Empty,
+                PathSet::Eps,
+            ))));
+        assert_eq!(s.to_string(), "(pre ⊆ post) ∧ (¬(0 = 1))");
+    }
+}

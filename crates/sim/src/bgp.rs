@@ -1,0 +1,436 @@
+//! A BGP-style path-vector control plane, computed to a fixed point.
+//!
+//! The model captures the decision process the paper's failures hinge on:
+//!
+//! 1. highest local preference — a *per-hop* attribute: the exporter's
+//!    route map proposes it ("announce with high local preference", as
+//!    region B does in §2.1) and the importer's route map may override
+//!    it; it is not carried further, mirroring eBGP,
+//! 2. shortest device path,
+//! 3. lowest accumulated IGP cost,
+//! 4. lowest neighbor name (deterministic tie-break).
+//!
+//! Candidates tied on (1)–(3) are all installed (BGP multipath); only the
+//! single top candidate is advertised onward, as in real BGP.
+//! Loops are prevented path-vector style at the *group* level, mirroring
+//! AS-path loop detection: a device rejects routes whose path already
+//! visits its own router group. (Device-level checks alone admit routes
+//! that bounce out of a group and back in through a different member,
+//! which real BGP forbids and which destabilizes policy interactions.)
+
+use crate::config::NetworkConfig;
+use crate::igp::IgpView;
+use crate::topology::Topology;
+use rela_net::Ipv4Prefix;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One usable route at a device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// The adjacent device the route was learned from (BGP next hop).
+    pub neighbor: String,
+    /// Local preference after import processing.
+    pub lp: u32,
+    /// Device path from self to the origin (self first).
+    pub path: Vec<String>,
+    /// Accumulated minimum link costs along the path.
+    pub igp_cost: u64,
+}
+
+impl Candidate {
+    /// Selection key: higher is better.
+    fn key(&self) -> (u32, std::cmp::Reverse<usize>, std::cmp::Reverse<u64>) {
+        (
+            self.lp,
+            std::cmp::Reverse(self.path.len()),
+            std::cmp::Reverse(self.igp_cost),
+        )
+    }
+}
+
+/// The routing outcome for one device and one prefix.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeviceRoute {
+    /// The device originates (delivers) the prefix itself.
+    pub origin: bool,
+    /// Installed multipath candidates (empty when no route).
+    pub best: Vec<Candidate>,
+}
+
+/// What a device advertises to its neighbors. Local preference is not
+/// part of the advert: it is decided per adjacency by the exporter's and
+/// importer's route maps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Advert {
+    path: Vec<String>,
+    igp_cost: u64,
+}
+
+/// The fixed point of route propagation for one prefix.
+#[derive(Debug, Clone)]
+pub struct RoutingOutcome {
+    /// Per-device routes.
+    pub routes: BTreeMap<String, DeviceRoute>,
+    /// False if the worklist cap was hit (a policy oscillation); the
+    /// returned state is the last iterate.
+    pub converged: bool,
+}
+
+/// Compute per-device routes for `prefix` under `cfg`.
+pub fn compute_routes(
+    topo: &Topology,
+    cfg: &NetworkConfig,
+    igp: &IgpView<'_>,
+    prefix: &Ipv4Prefix,
+) -> RoutingOutcome {
+    let devices: Vec<String> = topo.device_names();
+    let group: BTreeMap<&str, &str> = topo
+        .db
+        .devices()
+        .map(|d| (d.name.as_str(), d.group.as_str()))
+        .collect();
+    let neighbors: BTreeMap<&str, Vec<String>> = devices
+        .iter()
+        .map(|d| (d.as_str(), topo.neighbors(d)))
+        .collect();
+
+    let mut adverts: BTreeMap<String, Option<Advert>> = BTreeMap::new();
+    let mut routes: BTreeMap<String, DeviceRoute> = BTreeMap::new();
+    for d in &devices {
+        let origin = cfg.originates(d, prefix);
+        adverts.insert(
+            d.clone(),
+            origin.then(|| Advert {
+                path: vec![d.clone()],
+                igp_cost: 0,
+            }),
+        );
+        routes.insert(
+            d.clone(),
+            DeviceRoute {
+                origin,
+                best: Vec::new(),
+            },
+        );
+    }
+
+    let mut queue: VecDeque<String> = devices.iter().cloned().collect();
+    let mut queued: BTreeSet<String> = queue.iter().cloned().collect();
+    let cap = devices.len().saturating_mul(64).max(1024);
+    let mut pops = 0usize;
+    let mut converged = true;
+
+    while let Some(device) = queue.pop_front() {
+        queued.remove(&device);
+        pops += 1;
+        if pops > cap {
+            converged = false;
+            break;
+        }
+        // Origins deliver locally; they neither select nor change adverts.
+        if routes[&device].origin {
+            continue;
+        }
+        // Gather candidates from each neighbor's current advert.
+        let mut candidates: Vec<Candidate> = Vec::new();
+        for n in &neighbors[device.as_str()] {
+            let advert = match &adverts[n] {
+                Some(a) => a,
+                None => continue,
+            };
+            let dev_group = group[device.as_str()];
+            if advert
+                .path
+                .iter()
+                .any(|d| group.get(d.as_str()).copied() == Some(dev_group))
+            {
+                continue; // group-level (AS-path style) loop prevention
+            }
+            let n_group = group[n.as_str()];
+            // export at the neighbor, toward us (starts from the default LP)
+            let lp_out = match cfg.evaluate_export(
+                n,
+                prefix,
+                &device,
+                dev_group,
+                cfg.default_local_pref,
+            ) {
+                Some(lp) => lp,
+                None => continue,
+            };
+            // import at us, from the neighbor
+            let lp_in = match cfg.evaluate_import(&device, prefix, n, n_group, lp_out) {
+                Some(lp) => lp,
+                None => continue,
+            };
+            let link_cost = igp
+                .adjacent_cost(&device, n)
+                .expect("neighbors must share a link");
+            let mut path = Vec::with_capacity(advert.path.len() + 1);
+            path.push(device.clone());
+            path.extend(advert.path.iter().cloned());
+            candidates.push(Candidate {
+                neighbor: n.clone(),
+                lp: lp_in,
+                path,
+                igp_cost: advert.igp_cost + u64::from(link_cost),
+            });
+        }
+        // Select the best set (multipath over the top key).
+        let best: Vec<Candidate> = match candidates.iter().map(|c| c.key()).max() {
+            None => Vec::new(),
+            Some(top) => {
+                let mut set: Vec<Candidate> = candidates
+                    .into_iter()
+                    .filter(|c| c.key() == top)
+                    .collect();
+                set.sort_by(|a, b| a.neighbor.cmp(&b.neighbor));
+                set
+            }
+        };
+        let new_advert = best.first().map(|c| Advert {
+            path: c.path.clone(),
+            igp_cost: c.igp_cost,
+        });
+        let changed_advert = adverts[&device] != new_advert;
+        let changed_best = routes[&device].best != best;
+        if changed_best {
+            routes.get_mut(&device).expect("device exists").best = best;
+        }
+        if changed_advert {
+            adverts.insert(device.clone(), new_advert);
+            for n in &neighbors[device.as_str()] {
+                if queued.insert(n.clone()) {
+                    queue.push_back(n.clone());
+                }
+            }
+        }
+    }
+
+    RoutingOutcome { routes, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DeviceSelector, PolicyRule, RuleAction};
+    use crate::topology::TopologyBuilder;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    /// x1 — A1 — B1 — D1 — y1 with a shortcut A1 — D1.
+    fn diamond() -> Topology {
+        let mut b = TopologyBuilder::new();
+        b.router("x1", "x1", "A")
+            .router("A1", "A1", "A")
+            .router("B1", "B1", "B")
+            .router("D1", "D1", "D")
+            .router("y1", "y1", "D");
+        b.link("x1", "A1", 5);
+        b.link("A1", "B1", 5);
+        b.link("B1", "D1", 5);
+        b.link("A1", "D1", 5);
+        b.link("D1", "y1", 5);
+        b.build()
+    }
+
+    fn routes_for(topo: &Topology, cfg: &NetworkConfig, prefix: &str) -> RoutingOutcome {
+        let igp = IgpView::new(topo, cfg);
+        compute_routes(topo, cfg, &igp, &p(prefix))
+    }
+
+    #[test]
+    fn shortest_path_wins_by_default() {
+        let topo = diamond();
+        let mut cfg = NetworkConfig::new();
+        cfg.originate("y1", p("10.1.0.0/16"));
+        let out = routes_for(&topo, &cfg, "10.1.0.0/24");
+        assert!(out.converged);
+        // A1's best: direct via D1 (3 hops) over via B1 (4 hops)
+        let a1 = &out.routes["A1"];
+        assert_eq!(a1.best.len(), 1);
+        assert_eq!(a1.best[0].neighbor, "D1");
+        assert_eq!(a1.best[0].path, vec!["A1", "D1", "y1"]);
+        // origin delivers
+        assert!(out.routes["y1"].origin);
+        assert!(out.routes["y1"].best.is_empty());
+    }
+
+    #[test]
+    fn local_pref_overrides_path_length() {
+        // B1 exports with LP 200 — the paper's longstanding region-B policy
+        let topo = diamond();
+        let mut cfg = NetworkConfig::new();
+        cfg.originate("y1", p("10.1.0.0/16"));
+        cfg.policy_mut("B1").exports = vec![PolicyRule::new(
+            "prefer-b-transit",
+            vec![p("10.0.0.0/8")],
+            None,
+            RuleAction::SetLocalPref(200),
+        )];
+        let out = routes_for(&topo, &cfg, "10.1.0.0/24");
+        let a1 = &out.routes["A1"];
+        assert_eq!(a1.best.len(), 1);
+        assert_eq!(
+            a1.best[0].neighbor, "B1",
+            "LP 200 must beat the shorter direct path"
+        );
+        assert_eq!(a1.best[0].lp, 200);
+    }
+
+    #[test]
+    fn import_deny_blocks_a_route() {
+        let topo = diamond();
+        let mut cfg = NetworkConfig::new();
+        cfg.originate("y1", p("10.1.0.0/16"));
+        // A1 denies routes learned from D1 → must go via B1
+        cfg.policy_mut("A1").imports = vec![PolicyRule::new(
+            "no-direct",
+            vec![p("10.0.0.0/8")],
+            Some(DeviceSelector::Name("D1".into())),
+            RuleAction::Deny,
+        )];
+        let out = routes_for(&topo, &cfg, "10.1.0.0/24");
+        let a1 = &out.routes["A1"];
+        assert_eq!(a1.best.len(), 1);
+        assert_eq!(a1.best[0].neighbor, "B1");
+    }
+
+    #[test]
+    fn allow_list_blocks_everything_else() {
+        let topo = diamond();
+        let mut cfg = NetworkConfig::new();
+        cfg.originate("y1", p("10.1.0.0/16"));
+        cfg.originate("y1", p("10.2.0.0/16"));
+        cfg.policy_mut("A1").allow_list = Some(vec![p("10.1.0.0/16")]);
+        let out1 = routes_for(&topo, &cfg, "10.1.5.0/24");
+        assert!(!out1.routes["A1"].best.is_empty());
+        let out2 = routes_for(&topo, &cfg, "10.2.5.0/24");
+        assert!(out2.routes["A1"].best.is_empty(), "allow-list must block");
+        // and x1 behind A1 loses the route too
+        assert!(out2.routes["x1"].best.is_empty());
+    }
+
+    #[test]
+    fn multipath_on_equal_key() {
+        // two disjoint equal-length paths A1→{B1,C1}→D1
+        let mut b = TopologyBuilder::new();
+        b.router("A1", "A1", "A")
+            .router("B1", "B1", "B")
+            .router("C1", "C1", "C")
+            .router("D1", "D1", "D");
+        b.link("A1", "B1", 5);
+        b.link("A1", "C1", 5);
+        b.link("B1", "D1", 5);
+        b.link("C1", "D1", 5);
+        let topo = b.build();
+        let mut cfg = NetworkConfig::new();
+        cfg.originate("D1", p("10.1.0.0/16"));
+        let out = routes_for(&topo, &cfg, "10.1.0.0/24");
+        let a1 = &out.routes["A1"];
+        assert_eq!(a1.best.len(), 2);
+        let vias: Vec<&str> = a1.best.iter().map(|c| c.neighbor.as_str()).collect();
+        assert_eq!(vias, vec!["B1", "C1"]);
+    }
+
+    #[test]
+    fn igp_cost_breaks_path_length_ties() {
+        // same as multipath test but C1 leg is cheaper
+        let mut b = TopologyBuilder::new();
+        b.router("A1", "A1", "A")
+            .router("B1", "B1", "B")
+            .router("C1", "C1", "C")
+            .router("D1", "D1", "D");
+        b.link("A1", "B1", 5);
+        b.link("A1", "C1", 2);
+        b.link("B1", "D1", 5);
+        b.link("C1", "D1", 2);
+        let topo = b.build();
+        let mut cfg = NetworkConfig::new();
+        cfg.originate("D1", p("10.1.0.0/16"));
+        let out = routes_for(&topo, &cfg, "10.1.0.0/24");
+        let a1 = &out.routes["A1"];
+        assert_eq!(a1.best.len(), 1);
+        assert_eq!(a1.best[0].neighbor, "C1");
+    }
+
+    #[test]
+    fn no_origin_means_no_routes_anywhere() {
+        let topo = diamond();
+        let cfg = NetworkConfig::new();
+        let out = routes_for(&topo, &cfg, "10.1.0.0/24");
+        for (_, r) in out.routes.iter() {
+            assert!(!r.origin);
+            assert!(r.best.is_empty());
+        }
+    }
+
+    #[test]
+    fn export_deny_scopes_per_neighbor() {
+        let topo = diamond();
+        let mut cfg = NetworkConfig::new();
+        cfg.originate("y1", p("10.1.0.0/16"));
+        // D1 refuses to advertise toward A1 (but still toward B1)
+        cfg.policy_mut("D1").exports = vec![PolicyRule::new(
+            "no-a1",
+            vec![p("10.0.0.0/8")],
+            Some(DeviceSelector::Name("A1".into())),
+            RuleAction::Deny,
+        )];
+        let out = routes_for(&topo, &cfg, "10.1.0.0/24");
+        let a1 = &out.routes["A1"];
+        assert_eq!(a1.best.len(), 1);
+        assert_eq!(a1.best[0].neighbor, "B1");
+    }
+
+    #[test]
+    fn lp_is_per_hop_not_transitive() {
+        // B1 sets LP 200 on export: A1 installs the B1 route at 200 and
+        // picks it, but x1 (one hop further) sees the default LP again —
+        // the attribute is decided per adjacency, eBGP style.
+        let topo = diamond();
+        let mut cfg = NetworkConfig::new();
+        cfg.originate("y1", p("10.1.0.0/16"));
+        cfg.policy_mut("B1").exports = vec![PolicyRule::new(
+            "prefer-b",
+            vec![p("10.0.0.0/8")],
+            None,
+            RuleAction::SetLocalPref(200),
+        )];
+        let out = routes_for(&topo, &cfg, "10.1.0.0/24");
+        let a1 = &out.routes["A1"];
+        assert_eq!(a1.best[0].lp, 200);
+        assert_eq!(a1.best[0].neighbor, "B1");
+        let x1 = &out.routes["x1"];
+        assert_eq!(x1.best.len(), 1);
+        assert_eq!(x1.best[0].lp, 100);
+        assert_eq!(x1.best[0].path, vec!["x1", "A1", "B1", "D1", "y1"]);
+    }
+
+    #[test]
+    fn group_level_loop_prevention_blocks_reentry() {
+        // two routers in group G; a route must not re-enter G through the
+        // second router after leaving through the first
+        let mut b = TopologyBuilder::new();
+        b.router("G-r1", "G", "X")
+            .router("G-r2", "G", "X")
+            .router("H", "H", "X")
+            .router("O", "O", "X");
+        b.link("G-r1", "G-r2", 1);
+        b.link("G-r1", "H", 5);
+        b.link("H", "O", 5);
+        b.link("G-r2", "H", 5);
+        let topo = b.build();
+        let mut cfg = NetworkConfig::new();
+        cfg.originate("O", p("10.1.0.0/16"));
+        let out = routes_for(&topo, &cfg, "10.1.0.0/24");
+        // both G routers route via H directly; neither uses its sibling
+        for dev in ["G-r1", "G-r2"] {
+            let r = &out.routes[dev];
+            assert_eq!(r.best.len(), 1, "{dev}");
+            assert_eq!(r.best[0].neighbor, "H", "{dev}");
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Configuration change deltas.
+//!
+//! A change implementation is a list of [`ConfigChange`]s applied to a
+//! base [`NetworkConfig`] — the analogue of the device-level config diffs
+//! that engineers attach to change tickets. Keeping changes as data makes
+//! it trivial to materialize each iteration of a change (v1, v2, ...)
+//! from the same base and re-simulate.
+
+use crate::config::{DeviceSelector, NetworkConfig, PolicyRule};
+use crate::topology::Topology;
+use rela_net::Ipv4Prefix;
+
+/// One device-level configuration edit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigChange {
+    /// Replace the allow-list on matching devices (`None` removes it).
+    SetAllowList {
+        /// Devices to edit.
+        devices: DeviceSelector,
+        /// The new allow-list.
+        list: Option<Vec<Ipv4Prefix>>,
+    },
+    /// Append prefixes to the allow-list on matching devices (creating an
+    /// empty list if absent).
+    AddAllowPrefixes {
+        /// Devices to edit.
+        devices: DeviceSelector,
+        /// Prefixes to append.
+        prefixes: Vec<Ipv4Prefix>,
+    },
+    /// Prepend an import route-map clause (first match wins, so a
+    /// prepended clause takes priority).
+    PrependImport {
+        /// Devices to edit.
+        devices: DeviceSelector,
+        /// The clause.
+        rule: PolicyRule,
+    },
+    /// Prepend an export route-map clause.
+    PrependExport {
+        /// Devices to edit.
+        devices: DeviceSelector,
+        /// The clause.
+        rule: PolicyRule,
+    },
+    /// Remove all clauses with the given name from both route maps.
+    RemoveRule {
+        /// Devices to edit.
+        devices: DeviceSelector,
+        /// Clause name to remove.
+        name: String,
+    },
+    /// Override the IGP cost of every link between two groups.
+    SetGroupLinkCost {
+        /// First group.
+        group_a: String,
+        /// Second group.
+        group_b: String,
+        /// New cost.
+        cost: u32,
+    },
+    /// Add data-plane ACL deny entries.
+    AddAclDeny {
+        /// Devices to edit.
+        devices: DeviceSelector,
+        /// Prefixes to drop.
+        prefixes: Vec<Ipv4Prefix>,
+    },
+    /// Originate prefixes at matching devices.
+    AddOrigination {
+        /// Devices to edit.
+        devices: DeviceSelector,
+        /// Prefixes to originate.
+        prefixes: Vec<Ipv4Prefix>,
+    },
+    /// Stop originating prefixes at matching devices (exact match).
+    RemoveOrigination {
+        /// Devices to edit.
+        devices: DeviceSelector,
+        /// Prefixes to withdraw.
+        prefixes: Vec<Ipv4Prefix>,
+    },
+}
+
+/// Apply a list of changes to a configuration, in order.
+pub fn apply_changes(cfg: &mut NetworkConfig, topo: &Topology, changes: &[ConfigChange]) {
+    for change in changes {
+        apply_one(cfg, topo, change);
+    }
+}
+
+/// A base configuration plus a change list, materialized.
+pub fn configured(base: &NetworkConfig, topo: &Topology, changes: &[ConfigChange]) -> NetworkConfig {
+    let mut cfg = base.clone();
+    apply_changes(&mut cfg, topo, changes);
+    cfg
+}
+
+fn apply_one(cfg: &mut NetworkConfig, topo: &Topology, change: &ConfigChange) {
+    match change {
+        ConfigChange::SetAllowList { devices, list } => {
+            for d in devices.expand(topo) {
+                cfg.policy_mut(&d).allow_list = list.clone();
+            }
+        }
+        ConfigChange::AddAllowPrefixes { devices, prefixes } => {
+            for d in devices.expand(topo) {
+                let allow = cfg.policy_mut(&d).allow_list.get_or_insert_with(Vec::new);
+                allow.extend(prefixes.iter().copied());
+            }
+        }
+        ConfigChange::PrependImport { devices, rule } => {
+            for d in devices.expand(topo) {
+                cfg.policy_mut(&d).imports.insert(0, rule.clone());
+            }
+        }
+        ConfigChange::PrependExport { devices, rule } => {
+            for d in devices.expand(topo) {
+                cfg.policy_mut(&d).exports.insert(0, rule.clone());
+            }
+        }
+        ConfigChange::RemoveRule { devices, name } => {
+            for d in devices.expand(topo) {
+                let policy = cfg.policy_mut(&d);
+                policy.imports.retain(|r| &r.name != name);
+                policy.exports.retain(|r| &r.name != name);
+            }
+        }
+        ConfigChange::SetGroupLinkCost {
+            group_a,
+            group_b,
+            cost,
+        } => {
+            for a in topo.devices_in_group(group_a) {
+                for b in topo.devices_in_group(group_b) {
+                    cfg.set_link_cost(&a, &b, *cost);
+                }
+            }
+        }
+        ConfigChange::AddAclDeny { devices, prefixes } => {
+            for d in devices.expand(topo) {
+                cfg.policy_mut(&d).acl_deny.extend(prefixes.iter().copied());
+            }
+        }
+        ConfigChange::AddOrigination { devices, prefixes } => {
+            for d in devices.expand(topo) {
+                for p in prefixes {
+                    cfg.originate(&d, *p);
+                }
+            }
+        }
+        ConfigChange::RemoveOrigination { devices, prefixes } => {
+            for d in devices.expand(topo) {
+                if let Some(list) = cfg.originations.get_mut(&d) {
+                    list.retain(|p| !prefixes.contains(p));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuleAction;
+    use crate::topology::TopologyBuilder;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn topo() -> Topology {
+        let mut b = TopologyBuilder::new();
+        b.router("A2-r1", "A2", "A")
+            .router("A2-r2", "A2", "A")
+            .router("B2-r1", "B2", "B")
+            .router("D1-r1", "D1", "D");
+        b.link("A2-r1", "B2-r1", 5);
+        b.link("A2-r1", "D1-r1", 5);
+        b.build()
+    }
+
+    #[test]
+    fn allow_prefixes_applied_to_group() {
+        let topo = topo();
+        let mut cfg = NetworkConfig::new();
+        cfg.policy_mut("A2-r1").allow_list = Some(vec![]);
+        apply_changes(
+            &mut cfg,
+            &topo,
+            &[ConfigChange::AddAllowPrefixes {
+                devices: DeviceSelector::Group("A2".into()),
+                prefixes: vec![p("10.1.0.0/16")],
+            }],
+        );
+        assert_eq!(
+            cfg.policy("A2-r1").allow_list,
+            Some(vec![p("10.1.0.0/16")])
+        );
+        // A2-r2 had no list: one is created
+        assert_eq!(
+            cfg.policy("A2-r2").allow_list,
+            Some(vec![p("10.1.0.0/16")])
+        );
+        // other groups untouched
+        assert_eq!(cfg.policy("B2-r1").allow_list, None);
+    }
+
+    #[test]
+    fn prepend_takes_priority() {
+        let topo = topo();
+        let mut cfg = NetworkConfig::new();
+        cfg.policy_mut("B2-r1").imports = vec![PolicyRule::new(
+            "old",
+            vec![p("10.0.0.0/8")],
+            None,
+            RuleAction::SetLocalPref(200),
+        )];
+        apply_changes(
+            &mut cfg,
+            &topo,
+            &[ConfigChange::PrependImport {
+                devices: DeviceSelector::Name("B2-r1".into()),
+                rule: PolicyRule::new("new", vec![p("10.1.0.0/16")], None, RuleAction::Deny),
+            }],
+        );
+        let imports = &cfg.policy("B2-r1").imports;
+        assert_eq!(imports.len(), 2);
+        assert_eq!(imports[0].name, "new");
+        assert_eq!(
+            cfg.evaluate_import("B2-r1", &p("10.1.2.0/24"), "n", "N", 100),
+            None
+        );
+        assert_eq!(
+            cfg.evaluate_import("B2-r1", &p("10.2.2.0/24"), "n", "N", 100),
+            Some(200)
+        );
+    }
+
+    #[test]
+    fn remove_rule_by_name() {
+        let topo = topo();
+        let mut cfg = NetworkConfig::new();
+        cfg.policy_mut("B2-r1").imports = vec![PolicyRule::new(
+            "goner",
+            vec![p("10.0.0.0/8")],
+            None,
+            RuleAction::Deny,
+        )];
+        cfg.policy_mut("B2-r1").exports = vec![PolicyRule::new(
+            "goner",
+            vec![p("10.0.0.0/8")],
+            None,
+            RuleAction::Deny,
+        )];
+        apply_changes(
+            &mut cfg,
+            &topo,
+            &[ConfigChange::RemoveRule {
+                devices: DeviceSelector::Name("B2-*".into()),
+                name: "goner".into(),
+            }],
+        );
+        assert!(cfg.policy("B2-r1").imports.is_empty());
+        assert!(cfg.policy("B2-r1").exports.is_empty());
+    }
+
+    #[test]
+    fn group_link_cost_override() {
+        let topo = topo();
+        let mut cfg = NetworkConfig::new();
+        apply_changes(
+            &mut cfg,
+            &topo,
+            &[ConfigChange::SetGroupLinkCost {
+                group_a: "A2".into(),
+                group_b: "D1".into(),
+                cost: 3,
+            }],
+        );
+        assert_eq!(cfg.effective_cost("A2-r1", "D1-r1", 5), 3);
+        assert_eq!(cfg.effective_cost("A2-r1", "B2-r1", 5), 5);
+    }
+
+    #[test]
+    fn originations_add_and_remove() {
+        let topo = topo();
+        let mut cfg = NetworkConfig::new();
+        apply_changes(
+            &mut cfg,
+            &topo,
+            &[ConfigChange::AddOrigination {
+                devices: DeviceSelector::Name("D1-r1".into()),
+                prefixes: vec![p("10.1.0.0/16"), p("10.2.0.0/16")],
+            }],
+        );
+        assert!(cfg.originates("D1-r1", &p("10.1.5.0/24")));
+        apply_changes(
+            &mut cfg,
+            &topo,
+            &[ConfigChange::RemoveOrigination {
+                devices: DeviceSelector::Name("D1-r1".into()),
+                prefixes: vec![p("10.1.0.0/16")],
+            }],
+        );
+        assert!(!cfg.originates("D1-r1", &p("10.1.5.0/24")));
+        assert!(cfg.originates("D1-r1", &p("10.2.5.0/24")));
+    }
+
+    #[test]
+    fn configured_leaves_base_untouched() {
+        let topo = topo();
+        let base = NetworkConfig::new();
+        let changed = configured(
+            &base,
+            &topo,
+            &[ConfigChange::AddAclDeny {
+                devices: DeviceSelector::Group("D1".into()),
+                prefixes: vec![p("10.9.0.0/16")],
+            }],
+        );
+        assert!(changed.acl_drops("D1-r1", &p("10.9.1.0/24")));
+        assert!(!base.acl_drops("D1-r1", &p("10.9.1.0/24")));
+    }
+}

@@ -1,0 +1,396 @@
+//! Routing configuration: originations, import/export route maps,
+//! allow-lists, ACLs, and IGP cost overrides.
+//!
+//! The policy model is deliberately BGP-shaped — local preference set by
+//! route maps, first-match-wins clauses, implicit permit — because the
+//! change failures the paper recounts (§2.1) are policy interactions:
+//! a remote region's high local-pref overriding path length, a typo'd
+//! prefix list in an import policy, a stale IGP cost.
+
+use crate::topology::Topology;
+use rela_net::{glob_match, Ipv4Prefix};
+use std::collections::BTreeMap;
+
+/// Selects the devices a rule or change applies to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceSelector {
+    /// Match device names against a glob.
+    Name(String),
+    /// Match the device's group against a glob.
+    Group(String),
+}
+
+impl DeviceSelector {
+    /// Does `device` (with its `group`) match?
+    pub fn matches(&self, device: &str, group: &str) -> bool {
+        match self {
+            DeviceSelector::Name(glob) => glob_match(glob, device),
+            DeviceSelector::Group(glob) => glob_match(glob, group),
+        }
+    }
+
+    /// Expand to concrete device names over a topology.
+    pub fn expand(&self, topo: &Topology) -> Vec<String> {
+        topo.db
+            .devices()
+            .filter(|d| self.matches(&d.name, &d.group))
+            .map(|d| d.name.clone())
+            .collect()
+    }
+}
+
+/// What a matching route-map clause does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleAction {
+    /// Reject the route.
+    Deny,
+    /// Accept the route and set its local preference.
+    SetLocalPref(u32),
+    /// Accept the route unchanged.
+    Permit,
+}
+
+/// One route-map clause: match by destination prefix (containment) and
+/// optionally by the neighbor the route is learned from / sent to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyRule {
+    /// Diagnostic name (shows up in change tickets).
+    pub name: String,
+    /// The route's prefix must be contained in one of these.
+    pub prefixes: Vec<Ipv4Prefix>,
+    /// If set, the clause only applies to routes exchanged with matching
+    /// neighbors.
+    pub neighbor: Option<DeviceSelector>,
+    /// Effect when the clause matches.
+    pub action: RuleAction,
+}
+
+impl PolicyRule {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        prefixes: Vec<Ipv4Prefix>,
+        neighbor: Option<DeviceSelector>,
+        action: RuleAction,
+    ) -> PolicyRule {
+        PolicyRule {
+            name: name.into(),
+            prefixes,
+            neighbor,
+            action,
+        }
+    }
+
+    /// Does this clause match a route for `prefix` exchanged with
+    /// `neighbor` (whose group is `neighbor_group`)?
+    pub fn matches(&self, prefix: &Ipv4Prefix, neighbor: &str, neighbor_group: &str) -> bool {
+        if !self.prefixes.iter().any(|p| p.contains(prefix)) {
+            return false;
+        }
+        match &self.neighbor {
+            None => true,
+            Some(sel) => sel.matches(neighbor, neighbor_group),
+        }
+    }
+}
+
+/// Per-device policy state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DevicePolicy {
+    /// If present, only routes whose prefix is contained in one of these
+    /// are accepted on import (a prefix allow-list, as reconfigured on
+    /// `A2` in the paper's first iteration).
+    pub allow_list: Option<Vec<Ipv4Prefix>>,
+    /// Import route map, first match wins; no match → permit unchanged.
+    pub imports: Vec<PolicyRule>,
+    /// Export route map, first match wins; no match → permit unchanged.
+    pub exports: Vec<PolicyRule>,
+    /// Data-plane ACL: traffic to these prefixes is dropped at this device.
+    pub acl_deny: Vec<Ipv4Prefix>,
+}
+
+/// The full network configuration the control plane runs from.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkConfig {
+    /// Prefixes originated (delivered) at each device.
+    pub originations: BTreeMap<String, Vec<Ipv4Prefix>>,
+    /// Per-device policies (absent device → default policy).
+    pub policies: BTreeMap<String, DevicePolicy>,
+    /// IGP cost overrides for a device pair (applies to all parallel
+    /// links between the pair; key is the pair in sorted order).
+    pub link_cost_overrides: BTreeMap<(String, String), u32>,
+    /// Local preference assigned to routes with no policy verdict.
+    pub default_local_pref: u32,
+}
+
+impl NetworkConfig {
+    /// A configuration with no policies and the conventional default
+    /// local preference of 100.
+    pub fn new() -> NetworkConfig {
+        NetworkConfig {
+            default_local_pref: 100,
+            ..NetworkConfig::default()
+        }
+    }
+
+    /// Declare that `device` originates (can deliver) `prefix`.
+    pub fn originate(&mut self, device: &str, prefix: Ipv4Prefix) {
+        self.originations
+            .entry(device.to_owned())
+            .or_default()
+            .push(prefix);
+    }
+
+    /// Does `device` originate `prefix`? Containment counts: a device
+    /// originating `10.1.0.0/16` delivers `10.1.3.0/24`.
+    pub fn originates(&self, device: &str, prefix: &Ipv4Prefix) -> bool {
+        self.originations
+            .get(device)
+            .map(|list| list.iter().any(|p| p.contains(prefix)))
+            .unwrap_or(false)
+    }
+
+    /// All devices originating `prefix`, sorted.
+    pub fn origin_devices(&self, prefix: &Ipv4Prefix) -> Vec<String> {
+        self.originations
+            .iter()
+            .filter(|(_, list)| list.iter().any(|p| p.contains(prefix)))
+            .map(|(d, _)| d.clone())
+            .collect()
+    }
+
+    /// The policy of a device (default if unset).
+    pub fn policy(&self, device: &str) -> DevicePolicy {
+        self.policies.get(device).cloned().unwrap_or_default()
+    }
+
+    /// Mutable access to a device's policy, created on demand.
+    pub fn policy_mut(&mut self, device: &str) -> &mut DevicePolicy {
+        self.policies.entry(device.to_owned()).or_default()
+    }
+
+    /// Effective IGP cost between two adjacent devices, given the default
+    /// cost from the topology link.
+    pub fn effective_cost(&self, a: &str, b: &str, link_cost: u32) -> u32 {
+        let key = if a <= b {
+            (a.to_owned(), b.to_owned())
+        } else {
+            (b.to_owned(), a.to_owned())
+        };
+        self.link_cost_overrides
+            .get(&key)
+            .copied()
+            .unwrap_or(link_cost)
+    }
+
+    /// Override the IGP cost of every link between `a` and `b`.
+    pub fn set_link_cost(&mut self, a: &str, b: &str, cost: u32) {
+        let key = if a <= b {
+            (a.to_owned(), b.to_owned())
+        } else {
+            (b.to_owned(), a.to_owned())
+        };
+        self.link_cost_overrides.insert(key, cost);
+    }
+
+    /// Evaluate an import: `device` learns a route for `prefix` from
+    /// `neighbor`. Returns the local preference to install it with, or
+    /// `None` if the route is rejected.
+    ///
+    /// Order of operations mirrors a real route map: allow-list first,
+    /// then the first matching import clause; no clause → keep the
+    /// incoming (advertised) local preference.
+    pub fn evaluate_import(
+        &self,
+        device: &str,
+        prefix: &Ipv4Prefix,
+        neighbor: &str,
+        neighbor_group: &str,
+        incoming_lp: u32,
+    ) -> Option<u32> {
+        let policy = match self.policies.get(device) {
+            Some(p) => p,
+            None => return Some(incoming_lp),
+        };
+        if let Some(allow) = &policy.allow_list {
+            if !allow.iter().any(|p| p.contains(prefix)) {
+                return None;
+            }
+        }
+        for rule in &policy.imports {
+            if rule.matches(prefix, neighbor, neighbor_group) {
+                return match rule.action {
+                    RuleAction::Deny => None,
+                    RuleAction::SetLocalPref(lp) => Some(lp),
+                    RuleAction::Permit => Some(incoming_lp),
+                };
+            }
+        }
+        Some(incoming_lp)
+    }
+
+    /// Evaluate an export: `device` advertises its route for `prefix` to
+    /// `neighbor`. Returns the local preference to advertise with, or
+    /// `None` if the advertisement is suppressed.
+    pub fn evaluate_export(
+        &self,
+        device: &str,
+        prefix: &Ipv4Prefix,
+        neighbor: &str,
+        neighbor_group: &str,
+        current_lp: u32,
+    ) -> Option<u32> {
+        let policy = match self.policies.get(device) {
+            Some(p) => p,
+            None => return Some(current_lp),
+        };
+        for rule in &policy.exports {
+            if rule.matches(prefix, neighbor, neighbor_group) {
+                return match rule.action {
+                    RuleAction::Deny => None,
+                    RuleAction::SetLocalPref(lp) => Some(lp),
+                    RuleAction::Permit => Some(current_lp),
+                };
+            }
+        }
+        Some(current_lp)
+    }
+
+    /// Is traffic to `prefix` dropped by ACL at `device`?
+    pub fn acl_drops(&self, device: &str, prefix: &Ipv4Prefix) -> bool {
+        self.policies
+            .get(device)
+            .map(|p| p.acl_deny.iter().any(|a| a.contains(prefix)))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn selector_matching() {
+        let by_name = DeviceSelector::Name("A1-*".into());
+        assert!(by_name.matches("A1-r1", "A1"));
+        assert!(!by_name.matches("B1-r1", "B1"));
+        let by_group = DeviceSelector::Group("B?".into());
+        assert!(by_group.matches("B1-r1", "B1"));
+        assert!(!by_group.matches("A1-r1", "A1"));
+    }
+
+    #[test]
+    fn selector_expand() {
+        let mut b = TopologyBuilder::new();
+        b.router("A1-r1", "A1", "A")
+            .router("A2-r1", "A2", "A")
+            .router("B1-r1", "B1", "B");
+        let t = b.build();
+        assert_eq!(
+            DeviceSelector::Group("A*".into()).expand(&t),
+            vec!["A1-r1", "A2-r1"]
+        );
+    }
+
+    #[test]
+    fn rule_prefix_containment() {
+        let rule = PolicyRule::new("t1", vec![p("10.1.0.0/16")], None, RuleAction::Deny);
+        assert!(rule.matches(&p("10.1.3.0/24"), "n", "N"));
+        assert!(!rule.matches(&p("10.2.3.0/24"), "n", "N"));
+        // equal prefix matches
+        assert!(rule.matches(&p("10.1.0.0/16"), "n", "N"));
+        // broader prefix does not
+        assert!(!rule.matches(&p("10.0.0.0/8"), "n", "N"));
+    }
+
+    #[test]
+    fn rule_neighbor_scoping() {
+        let rule = PolicyRule::new(
+            "scoped",
+            vec![p("0.0.0.0/0")],
+            Some(DeviceSelector::Group("B1".into())),
+            RuleAction::SetLocalPref(200),
+        );
+        assert!(rule.matches(&p("10.1.0.0/24"), "B1-r1", "B1"));
+        assert!(!rule.matches(&p("10.1.0.0/24"), "A2-r1", "A2"));
+    }
+
+    #[test]
+    fn import_allow_list_blocks() {
+        let mut cfg = NetworkConfig::new();
+        cfg.policy_mut("A2-r1").allow_list = Some(vec![p("10.1.0.0/16")]);
+        assert_eq!(
+            cfg.evaluate_import("A2-r1", &p("10.1.4.0/24"), "n", "N", 100),
+            Some(100)
+        );
+        assert_eq!(
+            cfg.evaluate_import("A2-r1", &p("10.2.4.0/24"), "n", "N", 100),
+            None
+        );
+        // device without a policy accepts everything
+        assert_eq!(
+            cfg.evaluate_import("other", &p("10.2.4.0/24"), "n", "N", 130),
+            Some(130)
+        );
+    }
+
+    #[test]
+    fn import_first_match_wins() {
+        let mut cfg = NetworkConfig::new();
+        cfg.policy_mut("r").imports = vec![
+            PolicyRule::new("first", vec![p("10.1.0.0/16")], None, RuleAction::SetLocalPref(50)),
+            PolicyRule::new("second", vec![p("10.0.0.0/8")], None, RuleAction::SetLocalPref(200)),
+        ];
+        assert_eq!(cfg.evaluate_import("r", &p("10.1.0.0/24"), "n", "N", 100), Some(50));
+        assert_eq!(cfg.evaluate_import("r", &p("10.9.0.0/24"), "n", "N", 100), Some(200));
+        assert_eq!(cfg.evaluate_import("r", &p("11.0.0.0/24"), "n", "N", 100), Some(100));
+    }
+
+    #[test]
+    fn export_deny_suppresses() {
+        let mut cfg = NetworkConfig::new();
+        cfg.policy_mut("r").exports = vec![PolicyRule::new(
+            "no-leak",
+            vec![p("10.1.0.0/16")],
+            Some(DeviceSelector::Group("C*".into())),
+            RuleAction::Deny,
+        )];
+        assert_eq!(cfg.evaluate_export("r", &p("10.1.0.0/24"), "C1-r1", "C1", 100), None);
+        assert_eq!(
+            cfg.evaluate_export("r", &p("10.1.0.0/24"), "A1-r1", "A1", 100),
+            Some(100)
+        );
+    }
+
+    #[test]
+    fn originations_and_containment() {
+        let mut cfg = NetworkConfig::new();
+        cfg.originate("y1", p("10.1.0.0/16"));
+        assert!(cfg.originates("y1", &p("10.1.7.0/24")));
+        assert!(!cfg.originates("y1", &p("10.2.7.0/24")));
+        assert_eq!(cfg.origin_devices(&p("10.1.7.0/24")), vec!["y1"]);
+    }
+
+    #[test]
+    fn link_cost_override_is_symmetric() {
+        let mut cfg = NetworkConfig::new();
+        cfg.set_link_cost("A3-r1", "D1-r1", 10);
+        assert_eq!(cfg.effective_cost("A3-r1", "D1-r1", 5), 10);
+        assert_eq!(cfg.effective_cost("D1-r1", "A3-r1", 5), 10);
+        assert_eq!(cfg.effective_cost("A3-r1", "B3-r1", 5), 5);
+    }
+
+    #[test]
+    fn acl_drop_matching() {
+        let mut cfg = NetworkConfig::new();
+        cfg.policy_mut("fw").acl_deny.push(p("10.9.0.0/16"));
+        assert!(cfg.acl_drops("fw", &p("10.9.1.0/24")));
+        assert!(!cfg.acl_drops("fw", &p("10.8.1.0/24")));
+        assert!(!cfg.acl_drops("other", &p("10.9.1.0/24")));
+    }
+}

@@ -1,0 +1,234 @@
+//! The IGP substrate: equal-cost shortest paths over physical links.
+//!
+//! BGP picks a next-hop *device*; the traffic actually reaches it along
+//! IGP shortest paths. This indirection is what produces the paper's
+//! third-iteration bug: the stale costs `A3–B3–D1 = 4 < A3–D1 = 10` make
+//! traffic "bounce" through `B3` even though `A3` and `D1` are directly
+//! linked (§2.1).
+
+use crate::config::NetworkConfig;
+use crate::topology::Topology;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Precomputed adjacency with effective (override-aware) link costs.
+pub struct IgpView<'a> {
+    topo: &'a Topology,
+    /// device → (link index, neighbor, cost)
+    adjacency: BTreeMap<&'a str, Vec<(usize, &'a str, u32)>>,
+}
+
+impl<'a> IgpView<'a> {
+    /// Build the view for a topology under a configuration.
+    pub fn new(topo: &'a Topology, cfg: &NetworkConfig) -> IgpView<'a> {
+        let mut adjacency: BTreeMap<&str, Vec<(usize, &str, u32)>> = BTreeMap::new();
+        for name in topo.db.devices().map(|d| d.name.as_str()) {
+            adjacency.entry(name).or_default();
+        }
+        for (ix, link) in topo.links.iter().enumerate() {
+            let cost = cfg.effective_cost(&link.a, &link.b, link.cost);
+            adjacency
+                .entry(link.a.as_str())
+                .or_default()
+                .push((ix, link.b.as_str(), cost));
+            adjacency
+                .entry(link.b.as_str())
+                .or_default()
+                .push((ix, link.a.as_str(), cost));
+        }
+        IgpView { topo, adjacency }
+    }
+
+    /// Minimum link cost between two adjacent devices, if any link exists.
+    pub fn adjacent_cost(&self, a: &str, b: &str) -> Option<u32> {
+        self.adjacency
+            .get(a)?
+            .iter()
+            .filter(|(_, n, _)| *n == b)
+            .map(|&(_, _, c)| c)
+            .min()
+    }
+
+    /// Shortest-path distance from every device *to* `target`
+    /// (links are symmetric, so one Dijkstra from the target suffices).
+    pub fn dist_to(&self, target: &str) -> BTreeMap<String, u64> {
+        let mut dist: BTreeMap<String, u64> = BTreeMap::new();
+        let mut heap: BinaryHeap<Reverse<(u64, &str)>> = BinaryHeap::new();
+        dist.insert(target.to_owned(), 0);
+        heap.push(Reverse((0, target)));
+        while let Some(Reverse((d, dev))) = heap.pop() {
+            if dist.get(dev).copied().unwrap_or(u64::MAX) < d {
+                continue;
+            }
+            if let Some(neighbors) = self.adjacency.get(dev) {
+                for &(_, next, cost) in neighbors {
+                    let nd = d + u64::from(cost);
+                    if nd < dist.get(next).copied().unwrap_or(u64::MAX) {
+                        dist.insert(next.to_owned(), nd);
+                        heap.push(Reverse((nd, next)));
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// The links a packet at `from` may take as its first hop on an
+    /// equal-cost shortest path toward `target`. `dist` must come from
+    /// [`IgpView::dist_to`]`(target)`. Includes every parallel link whose
+    /// cost is on a shortest path (interface-level ECMP).
+    pub fn first_hop_links(
+        &self,
+        from: &str,
+        target: &str,
+        dist: &BTreeMap<String, u64>,
+    ) -> Vec<usize> {
+        if from == target {
+            return Vec::new();
+        }
+        let from_dist = match dist.get(from) {
+            Some(&d) => d,
+            None => return Vec::new(), // unreachable
+        };
+        let mut out = Vec::new();
+        if let Some(neighbors) = self.adjacency.get(from) {
+            for &(link_ix, next, cost) in neighbors {
+                if let Some(&next_dist) = dist.get(next) {
+                    if u64::from(cost) + next_dist == from_dist {
+                        out.push(link_ix);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        self.topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+
+    /// The A3/B3/D1 triangle from the paper with the stale-cost bug.
+    fn bounce_triangle() -> Topology {
+        let mut b = TopologyBuilder::new();
+        b.router("A3", "A3", "A")
+            .router("B3", "B3", "B")
+            .router("D1", "D1", "D");
+        b.link("A3", "D1", 10); // stale, expensive
+        b.link("A3", "B3", 2);
+        b.link("B3", "D1", 2);
+        b.build()
+    }
+
+    #[test]
+    fn dijkstra_finds_detour() {
+        let topo = bounce_triangle();
+        let cfg = NetworkConfig::new();
+        let igp = IgpView::new(&topo, &cfg);
+        let dist = igp.dist_to("D1");
+        assert_eq!(dist["D1"], 0);
+        assert_eq!(dist["B3"], 2);
+        assert_eq!(dist["A3"], 4, "detour through B3 must beat the direct link");
+    }
+
+    #[test]
+    fn first_hops_prefer_the_detour() {
+        let topo = bounce_triangle();
+        let cfg = NetworkConfig::new();
+        let igp = IgpView::new(&topo, &cfg);
+        let dist = igp.dist_to("D1");
+        let hops = igp.first_hop_links("A3", "D1", &dist);
+        assert_eq!(hops.len(), 1);
+        let link = &topo.links[hops[0]];
+        assert!(
+            link.other_end("A3") == Some("B3"),
+            "first hop must bounce via B3, got {link:?}"
+        );
+    }
+
+    #[test]
+    fn cost_override_fixes_the_bounce() {
+        let topo = bounce_triangle();
+        let mut cfg = NetworkConfig::new();
+        cfg.set_link_cost("A3", "D1", 3); // the fourth-iteration fix
+        let igp = IgpView::new(&topo, &cfg);
+        let dist = igp.dist_to("D1");
+        assert_eq!(dist["A3"], 3);
+        let hops = igp.first_hop_links("A3", "D1", &dist);
+        assert_eq!(hops.len(), 1);
+        assert_eq!(topo.links[hops[0]].other_end("A3"), Some("D1"));
+    }
+
+    #[test]
+    fn equal_cost_paths_give_multiple_first_hops() {
+        let mut b = TopologyBuilder::new();
+        b.router("s", "S", "S")
+            .router("m1", "M", "M")
+            .router("m2", "M", "M")
+            .router("t", "T", "T");
+        b.link("s", "m1", 5);
+        b.link("s", "m2", 5);
+        b.link("m1", "t", 5);
+        b.link("m2", "t", 5);
+        let topo = b.build();
+        let cfg = NetworkConfig::new();
+        let igp = IgpView::new(&topo, &cfg);
+        let dist = igp.dist_to("t");
+        let hops = igp.first_hop_links("s", "t", &dist);
+        assert_eq!(hops.len(), 2);
+    }
+
+    #[test]
+    fn parallel_links_all_first_hops() {
+        let mut b = TopologyBuilder::new();
+        b.router("s", "S", "S").router("t", "T", "T");
+        b.parallel_links("s", "t", 5, 4);
+        let topo = b.build();
+        let cfg = NetworkConfig::new();
+        let igp = IgpView::new(&topo, &cfg);
+        let dist = igp.dist_to("t");
+        assert_eq!(igp.first_hop_links("s", "t", &dist).len(), 4);
+    }
+
+    #[test]
+    fn unreachable_devices_have_no_distance() {
+        let mut b = TopologyBuilder::new();
+        b.router("a", "A", "A").router("b", "B", "B");
+        let topo = b.build(); // no links
+        let cfg = NetworkConfig::new();
+        let igp = IgpView::new(&topo, &cfg);
+        let dist = igp.dist_to("b");
+        assert!(!dist.contains_key("a"));
+        assert!(igp.first_hop_links("a", "b", &dist).is_empty());
+    }
+
+    #[test]
+    fn adjacent_cost_picks_cheapest_parallel() {
+        let mut b = TopologyBuilder::new();
+        b.router("s", "S", "S").router("t", "T", "T");
+        b.link("s", "t", 5);
+        b.link("s", "t", 3);
+        let topo = b.build();
+        let cfg = NetworkConfig::new();
+        let igp = IgpView::new(&topo, &cfg);
+        assert_eq!(igp.adjacent_cost("s", "t"), Some(3));
+        assert_eq!(igp.adjacent_cost("t", "s"), Some(3));
+        assert_eq!(igp.adjacent_cost("s", "nope"), None);
+    }
+
+    #[test]
+    fn first_hop_to_self_is_empty() {
+        let topo = bounce_triangle();
+        let cfg = NetworkConfig::new();
+        let igp = IgpView::new(&topo, &cfg);
+        let dist = igp.dist_to("A3");
+        assert!(igp.first_hop_links("A3", "A3", &dist).is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! # rela-sim
+//!
+//! A BGP-style control-plane simulator and change-scenario library: the
+//! substrate that stands in for the paper's production simulation
+//! toolchain (§2.3) and its seven months of change tickets (§9).
+//!
+//! The simulator computes per-prefix routes with a path-vector protocol
+//! (local-pref → path length → IGP cost, multipath), resolves BGP next
+//! hops through IGP equal-cost shortest paths, and extracts per-FEC
+//! forwarding DAGs — including dropped and uncarried traffic. The
+//! [`scenarios`] module reconstructs the paper's Figure 1 case study with
+//! all four change iterations; [`workload`] generates the evaluation
+//! dataset behind Figures 5–7.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bgp;
+mod change;
+mod config;
+mod forwarding;
+mod igp;
+pub mod scenarios;
+pub mod templates;
+pub mod workload;
+mod topology;
+mod traffic;
+
+pub use bgp::{compute_routes, Candidate, DeviceRoute, RoutingOutcome};
+pub use change::{apply_changes, configured, ConfigChange};
+pub use config::{DevicePolicy, DeviceSelector, NetworkConfig, PolicyRule, RuleAction};
+pub use forwarding::{build_fec_graph, compute_fib, simulate, FibEntry, PrefixFib};
+pub use igp::IgpView;
+pub use topology::{Link, Topology, TopologyBuilder};
+pub use traffic::{Flow, TrafficMatrix};

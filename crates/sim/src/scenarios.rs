@@ -1,0 +1,472 @@
+//! The paper's §2.1 / Figure 1 case study, reconstructed end to end.
+//!
+//! Intent: move traffic bundle T1 (entering at `x1`, destined behind
+//! `y1`) from the path `A1-B1-B2-B3-D1` onto `A1-A2-A3-D1`, impacting no
+//! other traffic.
+//!
+//! The base network hides three latent hazards, each taken from the
+//! paper's narrative:
+//!
+//! 1. **Remote high local-pref** — group `B1` exports backbone routes
+//!    with LP 200 ("prefer B transit"), unknown to region-A engineers.
+//!    It defeats iteration v1's allow-list-only change.
+//! 2. **Typo'd prefix list** — iteration v2's fail-safe import clause on
+//!    `B2` denies `10.2.0.0/16` (T2!) instead of `10.1.0.0/16`, causing
+//!    the collateral damage on T2.
+//! 3. **Stale IGP costs** — `A3–B3 = 2`, `B3–D1 = 2`, `A3–D1 = 10`, so
+//!    once T1 reaches `A3` it *bounces* through `B3`. Present in v2 and
+//!    v3; fixed only in v4.
+//!
+//! Traffic: 15 T1 FECs from `x1`, 24 T2 FECs from `x2`, and 17 FECs from
+//! `xa` that gain connectivity as a benign side effect of the (slightly
+//! too broad) allow-list — matching the §8.1 violation counts
+//! (v1: 15 e2e + 17 nochange; v2: 15 e2e + 24 nochange + 0 sideEffects).
+
+use crate::change::ConfigChange;
+use crate::config::{DeviceSelector, NetworkConfig, PolicyRule, RuleAction};
+use crate::forwarding::simulate;
+use crate::topology::{Topology, TopologyBuilder};
+use crate::traffic::TrafficMatrix;
+use rela_net::{Ipv4Prefix, Snapshot};
+
+/// Number of T1 traffic classes (x1 → behind y1).
+pub const T1_COUNT: u32 = 15;
+/// Number of T2 traffic classes (x2 → behind y2).
+pub const T2_COUNT: u32 = 24;
+/// Number of side-effect classes (xa → behind y1), including T1's 15
+/// prefixes plus two extra that the too-broad allow-list admits.
+pub const XA_COUNT: u32 = 17;
+
+/// The assembled case study.
+pub struct CaseStudy {
+    /// The physical network.
+    pub topology: Topology,
+    /// Pre-change configuration (with the latent hazards).
+    pub base_config: NetworkConfig,
+    /// The observed flows.
+    pub traffic: TrafficMatrix,
+    /// The four change-implementation iterations, in order
+    /// (`v1`…`v4`); each is cumulative (applied to the base config).
+    pub iterations: Vec<Iteration>,
+}
+
+/// One attempted implementation of the change.
+pub struct Iteration {
+    /// Short name: `"v1"` … `"v4"`.
+    pub name: &'static str,
+    /// What the engineers did, in ticket style.
+    pub description: &'static str,
+    /// The config delta relative to the *base* configuration.
+    pub changes: Vec<ConfigChange>,
+}
+
+/// The T1 aggregate (what the change intends to move).
+pub fn t1_supernet() -> Ipv4Prefix {
+    "10.1.0.0/16".parse().expect("static prefix")
+}
+
+/// The T2 aggregate (what must not be impacted).
+pub fn t2_supernet() -> Ipv4Prefix {
+    "10.2.0.0/16".parse().expect("static prefix")
+}
+
+/// The change specification for the case study, in Rela surface syntax
+/// (§4 of the paper). `sideEffects` — permitting the xa flows that gain
+/// connectivity — is not expressible in the surface language (footnote 3)
+/// and is added at the RIR level by the checker harness.
+pub const CASE_STUDY_SPEC: &str = r#"
+regex a1 := where(group == "A1")
+regex a2 := where(group == "A2")
+regex a3 := where(group == "A3")
+regex d1 := where(group == "D1")
+regex regionA := where(region == "A")
+regex regionD := where(region == "D")
+spec pathShift := { a1 . * d1 : any(a1 a2 a3 d1) }
+spec e2e := { regionA * : preserve ; pathShift ; regionD * : preserve }
+spec nochange := { . * : preserve }
+spec change := e2e else nochange
+check change
+"#;
+
+/// Build the full case study: topology, base config, traffic, iterations.
+pub fn case_study() -> CaseStudy {
+    CaseStudy {
+        topology: topology(),
+        base_config: base_config(),
+        traffic: traffic(),
+        iterations: iterations(),
+    }
+}
+
+impl CaseStudy {
+    /// Simulate the pre-change network.
+    pub fn pre_snapshot(&self) -> Snapshot {
+        let (snap, unconverged) = simulate(&self.topology, &self.base_config, &self.traffic);
+        assert!(unconverged.is_empty(), "base config must converge");
+        snap
+    }
+
+    /// Simulate the network after applying iteration `ix` (0-based).
+    pub fn post_snapshot(&self, ix: usize) -> Snapshot {
+        let cfg = crate::change::configured(
+            &self.base_config,
+            &self.topology,
+            &self.iterations[ix].changes,
+        );
+        let (snap, unconverged) = simulate(&self.topology, &cfg, &self.traffic);
+        assert!(
+            unconverged.is_empty(),
+            "iteration {} must converge",
+            self.iterations[ix].name
+        );
+        snap
+    }
+}
+
+fn topology() -> Topology {
+    let mut b = TopologyBuilder::new();
+    // Edge sites (single router each). Regions follow the groups they
+    // attach to, so region-scoped specs cover them.
+    b.router("x1", "x1", "A");
+    b.router("xa", "xa", "A");
+    b.router("x2", "x2", "C");
+    b.router("y1", "y1", "D");
+    b.router("y2", "y2", "D");
+    // Core groups, two routers each.
+    for (group, region) in [
+        ("A1", "A"),
+        ("A2", "A"),
+        ("A3", "A"),
+        ("B1", "B"),
+        ("B2", "B"),
+        ("B3", "B"),
+        ("C1", "C"),
+        ("C2", "C"),
+        ("D1", "D"),
+    ] {
+        b.router(&format!("{group}-r1"), group, region);
+        b.router(&format!("{group}-r2"), group, region);
+        b.mesh_within_group(group, 1);
+    }
+    // Edge attachments.
+    b.mesh_groups("x1", "A1", 5);
+    b.mesh_groups("xa", "A2", 5);
+    b.mesh_groups("x2", "C1", 5);
+    b.mesh_groups("y1", "D1", 5);
+    b.mesh_groups("y2", "D1", 5);
+    // Region A chain and the A-B peering.
+    b.mesh_groups("A1", "A2", 5);
+    b.mesh_groups("A2", "A3", 5);
+    b.mesh_groups("A1", "B1", 5);
+    // Region B chain.
+    b.mesh_groups("B1", "B2", 5);
+    b.mesh_groups("B2", "B3", 5);
+    // Region C paths.
+    b.mesh_groups("C1", "B1", 5);
+    b.mesh_groups("C1", "C2", 5);
+    b.mesh_groups("C2", "D1", 5);
+    // The stale-cost triangle (hazard 3).
+    b.mesh_groups("A3", "B3", 2);
+    b.mesh_groups("B3", "D1", 2);
+    b.mesh_groups("A3", "D1", 10);
+    b.build()
+}
+
+fn base_config() -> NetworkConfig {
+    let mut cfg = NetworkConfig::new();
+    // Egress sites originate the aggregates.
+    cfg.originate("y1", t1_supernet());
+    cfg.originate("y2", t2_supernet());
+    // Hazard 1: the longstanding "prefer B transit" export policy.
+    for device in ["B1-r1", "B1-r2"] {
+        cfg.policy_mut(device).exports.push(PolicyRule::new(
+            "prefer-b-transit",
+            vec!["10.0.0.0/8".parse().expect("static prefix")],
+            None,
+            RuleAction::SetLocalPref(200),
+        ));
+    }
+    // A2 starts with an empty allow-list: it carries no transit traffic.
+    for device in ["A2-r1", "A2-r2"] {
+        cfg.policy_mut(device).allow_list = Some(Vec::new());
+    }
+    cfg
+}
+
+fn traffic() -> TrafficMatrix {
+    let mut tm = TrafficMatrix::new();
+    tm.add_range(t1_supernet(), 24, T1_COUNT, "x1");
+    tm.add_range(t1_supernet(), 24, XA_COUNT, "xa");
+    tm.add_range(t2_supernet(), 24, T2_COUNT, "x2");
+    tm
+}
+
+fn t1_list() -> Vec<Ipv4Prefix> {
+    vec![t1_supernet()]
+}
+
+fn iterations() -> Vec<Iteration> {
+    let v1 = vec![
+        // The allow-list is opened with the aggregate — slightly broader
+        // than T1's 15 /24s, which is what admits the 17 xa classes.
+        ConfigChange::AddAllowPrefixes {
+            devices: DeviceSelector::Group("A2".into()),
+            prefixes: t1_list(),
+        },
+    ];
+
+    let mut v2 = v1.clone();
+    v2.extend([
+        // Raise preference of the A2 path for T1 (exported toward A1).
+        ConfigChange::PrependExport {
+            devices: DeviceSelector::Group("A2".into()),
+            rule: PolicyRule::new(
+                "t1-via-a2",
+                t1_list(),
+                Some(DeviceSelector::Group("A1".into())),
+                RuleAction::SetLocalPref(300),
+            ),
+        },
+        // Fail-safe: lower the old B-transit preference for T1.
+        ConfigChange::PrependExport {
+            devices: DeviceSelector::Group("B1".into()),
+            rule: PolicyRule::new(
+                "lower-t1-pref",
+                t1_list(),
+                None,
+                RuleAction::SetLocalPref(50),
+            ),
+        },
+        // Fail-safe: block T1 from using the B chain... except the prefix
+        // list is typo'd to T2 (hazard 2).
+        ConfigChange::PrependImport {
+            devices: DeviceSelector::Group("B2".into()),
+            rule: PolicyRule::new(
+                "block-t1-via-b",
+                vec![t2_supernet()], // TYPO: should be t1_supernet()
+                Some(DeviceSelector::Group("B3".into())),
+                RuleAction::Deny,
+            ),
+        },
+    ]);
+
+    let mut v3 = v1.clone();
+    v3.extend([
+        ConfigChange::PrependExport {
+            devices: DeviceSelector::Group("A2".into()),
+            rule: PolicyRule::new(
+                "t1-via-a2",
+                t1_list(),
+                Some(DeviceSelector::Group("A1".into())),
+                RuleAction::SetLocalPref(300),
+            ),
+        },
+        ConfigChange::PrependExport {
+            devices: DeviceSelector::Group("B1".into()),
+            rule: PolicyRule::new(
+                "lower-t1-pref",
+                t1_list(),
+                None,
+                RuleAction::SetLocalPref(50),
+            ),
+        },
+        // The typo fixed: deny T1 (not T2) from B3 at B2.
+        ConfigChange::PrependImport {
+            devices: DeviceSelector::Group("B2".into()),
+            rule: PolicyRule::new(
+                "block-t1-via-b",
+                t1_list(),
+                Some(DeviceSelector::Group("B3".into())),
+                RuleAction::Deny,
+            ),
+        },
+    ]);
+
+    let mut v4 = v3.clone();
+    v4.push(
+        // Repair the stale IGP cost so A3 reaches D1 directly.
+        ConfigChange::SetGroupLinkCost {
+            group_a: "A3".into(),
+            group_b: "D1".into(),
+            cost: 3,
+        },
+    );
+
+    vec![
+        Iteration {
+            name: "v1",
+            description: "open A2 allow-list for the T1 aggregate, hoping A1 \
+                          prefers the shorter A2 path",
+            changes: v1,
+        },
+        Iteration {
+            name: "v2",
+            description: "raise LP of the A2 path, lower B-transit LP, add a \
+                          B2 fail-safe deny — with a typo'd prefix list",
+            changes: v2,
+        },
+        Iteration {
+            name: "v3",
+            description: "fix the typo (deny T1, not T2, at B2)",
+            changes: v3,
+        },
+        Iteration {
+            name: "v4",
+            description: "also repair the stale A3–D1 IGP cost",
+            changes: v4,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rela_net::{device_path_to_group, FlowSpec};
+
+    fn group_paths(snap: &Snapshot, study: &CaseStudy, flow: &FlowSpec) -> Vec<Vec<String>> {
+        let graph = snap.get(flow).expect("flow in snapshot");
+        let mut paths: Vec<Vec<String>> = graph
+            .device_paths(1000)
+            .iter()
+            .map(|p| device_path_to_group(p, &study.topology.db))
+            .collect();
+        paths.sort();
+        paths.dedup();
+        paths
+    }
+
+    fn gp(hops: &[&str]) -> Vec<String> {
+        hops.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn t1_flow() -> FlowSpec {
+        FlowSpec::new("10.1.0.0/24".parse().unwrap(), "x1")
+    }
+
+    fn t2_flow() -> FlowSpec {
+        FlowSpec::new("10.2.0.0/24".parse().unwrap(), "x2")
+    }
+
+    fn xa_flow() -> FlowSpec {
+        FlowSpec::new("10.1.16.0/24".parse().unwrap(), "xa")
+    }
+
+    #[test]
+    fn pre_change_paths_match_figure_1() {
+        let study = case_study();
+        let pre = study.pre_snapshot();
+        assert_eq!(
+            group_paths(&pre, &study, &t1_flow()),
+            vec![gp(&["x1", "A1", "B1", "B2", "B3", "D1", "y1"])]
+        );
+        assert_eq!(
+            group_paths(&pre, &study, &t2_flow()),
+            vec![gp(&["x2", "C1", "B1", "B2", "B3", "D1", "y2"])]
+        );
+        // xa flows are not carried pre-change
+        assert!(!pre.get(&xa_flow()).unwrap().carries_traffic());
+    }
+
+    #[test]
+    fn v1_leaves_t1_unmoved_but_adds_xa_classes() {
+        let study = case_study();
+        let post = study.post_snapshot(0);
+        // T1 unchanged: the B1 high-LP wins over the newly available A2 path
+        assert_eq!(
+            group_paths(&post, &study, &t1_flow()),
+            vec![gp(&["x1", "A1", "B1", "B2", "B3", "D1", "y1"])]
+        );
+        // T2 unchanged
+        assert_eq!(
+            group_paths(&post, &study, &t2_flow()),
+            vec![gp(&["x2", "C1", "B1", "B2", "B3", "D1", "y2"])]
+        );
+        // the 17 xa classes gained connectivity (benign side effect),
+        // bouncing through B3 due to the stale IGP cost
+        assert_eq!(
+            group_paths(&post, &study, &xa_flow()),
+            vec![gp(&["xa", "A2", "A3", "B3", "D1", "y1"])]
+        );
+    }
+
+    #[test]
+    fn v2_moves_t1_with_bounce_and_breaks_t2() {
+        let study = case_study();
+        let post = study.post_snapshot(1);
+        // T1 moved to the A path but bounces through B3 (stale IGP cost)
+        assert_eq!(
+            group_paths(&post, &study, &t1_flow()),
+            vec![gp(&["x1", "A1", "A2", "A3", "B3", "D1", "y1"])]
+        );
+        // collateral damage: the typo'd deny breaks T2's B path
+        assert_eq!(
+            group_paths(&post, &study, &t2_flow()),
+            vec![gp(&["x2", "C1", "C2", "D1", "y2"])]
+        );
+    }
+
+    #[test]
+    fn v3_fixes_t2_but_bounce_remains() {
+        let study = case_study();
+        let post = study.post_snapshot(2);
+        assert_eq!(
+            group_paths(&post, &study, &t1_flow()),
+            vec![gp(&["x1", "A1", "A2", "A3", "B3", "D1", "y1"])]
+        );
+        assert_eq!(
+            group_paths(&post, &study, &t2_flow()),
+            vec![gp(&["x2", "C1", "B1", "B2", "B3", "D1", "y2"])]
+        );
+    }
+
+    #[test]
+    fn v4_achieves_the_intent() {
+        let study = case_study();
+        let post = study.post_snapshot(3);
+        assert_eq!(
+            group_paths(&post, &study, &t1_flow()),
+            vec![gp(&["x1", "A1", "A2", "A3", "D1", "y1"])]
+        );
+        assert_eq!(
+            group_paths(&post, &study, &t2_flow()),
+            vec![gp(&["x2", "C1", "B1", "B2", "B3", "D1", "y2"])]
+        );
+        assert_eq!(
+            group_paths(&post, &study, &xa_flow()),
+            vec![gp(&["xa", "A2", "A3", "D1", "y1"])]
+        );
+    }
+
+    #[test]
+    fn fec_counts_match_the_narrative() {
+        let study = case_study();
+        assert_eq!(study.traffic.len() as u32, T1_COUNT + T2_COUNT + XA_COUNT);
+        let pre = study.pre_snapshot();
+        assert_eq!(pre.len() as u32, T1_COUNT + T2_COUNT + XA_COUNT);
+        // pre-change: xa classes uncarried
+        let uncarried = pre
+            .iter()
+            .filter(|(_, g)| !g.carries_traffic())
+            .count() as u32;
+        assert_eq!(uncarried, XA_COUNT);
+    }
+
+    #[test]
+    fn path_diff_counts_per_iteration() {
+        // the manual workflow's "path diff" sizes (§8.1): v1 touches only
+        // the 17 xa classes; v2 touches xa + T1 + T2
+        let study = case_study();
+        let pre = study.pre_snapshot();
+        let diff_count = |post: &Snapshot| {
+            pre.iter()
+                .filter(|(flow, g_pre)| post.get(flow) != Some(*g_pre))
+                .count() as u32
+        };
+        let v1 = study.post_snapshot(0);
+        assert_eq!(diff_count(&v1), XA_COUNT);
+        let v2 = study.post_snapshot(1);
+        assert_eq!(diff_count(&v2), XA_COUNT + T1_COUNT + T2_COUNT);
+        let v4 = study.post_snapshot(3);
+        assert_eq!(diff_count(&v4), XA_COUNT + T1_COUNT);
+    }
+}

@@ -1,0 +1,280 @@
+//! Physical topology: routers, groups, regions, and links.
+//!
+//! A topology is the static substrate the control plane runs over. The
+//! builder enforces the naming conventions used across the workspace
+//! (interfaces are `"{device}:{port}"`) and registers every device and
+//! interface in a [`LocationDb`] so that Rela `where` queries can select
+//! them later.
+
+use rela_net::{Device, LocationDb};
+use std::collections::BTreeMap;
+
+/// An undirected physical link between two device ports.
+///
+/// The simulator treats links as symmetric: routes and traffic may flow
+/// in either direction, at the same IGP cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Link {
+    /// First endpoint device.
+    pub a: String,
+    /// Port on `a`.
+    pub a_port: String,
+    /// Second endpoint device.
+    pub b: String,
+    /// Port on `b`.
+    pub b_port: String,
+    /// IGP cost of the link (same both ways).
+    pub cost: u32,
+}
+
+impl Link {
+    /// The port used to egress this link from `device`, if `device` is an
+    /// endpoint.
+    pub fn port_of(&self, device: &str) -> Option<&str> {
+        if self.a == device {
+            Some(&self.a_port)
+        } else if self.b == device {
+            Some(&self.b_port)
+        } else {
+            None
+        }
+    }
+
+    /// The device on the other side of the link from `device`.
+    pub fn other_end(&self, device: &str) -> Option<&str> {
+        if self.a == device {
+            Some(&self.b)
+        } else if self.b == device {
+            Some(&self.a)
+        } else {
+            None
+        }
+    }
+}
+
+/// A network topology: the device inventory plus physical links.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    /// Device and interface inventory (drives `where` queries).
+    pub db: LocationDb,
+    /// Physical links.
+    pub links: Vec<Link>,
+}
+
+impl Topology {
+    /// Iterate over the links incident to a device.
+    pub fn links_of<'a>(&'a self, device: &'a str) -> impl Iterator<Item = &'a Link> + 'a {
+        self.links
+            .iter()
+            .filter(move |l| l.a == device || l.b == device)
+    }
+
+    /// Neighbor devices of a device (deduplicated, sorted).
+    pub fn neighbors(&self, device: &str) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .links_of(device)
+            .filter_map(|l| l.other_end(device))
+            .map(str::to_owned)
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// All device names, sorted.
+    pub fn device_names(&self) -> Vec<String> {
+        self.db.devices().map(|d| d.name.clone()).collect()
+    }
+
+    /// Devices belonging to a group, sorted.
+    pub fn devices_in_group(&self, group: &str) -> Vec<String> {
+        self.db
+            .devices()
+            .filter(|d| d.group == group)
+            .map(|d| d.name.clone())
+            .collect()
+    }
+}
+
+/// Incremental topology construction with automatic port assignment and
+/// interface registration.
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    topo: Topology,
+    next_port: BTreeMap<String, u32>,
+}
+
+impl TopologyBuilder {
+    /// Start an empty topology.
+    pub fn new() -> TopologyBuilder {
+        TopologyBuilder::default()
+    }
+
+    /// Add a router in `group` within `region`.
+    pub fn router(&mut self, name: &str, group: &str, region: &str) -> &mut Self {
+        self.topo
+            .db
+            .add_device(Device::new(name, group).with_attr("region", region));
+        self
+    }
+
+    /// Add a router with extra attributes.
+    pub fn router_with(
+        &mut self,
+        name: &str,
+        group: &str,
+        region: &str,
+        attrs: &[(&str, &str)],
+    ) -> &mut Self {
+        let mut d = Device::new(name, group).with_attr("region", region);
+        for (k, v) in attrs {
+            d = d.with_attr(*k, *v);
+        }
+        self.topo.db.add_device(d);
+        self
+    }
+
+    fn alloc_port(&mut self, device: &str) -> String {
+        let n = self.next_port.entry(device.to_owned()).or_insert(0);
+        let port = format!("eth{n}");
+        *n += 1;
+        let ifname = Device::interface_name(device, &port);
+        if let Some(d) = self.topo.db.device_mut(device) {
+            d.interfaces.push(ifname);
+        }
+        port
+    }
+
+    /// Connect two devices with a link of the given IGP cost. Ports are
+    /// assigned automatically and interfaces registered. Panics if either
+    /// device has not been added.
+    pub fn link(&mut self, a: &str, b: &str, cost: u32) -> &mut Self {
+        assert!(self.topo.db.device(a).is_some(), "unknown device {a}");
+        assert!(self.topo.db.device(b).is_some(), "unknown device {b}");
+        let a_port = self.alloc_port(a);
+        let b_port = self.alloc_port(b);
+        self.topo.links.push(Link {
+            a: a.to_owned(),
+            a_port,
+            b: b.to_owned(),
+            b_port,
+            cost,
+        });
+        self
+    }
+
+    /// Connect two devices with `n` parallel links (distinct ports each),
+    /// all at the same cost — the parallel-capacity pattern that makes
+    /// interface-level path counts explode (paper §6.1).
+    pub fn parallel_links(&mut self, a: &str, b: &str, cost: u32, n: usize) -> &mut Self {
+        for _ in 0..n {
+            self.link(a, b, cost);
+        }
+        self
+    }
+
+    /// Fully mesh every device of `group_a` with every device of
+    /// `group_b` at the given cost.
+    pub fn mesh_groups(&mut self, group_a: &str, group_b: &str, cost: u32) -> &mut Self {
+        let left = self.topo.devices_in_group(group_a);
+        let right = self.topo.devices_in_group(group_b);
+        for a in &left {
+            for b in &right {
+                self.link(a, b, cost);
+            }
+        }
+        self
+    }
+
+    /// Mesh all devices within a group at the given cost (typically a
+    /// cheap intra-site fabric).
+    pub fn mesh_within_group(&mut self, group: &str, cost: u32) -> &mut Self {
+        let members = self.topo.devices_in_group(group);
+        for i in 0..members.len() {
+            for j in i + 1..members.len() {
+                let (a, b) = (members[i].clone(), members[j].clone());
+                self.link(&a, &b, cost);
+            }
+        }
+        self
+    }
+
+    /// Finish building.
+    pub fn build(&mut self) -> Topology {
+        std::mem::take(&mut self.topo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_groups() -> Topology {
+        let mut b = TopologyBuilder::new();
+        b.router("A1-r1", "A1", "A")
+            .router("A1-r2", "A1", "A")
+            .router("B1-r1", "B1", "B")
+            .mesh_within_group("A1", 1)
+            .mesh_groups("A1", "B1", 5);
+        b.build()
+    }
+
+    #[test]
+    fn builder_registers_devices_and_interfaces() {
+        let t = two_groups();
+        assert_eq!(t.db.len(), 3);
+        // links: 1 intra (A1-r1↔A1-r2) + 2 inter (each A1 router ↔ B1-r1)
+        assert_eq!(t.links.len(), 3);
+        // each link registers one interface per endpoint
+        let a1r1 = t.db.device("A1-r1").unwrap();
+        assert_eq!(a1r1.interfaces.len(), 2); // one intra + one inter
+        assert!(a1r1.interfaces[0].starts_with("A1-r1:eth"));
+    }
+
+    #[test]
+    fn neighbors_and_links_of() {
+        let t = two_groups();
+        assert_eq!(t.neighbors("A1-r1"), vec!["A1-r2", "B1-r1"]);
+        assert_eq!(t.neighbors("B1-r1"), vec!["A1-r1", "A1-r2"]);
+        assert_eq!(t.links_of("B1-r1").count(), 2);
+    }
+
+    #[test]
+    fn parallel_links_create_distinct_ports() {
+        let mut b = TopologyBuilder::new();
+        b.router("x", "X", "X").router("y", "Y", "Y");
+        b.parallel_links("x", "y", 5, 3);
+        let t = b.build();
+        assert_eq!(t.links.len(), 3);
+        let ports: Vec<&str> = t.links.iter().map(|l| l.a_port.as_str()).collect();
+        assert_eq!(ports, vec!["eth0", "eth1", "eth2"]);
+        // still one neighbor
+        assert_eq!(t.neighbors("x"), vec!["y"]);
+    }
+
+    #[test]
+    fn link_port_and_other_end() {
+        let t = two_groups();
+        let l = &t.links[0];
+        assert_eq!(l.other_end(&l.a), Some(l.b.as_str()));
+        assert_eq!(l.other_end(&l.b), Some(l.a.as_str()));
+        assert_eq!(l.other_end("zzz"), None);
+        assert_eq!(l.port_of(&l.a), Some(l.a_port.as_str()));
+        assert_eq!(l.port_of("zzz"), None);
+    }
+
+    #[test]
+    fn devices_in_group_sorted() {
+        let t = two_groups();
+        assert_eq!(t.devices_in_group("A1"), vec!["A1-r1", "A1-r2"]);
+        assert!(t.devices_in_group("nope").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown device")]
+    fn linking_unknown_device_panics() {
+        let mut b = TopologyBuilder::new();
+        b.router("x", "X", "X");
+        b.link("x", "ghost", 1);
+    }
+}

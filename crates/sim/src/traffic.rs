@@ -1,0 +1,122 @@
+//! The traffic matrix: which flows the network carries.
+//!
+//! Mirrors the paper's NetFlow-driven workflow (§2.3 footnote): instead of
+//! analyzing all 2³² destinations symbolically, engineers check the flows
+//! observed entering the network, aggregated per (destination prefix,
+//! ingress device).
+
+use rela_net::{FlowSpec, Ipv4Prefix};
+use std::collections::BTreeSet;
+
+/// One observed flow aggregate.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Flow {
+    /// Destination prefix.
+    pub dst: Ipv4Prefix,
+    /// Device where the traffic enters.
+    pub ingress: String,
+}
+
+/// The set of flows to compute forwarding for.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficMatrix {
+    flows: BTreeSet<Flow>,
+}
+
+impl TrafficMatrix {
+    /// An empty matrix.
+    pub fn new() -> TrafficMatrix {
+        TrafficMatrix::default()
+    }
+
+    /// Add one flow.
+    pub fn add(&mut self, dst: Ipv4Prefix, ingress: impl Into<String>) {
+        self.flows.insert(Flow {
+            dst,
+            ingress: ingress.into(),
+        });
+    }
+
+    /// Add flows from `ingress` to `n` consecutive sub-prefixes of `base`
+    /// with the given length (e.g. the first 15 /24s of 10.1.0.0/16).
+    pub fn add_range(&mut self, base: Ipv4Prefix, sub_len: u8, n: u32, ingress: &str) {
+        for i in 0..n {
+            if let Some(p) = base.subnet(sub_len, i) {
+                self.add(p, ingress);
+            }
+        }
+    }
+
+    /// Iterate over flows in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = &Flow> {
+        self.flows.iter()
+    }
+
+    /// Number of flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True if no flows are present.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// The distinct destination prefixes, in order.
+    pub fn prefixes(&self) -> Vec<Ipv4Prefix> {
+        let set: BTreeSet<Ipv4Prefix> = self.flows.iter().map(|f| f.dst).collect();
+        set.into_iter().collect()
+    }
+
+    /// The [`FlowSpec`] key for a flow.
+    pub fn flow_spec(flow: &Flow) -> FlowSpec {
+        FlowSpec::new(flow.dst, flow.ingress.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn add_range_generates_consecutive_subnets() {
+        let mut tm = TrafficMatrix::new();
+        tm.add_range(p("10.1.0.0/16"), 24, 3, "x1");
+        assert_eq!(tm.len(), 3);
+        let prefixes = tm.prefixes();
+        assert_eq!(
+            prefixes,
+            vec![p("10.1.0.0/24"), p("10.1.1.0/24"), p("10.1.2.0/24")]
+        );
+    }
+
+    #[test]
+    fn duplicate_flows_are_merged() {
+        let mut tm = TrafficMatrix::new();
+        tm.add(p("10.1.0.0/24"), "x1");
+        tm.add(p("10.1.0.0/24"), "x1");
+        assert_eq!(tm.len(), 1);
+        tm.add(p("10.1.0.0/24"), "x2");
+        assert_eq!(tm.len(), 2);
+    }
+
+    #[test]
+    fn prefixes_dedup_across_ingresses() {
+        let mut tm = TrafficMatrix::new();
+        tm.add(p("10.1.0.0/24"), "x1");
+        tm.add(p("10.1.0.0/24"), "x2");
+        assert_eq!(tm.prefixes().len(), 1);
+    }
+
+    #[test]
+    fn add_range_stops_at_subnet_capacity() {
+        let mut tm = TrafficMatrix::new();
+        // /30 has only 4 /32s
+        tm.add_range(p("10.0.0.0/30"), 32, 10, "x1");
+        assert_eq!(tm.len(), 4);
+    }
+}

@@ -1,0 +1,380 @@
+//! The evaluation workload behind the paper's Figures 5–7.
+//!
+//! The paper's dataset is seven months of reviewed change tickets on a
+//! proprietary WAN; it reports the *distribution* of spec sizes (Fig. 5:
+//! half the changes need one atomic spec, 93% fewer than ten, outliers up
+//! to ~37) and validation times over a fixed recent snapshot (Fig. 6–7;
+//! §9.2: "we ran all specs on the same data plane state").
+//!
+//! We reproduce that methodology: a parameterized synthetic WAN
+//! ([`synthetic_wan`]) provides the data-plane state; [`evaluation_specs`]
+//! generates a 30-change dataset whose atomic-spec counts match the
+//! published distribution (15×1, 6×4, 7×7, 1×13, 1×37 — giving exactly
+//! the Fig. 7 sizes N ∈ {1, 4, 7, 13, 37}); and the bench harness times
+//! each spec against the same snapshot pair.
+
+use crate::change::ConfigChange;
+use crate::config::{DeviceSelector, NetworkConfig};
+use crate::topology::{Topology, TopologyBuilder};
+use crate::traffic::TrafficMatrix;
+use rela_net::{Granularity, Ipv4Prefix};
+
+/// Size and shape of the synthetic WAN.
+#[derive(Debug, Clone, Copy)]
+pub struct WanParams {
+    /// Number of regions (each with edge/core/egress groups).
+    pub regions: usize,
+    /// Routers per group.
+    pub routers_per_group: usize,
+    /// Parallel links on inter-region core trunks (drives the
+    /// interface-level path explosion of §6.1).
+    pub parallel_links: usize,
+    /// Traffic classes per (source region, destination region) pair.
+    pub fecs_per_pair: u32,
+}
+
+impl Default for WanParams {
+    fn default() -> WanParams {
+        WanParams {
+            regions: 5,
+            routers_per_group: 2,
+            parallel_links: 2,
+            fecs_per_pair: 5,
+        }
+    }
+}
+
+/// A generated network with its base configuration, observed traffic,
+/// and a representative change (used to produce the post-change state).
+pub struct SyntheticWan {
+    /// The physical network.
+    pub topology: Topology,
+    /// Base configuration.
+    pub config: NetworkConfig,
+    /// Traffic matrix (all region pairs).
+    pub traffic: TrafficMatrix,
+    /// A small, realistic change: an ACL filter insertion in region 1.
+    pub representative_change: Vec<ConfigChange>,
+}
+
+/// Group naming scheme: `R{r}E` (edge), `R{r}C` (core), `R{r}O`
+/// (egress), with single-router edge sites `inR{r}` / `outR{r}`.
+pub fn group_name(region: usize, tier: char) -> String {
+    format!("R{region}{tier}")
+}
+
+/// The /16 aggregate owned by a region.
+pub fn region_prefix(region: usize) -> Ipv4Prefix {
+    Ipv4Prefix::from_octets(10, region as u8, 0, 0, 16)
+}
+
+/// Build the synthetic WAN.
+pub fn synthetic_wan(params: &WanParams) -> SyntheticWan {
+    let mut b = TopologyBuilder::new();
+    let region_name = |r: usize| -> String { format!("{}", (b'A' + (r % 26) as u8) as char) };
+    for r in 0..params.regions {
+        let region = region_name(r);
+        for tier in ['E', 'C', 'O'] {
+            let group = group_name(r, tier);
+            for k in 0..params.routers_per_group {
+                b.router_with(
+                    &format!("{group}-r{k}"),
+                    &group,
+                    &region,
+                    &[("tier", tier.to_string().as_str())],
+                );
+            }
+            b.mesh_within_group(&group, 1);
+        }
+        b.router(&format!("inR{r}"), &format!("inR{r}"), &region);
+        b.router(&format!("outR{r}"), &format!("outR{r}"), &region);
+        b.mesh_groups(&format!("inR{r}"), &group_name(r, 'E'), 5);
+        b.mesh_groups(&group_name(r, 'E'), &group_name(r, 'C'), 5);
+        b.mesh_groups(&group_name(r, 'C'), &group_name(r, 'O'), 5);
+        b.mesh_groups(&group_name(r, 'O'), &format!("outR{r}"), 5);
+    }
+    // inter-region core: a ring with parallel trunks, plus distance-2
+    // chords at higher cost (alternate paths for maintenance shifts)
+    for r in 0..params.regions {
+        let next = (r + 1) % params.regions;
+        if next != r {
+            for a in topo_group(&b, r, 'C', params) {
+                for bdev in topo_group(&b, next, 'C', params) {
+                    b.parallel_links(&a, &bdev, 5, params.parallel_links);
+                }
+            }
+        }
+        if params.regions > 3 {
+            let chord = (r + 2) % params.regions;
+            for a in topo_group(&b, r, 'C', params) {
+                for bdev in topo_group(&b, chord, 'C', params) {
+                    b.link(&a, &bdev, 9);
+                }
+            }
+        }
+    }
+    let topology = b.build();
+
+    let mut config = NetworkConfig::new();
+    for r in 0..params.regions {
+        config.originate(&format!("outR{r}"), region_prefix(r));
+    }
+
+    let mut traffic = TrafficMatrix::new();
+    for src in 0..params.regions {
+        for dst in 0..params.regions {
+            if src == dst {
+                continue;
+            }
+            traffic.add_range(
+                region_prefix(dst),
+                24,
+                params.fecs_per_pair,
+                &format!("inR{src}"),
+            );
+        }
+    }
+
+    let representative_change = vec![ConfigChange::AddAclDeny {
+        devices: DeviceSelector::Group(group_name(1 % params.regions, 'O')),
+        prefixes: vec![Ipv4Prefix::from_octets(10, (1 % params.regions) as u8, 0, 0, 24)],
+    }];
+
+    SyntheticWan {
+        topology,
+        config,
+        traffic,
+        representative_change,
+    }
+}
+
+/// Devices of a group while still building (names are deterministic).
+fn topo_group(_b: &TopologyBuilder, region: usize, tier: char, params: &WanParams) -> Vec<String> {
+    let group = group_name(region, tier);
+    (0..params.routers_per_group)
+        .map(|k| format!("{group}-r{k}"))
+        .collect()
+}
+
+/// One change of the evaluation dataset: its Rela spec and metadata.
+#[derive(Debug, Clone)]
+pub struct ChangeSpec {
+    /// Ticket-style identifier.
+    pub id: String,
+    /// What kind of change this models.
+    pub description: String,
+    /// Number of atomic specs (`zone : modifier` terms) — the Fig. 5
+    /// metric.
+    pub atomic_count: usize,
+    /// The spec program source (parseable by `rela-core`).
+    pub source: String,
+    /// The granularity the change intent calls for (§9.2: ~4% interface,
+    /// ~7% device, rest group).
+    pub granularity: Granularity,
+}
+
+/// Generate a spec with exactly `n` atomic specs against the WAN's group
+/// names: `(n-1)/3` end-to-end shift chains (3 atomics each) chained with
+/// `else`, falling through to `nochange` (1 atomic). `n = 1` is the bare
+/// "no expected impact" spec that half of real changes need.
+///
+/// # Panics
+///
+/// Panics unless `n == 1` or `n ≡ 1 (mod 3)`.
+pub fn spec_of_size(n: usize, regions: usize) -> String {
+    assert!(
+        n == 1 || n % 3 == 1,
+        "spec sizes are 3·m + 1 (got {n})"
+    );
+    let mut out = String::new();
+    let mut chain_names = Vec::new();
+    let chains = n / 3;
+    // `where` queries (not bare names) so the same spec compiles at any
+    // granularity — exactly how Fig. 7 reruns one spec per granularity
+    let w = |group: String| format!("where(group == \"{group}\")");
+    for i in 0..chains {
+        let src = i % regions;
+        let dst = (src + 1 + (i / regions) % (regions - 1)) % regions;
+        let via = (src + 2) % regions;
+        let sc = w(group_name(src, 'C'));
+        let vc = w(group_name(via, 'C'));
+        let dc = w(group_name(dst, 'C'));
+        let do_ = w(group_name(dst, 'O'));
+        let se = w(group_name(src, 'E'));
+        let ingress = w(format!("inR{src}"));
+        let egress = w(format!("outR{dst}"));
+        let name = format!("shift{i}");
+        out.push_str(&format!(
+            "spec {name} := {{\n\
+             \x20   ({ingress} | {se})* : preserve ;\n\
+             \x20   {sc} .* {do_} : any({sc} {vc} {dc} {do_}) ;\n\
+             \x20   {egress}* : preserve ;\n\
+             }}\n"
+        ));
+        chain_names.push(name);
+    }
+    out.push_str("spec nochange := { .* : preserve }\n");
+    let chain_expr = chain_names
+        .iter()
+        .map(String::as_str)
+        .chain(std::iter::once("nochange"))
+        .collect::<Vec<_>>()
+        .join(" else ");
+    out.push_str(&format!("spec change := {chain_expr}\ncheck change\n"));
+    out
+}
+
+/// The 30-change evaluation dataset with the Fig. 5 size distribution:
+/// 15 changes of size 1 (50%), 6 of size 4, 7 of size 7 (93% below ten),
+/// one of size 13, and one of size 37.
+pub fn evaluation_specs(params: &WanParams) -> Vec<ChangeSpec> {
+    let mut out = Vec::new();
+    let sizes: Vec<usize> = std::iter::repeat_n(1, 15)
+        .chain(std::iter::repeat_n(4, 6))
+        .chain(std::iter::repeat_n(7, 7))
+        .chain([13, 37])
+        .collect();
+    for (ix, &size) in sizes.iter().enumerate() {
+        // §9.2: under 4% of changes need interface granularity, 7%
+        // device level; the rest are group level.
+        let granularity = match ix {
+            0 => Granularity::Interface,
+            1 | 2 => Granularity::Device,
+            _ => Granularity::Group,
+        };
+        let description = match size {
+            1 => "standardization / no expected forwarding impact",
+            4 => "single traffic shift (e2e else nochange)",
+            7 => "paired traffic shift (two chains)",
+            13 => "multi-pair maintenance drain",
+            _ => "routing architecture migration",
+        };
+        out.push(ChangeSpec {
+            id: format!("CHG-{:03}", ix + 1),
+            description: description.to_owned(),
+            atomic_count: size,
+            source: spec_of_size(size, params.regions),
+            granularity,
+        });
+    }
+    out
+}
+
+/// Cumulative-distribution points `(size, fraction ≤ size)` for a list of
+/// spec sizes — the data behind Fig. 5.
+pub fn size_cdf(specs: &[ChangeSpec]) -> Vec<(usize, f64)> {
+    let mut sizes: Vec<usize> = specs.iter().map(|s| s.atomic_count).collect();
+    sizes.sort_unstable();
+    let n = sizes.len() as f64;
+    let mut out = Vec::new();
+    for (i, &s) in sizes.iter().enumerate() {
+        if i + 1 == sizes.len() || sizes[i + 1] != s {
+            out.push((s, (i + 1) as f64 / n));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forwarding::simulate;
+
+    #[test]
+    fn wan_builds_and_converges() {
+        let params = WanParams {
+            regions: 4,
+            routers_per_group: 2,
+            parallel_links: 2,
+            fecs_per_pair: 2,
+        };
+        let wan = synthetic_wan(&params);
+        // 4 regions × (3 groups × 2 routers + 2 edge devices)
+        assert_eq!(wan.topology.db.len(), 4 * (3 * 2 + 2));
+        let (snap, unconverged) = simulate(&wan.topology, &wan.config, &wan.traffic);
+        assert!(unconverged.is_empty());
+        assert_eq!(snap.len(), 4 * 3 * 2); // 12 pairs × 2 FECs
+        // every flow is carried
+        for (flow, graph) in snap.iter() {
+            assert!(graph.carries_traffic(), "{flow} not carried");
+            assert!(graph.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn representative_change_alters_forwarding() {
+        let params = WanParams::default();
+        let wan = synthetic_wan(&params);
+        let (pre, _) = simulate(&wan.topology, &wan.config, &wan.traffic);
+        let changed = crate::change::configured(
+            &wan.config,
+            &wan.topology,
+            &wan.representative_change,
+        );
+        let (post, _) = simulate(&wan.topology, &changed, &wan.traffic);
+        let diffs = pre
+            .iter()
+            .filter(|(flow, g)| post.get(flow) != Some(*g))
+            .count();
+        assert!(diffs > 0, "the representative change must be visible");
+        assert!(diffs < pre.len(), "and must not touch everything");
+    }
+
+    #[test]
+    fn spec_sizes_match_figure5_distribution() {
+        let specs = evaluation_specs(&WanParams::default());
+        assert_eq!(specs.len(), 30);
+        let count = |n: usize| specs.iter().filter(|s| s.atomic_count == n).count();
+        assert_eq!(count(1), 15);
+        assert_eq!(count(4), 6);
+        assert_eq!(count(7), 7);
+        assert_eq!(count(13), 1);
+        assert_eq!(count(37), 1);
+        // headline stats: 50% need one spec; 93% fewer than ten
+        let cdf = size_cdf(&specs);
+        let at = |size: usize| {
+            cdf.iter()
+                .filter(|(s, _)| *s <= size)
+                .map(|(_, f)| *f)
+                .fold(0.0, f64::max)
+        };
+        assert!((at(1) - 0.5).abs() < 1e-9);
+        assert!((at(9) - 28.0 / 30.0).abs() < 1e-9); // 93.3%
+    }
+
+    #[test]
+    fn granularity_mix_matches_section_9_2() {
+        let specs = evaluation_specs(&WanParams::default());
+        let ifaces = specs
+            .iter()
+            .filter(|s| s.granularity == Granularity::Interface)
+            .count();
+        let devices = specs
+            .iter()
+            .filter(|s| s.granularity == Granularity::Device)
+            .count();
+        assert_eq!(ifaces, 1); // 3.3% < 4%
+        assert_eq!(devices, 2); // 6.7% ≈ 7%
+    }
+
+    #[test]
+    fn spec_of_size_counts_atomics() {
+        for n in [1usize, 4, 7, 13, 37] {
+            let src = spec_of_size(n, 5);
+            // count `: preserve`, `: any(`, etc. — one `:` + modifier per atomic
+            let atomics = src.matches(": preserve").count()
+                + src.matches(": any(").count()
+                + src.matches(": add(").count()
+                + src.matches(": remove(").count()
+                + src.matches(": drop").count()
+                + src.matches(": replace(").count();
+            assert_eq!(atomics, n, "spec:\n{src}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "spec sizes")]
+    fn spec_of_size_rejects_bad_sizes() {
+        spec_of_size(5, 5);
+    }
+}

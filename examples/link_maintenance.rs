@@ -1,0 +1,92 @@
+//! Link maintenance: move all traffic off the B1 transit leg before
+//! shutting it down — the paper's introductory example ("move all
+//! traffic on link A to link B ... and no other traffic is impacted",
+//! §1). The drain is implemented as an import deny at A1 for routes
+//! learned from B1.
+//!
+//! The buggy variant types the prefix list wrong (`10.0.0.0/14` instead
+//! of `10.0.0.0/8`), draining only a third of the flows — precisely the
+//! "all desired path changes occurred?" question that is hard to answer
+//! from a path diff (§2.3) and trivial for a relational spec.
+//!
+//! Run: `cargo run --example link_maintenance`
+
+use rela::lang::check::run_check;
+use rela::net::{Granularity, SnapshotPair};
+use rela::sim::{
+    configured, simulate, ConfigChange, DeviceSelector, NetworkConfig, PolicyRule, RuleAction,
+    TopologyBuilder, TrafficMatrix,
+};
+
+fn main() {
+    // Topology: x1 → A1 → {B1 | C1} → D1 → y1; the B1 leg is cheaper and
+    // carries everything before the change.
+    let mut b = TopologyBuilder::new();
+    for (name, group, region) in [
+        ("x1", "x1", "edge"),
+        ("A1-r1", "A1", "core"),
+        ("A1-r2", "A1", "core"),
+        ("B1-r1", "B1", "transit"),
+        ("C1-r1", "C1", "transit"),
+        ("D1-r1", "D1", "core"),
+        ("y1", "y1", "edge"),
+    ] {
+        b.router(name, group, region);
+    }
+    b.mesh_within_group("A1", 1);
+    b.mesh_groups("x1", "A1", 5);
+    b.mesh_groups("A1", "B1", 2); // preferred leg
+    b.mesh_groups("A1", "C1", 4);
+    b.mesh_groups("B1", "D1", 2);
+    b.mesh_groups("C1", "D1", 4);
+    b.mesh_groups("D1", "y1", 5);
+    let topo = b.build();
+
+    let mut cfg = NetworkConfig::new();
+    cfg.originate("y1", "10.0.0.0/8".parse().unwrap());
+
+    let mut traffic = TrafficMatrix::new();
+    traffic.add_range("10.0.0.0/8".parse().unwrap(), 16, 12, "x1");
+
+    let (pre, _) = simulate(&topo, &cfg, &traffic);
+
+    // The relational spec: everything on the B1 leg moves to the C1 leg;
+    // nothing else changes.
+    let spec = r#"
+        regex viaB := x1 A1 B1 D1 y1
+        regex viaC := x1 A1 C1 D1 y1
+        spec drain := { x1 .* y1 : replace(viaB, viaC) }
+        spec nochange := { .* : preserve }
+        spec change := drain else nochange
+        check change
+    "#;
+
+    let drain_rule = |prefixes: &str| {
+        vec![ConfigChange::PrependImport {
+            devices: DeviceSelector::Group("A1".into()),
+            rule: PolicyRule::new(
+                "drain-b1",
+                vec![prefixes.parse().unwrap()],
+                Some(DeviceSelector::Group("B1".into())),
+                RuleAction::Deny,
+            ),
+        }]
+    };
+
+    // Correct implementation: deny the whole aggregate from B1.
+    let (post, _) = simulate(&topo, &configured(&cfg, &topo, &drain_rule("10.0.0.0/8")), &traffic);
+    let pair = SnapshotPair::align(&pre, &post);
+    let report = run_check(spec, &topo.db, Granularity::Group, &pair).expect("spec compiles");
+    println!("full drain:\n{report}");
+    assert!(report.is_compliant());
+
+    // Buggy implementation: the prefix list covers only 10.0.0.0/14, so
+    // eight of the twelve flows never move.
+    let (post_bad, _) =
+        simulate(&topo, &configured(&cfg, &topo, &drain_rule("10.0.0.0/14")), &traffic);
+    let pair = SnapshotPair::align(&pre, &post_bad);
+    let report = run_check(spec, &topo.db, Granularity::Group, &pair).expect("spec compiles");
+    println!("typo'd drain (should FAIL):\n{report}");
+    assert!(!report.is_compliant());
+    assert_eq!(report.count_for("drain"), 8);
+}

@@ -1,0 +1,119 @@
+//! Region similarity — the paper's stated future-work application (§1):
+//! "we also expect that it can help verify if two parts of the same
+//! snapshot are similar (e.g., two geographic regions), modulo a few
+//! exceptions."
+//!
+//! The relational machinery already suffices: build a *renaming relation*
+//! R that maps region-EAST locations to their WEST counterparts, and
+//! check `paths(EAST) ⊲ R = paths(WEST)` with the same automata used for
+//! change validation. Exceptions are waived by uniting R with an
+//! exception relation.
+//!
+//! Run: `cargo run --example region_similarity`
+
+use rela::automata::{
+    compare, determinize, image, DiffWitness, Fst, FstLabel, SymSet, SymbolTable,
+};
+use rela::net::{graph_to_fsa, Device, ForwardingGraph, Granularity, LocationDb};
+
+/// Build one region's forwarding state: ingress → edge → {core-a|core-b}
+/// → out, with a deliberate asymmetry in EAST when `skewed` is set (its
+/// second core router is dark — a latent config divergence).
+fn region_fec(prefix: &str, skewed: bool) -> ForwardingGraph {
+    let mut g = ForwardingGraph::new();
+    let ingress = g.add_vertex(format!("{prefix}-in"));
+    let edge = g.add_vertex(format!("{prefix}-edge"));
+    let core_a = g.add_vertex(format!("{prefix}-core-a"));
+    let out = g.add_vertex(format!("{prefix}-out"));
+    g.add_edge(ingress, edge, "e0", "e0");
+    g.add_edge(edge, core_a, "e1", "e0");
+    g.add_edge(core_a, out, "e1", "e0");
+    if !skewed {
+        let core_b = g.add_vertex(format!("{prefix}-core-b"));
+        g.add_edge(edge, core_b, "e2", "e0");
+        g.add_edge(core_b, out, "e1", "e1");
+    }
+    g.sources.push(ingress);
+    g.sinks.push(out);
+    g
+}
+
+/// The renaming relation: a transducer mapping each `from` symbol to its
+/// `to` counterpart, one hop at a time, any number of hops —
+/// `(∪ᵢ fromᵢ × toᵢ)*` built from the public FST API.
+fn renaming(table: &mut SymbolTable, pairs: &[(&str, &str)]) -> Fst {
+    let mut step = Fst::new();
+    let accept = step.add_state();
+    for (from, to) in pairs {
+        let f = table.intern(from);
+        let t = table.intern(to);
+        step.add_arc(
+            step.start(),
+            FstLabel::Pair(SymSet::singleton(f), SymSet::singleton(t)),
+            accept,
+        );
+    }
+    step.set_accepting(accept, true);
+    step.star()
+}
+
+fn db_for(regions: &[&str]) -> LocationDb {
+    let mut db = LocationDb::new();
+    for r in regions {
+        for role in ["in", "edge", "core-a", "core-b", "out"] {
+            let name = format!("{r}-{role}");
+            db.add_device(Device::new(&name, &name));
+        }
+    }
+    db
+}
+
+fn check_similarity(east: &ForwardingGraph, west: &ForwardingGraph) {
+    let db = db_for(&["east", "west"]);
+    let mut table = SymbolTable::new();
+    let east_fsa = graph_to_fsa(east, &db, Granularity::Device, &mut table);
+    let west_fsa = graph_to_fsa(west, &db, Granularity::Device, &mut table);
+
+    let rename = renaming(
+        &mut table,
+        &[
+            ("east-in", "west-in"),
+            ("east-edge", "west-edge"),
+            ("east-core-a", "west-core-a"),
+            ("east-core-b", "west-core-b"),
+            ("east-out", "west-out"),
+        ],
+    );
+
+    // paths(EAST) ⊲ rename  =  paths(WEST)?
+    let lhs = determinize(&image(&east_fsa, &rename).trim());
+    let rhs = determinize(&west_fsa.trim());
+    match compare(&lhs, &rhs) {
+        DiffWitness::Equal => println!("  regions are behaviourally identical (modulo renaming)"),
+        DiffWitness::LeftOnly(w) => {
+            println!("  EAST has behaviour WEST lacks: {}", render(&w, &table))
+        }
+        DiffWitness::RightOnly(w) => {
+            println!("  WEST has behaviour EAST lacks: {}", render(&w, &table))
+        }
+    }
+}
+
+fn render(witness: &[SymSet], table: &SymbolTable) -> String {
+    rela::automata::concretize(witness, table)
+        .map(|syms| {
+            syms.iter()
+                .map(|&s| table.name(s).to_owned())
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .unwrap_or_else(|| "<unprintable>".to_owned())
+}
+
+fn main() {
+    println!("symmetric build-out:");
+    check_similarity(&region_fec("east", false), &region_fec("west", false));
+
+    println!("east-core-b dark (latent divergence):");
+    check_similarity(&region_fec("east", true), &region_fec("west", false));
+}

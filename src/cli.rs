@@ -1,0 +1,392 @@
+//! The `rela` command-line tool: validate a network change from files.
+//!
+//! ```text
+//! rela check --spec change.rela --db db.json --pre pre.json --post post.json
+//!            [--granularity group|device|interface] [--threads N]
+//! rela diff  --db db.json --pre pre.json --post post.json
+//!            [--granularity group|device|interface]
+//! rela demo  [--out DIR]      # write the Figure 1 case study as files
+//! ```
+//!
+//! `check` exits 0 when the change complies with the spec and 1 when it
+//! does not (2 on usage or input errors), so it slots into change
+//! pipelines — the integration the paper reports ("we are now
+//! integrating Rela into the change pipeline of this network", §1).
+
+use rela_baseline::{path_diff, DiffOptions};
+
+use rela_net::{Granularity, LocationDb, Snapshot, SnapshotPair};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Validate a change spec against a snapshot pair.
+    Check {
+        /// Path to the `.rela` spec program.
+        spec: PathBuf,
+        /// Path to the location database JSON.
+        db: PathBuf,
+        /// Path to the pre-change snapshot JSON.
+        pre: PathBuf,
+        /// Path to the post-change snapshot JSON.
+        post: PathBuf,
+        /// Location granularity.
+        granularity: Granularity,
+        /// Worker threads (0 = auto).
+        threads: usize,
+    },
+    /// Print the §2.3 path diff (the manual-inspection baseline).
+    Diff {
+        /// Path to the location database JSON.
+        db: PathBuf,
+        /// Path to the pre-change snapshot JSON.
+        pre: PathBuf,
+        /// Path to the post-change snapshot JSON.
+        post: PathBuf,
+        /// Location granularity.
+        granularity: Granularity,
+    },
+    /// Write the Figure 1 case study inputs to a directory.
+    Demo {
+        /// Output directory.
+        out: PathBuf,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// CLI failure with a process exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Message for stderr.
+    pub message: String,
+    /// Process exit code (2 = usage/input error).
+    pub code: i32,
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn usage_error(message: impl Into<String>) -> CliError {
+    CliError {
+        message: message.into(),
+        code: 2,
+    }
+}
+
+/// The help text.
+pub const USAGE: &str = "\
+rela — relational network verification (SIGCOMM 2024 reproduction)
+
+USAGE:
+  rela check --spec FILE --db FILE --pre FILE --post FILE
+             [--granularity group|device|interface] [--threads N]
+  rela diff  --db FILE --pre FILE --post FILE
+             [--granularity group|device|interface]
+  rela demo  [--out DIR]
+  rela help
+
+check validates the change: exit 0 = compliant, 1 = violations found.
+diff prints the manual path-diff baseline (every changed traffic class).
+demo writes the paper's Figure 1 case study (db, snapshots, spec) so you
+can try: rela demo --out /tmp/fig1 && rela check --spec /tmp/fig1/change.rela \\
+  --db /tmp/fig1/db.json --pre /tmp/fig1/pre.json --post /tmp/fig1/post_v2.json";
+
+/// Parse command-line arguments (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut flags: BTreeMap<String, String> = BTreeMap::new();
+    let Some((cmd, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        if !flag.starts_with("--") {
+            return Err(usage_error(format!("unexpected argument `{flag}`")));
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| usage_error(format!("flag `{flag}` needs a value")))?;
+        flags.insert(flag.trim_start_matches("--").to_owned(), value.clone());
+    }
+    let need = |key: &str| -> Result<PathBuf, CliError> {
+        flags
+            .get(key)
+            .map(PathBuf::from)
+            .ok_or_else(|| usage_error(format!("missing required flag `--{key}`")))
+    };
+    let granularity = match flags.get("granularity").map(String::as_str) {
+        None | Some("group") => Granularity::Group,
+        Some("device") | Some("router") => Granularity::Device,
+        Some("interface") => Granularity::Interface,
+        Some(other) => {
+            return Err(usage_error(format!(
+                "unknown granularity `{other}` (expected group, device, or interface)"
+            )))
+        }
+    };
+    match cmd.as_str() {
+        "check" => Ok(Command::Check {
+            spec: need("spec")?,
+            db: need("db")?,
+            pre: need("pre")?,
+            post: need("post")?,
+            granularity,
+            threads: flags
+                .get("threads")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0),
+        }),
+        "diff" => Ok(Command::Diff {
+            db: need("db")?,
+            pre: need("pre")?,
+            post: need("post")?,
+            granularity,
+        }),
+        "demo" => Ok(Command::Demo {
+            out: flags
+                .get("out")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("fig1-demo")),
+        }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(usage_error(format!("unknown command `{other}`"))),
+    }
+}
+
+fn read(path: &Path) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| usage_error(format!("{}: {e}", path.display())))
+}
+
+fn load_db(path: &Path) -> Result<LocationDb, CliError> {
+    serde_json::from_str(&read(path)?)
+        .map_err(|e| usage_error(format!("{}: invalid location db: {e}", path.display())))
+}
+
+fn load_snapshot(path: &Path) -> Result<Snapshot, CliError> {
+    Snapshot::from_json(&read(path)?)
+        .map_err(|e| usage_error(format!("{}: invalid snapshot: {e}", path.display())))
+}
+
+/// Execute a command, writing human output through `out`. Returns the
+/// process exit code.
+pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<i32, CliError> {
+    let emit = |out: &mut dyn std::io::Write, text: String| -> Result<(), CliError> {
+        out.write_all(text.as_bytes())
+            .map_err(|e| usage_error(format!("write failed: {e}")))
+    };
+    match cmd {
+        Command::Help => {
+            emit(out, format!("{USAGE}\n"))?;
+            Ok(0)
+        }
+        Command::Check {
+            spec,
+            db,
+            pre,
+            post,
+            granularity,
+            threads,
+        } => {
+            let source = read(spec)?;
+            let db = load_db(db)?;
+            let pair = SnapshotPair::align(&load_snapshot(pre)?, &load_snapshot(post)?);
+            let program = rela_core::parse_program(&source)
+                .map_err(|e| usage_error(format!("{}: {e}", spec.display())))?;
+            let compiled = rela_core::compile_program(&program, &db, *granularity)
+                .map_err(|e| usage_error(format!("{}: {e}", spec.display())))?;
+            let options = rela_core::CheckOptions {
+                threads: *threads,
+                ..rela_core::CheckOptions::default()
+            };
+            let report = rela_core::Checker::new(&compiled, &db)
+                .with_options(options)
+                .check(&pair);
+            emit(out, report.to_string())?;
+            Ok(if report.is_compliant() { 0 } else { 1 })
+        }
+        Command::Diff {
+            db,
+            pre,
+            post,
+            granularity,
+        } => {
+            let db = load_db(db)?;
+            let pair = SnapshotPair::align(&load_snapshot(pre)?, &load_snapshot(post)?);
+            let diff = path_diff(
+                &pair,
+                &db,
+                DiffOptions {
+                    granularity: *granularity,
+                    ..DiffOptions::default()
+                },
+            );
+            emit(
+                out,
+                format!(
+                    "path diff: {} of {} traffic classes changed\n",
+                    diff.len(),
+                    diff.total
+                ),
+            )?;
+            for entry in &diff.entries {
+                emit(out, format!("{}\n", entry.flow))?;
+                for p in &entry.pre_paths {
+                    emit(out, format!("  - {}\n", p.join(" ")))?;
+                }
+                for p in &entry.post_paths {
+                    emit(out, format!("  + {}\n", p.join(" ")))?;
+                }
+            }
+            Ok(if diff.is_empty() { 0 } else { 1 })
+        }
+        Command::Demo { out: dir } => {
+            let study = rela_sim::scenarios::case_study();
+            std::fs::create_dir_all(dir)
+                .map_err(|e| usage_error(format!("{}: {e}", dir.display())))?;
+            let write = |name: &str, contents: String| -> Result<(), CliError> {
+                let path = dir.join(name);
+                std::fs::write(&path, contents)
+                    .map_err(|e| usage_error(format!("{}: {e}", path.display())))
+            };
+            write(
+                "db.json",
+                serde_json::to_string_pretty(&study.topology.db)
+                    .map_err(|e| usage_error(e.to_string()))?,
+            )?;
+            write(
+                "pre.json",
+                study
+                    .pre_snapshot()
+                    .to_json()
+                    .map_err(|e| usage_error(e.to_string()))?,
+            )?;
+            for (ix, iteration) in study.iterations.iter().enumerate() {
+                write(
+                    &format!("post_{}.json", iteration.name),
+                    study
+                        .post_snapshot(ix)
+                        .to_json()
+                        .map_err(|e| usage_error(e.to_string()))?,
+                )?;
+            }
+            let refined = format!(
+                "{}\nrir sideEffects := pre <= post && post <= (pre | xa .*)\n\
+                 pspec sideP := (ingress == \"xa\") -> sideEffects\n",
+                rela_sim::scenarios::CASE_STUDY_SPEC
+            );
+            write("change.rela", refined)?;
+            emit(
+                out,
+                format!(
+                    "wrote db.json, pre.json, post_v1..v4.json, change.rela to {}\n",
+                    dir.display()
+                ),
+            )?;
+            Ok(0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_check_command() {
+        let cmd = parse_args(&args(&[
+            "check", "--spec", "s.rela", "--db", "db.json", "--pre", "a.json", "--post",
+            "b.json", "--granularity", "device", "--threads", "4",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Check {
+                granularity,
+                threads,
+                ..
+            } => {
+                assert_eq!(granularity, Granularity::Device);
+                assert_eq!(threads, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_flag_is_usage_error() {
+        let err = parse_args(&args(&["check", "--spec", "s.rela"])).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--db"));
+    }
+
+    #[test]
+    fn unknown_command_and_granularity() {
+        assert!(parse_args(&args(&["frobnicate"])).is_err());
+        let err = parse_args(&args(&[
+            "diff", "--db", "d", "--pre", "a", "--post", "b", "--granularity", "nm",
+        ]))
+        .unwrap_err();
+        assert!(err.message.contains("granularity"));
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args(&["help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn demo_then_check_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("rela-demo-{}", std::process::id()));
+        let mut sink = Vec::new();
+        let code = run(&Command::Demo { out: dir.clone() }, &mut sink).unwrap();
+        assert_eq!(code, 0);
+
+        // v2 must fail (Table 1), v4 must pass
+        let check = |post: &str| {
+            let cmd = Command::Check {
+                spec: dir.join("change.rela"),
+                db: dir.join("db.json"),
+                pre: dir.join("pre.json"),
+                post: dir.join(post),
+                granularity: Granularity::Group,
+                threads: 1,
+            };
+            let mut sink = Vec::new();
+            let code = run(&cmd, &mut sink).unwrap();
+            (code, String::from_utf8(sink).unwrap())
+        };
+        let (code, text) = check("post_v2.json");
+        assert_eq!(code, 1);
+        assert!(text.contains("e2e"), "{text}");
+        let (code, text) = check("post_v4.json");
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("PASS"));
+
+        // the diff baseline sees the same change
+        let cmd = Command::Diff {
+            db: dir.join("db.json"),
+            pre: dir.join("pre.json"),
+            post: dir.join("post_v2.json"),
+            granularity: Granularity::Group,
+        };
+        let mut sink = Vec::new();
+        let code = run(&cmd, &mut sink).unwrap();
+        assert_eq!(code, 1);
+        let text = String::from_utf8(sink).unwrap();
+        assert!(text.contains("56 traffic classes"), "{text}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

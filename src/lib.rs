@@ -1,0 +1,28 @@
+//! # rela
+//!
+//! A from-scratch Rust reproduction of *Relational Network Verification*
+//! (SIGCOMM 2024): the Rela relational specification language, its
+//! regular-intermediate-representation compiler and automata-based
+//! decision procedure, plus every substrate the paper's evaluation
+//! depends on — a symbolic FSA/FST engine, a network model with
+//! forwarding DAGs and granularity views, and a BGP-style control-plane
+//! simulator with the paper's Figure 1 case study and the Fig. 5–7
+//! evaluation workloads.
+//!
+//! Crate map:
+//! - [`automata`] — symbolic NFA/DFA/FST algebra and decision procedures
+//! - [`net`] — locations, `where` queries, forwarding DAGs, snapshots
+//! - [`sim`] — control-plane simulator, change scenarios, workloads
+//! - [`lang`] — the Rela language, compiler, and checker (the paper's
+//!   contribution)
+//! - [`baseline`] — single-snapshot verification and path-diff baselines
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use rela_automata as automata;
+pub use rela_baseline as baseline;
+pub use rela_core as lang;
+pub use rela_net as net;
+pub use rela_sim as sim;
+
+pub mod cli;

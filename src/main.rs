@@ -1,0 +1,19 @@
+//! The `rela` binary. See [`rela::cli`] for the command reference.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match rela::cli::parse_args(&args) {
+        Ok(cmd) => match rela::cli::run(&cmd, &mut std::io::stdout()) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                e.code
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", rela::cli::USAGE);
+            e.code
+        }
+    };
+    std::process::exit(code);
+}

@@ -86,11 +86,11 @@ pub fn compose(f: &Fst, g: &Fst) -> Fst {
     while let Some((sf, sg)) = work.pop() {
         let sid = index[&(sf, sg)];
         let push = |out: &mut Fst,
-                        index: &mut HashMap<(StateId, StateId), StateId>,
-                        work: &mut Vec<(StateId, StateId)>,
-                        label: FstLabel,
-                        tf: StateId,
-                        tg: StateId| {
+                    index: &mut HashMap<(StateId, StateId), StateId>,
+                    work: &mut Vec<(StateId, StateId)>,
+                    label: FstLabel,
+                    tf: StateId,
+                    tg: StateId| {
             let tid = *index.entry((tf, tg)).or_insert_with(|| {
                 let id = out.add_state();
                 out.set_accepting(id, f.is_accepting(tf) && g.is_accepting(tg));

@@ -198,8 +198,7 @@ mod tests {
     fn determinism_invariant_holds() {
         // (.*a.*) — forces subset splitting on overlapping . and {a}
         let a = sym(0);
-        let n = Regex::concat(vec![Regex::any_star(), Regex::sym(a), Regex::any_star()])
-            .to_nfa();
+        let n = Regex::concat(vec![Regex::any_star(), Regex::sym(a), Regex::any_star()]).to_nfa();
         let d = determinize(&n);
         for s in 0..d.len() {
             let row = d.arcs_from(s);

@@ -372,10 +372,7 @@ mod tests {
     fn accepts_matches_regex() {
         let a = sym(0);
         let b = sym(1);
-        let d = dfa_of(&Regex::concat(vec![
-            Regex::sym(a).star(),
-            Regex::sym(b),
-        ]));
+        let d = dfa_of(&Regex::concat(vec![Regex::sym(a).star(), Regex::sym(b)]));
         assert!(d.accepts(&[b]));
         assert!(d.accepts(&[a, a, b]));
         assert!(!d.accepts(&[a]));

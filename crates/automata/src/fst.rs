@@ -161,11 +161,7 @@ impl Fst {
     /// Absorb an NFA, converting each symbolic arc through `mk`. Returns
     /// (mapped start, mapped accepting states); accepting flags are *not*
     /// set on the result.
-    fn absorb_as(
-        &mut self,
-        nfa: &Nfa,
-        mk: impl Fn(SymSet) -> FstLabel,
-    ) -> (StateId, Vec<StateId>) {
+    fn absorb_as(&mut self, nfa: &Nfa, mk: impl Fn(SymSet) -> FstLabel) -> (StateId, Vec<StateId>) {
         let offset = self.arcs.len();
         for _ in 0..nfa.len() {
             self.add_state();
@@ -374,17 +370,12 @@ impl Fst {
                         }
                     }
                     FstLabel::Pair(si, so) => {
-                        if i < x.len() && j < y.len() && si.contains(x[i]) && so.contains(y[j])
-                        {
+                        if i < x.len() && j < y.len() && si.contains(x[i]) && so.contains(y[j]) {
                             stack.push((*t, i + 1, j + 1));
                         }
                     }
                     FstLabel::Id(set) => {
-                        if i < x.len()
-                            && j < y.len()
-                            && x[i] == y[j]
-                            && set.contains(x[i])
-                        {
+                        if i < x.len() && j < y.len() && x[i] == y[j] && set.contains(x[i]) {
                             stack.push((*t, i + 1, j + 1));
                         }
                     }
@@ -521,10 +512,7 @@ mod tests {
     fn domain_and_range_projections() {
         let a = sym(0);
         let b = sym(1);
-        let f = Fst::cross(
-            &Regex::sym(a).plus().to_nfa(),
-            &Regex::sym(b).to_nfa(),
-        );
+        let f = Fst::cross(&Regex::sym(a).plus().to_nfa(), &Regex::sym(b).to_nfa());
         let dom = f.domain();
         assert!(dom.accepts(&[a]));
         assert!(dom.accepts(&[a, a]));

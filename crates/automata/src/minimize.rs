@@ -88,7 +88,11 @@ pub fn minimize(dfa: &Dfa) -> Dfa {
     for c in 0..k {
         // push the smaller block for the classic complexity bound
         if blocks.len() == 2 {
-            let smaller = if blocks[0].len() <= blocks[1].len() { 0 } else { 1 };
+            let smaller = if blocks[0].len() <= blocks[1].len() {
+                0
+            } else {
+                1
+            };
             worklist.push((smaller, c));
         } else {
             worklist.push((0, c));
@@ -158,8 +162,7 @@ pub fn minimize(dfa: &Dfa) -> Dfa {
                 .and_modify(|s| *s = s.union(class))
                 .or_insert_with(|| class.clone());
         }
-        let mut row: Vec<(SymSet, usize)> =
-            per_target.into_iter().map(|(t, l)| (l, t)).collect();
+        let mut row: Vec<(SymSet, usize)> = per_target.into_iter().map(|(t, l)| (l, t)).collect();
         row.sort_by_key(|&(_, t)| t);
         arcs[bid] = row;
     }

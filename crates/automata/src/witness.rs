@@ -172,11 +172,7 @@ mod tests {
     #[test]
     fn shortest_nfa_handles_eps_chains() {
         let a = sym(0);
-        let re = Regex::concat(vec![
-            Regex::Eps,
-            Regex::sym(a).optional(),
-            Regex::sym(a),
-        ]);
+        let re = Regex::concat(vec![Regex::Eps, Regex::sym(a).optional(), Regex::sym(a)]);
         let n = re.to_nfa();
         let w = shortest_word_nfa(&n).unwrap();
         assert_eq!(w.len(), 1);

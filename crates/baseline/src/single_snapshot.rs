@@ -123,10 +123,7 @@ impl<'a> SingleSnapshotChecker<'a> {
                     rela_automata::ProductMode::Intersection,
                 )
                 .language_is_empty();
-                (
-                    !empty,
-                    empty.then(|| format!("no path matches `{name}`")),
-                )
+                (!empty, empty.then(|| format!("no path matches `{name}`")))
             }
             SnapshotSpec::Forbidden(name) => {
                 let pattern = &self.patterns[name];
@@ -268,8 +265,7 @@ mod tests {
     fn all_paths_waypointing() {
         let db = db();
         let checker =
-            SingleSnapshotChecker::new(&db, Granularity::Device, &[("wp", ".* A1 .*")])
-                .unwrap();
+            SingleSnapshotChecker::new(&db, Granularity::Device, &[("wp", ".* A1 .*")]).unwrap();
         let good = snapshot(&[("10.1.0.0/24", vec!["x1", "A1", "y1"])]);
         assert!(checker.check(&good, &SnapshotSpec::All("wp".into()))[0].holds);
         let bad = snapshot(&[("10.1.0.0/24", vec!["x1", "B1", "y1"])]);

@@ -4,9 +4,7 @@
 //! computation — as a function of input size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rela_automata::{
-    compose, determinize, equivalent, image, minimize, Fst, Nfa, Regex, Symbol,
-};
+use rela_automata::{compose, determinize, equivalent, image, minimize, Fst, Nfa, Regex, Symbol};
 use std::hint::black_box;
 
 fn sym(ix: usize) -> Symbol {

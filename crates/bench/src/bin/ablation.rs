@@ -74,7 +74,9 @@ fn main() {
     let dense = format!("spec nochange := {{ {dense_any}* : preserve }}\ncheck nochange");
     println!(
         "{:>10} {:>12}   (alphabet: {} group locations)",
-        "encoding", "time", all_groups.len()
+        "encoding",
+        "time",
+        all_groups.len()
     );
     for (label, source) in [("symbolic", &symbolic), ("dense", &dense)] {
         // best of 3

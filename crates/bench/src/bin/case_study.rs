@@ -42,8 +42,8 @@ fn main() {
         };
         let post = study.post_snapshot(ix);
         let pair = SnapshotPair::align(&pre, &post);
-        let report = run_check(spec, &study.topology.db, Granularity::Group, &pair)
-            .expect("spec compiles");
+        let report =
+            run_check(spec, &study.topology.db, Granularity::Group, &pair).expect("spec compiles");
         println!(
             "{:<4} {:<10} {:>6} {:>9} {:>12}  {}",
             iteration.name,

@@ -3,12 +3,28 @@
 //! the §9.1 expressiveness inventory.
 //!
 //! Run: `cargo run --release -p rela-bench --bin fig5 [-- --coverage]`
+//!
+//! `--smoke` additionally drives one end-to-end validation (synthesize a
+//! tiny WAN, simulate pre/post, check a spec) and fails loudly if any
+//! stage breaks — CI runs this so the evaluation pipeline cannot rot.
 
-use rela_sim::workload::{evaluation_specs, size_cdf, WanParams};
+use rela_sim::workload::{evaluation_specs, size_cdf, spec_of_size, WanParams};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let specs = evaluation_specs(&WanParams::default());
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let params = if smoke {
+        // tiny WAN: 3 regions × 1 router/group, single links, 1 FEC/pair
+        WanParams {
+            regions: 3,
+            routers_per_group: 1,
+            parallel_links: 1,
+            fecs_per_pair: 1,
+        }
+    } else {
+        WanParams::default()
+    };
+    let specs = evaluation_specs(&params);
 
     println!("== Figure 5: CDF of atomic specs per change ==");
     println!();
@@ -26,6 +42,41 @@ fn main() {
         100.0 * under_ten as f64 / specs.len() as f64,
     );
 
+    if smoke {
+        println!();
+        println!("== smoke: end-to-end validation on the tiny WAN ==");
+        let testbed = rela_bench::build_testbed(&params);
+        let spec = spec_of_size(1, params.regions);
+        let (elapsed, report) = rela_bench::time_validation(
+            &spec,
+            &testbed.wan.topology.db,
+            rela_net::Granularity::Group,
+            &testbed.pair,
+        );
+        println!(
+            "checked {} traffic classes in {} ({})",
+            report.total,
+            rela_bench::secs(elapsed),
+            if report.is_compliant() {
+                "PASS"
+            } else {
+                "violations found"
+            },
+        );
+        assert_eq!(
+            report.total,
+            params.regions * (params.regions - 1) * params.fecs_per_pair as usize,
+            "smoke testbed lost traffic classes"
+        );
+        // the representative change reroutes traffic, so a nochange spec
+        // must flag violations; a "compliant" verdict here means the
+        // simulator stopped applying the change or the checker went blind
+        assert!(
+            !report.is_compliant(),
+            "smoke check unexpectedly compliant — the pipeline is not detecting changes"
+        );
+    }
+
     if args.iter().any(|a| a == "--coverage") {
         println!();
         println!("== §9.1 expressiveness: change-intent inventory ==");
@@ -37,7 +88,11 @@ fn main() {
             ("prefix decommission (pspec + remove)", true, ""),
             ("filter insertion (drop modifier)", true, ""),
             ("routing architecture migration", true, ""),
-            ("unconditional path additions", true, "needs the RIR escape hatch (footnote 3)"),
+            (
+                "unconditional path additions",
+                true,
+                "needs the RIR escape hatch (footnote 3)",
+            ),
             (
                 "ECMP path-count limits (e.g. ≤128 paths)",
                 false,

@@ -44,7 +44,10 @@ fn main() {
         times.push(elapsed);
     }
 
-    println!("== Figure 6: CDF of validation time ({} changes) ==", specs.len());
+    println!(
+        "== Figure 6: CDF of validation time ({} changes) ==",
+        specs.len()
+    );
     println!();
     println!("{:>12} {:>8}", "time", "CDF");
     for (t, fraction) in cdf(times.clone()) {

@@ -40,8 +40,7 @@ fn main() {
         let source = spec_of_size(n, params.regions);
         let mut row = Vec::new();
         for granularity in GRANULARITIES {
-            let (elapsed, _) =
-                time_validation(&source, &tb.wan.topology.db, granularity, &tb.pair);
+            let (elapsed, _) = time_validation(&source, &tb.wan.topology.db, granularity, &tb.pair);
             if granularity == Granularity::Group {
                 group_total += elapsed.as_secs_f64();
             }

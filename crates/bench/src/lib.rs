@@ -172,12 +172,8 @@ mod tests {
         };
         let tb = build_testbed(&params);
         let spec = rela_sim::workload::spec_of_size(1, params.regions);
-        let (elapsed, report) = time_validation(
-            &spec,
-            &tb.wan.topology.db,
-            Granularity::Group,
-            &tb.pair,
-        );
+        let (elapsed, report) =
+            time_validation(&spec, &tb.wan.topology.db, Granularity::Group, &tb.pair);
         assert!(elapsed > Duration::ZERO);
         assert_eq!(report.total, 6);
     }

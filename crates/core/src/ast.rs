@@ -198,9 +198,7 @@ impl Program {
                     .iter()
                     .map(|p| walk(p, defs, visiting))
                     .sum::<Option<usize>>(),
-                SpecExpr::Else(a, b) => {
-                    Some(walk(a, defs, visiting)? + walk(b, defs, visiting)?)
-                }
+                SpecExpr::Else(a, b) => Some(walk(a, defs, visiting)? + walk(b, defs, visiting)?),
             }
         }
         let body = defs.get(spec_name)?;

@@ -11,8 +11,7 @@ use crate::report::{CheckReport, FecResult, PartViolation, ViolationDetail};
 use crate::rir::RirSpec;
 use rela_automata::{determinize, enumerate_words, equivalent, image, Fst, Nfa, SymbolTable};
 use rela_net::{
-    graph_to_fsa, AlignedFec, ForwardingGraph, Granularity, LocationDb, SnapshotPair,
-    DROP_LOCATION,
+    graph_to_fsa, AlignedFec, ForwardingGraph, Granularity, LocationDb, SnapshotPair, DROP_LOCATION,
 };
 use std::time::Instant;
 
@@ -122,14 +121,13 @@ impl<'a> Checker<'a> {
                 .collect()
         } else {
             let chunk = pair.fecs.len().div_ceil(threads);
-            let mut out: Vec<Vec<FecResult>> = Vec::new();
-            crossbeam::thread::scope(|scope| {
+            let out: Vec<Vec<FecResult>> = std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for fecs in pair.fecs.chunks(chunk) {
                     let mut local = table.clone();
                     let default_ref = &default_lowered;
                     let routed_ref = &routed_lowered;
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         fecs.iter()
                             .map(|fec| {
                                 self.check_fec_inner(fec, default_ref, routed_ref, &mut local)
@@ -137,11 +135,11 @@ impl<'a> Checker<'a> {
                             .collect::<Vec<_>>()
                     }));
                 }
-                for h in handles {
-                    out.push(h.join().expect("worker panicked"));
-                }
-            })
-            .expect("scope failed");
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            });
             out.into_iter().flatten().collect()
         };
         results.sort_by(|a, b| a.flow.cmp(&b.flow));
@@ -213,12 +211,9 @@ impl<'a> Checker<'a> {
         let renderer = PathRenderer::new(table, &self.program.hash_undo);
 
         let violations = match lowered.check {
-            CompiledCheck::Relational { parts, .. } => self.check_relational(
-                parts,
-                &lowered.fsts,
-                &env,
-                &renderer,
-            ),
+            CompiledCheck::Relational { parts, .. } => {
+                self.check_relational(parts, &lowered.fsts, &env, &renderer)
+            }
             CompiledCheck::Raw { name, spec } => {
                 let failures = self.check_raw(spec, &env, &renderer);
                 if failures.is_empty() {
@@ -374,11 +369,7 @@ fn path_len_bound(graph: &ForwardingGraph) -> usize {
     graph.vertices.len() * 2 + 4
 }
 
-fn render_language(
-    nfa: &Nfa,
-    renderer: &PathRenderer<'_>,
-    limits: WitnessLimits,
-) -> Vec<String> {
+fn render_language(nfa: &Nfa, renderer: &PathRenderer<'_>, limits: WitnessLimits) -> Vec<String> {
     let dfa = determinize(&nfa.trim());
     enumerate_words(&dfa, limits.max_paths, limits.max_len)
         .into_iter()
@@ -637,8 +628,7 @@ mod tests {
         }
         let pair = pair_of(pre, post);
         let program = crate::parser::parse_program(NOCHANGE).unwrap();
-        let compiled =
-            crate::compile::compile_program(&program, &db, Granularity::Device).unwrap();
+        let compiled = crate::compile::compile_program(&program, &db, Granularity::Device).unwrap();
         let serial = Checker::new(&compiled, &db)
             .with_options(CheckOptions {
                 threads: 1,
@@ -712,15 +702,15 @@ mod limit_tests {
     fn within_limit_passes() {
         // 4 paths ≤ 4: routed to the limit check, which ignores the
         // path *identity* change that nochange would flag
-        let report = run_check(SPEC, &db(), Granularity::Device, &pair_with_fanout(4))
-            .expect("compiles");
+        let report =
+            run_check(SPEC, &db(), Granularity::Device, &pair_with_fanout(4)).expect("compiles");
         assert!(report.is_compliant(), "{report}");
     }
 
     #[test]
     fn over_limit_fails_with_count() {
-        let report = run_check(SPEC, &db(), Granularity::Device, &pair_with_fanout(9))
-            .expect("compiles");
+        let report =
+            run_check(SPEC, &db(), Granularity::Device, &pair_with_fanout(9)).expect("compiles");
         assert!(!report.is_compliant());
         let v = &report.violations[0];
         assert_eq!(v.check_name, "ecmp");
@@ -736,8 +726,8 @@ mod limit_tests {
     #[test]
     fn limit_as_default_check() {
         let spec = "limit ecmp := 128\ncheck ecmp";
-        let report = run_check(spec, &db(), Granularity::Device, &pair_with_fanout(100))
-            .expect("compiles");
+        let report =
+            run_check(spec, &db(), Granularity::Device, &pair_with_fanout(100)).expect("compiles");
         assert!(report.is_compliant());
     }
 }

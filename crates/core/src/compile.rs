@@ -208,12 +208,20 @@ pub fn compile_program(
                 }
             }
             Def::Spec(name, body) => {
-                if resolver.spec_defs.insert(name.clone(), body.clone()).is_some() {
+                if resolver
+                    .spec_defs
+                    .insert(name.clone(), body.clone())
+                    .is_some()
+                {
                     return Err(CompileError::DuplicateDef(name.clone()));
                 }
             }
             Def::Rir(name, body) => {
-                if resolver.rir_defs.insert(name.clone(), body.clone()).is_some() {
+                if resolver
+                    .rir_defs
+                    .insert(name.clone(), body.clone())
+                    .is_some()
+                {
                     return Err(CompileError::DuplicateDef(name.clone()));
                 }
             }
@@ -270,8 +278,7 @@ struct Resolver<'a> {
 impl<'a> Resolver<'a> {
     fn new(db: &'a LocationDb, granularity: Granularity) -> Resolver<'a> {
         let mut table = SymbolTable::new();
-        let locations: BTreeSet<String> =
-            db.all_locations(granularity).into_iter().collect();
+        let locations: BTreeSet<String> = db.all_locations(granularity).into_iter().collect();
         for loc in &locations {
             table.intern(loc);
         }
@@ -338,8 +345,7 @@ impl<'a> Resolver<'a> {
             }
             PathRegex::Where(pred) => {
                 let names = self.db.query(pred, self.granularity);
-                let syms: Vec<Symbol> =
-                    names.iter().map(|n| self.table.intern(n)).collect();
+                let syms: Vec<Symbol> = names.iter().map(|n| self.table.intern(n)).collect();
                 Regex::Set(SymSet::from_syms(syms))
             }
             PathRegex::Union(parts) => Regex::union(
@@ -495,17 +501,13 @@ pub fn zone_of(s: &RSpec) -> PathSet {
             let d = PathSet::from_regex(zone);
             match modifier {
                 RModifier::Preserve | RModifier::Remove(_) => d,
-                RModifier::Add(p) | RModifier::Any(p, _) => {
-                    d.or(PathSet::from_regex(p))
-                }
+                RModifier::Add(p) | RModifier::Any(p, _) => d.or(PathSet::from_regex(p)),
                 RModifier::Replace(_, p2) => d.or(PathSet::from_regex(p2)),
                 RModifier::Drop(sym) => d.or(PathSet::Atom(SymSet::singleton(*sym))),
             }
         }
         RSpec::Named(_, inner) => zone_of(inner),
-        RSpec::Concat(parts) => {
-            PathSet::Concat(parts.iter().map(zone_of).collect())
-        }
+        RSpec::Concat(parts) => PathSet::Concat(parts.iter().map(zone_of).collect()),
         RSpec::Else(a, b) => zone_of(a).or(zone_of(b)),
     }
 }
@@ -526,10 +528,7 @@ pub fn rpre_of(s: &RSpec) -> Rel {
                     let p1 = PathSet::from_regex(p1);
                     let p2 = PathSet::from_regex(p2);
                     let keep = ident(d.clone().or(p2.clone()).diff(p1.clone()));
-                    let rewrite = cross(
-                        PathSet::Inter(Box::new(d), Box::new(p1)),
-                        p2,
-                    );
+                    let rewrite = cross(PathSet::Inter(Box::new(d), Box::new(p1)), p2);
                     keep.or(rewrite)
                 }
                 RModifier::Drop(sym) => {
@@ -544,9 +543,7 @@ pub fn rpre_of(s: &RSpec) -> Rel {
             }
         }
         RSpec::Named(_, inner) => rpre_of(inner),
-        RSpec::Concat(parts) => {
-            Rel::Concat(parts.iter().map(rpre_of).collect())
-        }
+        RSpec::Concat(parts) => Rel::Concat(parts.iter().map(rpre_of).collect()),
         RSpec::Else(a, b) => {
             let za = zone_of(a);
             let guarded = Rel::Compose(
@@ -568,9 +565,7 @@ pub fn rpost_of(s: &RSpec) -> Rel {
                 RModifier::Add(p) => ident(d.or(PathSet::from_regex(p))),
                 RModifier::Remove(_) => ident(d),
                 RModifier::Replace(_, p2) => ident(d.or(PathSet::from_regex(p2))),
-                RModifier::Drop(sym) => {
-                    ident(d.or(PathSet::Atom(SymSet::singleton(*sym))))
-                }
+                RModifier::Drop(sym) => ident(d.or(PathSet::Atom(SymSet::singleton(*sym)))),
                 RModifier::Any(p, hash) => {
                     let p = PathSet::from_regex(p);
                     let marker = PathSet::Atom(SymSet::singleton(*hash));
@@ -579,9 +574,7 @@ pub fn rpost_of(s: &RSpec) -> Rel {
             }
         }
         RSpec::Named(_, inner) => rpost_of(inner),
-        RSpec::Concat(parts) => {
-            Rel::Concat(parts.iter().map(rpost_of).collect())
-        }
+        RSpec::Concat(parts) => Rel::Concat(parts.iter().map(rpost_of).collect()),
         RSpec::Else(a, b) => {
             let za = zone_of(a);
             let guarded = Rel::Compose(
@@ -690,10 +683,7 @@ mod tests {
     /// Compile a single-spec program at group granularity.
     fn compile(spec: SpecExpr) -> CompiledProgram {
         let program = Program {
-            defs: vec![
-                Def::Spec("s".into(), spec),
-                Def::Check("s".into()),
-            ],
+            defs: vec![Def::Spec("s".into(), spec), Def::Check("s".into())],
         };
         compile_program(&program, &db(), Granularity::Group).expect("compiles")
     }
@@ -838,11 +828,7 @@ mod tests {
         );
         assert!(!holds(&prog, &collateral));
         // replace also keeps pre-existing target paths
-        let kept_target = fsas(
-            &prog.table,
-            &[&["A1", "A2", "D1"]],
-            &[&["A1", "A2", "D1"]],
-        );
+        let kept_target = fsas(&prog.table, &[&["A1", "A2", "D1"]], &[&["A1", "A2", "D1"]]);
         assert!(holds(&prog, &kept_target));
     }
 
@@ -898,10 +884,7 @@ mod tests {
     fn concat_composes_subpath_specs() {
         // { x1* : preserve ; A1 .* D1 : any(A1 A2 D1) ; y1* : preserve }
         let spec = SpecExpr::Concat(vec![
-            atomic(
-                PathRegex::Star(Box::new(name("x1"))),
-                Modifier::Preserve,
-            ),
+            atomic(PathRegex::Star(Box::new(name("x1"))), Modifier::Preserve),
             atomic(
                 cat(vec![
                     name("A1"),
@@ -910,10 +893,7 @@ mod tests {
                 ]),
                 Modifier::Any(cat(vec![name("A1"), name("A2"), name("D1")])),
             ),
-            atomic(
-                PathRegex::Star(Box::new(name("y1"))),
-                Modifier::Preserve,
-            ),
+            atomic(PathRegex::Star(Box::new(name("y1"))), Modifier::Preserve),
         ]);
         let prog = compile(spec);
         let ok = fsas(
@@ -949,7 +929,10 @@ mod tests {
                 Def::Spec("e2e".into(), e2e),
                 Def::Spec(
                     "nochange".into(),
-                    atomic(PathRegex::Star(Box::new(PathRegex::Any)), Modifier::Preserve),
+                    atomic(
+                        PathRegex::Star(Box::new(PathRegex::Any)),
+                        Modifier::Preserve,
+                    ),
                 ),
                 Def::Spec(
                     "change".into(),

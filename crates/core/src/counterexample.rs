@@ -8,9 +8,7 @@
 //! surface pattern they stand for, so reasons read like the paper's
 //! Table 1.
 
-use rela_automata::{
-    enumerate_words, product, Dfa, ProductMode, SymSet, Symbol, SymbolTable,
-};
+use rela_automata::{enumerate_words, product, Dfa, ProductMode, SymSet, Symbol, SymbolTable};
 use std::collections::BTreeMap;
 
 /// How many witness paths to list per difference, and how long they may
@@ -119,9 +117,7 @@ impl<'a> PathRenderer<'a> {
                     None => "∅".to_owned(),
                 },
                 SymSet::CoFinite(excluded) => match self.table.any_except(excluded) {
-                    Some(sym) if self.hash_undo.get(&sym).is_none() => {
-                        self.render_symbol(sym)
-                    }
+                    Some(sym) if self.hash_undo.get(&sym).is_none() => self.render_symbol(sym),
                     _ => "<any-other>".to_owned(),
                 },
             })
@@ -161,10 +157,7 @@ mod tests {
         let renderer = PathRenderer::new(&table, &undo);
         let a1 = table.lookup("A1").unwrap();
         let hash = table.lookup("#1").unwrap();
-        assert_eq!(
-            renderer.render_path(&[a1, hash]),
-            "A1 (A1 A2 A3 D1)"
-        );
+        assert_eq!(renderer.render_path(&[a1, hash]), "A1 (A1 A2 A3 D1)");
     }
 
     #[test]

@@ -252,8 +252,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 let mut text = String::new();
                 while j < n {
                     let cj = chars[j];
-                    let ident_char =
-                        cj.is_ascii_alphanumeric() || cj == '_' || cj == '-';
+                    let ident_char = cj.is_ascii_alphanumeric() || cj == '_' || cj == '-';
                     if !ident_char {
                         break;
                     }
@@ -407,13 +406,16 @@ mod tests {
     #[test]
     fn integer_literals() {
         use TokenKind::*;
-        assert_eq!(kinds("limit ecmp := 128"), vec![
-            Ident("limit".into()),
-            Ident("ecmp".into()),
-            Assign,
-            Int(128),
-            Eof
-        ]);
+        assert_eq!(
+            kinds("limit ecmp := 128"),
+            vec![
+                Ident("limit".into()),
+                Ident("ecmp".into()),
+                Assign,
+                Int(128),
+                Eof
+            ]
+        );
         assert!(lex("99999999999999999999999").is_err(), "overflow");
     }
 

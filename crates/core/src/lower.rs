@@ -296,7 +296,10 @@ mod tests {
         let (env2, _) = env_from(&[&[0]], &[&[0], &[1, 1]]);
         let spec2 = RirSpec::Equal(
             PathSet::PostState,
-            PathSet::Union(vec![PathSet::PreState, PathSet::Concat(vec![atom(1), atom(2)])]),
+            PathSet::Union(vec![
+                PathSet::PreState,
+                PathSet::Concat(vec![atom(1), atom(2)]),
+            ]),
         );
         assert!(!decide_spec(&spec2, &env2));
     }

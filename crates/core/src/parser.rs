@@ -26,9 +26,7 @@
 //!           | "ingress" "==" (STRING | IDENT)
 //! ```
 
-use crate::ast::{
-    Def, Modifier, PathRegex, PredExpr, Program, RirExpr, RirSpecExpr, SpecExpr,
-};
+use crate::ast::{Def, Modifier, PathRegex, PredExpr, Program, RirExpr, RirSpecExpr, SpecExpr};
 use crate::lexer::{lex, LexError, Token, TokenKind};
 use rela_net::AttrPred;
 use std::fmt;
@@ -274,8 +272,7 @@ impl Parser {
     /// Words that terminate a juxtaposition-concatenated pattern: the
     /// definition keywords and `else`. They cannot be used as location
     /// names.
-    const RESERVED: [&'static str; 7] =
-        ["else", "regex", "spec", "rir", "limit", "pspec", "check"];
+    const RESERVED: [&'static str; 7] = ["else", "regex", "spec", "rir", "limit", "pspec", "check"];
 
     fn starts_regex_atom(&self) -> bool {
         match self.peek() {
@@ -388,16 +385,12 @@ impl Parser {
                 let negate = match self.bump() {
                     TokenKind::EqEq => false,
                     TokenKind::NotEq => true,
-                    other => {
-                        return self.error(format!("expected `==` or `!=`, found {other}"))
-                    }
+                    other => return self.error(format!("expected `==` or `!=`, found {other}")),
                 };
                 let value = match self.bump() {
                     TokenKind::Str(s) => s,
                     TokenKind::Ident(s) => s,
-                    other => {
-                        return self.error(format!("expected a value, found {other}"))
-                    }
+                    other => return self.error(format!("expected a value, found {other}")),
                 };
                 Ok(if negate {
                     AttrPred::ne(attr, value)
@@ -575,8 +568,7 @@ impl Parser {
                             TokenKind::Prefix(p) => p,
                             TokenKind::Str(s) => s,
                             other => {
-                                return self
-                                    .error(format!("expected a prefix, found {other}"))
+                                return self.error(format!("expected a prefix, found {other}"))
                             }
                         };
                         let prefix = text.parse().map_err(|_| ParseError {
@@ -595,8 +587,7 @@ impl Parser {
                             TokenKind::Str(s) => s,
                             TokenKind::Ident(s) => s,
                             other => {
-                                return self
-                                    .error(format!("expected a device glob, found {other}"))
+                                return self.error(format!("expected a device glob, found {other}"))
                             }
                         };
                         Ok(PredExpr::IngressEq(value))
@@ -725,7 +716,11 @@ mod tests {
 
     #[test]
     fn dot_star_with_and_without_space() {
-        for src in ["regex r := a .* b", "regex r := a . * b", "regex r := a .*b"] {
+        for src in [
+            "regex r := a .* b",
+            "regex r := a . * b",
+            "regex r := a .*b",
+        ] {
             let prog = parse_program(src).unwrap();
             match &prog.defs[0] {
                 Def::Regex(_, PathRegex::Concat(parts)) => {
@@ -764,7 +759,10 @@ mod tests {
         match &prog.defs[1] {
             Def::Rir(name, RirSpecExpr::And(a, b)) => {
                 assert_eq!(name, "sideEffects");
-                assert!(matches!(**a, RirSpecExpr::Subset(RirExpr::Pre, RirExpr::Post)));
+                assert!(matches!(
+                    **a,
+                    RirSpecExpr::Subset(RirExpr::Pre, RirExpr::Post)
+                ));
                 assert!(matches!(**b, RirSpecExpr::Subset(RirExpr::Post, _)));
             }
             other => panic!("unexpected {other:?}"),

@@ -160,7 +160,11 @@ impl fmt::Display for CheckReport {
                 } else {
                     ("", "")
                 };
-                writeln!(f, "{fec:<38} | {p1:<34} | {p2:<34} | {}: {}", pv.part, pv.detail)?;
+                writeln!(
+                    f,
+                    "{fec:<38} | {p1:<34} | {p2:<34} | {}: {}",
+                    pv.part, pv.detail
+                )?;
             }
         }
         writeln!(f, "verdict: FAIL")

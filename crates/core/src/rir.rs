@@ -41,7 +41,10 @@ pub enum PathSet {
 impl PathSet {
     /// `P₁ \ P₂`, desugared to `P₁ ∩ P̄₂`.
     pub fn diff(self, other: PathSet) -> PathSet {
-        PathSet::Inter(Box::new(self), Box::new(PathSet::Complement(Box::new(other))))
+        PathSet::Inter(
+            Box::new(self),
+            Box::new(PathSet::Complement(Box::new(other))),
+        )
     }
 
     /// Binary union with trivial-identity simplification.
@@ -74,9 +77,7 @@ impl PathSet {
             Regex::Concat(parts) => {
                 PathSet::Concat(parts.iter().map(PathSet::from_regex).collect())
             }
-            Regex::Union(parts) => {
-                PathSet::Union(parts.iter().map(PathSet::from_regex).collect())
-            }
+            Regex::Union(parts) => PathSet::Union(parts.iter().map(PathSet::from_regex).collect()),
             Regex::Star(inner) => PathSet::Star(Box::new(PathSet::from_regex(inner))),
         }
     }
@@ -205,10 +206,7 @@ mod tests {
 
     #[test]
     fn from_regex_structure() {
-        let re = Regex::concat(vec![
-            Regex::sym(Symbol::from_index(0)),
-            Regex::any_star(),
-        ]);
+        let re = Regex::concat(vec![Regex::sym(Symbol::from_index(0)), Regex::any_star()]);
         let ps = PathSet::from_regex(&re);
         match ps {
             PathSet::Concat(parts) => {
@@ -401,11 +399,9 @@ mod display_tests {
 
     #[test]
     fn renders_boolean_specs() {
-        let s = RirSpec::Subset(PathSet::PreState, PathSet::PostState)
-            .and(RirSpec::Not(Box::new(RirSpec::Equal(
-                PathSet::Empty,
-                PathSet::Eps,
-            ))));
+        let s = RirSpec::Subset(PathSet::PreState, PathSet::PostState).and(RirSpec::Not(Box::new(
+            RirSpec::Equal(PathSet::Empty, PathSet::Eps),
+        )));
         assert_eq!(s.to_string(), "(pre ⊆ post) ∧ (¬(0 = 1))");
     }
 }

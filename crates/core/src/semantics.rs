@@ -72,10 +72,7 @@ pub fn eval_pathset(p: &PathSet, ctx: &EvalCtx) -> Paths {
             .collect(),
         PathSet::PreState => ctx.pre.clone(),
         PathSet::PostState => ctx.post.clone(),
-        PathSet::Union(parts) => parts
-            .iter()
-            .flat_map(|q| eval_pathset(q, ctx))
-            .collect(),
+        PathSet::Union(parts) => parts.iter().flat_map(|q| eval_pathset(q, ctx)).collect(),
         PathSet::Concat(parts) => {
             let mut acc: Paths = [Vec::new()].into_iter().collect();
             for q in parts {
@@ -333,7 +330,10 @@ mod tests {
             &RirSpec::Or(Box::new(not_sub.clone()), Box::new(sub.clone())),
             &c
         ));
-        assert!(!eval_spec(&RirSpec::And(Box::new(not_sub), Box::new(sub)), &c));
+        assert!(!eval_spec(
+            &RirSpec::And(Box::new(not_sub), Box::new(sub)),
+            &c
+        ));
     }
 
     #[test]

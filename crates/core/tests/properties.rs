@@ -13,9 +13,9 @@
 //!    and zone complements route correctly through `else`.
 
 use proptest::prelude::*;
+use rela_automata::{Nfa, SymSet, Symbol};
 use rela_core::semantics::{eval_pathset, eval_spec, EvalCtx, Paths};
 use rela_core::{decide_spec, lower_pathset, PairFsas, PathSet, Rel, RirSpec};
-use rela_automata::{Nfa, SymSet, Symbol};
 use std::collections::BTreeSet;
 
 const ALPHABET: usize = 3;
@@ -81,9 +81,7 @@ fn pathset_strategy() -> impl Strategy<Value = PathSet> {
             inner.clone().prop_map(|p| PathSet::Star(Box::new(p))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| PathSet::Inter(Box::new(a), Box::new(b))),
-            inner
-                .clone()
-                .prop_map(|p| PathSet::Complement(Box::new(p))),
+            inner.clone().prop_map(|p| PathSet::Complement(Box::new(p))),
             (inner, rel).prop_map(|(p, r)| PathSet::Image(Box::new(p), Box::new(r))),
         ]
     })
@@ -96,8 +94,7 @@ fn rel_strategy_from(
     let leaf = prop_oneof![
         Just(Rel::Empty),
         Just(Rel::Eps),
-        (pathset.clone(), pathset.clone())
-            .prop_map(|(a, b)| Rel::Cross(Box::new(a), Box::new(b))),
+        (pathset.clone(), pathset.clone()).prop_map(|(a, b)| Rel::Cross(Box::new(a), Box::new(b))),
         pathset.prop_map(|p| Rel::Ident(Box::new(p))),
     ];
     leaf.prop_recursive(2, 8, 2, |inner| {
@@ -105,8 +102,7 @@ fn rel_strategy_from(
             proptest::collection::vec(inner.clone(), 2..3).prop_map(Rel::Union),
             proptest::collection::vec(inner.clone(), 2..3).prop_map(Rel::Concat),
             inner.clone().prop_map(|r| Rel::Star(Box::new(r))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Rel::Compose(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Rel::Compose(Box::new(a), Box::new(b))),
         ]
     })
 }
@@ -120,8 +116,7 @@ fn spec_strategy() -> impl Strategy<Value = RirSpec> {
         prop_oneof![
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| RirSpec::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| RirSpec::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| RirSpec::Or(Box::new(a), Box::new(b))),
             inner.prop_map(|a| RirSpec::Not(Box::new(a))),
         ]
     })
@@ -224,9 +219,7 @@ fn spec_has_unbounded(s: &RirSpec) -> bool {
     }
     match s {
         RirSpec::Equal(a, b) | RirSpec::Subset(a, b) => pathset(a) || pathset(b),
-        RirSpec::And(a, b) | RirSpec::Or(a, b) => {
-            spec_has_unbounded(a) || spec_has_unbounded(b)
-        }
+        RirSpec::And(a, b) | RirSpec::Or(a, b) => spec_has_unbounded(a) || spec_has_unbounded(b),
         RirSpec::Not(a) => spec_has_unbounded(a),
     }
 }

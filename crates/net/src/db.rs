@@ -8,7 +8,7 @@
 //! glob matching and boolean connectives.
 
 use crate::location::{glob_match, Device, Granularity};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// An attribute predicate used in `where` queries.
@@ -26,7 +26,7 @@ use std::collections::{BTreeMap, BTreeSet};
 /// assert_eq!(db.query(&q, Granularity::Device), vec!["A1-r01".to_string()]);
 /// assert_eq!(db.query(&q, Granularity::Group), vec!["A1".to_string()]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AttrPred {
     /// Attribute equals (or glob-matches) the pattern.
     Eq(String, String),
@@ -70,8 +70,10 @@ impl AttrPred {
                 .attr(attr)
                 .map(|v| glob_match(pattern, v))
                 .unwrap_or(false),
-            AttrPred::Ne(attr, pattern) => !AttrPred::Eq(attr.clone(), pattern.clone())
-                .matches(device),
+            AttrPred::Ne(attr, pattern) => !device
+                .attr(attr)
+                .map(|v| glob_match(pattern, v))
+                .unwrap_or(false),
             AttrPred::And(a, b) => a.matches(device) && b.matches(device),
             AttrPred::Or(a, b) => a.matches(device) || b.matches(device),
             AttrPred::Not(a) => !a.matches(device),
@@ -80,10 +82,78 @@ impl AttrPred {
     }
 }
 
+impl Serialize for AttrPred {
+    fn to_value(&self) -> Value {
+        // serde's externally-tagged enum form: {"Variant": [fields...]}
+        let tagged = |tag: &str, fields: Vec<Value>| Value::obj(vec![(tag, Value::Arr(fields))]);
+        match self {
+            AttrPred::Eq(attr, pattern) => tagged("Eq", vec![attr.to_value(), pattern.to_value()]),
+            AttrPred::Ne(attr, pattern) => tagged("Ne", vec![attr.to_value(), pattern.to_value()]),
+            AttrPred::And(a, b) => tagged("And", vec![a.to_value(), b.to_value()]),
+            AttrPred::Or(a, b) => tagged("Or", vec![a.to_value(), b.to_value()]),
+            AttrPred::Not(a) => Value::obj(vec![("Not", a.to_value())]),
+            AttrPred::True => Value::Str("True".to_owned()),
+        }
+    }
+}
+
+impl Deserialize for AttrPred {
+    fn from_value(value: &Value) -> Result<AttrPred, serde::Error> {
+        if value.as_str() == Some("True") {
+            return Ok(AttrPred::True);
+        }
+        let fields = value
+            .as_obj()
+            .ok_or_else(|| serde::Error::mismatch("an AttrPred variant", value))?;
+        let [(tag, payload)] = fields else {
+            return Err(serde::Error::mismatch("a single-variant object", value));
+        };
+        let pair = |payload: &Value| -> Result<(String, String), serde::Error> {
+            match payload.as_arr() {
+                Some([a, b]) => Ok((String::from_value(a)?, String::from_value(b)?)),
+                _ => Err(serde::Error::mismatch("a two-element array", payload)),
+            }
+        };
+        let subpair = |payload: &Value| -> Result<(Box<AttrPred>, Box<AttrPred>), serde::Error> {
+            match payload.as_arr() {
+                Some([a, b]) => Ok((
+                    Box::new(Self::from_value(a)?),
+                    Box::new(Self::from_value(b)?),
+                )),
+                _ => Err(serde::Error::mismatch("a two-element array", payload)),
+            }
+        };
+        match tag.as_str() {
+            "Eq" => pair(payload).map(|(a, p)| AttrPred::Eq(a, p)),
+            "Ne" => pair(payload).map(|(a, p)| AttrPred::Ne(a, p)),
+            "And" => subpair(payload).map(|(a, b)| AttrPred::And(a, b)),
+            "Or" => subpair(payload).map(|(a, b)| AttrPred::Or(a, b)),
+            "Not" => Ok(AttrPred::Not(Box::new(Self::from_value(payload)?))),
+            other => Err(serde::Error::custom(format!(
+                "unknown AttrPred variant `{other}`"
+            ))),
+        }
+    }
+}
+
 /// The network-wide inventory of devices, groups, and interfaces.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LocationDb {
     devices: BTreeMap<String, Device>,
+}
+
+impl Serialize for LocationDb {
+    fn to_value(&self) -> Value {
+        Value::obj(vec![("devices", self.devices.to_value())])
+    }
+}
+
+impl Deserialize for LocationDb {
+    fn from_value(value: &Value) -> Result<LocationDb, serde::Error> {
+        Ok(LocationDb {
+            devices: serde::field(value, "devices")?,
+        })
+    }
 }
 
 impl LocationDb {

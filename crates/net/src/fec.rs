@@ -7,19 +7,40 @@
 //! fields the paper's prefix predicates filter on (§7).
 
 use crate::prefix::Ipv4Prefix;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 
 /// The traffic descriptor of one flow equivalence class.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowSpec {
     /// Destination prefix.
     pub dst: Ipv4Prefix,
-    /// Source prefix, when the class is source-specific.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
+    /// Source prefix, when the class is source-specific. Omitted from the
+    /// serialized form when absent.
     pub src: Option<Ipv4Prefix>,
     /// Ingress device where the flow enters the network.
     pub ingress: String,
+}
+
+impl Serialize for FlowSpec {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![("dst", self.dst.to_value())];
+        if let Some(src) = &self.src {
+            fields.push(("src", src.to_value()));
+        }
+        fields.push(("ingress", self.ingress.to_value()));
+        Value::obj(fields)
+    }
+}
+
+impl Deserialize for FlowSpec {
+    fn from_value(value: &Value) -> Result<FlowSpec, serde::Error> {
+        Ok(FlowSpec {
+            dst: serde::field(value, "dst")?,
+            src: serde::field_or_default(value, "src")?,
+            ingress: serde::field(value, "ingress")?,
+        })
+    }
 }
 
 impl FlowSpec {

@@ -102,8 +102,10 @@ pub fn graph_to_fsa(
                 nfa.add_eps(nfa.start(), vstate[s]);
             }
             for e in &graph.edges {
-                let out_if =
-                    table.intern(&Device::interface_name(&graph.vertices[e.from], &e.src_port));
+                let out_if = table.intern(&Device::interface_name(
+                    &graph.vertices[e.from],
+                    &e.src_port,
+                ));
                 let in_if =
                     table.intern(&Device::interface_name(&graph.vertices[e.to], &e.dst_port));
                 let mid = nfa.add_state();
@@ -234,7 +236,10 @@ mod tests {
         let fsa = graph_to_fsa(&g, &db, Granularity::Device, &mut table);
         let w = syms(&table, &["A1-r01", "B1-r01", DROP_LOCATION]);
         assert!(fsa.accepts(&w));
-        assert!(!fsa.accepts(&w[..2]), "dropped path must not count as delivery");
+        assert!(
+            !fsa.accepts(&w[..2]),
+            "dropped path must not count as delivery"
+        );
     }
 
     #[test]
@@ -297,10 +302,7 @@ mod tests {
         let mut table = SymbolTable::new();
         let fsa = graph_to_fsa(&g, &db, Granularity::Device, &mut table);
         for path in g.device_paths(100) {
-            let w: Vec<_> = path
-                .iter()
-                .map(|n| table.lookup(n).unwrap())
-                .collect();
+            let w: Vec<_> = path.iter().map(|n| table.lookup(n).unwrap()).collect();
             assert!(fsa.accepts(&w), "path {path:?} not accepted");
         }
     }

@@ -93,10 +93,7 @@ mod tests {
     #[test]
     fn group_reentry_preserved() {
         let p = path(&["A1-r01", "B1-r01", "A1-r02"]);
-        assert_eq!(
-            device_path_to_group(&p, &db()),
-            path(&["A1", "B1", "A1"])
-        );
+        assert_eq!(device_path_to_group(&p, &db()), path(&["A1", "B1", "A1"]));
     }
 
     #[test]
@@ -104,19 +101,13 @@ mod tests {
         let p = path(&["A1-r01", "drop"]);
         assert_eq!(device_path_to_group(&p, &db()), path(&["A1", "drop"]));
         let p2 = path(&["A1-r01:eth0", "drop"]);
-        assert_eq!(
-            interface_path_to_device(&p2),
-            path(&["A1-r01", "drop"])
-        );
+        assert_eq!(interface_path_to_device(&p2), path(&["A1-r01", "drop"]));
     }
 
     #[test]
     fn unknown_devices_keep_name() {
         let p = path(&["edge-x1", "A1-r01"]);
-        assert_eq!(
-            device_path_to_group(&p, &db()),
-            path(&["edge-x1", "A1"])
-        );
+        assert_eq!(device_path_to_group(&p, &db()), path(&["edge-x1", "A1"]));
     }
 
     #[test]

@@ -13,14 +13,14 @@
 //! is discarded by policy. Paths through a drop vertex end with the
 //! reserved `drop` location (paper §5.1).
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Index of a vertex inside one forwarding graph.
 pub type VertexId = usize;
 
 /// A physical link used to forward this traffic class.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Edge {
     /// Upstream vertex.
     pub from: VertexId,
@@ -32,8 +32,30 @@ pub struct Edge {
     pub dst_port: String,
 }
 
+impl Serialize for Edge {
+    fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("from", self.from.to_value()),
+            ("to", self.to.to_value()),
+            ("src_port", self.src_port.to_value()),
+            ("dst_port", self.dst_port.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Edge {
+    fn from_value(value: &Value) -> Result<Edge, serde::Error> {
+        Ok(Edge {
+            from: serde::field(value, "from")?,
+            to: serde::field(value, "to")?,
+            src_port: serde::field(value, "src_port")?,
+            dst_port: serde::field(value, "dst_port")?,
+        })
+    }
+}
+
 /// A per-FEC forwarding DAG.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ForwardingGraph {
     /// Device name per vertex.
     pub vertices: Vec<String>,
@@ -46,6 +68,30 @@ pub struct ForwardingGraph {
     pub sinks: Vec<VertexId>,
     /// Vertices where the traffic is dropped by policy.
     pub drops: Vec<VertexId>,
+}
+
+impl Serialize for ForwardingGraph {
+    fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("vertices", self.vertices.to_value()),
+            ("edges", self.edges.to_value()),
+            ("sources", self.sources.to_value()),
+            ("sinks", self.sinks.to_value()),
+            ("drops", self.drops.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ForwardingGraph {
+    fn from_value(value: &Value) -> Result<ForwardingGraph, serde::Error> {
+        Ok(ForwardingGraph {
+            vertices: serde::field(value, "vertices")?,
+            edges: serde::field(value, "edges")?,
+            sources: serde::field(value, "sources")?,
+            sinks: serde::field(value, "sinks")?,
+            drops: serde::field(value, "drops")?,
+        })
+    }
 }
 
 /// A structural problem found by [`ForwardingGraph::validate`].
@@ -221,12 +267,8 @@ impl ForwardingGraph {
         let mut out = Vec::new();
         let sink_set: BTreeSet<VertexId> = self.sinks.iter().copied().collect();
         let drop_set: BTreeSet<VertexId> = self.drops.iter().copied().collect();
-        let mut stack: Vec<(VertexId, Vec<VertexId>)> = self
-            .sources
-            .iter()
-            .rev()
-            .map(|&s| (s, vec![s]))
-            .collect();
+        let mut stack: Vec<(VertexId, Vec<VertexId>)> =
+            self.sources.iter().rev().map(|&s| (s, vec![s])).collect();
         while let Some((v, path)) = stack.pop() {
             if out.len() >= limit {
                 break;
@@ -235,8 +277,7 @@ impl ForwardingGraph {
                 out.push(path.iter().map(|&p| self.vertices[p].clone()).collect());
             }
             if drop_set.contains(&v) {
-                let mut p: Vec<String> =
-                    path.iter().map(|&q| self.vertices[q].clone()).collect();
+                let mut p: Vec<String> = path.iter().map(|&q| self.vertices[q].clone()).collect();
                 p.push(crate::location::DROP_LOCATION.to_owned());
                 out.push(p);
             }
@@ -359,10 +400,13 @@ mod tests {
         assert!(g.carries_traffic());
         assert_eq!(g.path_count(), Some(1));
         let paths = g.device_paths(10);
-        assert_eq!(paths, vec![vec!["s", "firewall", "drop"]
-            .into_iter()
-            .map(String::from)
-            .collect::<Vec<_>>()]);
+        assert_eq!(
+            paths,
+            vec![vec!["s", "firewall", "drop"]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()]
+        );
     }
 
     #[test]

@@ -5,12 +5,12 @@
 //! [`Granularity`] selects the view; the location database
 //! ([`crate::db::LocationDb`]) resolves names and attributes.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// The level at which forwarding hops are named.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Granularity {
     /// Hops are physical interfaces (finest; paper reports ~10× cost).
     Interface,
@@ -31,6 +31,31 @@ impl fmt::Display for Granularity {
     }
 }
 
+impl Serialize for Granularity {
+    fn to_value(&self) -> Value {
+        // serde's externally-tagged unit-variant form: the variant name
+        Value::Str(
+            match self {
+                Granularity::Interface => "Interface",
+                Granularity::Device => "Device",
+                Granularity::Group => "Group",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl Deserialize for Granularity {
+    fn from_value(value: &Value) -> Result<Granularity, serde::Error> {
+        match value.as_str() {
+            Some("Interface") => Ok(Granularity::Interface),
+            Some("Device") => Ok(Granularity::Device),
+            Some("Group") => Ok(Granularity::Group),
+            _ => Err(serde::Error::mismatch("a granularity variant name", value)),
+        }
+    }
+}
+
 /// The special location that terminates the path of a dropped packet
 /// (paper §5.1: "we model this behavior as a special path with a single
 /// location `drop`").
@@ -40,7 +65,7 @@ pub const DROP_LOCATION: &str = "drop";
 ///
 /// Interface names are globally unique and, by convention, formed as
 /// `"{device}:{port}"` so an interface resolves to its device by name.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Device {
     /// Globally unique router name, e.g. `"A1-r03"`.
     pub name: String,
@@ -85,9 +110,34 @@ impl Device {
     }
 }
 
+impl Serialize for Device {
+    fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("name", self.name.to_value()),
+            ("group", self.group.to_value()),
+            ("attrs", self.attrs.to_value()),
+            ("interfaces", self.interfaces.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Device {
+    fn from_value(value: &Value) -> Result<Device, serde::Error> {
+        Ok(Device {
+            name: serde::field(value, "name")?,
+            group: serde::field(value, "group")?,
+            attrs: serde::field(value, "attrs")?,
+            interfaces: serde::field(value, "interfaces")?,
+        })
+    }
+}
+
 /// Resolve an interface name back to its device (the part before `:`).
 pub fn interface_device(interface: &str) -> &str {
-    interface.split_once(':').map(|(d, _)| d).unwrap_or(interface)
+    interface
+        .split_once(':')
+        .map(|(d, _)| d)
+        .unwrap_or(interface)
 }
 
 /// A glob pattern supporting `*` (any substring) and `?` (any one char).

@@ -5,16 +5,32 @@
 //! traffic"), and the control-plane simulator routes by longest prefix
 //! match. Implemented from scratch to keep the dependency set small.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 use std::str::FromStr;
 
 /// An IPv4 prefix in CIDR form, stored with host bits cleared.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(try_from = "String", into = "String")]
+///
+/// Serializes as its CIDR string (`"10.0.0.0/8"`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ipv4Prefix {
     addr: u32,
     len: u8,
+}
+
+impl Serialize for Ipv4Prefix {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for Ipv4Prefix {
+    fn from_value(value: &Value) -> Result<Ipv4Prefix, serde::Error> {
+        let text = value
+            .as_str()
+            .ok_or_else(|| serde::Error::mismatch("a CIDR string", value))?;
+        text.parse().map_err(serde::Error::custom)
+    }
 }
 
 impl Ipv4Prefix {
@@ -275,7 +291,12 @@ mod tests {
 
     #[test]
     fn parse_and_display_roundtrip() {
-        for s in ["10.0.0.0/24", "0.0.0.0/0", "192.168.1.1/32", "172.16.0.0/12"] {
+        for s in [
+            "10.0.0.0/24",
+            "0.0.0.0/0",
+            "192.168.1.1/32",
+            "172.16.0.0/12",
+        ] {
             assert_eq!(p(s).to_string(), s);
         }
     }
@@ -293,7 +314,13 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for s in ["10.0.0/24", "10.0.0.0/33", "10.0.0.256/8", "a.b.c.d/8", "10.0.0.0.0/8"] {
+        for s in [
+            "10.0.0/24",
+            "10.0.0.0/33",
+            "10.0.0.256/8",
+            "a.b.c.d/8",
+            "10.0.0.0.0/8",
+        ] {
             assert!(s.parse::<Ipv4Prefix>().is_err(), "{s} should fail");
         }
     }
@@ -354,9 +381,7 @@ mod tests {
     fn trie_longest_match_without_default() {
         let mut t = PrefixTrie::new();
         t.insert(p("10.0.0.0/8"), ());
-        assert!(t
-            .longest_match(u32::from_be_bytes([11, 0, 0, 1]))
-            .is_none());
+        assert!(t.longest_match(u32::from_be_bytes([11, 0, 0, 1])).is_none());
     }
 
     #[test]
@@ -371,7 +396,10 @@ mod tests {
     #[test]
     fn trie_iter_visits_all() {
         let mut t = PrefixTrie::new();
-        for (i, s) in ["10.0.0.0/8", "10.1.0.0/16", "172.16.0.0/12"].iter().enumerate() {
+        for (i, s) in ["10.0.0.0/8", "10.1.0.0/16", "172.16.0.0/12"]
+            .iter()
+            .enumerate()
+        {
             t.insert(p(s), i);
         }
         let mut seen: Vec<String> = t.iter().map(|(p, _)| p.to_string()).collect();

@@ -10,48 +10,49 @@
 
 use crate::fec::FlowSpec;
 use crate::graph::ForwardingGraph;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 
 /// Forwarding state for every traffic class of one network version.
 ///
 /// Serializes as a list of `{flow, graph}` entries (JSON object keys must
 /// be strings, and a [`FlowSpec`] is structured).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Snapshot {
-    #[serde(with = "fec_map")]
     fecs: BTreeMap<FlowSpec, ForwardingGraph>,
 }
 
-mod fec_map {
-    use super::*;
-    use serde::{Deserializer, Serializer};
-
-    #[derive(Serialize, Deserialize)]
-    struct Entry {
-        flow: FlowSpec,
-        graph: ForwardingGraph,
-    }
-
-    pub(super) fn serialize<S: Serializer>(
-        map: &BTreeMap<FlowSpec, ForwardingGraph>,
-        ser: S,
-    ) -> Result<S::Ok, S::Error> {
-        let entries: Vec<Entry> = map
+impl Serialize for Snapshot {
+    fn to_value(&self) -> Value {
+        let entries: Vec<Value> = self
+            .fecs
             .iter()
-            .map(|(flow, graph)| Entry {
-                flow: flow.clone(),
-                graph: graph.clone(),
+            .map(|(flow, graph)| {
+                Value::obj(vec![("flow", flow.to_value()), ("graph", graph.to_value())])
             })
             .collect();
-        serde::Serialize::serialize(&entries, ser)
+        Value::obj(vec![("fecs", Value::Arr(entries))])
     }
+}
 
-    pub(super) fn deserialize<'de, D: Deserializer<'de>>(
-        de: D,
-    ) -> Result<BTreeMap<FlowSpec, ForwardingGraph>, D::Error> {
-        let entries: Vec<Entry> = serde::Deserialize::deserialize(de)?;
-        Ok(entries.into_iter().map(|e| (e.flow, e.graph)).collect())
+impl Deserialize for Snapshot {
+    fn from_value(value: &Value) -> Result<Snapshot, serde::Error> {
+        let fecs_value = value
+            .get("fecs")
+            .ok_or_else(|| serde::Error::missing_field("fecs"))?;
+        let entries = fecs_value
+            .as_arr()
+            .ok_or_else(|| serde::Error::mismatch("an array", fecs_value))?;
+        let fecs = entries
+            .iter()
+            .map(|entry| {
+                Ok((
+                    serde::field::<FlowSpec>(entry, "flow")?,
+                    serde::field::<ForwardingGraph>(entry, "graph")?,
+                ))
+            })
+            .collect::<Result<_, serde::Error>>()?;
+        Ok(Snapshot { fecs })
     }
 }
 
@@ -106,7 +107,7 @@ impl FromIterator<(FlowSpec, ForwardingGraph)> for Snapshot {
 }
 
 /// One aligned traffic class: its pre- and post-change forwarding graphs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AlignedFec {
     /// The traffic descriptor.
     pub flow: FlowSpec,
@@ -116,11 +117,45 @@ pub struct AlignedFec {
     pub post: ForwardingGraph,
 }
 
+impl Serialize for AlignedFec {
+    fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("flow", self.flow.to_value()),
+            ("pre", self.pre.to_value()),
+            ("post", self.post.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for AlignedFec {
+    fn from_value(value: &Value) -> Result<AlignedFec, serde::Error> {
+        Ok(AlignedFec {
+            flow: serde::field(value, "flow")?,
+            pre: serde::field(value, "pre")?,
+            post: serde::field(value, "post")?,
+        })
+    }
+}
+
 /// A pre/post snapshot pair, aligned per flow.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SnapshotPair {
     /// Aligned per-FEC entries, in flow order.
     pub fecs: Vec<AlignedFec>,
+}
+
+impl Serialize for SnapshotPair {
+    fn to_value(&self) -> Value {
+        Value::obj(vec![("fecs", self.fecs.to_value())])
+    }
+}
+
+impl Deserialize for SnapshotPair {
+    fn from_value(value: &Value) -> Result<SnapshotPair, serde::Error> {
+        Ok(SnapshotPair {
+            fecs: serde::field(value, "fecs")?,
+        })
+    }
 }
 
 impl SnapshotPair {
@@ -200,11 +235,7 @@ mod tests {
 
         let pair = SnapshotPair::align(&pre, &post);
         assert_eq!(pair.len(), 3);
-        let by_flow: BTreeMap<_, _> = pair
-            .fecs
-            .iter()
-            .map(|e| (e.flow.clone(), e))
-            .collect();
+        let by_flow: BTreeMap<_, _> = pair.fecs.iter().map(|e| (e.flow.clone(), e)).collect();
         // f1: both sides present
         assert!(by_flow[&f1].pre.carries_traffic());
         assert!(by_flow[&f1].post.carries_traffic());
@@ -223,10 +254,7 @@ mod tests {
         let json = snap.to_json().unwrap();
         let back = Snapshot::from_json(&json).unwrap();
         assert_eq!(back.len(), 1);
-        assert_eq!(
-            back.iter().next().unwrap().1,
-            snap.iter().next().unwrap().1
-        );
+        assert_eq!(back.iter().next().unwrap().1, snap.iter().next().unwrap().1);
     }
 
     #[test]

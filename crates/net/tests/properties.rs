@@ -32,10 +32,7 @@ fn db_for(layers: usize) -> LocationDb {
     let mut db = LocationDb::new();
     for layer in 0..layers {
         for ix in 0..4 {
-            db.add_device(Device::new(
-                device_name(layer, ix),
-                group_of(layer, ix),
-            ));
+            db.add_device(Device::new(device_name(layer, ix), group_of(layer, ix)));
         }
     }
     db
@@ -78,12 +75,7 @@ fn dag_strategy() -> impl Strategy<Value = RandomDag> {
                     }
                 }
                 if !any_edge {
-                    graph.add_edge(
-                        ids[layer][0],
-                        ids[layer + 1][0],
-                        "e-fallback",
-                        "i-fallback",
-                    );
+                    graph.add_edge(ids[layer][0], ids[layer + 1][0], "e-fallback", "i-fallback");
                 }
             }
             graph.sources = ids[0].clone();

@@ -148,16 +148,11 @@ pub fn compute_routes(
             }
             let n_group = group[n.as_str()];
             // export at the neighbor, toward us (starts from the default LP)
-            let lp_out = match cfg.evaluate_export(
-                n,
-                prefix,
-                &device,
-                dev_group,
-                cfg.default_local_pref,
-            ) {
-                Some(lp) => lp,
-                None => continue,
-            };
+            let lp_out =
+                match cfg.evaluate_export(n, prefix, &device, dev_group, cfg.default_local_pref) {
+                    Some(lp) => lp,
+                    None => continue,
+                };
             // import at us, from the neighbor
             let lp_in = match cfg.evaluate_import(&device, prefix, n, n_group, lp_out) {
                 Some(lp) => lp,
@@ -180,10 +175,8 @@ pub fn compute_routes(
         let best: Vec<Candidate> = match candidates.iter().map(|c| c.key()).max() {
             None => Vec::new(),
             Some(top) => {
-                let mut set: Vec<Candidate> = candidates
-                    .into_iter()
-                    .filter(|c| c.key() == top)
-                    .collect();
+                let mut set: Vec<Candidate> =
+                    candidates.into_iter().filter(|c| c.key() == top).collect();
                 set.sort_by(|a, b| a.neighbor.cmp(&b.neighbor));
                 set
             }

@@ -90,7 +90,11 @@ pub fn apply_changes(cfg: &mut NetworkConfig, topo: &Topology, changes: &[Config
 }
 
 /// A base configuration plus a change list, materialized.
-pub fn configured(base: &NetworkConfig, topo: &Topology, changes: &[ConfigChange]) -> NetworkConfig {
+pub fn configured(
+    base: &NetworkConfig,
+    topo: &Topology,
+    changes: &[ConfigChange],
+) -> NetworkConfig {
     let mut cfg = base.clone();
     apply_changes(&mut cfg, topo, changes);
     cfg
@@ -193,15 +197,9 @@ mod tests {
                 prefixes: vec![p("10.1.0.0/16")],
             }],
         );
-        assert_eq!(
-            cfg.policy("A2-r1").allow_list,
-            Some(vec![p("10.1.0.0/16")])
-        );
+        assert_eq!(cfg.policy("A2-r1").allow_list, Some(vec![p("10.1.0.0/16")]));
         // A2-r2 had no list: one is created
-        assert_eq!(
-            cfg.policy("A2-r2").allow_list,
-            Some(vec![p("10.1.0.0/16")])
-        );
+        assert_eq!(cfg.policy("A2-r2").allow_list, Some(vec![p("10.1.0.0/16")]));
         // other groups untouched
         assert_eq!(cfg.policy("B2-r1").allow_list, None);
     }

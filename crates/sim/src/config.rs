@@ -343,12 +343,31 @@ mod tests {
     fn import_first_match_wins() {
         let mut cfg = NetworkConfig::new();
         cfg.policy_mut("r").imports = vec![
-            PolicyRule::new("first", vec![p("10.1.0.0/16")], None, RuleAction::SetLocalPref(50)),
-            PolicyRule::new("second", vec![p("10.0.0.0/8")], None, RuleAction::SetLocalPref(200)),
+            PolicyRule::new(
+                "first",
+                vec![p("10.1.0.0/16")],
+                None,
+                RuleAction::SetLocalPref(50),
+            ),
+            PolicyRule::new(
+                "second",
+                vec![p("10.0.0.0/8")],
+                None,
+                RuleAction::SetLocalPref(200),
+            ),
         ];
-        assert_eq!(cfg.evaluate_import("r", &p("10.1.0.0/24"), "n", "N", 100), Some(50));
-        assert_eq!(cfg.evaluate_import("r", &p("10.9.0.0/24"), "n", "N", 100), Some(200));
-        assert_eq!(cfg.evaluate_import("r", &p("11.0.0.0/24"), "n", "N", 100), Some(100));
+        assert_eq!(
+            cfg.evaluate_import("r", &p("10.1.0.0/24"), "n", "N", 100),
+            Some(50)
+        );
+        assert_eq!(
+            cfg.evaluate_import("r", &p("10.9.0.0/24"), "n", "N", 100),
+            Some(200)
+        );
+        assert_eq!(
+            cfg.evaluate_import("r", &p("11.0.0.0/24"), "n", "N", 100),
+            Some(100)
+        );
     }
 
     #[test]
@@ -360,7 +379,10 @@ mod tests {
             Some(DeviceSelector::Group("C*".into())),
             RuleAction::Deny,
         )];
-        assert_eq!(cfg.evaluate_export("r", &p("10.1.0.0/24"), "C1-r1", "C1", 100), None);
+        assert_eq!(
+            cfg.evaluate_export("r", &p("10.1.0.0/24"), "C1-r1", "C1", 100),
+            None
+        );
         assert_eq!(
             cfg.evaluate_export("r", &p("10.1.0.0/24"), "A1-r1", "A1", 100),
             Some(100)

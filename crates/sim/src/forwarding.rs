@@ -79,11 +79,7 @@ pub fn compute_fib(
 /// - ACL match at any device → that vertex is a drop vertex;
 /// - a transit device with no route (mid-path blackhole) → drop vertex;
 /// - devices delivering the prefix are sinks.
-pub fn build_fec_graph(
-    topo: &Topology,
-    fib: &PrefixFib,
-    ingress: &str,
-) -> ForwardingGraph {
+pub fn build_fec_graph(topo: &Topology, fib: &PrefixFib, ingress: &str) -> ForwardingGraph {
     let mut graph = ForwardingGraph::new();
     let ingress_entry = match fib.entries.get(ingress) {
         Some(e) => e,
@@ -197,7 +193,12 @@ mod tests {
         b.build()
     }
 
-    fn device_paths(topo: &Topology, cfg: &NetworkConfig, dst: &str, ingress: &str) -> Vec<Vec<String>> {
+    fn device_paths(
+        topo: &Topology,
+        cfg: &NetworkConfig,
+        dst: &str,
+        ingress: &str,
+    ) -> Vec<Vec<String>> {
         let igp = IgpView::new(topo, cfg);
         let fib = compute_fib(topo, cfg, &igp, &p(dst));
         let graph = build_fec_graph(topo, &fib, ingress);
@@ -290,10 +291,7 @@ mod tests {
         cfg.originate("t", p("10.1.0.0/16"));
         let mut paths = device_paths(&topo, &cfg, "10.1.0.0/24", "s");
         paths.sort();
-        assert_eq!(
-            paths,
-            vec![vec!["s", "m1", "t"], vec!["s", "m2", "t"]]
-        );
+        assert_eq!(paths, vec![vec!["s", "m1", "t"], vec!["s", "m2", "t"]]);
     }
 
     #[test]

@@ -22,9 +22,9 @@ mod forwarding;
 mod igp;
 pub mod scenarios;
 pub mod templates;
-pub mod workload;
 mod topology;
 mod traffic;
+pub mod workload;
 
 pub use bgp::{compute_routes, Candidate, DeviceRoute, RoutingOutcome};
 pub use change::{apply_changes, configured, ConfigChange};

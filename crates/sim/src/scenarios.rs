@@ -444,10 +444,7 @@ mod tests {
         let pre = study.pre_snapshot();
         assert_eq!(pre.len() as u32, T1_COUNT + T2_COUNT + XA_COUNT);
         // pre-change: xa classes uncarried
-        let uncarried = pre
-            .iter()
-            .filter(|(_, g)| !g.carries_traffic())
-            .count() as u32;
+        let uncarried = pre.iter().filter(|(_, g)| !g.carries_traffic()).count() as u32;
         assert_eq!(uncarried, XA_COUNT);
     }
 

@@ -137,7 +137,13 @@ pub fn synthetic_wan(params: &WanParams) -> SyntheticWan {
 
     let representative_change = vec![ConfigChange::AddAclDeny {
         devices: DeviceSelector::Group(group_name(1 % params.regions, 'O')),
-        prefixes: vec![Ipv4Prefix::from_octets(10, (1 % params.regions) as u8, 0, 0, 24)],
+        prefixes: vec![Ipv4Prefix::from_octets(
+            10,
+            (1 % params.regions) as u8,
+            0,
+            0,
+            24,
+        )],
     }];
 
     SyntheticWan {
@@ -182,10 +188,7 @@ pub struct ChangeSpec {
 ///
 /// Panics unless `n == 1` or `n ≡ 1 (mod 3)`.
 pub fn spec_of_size(n: usize, regions: usize) -> String {
-    assert!(
-        n == 1 || n % 3 == 1,
-        "spec sizes are 3·m + 1 (got {n})"
-    );
+    assert!(n == 1 || n % 3 == 1, "spec sizes are 3·m + 1 (got {n})");
     let mut out = String::new();
     let mut chain_names = Vec::new();
     let chains = n / 3;
@@ -294,7 +297,7 @@ mod tests {
         let (snap, unconverged) = simulate(&wan.topology, &wan.config, &wan.traffic);
         assert!(unconverged.is_empty());
         assert_eq!(snap.len(), 4 * 3 * 2); // 12 pairs × 2 FECs
-        // every flow is carried
+                                           // every flow is carried
         for (flow, graph) in snap.iter() {
             assert!(graph.carries_traffic(), "{flow} not carried");
             assert!(graph.validate().is_ok());
@@ -306,11 +309,8 @@ mod tests {
         let params = WanParams::default();
         let wan = synthetic_wan(&params);
         let (pre, _) = simulate(&wan.topology, &wan.config, &wan.traffic);
-        let changed = crate::change::configured(
-            &wan.config,
-            &wan.topology,
-            &wan.representative_change,
-        );
+        let changed =
+            crate::change::configured(&wan.config, &wan.topology, &wan.representative_change);
         let (post, _) = simulate(&wan.topology, &changed, &wan.traffic);
         let diffs = pre
             .iter()

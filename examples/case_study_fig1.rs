@@ -50,8 +50,8 @@ fn main() {
         let spec = if ix == 0 { &original } else { &refined };
         let post = study.post_snapshot(ix);
         let pair = SnapshotPair::align(&pre, &post);
-        let report = run_check(spec, &study.topology.db, Granularity::Group, &pair)
-            .expect("spec compiles");
+        let report =
+            run_check(spec, &study.topology.db, Granularity::Group, &pair).expect("spec compiles");
         if report.is_compliant() {
             println!("   PASS — change validated automatically and completely\n");
         } else {

@@ -74,7 +74,11 @@ fn main() {
     };
 
     // Correct implementation: deny the whole aggregate from B1.
-    let (post, _) = simulate(&topo, &configured(&cfg, &topo, &drain_rule("10.0.0.0/8")), &traffic);
+    let (post, _) = simulate(
+        &topo,
+        &configured(&cfg, &topo, &drain_rule("10.0.0.0/8")),
+        &traffic,
+    );
     let pair = SnapshotPair::align(&pre, &post);
     let report = run_check(spec, &topo.db, Granularity::Group, &pair).expect("spec compiles");
     println!("full drain:\n{report}");
@@ -82,8 +86,11 @@ fn main() {
 
     // Buggy implementation: the prefix list covers only 10.0.0.0/14, so
     // eight of the twelve flows never move.
-    let (post_bad, _) =
-        simulate(&topo, &configured(&cfg, &topo, &drain_rule("10.0.0.0/14")), &traffic);
+    let (post_bad, _) = simulate(
+        &topo,
+        &configured(&cfg, &topo, &drain_rule("10.0.0.0/14")),
+        &traffic,
+    );
     let pair = SnapshotPair::align(&pre, &post_bad);
     let report = run_check(spec, &topo.db, Granularity::Group, &pair).expect("spec compiles");
     println!("typo'd drain (should FAIL):\n{report}");

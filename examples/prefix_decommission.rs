@@ -56,8 +56,7 @@ fn main() {
     }];
     let (post, _) = simulate(&topo, &configured(&cfg, &topo, &withdraw), &traffic);
     let pair = SnapshotPair::align(&pre, &post);
-    let report =
-        run_check(spec, &topo.db, Granularity::Device, &pair).expect("spec compiles");
+    let report = run_check(spec, &topo.db, Granularity::Device, &pair).expect("spec compiles");
     println!("withdrawal validation:\n{report}");
 
     // Buggy implementation: an ACL filter instead of a withdrawal — the
@@ -69,7 +68,6 @@ fn main() {
     }];
     let (post_bad, _) = simulate(&topo, &configured(&cfg, &topo, &filter), &traffic);
     let pair = SnapshotPair::align(&pre, &post_bad);
-    let report =
-        run_check(spec, &topo.db, Granularity::Device, &pair).expect("spec compiles");
+    let report = run_check(spec, &topo.db, Granularity::Device, &pair).expect("spec compiles");
     println!("ACL-instead-of-withdrawal (should FAIL):\n{report}");
 }

@@ -22,7 +22,11 @@ fn pair(db_flows: &[(&str, Vec<&str>, Vec<&str>)]) -> SnapshotPair {
 
 fn demo(db: &LocationDb, expect_pass: bool, title: &str, spec: &str, pair: &SnapshotPair) {
     let report = run_check(spec, db, Granularity::Device, pair).expect("spec compiles");
-    let verdict = if report.is_compliant() { "PASS" } else { "FAIL" };
+    let verdict = if report.is_compliant() {
+        "PASS"
+    } else {
+        "FAIL"
+    };
     assert_eq!(report.is_compliant(), expect_pass, "{title}: {report}");
     println!("{verdict}  {title}");
     for v in report.violations.iter().take(1) {
@@ -46,28 +50,68 @@ fn main() {
     }
 
     println!("== preserve: nothing changes ==");
-    let p = pair(&[("10.1.0.0/24", vec!["x1", "A1", "y1"], vec!["x1", "A1", "y1"])]);
-    demo(&db, true, "identical snapshots", "spec s := { .* : preserve } check s", &p);
-    let p = pair(&[("10.1.0.0/24", vec!["x1", "A1", "y1"], vec!["x1", "A2", "y1"])]);
-    demo(&db, false, "a path moved", "spec s := { .* : preserve } check s", &p);
+    let p = pair(&[(
+        "10.1.0.0/24",
+        vec!["x1", "A1", "y1"],
+        vec!["x1", "A1", "y1"],
+    )]);
+    demo(
+        &db,
+        true,
+        "identical snapshots",
+        "spec s := { .* : preserve } check s",
+        &p,
+    );
+    let p = pair(&[(
+        "10.1.0.0/24",
+        vec!["x1", "A1", "y1"],
+        vec!["x1", "A2", "y1"],
+    )]);
+    demo(
+        &db,
+        false,
+        "a path moved",
+        "spec s := { .* : preserve } check s",
+        &p,
+    );
 
     println!("\n== replace: a specific rewrite ==");
     let spec = "spec s := { x1 .* y1 : replace(x1 A1 y1, x1 A2 y1) } check s";
-    let p = pair(&[("10.1.0.0/24", vec!["x1", "A1", "y1"], vec!["x1", "A2", "y1"])]);
+    let p = pair(&[(
+        "10.1.0.0/24",
+        vec!["x1", "A1", "y1"],
+        vec!["x1", "A2", "y1"],
+    )]);
     demo(&db, true, "rewrite happened", spec, &p);
-    let p = pair(&[("10.1.0.0/24", vec!["x1", "A1", "y1"], vec!["x1", "B1", "y1"])]);
+    let p = pair(&[(
+        "10.1.0.0/24",
+        vec!["x1", "A1", "y1"],
+        vec!["x1", "B1", "y1"],
+    )]);
     demo(&db, false, "rewrite went elsewhere", spec, &p);
 
     println!("\n== any: move to *some* path in a set ==");
     let spec = "spec s := { x1 .* y1 : any(x1 (A1|A2) y1) } check s";
-    let p = pair(&[("10.1.0.0/24", vec!["x1", "B1", "y1"], vec!["x1", "A2", "y1"])]);
+    let p = pair(&[(
+        "10.1.0.0/24",
+        vec!["x1", "B1", "y1"],
+        vec!["x1", "A2", "y1"],
+    )]);
     demo(&db, true, "moved to one allowed path", spec, &p);
-    let p = pair(&[("10.1.0.0/24", vec!["x1", "B1", "y1"], vec!["x1", "B1", "y1"])]);
+    let p = pair(&[(
+        "10.1.0.0/24",
+        vec!["x1", "B1", "y1"],
+        vec!["x1", "B1", "y1"],
+    )]);
     demo(&db, false, "did not move", spec, &p);
 
     println!("\n== add / remove ==");
     let spec = "spec s := { x1 A1 y1 : add(x1 A2 y1) } check s";
-    let p = pair(&[("10.1.0.0/24", vec!["x1", "A1", "y1"], vec!["x1", "A1", "y1"])]);
+    let p = pair(&[(
+        "10.1.0.0/24",
+        vec!["x1", "A1", "y1"],
+        vec!["x1", "A1", "y1"],
+    )]);
     demo(&db, false, "addition missing", spec, &p);
     let spec = "spec s := { x1 .* y1 : remove(x1 A1 y1) } check s";
     let p = pair(&[("10.1.0.0/24", vec!["x1", "A1", "y1"], vec![])]);
@@ -86,7 +130,13 @@ fn main() {
     dropped.sources.push(v);
     dropped.drops.push(v);
     post.insert(flow, dropped);
-    demo(&db, true, "traffic now dropped at ingress", spec, &SnapshotPair::align(&pre, &post));
+    demo(
+        &db,
+        true,
+        "traffic now dropped at ingress",
+        spec,
+        &SnapshotPair::align(&pre, &post),
+    );
 
     println!("\n== where queries and regions ==");
     let spec = r#"
@@ -96,7 +146,13 @@ fn main() {
         check s
     "#;
     let p = pair(&[("10.1.0.0/24", vec!["x1", "A1"], vec!["x1", "A2"])]);
-    demo(&db, false, "west-region change caught by the west spec", spec, &p);
+    demo(
+        &db,
+        false,
+        "west-region change caught by the west spec",
+        spec,
+        &p,
+    );
 
     println!("\n== RIR escape hatch: permit additions in a zone ==");
     let spec = "rir s := pre <= post && post <= (pre | x1 .*)\ncheck s";

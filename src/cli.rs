@@ -306,8 +306,19 @@ mod tests {
     #[test]
     fn parses_check_command() {
         let cmd = parse_args(&args(&[
-            "check", "--spec", "s.rela", "--db", "db.json", "--pre", "a.json", "--post",
-            "b.json", "--granularity", "device", "--threads", "4",
+            "check",
+            "--spec",
+            "s.rela",
+            "--db",
+            "db.json",
+            "--pre",
+            "a.json",
+            "--post",
+            "b.json",
+            "--granularity",
+            "device",
+            "--threads",
+            "4",
         ]))
         .unwrap();
         match cmd {
@@ -334,7 +345,15 @@ mod tests {
     fn unknown_command_and_granularity() {
         assert!(parse_args(&args(&["frobnicate"])).is_err());
         let err = parse_args(&args(&[
-            "diff", "--db", "d", "--pre", "a", "--post", "b", "--granularity", "nm",
+            "diff",
+            "--db",
+            "d",
+            "--pre",
+            "a",
+            "--post",
+            "b",
+            "--granularity",
+            "nm",
         ]))
         .unwrap_err();
         assert!(err.message.contains("granularity"));

@@ -19,6 +19,9 @@
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub use rela_automata as automata;
 pub use rela_baseline as baseline;
 pub use rela_core as lang;

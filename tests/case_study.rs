@@ -143,12 +143,7 @@ fn device_level_check_also_works() {
     let pre = study.pre_snapshot();
     let post = study.post_snapshot(3);
     let pair = SnapshotPair::align(&pre, &post);
-    let report = run_check(
-        &report_spec,
-        &study.topology.db,
-        Granularity::Device,
-        &pair,
-    )
-    .expect("check runs");
+    let report = run_check(&report_spec, &study.topology.db, Granularity::Device, &pair)
+        .expect("check runs");
     assert!(report.is_compliant(), "{report}");
 }

@@ -1,0 +1,139 @@
+//! End-to-end CLI test: drive `rela::cli::parse_args`/`run` over real
+//! files on disk — the quickstart example's network and spec — and
+//! assert the three exit-code contracts the change pipeline relies on:
+//! 0 = compliant, 1 = violations found, 2 = usage/input error.
+
+use rela::cli::{parse_args, run, Command};
+use rela::net::{linear_graph, Device, FlowSpec, LocationDb, Snapshot};
+use std::path::{Path, PathBuf};
+
+/// The quickstart scenario (`examples/quickstart.rs`): web traffic moves
+/// from B1 to A2, DNS must stay put.
+const SPEC: &str = r#"
+    spec moveWeb := { x1 .* y1 : replace(x1 B1 y1, x1 A2 y1) }
+    spec nochange := { .* : preserve }
+    pspec webP := (dstPrefix == 10.1.0.0/24) -> moveWeb
+    check nochange
+"#;
+
+struct Workdir {
+    dir: PathBuf,
+}
+
+impl Workdir {
+    fn new(tag: &str) -> Workdir {
+        let dir = std::env::temp_dir().join(format!("rela-cli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create workdir");
+        Workdir { dir }
+    }
+
+    fn write(&self, name: &str, contents: String) -> PathBuf {
+        let path = self.dir.join(name);
+        std::fs::write(&path, contents).expect("write input file");
+        path
+    }
+}
+
+impl Drop for Workdir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+fn quickstart_inputs(work: &Workdir) -> (PathBuf, PathBuf, PathBuf) {
+    let mut db = LocationDb::new();
+    for name in ["x1", "A2", "B1", "y1"] {
+        db.add_device(Device::new(name, name));
+    }
+    let web = FlowSpec::new("10.1.0.0/24".parse().unwrap(), "x1");
+    let dns = FlowSpec::new("10.2.0.0/24".parse().unwrap(), "x1");
+
+    let mut pre = Snapshot::new();
+    pre.insert(web.clone(), linear_graph(&["x1", "B1", "y1"]));
+    pre.insert(dns.clone(), linear_graph(&["x1", "B1", "y1"]));
+
+    // correct implementation: only web moved
+    let mut post_good = Snapshot::new();
+    post_good.insert(web.clone(), linear_graph(&["x1", "A2", "y1"]));
+    post_good.insert(dns.clone(), linear_graph(&["x1", "B1", "y1"]));
+
+    // buggy implementation: DNS moved too (collateral damage)
+    let mut post_bad = Snapshot::new();
+    post_bad.insert(web, linear_graph(&["x1", "A2", "y1"]));
+    post_bad.insert(dns, linear_graph(&["x1", "A2", "y1"]));
+
+    let db_path = work.write("db.json", serde_json::to_string(&db).unwrap());
+    work.write("spec.rela", SPEC.to_owned());
+    work.write("pre.json", pre.to_json().unwrap());
+    let good = work.write("post_good.json", post_good.to_json().unwrap());
+    let bad = work.write("post_bad.json", post_bad.to_json().unwrap());
+    (db_path, good, bad)
+}
+
+fn check_cmd(work: &Workdir, db: &Path, post: &Path) -> Command {
+    parse_args(&[
+        "check".to_owned(),
+        "--spec".to_owned(),
+        work.dir.join("spec.rela").display().to_string(),
+        "--db".to_owned(),
+        db.display().to_string(),
+        "--pre".to_owned(),
+        work.dir.join("pre.json").display().to_string(),
+        "--post".to_owned(),
+        post.display().to_string(),
+        "--granularity".to_owned(),
+        "device".to_owned(),
+    ])
+    .expect("valid command line")
+}
+
+#[test]
+fn compliant_change_exits_zero() {
+    let work = Workdir::new("ok");
+    let (db, good, _) = quickstart_inputs(&work);
+    let mut out = Vec::new();
+    let code = run(&check_cmd(&work, &db, &good), &mut out).expect("runs");
+    let text = String::from_utf8(out).unwrap();
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("PASS"), "{text}");
+}
+
+#[test]
+fn violating_change_exits_one_with_counterexample() {
+    let work = Workdir::new("violation");
+    let (db, _, bad) = quickstart_inputs(&work);
+    let mut out = Vec::new();
+    let code = run(&check_cmd(&work, &db, &bad), &mut out).expect("runs");
+    let text = String::from_utf8(out).unwrap();
+    assert_eq!(code, 1, "{text}");
+    // the collateral-damage flow must be attributed in the report
+    assert!(text.contains("10.2.0.0/24"), "{text}");
+}
+
+#[test]
+fn usage_and_input_errors_exit_two() {
+    // unknown flag value / missing required flag → parse error, code 2
+    let err = parse_args(&["check".to_owned(), "--spec".to_owned(), "x".to_owned()])
+        .expect_err("incomplete command line");
+    assert_eq!(err.code, 2);
+
+    // well-formed command line over missing files → input error, code 2
+    let work = Workdir::new("missing");
+    let (db, good, _) = quickstart_inputs(&work);
+    let mut cmd = check_cmd(&work, &db, &good);
+    match &mut cmd {
+        Command::Check { spec, .. } => *spec = work.dir.join("nonexistent.rela"),
+        other => panic!("unexpected {other:?}"),
+    }
+    let mut out = Vec::new();
+    let err = run(&cmd, &mut out).expect_err("missing spec file");
+    assert_eq!(err.code, 2);
+
+    // unparseable spec → input error, code 2
+    let work2 = Workdir::new("badspec");
+    let (db2, good2, _) = quickstart_inputs(&work2);
+    work2.write("spec.rela", "spec oops := { : }".to_owned());
+    let mut out = Vec::new();
+    let err = run(&check_cmd(&work2, &db2, &good2), &mut out).expect_err("invalid spec");
+    assert_eq!(err.code, 2);
+}

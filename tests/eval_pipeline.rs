@@ -137,15 +137,10 @@ fn interface_granularity_is_strictly_finer() {
     );
     let pair = SnapshotPair::align(&pre, &post);
     let nochange = spec_of_size(1, params.regions);
-    let group_report = run_check(&nochange, &wan.topology.db, Granularity::Group, &pair)
-        .expect("compiles");
-    let iface_report = run_check(
-        &nochange,
-        &wan.topology.db,
-        Granularity::Interface,
-        &pair,
-    )
-    .expect("compiles");
+    let group_report =
+        run_check(&nochange, &wan.topology.db, Granularity::Group, &pair).expect("compiles");
+    let iface_report =
+        run_check(&nochange, &wan.topology.db, Granularity::Interface, &pair).expect("compiles");
     // finer granularity can only reveal more differences
     assert!(
         iface_report.violations.len() >= group_report.violations.len(),
@@ -174,8 +169,8 @@ fn declared_spec_sizes_match_ast_counts() {
     // against the parser+AST counting (two independent implementations
     // of the Fig. 5 metric)
     for spec in evaluation_specs(&small_params()) {
-        let program = rela::lang::parse_program(&spec.source)
-            .unwrap_or_else(|e| panic!("{}: {e}", spec.id));
+        let program =
+            rela::lang::parse_program(&spec.source).unwrap_or_else(|e| panic!("{}: {e}", spec.id));
         let counted = program
             .atomic_count("change")
             .unwrap_or_else(|| panic!("{}: cannot count", spec.id));

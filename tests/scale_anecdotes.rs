@@ -47,7 +47,11 @@ fn backbone_monster_fec() -> (ForwardingGraph, LocationDb) {
 #[test]
 fn a_compact_dag_encodes_over_1e8_paths() {
     let (g, _) = backbone_monster_fec();
-    assert_eq!(g.vertices.len(), 38, "the paper's anecdote: a 38-vertex DAG");
+    assert_eq!(
+        g.vertices.len(),
+        38,
+        "the paper's anecdote: a 38-vertex DAG"
+    );
     assert!(g.validate().is_ok());
     let count = g.path_count().expect("acyclic");
     // per stage boundary: 2 next vertices × 2 parallel links = 4 choices;

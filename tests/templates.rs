@@ -31,8 +31,13 @@ fn every_template_accepts_correct_and_rejects_buggy() {
         let (post, un) = simulate(&wan.topology, &cfg, &wan.traffic);
         assert!(un.is_empty(), "{}: correct config diverged", template.name);
         let pair = SnapshotPair::align(&pre, &post);
-        let report = run_check(&template.spec, &wan.topology.db, template.granularity, &pair)
-            .unwrap_or_else(|e| panic!("{}: {e}", template.name));
+        let report = run_check(
+            &template.spec,
+            &wan.topology.db,
+            template.granularity,
+            &pair,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", template.name));
         assert!(
             report.is_compliant(),
             "{}: correct implementation rejected\n{report}",
@@ -45,8 +50,13 @@ fn every_template_accepts_correct_and_rejects_buggy() {
         let (post, un) = simulate(&wan.topology, &cfg, &wan.traffic);
         assert!(un.is_empty(), "{}: buggy config diverged", template.name);
         let pair = SnapshotPair::align(&pre, &post);
-        let report = run_check(&template.spec, &wan.topology.db, template.granularity, &pair)
-            .unwrap_or_else(|e| panic!("{}: {e}", template.name));
+        let report = run_check(
+            &template.spec,
+            &wan.topology.db,
+            template.granularity,
+            &pair,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", template.name));
         assert!(
             !report.is_compliant(),
             "{}: buggy implementation accepted ({why})",
@@ -67,8 +77,13 @@ fn noop_bug_is_reported_as_nochange_violation() {
     let cfg = configured(&wan.config, &wan.topology, &template.buggy.1);
     let (post, _) = simulate(&wan.topology, &cfg, &wan.traffic);
     let pair = SnapshotPair::align(&pre, &post);
-    let report = run_check(&template.spec, &wan.topology.db, template.granularity, &pair)
-        .expect("compiles");
+    let report = run_check(
+        &template.spec,
+        &wan.topology.db,
+        template.granularity,
+        &pair,
+    )
+    .expect("compiles");
     // every flow into region 1 blackholes: 3 source regions × 2 FECs
     assert_eq!(report.count_for("nochange"), 6, "{report}");
     for v in &report.violations {
@@ -89,8 +104,13 @@ fn filter_bug_shows_the_surviving_path() {
     let cfg = configured(&wan.config, &wan.topology, &template.buggy.1);
     let (post, _) = simulate(&wan.topology, &cfg, &wan.traffic);
     let pair = SnapshotPair::align(&pre, &post);
-    let report = run_check(&template.spec, &wan.topology.db, template.granularity, &pair)
-        .expect("compiles");
+    let report = run_check(
+        &template.spec,
+        &wan.topology.db,
+        template.granularity,
+        &pair,
+    )
+    .expect("compiles");
     assert!(!report.is_compliant());
     // the counterexample must surface a *delivered* post path (the ECMP
     // sibling that escaped the partial rollout)

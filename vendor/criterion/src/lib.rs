@@ -1,0 +1,277 @@
+//! Vendored offline stand-in for `criterion`.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` harness API the
+//! workspace's benches use, backed by a simple wall-clock timer: each
+//! benchmark is warmed up once, then timed over `sample_size` samples,
+//! and the mean/min are printed in a `group/id  time: [..]` line similar
+//! to criterion's. No statistics, plots, or baselines — this exists so
+//! the benches always compile and can run in air-gapped CI.
+//!
+//! Passing `--bench <filter>` (as cargo does) filters by substring;
+//! `--test` mode runs each benchmark exactly once.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> BenchmarkId {
+        BenchmarkId { id: id.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> BenchmarkId {
+        BenchmarkId { id }
+    }
+}
+
+/// Times one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    elapsed: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `body` once as warm-up, then time it over the sample budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        std::hint::black_box(body());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(body());
+            self.elapsed.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (criterion's minimum is 10).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, |bencher| body(bencher, input));
+        self
+    }
+
+    /// Benchmark a closure with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.into().id, |bencher| body(bencher));
+        self
+    }
+
+    fn run(&self, id: &str, body: impl FnOnce(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        let samples = if self.criterion.test_mode {
+            1
+        } else {
+            self.sample_size
+        };
+        let mut bencher = Bencher {
+            samples,
+            elapsed: Vec::with_capacity(samples),
+        };
+        body(&mut bencher);
+        if bencher.elapsed.is_empty() {
+            println!("{full:<50} (no measurement — b.iter was not called)");
+            return;
+        }
+        let total: Duration = bencher.elapsed.iter().sum();
+        let mean = total / bencher.elapsed.len() as u32;
+        let min = bencher.elapsed.iter().min().expect("non-empty");
+        println!(
+            "{full:<50} time: [min {} mean {}] ({} samples)",
+            fmt_duration(*min),
+            fmt_duration(mean),
+            bencher.elapsed.len()
+        );
+    }
+
+    /// End the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// The benchmark driver: filter handling plus group construction.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut filter = None;
+        let mut test_mode = false;
+        let mut it = args.iter();
+        let mut after_unknown_flag = false;
+        while let Some(arg) = it.next() {
+            let was_after_unknown = std::mem::take(&mut after_unknown_flag);
+            match arg.as_str() {
+                // cargo bench passes a bare `--bench`; a bare value is a filter
+                "--bench" | "--noplot" | "--quiet" | "--verbose" => {}
+                "--test" => test_mode = true,
+                // value-taking criterion options: skip the value too
+                "--profile-time" | "--save-baseline" | "--baseline" | "--measurement-time"
+                | "--warm-up-time" | "--sample-size" => {
+                    let _ = it.next();
+                }
+                s if s.starts_with("--") => {
+                    // unknown flag: it may take a value, so the next bare
+                    // token is ambiguous — don't treat it as a filter
+                    after_unknown_flag = true;
+                }
+                s if !was_after_unknown => filter = Some(s.to_owned()),
+                _ => {} // bare token right after an unknown flag: its value
+            }
+        }
+        Criterion { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function<F>(&mut self, id: &str, body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, body);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_a_closure() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("f", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("with", 4), &4usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        // test_mode: 1 warm-up + 1 timed sample
+        assert_eq!(runs, 2);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("nope".into()),
+            test_mode: true,
+        };
+        let mut ran = false;
+        c.benchmark_group("g")
+            .bench_function("f", |b| b.iter(|| ran = true));
+        assert!(!ran);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("a", 3).id, "a/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,611 @@
+//! Vendored offline stand-in for `proptest`.
+//!
+//! Implements the strategy/`proptest!` API subset this workspace's
+//! property tests use, on top of a deterministic splitmix64 generator
+//! seeded from the test's module path and name — so failures reproduce
+//! across runs without persisted regression files.
+//!
+//! Intentional simplifications versus real proptest:
+//!
+//! - **no shrinking** — a failing case reports the panic message only;
+//! - string strategies (`input in "\\PC*"`) generate arbitrary printable
+//!   strings rather than interpreting the full regex syntax;
+//! - collection strategies treat the size bound as a target, so a
+//!   `btree_set` may come out smaller when random elements collide.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// Deterministic splitmix64 random source for one property test.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test identifier (stable across runs and platforms).
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: hash }
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "empty range");
+        // multiply-shift; bias is irrelevant for test-case generation
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// A failed (or rejected) test case, carried out of the test body by the
+/// `prop_assert*` macros.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed assertion.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Per-block configuration; only the case count is meaningful here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erase into a cheaply clonable strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| f(self.generate(rng))))
+    }
+
+    /// Generate a value, then generate from the strategy it selects.
+    fn prop_flat_map<S2, F>(self, f: F) -> BoxedStrategy<S2::Value>
+    where
+        Self: Sized + 'static,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2 + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| f(self.generate(rng)).generate(rng)))
+    }
+
+    /// Recursive strategies: `self` is the leaf; `branch` builds one more
+    /// level from the strategy for the levels below. `depth` bounds the
+    /// recursion; the size/branch hints of real proptest are accepted and
+    /// ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let level = branch(strat).boxed();
+            strat = Union::new(vec![leaf.clone(), level]).boxed();
+        }
+        strat
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> BoxedStrategy<T> {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+
+    fn boxed(self) -> BoxedStrategy<T> {
+        self
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between strategies of a common value type (the
+/// engine behind `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Choose uniformly among `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let ix = rng.below(self.options.len() as u64) as usize;
+        self.options[ix].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $ty
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                lo + rng.below(span) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, usize);
+
+macro_rules! strategy_tuples {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+strategy_tuples! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// String strategies: a `&str` is treated as a *pattern hint* and
+/// generates arbitrary printable strings (real proptest interprets the
+/// full regex; every pattern this workspace uses denotes "any printable
+/// text", so the approximation is faithful where it matters).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        const POOL: &[char] = &[
+            'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '_', '-', ':', ';', ',', '.', '(', ')', '{',
+            '}', '[', ']', '|', '&', '*', '+', '?', '!', '=', '<', '>', '"', '\'', '/', '\\', '#',
+            '~', '@', 'é', 'λ', '☃', '路',
+        ];
+        let len = rng.below(64) as usize;
+        (0..len)
+            .map(|_| POOL[rng.below(POOL.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + 'static {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy of all values of `T`.
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    BoxedStrategy(Rc::new(|rng| T::arbitrary(rng)))
+}
+
+/// A size bound for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::*;
+
+    /// A `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        let size = size.into();
+        BoxedStrategy(Rc::new(move |rng| {
+            let n = size.pick(rng);
+            (0..n).map(|_| element.generate(rng)).collect()
+        }))
+    }
+
+    /// A `BTreeSet` with up to `size` elements (duplicates collapse).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<BTreeSet<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: Ord,
+    {
+        let size = size.into();
+        BoxedStrategy(Rc::new(move |rng| {
+            let n = size.pick(rng);
+            (0..n).map(|_| element.generate(rng)).collect()
+        }))
+    }
+}
+
+/// Sampling strategies (`proptest::sample`).
+pub mod sample {
+    use super::*;
+
+    /// Pick one element of the (non-empty) vector.
+    pub fn select<T: Clone + 'static>(options: Vec<T>) -> BoxedStrategy<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        BoxedStrategy(Rc::new(move |rng| {
+            options[rng.below(options.len() as u64) as usize].clone()
+        }))
+    }
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Fail the current test case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current test case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`: {}", left, right, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fail the current test case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`: {}", left, right, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Declare property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($($config:tt)*)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ @config(($($config)*)) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ @config(($crate::ProptestConfig::default())) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@config($config:tt)) => {};
+    (@config(($($config:tt)*))
+     $(#[$meta:meta])*
+     fn $name:ident ($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $($config)*;
+            let mut __rng =
+                $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    $crate::__proptest_case!{ @rng(__rng) @body($body) $($params)* };
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "property `{}` failed on case {}/{}: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns!{ @config(($($config)*)) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    (@rng($rng:ident) @body($body:block) $pat:pat in $strategy:expr, $($rest:tt)+) => {{
+        let $pat = $crate::Strategy::generate(&($strategy), &mut $rng);
+        $crate::__proptest_case!{ @rng($rng) @body($body) $($rest)+ }
+    }};
+    (@rng($rng:ident) @body($body:block) $pat:pat in $strategy:expr $(,)?) => {{
+        let $pat = $crate::Strategy::generate(&($strategy), &mut $rng);
+        let mut __case = || -> ::std::result::Result<(), $crate::TestCaseError> {
+            $body
+            #[allow(unreachable_code)]
+            ::std::result::Result::Ok(())
+        };
+        __case()
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        for _ in 0..100 {
+            let v = a.below(10);
+            assert!(v < 10);
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..200 {
+            let v = (3usize..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let w = (2usize..=4).generate(&mut rng);
+            assert!((2..=4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn collections_and_select() {
+        let mut rng = TestRng::for_test("coll");
+        for _ in 0..50 {
+            let v = crate::collection::vec(0usize..5, 1..=3).generate(&mut rng);
+            assert!((1..=3).contains(&v.len()));
+            let s = crate::sample::select(vec!["a", "b"]).generate(&mut rng);
+            assert!(s == "a" || s == "b");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro binds multiple parameters and supports early return.
+        #[test]
+        fn macro_binds_params(x in 0usize..10, y in prop_oneof![Just(1usize), Just(2)]) {
+            if x == 0 {
+                return Ok(());
+            }
+            prop_assert!(x < 10, "x was {}", x);
+            prop_assert_eq!(y * 2 / 2, y);
+            prop_assert_ne!(x + y, x);
+        }
+
+        #[test]
+        fn recursive_strategies_terminate(n in nested_strategy()) {
+            prop_assert!(n.depth() <= 4, "depth {}", n.depth());
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Tree {
+        Leaf,
+        Node(Vec<Tree>),
+    }
+
+    impl Tree {
+        fn depth(&self) -> usize {
+            match self {
+                Tree::Leaf => 0,
+                Tree::Node(kids) => 1 + kids.iter().map(Tree::depth).max().unwrap_or(0),
+            }
+        }
+    }
+
+    fn nested_strategy() -> impl Strategy<Value = Tree> {
+        Just(Tree::Leaf).prop_recursive(4, 16, 3, |inner| {
+            crate::collection::vec(inner, 1..3).prop_map(Tree::Node)
+        })
+    }
+}

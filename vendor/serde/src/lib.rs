@@ -1,0 +1,441 @@
+//! Vendored offline stand-in for `serde`.
+//!
+//! This workspace builds in air-gapped environments, so it cannot pull
+//! the real `serde`/`serde_derive` from crates.io. This crate provides a
+//! *value-based* (de)serialization core under the same crate name: types
+//! implement [`Serialize`]/[`Deserialize`] by converting to and from the
+//! self-describing [`Value`] tree, and format crates (the sibling
+//! vendored `serde_json`) print and parse that tree.
+//!
+//! Differences from real serde, by design:
+//!
+//! - no derive macros — impls are written by hand (the workspace only
+//!   needs a dozen of them, all in `rela-net`);
+//! - no zero-copy or streaming: everything goes through [`Value`];
+//! - enums use serde's *externally tagged* JSON representation so the
+//!   wire format matches what real serde would produce.
+//!
+//! Swapping the real serde back in later only requires re-deriving the
+//! impls; the JSON exchange format is unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A self-describing serialized value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integer number (JSON numbers without a fractional part).
+    Int(i64),
+    /// Unsigned integer above `i64::MAX` (JSON has no integer width
+    /// limit; this keeps large u64s exact, as real serde_json does).
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Arr(Vec<Value>),
+    /// JSON object, in insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Build an object value from `(key, value)` pairs.
+    pub fn obj(fields: Vec<(&str, Value)>) -> Value {
+        Value::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Look up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload (also accepts integral floats).
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(n) => Some(n),
+            Value::UInt(n) => i64::try_from(n).ok(),
+            Value::Float(f) if f.fract() == 0.0 && f.abs() < 9e15 => Some(f as i64),
+            _ => None,
+        }
+    }
+
+    /// The integer payload as unsigned.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(n) => u64::try_from(n).ok(),
+            Value::UInt(n) => Some(n),
+            Value::Float(f) if f.fract() == 0.0 && (0.0..9e15).contains(&f) => Some(f as u64),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a float.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(n) => Some(n as f64),
+            Value::UInt(n) => Some(n as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The field list, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// A (de)serialization failure: a human-readable message, optionally
+/// wrapped by format crates with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Build an error from a message.
+    pub fn custom(message: impl fmt::Display) -> Error {
+        Error {
+            message: message.to_string(),
+        }
+    }
+
+    /// "expected TYPE, found VALUE" — the common mismatch error.
+    pub fn mismatch(expected: &str, found: &Value) -> Error {
+        let kind = match found {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Int(_) | Value::UInt(_) | Value::Float(_) => "a number",
+            Value::Str(_) => "a string",
+            Value::Arr(_) => "an array",
+            Value::Obj(_) => "an object",
+        };
+        Error::custom(format!("expected {expected}, found {kind}"))
+    }
+
+    /// A missing object field.
+    pub fn missing_field(name: &str) -> Error {
+        Error::custom(format!("missing field `{name}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into the serialization data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct `Self`, reporting a descriptive error on mismatch.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Fetch and deserialize a required object field.
+pub fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> {
+    match value.get(name) {
+        Some(v) => T::from_value(v),
+        None => Err(Error::missing_field(name)),
+    }
+}
+
+/// Fetch and deserialize an optional object field (missing or `null`
+/// becomes `Default::default()` — serde's `#[serde(default)]`).
+pub fn field_or_default<T: Deserialize + Default>(value: &Value, name: &str) -> Result<T, Error> {
+    match value.get(name) {
+        None | Some(Value::Null) => Ok(T::default()),
+        Some(v) => T::from_value(v),
+    }
+}
+
+// ---- impls for std types -------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<bool, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::mismatch("a boolean", value))
+    }
+}
+
+macro_rules! int_impls {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<$ty, Error> {
+                let n = value.as_i64().ok_or_else(|| Error::mismatch("an integer", value))?;
+                <$ty>::try_from(n).map_err(|_| {
+                    Error::custom(format!("integer {n} out of range for {}", stringify!($ty)))
+                })
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        // usize can exceed i64::MAX on 64-bit targets; promote like u64
+        (*self as u64).to_value()
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(value: &Value) -> Result<usize, Error> {
+        let n = u64::from_value(value)?;
+        usize::try_from(n).map_err(|_| Error::custom(format!("integer {n} out of range for usize")))
+    }
+}
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(n) => Value::Int(n),
+            Err(_) => Value::UInt(*self),
+        }
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_value(value: &Value) -> Result<u64, Error> {
+        value
+            .as_u64()
+            .ok_or_else(|| Error::mismatch("an unsigned integer", value))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<f64, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::mismatch("a number", value))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<f32, Error> {
+        value
+            .as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::mismatch("a number", value))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<String, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::mismatch("a string", value))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Box<T>, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Option<T>, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Vec<T>, Error> {
+        value
+            .as_arr()
+            .ok_or_else(|| Error::mismatch("an array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<BTreeSet<T>, Error> {
+        value
+            .as_arr()
+            .ok_or_else(|| Error::mismatch("an array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<BTreeMap<String, V>, Error> {
+        value
+            .as_obj()
+            .ok_or_else(|| Error::mismatch("an object", value))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_roundtrip() {
+        assert_eq!(Some(3u32).to_value(), Value::Int(3));
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Value::Int(7)).unwrap(), Some(7));
+    }
+
+    #[test]
+    fn map_keys_are_object_keys() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_owned(), 1u8);
+        let v = m.to_value();
+        assert_eq!(v.get("a").and_then(Value::as_i64), Some(1));
+        let back: BTreeMap<String, u8> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn out_of_range_int_errors() {
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert!(u8::from_value(&Value::Str("hi".into())).is_err());
+    }
+
+    #[test]
+    fn large_u64_roundtrips_exactly() {
+        let big = u64::MAX - 1;
+        assert_eq!(big.to_value(), Value::UInt(big));
+        assert_eq!(u64::from_value(&big.to_value()).unwrap(), big);
+        // and it does not silently fit into signed types
+        assert!(i64::from_value(&Value::UInt(big)).is_err());
+    }
+}

@@ -61,6 +61,12 @@ pub fn determinize(nfa: &Nfa) -> Dfa {
             if targets.is_empty() {
                 continue;
             }
+            // overlapping arcs (several labels covering the same minterm,
+            // or several subset states reaching one target) push the same
+            // state repeatedly; dedup before the closure walk so its seed
+            // loop and scratch allocations scale with *distinct* targets
+            targets.sort_unstable();
+            targets.dedup();
             let closure = nfa.eps_closure(&targets);
             let tid = *index.entry(closure.clone()).or_insert_with(|| {
                 arcs.push(Vec::new());

@@ -27,12 +27,16 @@ impl UnionFind {
             parent: (0..n).collect(),
         }
     }
-    fn find(&mut self, x: usize) -> usize {
-        if self.parent[x] != x {
-            let root = self.find(self.parent[x]);
-            self.parent[x] = root;
+    /// Iterative find with path halving: no recursion (the packed index
+    /// space grows with the DFA product, and deep parent chains would
+    /// otherwise risk the stack), same amortized complexity as full path
+    /// compression.
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
         }
-        self.parent[x]
+        x
     }
     /// Union; returns false if already joined.
     fn union(&mut self, a: usize, b: usize) -> bool {
@@ -79,17 +83,32 @@ pub fn equivalent(a: &Dfa, b: &Dfa) -> CheckResult {
     let accept_a = |s: Option<StateId>| s.map(|x| a.is_accepting(x)).unwrap_or(false);
     let accept_b = |s: Option<StateId>| s.map(|x| b.is_accepting(x)).unwrap_or(false);
 
-    // stack holds (a_state, b_state, path from the root)
-    let mut stack: Vec<(Option<StateId>, Option<StateId>, Vec<SymSet>)> = Vec::new();
+    // The path to each explored pair is kept as a parent-pointer trail:
+    // `trail[i] = (arc label, parent trail index)`, with `usize::MAX` as
+    // the root. Pushing a pair costs O(1) instead of cloning the whole
+    // prefix (O(depth²) across the happy path); the full word is only
+    // reconstructed — O(depth) — when a conflict is actually found.
+    const ROOT: usize = usize::MAX;
+    let mut trail: Vec<(SymSet, usize)> = Vec::new();
+    // stack holds (a_state, b_state, trail node of the path from the root)
+    let mut stack: Vec<(Option<StateId>, Option<StateId>, usize)> = Vec::new();
     if uf.union(pack(Some(a.start())), b_off + pack(Some(b.start()))) {
-        stack.push((Some(a.start()), Some(b.start()), Vec::new()));
+        stack.push((Some(a.start()), Some(b.start()), ROOT));
     }
     let mut explored = 0usize;
-    while let Some((sa, sb, path)) = stack.pop() {
+    while let Some((sa, sb, node)) = stack.pop() {
         explored += 1;
         debug_assert!(explored <= n_pairs * 2 + 2, "equivalence check diverged");
         if accept_a(sa) != accept_b(sb) {
-            return Err(path);
+            let mut word = Vec::new();
+            let mut cur = node;
+            while cur != ROOT {
+                let (label, parent) = &trail[cur];
+                word.push(label.clone());
+                cur = *parent;
+            }
+            word.reverse();
+            return Err(word);
         }
         let mut labels: Vec<SymSet> = Vec::new();
         if let Some(s) = sa {
@@ -115,9 +134,8 @@ pub fn equivalent(a: &Dfa, b: &Dfa) -> CheckResult {
                 continue;
             }
             if uf.union(pack(ta), b_off + pack(tb)) {
-                let mut next_path = path.clone();
-                next_path.push(part);
-                stack.push((ta, tb, next_path));
+                trail.push((part, node));
+                stack.push((ta, tb, trail.len() - 1));
             }
         }
     }

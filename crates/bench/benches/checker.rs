@@ -99,10 +99,45 @@ fn bench_pathdiff_baseline(c: &mut Criterion) {
     group.finish();
 }
 
+/// The dedup-and-memoize engine vs. from-scratch checking, on a testbed
+/// with heavy behavior duplication (many FECs per region pair sharing
+/// one forwarding graph) — the workload of the paper's 10⁶-class claim.
+fn bench_dedup_engine(c: &mut Criterion) {
+    let params = WanParams {
+        regions: 3,
+        routers_per_group: 1,
+        parallel_links: 1,
+        fecs_per_pair: 32,
+    };
+    let tb = build_testbed(&params);
+    let source = spec_of_size(4, params.regions);
+    let program = rela_core::parse_program(&source).expect("spec parses");
+    let compiled = rela_core::compile_program(&program, &tb.wan.topology.db, Granularity::Group)
+        .expect("spec compiles");
+    let mut group = c.benchmark_group("dedup-engine");
+    group.sample_size(10);
+    for dedup in [true, false] {
+        let label = if dedup { "dedup" } else { "no-dedup" };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                rela_core::Checker::new(black_box(&compiled), &tb.wan.topology.db)
+                    .with_options(rela_core::CheckOptions {
+                        dedup,
+                        threads: 1,
+                        ..rela_core::CheckOptions::default()
+                    })
+                    .check(&tb.pair)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_by_spec_size,
     bench_by_granularity,
-    bench_pathdiff_baseline
+    bench_pathdiff_baseline,
+    bench_dedup_engine
 );
 criterion_main!(benches);

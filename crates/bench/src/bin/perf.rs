@@ -1,0 +1,297 @@
+//! The checker perf harness: runs the fig6/fig7 testbeds at several
+//! WAN scales — including a high `--fecs-per-pair` sweep where
+//! behavior-class dedup dominates — with dedup on *and* off at equal
+//! thread count, asserts the verdicts are identical, and writes the
+//! results to a machine-readable `BENCH_check.json` so the perf
+//! trajectory of the checker is observable across PRs.
+//!
+//! Run: `cargo run --release -p rela-bench --bin perf [-- --smoke]
+//!       [--out FILE] [--threads N]`
+//!
+//! `--smoke` runs one tiny scenario (CI-friendly, a few seconds) and
+//! still exercises the full measure → serialize → re-read → validate
+//! loop. The JSON schema (`rela-perf/v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "rela-perf/v1",
+//!   "threads": 1,
+//!   "smoke": false,
+//!   "scenarios": [
+//!     {
+//!       "name": "dedup-sweep-64", "regions": 4, "routers_per_group": 2,
+//!       "parallel_links": 2, "fecs_per_pair": 64, "spec_atomics": 4,
+//!       "granularity": "group", "fecs": 768, "classes": 12,
+//!       "cache_hits": 756, "cache_hit_rate": 0.984,
+//!       "wall_s": 0.05, "wall_nodedup_s": 2.61, "speedup": 52.2,
+//!       "verdicts_match": true, "violations": 64, "max_class_s": 0.01,
+//!       "phases_s": {"lower": ..., "determinize": ..., "equivalent": ...,
+//!                    "witness": ...}
+//!     }
+//!   ]
+//! }
+//! ```
+
+use rela_bench::{build_testbed, secs, Testbed};
+use rela_core::{compile_program, parse_program, CheckOptions, CheckReport, Checker};
+use rela_net::Granularity;
+use rela_sim::workload::{spec_of_size, WanParams};
+use serde::{Serialize, Value};
+use std::time::{Duration, Instant};
+
+struct Scenario {
+    name: &'static str,
+    params: WanParams,
+    spec_atomics: usize,
+    granularity: Granularity,
+}
+
+fn scenarios(smoke: bool) -> Vec<Scenario> {
+    if smoke {
+        return vec![Scenario {
+            name: "smoke",
+            params: WanParams {
+                regions: 3,
+                routers_per_group: 1,
+                parallel_links: 1,
+                fecs_per_pair: 4,
+            },
+            spec_atomics: 1,
+            granularity: Granularity::Group,
+        }];
+    }
+    vec![
+        // the Fig. 6 testbed at its default scale
+        Scenario {
+            name: "fig6-default",
+            params: WanParams::default(),
+            spec_atomics: 4,
+            granularity: Granularity::Group,
+        },
+        // the Fig. 7 interface-granularity column (the path-explosion one)
+        Scenario {
+            name: "fig7-interface",
+            params: WanParams::default(),
+            spec_atomics: 1,
+            granularity: Granularity::Interface,
+        },
+        // high fecs-per-pair sweep: many prefixes share one forwarding
+        // behavior per region pair, so dedup dominates
+        Scenario {
+            name: "dedup-sweep-64",
+            params: WanParams {
+                regions: 4,
+                routers_per_group: 2,
+                parallel_links: 2,
+                fecs_per_pair: 64,
+            },
+            spec_atomics: 4,
+            granularity: Granularity::Group,
+        },
+        Scenario {
+            name: "dedup-sweep-128",
+            params: WanParams {
+                regions: 4,
+                routers_per_group: 2,
+                parallel_links: 2,
+                fecs_per_pair: 128,
+            },
+            spec_atomics: 4,
+            granularity: Granularity::Group,
+        },
+    ]
+}
+
+fn check(
+    tb: &Testbed,
+    compiled: &rela_core::CompiledProgram,
+    dedup: bool,
+    threads: usize,
+) -> (Duration, CheckReport) {
+    let start = Instant::now();
+    let report = Checker::new(compiled, &tb.wan.topology.db)
+        .with_options(CheckOptions {
+            dedup,
+            threads,
+            ..CheckOptions::default()
+        })
+        .check(&tb.pair);
+    (start.elapsed(), report)
+}
+
+fn reports_agree(a: &CheckReport, b: &CheckReport) -> bool {
+    a.total == b.total
+        && a.compliant == b.compliant
+        && a.part_counts == b.part_counts
+        && a.violations == b.violations
+}
+
+fn granularity_name(g: Granularity) -> &'static str {
+    match g {
+        Granularity::Group => "group",
+        Granularity::Device => "device",
+        Granularity::Interface => "interface",
+    }
+}
+
+fn run_scenario(s: &Scenario, threads: usize) -> Value {
+    eprintln!(
+        "[{}] building testbed ({} regions, {} routers/group, {} links, {} FECs/pair)...",
+        s.name,
+        s.params.regions,
+        s.params.routers_per_group,
+        s.params.parallel_links,
+        s.params.fecs_per_pair,
+    );
+    let tb = build_testbed(&s.params);
+    let source = spec_of_size(s.spec_atomics, s.params.regions);
+    let program = parse_program(&source).expect("spec parses");
+    let compiled =
+        compile_program(&program, &tb.wan.topology.db, s.granularity).expect("spec compiles");
+
+    let (wall, report) = check(&tb, &compiled, true, threads);
+    let (wall_nodedup, report_nodedup) = check(&tb, &compiled, false, threads);
+    let verdicts_match = reports_agree(&report, &report_nodedup);
+    let speedup = wall_nodedup.as_secs_f64() / wall.as_secs_f64().max(f64::EPSILON);
+    let stats = report.stats;
+    eprintln!(
+        "[{}] {} FECs → {} classes ({:.1}% hits) | dedup {} vs no-dedup {} ({speedup:.1}×) | verdicts {}",
+        s.name,
+        stats.fecs,
+        stats.classes,
+        100.0 * stats.hit_rate(),
+        secs(wall),
+        secs(wall_nodedup),
+        if verdicts_match { "identical" } else { "DIVERGED" },
+    );
+    assert!(
+        verdicts_match,
+        "[{}] dedup changed the verdict — the engine is unsound",
+        s.name
+    );
+
+    let phases = stats.phases;
+    Value::obj(vec![
+        ("name", s.name.to_value()),
+        ("regions", s.params.regions.to_value()),
+        ("routers_per_group", s.params.routers_per_group.to_value()),
+        ("parallel_links", s.params.parallel_links.to_value()),
+        (
+            "fecs_per_pair",
+            (s.params.fecs_per_pair as usize).to_value(),
+        ),
+        ("spec_atomics", s.spec_atomics.to_value()),
+        ("granularity", granularity_name(s.granularity).to_value()),
+        ("fecs", stats.fecs.to_value()),
+        ("classes", stats.classes.to_value()),
+        ("cache_hits", stats.dedup_hits.to_value()),
+        ("cache_hit_rate", stats.hit_rate().to_value()),
+        ("wall_s", wall.as_secs_f64().to_value()),
+        ("wall_nodedup_s", wall_nodedup.as_secs_f64().to_value()),
+        ("speedup", speedup.to_value()),
+        ("verdicts_match", Value::Bool(verdicts_match)),
+        ("violations", report.violations.len().to_value()),
+        ("max_class_s", stats.max_class_time.as_secs_f64().to_value()),
+        (
+            "phases_s",
+            Value::obj(vec![
+                ("lower", phases.lower.as_secs_f64().to_value()),
+                ("determinize", phases.determinize.as_secs_f64().to_value()),
+                ("equivalent", phases.equivalent.as_secs_f64().to_value()),
+                ("witness", phases.witness.as_secs_f64().to_value()),
+            ]),
+        ),
+    ])
+}
+
+/// Re-read the emitted file and assert the invariants CI relies on:
+/// it parses, has scenarios, every scenario decided at least one class,
+/// reports a hit rate, and dedup never changed a verdict.
+fn validate(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("re-reading {path}: {e}"));
+    let value: Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("{path} is not valid JSON: {e}"));
+    assert_eq!(
+        value.get("schema").and_then(Value::as_str),
+        Some("rela-perf/v1"),
+        "{path}: bad schema tag"
+    );
+    let scenarios = value
+        .get("scenarios")
+        .and_then(Value::as_arr)
+        .expect("scenarios array");
+    assert!(!scenarios.is_empty(), "{path}: no scenarios");
+    for s in scenarios {
+        let name = s.get("name").and_then(Value::as_str).expect("name");
+        let classes = s.get("classes").and_then(Value::as_u64).expect("classes");
+        assert!(classes > 0, "{name}: zero classes");
+        let fecs = s.get("fecs").and_then(Value::as_u64).expect("fecs");
+        let rate = s
+            .get("cache_hit_rate")
+            .and_then(Value::as_f64)
+            .expect("cache_hit_rate");
+        assert!((0.0..=1.0).contains(&rate), "{name}: bad hit rate {rate}");
+        assert!(classes <= fecs, "{name}: more classes than FECs");
+        assert!(
+            s.get("verdicts_match").and_then(Value::as_bool) == Some(true),
+            "{name}: verdicts diverged"
+        );
+        assert!(
+            s.get("cache_hits").and_then(Value::as_u64) == Some(fecs - classes),
+            "{name}: inconsistent cache_hits"
+        );
+    }
+    eprintln!("{path}: validated ({} scenarios)", scenarios.len());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|ix| args.get(ix + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_check.json".to_owned());
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|ix| args.get(ix + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0usize);
+
+    let results: Vec<Value> = scenarios(smoke)
+        .iter()
+        .map(|s| run_scenario(s, threads))
+        .collect();
+    let doc = Value::obj(vec![
+        ("schema", "rela-perf/v1".to_value()),
+        ("threads", threads.to_value()),
+        ("smoke", Value::Bool(smoke)),
+        ("scenarios", Value::Arr(results)),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("serializes");
+    std::fs::write(&out_path, json + "\n").unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    validate(&out_path);
+
+    // human-readable summary
+    let text = std::fs::read_to_string(&out_path).expect("readable");
+    let value: Value = serde_json::from_str(&text).expect("parses");
+    println!("== checker perf ({}) ==", out_path);
+    println!(
+        "{:>16} {:>7} {:>8} {:>7} {:>10} {:>12} {:>8}",
+        "scenario", "fecs", "classes", "hits%", "wall", "no-dedup", "speedup"
+    );
+    for s in value.get("scenarios").and_then(Value::as_arr).unwrap() {
+        println!(
+            "{:>16} {:>7} {:>8} {:>6.1}% {:>9.3}s {:>11.3}s {:>7.1}×",
+            s.get("name").and_then(Value::as_str).unwrap(),
+            s.get("fecs").and_then(Value::as_u64).unwrap(),
+            s.get("classes").and_then(Value::as_u64).unwrap(),
+            100.0 * s.get("cache_hit_rate").and_then(Value::as_f64).unwrap(),
+            s.get("wall_s").and_then(Value::as_f64).unwrap(),
+            s.get("wall_nodedup_s").and_then(Value::as_f64).unwrap(),
+            s.get("speedup").and_then(Value::as_f64).unwrap(),
+        );
+    }
+}

@@ -1,19 +1,40 @@
 //! The end-to-end checker: binds snapshot pairs to compiled programs,
 //! routes each flow equivalence class to its spec (pspec first, default
 //! otherwise), decides every equation, and collects attributed
-//! counterexamples — in parallel across FECs, exactly as the paper
-//! scales to 10⁶ traffic classes (§5.2 footnote 2, §7).
+//! counterexamples — exactly as the paper scales to 10⁶ traffic classes
+//! (§5.2 footnote 2, §7).
+//!
+//! # The dedup-and-memoize engine
+//!
+//! At WAN scale the overwhelming majority of FECs exhibit *identical*
+//! pre/post forwarding behavior (many destination prefixes share one
+//! forwarding graph per ingress). The checker therefore groups FECs into
+//! **behavior classes** keyed by
+//! `(behavior_hash(pre), behavior_hash(post), routed check)`
+//! ([`rela_net::behavior_hash`]), runs the full
+//! `graph_to_fsa → lower → image → determinize → equivalent` pipeline
+//! once per class on a canonicalized representative, and broadcasts the
+//! verdict — violations, rendered witness paths and all — to every
+//! member. Classes are distributed to workers through a work-stealing
+//! queue (an atomic index over the class list) so one pathological class
+//! cannot idle the other workers, and the interned [`SymbolTable`] is
+//! shared read-only across workers instead of being cloned per chunk.
 
 use crate::compile::{CompiledCheck, CompiledProgram, GuardedPart};
 use crate::counterexample::{diff_equation, EquationDiff, PathRenderer, WitnessLimits};
 use crate::lower::{lower_pathset_dfa, lower_rel, PairFsas};
-use crate::report::{CheckReport, FecResult, PartViolation, ViolationDetail};
+use crate::report::{
+    CheckReport, CheckStats, FecResult, PartViolation, PhaseTimings, ViolationDetail,
+};
 use crate::rir::RirSpec;
 use rela_automata::{determinize, enumerate_words, equivalent, image, Fst, Nfa, SymbolTable};
 use rela_net::{
-    graph_to_fsa, AlignedFec, ForwardingGraph, Granularity, LocationDb, SnapshotPair, DROP_LOCATION,
+    behavior_hash, canonical_graph, graph_to_fsa_prepared, AlignedFec, BehaviorHash,
+    ForwardingGraph, Granularity, LocationDb, SnapshotPair, DROP_LOCATION,
 };
-use std::time::Instant;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Checker tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -24,6 +45,10 @@ pub struct CheckOptions {
     pub threads: usize,
     /// Number of pre/post paths rendered per violating FEC.
     pub list_paths: usize,
+    /// Group FECs into behavior classes and decide one representative
+    /// per class (on by default; `false` re-decides every FEC from
+    /// scratch, which is only useful for benchmarking the dedup win).
+    pub dedup: bool,
 }
 
 impl Default for CheckOptions {
@@ -32,8 +57,16 @@ impl Default for CheckOptions {
             witness: WitnessLimits::default(),
             threads: 0,
             list_paths: 4,
+            dedup: true,
         }
     }
+}
+
+/// One behavior class: the pspec route shared by all members, and the
+/// member indices into `pair.fecs` (first member is the representative).
+struct BehaviorClass {
+    route: Option<usize>,
+    members: Vec<usize>,
 }
 
 /// A compiled check with its relations pre-lowered to transducers.
@@ -89,14 +122,15 @@ impl<'a> Checker<'a> {
     /// Check every FEC of an aligned snapshot pair.
     pub fn check(&self, pair: &SnapshotPair) -> CheckReport {
         let start = Instant::now();
-        // Pre-pass: make sure every location appearing in any graph is
-        // interned in a single master table, so worker-local clones agree
-        // on symbol identity.
+        // Pre-pass: intern every location appearing in any graph into a
+        // single master table, then share it *read-only* across workers —
+        // symbol identity agrees by construction, no per-worker clones.
         let mut table = self.program.table.clone();
         for fec in &pair.fecs {
             self.intern_graph(&fec.pre, &mut table);
             self.intern_graph(&fec.post, &mut table);
         }
+        let table = table; // frozen
 
         let default_lowered = LoweredCheck::new(&self.program.default_check);
         let routed_lowered: Vec<LoweredCheck<'_>> = self
@@ -106,6 +140,7 @@ impl<'a> Checker<'a> {
             .map(|r| LoweredCheck::new(&r.check))
             .collect();
 
+        let classes = self.group_into_classes(pair);
         let threads = if self.options.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -113,37 +148,155 @@ impl<'a> Checker<'a> {
         } else {
             self.options.threads
         };
-        let mut results: Vec<FecResult> = if threads <= 1 || pair.fecs.len() <= 1 {
-            let mut local = table.clone();
-            pair.fecs
-                .iter()
-                .map(|fec| self.check_fec_inner(fec, &default_lowered, &routed_lowered, &mut local))
-                .collect()
+
+        // Decide one representative per class. Workers pull the next
+        // undecided class from an atomic cursor (work stealing): a
+        // pathological class occupies one worker while the rest drain
+        // the queue, instead of stalling a statically assigned chunk.
+        let mut decided: Vec<(usize, FecResult, Duration)> = Vec::with_capacity(classes.len());
+        let mut phases = PhaseTimings::default();
+        if threads <= 1 || classes.len() <= 1 {
+            for (ix, class) in classes.iter().enumerate() {
+                let t0 = Instant::now();
+                let result = self.check_class(
+                    &pair.fecs[class.members[0]],
+                    class.route,
+                    &default_lowered,
+                    &routed_lowered,
+                    &table,
+                    &mut phases,
+                );
+                decided.push((ix, result, t0.elapsed()));
+            }
         } else {
-            let chunk = pair.fecs.len().div_ceil(threads);
-            let out: Vec<Vec<FecResult>> = std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for fecs in pair.fecs.chunks(chunk) {
-                    let mut local = table.clone();
-                    let default_ref = &default_lowered;
-                    let routed_ref = &routed_lowered;
-                    handles.push(scope.spawn(move || {
-                        fecs.iter()
-                            .map(|fec| {
-                                self.check_fec_inner(fec, default_ref, routed_ref, &mut local)
-                            })
-                            .collect::<Vec<_>>()
-                    }));
-                }
+            let cursor = AtomicUsize::new(0);
+            let worker_out = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let cursor = &cursor;
+                        let classes = &classes;
+                        let table = &table;
+                        let default_ref = &default_lowered;
+                        let routed_ref = &routed_lowered;
+                        scope.spawn(move || {
+                            let mut out = Vec::new();
+                            let mut local_phases = PhaseTimings::default();
+                            loop {
+                                let ix = cursor.fetch_add(1, Ordering::Relaxed);
+                                if ix >= classes.len() {
+                                    break;
+                                }
+                                let class = &classes[ix];
+                                let t0 = Instant::now();
+                                let result = self.check_class(
+                                    &pair.fecs[class.members[0]],
+                                    class.route,
+                                    default_ref,
+                                    routed_ref,
+                                    table,
+                                    &mut local_phases,
+                                );
+                                out.push((ix, result, t0.elapsed()));
+                            }
+                            (out, local_phases)
+                        })
+                    })
+                    .collect();
                 handles
                     .into_iter()
                     .map(|h| h.join().expect("worker panicked"))
-                    .collect()
+                    .collect::<Vec<_>>()
             });
-            out.into_iter().flatten().collect()
-        };
+            for (out, local_phases) in worker_out {
+                decided.extend(out);
+                phases.merge(&local_phases);
+            }
+        }
+
+        // Broadcast each representative's verdict to every class member.
+        let mut max_class_time = Duration::ZERO;
+        let mut slots: Vec<Option<FecResult>> = vec![None; pair.fecs.len()];
+        for (class_ix, result, class_time) in decided {
+            max_class_time = max_class_time.max(class_time);
+            for &member in &classes[class_ix].members {
+                let mut r = result.clone();
+                r.flow = pair.fecs[member].flow.clone();
+                slots[member] = Some(r);
+            }
+        }
+        let mut results: Vec<FecResult> = slots
+            .into_iter()
+            .map(|r| r.expect("every FEC belongs to a class"))
+            .collect();
         results.sort_by(|a, b| a.flow.cmp(&b.flow));
-        CheckReport::new(results, start.elapsed())
+        let stats = CheckStats {
+            fecs: pair.fecs.len(),
+            classes: classes.len(),
+            dedup_hits: pair.fecs.len() - classes.len(),
+            phases,
+            max_class_time,
+        };
+        CheckReport::with_stats(results, start.elapsed(), stats)
+    }
+
+    /// Group the pair's FECs into behavior classes. With dedup disabled
+    /// every FEC is its own class, so the same decide/broadcast engine
+    /// serves both modes.
+    fn group_into_classes(&self, pair: &SnapshotPair) -> Vec<BehaviorClass> {
+        if !self.options.dedup {
+            return pair
+                .fecs
+                .iter()
+                .enumerate()
+                .map(|(ix, fec)| BehaviorClass {
+                    route: self.route_of(fec),
+                    members: vec![ix],
+                })
+                .collect();
+        }
+        let mut classes: Vec<BehaviorClass> = Vec::new();
+        let mut index: HashMap<(BehaviorHash, BehaviorHash, usize), usize> = HashMap::new();
+        for (ix, fec) in pair.fecs.iter().enumerate() {
+            let route = self.route_of(fec);
+            let check = route
+                .map(|r| &self.program.routed[r].check)
+                .unwrap_or(&self.program.default_check);
+            // ECMP limit verdicts count link-level paths, so those FECs
+            // are hashed at interface fidelity regardless of the program
+            // granularity; everything else dedups at the granularity the
+            // program actually observes.
+            let level = if matches!(check, CompiledCheck::PathLimit { .. }) {
+                Granularity::Interface
+            } else {
+                self.program.granularity
+            };
+            let key = (
+                behavior_hash(&fec.pre, self.db, level),
+                behavior_hash(&fec.post, self.db, level),
+                route.unwrap_or(usize::MAX),
+            );
+            match index.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    classes[*e.get()].members.push(ix);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(classes.len());
+                    classes.push(BehaviorClass {
+                        route,
+                        members: vec![ix],
+                    });
+                }
+            }
+        }
+        classes
+    }
+
+    /// The first pspec whose predicate matches the flow, if any.
+    fn route_of(&self, fec: &AlignedFec) -> Option<usize> {
+        self.program
+            .routed
+            .iter()
+            .position(|r| r.pred.matches(&fec.flow))
     }
 
     /// Check a single FEC (useful for incremental workflows and tests).
@@ -158,7 +311,14 @@ impl<'a> Checker<'a> {
             .iter()
             .map(|r| LoweredCheck::new(&r.check))
             .collect();
-        self.check_fec_inner(fec, &default_lowered, &routed_lowered, &mut table)
+        self.check_class(
+            fec,
+            self.route_of(fec),
+            &default_lowered,
+            &routed_lowered,
+            &table,
+            &mut PhaseTimings::default(),
+        )
     }
 
     fn intern_graph(&self, graph: &ForwardingGraph, table: &mut SymbolTable) {
@@ -188,34 +348,44 @@ impl<'a> Checker<'a> {
         }
     }
 
-    fn check_fec_inner(
+    /// Decide one behavior class on its representative FEC. The graphs
+    /// are canonicalized first, so every member of a class — which by
+    /// construction shares the representative's canonical behavior —
+    /// would produce byte-identical output if checked individually
+    /// (witness enumeration order depends on automaton layout, and the
+    /// canonical form pins that layout).
+    fn check_class(
         &self,
         fec: &AlignedFec,
+        route: Option<usize>,
         default_lowered: &LoweredCheck<'_>,
         routed_lowered: &[LoweredCheck<'_>],
-        table: &mut SymbolTable,
+        table: &SymbolTable,
+        phases: &mut PhaseTimings,
     ) -> FecResult {
-        // route to the first matching pspec, else the default check
-        let (route, lowered) = self
-            .program
-            .routed
-            .iter()
-            .zip(routed_lowered)
-            .find(|(r, _)| r.pred.matches(&fec.flow))
-            .map(|(r, l)| (Some(r.name.clone()), l))
-            .unwrap_or((None, default_lowered));
+        let (route_name, lowered) = match route {
+            Some(r) => (
+                Some(self.program.routed[r].name.clone()),
+                &routed_lowered[r],
+            ),
+            None => (None, default_lowered),
+        };
 
-        let pre = graph_to_fsa(&fec.pre, self.db, self.program.granularity, table);
-        let post = graph_to_fsa(&fec.post, self.db, self.program.granularity, table);
+        let pre_graph = canonical_graph(&fec.pre);
+        let post_graph = canonical_graph(&fec.post);
+        let t0 = Instant::now();
+        let pre = graph_to_fsa_prepared(&pre_graph, self.db, self.program.granularity, table);
+        let post = graph_to_fsa_prepared(&post_graph, self.db, self.program.granularity, table);
+        phases.lower += t0.elapsed();
         let env = PairFsas::new(pre, post);
         let renderer = PathRenderer::new(table, &self.program.hash_undo);
 
         let violations = match lowered.check {
             CompiledCheck::Relational { parts, .. } => {
-                self.check_relational(parts, &lowered.fsts, &env, &renderer)
+                self.check_relational(parts, &lowered.fsts, &env, &renderer, phases)
             }
             CompiledCheck::Raw { name, spec } => {
-                let failures = self.check_raw(spec, &env, &renderer);
+                let failures = self.check_raw(spec, &env, &renderer, phases);
                 if failures.is_empty() {
                     Vec::new()
                 } else {
@@ -228,7 +398,7 @@ impl<'a> Checker<'a> {
             CompiledCheck::PathLimit { name, max } => {
                 // combinatorial count on the DAG — path counting is not
                 // expressible with regular relations (paper §9.1)
-                let count = fec.post.path_count().unwrap_or(u128::MAX);
+                let count = post_graph.path_count().unwrap_or(u128::MAX);
                 if count <= u128::from(*max) {
                     Vec::new()
                 } else {
@@ -244,21 +414,24 @@ impl<'a> Checker<'a> {
 
         let path_limit = WitnessLimits {
             max_paths: self.options.list_paths,
-            max_len: path_len_bound(&fec.pre).max(path_len_bound(&fec.post)),
+            max_len: path_len_bound(&pre_graph).max(path_len_bound(&post_graph)),
         };
         let (pre_paths, post_paths) = if violations.is_empty() {
             (Vec::new(), Vec::new())
         } else {
-            (
+            let t0 = Instant::now();
+            let rendered = (
                 render_language(&env.pre, &renderer, path_limit),
                 render_language(&env.post, &renderer, path_limit),
-            )
+            );
+            phases.witness += t0.elapsed();
+            rendered
         };
 
         FecResult {
             flow: fec.flow.clone(),
             check_name: lowered.check.name().to_owned(),
-            route,
+            route: route_name,
             pre_paths,
             post_paths,
             violations,
@@ -271,15 +444,27 @@ impl<'a> Checker<'a> {
         fsts: &[(Fst, Fst)],
         env: &PairFsas,
         renderer: &PathRenderer<'_>,
+        phases: &mut PhaseTimings,
     ) -> Vec<PartViolation> {
         let mut out = Vec::new();
         for (part, (fst_pre, fst_post)) in parts.iter().zip(fsts) {
-            let lhs = determinize(&image(&env.pre, fst_pre).trim());
-            let rhs = determinize(&image(&env.post, fst_post).trim());
-            if equivalent(&lhs, &rhs).is_ok() {
+            let t0 = Instant::now();
+            let lhs_nfa = image(&env.pre, fst_pre).trim();
+            let rhs_nfa = image(&env.post, fst_post).trim();
+            phases.lower += t0.elapsed();
+            let t0 = Instant::now();
+            let lhs = determinize(&lhs_nfa);
+            let rhs = determinize(&rhs_nfa);
+            phases.determinize += t0.elapsed();
+            let t0 = Instant::now();
+            let equal = equivalent(&lhs, &rhs).is_ok();
+            phases.equivalent += t0.elapsed();
+            if equal {
                 continue;
             }
+            let t0 = Instant::now();
             let diff = diff_equation(&lhs, &rhs, renderer, self.options.witness);
+            phases.witness += t0.elapsed();
             debug_assert!(!diff.is_empty(), "inequivalent DFAs must differ");
             out.push(PartViolation {
                 part: part.name.clone(),
@@ -290,27 +475,41 @@ impl<'a> Checker<'a> {
     }
 
     /// Decide a raw RIR spec, describing every failed positive assertion.
+    /// (Raw lowering determinizes internally, so its cost lands in the
+    /// `lower` phase bucket.)
     fn check_raw(
         &self,
         spec: &RirSpec,
         env: &PairFsas,
         renderer: &PathRenderer<'_>,
+        phases: &mut PhaseTimings,
     ) -> Vec<String> {
         match spec {
             RirSpec::Equal(a, b) => {
+                let t0 = Instant::now();
                 let da = lower_pathset_dfa(a, env);
                 let db_ = lower_pathset_dfa(b, env);
-                if equivalent(&da, &db_).is_ok() {
+                phases.lower += t0.elapsed();
+                let t0 = Instant::now();
+                let equal = equivalent(&da, &db_).is_ok();
+                phases.equivalent += t0.elapsed();
+                if equal {
                     Vec::new()
                 } else {
+                    let t0 = Instant::now();
                     let diff = diff_equation(&da, &db_, renderer, self.options.witness);
+                    phases.witness += t0.elapsed();
                     vec![describe_diff("equality", &diff)]
                 }
             }
             RirSpec::Subset(a, b) => {
+                let t0 = Instant::now();
                 let da = lower_pathset_dfa(a, env);
                 let db_ = lower_pathset_dfa(b, env);
+                phases.lower += t0.elapsed();
+                let t0 = Instant::now();
                 let diff = diff_equation(&da, &db_, renderer, self.options.witness);
+                phases.witness += t0.elapsed();
                 if diff.missing.is_empty() {
                     Vec::new()
                 } else {
@@ -321,16 +520,16 @@ impl<'a> Checker<'a> {
                 }
             }
             RirSpec::And(a, b) => {
-                let mut out = self.check_raw(a, env, renderer);
-                out.extend(self.check_raw(b, env, renderer));
+                let mut out = self.check_raw(a, env, renderer, phases);
+                out.extend(self.check_raw(b, env, renderer, phases));
                 out
             }
             RirSpec::Or(a, b) => {
-                let left = self.check_raw(a, env, renderer);
+                let left = self.check_raw(a, env, renderer, phases);
                 if left.is_empty() {
                     return Vec::new();
                 }
-                let right = self.check_raw(b, env, renderer);
+                let right = self.check_raw(b, env, renderer, phases);
                 if right.is_empty() {
                     return Vec::new();
                 }
@@ -341,7 +540,7 @@ impl<'a> Checker<'a> {
                 )]
             }
             RirSpec::Not(a) => {
-                if self.check_raw(a, env, renderer).is_empty() {
+                if self.check_raw(a, env, renderer, phases).is_empty() {
                     vec!["negated assertion holds".to_owned()]
                 } else {
                     Vec::new()
@@ -648,6 +847,140 @@ mod tests {
             assert_eq!(a.flow, b.flow);
             assert_eq!(a.violations.len(), b.violations.len());
         }
+    }
+
+    /// A pair where many flows share identical forwarding behavior.
+    fn duplicated_pair(flows: usize) -> SnapshotPair {
+        let mut pre = Vec::new();
+        let mut post = Vec::new();
+        for i in 0..flows {
+            let f = flow(&format!("10.1.{i}.0/24"), "x1");
+            pre.push((f.clone(), vec!["x1", "A1-r1", "y1"]));
+            // two post behaviors alternate → two violating classes max
+            if i % 2 == 0 {
+                post.push((f, vec!["x1", "A2-r1", "y1"]));
+            } else {
+                post.push((f, vec!["x1", "A1-r1", "y1"]));
+            }
+        }
+        pair_of(pre, post)
+    }
+
+    fn check_with(options: CheckOptions, pair: &SnapshotPair) -> CheckReport {
+        let db = db();
+        let program = crate::parser::parse_program(NOCHANGE).unwrap();
+        let compiled = crate::compile::compile_program(&program, &db, Granularity::Device).unwrap();
+        Checker::new(&compiled, &db)
+            .with_options(options)
+            .check(pair)
+    }
+
+    #[test]
+    fn dedup_groups_identical_behavior_into_classes() {
+        let pair = duplicated_pair(16);
+        let report = check_with(CheckOptions::default(), &pair);
+        assert_eq!(report.total, 16);
+        assert_eq!(report.violations.len(), 8);
+        // 16 FECs, but only 2 distinct (pre, post) behaviors
+        assert_eq!(report.stats.fecs, 16);
+        assert_eq!(report.stats.classes, 2);
+        assert_eq!(report.stats.dedup_hits, 14);
+        assert!((report.stats.hit_rate() - 14.0 / 16.0).abs() < 1e-9);
+        assert!(report.to_string().contains("behavior classes: 2"));
+    }
+
+    #[test]
+    fn dedup_off_checks_every_fec_and_agrees() {
+        let pair = duplicated_pair(12);
+        let on = check_with(CheckOptions::default(), &pair);
+        let off = check_with(
+            CheckOptions {
+                dedup: false,
+                ..CheckOptions::default()
+            },
+            &pair,
+        );
+        assert_eq!(off.stats.classes, 12);
+        assert_eq!(off.stats.dedup_hits, 0);
+        assert_eq!(on.total, off.total);
+        assert_eq!(on.compliant, off.compliant);
+        assert_eq!(on.part_counts, off.part_counts);
+        assert_eq!(on.violations, off.violations);
+    }
+
+    #[test]
+    fn dedup_keeps_vertex_permuted_duplicates_in_one_class() {
+        use rela_net::{ForwardingGraph, Snapshot};
+        // same path x1 → A1-r1 → y1, inserted in two vertex orders
+        let forward = linear_graph(&["x1", "A1-r1", "y1"]);
+        let mut reversed = ForwardingGraph::new();
+        let y = reversed.add_vertex("y1");
+        let a = reversed.add_vertex("A1-r1");
+        let x = reversed.add_vertex("x1");
+        reversed.add_edge(x, a, "eth0", "eth1");
+        reversed.add_edge(a, y, "eth0", "eth1");
+        reversed.sources.push(x);
+        reversed.sinks.push(y);
+
+        let mut pre = Snapshot::new();
+        let mut post = Snapshot::new();
+        for (i, g) in [&forward, &reversed].into_iter().enumerate() {
+            let f = flow(&format!("10.1.{i}.0/24"), "x1");
+            pre.insert(f.clone(), g.clone());
+            post.insert(f, linear_graph(&["x1", "A2-r1", "y1"]));
+        }
+        let pair = SnapshotPair::align(&pre, &post);
+        let on = check_with(CheckOptions::default(), &pair);
+        assert_eq!(on.stats.classes, 1, "permuted graphs must share a class");
+        let off = check_with(
+            CheckOptions {
+                dedup: false,
+                ..CheckOptions::default()
+            },
+            &pair,
+        );
+        assert_eq!(on.violations, off.violations);
+    }
+
+    #[test]
+    fn routed_flows_never_share_a_class_across_routes() {
+        let db = db();
+        // identical graphs, but one flow routes to the dealloc pspec
+        let src = r#"
+            spec dealloc := { .* : remove(.*) }
+            spec nochange := { .* : preserve }
+            pspec deallocP := (dstPrefix == 10.9.0.0/16) -> dealloc
+            check nochange
+        "#;
+        let pair = pair_of(
+            vec![
+                (flow("10.9.1.0/24", "x1"), vec!["x1", "A1-r1", "y1"]),
+                (flow("10.1.0.0/24", "x1"), vec!["x1", "A1-r1", "y1"]),
+            ],
+            vec![
+                (flow("10.9.1.0/24", "x1"), vec!["x1", "A1-r1", "y1"]),
+                (flow("10.1.0.0/24", "x1"), vec!["x1", "A1-r1", "y1"]),
+            ],
+        );
+        let report = run_check(src, &db, Granularity::Device, &pair).unwrap();
+        assert_eq!(report.stats.classes, 2, "routes split behavior classes");
+        // the routed flow violates dealloc, the unrouted one complies
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].route.as_deref(), Some("deallocP"));
+    }
+
+    #[test]
+    fn phase_timings_are_populated() {
+        let pair = duplicated_pair(4);
+        let report = check_with(CheckOptions::default(), &pair);
+        let phases = report.stats.phases;
+        assert!(phases.lower > Duration::ZERO);
+        assert!(phases.determinize > Duration::ZERO);
+        assert!(phases.equivalent > Duration::ZERO);
+        // half the flows violate → witnesses were rendered
+        assert!(phases.witness > Duration::ZERO);
+        assert!(phases.total() >= phases.lower);
+        assert!(report.stats.max_class_time > Duration::ZERO);
     }
 
     #[test]

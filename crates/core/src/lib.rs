@@ -43,7 +43,9 @@ pub use compile::{
 pub use counterexample::{EquationDiff, PathRenderer, WitnessLimits};
 pub use lower::{decide_spec, lower_pathset, lower_pathset_dfa, lower_rel, PairFsas};
 pub use parser::{parse_program, ParseError};
-pub use report::{CheckReport, FecResult, PartViolation, ViolationDetail};
+pub use report::{
+    CheckReport, CheckStats, FecResult, PartViolation, PhaseTimings, ViolationDetail,
+};
 pub use rir::{PathSet, Rel, RirSpec};
 
 /// Any failure on the parse → compile → check path.

@@ -71,6 +71,67 @@ impl FecResult {
     }
 }
 
+/// CPU time spent in each phase of the decision pipeline, summed across
+/// behavior classes (and across workers, so the total can exceed the
+/// report's wall-clock `elapsed` when checking runs in parallel).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Building path FSAs and applying relation transducers (includes
+    /// the embedded determinization of raw-RIR lowering).
+    pub lower: Duration,
+    /// Subset-construction determinization of the equation sides.
+    pub determinize: Duration,
+    /// Language-equivalence decisions.
+    pub equivalent: Duration,
+    /// Counterexample extraction and path rendering.
+    pub witness: Duration,
+}
+
+impl PhaseTimings {
+    /// Accumulate another worker's timings into this one.
+    pub fn merge(&mut self, other: &PhaseTimings) {
+        self.lower += other.lower;
+        self.determinize += other.determinize;
+        self.equivalent += other.equivalent;
+        self.witness += other.witness;
+    }
+
+    /// Total CPU time across all phases.
+    pub fn total(&self) -> Duration {
+        self.lower + self.determinize + self.equivalent + self.witness
+    }
+}
+
+/// How the dedup-and-memoize engine spent its work: behavior-class
+/// counts, cache effectiveness, and per-phase CPU time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// FECs in the snapshot pair.
+    pub fecs: usize,
+    /// Distinct behavior classes actually decided.
+    pub classes: usize,
+    /// FECs whose verdict was broadcast from a class representative
+    /// (`fecs - classes`).
+    pub dedup_hits: usize,
+    /// CPU time per pipeline phase, summed over classes.
+    pub phases: PhaseTimings,
+    /// Wall-clock of the slowest single behavior class — the quantity
+    /// work-stealing bounds the critical path by.
+    pub max_class_time: Duration,
+}
+
+impl CheckStats {
+    /// Fraction of FECs answered from the behavior cache (0 when the
+    /// pair is empty).
+    pub fn hit_rate(&self) -> f64 {
+        if self.fecs == 0 {
+            0.0
+        } else {
+            self.dedup_hits as f64 / self.fecs as f64
+        }
+    }
+}
+
 /// Aggregate result of checking a snapshot pair.
 #[derive(Debug, Clone)]
 pub struct CheckReport {
@@ -84,11 +145,22 @@ pub struct CheckReport {
     pub part_counts: BTreeMap<String, usize>,
     /// Wall-clock time of the check.
     pub elapsed: Duration,
+    /// Dedup and phase-timing statistics.
+    pub stats: CheckStats,
 }
 
 impl CheckReport {
     /// Aggregate per-FEC results (already sorted by flow).
     pub fn new(results: Vec<FecResult>, elapsed: Duration) -> CheckReport {
+        CheckReport::with_stats(results, elapsed, CheckStats::default())
+    }
+
+    /// Aggregate per-FEC results with engine statistics attached.
+    pub fn with_stats(
+        results: Vec<FecResult>,
+        elapsed: Duration,
+        stats: CheckStats,
+    ) -> CheckReport {
         let total = results.len();
         let mut part_counts: BTreeMap<String, usize> = BTreeMap::new();
         let mut violations = Vec::new();
@@ -107,6 +179,7 @@ impl CheckReport {
             violations,
             part_counts,
             elapsed,
+            stats,
         }
     }
 
@@ -131,6 +204,15 @@ impl fmt::Display for CheckReport {
             self.compliant,
             self.violations.len()
         )?;
+        if self.stats.classes > 0 {
+            writeln!(
+                f,
+                "behavior classes: {} ({} cache hits, {:.1}% hit rate)",
+                self.stats.classes,
+                self.stats.dedup_hits,
+                100.0 * self.stats.hit_rate(),
+            )?;
+        }
         if self.is_compliant() {
             return writeln!(f, "verdict: PASS");
         }

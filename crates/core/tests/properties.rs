@@ -353,6 +353,166 @@ proptest! {
     }
 }
 
+// ---- behavior-class dedup ------------------------------------------------
+
+/// The dedup-and-memoize engine must be invisible: dedup-on, dedup-off,
+/// serial, and parallel checkers produce byte-identical reports on
+/// randomized snapshot pairs with heavily duplicated forwarding graphs.
+mod dedup {
+    use super::*;
+    use rela_core::{compile_program, parse_program, CheckOptions, CheckReport, Checker};
+    use rela_net::{
+        Device, FlowSpec, ForwardingGraph, Granularity, LocationDb, Snapshot, SnapshotPair,
+    };
+
+    // A1-r1 and A2-r1 share a group, so random walks produce intra-group
+    // edges (ε-stutters at group granularity) and device-distinct graphs
+    // that merge into one group-level behavior class.
+    const POOL: [(&str, &str); 6] = [
+        ("x1", "X"),
+        ("A1-r1", "A"),
+        ("A2-r1", "A"),
+        ("B1-r1", "B1"),
+        ("D1-r1", "D1"),
+        ("y1", "Y"),
+    ];
+
+    fn db() -> LocationDb {
+        let mut db = LocationDb::new();
+        for (name, group) in POOL {
+            db.add_device(Device::new(name, group));
+        }
+        db
+    }
+
+    /// A random linear-ish graph: a walk over the device pool (deduped to
+    /// keep it a DAG), optional parallel links on the first hop (ECMP),
+    /// optionally terminated by a policy drop.
+    fn build_graph(walk: &[usize], parallel: usize, dropped: bool) -> ForwardingGraph {
+        let mut names: Vec<&str> = Vec::new();
+        for &ix in walk {
+            let name = POOL[ix % POOL.len()].0;
+            if !names.contains(&name) {
+                names.push(name);
+            }
+        }
+        let mut g = ForwardingGraph::new();
+        for name in &names {
+            g.add_vertex(*name);
+        }
+        for i in 0..names.len() - 1 {
+            g.add_edge(i, i + 1, format!("e{i}"), format!("e{i}"));
+        }
+        if names.len() >= 2 {
+            for k in 1..parallel {
+                g.add_edge(0, 1, format!("p{k}"), format!("p{k}"));
+            }
+        }
+        g.sources.push(0);
+        if dropped {
+            g.drops.push(names.len() - 1);
+        } else {
+            g.sinks.push(names.len() - 1);
+        }
+        g
+    }
+
+    /// (walk, parallel links, dropped) descriptors for a few base graphs.
+    type GraphDesc = (Vec<usize>, usize, bool);
+
+    fn graph_strategy() -> impl Strategy<Value = GraphDesc> {
+        (
+            proptest::collection::vec(0..POOL.len(), 1..5),
+            1..3usize,
+            (0..2usize).prop_map(|b| b == 1),
+        )
+    }
+
+    /// Flow `i`: every fourth flow lands in 10.200/16, which a pspec
+    /// routes to an ECMP limit check (exercising interface-fidelity
+    /// hashing); the rest hit the default nochange spec.
+    fn flow_of(i: usize) -> FlowSpec {
+        let dst = if i % 4 == 3 {
+            format!("10.200.{}.0/24", i % 256)
+        } else {
+            format!("10.{}.{}.0/24", i / 256, i % 256)
+        };
+        FlowSpec::new(dst.parse().unwrap(), "x1")
+    }
+
+    const SPEC: &str = "limit ecmp := 1\n\
+                        spec nochange := { .* : preserve }\n\
+                        pspec lim := (dstPrefix == 10.200.0.0/16) -> ecmp\n\
+                        check nochange\n";
+
+    fn assert_reports_equal(a: &CheckReport, b: &CheckReport, what: &str) {
+        assert_eq!(a.total, b.total, "{what}: total");
+        assert_eq!(a.compliant, b.compliant, "{what}: compliant");
+        assert_eq!(a.part_counts, b.part_counts, "{what}: part counts");
+        assert_eq!(a.violations, b.violations, "{what}: violations");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn dedup_and_scheduling_never_change_the_report(
+            bases in proptest::collection::vec(graph_strategy(), 1..4),
+            picks in proptest::collection::vec((0..4usize, 0..4usize), 1..13),
+        ) {
+            let graphs: Vec<ForwardingGraph> = bases
+                .iter()
+                .map(|(walk, parallel, dropped)| build_graph(walk, *parallel, *dropped))
+                .collect();
+            let mut pre = Snapshot::new();
+            let mut post = Snapshot::new();
+            for (i, (p, q)) in picks.iter().enumerate() {
+                let flow = flow_of(i);
+                pre.insert(flow.clone(), graphs[p % graphs.len()].clone());
+                post.insert(flow, graphs[q % graphs.len()].clone());
+            }
+            let pair = SnapshotPair::align(&pre, &post);
+
+            let db = db();
+            let program = parse_program(SPEC).expect("spec parses");
+            // Group granularity covers the subtlest hashing path: vertices
+            // abstract to group labels and intra-group edges become
+            // ε-stutters, so hash-vs-FSA agreement is least obvious there.
+            for granularity in [Granularity::Device, Granularity::Group] {
+                let compiled =
+                    compile_program(&program, &db, granularity).expect("spec compiles");
+                let run = |dedup: bool, threads: usize| {
+                    Checker::new(&compiled, &db)
+                        .with_options(CheckOptions {
+                            dedup,
+                            threads,
+                            ..CheckOptions::default()
+                        })
+                        .check(&pair)
+                };
+
+                let reference = run(true, 1);
+                prop_assert!(reference.stats.classes <= reference.stats.fecs);
+                prop_assert_eq!(
+                    reference.stats.dedup_hits,
+                    reference.stats.fecs - reference.stats.classes
+                );
+                for (dedup, threads) in [(true, 4), (false, 1), (false, 4)] {
+                    let other = run(dedup, threads);
+                    assert_reports_equal(
+                        &reference,
+                        &other,
+                        &format!("{granularity:?} dedup={dedup} threads={threads}"),
+                    );
+                    if !dedup {
+                        prop_assert_eq!(other.stats.classes, other.stats.fecs);
+                    }
+                }
+            }
+        }
+    }
+}
+
 // ---- parser robustness ---------------------------------------------------
 
 proptest! {

@@ -1,0 +1,398 @@
+//! Behavior-class identity for forwarding graphs.
+//!
+//! The paper's headline scaling result (§7, §8.2: ~10⁶ traffic classes
+//! validated in minutes) rests on an observation this module makes
+//! precise: vast numbers of FECs share *identical* forwarding behavior,
+//! so a checker only needs to decide each distinct behavior once. A
+//! [`BehaviorHash`] is a stable 128-bit content fingerprint of one
+//! graph's forwarding behavior at a chosen granularity; FECs whose
+//! `(pre, post)` fingerprints collide form a behavior class, and the
+//! checker verifies one representative per class.
+//!
+//! Two guarantees make broadcasting a representative's verdict sound:
+//!
+//! 1. **Canonical ordering.** The fingerprint is computed over a
+//!    canonical form of the graph — vertices sorted by device name,
+//!    edges remapped and sorted, source/sink/drop marks sorted — so
+//!    insertion order never splits (or merges) a class.
+//! 2. **Granularity awareness, downward-closed.** At [`Granularity::Group`]
+//!    only the group labels of vertices are hashed (devices that differ
+//!    but sit in the same groups dedup together); at
+//!    [`Granularity::Device`] device names are hashed and parallel edges
+//!    collapse; at [`Granularity::Interface`] the full link structure
+//!    including ports and edge multiplicity is hashed. Interface
+//!    fidelity is the finest: equal interface hashes imply equal
+//!    behavior at every granularity *and* equal link-level path counts,
+//!    which is what ECMP `limit` checks decide on.
+//!
+//! Checkers that want byte-identical output for every member of a class
+//! (not just language-equal verdicts) should decide the representative
+//! on its [`canonical_graph`] — the canonical form of every member of a
+//! class compiles to a structurally identical automaton.
+
+use crate::db::LocationDb;
+use crate::graph::{Edge, ForwardingGraph};
+use crate::location::Granularity;
+
+/// A stable 128-bit fingerprint of one graph's forwarding behavior at a
+/// granularity. Equal hashes ⇒ identical behavior (up to the ~2⁻¹²⁸
+/// collision probability of the underlying FNV-1a construction); the
+/// hash is a pure function of graph *content*, independent of vertex or
+/// edge insertion order, process, and platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BehaviorHash(u128);
+
+impl BehaviorHash {
+    /// The raw fingerprint value.
+    pub fn as_u128(self) -> u128 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for BehaviorHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// 128-bit FNV-1a. Hand-rolled because the workspace builds without
+/// crates.io; 128 bits keeps the birthday bound far beyond the 10⁶-FEC
+/// scale the checker targets.
+struct Fnv(u128);
+
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u128::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// A length-prefix-free string feed: terminate with a byte that
+    /// cannot appear in UTF-8, so `("ab", "c")` ≠ `("a", "bc")`.
+    fn text(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+        self.bytes(&[0xff]);
+    }
+
+    fn num(&mut self, n: usize) {
+        self.bytes(&(n as u64).to_le_bytes());
+    }
+}
+
+/// Vertex indices in canonical order: sorted by device name, ties (only
+/// possible in graphs that fail `validate`) broken by original index so
+/// the order is still deterministic.
+fn canonical_order(graph: &ForwardingGraph) -> (Vec<usize>, Vec<usize>) {
+    let mut order: Vec<usize> = (0..graph.vertices.len()).collect();
+    order.sort_by(|&a, &b| graph.vertices[a].cmp(&graph.vertices[b]).then(a.cmp(&b)));
+    let mut rank = vec![0usize; order.len()];
+    for (new, &old) in order.iter().enumerate() {
+        rank[old] = new;
+    }
+    (order, rank)
+}
+
+/// The canonical form of a graph: same behavior, normalized layout.
+/// Vertices are sorted by device name, edges are remapped and sorted by
+/// `(from, to, src_port, dst_port)` (multiplicity preserved), and the
+/// source/sink/drop marks are remapped and sorted. Idempotent, and
+/// language-preserving at every granularity.
+pub fn canonical_graph(graph: &ForwardingGraph) -> ForwardingGraph {
+    let (order, rank) = canonical_order(graph);
+    let vertices: Vec<String> = order.iter().map(|&o| graph.vertices[o].clone()).collect();
+    let mut edges: Vec<Edge> = graph
+        .edges
+        .iter()
+        .map(|e| Edge {
+            from: rank[e.from],
+            to: rank[e.to],
+            src_port: e.src_port.clone(),
+            dst_port: e.dst_port.clone(),
+        })
+        .collect();
+    edges.sort_by(|a, b| {
+        (a.from, a.to, &a.src_port, &a.dst_port).cmp(&(b.from, b.to, &b.src_port, &b.dst_port))
+    });
+    let remap = |marks: &[usize]| -> Vec<usize> {
+        let mut v: Vec<usize> = marks.iter().map(|&m| rank[m]).collect();
+        v.sort_unstable();
+        v
+    };
+    ForwardingGraph {
+        vertices,
+        edges,
+        sources: remap(&graph.sources),
+        sinks: remap(&graph.sinks),
+        drops: remap(&graph.drops),
+    }
+}
+
+/// Fingerprint `graph`'s forwarding behavior at `level`.
+///
+/// Soundness contract: if two graphs hash equal at `level`, then their
+/// [`canonical_graph`] forms compile (via `graph_to_fsa` at `level`, or
+/// any coarser granularity for [`Granularity::Interface`] hashes) to
+/// structurally identical automata, so a checker may decide one and
+/// reuse the verdict for the other. At interface level, equal hashes
+/// additionally imply equal link-level path counts.
+///
+/// # Examples
+///
+/// ```
+/// use rela_net::{behavior_hash, linear_graph, Device, Granularity, LocationDb};
+///
+/// let mut db = LocationDb::new();
+/// db.add_device(Device::new("a", "G"));
+/// db.add_device(Device::new("b", "G"));
+///
+/// let g1 = linear_graph(&["a", "b"]);
+/// let g2 = linear_graph(&["a", "b"]);
+/// assert_eq!(
+///     behavior_hash(&g1, &db, Granularity::Device),
+///     behavior_hash(&g2, &db, Granularity::Device),
+/// );
+/// ```
+pub fn behavior_hash(graph: &ForwardingGraph, db: &LocationDb, level: Granularity) -> BehaviorHash {
+    let (order, rank) = canonical_order(graph);
+    let mut h = Fnv::new();
+    h.num(match level {
+        Granularity::Device => 0,
+        Granularity::Group => 1,
+        Granularity::Interface => 2,
+    });
+    // vertices, canonically ordered, labelled at the hashing granularity
+    h.num(graph.vertices.len());
+    for &o in &order {
+        let name = &graph.vertices[o];
+        match level {
+            Granularity::Group => h.text(db.group_of(name).unwrap_or(name)),
+            Granularity::Device | Granularity::Interface => h.text(name),
+        }
+    }
+    // edges: port-faithful with multiplicity at interface level; collapsed
+    // to the (from, to) adjacency the FSA actually uses below that
+    match level {
+        Granularity::Interface => {
+            let mut edges: Vec<(usize, usize, &str, &str)> = graph
+                .edges
+                .iter()
+                .map(|e| (rank[e.from], rank[e.to], &*e.src_port, &*e.dst_port))
+                .collect();
+            edges.sort_unstable();
+            h.num(edges.len());
+            for (from, to, src_port, dst_port) in edges {
+                h.num(from);
+                h.num(to);
+                h.text(src_port);
+                h.text(dst_port);
+            }
+        }
+        Granularity::Device | Granularity::Group => {
+            let mut edges: Vec<(usize, usize)> = graph
+                .edges
+                .iter()
+                .map(|e| (rank[e.from], rank[e.to]))
+                .collect();
+            edges.sort_unstable();
+            edges.dedup();
+            h.num(edges.len());
+            for (from, to) in edges {
+                h.num(from);
+                h.num(to);
+            }
+        }
+    }
+    // marks (sorted, multiplicity preserved — duplicate sources/sinks
+    // count multiply in `path_count`)
+    for marks in [&graph.sources, &graph.sinks, &graph.drops] {
+        let mut v: Vec<usize> = marks.iter().map(|&m| rank[m]).collect();
+        v.sort_unstable();
+        h.num(v.len());
+        for m in v {
+            h.num(m);
+        }
+    }
+    BehaviorHash(h.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::linear_graph;
+    use crate::location::Device;
+
+    fn db() -> LocationDb {
+        let mut db = LocationDb::new();
+        for (name, group) in [
+            ("a1", "A"),
+            ("a2", "A"),
+            ("b1", "B"),
+            ("c1", "C"),
+            ("d1", "D"),
+        ] {
+            db.add_device(Device::new(name, group));
+        }
+        db
+    }
+
+    /// The same structure inserted in a different vertex order.
+    fn permuted_pair() -> (ForwardingGraph, ForwardingGraph) {
+        let g1 = linear_graph(&["a1", "b1", "c1"]);
+        let mut g2 = ForwardingGraph::new();
+        let c = g2.add_vertex("c1");
+        let a = g2.add_vertex("a1");
+        let b = g2.add_vertex("b1");
+        g2.add_edge(a, b, "eth0", "eth1");
+        g2.add_edge(b, c, "eth0", "eth1");
+        g2.sources.push(a);
+        g2.sinks.push(c);
+        (g1, g2)
+    }
+
+    #[test]
+    fn insertion_order_does_not_split_classes() {
+        let db = db();
+        let (g1, g2) = permuted_pair();
+        for level in [
+            Granularity::Device,
+            Granularity::Group,
+            Granularity::Interface,
+        ] {
+            assert_eq!(
+                behavior_hash(&g1, &db, level),
+                behavior_hash(&g2, &db, level),
+                "{level:?}"
+            );
+        }
+        assert_eq!(canonical_graph(&g1), canonical_graph(&g2));
+    }
+
+    #[test]
+    fn canonical_graph_is_idempotent_and_behavior_preserving() {
+        let (g1, _) = permuted_pair();
+        let c = canonical_graph(&g1);
+        assert_eq!(canonical_graph(&c), c);
+        assert_eq!(c.path_count(), g1.path_count());
+        let mut before = g1.device_paths(100);
+        let mut after = c.device_paths(100);
+        before.sort();
+        after.sort();
+        assert_eq!(before, after);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn different_paths_hash_differently() {
+        let db = db();
+        let g1 = linear_graph(&["a1", "b1", "c1"]);
+        let g2 = linear_graph(&["a1", "d1", "c1"]);
+        for level in [
+            Granularity::Device,
+            Granularity::Group,
+            Granularity::Interface,
+        ] {
+            assert_ne!(
+                behavior_hash(&g1, &db, level),
+                behavior_hash(&g2, &db, level),
+                "{level:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn group_level_merges_same_group_devices() {
+        let db = db();
+        // a1 and a2 share group A: group-equal, device-distinct
+        let g1 = linear_graph(&["a1", "b1"]);
+        let g2 = linear_graph(&["a2", "b1"]);
+        assert_eq!(
+            behavior_hash(&g1, &db, Granularity::Group),
+            behavior_hash(&g2, &db, Granularity::Group)
+        );
+        assert_ne!(
+            behavior_hash(&g1, &db, Granularity::Device),
+            behavior_hash(&g2, &db, Granularity::Device)
+        );
+    }
+
+    #[test]
+    fn ports_only_matter_at_interface_level() {
+        let db = db();
+        let mut g1 = ForwardingGraph::new();
+        let s = g1.add_vertex("a1");
+        let t = g1.add_vertex("b1");
+        g1.add_edge(s, t, "eth0", "eth0");
+        g1.sources.push(s);
+        g1.sinks.push(t);
+        let mut g2 = g1.clone();
+        g2.edges[0].src_port = "eth9".to_owned();
+        assert_eq!(
+            behavior_hash(&g1, &db, Granularity::Device),
+            behavior_hash(&g2, &db, Granularity::Device)
+        );
+        assert_ne!(
+            behavior_hash(&g1, &db, Granularity::Interface),
+            behavior_hash(&g2, &db, Granularity::Interface)
+        );
+    }
+
+    #[test]
+    fn parallel_links_only_matter_at_interface_level() {
+        let db = db();
+        let mut g1 = ForwardingGraph::new();
+        let s = g1.add_vertex("a1");
+        let t = g1.add_vertex("b1");
+        g1.add_edge(s, t, "e0", "e0");
+        g1.sources.push(s);
+        g1.sinks.push(t);
+        let mut g2 = g1.clone();
+        g2.add_edge(s, t, "e1", "e1");
+        // device-level FSAs are identical (parallel edges collapse)...
+        assert_eq!(
+            behavior_hash(&g1, &db, Granularity::Device),
+            behavior_hash(&g2, &db, Granularity::Device)
+        );
+        // ...but link-level path counts differ, which interface fidelity
+        // (what ECMP limit checks hash at) must see
+        assert_ne!(
+            behavior_hash(&g1, &db, Granularity::Interface),
+            behavior_hash(&g2, &db, Granularity::Interface)
+        );
+        assert_ne!(g1.path_count(), g2.path_count());
+    }
+
+    #[test]
+    fn marks_are_part_of_the_behavior() {
+        let db = db();
+        let base = linear_graph(&["a1", "b1"]);
+        let mut dropped = base.clone();
+        dropped.sinks.clear();
+        dropped.drops.push(1);
+        assert_ne!(
+            behavior_hash(&base, &db, Granularity::Device),
+            behavior_hash(&dropped, &db, Granularity::Device)
+        );
+    }
+
+    #[test]
+    fn hash_is_stable_across_calls() {
+        let db = db();
+        let g = linear_graph(&["a1", "b1", "c1"]);
+        let h = behavior_hash(&g, &db, Granularity::Device);
+        assert_eq!(h, behavior_hash(&g, &db, Granularity::Device));
+        assert_eq!(
+            h,
+            behavior_hash(&canonical_graph(&g), &db, Granularity::Device)
+        );
+        // 32 hex chars, deterministic rendering
+        assert_eq!(h.to_string().len(), 32);
+    }
+}

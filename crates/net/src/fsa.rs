@@ -58,28 +58,59 @@ pub fn graph_to_fsa(
     granularity: Granularity,
     table: &mut SymbolTable,
 ) -> Nfa {
+    build_fsa(graph, db, granularity, &mut |name| table.intern(name))
+}
+
+/// Like [`graph_to_fsa`], but against a *read-only* symbol table: every
+/// location the graph mentions must already be interned. This is the
+/// hot-path variant — the checker pre-interns all locations once, then
+/// shares one table immutably across worker threads instead of cloning
+/// it per worker.
+///
+/// # Panics
+///
+/// Panics if the graph mentions a location absent from `table`.
+pub fn graph_to_fsa_prepared(
+    graph: &ForwardingGraph,
+    db: &LocationDb,
+    granularity: Granularity,
+    table: &SymbolTable,
+) -> Nfa {
+    build_fsa(graph, db, granularity, &mut |name| {
+        table
+            .lookup(name)
+            .unwrap_or_else(|| panic!("location `{name}` was not pre-interned"))
+    })
+}
+
+fn build_fsa(
+    graph: &ForwardingGraph,
+    db: &LocationDb,
+    granularity: Granularity,
+    sym: &mut dyn FnMut(&str) -> rela_automata::Symbol,
+) -> Nfa {
     let mut nfa = Nfa::new();
     let vstate: Vec<_> = graph.vertices.iter().map(|_| nfa.add_state()).collect();
 
     match granularity {
         Granularity::Device => {
             for &s in &graph.sources {
-                let sym = table.intern(&graph.vertices[s]);
-                nfa.add_arc(nfa.start(), SymSet::singleton(sym), vstate[s]);
+                let label = sym(&graph.vertices[s]);
+                nfa.add_arc(nfa.start(), SymSet::singleton(label), vstate[s]);
             }
             let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
             for e in &graph.edges {
                 if !seen.insert((e.from, e.to)) {
                     continue; // parallel edges are identical at device level
                 }
-                let sym = table.intern(&graph.vertices[e.to]);
-                nfa.add_arc(vstate[e.from], SymSet::singleton(sym), vstate[e.to]);
+                let label = sym(&graph.vertices[e.to]);
+                nfa.add_arc(vstate[e.from], SymSet::singleton(label), vstate[e.to]);
             }
         }
         Granularity::Group => {
             for &s in &graph.sources {
-                let sym = table.intern(group_or_self(db, &graph.vertices[s]));
-                nfa.add_arc(nfa.start(), SymSet::singleton(sym), vstate[s]);
+                let label = sym(group_or_self(db, &graph.vertices[s]));
+                nfa.add_arc(nfa.start(), SymSet::singleton(label), vstate[s]);
             }
             let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
             for e in &graph.edges {
@@ -92,8 +123,8 @@ pub fn graph_to_fsa(
                     // stutter: same group, no new path symbol
                     nfa.add_eps(vstate[e.from], vstate[e.to]);
                 } else {
-                    let sym = table.intern(g_to);
-                    nfa.add_arc(vstate[e.from], SymSet::singleton(sym), vstate[e.to]);
+                    let label = sym(g_to);
+                    nfa.add_arc(vstate[e.from], SymSet::singleton(label), vstate[e.to]);
                 }
             }
         }
@@ -102,12 +133,11 @@ pub fn graph_to_fsa(
                 nfa.add_eps(nfa.start(), vstate[s]);
             }
             for e in &graph.edges {
-                let out_if = table.intern(&Device::interface_name(
+                let out_if = sym(&Device::interface_name(
                     &graph.vertices[e.from],
                     &e.src_port,
                 ));
-                let in_if =
-                    table.intern(&Device::interface_name(&graph.vertices[e.to], &e.dst_port));
+                let in_if = sym(&Device::interface_name(&graph.vertices[e.to], &e.dst_port));
                 let mid = nfa.add_state();
                 nfa.add_arc(vstate[e.from], SymSet::singleton(out_if), mid);
                 nfa.add_arc(mid, SymSet::singleton(in_if), vstate[e.to]);
@@ -119,7 +149,7 @@ pub fn graph_to_fsa(
         nfa.set_accepting(vstate[s], true);
     }
     if !graph.drops.is_empty() {
-        let drop_sym = table.intern(DROP_LOCATION);
+        let drop_sym = sym(DROP_LOCATION);
         let drop_state = nfa.add_state();
         nfa.set_accepting(drop_state, true);
         for &d in &graph.drops {
@@ -153,6 +183,49 @@ mod tests {
             .iter()
             .map(|n| table.lookup(n).unwrap_or_else(|| panic!("missing {n}")))
             .collect()
+    }
+
+    #[test]
+    fn prepared_variant_matches_interning_variant() {
+        let db = sample_db();
+        let mut g = linear_graph(&["A1-r01", "A1-r02", "B1-r01"]);
+        g.drops.push(2);
+        g.sinks.clear();
+        let probes: [(Granularity, Vec<&str>); 3] = [
+            (
+                Granularity::Device,
+                vec!["A1-r01", "A1-r02", "B1-r01", DROP_LOCATION],
+            ),
+            (Granularity::Group, vec!["A1", "B1", DROP_LOCATION]),
+            (
+                Granularity::Interface,
+                vec![
+                    "A1-r01:eth0",
+                    "A1-r02:eth1",
+                    "A1-r02:eth0",
+                    "B1-r01:eth1",
+                    DROP_LOCATION,
+                ],
+            ),
+        ];
+        for (granularity, probe) in probes {
+            let mut table = SymbolTable::new();
+            let interned = graph_to_fsa(&g, &db, granularity, &mut table);
+            let prepared = graph_to_fsa_prepared(&g, &db, granularity, &table);
+            let word = syms(&table, &probe);
+            assert!(interned.accepts(&word), "{granularity:?}");
+            assert!(prepared.accepts(&word), "{granularity:?}");
+            assert_eq!(interned.len(), prepared.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not pre-interned")]
+    fn prepared_variant_rejects_unknown_locations() {
+        let db = sample_db();
+        let g = linear_graph(&["A1-r01", "B1-r01"]);
+        let table = SymbolTable::new();
+        let _ = graph_to_fsa_prepared(&g, &db, Granularity::Device, &table);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod behavior;
 mod db;
 mod fec;
 mod fsa;
@@ -19,9 +20,10 @@ mod location;
 mod prefix;
 mod snapshot;
 
+pub use behavior::{behavior_hash, canonical_graph, BehaviorHash};
 pub use db::{AttrPred, LocationDb};
 pub use fec::FlowSpec;
-pub use fsa::graph_to_fsa;
+pub use fsa::{graph_to_fsa, graph_to_fsa_prepared};
 pub use granularity::{device_path_to_group, interface_path_to_device};
 pub use graph::{linear_graph, Edge, ForwardingGraph, GraphError, VertexId};
 pub use location::{glob_match, interface_device, Device, Granularity, DROP_LOCATION};

@@ -37,6 +37,8 @@ pub enum Command {
         granularity: Granularity,
         /// Worker threads (0 = auto).
         threads: usize,
+        /// Behavior-class dedup (on unless `--no-dedup`).
+        dedup: bool,
     },
     /// Print the §2.3 path diff (the manual-inspection baseline).
     Diff {
@@ -88,13 +90,15 @@ rela — relational network verification (SIGCOMM 2024 reproduction)
 
 USAGE:
   rela check --spec FILE --db FILE --pre FILE --post FILE
-             [--granularity group|device|interface] [--threads N]
+             [--granularity group|device|interface] [--threads N] [--no-dedup]
   rela diff  --db FILE --pre FILE --post FILE
              [--granularity group|device|interface]
   rela demo  [--out DIR]
   rela help
 
 check validates the change: exit 0 = compliant, 1 = violations found.
+--no-dedup disables behavior-class dedup (decide every FEC from
+scratch instead of once per distinct pre/post behavior).
 diff prints the manual path-diff baseline (every changed traffic class).
 demo writes the paper's Figure 1 case study (db, snapshots, spec) so you
 can try: rela demo --out /tmp/fig1 && rela check --spec /tmp/fig1/change.rela \\
@@ -106,10 +110,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let Some((cmd, rest)) = args.split_first() else {
         return Ok(Command::Help);
     };
+    // flags that take no value
+    const SWITCHES: [&str; 1] = ["--no-dedup"];
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         if !flag.starts_with("--") {
             return Err(usage_error(format!("unexpected argument `{flag}`")));
+        }
+        if SWITCHES.contains(&flag.as_str()) {
+            flags.insert(flag.trim_start_matches("--").to_owned(), "true".to_owned());
+            continue;
         }
         let value = it
             .next()
@@ -143,6 +153,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .get("threads")
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(0),
+            dedup: !flags.contains_key("no-dedup"),
         }),
         "diff" => Ok(Command::Diff {
             db: need("db")?,
@@ -194,6 +205,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<i32, CliError>
             post,
             granularity,
             threads,
+            dedup,
         } => {
             let source = read(spec)?;
             let db = load_db(db)?;
@@ -204,6 +216,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<i32, CliError>
                 .map_err(|e| usage_error(format!("{}: {e}", spec.display())))?;
             let options = rela_core::CheckOptions {
                 threads: *threads,
+                dedup: *dedup,
                 ..rela_core::CheckOptions::default()
             };
             let report = rela_core::Checker::new(&compiled, &db)
@@ -325,11 +338,34 @@ mod tests {
             Command::Check {
                 granularity,
                 threads,
+                dedup,
                 ..
             } => {
                 assert_eq!(granularity, Granularity::Device);
                 assert_eq!(threads, 4);
+                assert!(dedup, "dedup defaults to on");
             }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_dedup_switch_needs_no_value() {
+        let cmd = parse_args(&args(&[
+            "check",
+            "--spec",
+            "s.rela",
+            "--no-dedup",
+            "--db",
+            "db.json",
+            "--pre",
+            "a.json",
+            "--post",
+            "b.json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Check { dedup, .. } => assert!(!dedup),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -381,6 +417,7 @@ mod tests {
                 post: dir.join(post),
                 granularity: Granularity::Group,
                 threads: 1,
+                dedup: true,
             };
             let mut sink = Vec::new();
             let code = run(&cmd, &mut sink).unwrap();

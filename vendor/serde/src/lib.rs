@@ -196,6 +196,21 @@ pub fn field_or_default<T: Deserialize + Default>(value: &Value, name: &str) -> 
 
 // ---- impls for std types -------------------------------------------------
 
+// Identity impls: a `Value` serializes to itself, so callers can build
+// or inspect dynamic documents without a typed mirror (what real
+// serde_json's `Value` provides).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Value, Error> {
+        Ok(value.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)

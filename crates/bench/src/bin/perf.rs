@@ -1,16 +1,31 @@
-//! The checker perf harness: runs the fig6/fig7 testbeds at several
-//! WAN scales — including a high `--fecs-per-pair` sweep where
-//! behavior-class dedup dominates — with dedup on *and* off at equal
-//! thread count, asserts the verdicts are identical, and writes the
-//! results to a machine-readable `BENCH_check.json` so the perf
-//! trajectory of the checker is observable across PRs.
+//! The checker perf harness: measures the dedup engine and the
+//! persistent incremental re-check path, and writes the results to a
+//! machine-readable `BENCH_check.json` so the perf trajectory of the
+//! checker is observable (and gated) across PRs.
+//!
+//! Two scenario kinds:
+//!
+//! - **dedup** — the fig6/fig7 testbeds at several WAN scales, with
+//!   dedup on *and* off at equal thread count, asserting identical
+//!   verdicts. The `--fecs-per-pair` sweep (64/128/1024) tracks the
+//!   paper's 10⁶-FEC headline; at 1024 the serial fingerprint pass
+//!   would dominate, which is what the sharded grouping pass addresses.
+//! - **iterative** — the §8.1 operational loop: K near-identical
+//!   iterations of one change replayed against a persistent verdict
+//!   cache ([`rela_cache::VerdictStore`]), measuring cold→warm speedup
+//!   with cache-free runs cross-checking every replayed verdict.
 //!
 //! Run: `cargo run --release -p rela-bench --bin perf [-- --smoke]
 //!       [--out FILE] [--threads N]`
 //!
-//! `--smoke` runs one tiny scenario (CI-friendly, a few seconds) and
-//! still exercises the full measure → serialize → re-read → validate
-//! loop. The JSON schema (`rela-perf/v1`):
+//! `--smoke` runs tiny scenarios (CI-friendly, a few seconds) and still
+//! exercises the full measure → serialize → re-read → validate loop. To
+//! keep CI fast it **skips the no-dedup baseline**, emitting `null` for
+//! `wall_nodedup_s` / `speedup` / `verdicts_match` on dedup scenarios;
+//! the top-level `"smoke": true` marker tells the CI regression gate
+//! (`scripts/bench_gate.py`) to skip absolute-time comparisons.
+//!
+//! The JSON schema (`rela-perf/v1`):
 //!
 //! ```json
 //! {
@@ -19,23 +34,34 @@
 //!   "smoke": false,
 //!   "scenarios": [
 //!     {
-//!       "name": "dedup-sweep-64", "regions": 4, "routers_per_group": 2,
-//!       "parallel_links": 2, "fecs_per_pair": 64, "spec_atomics": 4,
-//!       "granularity": "group", "fecs": 768, "classes": 12,
-//!       "cache_hits": 756, "cache_hit_rate": 0.984,
+//!       "name": "dedup-sweep-64", "kind": "dedup", "regions": 4,
+//!       "routers_per_group": 2, "parallel_links": 2, "fecs_per_pair": 64,
+//!       "spec_atomics": 4, "granularity": "group", "fecs": 768,
+//!       "classes": 12, "cache_hits": 756, "cache_hit_rate": 0.984,
 //!       "wall_s": 0.05, "wall_nodedup_s": 2.61, "speedup": 52.2,
 //!       "verdicts_match": true, "violations": 64, "max_class_s": 0.01,
 //!       "phases_s": {"lower": ..., "determinize": ..., "equivalent": ...,
 //!                    "witness": ...}
+//!     },
+//!     {
+//!       "name": "iterative-change", "kind": "iterative", "iterations": 4,
+//!       "warm_hits": 21, "wall_cold_s": 0.04, "wall_warm_s": 0.004,
+//!       "wall_s": 0.004, "wall_nodedup_s": null, "speedup": 10.3,
+//!       "verdicts_match": true, ...
 //!     }
 //!   ]
 //! }
 //! ```
 
 use rela_bench::{build_testbed, secs, Testbed};
-use rela_core::{compile_program, parse_program, CheckOptions, CheckReport, Checker};
-use rela_net::Granularity;
-use rela_sim::workload::{spec_of_size, WanParams};
+use rela_cache::VerdictStore;
+use rela_core::{
+    cache_epoch, compile_program, parse_program, CheckOptions, CheckReport, Checker,
+    CompiledProgram,
+};
+use rela_net::{Granularity, SnapshotPair};
+use rela_sim::workload::{iteration_changes, spec_of_size, synthetic_wan, WanParams};
+use rela_sim::{configured, simulate};
 use serde::{Serialize, Value};
 use std::time::{Duration, Instant};
 
@@ -76,7 +102,8 @@ fn scenarios(smoke: bool) -> Vec<Scenario> {
             granularity: Granularity::Interface,
         },
         // high fecs-per-pair sweep: many prefixes share one forwarding
-        // behavior per region pair, so dedup dominates
+        // behavior per region pair, so dedup dominates; 1024 is the
+        // scale point where the fingerprint pass itself matters
         Scenario {
             name: "dedup-sweep-64",
             params: WanParams {
@@ -99,12 +126,23 @@ fn scenarios(smoke: bool) -> Vec<Scenario> {
             spec_atomics: 4,
             granularity: Granularity::Group,
         },
+        Scenario {
+            name: "dedup-sweep-1024",
+            params: WanParams {
+                regions: 4,
+                routers_per_group: 2,
+                parallel_links: 2,
+                fecs_per_pair: 1024,
+            },
+            spec_atomics: 4,
+            granularity: Granularity::Group,
+        },
     ]
 }
 
 fn check(
     tb: &Testbed,
-    compiled: &rela_core::CompiledProgram,
+    compiled: &CompiledProgram,
     dedup: bool,
     threads: usize,
 ) -> (Duration, CheckReport) {
@@ -126,15 +164,49 @@ fn reports_agree(a: &CheckReport, b: &CheckReport) -> bool {
         && a.violations == b.violations
 }
 
-fn granularity_name(g: Granularity) -> &'static str {
-    match g {
-        Granularity::Group => "group",
-        Granularity::Device => "device",
-        Granularity::Interface => "interface",
-    }
+/// The fields every scenario kind shares, taken from one report.
+fn base_fields(
+    name: &str,
+    kind: &str,
+    params: &WanParams,
+    spec_atomics: usize,
+    granularity: Granularity,
+    report: &CheckReport,
+) -> Vec<(String, Value)> {
+    let stats = report.stats;
+    let phases = stats.phases;
+    vec![
+        ("name".to_owned(), name.to_value()),
+        ("kind".to_owned(), kind.to_value()),
+        ("regions".to_owned(), params.regions.to_value()),
+        (
+            "routers_per_group".to_owned(),
+            params.routers_per_group.to_value(),
+        ),
+        (
+            "parallel_links".to_owned(),
+            params.parallel_links.to_value(),
+        ),
+        (
+            "fecs_per_pair".to_owned(),
+            (params.fecs_per_pair as usize).to_value(),
+        ),
+        ("spec_atomics".to_owned(), spec_atomics.to_value()),
+        ("granularity".to_owned(), granularity.to_string().to_value()),
+        ("fecs".to_owned(), stats.fecs.to_value()),
+        ("classes".to_owned(), stats.classes.to_value()),
+        ("cache_hits".to_owned(), stats.dedup_hits.to_value()),
+        ("cache_hit_rate".to_owned(), stats.hit_rate().to_value()),
+        ("violations".to_owned(), report.violations.len().to_value()),
+        (
+            "max_class_s".to_owned(),
+            stats.max_class_time.as_secs_f64().to_value(),
+        ),
+        ("phases_s".to_owned(), phases.to_cache_value()),
+    ]
 }
 
-fn run_scenario(s: &Scenario, threads: usize) -> Value {
+fn run_scenario(s: &Scenario, threads: usize, smoke: bool) -> Value {
     eprintln!(
         "[{}] building testbed ({} regions, {} routers/group, {} links, {} FECs/pair)...",
         s.name,
@@ -150,63 +222,222 @@ fn run_scenario(s: &Scenario, threads: usize) -> Value {
         compile_program(&program, &tb.wan.topology.db, s.granularity).expect("spec compiles");
 
     let (wall, report) = check(&tb, &compiled, true, threads);
-    let (wall_nodedup, report_nodedup) = check(&tb, &compiled, false, threads);
-    let verdicts_match = reports_agree(&report, &report_nodedup);
-    let speedup = wall_nodedup.as_secs_f64() / wall.as_secs_f64().max(f64::EPSILON);
+    // the no-dedup baseline re-decides every FEC from scratch — the
+    // expensive half of the measurement, skipped in --smoke (CI) runs
+    let baseline = if smoke {
+        None
+    } else {
+        let (wall_nodedup, report_nodedup) = check(&tb, &compiled, false, threads);
+        Some((wall_nodedup, reports_agree(&report, &report_nodedup)))
+    };
     let stats = report.stats;
-    eprintln!(
-        "[{}] {} FECs → {} classes ({:.1}% hits) | dedup {} vs no-dedup {} ({speedup:.1}×) | verdicts {}",
+    // (no-dedup wall, speedup, verdicts agree) — computed once, read by
+    // both the progress line and the serialized scenario fields
+    let measured = baseline.map(|(wall_nodedup, verdicts_match)| {
+        let speedup = wall_nodedup.as_secs_f64() / wall.as_secs_f64().max(f64::EPSILON);
+        (wall_nodedup, speedup, verdicts_match)
+    });
+    match measured {
+        Some((wall_nodedup, speedup, verdicts_match)) => {
+            eprintln!(
+                "[{}] {} FECs → {} classes ({:.1}% hits) | dedup {} vs no-dedup {} ({speedup:.1}×) | verdicts {}",
+                s.name,
+                stats.fecs,
+                stats.classes,
+                100.0 * stats.hit_rate(),
+                secs(wall),
+                secs(wall_nodedup),
+                if verdicts_match { "identical" } else { "DIVERGED" },
+            );
+            assert!(
+                verdicts_match,
+                "[{}] dedup changed the verdict — the engine is unsound",
+                s.name
+            );
+        }
+        None => eprintln!(
+            "[{}] {} FECs → {} classes ({:.1}% hits) | dedup {} | no-dedup baseline skipped (smoke)",
+            s.name,
+            stats.fecs,
+            stats.classes,
+            100.0 * stats.hit_rate(),
+            secs(wall),
+        ),
+    }
+
+    let mut fields = base_fields(
         s.name,
-        stats.fecs,
-        stats.classes,
-        100.0 * stats.hit_rate(),
-        secs(wall),
-        secs(wall_nodedup),
-        if verdicts_match { "identical" } else { "DIVERGED" },
+        "dedup",
+        &s.params,
+        s.spec_atomics,
+        s.granularity,
+        &report,
     );
-    assert!(
-        verdicts_match,
-        "[{}] dedup changed the verdict — the engine is unsound",
-        s.name
+    fields.push(("wall_s".to_owned(), wall.as_secs_f64().to_value()));
+    match measured {
+        Some((wall_nodedup, speedup, verdicts_match)) => {
+            fields.push((
+                "wall_nodedup_s".to_owned(),
+                wall_nodedup.as_secs_f64().to_value(),
+            ));
+            fields.push(("speedup".to_owned(), speedup.to_value()));
+            fields.push(("verdicts_match".to_owned(), Value::Bool(verdicts_match)));
+        }
+        None => {
+            fields.push(("wall_nodedup_s".to_owned(), Value::Null));
+            fields.push(("speedup".to_owned(), Value::Null));
+            fields.push(("verdicts_match".to_owned(), Value::Null));
+        }
+    }
+    Value::Obj(fields)
+}
+
+/// The §8.1 loop: K near-identical post-change snapshots validated in
+/// sequence, each "run" opening the persistent store, checking, and
+/// persisting — exactly what `rela check --cache-dir` does per ticket
+/// iteration. Every warm verdict is cross-checked against a cache-free
+/// decision of the same pair.
+fn run_iterative(threads: usize, smoke: bool) -> Value {
+    let (name, params, spec_atomics, iterations) = if smoke {
+        (
+            "iterative-smoke",
+            WanParams {
+                regions: 3,
+                routers_per_group: 1,
+                parallel_links: 1,
+                fecs_per_pair: 2,
+            },
+            4,
+            3usize,
+        )
+    } else {
+        // interface granularity over heavily-trunked cores: deciding a
+        // class is expensive (the §6.1 path explosion), hashing a FEC is
+        // not — the regime where persistent warm hits pay the most
+        (
+            "iterative-change",
+            WanParams {
+                regions: 5,
+                routers_per_group: 3,
+                parallel_links: 8,
+                fecs_per_pair: 4,
+            },
+            1,
+            4usize,
+        )
+    };
+    let granularity = if smoke {
+        Granularity::Group
+    } else {
+        Granularity::Interface
+    };
+    eprintln!(
+        "[{name}] building {} iteration snapshots ({} regions, {} FECs/pair)...",
+        iterations, params.regions, params.fecs_per_pair,
+    );
+    let wan = synthetic_wan(&params);
+    let (pre, unconverged) = simulate(&wan.topology, &wan.config, &wan.traffic);
+    assert!(unconverged.is_empty(), "base WAN must converge");
+    let pairs: Vec<SnapshotPair> = iteration_changes(&params, iterations)
+        .iter()
+        .map(|changes| {
+            let cfg = configured(&wan.config, &wan.topology, changes);
+            let (post, unconverged) = simulate(&wan.topology, &cfg, &wan.traffic);
+            assert!(unconverged.is_empty(), "changed WAN must converge");
+            SnapshotPair::align(&pre, &post)
+        })
+        .collect();
+
+    let source = spec_of_size(spec_atomics, params.regions);
+    let program = parse_program(&source).expect("spec parses");
+    let compiled = compile_program(&program, &wan.topology.db, granularity).expect("spec compiles");
+    let epoch = cache_epoch(&program, &wan.topology.db);
+    let cache_dir = std::env::temp_dir().join(format!("rela-perf-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&cache_dir).ok();
+
+    let options = CheckOptions {
+        threads,
+        ..CheckOptions::default()
+    };
+    let mut verdicts_match = true;
+    let mut walls: Vec<Duration> = Vec::new();
+    let mut last_report = None;
+    let mut last_warm = 0;
+    for (ix, pair) in pairs.iter().enumerate() {
+        let t0 = Instant::now();
+        let store = VerdictStore::open(&cache_dir, epoch).expect("cache dir is writable");
+        let report = Checker::new(&compiled, &wan.topology.db)
+            .with_options(options)
+            .with_cache(&store)
+            .check(pair);
+        store.persist().expect("cache persists");
+        let wall = t0.elapsed();
+        walls.push(wall);
+
+        // correctness: a cache-free decision of the same pair agrees
+        let fresh = Checker::new(&compiled, &wan.topology.db)
+            .with_options(options)
+            .check(pair);
+        verdicts_match &= reports_agree(&report, &fresh);
+        eprintln!(
+            "[{name}] iteration {}: {} in {} ({} of {} classes warm)",
+            ix + 1,
+            if ix == 0 { "cold" } else { "warm" },
+            secs(wall),
+            report.stats.warm_hits,
+            report.stats.classes,
+        );
+        if ix == 0 {
+            assert_eq!(report.stats.warm_hits, 0, "first iteration must be cold");
+        } else {
+            assert!(
+                report.stats.warm_hits > 0,
+                "[{name}] iteration {} found no warm classes — the store is not replaying",
+                ix + 1
+            );
+        }
+        last_warm = report.stats.warm_hits;
+        last_report = Some(report);
+    }
+    std::fs::remove_dir_all(&cache_dir).ok();
+    assert!(verdicts_match, "[{name}] cached replay changed a verdict");
+
+    let wall_cold = walls[0];
+    let warm_runs = &walls[1..];
+    let wall_warm = warm_runs.iter().sum::<Duration>() / warm_runs.len() as u32;
+    let speedup = wall_cold.as_secs_f64() / wall_warm.as_secs_f64().max(f64::EPSILON);
+    eprintln!(
+        "[{name}] cold {} vs warm {} ({speedup:.1}×) | verdicts identical",
+        secs(wall_cold),
+        secs(wall_warm),
     );
 
-    let phases = stats.phases;
-    Value::obj(vec![
-        ("name", s.name.to_value()),
-        ("regions", s.params.regions.to_value()),
-        ("routers_per_group", s.params.routers_per_group.to_value()),
-        ("parallel_links", s.params.parallel_links.to_value()),
-        (
-            "fecs_per_pair",
-            (s.params.fecs_per_pair as usize).to_value(),
-        ),
-        ("spec_atomics", s.spec_atomics.to_value()),
-        ("granularity", granularity_name(s.granularity).to_value()),
-        ("fecs", stats.fecs.to_value()),
-        ("classes", stats.classes.to_value()),
-        ("cache_hits", stats.dedup_hits.to_value()),
-        ("cache_hit_rate", stats.hit_rate().to_value()),
-        ("wall_s", wall.as_secs_f64().to_value()),
-        ("wall_nodedup_s", wall_nodedup.as_secs_f64().to_value()),
-        ("speedup", speedup.to_value()),
-        ("verdicts_match", Value::Bool(verdicts_match)),
-        ("violations", report.violations.len().to_value()),
-        ("max_class_s", stats.max_class_time.as_secs_f64().to_value()),
-        (
-            "phases_s",
-            Value::obj(vec![
-                ("lower", phases.lower.as_secs_f64().to_value()),
-                ("determinize", phases.determinize.as_secs_f64().to_value()),
-                ("equivalent", phases.equivalent.as_secs_f64().to_value()),
-                ("witness", phases.witness.as_secs_f64().to_value()),
-            ]),
-        ),
-    ])
+    let report = last_report.expect("at least one iteration");
+    let mut fields = base_fields(
+        name,
+        "iterative",
+        &params,
+        spec_atomics,
+        granularity,
+        &report,
+    );
+    fields.push(("iterations".to_owned(), iterations.to_value()));
+    fields.push(("warm_hits".to_owned(), last_warm.to_value()));
+    fields.push(("wall_cold_s".to_owned(), wall_cold.as_secs_f64().to_value()));
+    fields.push(("wall_warm_s".to_owned(), wall_warm.as_secs_f64().to_value()));
+    // wall_s mirrors wall_warm_s so kind-agnostic consumers see the
+    // steady-state cost; no-dedup does not apply to this kind
+    fields.push(("wall_s".to_owned(), wall_warm.as_secs_f64().to_value()));
+    fields.push(("wall_nodedup_s".to_owned(), Value::Null));
+    fields.push(("speedup".to_owned(), speedup.to_value()));
+    fields.push(("verdicts_match".to_owned(), Value::Bool(verdicts_match)));
+    Value::Obj(fields)
 }
 
 /// Re-read the emitted file and assert the invariants CI relies on:
 /// it parses, has scenarios, every scenario decided at least one class,
-/// reports a hit rate, and dedup never changed a verdict.
+/// reports a hit rate, and no measured comparison diverged. `smoke`
+/// runs may carry `null` baselines (skipped), never divergent ones.
 fn validate(path: &str) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("re-reading {path}: {e}"));
     let value: Value =
@@ -216,6 +447,7 @@ fn validate(path: &str) {
         Some("rela-perf/v1"),
         "{path}: bad schema tag"
     );
+    let smoke = value.get("smoke").and_then(Value::as_bool) == Some(true);
     let scenarios = value
         .get("scenarios")
         .and_then(Value::as_arr)
@@ -233,13 +465,26 @@ fn validate(path: &str) {
         assert!((0.0..=1.0).contains(&rate), "{name}: bad hit rate {rate}");
         assert!(classes <= fecs, "{name}: more classes than FECs");
         assert!(
-            s.get("verdicts_match").and_then(Value::as_bool) == Some(true),
-            "{name}: verdicts diverged"
-        );
-        assert!(
             s.get("cache_hits").and_then(Value::as_u64) == Some(fecs - classes),
             "{name}: inconsistent cache_hits"
         );
+        match s.get("verdicts_match") {
+            Some(Value::Bool(true)) => {}
+            Some(Value::Null) if smoke => {} // baseline skipped in smoke
+            other => panic!("{name}: verdicts_match is {other:?}"),
+        }
+        match s.get("speedup") {
+            Some(Value::Float(f)) => assert!(*f > 0.0, "{name}: bad speedup {f}"),
+            Some(Value::Null) if smoke => {}
+            other => panic!("{name}: speedup is {other:?}"),
+        }
+        if s.get("kind").and_then(Value::as_str) == Some("iterative") {
+            let warm = s
+                .get("warm_hits")
+                .and_then(Value::as_u64)
+                .expect("warm_hits");
+            assert!(warm > 0, "{name}: an iterative run must go warm");
+        }
     }
     eprintln!("{path}: validated ({} scenarios)", scenarios.len());
 }
@@ -260,10 +505,11 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(0usize);
 
-    let results: Vec<Value> = scenarios(smoke)
+    let mut results: Vec<Value> = scenarios(smoke)
         .iter()
-        .map(|s| run_scenario(s, threads))
+        .map(|s| run_scenario(s, threads, smoke))
         .collect();
+    results.push(run_iterative(threads, smoke));
     let doc = Value::obj(vec![
         ("schema", "rela-perf/v1".to_value()),
         ("threads", threads.to_value()),
@@ -279,19 +525,34 @@ fn main() {
     let value: Value = serde_json::from_str(&text).expect("parses");
     println!("== checker perf ({}) ==", out_path);
     println!(
-        "{:>16} {:>7} {:>8} {:>7} {:>10} {:>12} {:>8}",
-        "scenario", "fecs", "classes", "hits%", "wall", "no-dedup", "speedup"
+        "{:>17} {:>10} {:>7} {:>8} {:>7} {:>10} {:>12} {:>8}",
+        "scenario", "kind", "fecs", "classes", "hits%", "wall", "baseline", "speedup"
     );
     for s in value.get("scenarios").and_then(Value::as_arr).unwrap() {
+        let kind = s.get("kind").and_then(Value::as_str).unwrap_or("dedup");
+        // baseline column: no-dedup wall for dedup runs, cold wall for
+        // iterative runs; "-" when skipped (smoke)
+        let baseline = match kind {
+            "iterative" => s.get("wall_cold_s").and_then(Value::as_f64),
+            _ => s.get("wall_nodedup_s").and_then(Value::as_f64),
+        };
+        let fmt_s = |v: Option<f64>| match v {
+            Some(f) => format!("{f:.3}s"),
+            None => "-".to_owned(),
+        };
         println!(
-            "{:>16} {:>7} {:>8} {:>6.1}% {:>9.3}s {:>11.3}s {:>7.1}×",
+            "{:>17} {:>10} {:>7} {:>8} {:>6.1}% {:>10} {:>12} {:>8}",
             s.get("name").and_then(Value::as_str).unwrap(),
+            kind,
             s.get("fecs").and_then(Value::as_u64).unwrap(),
             s.get("classes").and_then(Value::as_u64).unwrap(),
             100.0 * s.get("cache_hit_rate").and_then(Value::as_f64).unwrap(),
-            s.get("wall_s").and_then(Value::as_f64).unwrap(),
-            s.get("wall_nodedup_s").and_then(Value::as_f64).unwrap(),
-            s.get("speedup").and_then(Value::as_f64).unwrap(),
+            fmt_s(s.get("wall_s").and_then(Value::as_f64)),
+            fmt_s(baseline),
+            match s.get("speedup").and_then(Value::as_f64) {
+                Some(f) => format!("{f:.1}×"),
+                None => "-".to_owned(),
+            },
         );
     }
 }

@@ -1,0 +1,449 @@
+//! # rela-cache
+//!
+//! A persistent, cross-run verdict store for incremental re-checking.
+//!
+//! The paper's operational workflow (§8.1) validates four near-identical
+//! iterations of one WAN change; between iterations the overwhelming
+//! majority of `(pre, post)` behavior classes are unchanged, so their
+//! relational obligations need not be re-decided. This crate persists
+//! the checker's `BehaviorHash → verdict` memo across process exits:
+//! iteration N+1 re-decides only the classes whose fingerprints moved —
+//! the network analogue of proof reuse across related executions in
+//! relational program/DNN verification.
+//!
+//! ## Store layout
+//!
+//! A cache directory holds one JSON file per **epoch**:
+//!
+//! ```text
+//! <cache-dir>/verdicts-<epoch>.json
+//! {
+//!   "schema": "rela-cache/v1",
+//!   "epoch": "<32 hex digits>",
+//!   "entries": { "<pre>:<post>:<granularity>:<route>": { ...payload... } }
+//! }
+//! ```
+//!
+//! The epoch is a content hash of the spec AST and the engine version
+//! ([`CacheEpoch::derive`]): editing the spec — or upgrading to a
+//! checker whose decisions could differ — lands in a different file, so
+//! every lookup is a clean miss and stale verdicts can never leak. Keys
+//! bind the pre/post behavior fingerprints, the compile granularity, and
+//! the pspec route that selected the check, mirroring exactly the
+//! identity the in-run dedup engine groups classes by.
+//!
+//! Robustness contract: a missing, truncated, corrupt, or
+//! wrong-schema/wrong-epoch store file is **treated as cold**, never an
+//! error — the cache is an accelerator, not a dependency. Writes go
+//! through a temp file + atomic rename so a crashed run cannot corrupt
+//! an existing store.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rela_net::{content_hash128, BehaviorHash, Granularity};
+use serde::Value;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The on-disk schema tag; bump when the file layout changes shape.
+pub const SCHEMA: &str = "rela-cache/v1";
+
+/// A cache generation: verdicts recorded under one epoch are only ever
+/// replayed under the same epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheEpoch(u128);
+
+impl CacheEpoch {
+    /// Derive the epoch for a spec/engine combination. `spec_hash` is a
+    /// content hash of everything the compiled program depends on — the
+    /// spec AST *and* the location database it resolves against (see
+    /// `rela_core::cache_epoch`), so formatting and comments don't
+    /// churn the cache but any semantic edit to either does — and
+    /// `engine` names the deciding engine and its version: a new
+    /// engine must never replay an old engine's verdicts.
+    pub fn derive(spec_hash: u128, engine: &str) -> CacheEpoch {
+        let mut bytes = Vec::with_capacity(16 + engine.len() + 1);
+        bytes.extend_from_slice(&spec_hash.to_le_bytes());
+        bytes.push(0xff); // separator: (hash, engine) pairs can't collide
+        bytes.extend_from_slice(engine.as_bytes());
+        CacheEpoch(content_hash128(&bytes))
+    }
+
+    /// Rebuild an epoch from its raw value (tests, tooling).
+    pub fn from_u128(raw: u128) -> CacheEpoch {
+        CacheEpoch(raw)
+    }
+}
+
+impl fmt::Display for CacheEpoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// The identity of one cached verdict: everything that determines what
+/// the checker would decide for a behavior class, minus the spec and
+/// engine (which live in the epoch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Pre-change behavior fingerprint.
+    pub pre: BehaviorHash,
+    /// Post-change behavior fingerprint.
+    pub post: BehaviorHash,
+    /// The granularity the program was compiled at (hashing granularity
+    /// is already baked into the fingerprints, but rendering and
+    /// routing read the compile granularity).
+    pub granularity: Granularity,
+    /// Index of the pspec route that selected the check (`None` = the
+    /// default check).
+    pub route: Option<usize>,
+    /// Fingerprint of the caller's verdict-shaping options (witness
+    /// limits, rendered path counts, ...). Runs with different options
+    /// produce differently-shaped payloads and must never share an
+    /// entry.
+    pub variant: u64,
+}
+
+impl CacheKey {
+    /// The stable string form used as the JSON object key. Granularity
+    /// renders through its canonical `Display` so the key format has
+    /// exactly one source of truth.
+    fn render(&self) -> String {
+        let route = match self.route {
+            Some(r) => r.to_string(),
+            None => "-".to_owned(),
+        };
+        format!(
+            "{}:{}:{}:{}:{:016x}",
+            self.pre, self.post, self.granularity, route, self.variant
+        )
+    }
+}
+
+/// Lookup/insert/persist counters, readable after a run (`--cache-stats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups answered from the store.
+    pub hits: usize,
+    /// Lookups that found nothing.
+    pub misses: usize,
+    /// Fresh verdicts recorded this run.
+    pub inserted: usize,
+}
+
+/// The persistent verdict store: an in-memory map hydrated from (and
+/// flushed back to) one epoch file. Payloads are opaque JSON values —
+/// the checker owns their shape, the store owns identity and durability.
+pub struct VerdictStore {
+    /// `None` for a memory-only store (tests, `--no-cache` probes).
+    path: Option<PathBuf>,
+    epoch: CacheEpoch,
+    entries: Mutex<HashMap<String, Value>>,
+    /// How many entries came from disk (for stats/reporting).
+    loaded: usize,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    inserted: AtomicUsize,
+}
+
+impl VerdictStore {
+    /// Open (or cold-start) the store for `epoch` under `dir`. The
+    /// directory is created if missing. Unreadable or malformed store
+    /// files yield an empty store — cold, not a crash.
+    pub fn open(dir: &Path, epoch: CacheEpoch) -> std::io::Result<VerdictStore> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("verdicts-{epoch}.json"));
+        let entries = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| parse_store(&text, epoch))
+            .unwrap_or_default();
+        Ok(VerdictStore {
+            path: Some(path),
+            epoch,
+            loaded: entries.len(),
+            entries: Mutex::new(entries),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            inserted: AtomicUsize::new(0),
+        })
+    }
+
+    /// A store that never touches disk (`persist` is a no-op).
+    pub fn in_memory(epoch: CacheEpoch) -> VerdictStore {
+        VerdictStore {
+            path: None,
+            epoch,
+            loaded: 0,
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            inserted: AtomicUsize::new(0),
+        }
+    }
+
+    /// The epoch this store serves.
+    pub fn epoch(&self) -> CacheEpoch {
+        self.epoch
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("store lock").len()
+    }
+
+    /// True when no verdicts are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of entries hydrated from disk at open time.
+    pub fn loaded(&self) -> usize {
+        self.loaded
+    }
+
+    /// Look up a verdict payload.
+    pub fn get(&self, key: &CacheKey) -> Option<Value> {
+        let found = self
+            .entries
+            .lock()
+            .expect("store lock")
+            .get(&key.render())
+            .cloned();
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Record a verdict payload (last write wins; callers only ever
+    /// write identical payloads for identical keys).
+    pub fn put(&self, key: &CacheKey, payload: Value) {
+        self.inserted.fetch_add(1, Ordering::Relaxed);
+        self.entries
+            .lock()
+            .expect("store lock")
+            .insert(key.render(), payload);
+    }
+
+    /// This run's lookup/insert counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserted: self.inserted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Flush the store to its epoch file (temp file + atomic rename).
+    /// No-op for in-memory stores.
+    pub fn persist(&self) -> std::io::Result<()> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let entries = self.entries.lock().expect("store lock");
+        let mut fields: Vec<(String, Value)> = entries
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        // deterministic file bytes: sorted keys, stable across HashMap
+        // iteration order and across runs
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        let doc = Value::obj(vec![
+            ("schema", Value::Str(SCHEMA.to_owned())),
+            ("epoch", Value::Str(self.epoch.to_string())),
+            ("entries", Value::Obj(fields)),
+        ]);
+        // compact, not pretty: the store is machine-read on every warm
+        // run, and entry payloads dominate the bytes either way
+        let json = serde_json::to_string(&doc)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        // unique temp name per process and call: concurrent persists to
+        // a shared cache dir must never interleave writes on one temp
+        // file (the rename itself is atomic; last writer wins whole)
+        static TMP_SEQ: AtomicUsize = AtomicUsize::new(0);
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, json + "\n")?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+/// Parse a store file's text; `None` on any malformation (wrong JSON,
+/// schema, or epoch) so the caller cold-starts.
+fn parse_store(text: &str, epoch: CacheEpoch) -> Option<HashMap<String, Value>> {
+    let value: Value = serde_json::from_str(text).ok()?;
+    if value.get("schema").and_then(Value::as_str) != Some(SCHEMA) {
+        return None;
+    }
+    if value.get("epoch").and_then(Value::as_str) != Some(epoch.to_string().as_str()) {
+        return None;
+    }
+    let fields = value.get("entries")?.as_obj()?;
+    Some(fields.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(pre: u128, post: u128, route: Option<usize>) -> CacheKey {
+        CacheKey {
+            pre: BehaviorHash::from_u128(pre),
+            post: BehaviorHash::from_u128(post),
+            granularity: Granularity::Group,
+            route,
+            variant: 0,
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rela-cache-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn roundtrips_across_open() {
+        let dir = tmpdir("roundtrip");
+        let epoch = CacheEpoch::derive(42, "engine/v1");
+        let store = VerdictStore::open(&dir, epoch).unwrap();
+        assert!(store.is_empty());
+        store.put(&key(1, 2, None), Value::Str("verdict".into()));
+        store.put(&key(1, 2, Some(3)), Value::Int(7));
+        store.persist().unwrap();
+
+        let reopened = VerdictStore::open(&dir, epoch).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.loaded(), 2);
+        assert_eq!(
+            reopened.get(&key(1, 2, None)),
+            Some(Value::Str("verdict".into()))
+        );
+        assert_eq!(reopened.get(&key(1, 2, Some(3))), Some(Value::Int(7)));
+        assert_eq!(reopened.get(&key(9, 9, None)), None);
+        let stats = reopened.stats();
+        assert_eq!((stats.hits, stats.misses, stats.inserted), (2, 1, 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn epoch_change_is_a_full_miss() {
+        let dir = tmpdir("epoch");
+        let e1 = CacheEpoch::derive(content_hash128(b"spec v1"), "engine/v1");
+        let store = VerdictStore::open(&dir, e1).unwrap();
+        store.put(&key(1, 2, None), Value::Bool(true));
+        store.persist().unwrap();
+
+        // a spec edit derives a different epoch → nothing is replayed
+        let e2 = CacheEpoch::derive(content_hash128(b"spec v2"), "engine/v1");
+        assert_ne!(e1, e2);
+        let cold = VerdictStore::open(&dir, e2).unwrap();
+        assert!(cold.is_empty());
+
+        // ...and so does an engine upgrade at the same spec
+        let e3 = CacheEpoch::derive(content_hash128(b"spec v1"), "engine/v2");
+        assert_ne!(e1, e3);
+        assert!(VerdictStore::open(&dir, e3).unwrap().is_empty());
+
+        // the original epoch still hits
+        let warm = VerdictStore::open(&dir, e1).unwrap();
+        assert_eq!(warm.get(&key(1, 2, None)), Some(Value::Bool(true)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_or_truncated_files_cold_start() {
+        let dir = tmpdir("corrupt");
+        let epoch = CacheEpoch::derive(7, "engine/v1");
+        let store = VerdictStore::open(&dir, epoch).unwrap();
+        store.put(&key(1, 2, None), Value::Bool(true));
+        store.persist().unwrap();
+        let path = dir.join(format!("verdicts-{epoch}.json"));
+
+        // truncate mid-document
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(VerdictStore::open(&dir, epoch).unwrap().is_empty());
+
+        // outright garbage
+        std::fs::write(&path, "not json at all {{{").unwrap();
+        assert!(VerdictStore::open(&dir, epoch).unwrap().is_empty());
+
+        // valid JSON, wrong schema tag
+        std::fs::write(&path, r#"{"schema":"other/v9","epoch":"0","entries":{}}"#).unwrap();
+        assert!(VerdictStore::open(&dir, epoch).unwrap().is_empty());
+
+        // valid JSON, wrong recorded epoch (e.g. a renamed file)
+        std::fs::write(
+            &path,
+            format!(
+                r#"{{"schema":"{SCHEMA}","epoch":"{:032x}","entries":{{"k":1}}}}"#,
+                99
+            ),
+        )
+        .unwrap();
+        assert!(VerdictStore::open(&dir, epoch).unwrap().is_empty());
+
+        // a cold-started store can still persist over the corpse
+        let recovered = VerdictStore::open(&dir, epoch).unwrap();
+        recovered.put(&key(3, 4, None), Value::Int(1));
+        recovered.persist().unwrap();
+        assert_eq!(VerdictStore::open(&dir, epoch).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn persisted_bytes_are_deterministic() {
+        let dir = tmpdir("determinism");
+        let epoch = CacheEpoch::derive(5, "e");
+        let a = VerdictStore::open(&dir, epoch).unwrap();
+        // insert in one order...
+        a.put(&key(1, 1, None), Value::Int(1));
+        a.put(&key(2, 2, None), Value::Int(2));
+        a.persist().unwrap();
+        let path = dir.join(format!("verdicts-{epoch}.json"));
+        let first = std::fs::read_to_string(&path).unwrap();
+        // ...reopen and re-persist after inserting in the other order
+        let b = VerdictStore::open(&dir, epoch).unwrap();
+        b.put(&key(2, 2, None), Value::Int(2));
+        b.put(&key(1, 1, None), Value::Int(1));
+        b.persist().unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), first);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn keys_disambiguate_route_granularity_and_variant() {
+        let epoch = CacheEpoch::derive(1, "e");
+        let store = VerdictStore::in_memory(epoch);
+        store.put(&key(1, 2, None), Value::Int(0));
+        store.put(&key(1, 2, Some(0)), Value::Int(1));
+        let mut iface = key(1, 2, None);
+        iface.granularity = Granularity::Interface;
+        store.put(&iface, Value::Int(2));
+        // same class, different verdict-shaping options → separate entry
+        let mut wide = key(1, 2, None);
+        wide.variant = 7;
+        store.put(&wide, Value::Int(3));
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.get(&key(1, 2, None)), Some(Value::Int(0)));
+        assert_eq!(store.get(&key(1, 2, Some(0))), Some(Value::Int(1)));
+        assert_eq!(store.get(&iface), Some(Value::Int(2)));
+        assert_eq!(store.get(&wide), Some(Value::Int(3)));
+        // in-memory stores never persist
+        assert!(store.persist().is_ok());
+    }
+}

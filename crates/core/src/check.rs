@@ -20,6 +20,7 @@
 //! cannot idle the other workers, and the interned [`SymbolTable`] is
 //! shared read-only across workers instead of being cloned per chunk.
 
+use crate::ast::Program;
 use crate::compile::{CompiledCheck, CompiledProgram, GuardedPart};
 use crate::counterexample::{diff_equation, EquationDiff, PathRenderer, WitnessLimits};
 use crate::lower::{lower_pathset_dfa, lower_rel, PairFsas};
@@ -27,14 +28,43 @@ use crate::report::{
     CheckReport, CheckStats, FecResult, PartViolation, PhaseTimings, ViolationDetail,
 };
 use crate::rir::RirSpec;
-use rela_automata::{determinize, enumerate_words, equivalent, image, Fst, Nfa, SymbolTable};
+use rela_automata::{determinize, enumerate_words, equivalent, image, Dfa, Fst, Nfa, SymbolTable};
+use rela_cache::{CacheEpoch, CacheKey, VerdictStore};
 use rela_net::{
-    behavior_hash, canonical_graph, graph_to_fsa_prepared, AlignedFec, BehaviorHash,
-    ForwardingGraph, Granularity, LocationDb, SnapshotPair, DROP_LOCATION,
+    behavior_hash, canonical_graph, content_hash128, graph_to_fsa_prepared, AlignedFec,
+    BehaviorHash, ForwardingGraph, Granularity, LocationDb, SnapshotPair, DROP_LOCATION,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// The engine identity folded into every cache epoch: the crate version
+/// plus a decision-engine revision. Bump the revision whenever the
+/// checker's verdicts, witness enumeration, or rendering could change
+/// without a crate version bump — a new engine must never replay an old
+/// engine's verdicts.
+pub const ENGINE_VERSION: &str = concat!("rela-core/", env!("CARGO_PKG_VERSION"), "/engine.1");
+
+/// The persistent-cache epoch for a parsed program bound to a location
+/// database: a content hash of the spec AST *and* the database it
+/// compiles against (comments and formatting don't churn the cache; any
+/// semantic edit to either invalidates it) crossed with
+/// [`ENGINE_VERSION`]. The database must participate: `where` queries
+/// resolve against it at compile time, and device/interface-level
+/// behavior hashes never read it — so a db edit with an unchanged spec
+/// would otherwise replay stale verdicts.
+pub fn cache_epoch(program: &Program, db: &LocationDb) -> CacheEpoch {
+    // the AST's Debug form and the db's JSON form are stable,
+    // address-free renderings
+    let ast = format!("{program:?}");
+    let db_json = serde_json::to_string(db).expect("location db serializes");
+    let mut bytes = Vec::with_capacity(ast.len() + db_json.len() + 1);
+    bytes.extend_from_slice(ast.as_bytes());
+    bytes.push(0xff); // separator: ast/db boundaries can't collide
+    bytes.extend_from_slice(db_json.as_bytes());
+    CacheEpoch::derive(content_hash128(&bytes), ENGINE_VERSION)
+}
 
 /// Checker tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -62,11 +92,53 @@ impl Default for CheckOptions {
     }
 }
 
-/// One behavior class: the pspec route shared by all members, and the
-/// member indices into `pair.fecs` (first member is the representative).
+/// One behavior class: the pspec route shared by all members, the
+/// member indices into `pair.fecs` (first member is the representative),
+/// and the `(pre, post)` fingerprints that identify the class across
+/// runs (`None` with dedup disabled, where hashing is skipped).
 struct BehaviorClass {
     route: Option<usize>,
     members: Vec<usize>,
+    key: Option<(BehaviorHash, BehaviorHash)>,
+}
+
+/// Memo key: `(side behavior hash, route, part index, is_post_side)`.
+type MemoKey = (u128, usize, usize, bool);
+
+/// In-run memo of determinized equation sides, keyed by [`MemoKey`].
+/// Many classes share one unchanged side (typically `pre` on a
+/// mostly-unchanged snapshot), so `det(image(State, R))` for that side
+/// is computed once and reused instead of re-running
+/// image → trim → determinize per class.
+struct FstMemo {
+    map: Mutex<HashMap<MemoKey, Arc<Dfa>>>,
+    hits: AtomicUsize,
+}
+
+impl FstMemo {
+    fn new() -> FstMemo {
+        FstMemo {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+        }
+    }
+
+    /// Fetch the memoized side, or compute and record it. Competing
+    /// workers may compute the same side concurrently; both produce
+    /// structurally identical DFAs (the hash contract), so
+    /// last-insert-wins is sound.
+    fn get_or_compute(&self, key: Option<MemoKey>, compute: impl FnOnce() -> Dfa) -> Arc<Dfa> {
+        let Some(key) = key else {
+            return Arc::new(compute());
+        };
+        if let Some(hit) = self.map.lock().expect("memo lock").get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        let dfa = Arc::new(compute());
+        self.map.lock().expect("memo lock").insert(key, dfa.clone());
+        dfa
+    }
 }
 
 /// A compiled check with its relations pre-lowered to transducers.
@@ -101,6 +173,7 @@ pub struct Checker<'a> {
     program: &'a CompiledProgram,
     db: &'a LocationDb,
     options: CheckOptions,
+    cache: Option<&'a VerdictStore>,
 }
 
 impl<'a> Checker<'a> {
@@ -110,12 +183,22 @@ impl<'a> Checker<'a> {
             program,
             db,
             options: CheckOptions::default(),
+            cache: None,
         }
     }
 
     /// Override the options.
     pub fn with_options(mut self, options: CheckOptions) -> Checker<'a> {
         self.options = options;
+        self
+    }
+
+    /// Attach a persistent verdict store (opened at [`cache_epoch`] of
+    /// the program's AST). Classes found in the store replay without
+    /// being decided; fresh decisions are written back. The caller owns
+    /// persistence — call [`VerdictStore::persist`] after checking.
+    pub fn with_cache(mut self, cache: &'a VerdictStore) -> Checker<'a> {
+        self.cache = Some(cache);
         self
     }
 
@@ -140,7 +223,6 @@ impl<'a> Checker<'a> {
             .map(|r| LoweredCheck::new(&r.check))
             .collect();
 
-        let classes = self.group_into_classes(pair);
         let threads = if self.options.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -148,25 +230,56 @@ impl<'a> Checker<'a> {
         } else {
             self.options.threads
         };
+        let classes = self.group_into_classes(pair, threads);
 
-        // Decide one representative per class. Workers pull the next
-        // undecided class from an atomic cursor (work stealing): a
+        // Consult the persistent store: a class whose verdict a previous
+        // run (same spec, same engine, same options) already decided
+        // replays warm.
+        let mut warm: Vec<(usize, FecResult)> = Vec::new();
+        let mut cold: Vec<usize> = Vec::with_capacity(classes.len());
+        for (ix, class) in classes.iter().enumerate() {
+            let cached = self
+                .cache
+                .zip(self.store_key(class))
+                .and_then(|(cache, key)| {
+                    cache.get(&key).and_then(|payload| {
+                        FecResult::from_cache_value(
+                            &payload,
+                            pair.fecs[class.members[0]].flow.clone(),
+                        )
+                    })
+                });
+            match cached {
+                Some(result) => warm.push((ix, result)),
+                None => cold.push(ix),
+            }
+        }
+        let warm_hits = warm.len();
+
+        // Decide one representative per cold class. Workers pull the
+        // next undecided class from an atomic cursor (work stealing): a
         // pathological class occupies one worker while the rest drain
         // the queue, instead of stalling a statically assigned chunk.
-        let mut decided: Vec<(usize, FecResult, Duration)> = Vec::with_capacity(classes.len());
+        let memo = FstMemo::new();
+        let mut decided: Vec<(usize, FecResult, Duration, PhaseTimings)> =
+            Vec::with_capacity(cold.len());
         let mut phases = PhaseTimings::default();
-        if threads <= 1 || classes.len() <= 1 {
-            for (ix, class) in classes.iter().enumerate() {
+        if threads <= 1 || cold.len() <= 1 {
+            for &ix in &cold {
+                let class = &classes[ix];
                 let t0 = Instant::now();
+                let before = phases;
                 let result = self.check_class(
                     &pair.fecs[class.members[0]],
                     class.route,
+                    class.key,
                     &default_lowered,
                     &routed_lowered,
                     &table,
+                    &memo,
                     &mut phases,
                 );
-                decided.push((ix, result, t0.elapsed()));
+                decided.push((ix, result, t0.elapsed(), phases.since(&before)));
             }
         } else {
             let cursor = AtomicUsize::new(0);
@@ -174,29 +287,35 @@ impl<'a> Checker<'a> {
                 let handles: Vec<_> = (0..threads)
                     .map(|_| {
                         let cursor = &cursor;
+                        let cold = &cold;
                         let classes = &classes;
                         let table = &table;
+                        let memo = &memo;
                         let default_ref = &default_lowered;
                         let routed_ref = &routed_lowered;
                         scope.spawn(move || {
                             let mut out = Vec::new();
                             let mut local_phases = PhaseTimings::default();
                             loop {
-                                let ix = cursor.fetch_add(1, Ordering::Relaxed);
-                                if ix >= classes.len() {
+                                let next = cursor.fetch_add(1, Ordering::Relaxed);
+                                if next >= cold.len() {
                                     break;
                                 }
+                                let ix = cold[next];
                                 let class = &classes[ix];
                                 let t0 = Instant::now();
+                                let before = local_phases;
                                 let result = self.check_class(
                                     &pair.fecs[class.members[0]],
                                     class.route,
+                                    class.key,
                                     default_ref,
                                     routed_ref,
                                     table,
+                                    memo,
                                     &mut local_phases,
                                 );
-                                out.push((ix, result, t0.elapsed()));
+                                out.push((ix, result, t0.elapsed(), local_phases.since(&before)));
                             }
                             (out, local_phases)
                         })
@@ -213,10 +332,27 @@ impl<'a> Checker<'a> {
             }
         }
 
+        // Write fresh decisions back to the store (in memory; the owner
+        // of the store persists to disk after the run).
+        if let Some(cache) = self.cache {
+            for (ix, result, wall, class_phases) in &decided {
+                if let Some(key) = self.store_key(&classes[*ix]) {
+                    cache.put(&key, result.to_cache_value(*wall, class_phases));
+                }
+            }
+        }
+
         // Broadcast each representative's verdict to every class member.
         let mut max_class_time = Duration::ZERO;
         let mut slots: Vec<Option<FecResult>> = vec![None; pair.fecs.len()];
-        for (class_ix, result, class_time) in decided {
+        let broadcast = decided
+            .into_iter()
+            .map(|(ix, result, wall, _)| (ix, result, wall))
+            .chain(
+                warm.into_iter()
+                    .map(|(ix, result)| (ix, result, Duration::ZERO)),
+            );
+        for (class_ix, result, class_time) in broadcast {
             max_class_time = max_class_time.max(class_time);
             for &member in &classes[class_ix].members {
                 let mut r = result.clone();
@@ -233,6 +369,8 @@ impl<'a> Checker<'a> {
             fecs: pair.fecs.len(),
             classes: classes.len(),
             dedup_hits: pair.fecs.len() - classes.len(),
+            warm_hits,
+            fst_memo_hits: memo.hits.load(Ordering::Relaxed),
             phases,
             max_class_time,
         };
@@ -242,7 +380,7 @@ impl<'a> Checker<'a> {
     /// Group the pair's FECs into behavior classes. With dedup disabled
     /// every FEC is its own class, so the same decide/broadcast engine
     /// serves both modes.
-    fn group_into_classes(&self, pair: &SnapshotPair) -> Vec<BehaviorClass> {
+    fn group_into_classes(&self, pair: &SnapshotPair, threads: usize) -> Vec<BehaviorClass> {
         if !self.options.dedup {
             return pair
                 .fecs
@@ -251,31 +389,15 @@ impl<'a> Checker<'a> {
                 .map(|(ix, fec)| BehaviorClass {
                     route: self.route_of(fec),
                     members: vec![ix],
+                    key: None,
                 })
                 .collect();
         }
+        let keys = self.fingerprint_fecs(pair, threads);
         let mut classes: Vec<BehaviorClass> = Vec::new();
         let mut index: HashMap<(BehaviorHash, BehaviorHash, usize), usize> = HashMap::new();
-        for (ix, fec) in pair.fecs.iter().enumerate() {
-            let route = self.route_of(fec);
-            let check = route
-                .map(|r| &self.program.routed[r].check)
-                .unwrap_or(&self.program.default_check);
-            // ECMP limit verdicts count link-level paths, so those FECs
-            // are hashed at interface fidelity regardless of the program
-            // granularity; everything else dedups at the granularity the
-            // program actually observes.
-            let level = if matches!(check, CompiledCheck::PathLimit { .. }) {
-                Granularity::Interface
-            } else {
-                self.program.granularity
-            };
-            let key = (
-                behavior_hash(&fec.pre, self.db, level),
-                behavior_hash(&fec.post, self.db, level),
-                route.unwrap_or(usize::MAX),
-            );
-            match index.entry(key) {
+        for (ix, (route, pre, post)) in keys.into_iter().enumerate() {
+            match index.entry((pre, post, route.unwrap_or(usize::MAX))) {
                 std::collections::hash_map::Entry::Occupied(e) => {
                     classes[*e.get()].members.push(ix);
                 }
@@ -284,11 +406,98 @@ impl<'a> Checker<'a> {
                     classes.push(BehaviorClass {
                         route,
                         members: vec![ix],
+                        key: Some((pre, post)),
                     });
                 }
             }
         }
         classes
+    }
+
+    /// The fingerprint of one FEC: its pspec route and its pre/post
+    /// behavior hashes at the granularity the routed check observes.
+    fn fingerprint_of(&self, fec: &AlignedFec) -> (Option<usize>, BehaviorHash, BehaviorHash) {
+        let route = self.route_of(fec);
+        let check = route
+            .map(|r| &self.program.routed[r].check)
+            .unwrap_or(&self.program.default_check);
+        // ECMP limit verdicts count link-level paths, so those FECs
+        // are hashed at interface fidelity regardless of the program
+        // granularity; everything else dedups at the granularity the
+        // program actually observes.
+        let level = if matches!(check, CompiledCheck::PathLimit { .. }) {
+            Granularity::Interface
+        } else {
+            self.program.granularity
+        };
+        (
+            route,
+            behavior_hash(&fec.pre, self.db, level),
+            behavior_hash(&fec.post, self.db, level),
+        )
+    }
+
+    /// The grouping fingerprint pass, sharded across workers. Hashing
+    /// costs ~µs/FEC, so at the paper's 10⁶-FEC scale a serial pass
+    /// becomes the bottleneck once deciding is deduped; contiguous
+    /// shards keep the output order (and therefore class numbering)
+    /// identical to the serial pass.
+    fn fingerprint_fecs(
+        &self,
+        pair: &SnapshotPair,
+        threads: usize,
+    ) -> Vec<(Option<usize>, BehaviorHash, BehaviorHash)> {
+        // don't spawn for workloads where thread startup dwarfs hashing
+        const MIN_FECS_PER_WORKER: usize = 256;
+        let n = pair.fecs.len();
+        let workers = threads.min(n.div_ceil(MIN_FECS_PER_WORKER)).max(1);
+        if workers <= 1 {
+            return pair
+                .fecs
+                .iter()
+                .map(|fec| self.fingerprint_of(fec))
+                .collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let shards = std::thread::scope(|scope| {
+            let handles: Vec<_> = pair
+                .fecs
+                .chunks(chunk)
+                .map(|shard| {
+                    scope.spawn(move || {
+                        shard
+                            .iter()
+                            .map(|f| self.fingerprint_of(f))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fingerprint worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        shards.into_iter().flatten().collect()
+    }
+
+    /// The persistent-store key for a class, folding in a fingerprint
+    /// of every option that shapes the cached payload — witness limits
+    /// and rendered path counts change what gets stored, so runs with
+    /// different options must never share an entry (`dedup`/`threads`
+    /// only affect scheduling and are excluded).
+    fn store_key(&self, class: &BehaviorClass) -> Option<CacheKey> {
+        let (pre, post) = class.key?;
+        let mut opts = [0u8; 24];
+        opts[..8].copy_from_slice(&(self.options.witness.max_paths as u64).to_le_bytes());
+        opts[8..16].copy_from_slice(&(self.options.witness.max_len as u64).to_le_bytes());
+        opts[16..].copy_from_slice(&(self.options.list_paths as u64).to_le_bytes());
+        Some(CacheKey {
+            pre,
+            post,
+            granularity: self.program.granularity,
+            route: class.route,
+            variant: content_hash128(&opts) as u64,
+        })
     }
 
     /// The first pspec whose predicate matches the flow, if any.
@@ -314,9 +523,11 @@ impl<'a> Checker<'a> {
         self.check_class(
             fec,
             self.route_of(fec),
+            None,
             &default_lowered,
             &routed_lowered,
             &table,
+            &FstMemo::new(),
             &mut PhaseTimings::default(),
         )
     }
@@ -354,13 +565,16 @@ impl<'a> Checker<'a> {
     /// would produce byte-identical output if checked individually
     /// (witness enumeration order depends on automaton layout, and the
     /// canonical form pins that layout).
+    #[allow(clippy::too_many_arguments)] // internal; mirrors the engine's data flow
     fn check_class(
         &self,
         fec: &AlignedFec,
         route: Option<usize>,
+        class_key: Option<(BehaviorHash, BehaviorHash)>,
         default_lowered: &LoweredCheck<'_>,
         routed_lowered: &[LoweredCheck<'_>],
         table: &SymbolTable,
+        memo: &FstMemo,
         phases: &mut PhaseTimings,
     ) -> FecResult {
         let (route_name, lowered) = match route {
@@ -381,9 +595,16 @@ impl<'a> Checker<'a> {
         let renderer = PathRenderer::new(table, &self.program.hash_undo);
 
         let violations = match lowered.check {
-            CompiledCheck::Relational { parts, .. } => {
-                self.check_relational(parts, &lowered.fsts, &env, &renderer, phases)
-            }
+            CompiledCheck::Relational { parts, .. } => self.check_relational(
+                parts,
+                &lowered.fsts,
+                &env,
+                &renderer,
+                class_key,
+                route.unwrap_or(usize::MAX),
+                memo,
+                phases,
+            ),
             CompiledCheck::Raw { name, spec } => {
                 let failures = self.check_raw(spec, &env, &renderer, phases);
                 if failures.is_empty() {
@@ -438,24 +659,49 @@ impl<'a> Checker<'a> {
         }
     }
 
+    /// Decide every guarded equation of a relational check. Each side's
+    /// `det(image(State, R))` is looked up in (or recorded into) the
+    /// per-side memo: a side is identified by its behavior hash plus
+    /// the (route, part) selecting the relation, so classes that share
+    /// an unchanged side skip its image and determinization entirely.
+    #[allow(clippy::too_many_arguments)] // internal; mirrors the engine's data flow
     fn check_relational(
         &self,
         parts: &[GuardedPart],
         fsts: &[(Fst, Fst)],
         env: &PairFsas,
         renderer: &PathRenderer<'_>,
+        class_key: Option<(BehaviorHash, BehaviorHash)>,
+        route_key: usize,
+        memo: &FstMemo,
         phases: &mut PhaseTimings,
     ) -> Vec<PartViolation> {
         let mut out = Vec::new();
-        for (part, (fst_pre, fst_post)) in parts.iter().zip(fsts) {
-            let t0 = Instant::now();
-            let lhs_nfa = image(&env.pre, fst_pre).trim();
-            let rhs_nfa = image(&env.post, fst_post).trim();
-            phases.lower += t0.elapsed();
-            let t0 = Instant::now();
-            let lhs = determinize(&lhs_nfa);
-            let rhs = determinize(&rhs_nfa);
-            phases.determinize += t0.elapsed();
+        for (part_ix, (part, (fst_pre, fst_post))) in parts.iter().zip(fsts).enumerate() {
+            let lhs = memo.get_or_compute(
+                class_key.map(|(pre, _)| (pre.as_u128(), route_key, part_ix, false)),
+                || {
+                    let t0 = Instant::now();
+                    let nfa = image(&env.pre, fst_pre).trim();
+                    phases.lower += t0.elapsed();
+                    let t0 = Instant::now();
+                    let dfa = determinize(&nfa);
+                    phases.determinize += t0.elapsed();
+                    dfa
+                },
+            );
+            let rhs = memo.get_or_compute(
+                class_key.map(|(_, post)| (post.as_u128(), route_key, part_ix, true)),
+                || {
+                    let t0 = Instant::now();
+                    let nfa = image(&env.post, fst_post).trim();
+                    phases.lower += t0.elapsed();
+                    let t0 = Instant::now();
+                    let dfa = determinize(&nfa);
+                    phases.determinize += t0.elapsed();
+                    dfa
+                },
+            );
             let t0 = Instant::now();
             let equal = equivalent(&lhs, &rhs).is_ok();
             phases.equivalent += t0.elapsed();
@@ -967,6 +1213,114 @@ mod tests {
         // the routed flow violates dealloc, the unrouted one complies
         assert_eq!(report.violations.len(), 1);
         assert_eq!(report.violations[0].route.as_deref(), Some("deallocP"));
+    }
+
+    #[test]
+    fn persistent_cache_replays_identical_reports() {
+        let db = db();
+        let pair = duplicated_pair(12);
+        let program = crate::parser::parse_program(NOCHANGE).unwrap();
+        let compiled = crate::compile::compile_program(&program, &db, Granularity::Device).unwrap();
+        let store = VerdictStore::in_memory(cache_epoch(&program, &db));
+
+        let cold = Checker::new(&compiled, &db).with_cache(&store).check(&pair);
+        assert_eq!(cold.stats.warm_hits, 0);
+        assert_eq!(store.stats().inserted, cold.stats.classes);
+
+        let warm = Checker::new(&compiled, &db).with_cache(&store).check(&pair);
+        assert_eq!(warm.stats.warm_hits, warm.stats.classes, "all classes warm");
+        assert_eq!(warm.total, cold.total);
+        assert_eq!(warm.compliant, cold.compliant);
+        assert_eq!(warm.part_counts, cold.part_counts);
+        assert_eq!(warm.violations, cold.violations);
+
+        // a cache-free run agrees with the replay
+        let plain = Checker::new(&compiled, &db).check(&pair);
+        assert_eq!(plain.violations, warm.violations);
+        assert!(warm.to_string().contains("warm from store"));
+    }
+
+    #[test]
+    fn option_changes_never_replay_mismatched_payloads() {
+        let db = db();
+        let pair = duplicated_pair(8);
+        let program = crate::parser::parse_program(NOCHANGE).unwrap();
+        let compiled = crate::compile::compile_program(&program, &db, Granularity::Device).unwrap();
+        let store = VerdictStore::in_memory(cache_epoch(&program, &db));
+        let cold = Checker::new(&compiled, &db).with_cache(&store).check(&pair);
+        assert_eq!(cold.stats.warm_hits, 0);
+
+        // same store, different rendered-path budget: the payload shape
+        // differs, so this must be a clean miss, not a wrong replay
+        let wide_options = CheckOptions {
+            list_paths: 9,
+            ..CheckOptions::default()
+        };
+        let wide = Checker::new(&compiled, &db)
+            .with_options(wide_options)
+            .with_cache(&store)
+            .check(&pair);
+        assert_eq!(wide.stats.warm_hits, 0, "options changed ⇒ full miss");
+        let plain_wide = Checker::new(&compiled, &db)
+            .with_options(wide_options)
+            .check(&pair);
+        assert_eq!(wide.violations, plain_wide.violations);
+
+        // default options still replay their own entries warm
+        let warm = Checker::new(&compiled, &db).with_cache(&store).check(&pair);
+        assert_eq!(warm.stats.warm_hits, warm.stats.classes);
+        assert_eq!(warm.violations, cold.violations);
+    }
+
+    #[test]
+    fn cache_epoch_tracks_semantics_not_formatting() {
+        let p1 = crate::parser::parse_program(NOCHANGE).unwrap();
+        // reformatting and comments leave the epoch unchanged...
+        let p2 = crate::parser::parse_program(
+            "spec nochange :=   { .* : preserve }\n\ncheck   nochange",
+        )
+        .unwrap();
+        let base_db = db();
+        assert_eq!(cache_epoch(&p1, &base_db), cache_epoch(&p2, &base_db));
+        // ...but a semantic edit moves it
+        let p3 = crate::parser::parse_program("spec nochange := { .* : add(.*) }\ncheck nochange")
+            .unwrap();
+        assert_ne!(cache_epoch(&p1, &base_db), cache_epoch(&p3, &base_db));
+        // ...and so does editing the location database under the spec:
+        // where-queries and granularity views resolve against it
+        let mut edited_db = db();
+        edited_db.add_device(rela_net::Device::new("Z9-r1", "Z9"));
+        assert_ne!(cache_epoch(&p1, &base_db), cache_epoch(&p1, &edited_db));
+    }
+
+    #[test]
+    fn fst_memo_reuses_shared_sides() {
+        // every FEC shares one pre behavior; the two post behaviors
+        // split the pair into two classes ⇒ the second class's pre side
+        // must come from the memo (serial so ordering is deterministic)
+        let pair = duplicated_pair(8);
+        let report = check_with(
+            CheckOptions {
+                threads: 1,
+                ..CheckOptions::default()
+            },
+            &pair,
+        );
+        assert_eq!(report.stats.classes, 2);
+        assert!(
+            report.stats.fst_memo_hits >= 1,
+            "shared pre side must hit the memo (got {})",
+            report.stats.fst_memo_hits
+        );
+        // memoized and memo-free (no-dedup) runs agree
+        let off = check_with(
+            CheckOptions {
+                dedup: false,
+                ..CheckOptions::default()
+            },
+            &pair,
+        );
+        assert_eq!(report.violations, off.violations);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod rir;
 pub mod semantics;
 
 pub use ast::{Def, Modifier, PathRegex, PredExpr, Program, RirExpr, RirSpecExpr, SpecExpr};
-pub use check::{run_check, CheckOptions, Checker};
+pub use check::{cache_epoch, run_check, CheckOptions, Checker, ENGINE_VERSION};
 pub use compile::{
     compile_program, CompileError, CompiledCheck, CompiledProgram, GuardedPart, RoutedCheck,
 };

@@ -3,6 +3,7 @@
 
 use crate::counterexample::EquationDiff;
 use rela_net::FlowSpec;
+use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
@@ -69,6 +70,68 @@ impl FecResult {
     pub fn is_compliant(&self) -> bool {
         self.violations.is_empty()
     }
+
+    /// Serialize everything except the flow (which is per-member, not
+    /// per-behavior-class) for the persistent verdict cache, together
+    /// with the wall/phase cost of the original decision.
+    pub fn to_cache_value(&self, wall: Duration, phases: &PhaseTimings) -> Value {
+        let violations: Vec<Value> = self
+            .violations
+            .iter()
+            .map(|v| {
+                let detail = match &v.detail {
+                    ViolationDetail::Equation(diff) => (
+                        "equation",
+                        Value::obj(vec![
+                            ("missing", diff.missing.to_value()),
+                            ("unexpected", diff.unexpected.to_value()),
+                        ]),
+                    ),
+                    ViolationDetail::Raw(msgs) => ("raw", msgs.to_value()),
+                };
+                Value::obj(vec![("part", v.part.to_value()), detail])
+            })
+            .collect();
+        Value::obj(vec![
+            ("check_name", self.check_name.to_value()),
+            ("route", self.route.to_value()),
+            ("pre_paths", self.pre_paths.to_value()),
+            ("post_paths", self.post_paths.to_value()),
+            ("violations", Value::Arr(violations)),
+            ("wall_s", wall.as_secs_f64().to_value()),
+            ("phases_s", phases.to_cache_value()),
+        ])
+    }
+
+    /// Rebuild a cached verdict for `flow`. `None` on any shape mismatch
+    /// (a malformed entry is a cache miss, never an error).
+    pub fn from_cache_value(value: &Value, flow: FlowSpec) -> Option<FecResult> {
+        let violations = value
+            .get("violations")?
+            .as_arr()?
+            .iter()
+            .map(|v| {
+                let part = v.get("part")?.as_str()?.to_owned();
+                let detail = if let Some(eq) = v.get("equation") {
+                    ViolationDetail::Equation(EquationDiff {
+                        missing: Vec::<String>::from_value(eq.get("missing")?).ok()?,
+                        unexpected: Vec::<String>::from_value(eq.get("unexpected")?).ok()?,
+                    })
+                } else {
+                    ViolationDetail::Raw(Vec::<String>::from_value(v.get("raw")?).ok()?)
+                };
+                Some(PartViolation { part, detail })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(FecResult {
+            flow,
+            check_name: value.get("check_name")?.as_str()?.to_owned(),
+            route: Option::<String>::from_value(value.get("route")?).ok()?,
+            pre_paths: Vec::<String>::from_value(value.get("pre_paths")?).ok()?,
+            post_paths: Vec::<String>::from_value(value.get("post_paths")?).ok()?,
+            violations,
+        })
+    }
 }
 
 /// CPU time spent in each phase of the decision pipeline, summed across
@@ -100,6 +163,27 @@ impl PhaseTimings {
     pub fn total(&self) -> Duration {
         self.lower + self.determinize + self.equivalent + self.witness
     }
+
+    /// Per-phase difference `self - earlier` (saturating): the cost of
+    /// the work done between two snapshots of an accumulator.
+    pub fn since(&self, earlier: &PhaseTimings) -> PhaseTimings {
+        PhaseTimings {
+            lower: self.lower.saturating_sub(earlier.lower),
+            determinize: self.determinize.saturating_sub(earlier.determinize),
+            equivalent: self.equivalent.saturating_sub(earlier.equivalent),
+            witness: self.witness.saturating_sub(earlier.witness),
+        }
+    }
+
+    /// Serialize for the persistent verdict cache (seconds per phase).
+    pub fn to_cache_value(&self) -> Value {
+        Value::obj(vec![
+            ("lower", self.lower.as_secs_f64().to_value()),
+            ("determinize", self.determinize.as_secs_f64().to_value()),
+            ("equivalent", self.equivalent.as_secs_f64().to_value()),
+            ("witness", self.witness.as_secs_f64().to_value()),
+        ])
+    }
 }
 
 /// How the dedup-and-memoize engine spent its work: behavior-class
@@ -113,6 +197,12 @@ pub struct CheckStats {
     /// FECs whose verdict was broadcast from a class representative
     /// (`fecs - classes`).
     pub dedup_hits: usize,
+    /// Behavior classes answered from the *persistent* cross-run store
+    /// without re-deciding (0 when no cache is attached).
+    pub warm_hits: usize,
+    /// Determinized equation sides reused from the in-run per-side FST
+    /// memo instead of being recomputed.
+    pub fst_memo_hits: usize,
     /// CPU time per pipeline phase, summed over classes.
     pub phases: PhaseTimings,
     /// Wall-clock of the slowest single behavior class — the quantity
@@ -205,13 +295,17 @@ impl fmt::Display for CheckReport {
             self.violations.len()
         )?;
         if self.stats.classes > 0 {
-            writeln!(
+            write!(
                 f,
-                "behavior classes: {} ({} cache hits, {:.1}% hit rate)",
+                "behavior classes: {} ({} cache hits, {:.1}% hit rate",
                 self.stats.classes,
                 self.stats.dedup_hits,
                 100.0 * self.stats.hit_rate(),
             )?;
+            if self.stats.warm_hits > 0 {
+                write!(f, ", {} warm from store", self.stats.warm_hits)?;
+            }
+            writeln!(f, ")")?;
         }
         if self.is_compliant() {
             return writeln!(f, "verdict: PASS");
@@ -329,6 +423,60 @@ mod tests {
         let report = CheckReport::new(vec![], Duration::from_millis(1));
         assert!(report.is_compliant());
         assert!(report.to_string().contains("verdict: PASS"));
+    }
+
+    #[test]
+    fn cache_value_roundtrips_verdicts() {
+        let mut original = result("10.1.0.0/24", &["e2e", "nochange"]);
+        original.route = Some("shiftP".into());
+        original.violations.push(PartViolation {
+            part: "side".into(),
+            detail: ViolationDetail::Raw(vec!["inclusion violated".into()]),
+        });
+        let phases = PhaseTimings {
+            lower: Duration::from_millis(2),
+            ..PhaseTimings::default()
+        };
+        let value = original.to_cache_value(Duration::from_millis(7), &phases);
+        // survive a JSON print/parse cycle, as the on-disk store does
+        let text = serde_json::to_string(&value).unwrap();
+        let reread: Value = serde_json::from_str(&text).unwrap();
+        let back = FecResult::from_cache_value(&reread, original.flow.clone()).unwrap();
+        assert_eq!(back, original);
+        // cost metadata rides along for forensics
+        assert!(reread.get("wall_s").and_then(Value::as_f64).unwrap() > 0.0);
+        assert!(
+            reread
+                .get("phases_s")
+                .and_then(|p| p.get("lower"))
+                .and_then(Value::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        // malformed entries are misses, not panics
+        assert!(FecResult::from_cache_value(&Value::Null, original.flow.clone()).is_none());
+        assert!(FecResult::from_cache_value(
+            &Value::obj(vec![("check_name", Value::Int(3))]),
+            original.flow
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn phase_timings_since_is_saturating() {
+        let a = PhaseTimings {
+            lower: Duration::from_millis(5),
+            determinize: Duration::from_millis(1),
+            ..PhaseTimings::default()
+        };
+        let b = PhaseTimings {
+            lower: Duration::from_millis(2),
+            determinize: Duration::from_millis(3),
+            ..PhaseTimings::default()
+        };
+        let d = a.since(&b);
+        assert_eq!(d.lower, Duration::from_millis(3));
+        assert_eq!(d.determinize, Duration::ZERO);
     }
 
     #[test]

@@ -511,6 +511,73 @@ mod dedup {
             }
         }
     }
+
+    proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The persistent verdict store must be invisible: cold-with-store,
+    /// disk-rehydrated warm replay, and store-free runs produce
+    /// byte-identical reports at every granularity.
+    #[test]
+    fn persistent_cache_never_changes_the_report(
+        bases in proptest::collection::vec(graph_strategy(), 1..4),
+        picks in proptest::collection::vec((0..4usize, 0..4usize), 1..13),
+    ) {
+        use rela_cache::VerdictStore;
+        use rela_core::cache_epoch;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+        let graphs: Vec<ForwardingGraph> = bases
+            .iter()
+            .map(|(walk, parallel, dropped)| build_graph(walk, *parallel, *dropped))
+            .collect();
+        let mut pre = Snapshot::new();
+        let mut post = Snapshot::new();
+        for (i, (p, q)) in picks.iter().enumerate() {
+            let flow = flow_of(i);
+            pre.insert(flow.clone(), graphs[p % graphs.len()].clone());
+            post.insert(flow, graphs[q % graphs.len()].clone());
+        }
+        let pair = SnapshotPair::align(&pre, &post);
+
+        let db = db();
+        let program = parse_program(SPEC).expect("spec parses");
+        let epoch = cache_epoch(&program, &db);
+        // all three granularities: the cache key binds the compile
+        // granularity, and the routed ECMP limit exercises
+        // interface-fidelity hashing inside every run
+        for granularity in [
+            Granularity::Device,
+            Granularity::Group,
+            Granularity::Interface,
+        ] {
+            let compiled = compile_program(&program, &db, granularity).expect("spec compiles");
+            let plain = Checker::new(&compiled, &db).check(&pair);
+
+            let dir = std::env::temp_dir().join(format!(
+                "rela-prop-cache-{}-{}",
+                std::process::id(),
+                DIR_SEQ.fetch_add(1, Ordering::Relaxed),
+            ));
+            let store = VerdictStore::open(&dir, epoch).expect("store opens");
+            let cold = Checker::new(&compiled, &db).with_cache(&store).check(&pair);
+            prop_assert_eq!(cold.stats.warm_hits, 0, "first run must be cold");
+            assert_reports_equal(&plain, &cold, "cold-with-store vs plain");
+            store.persist().expect("store persists");
+
+            // a separate "run": rehydrate from disk, everything replays
+            let reopened = VerdictStore::open(&dir, epoch).expect("store reopens");
+            prop_assert_eq!(reopened.loaded(), cold.stats.classes);
+            let warm = Checker::new(&compiled, &db)
+                .with_cache(&reopened)
+                .check(&pair);
+            prop_assert_eq!(warm.stats.warm_hits, warm.stats.classes, "all classes replay");
+            assert_reports_equal(&plain, &warm, "warm replay vs plain");
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+    }
 }
 
 // ---- parser robustness ---------------------------------------------------

@@ -47,12 +47,56 @@ impl BehaviorHash {
     pub fn as_u128(self) -> u128 {
         self.0
     }
+
+    /// Rebuild a hash from its raw value (the inverse of [`as_u128`];
+    /// used when keys round-trip through persistent stores).
+    ///
+    /// [`as_u128`]: BehaviorHash::as_u128
+    pub fn from_u128(raw: u128) -> BehaviorHash {
+        BehaviorHash(raw)
+    }
 }
 
 impl std::fmt::Display for BehaviorHash {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{:032x}", self.0)
     }
+}
+
+/// Error parsing a [`BehaviorHash`] from its 32-hex-digit rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseHashError;
+
+impl std::fmt::Display for ParseHashError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("behavior hashes are exactly 32 lowercase hex digits")
+    }
+}
+
+impl std::error::Error for ParseHashError {}
+
+impl std::str::FromStr for BehaviorHash {
+    type Err = ParseHashError;
+
+    /// Parse the `Display` rendering back: exactly 32 hex digits.
+    fn from_str(s: &str) -> Result<BehaviorHash, ParseHashError> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(ParseHashError);
+        }
+        u128::from_str_radix(s, 16)
+            .map(BehaviorHash)
+            .map_err(|_| ParseHashError)
+    }
+}
+
+/// Fingerprint arbitrary bytes with the same 128-bit FNV-1a construction
+/// behavior hashes use — the workspace's one content-hash primitive
+/// (spec epochs, cache file names) so stores stay comparable across
+/// processes and platforms.
+pub fn content_hash128(bytes: &[u8]) -> u128 {
+    let mut h = Fnv::new();
+    h.bytes(bytes);
+    h.0
 }
 
 /// 128-bit FNV-1a. Hand-rolled because the workspace builds without
@@ -380,6 +424,26 @@ mod tests {
             behavior_hash(&base, &db, Granularity::Device),
             behavior_hash(&dropped, &db, Granularity::Device)
         );
+    }
+
+    #[test]
+    fn hash_display_roundtrips_through_from_str() {
+        let db = db();
+        let h = behavior_hash(&linear_graph(&["a1", "b1"]), &db, Granularity::Device);
+        let parsed: BehaviorHash = h.to_string().parse().unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(BehaviorHash::from_u128(h.as_u128()), h);
+        assert!("xyz".parse::<BehaviorHash>().is_err());
+        assert!("00".parse::<BehaviorHash>().is_err());
+        // 33 digits is as invalid as 2
+        assert!(format!("{h}0").parse::<BehaviorHash>().is_err());
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_content_sensitive() {
+        assert_eq!(content_hash128(b"spec"), content_hash128(b"spec"));
+        assert_ne!(content_hash128(b"spec"), content_hash128(b"spec2"));
+        assert_ne!(content_hash128(b""), content_hash128(b"\x00"));
     }
 
     #[test]

@@ -20,7 +20,7 @@ mod location;
 mod prefix;
 mod snapshot;
 
-pub use behavior::{behavior_hash, canonical_graph, BehaviorHash};
+pub use behavior::{behavior_hash, canonical_graph, content_hash128, BehaviorHash, ParseHashError};
 pub use db::{AttrPred, LocationDb};
 pub use fec::FlowSpec;
 pub use fsa::{graph_to_fsa, graph_to_fsa_prepared};

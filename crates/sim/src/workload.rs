@@ -120,6 +120,21 @@ pub fn synthetic_wan(params: &WanParams) -> SyntheticWan {
         config.originate(&format!("outR{r}"), region_prefix(r));
     }
 
+    // a region's /16 only holds 256 /24s; widen the subnet length so
+    // high fecs-per-pair sweeps materialize every requested FEC instead
+    // of silently capping at 256. A /16 subdivides into at most 2^16
+    // /32s, so beyond that no subnet length can help — fail loudly
+    // rather than materialize an empty traffic matrix.
+    assert!(
+        params.fecs_per_pair <= 1 << 16,
+        "fecs_per_pair {} exceeds the 65536 hosts of a region /16",
+        params.fecs_per_pair
+    );
+    let mut sub_bits = 0u8;
+    while (1u32 << sub_bits) < params.fecs_per_pair {
+        sub_bits += 1;
+    }
+    let sub_len = 24u8.max(16 + sub_bits);
     let mut traffic = TrafficMatrix::new();
     for src in 0..params.regions {
         for dst in 0..params.regions {
@@ -128,7 +143,7 @@ pub fn synthetic_wan(params: &WanParams) -> SyntheticWan {
             }
             traffic.add_range(
                 region_prefix(dst),
-                24,
+                sub_len,
                 params.fecs_per_pair,
                 &format!("inR{src}"),
             );
@@ -152,6 +167,27 @@ pub fn synthetic_wan(params: &WanParams) -> SyntheticWan {
         traffic,
         representative_change,
     }
+}
+
+/// The §8.1 operational loop, as data: `k` near-identical iterations of
+/// one change against the same base configuration. Iteration 0 is the
+/// representative ACL insertion; each later iteration extends the deny
+/// list by one more /24 of region-1 traffic — so consecutive post-change
+/// snapshots differ in only a handful of FECs, exactly the workload an
+/// incremental re-checker should answer mostly warm.
+pub fn iteration_changes(params: &WanParams, k: usize) -> Vec<Vec<ConfigChange>> {
+    let region = 1 % params.regions;
+    let span = (params.fecs_per_pair as usize).max(1);
+    (0..k)
+        .map(|i| {
+            vec![ConfigChange::AddAclDeny {
+                devices: DeviceSelector::Group(group_name(region, 'O')),
+                prefixes: (0..=i.min(span - 1))
+                    .map(|j| Ipv4Prefix::from_octets(10, region as u8, j as u8, 0, 24))
+                    .collect(),
+            }]
+        })
+        .collect()
 }
 
 /// Devices of a group while still building (names are deterministic).
@@ -318,6 +354,55 @@ mod tests {
             .count();
         assert!(diffs > 0, "the representative change must be visible");
         assert!(diffs < pre.len(), "and must not touch everything");
+    }
+
+    #[test]
+    fn high_fec_sweeps_materialize_every_fec() {
+        let params = WanParams {
+            regions: 2,
+            routers_per_group: 1,
+            parallel_links: 1,
+            fecs_per_pair: 1024,
+        };
+        let wan = synthetic_wan(&params);
+        // 2 ordered region pairs × 1024 distinct /26s (not capped at 256)
+        assert_eq!(wan.traffic.len(), 2 * 1024);
+    }
+
+    #[test]
+    fn iterations_mutate_forwarding_gradually() {
+        let params = WanParams {
+            regions: 4,
+            routers_per_group: 2,
+            parallel_links: 2,
+            fecs_per_pair: 4,
+        };
+        let wan = synthetic_wan(&params);
+        let iters = iteration_changes(&params, 4);
+        assert_eq!(iters.len(), 4);
+        let snap = |changes: &[crate::change::ConfigChange]| {
+            let cfg = crate::change::configured(&wan.config, &wan.topology, changes);
+            simulate(&wan.topology, &cfg, &wan.traffic).0
+        };
+        let (base, _) = simulate(&wan.topology, &wan.config, &wan.traffic);
+        let mut previous = snap(&iters[0]);
+        // iteration 0 visibly changes the base network
+        assert!(base.iter().any(|(f, g)| previous.get(f) != Some(g)));
+        for it in &iters[1..] {
+            let current = snap(it);
+            let moved = previous
+                .iter()
+                .filter(|(f, g)| current.get(f) != Some(*g))
+                .count();
+            // near-identical: something moved, but most FECs held still
+            assert!(moved > 0, "an iteration must be a real mutation");
+            assert!(
+                moved * 4 < previous.len(),
+                "iterations must stay near-identical ({moved}/{} moved)",
+                previous.len()
+            );
+            previous = current;
+        }
     }
 
     #[test]

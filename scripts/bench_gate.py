@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Bench regression gate for the checker perf trajectory.
+
+Compares a freshly produced BENCH_check.json against the committed
+trajectory point and fails (exit 1) when:
+
+  - any fresh scenario reports ``verdicts_match: false`` — the dedup
+    engine or the persistent cache changed a verdict, which is a
+    soundness bug regardless of timing; or
+  - a scenario shared by name with the baseline regressed its
+    ``speedup`` by more than ``ALLOWED_REGRESSION`` (30%).
+
+Speedup comparisons are *relative* (dedup-vs-no-dedup, warm-vs-cold on
+the same host), so they are meaningful across machines in a way raw
+wall-clock is not. When either file carries the ``"smoke": true``
+marker (a `perf -- --smoke` run skips the expensive baselines), all
+speedup comparisons are skipped and only the soundness check runs.
+
+usage: bench_gate.py FRESH_JSON BASELINE_JSON
+"""
+
+import json
+import sys
+
+ALLOWED_REGRESSION = 0.30
+
+
+def fail(messages):
+    for m in messages:
+        print(f"FAIL: {m}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    fresh_path, base_path = sys.argv[1], sys.argv[2]
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    with open(base_path) as f:
+        base = json.load(f)
+    for doc, path in ((fresh, fresh_path), (base, base_path)):
+        if doc.get("schema") != "rela-perf/v1":
+            fail([f"{path}: unexpected schema {doc.get('schema')!r}"])
+
+    failures = []
+
+    # soundness: never tolerated, smoke or not (smoke runs emit null —
+    # "skipped" — which is fine; an explicit false is not)
+    for s in fresh["scenarios"]:
+        if s.get("verdicts_match") is False:
+            failures.append(f"{s['name']}: verdicts diverged")
+
+    smoke = bool(fresh.get("smoke")) or bool(base.get("smoke"))
+    if smoke:
+        print("smoke marker present: skipping speedup comparisons")
+    else:
+        base_by_name = {s["name"]: s for s in base["scenarios"]}
+        shared = 0
+        for s in fresh["scenarios"]:
+            b = base_by_name.get(s["name"])
+            if b is None or s.get("speedup") is None or b.get("speedup") is None:
+                continue
+            shared += 1
+            floor = b["speedup"] * (1.0 - ALLOWED_REGRESSION)
+            if s["speedup"] < floor:
+                failures.append(
+                    f"{s['name']}: speedup {s['speedup']:.1f}x fell below "
+                    f"{floor:.1f}x (baseline {b['speedup']:.1f}x - 30%)"
+                )
+            else:
+                print(
+                    f"ok {s['name']}: speedup {s['speedup']:.1f}x "
+                    f">= floor {floor:.1f}x"
+                )
+        print(f"compared {shared} shared scenario(s) against {base_path}")
+
+    if failures:
+        fail(failures)
+    print("bench gate: pass")
+
+
+if __name__ == "__main__":
+    main()

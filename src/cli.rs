@@ -39,6 +39,15 @@ pub enum Command {
         threads: usize,
         /// Behavior-class dedup (on unless `--no-dedup`).
         dedup: bool,
+        /// Persistent verdict-cache directory (`--cache-dir`); `None`
+        /// checks from scratch.
+        cache_dir: Option<PathBuf>,
+        /// `--no-cache`: ignore `--cache-dir` for this run (useful when
+        /// a wrapper script always passes the directory).
+        no_cache: bool,
+        /// `--cache-stats`: print warm-hit/store counters after the
+        /// report.
+        cache_stats: bool,
     },
     /// Print the §2.3 path diff (the manual-inspection baseline).
     Diff {
@@ -91,6 +100,7 @@ rela — relational network verification (SIGCOMM 2024 reproduction)
 USAGE:
   rela check --spec FILE --db FILE --pre FILE --post FILE
              [--granularity group|device|interface] [--threads N] [--no-dedup]
+             [--cache-dir DIR] [--no-cache] [--cache-stats]
   rela diff  --db FILE --pre FILE --post FILE
              [--granularity group|device|interface]
   rela demo  [--out DIR]
@@ -99,6 +109,11 @@ USAGE:
 check validates the change: exit 0 = compliant, 1 = violations found.
 --no-dedup disables behavior-class dedup (decide every FEC from
 scratch instead of once per distinct pre/post behavior).
+--cache-dir persists decided verdicts across runs keyed by behavior
+hashes under an epoch of the spec + engine version, so re-validating
+iteration N+1 of a change only re-decides classes whose behavior moved.
+--no-cache skips the cache for one run; --cache-stats prints warm-hit
+and store counters after the report.
 diff prints the manual path-diff baseline (every changed traffic class).
 demo writes the paper's Figure 1 case study (db, snapshots, spec) so you
 can try: rela demo --out /tmp/fig1 && rela check --spec /tmp/fig1/change.rela \\
@@ -111,7 +126,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         return Ok(Command::Help);
     };
     // flags that take no value
-    const SWITCHES: [&str; 1] = ["--no-dedup"];
+    const SWITCHES: [&str; 3] = ["--no-dedup", "--no-cache", "--cache-stats"];
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         if !flag.starts_with("--") {
@@ -154,6 +169,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(0),
             dedup: !flags.contains_key("no-dedup"),
+            cache_dir: flags.get("cache-dir").map(PathBuf::from),
+            no_cache: flags.contains_key("no-cache"),
+            cache_stats: flags.contains_key("cache-stats"),
         }),
         "diff" => Ok(Command::Diff {
             db: need("db")?,
@@ -206,6 +224,9 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<i32, CliError>
             granularity,
             threads,
             dedup,
+            cache_dir,
+            no_cache,
+            cache_stats,
         } => {
             let source = read(spec)?;
             let db = load_db(db)?;
@@ -219,10 +240,65 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<i32, CliError>
                 dedup: *dedup,
                 ..rela_core::CheckOptions::default()
             };
-            let report = rela_core::Checker::new(&compiled, &db)
-                .with_options(options)
-                .check(&pair);
+            // an unopenable store degrades to a cold (cache-free) run —
+            // the cache is an accelerator, never a dependency, so an IO
+            // problem must not block or re-label a valid validation
+            let mut cache_warning = None;
+            let store = match (cache_dir, no_cache) {
+                (Some(dir), false) => {
+                    match rela_cache::VerdictStore::open(dir, rela_core::cache_epoch(&program, &db))
+                    {
+                        Ok(store) => Some(store),
+                        Err(e) => {
+                            cache_warning =
+                                Some(format!("warning: cache disabled: {}: {e}\n", dir.display()));
+                            None
+                        }
+                    }
+                }
+                _ => None,
+            };
+            if let Some(warning) = cache_warning {
+                emit(out, warning)?;
+            }
+            let mut checker = rela_core::Checker::new(&compiled, &db).with_options(options);
+            if let Some(store) = &store {
+                checker = checker.with_cache(store);
+            }
+            let report = checker.check(&pair);
             emit(out, report.to_string())?;
+            if let Some(store) = &store {
+                // a failed flush degrades the next run to cold — warn,
+                // don't fail a completed validation over it
+                if let Err(e) = store.persist() {
+                    emit(out, format!("warning: could not persist cache: {e}\n"))?;
+                }
+            }
+            if *cache_stats {
+                let stats = report.stats;
+                match &store {
+                    Some(store) => {
+                        let s = store.stats();
+                        emit(
+                            out,
+                            format!(
+                                "cache: {} warm hits / {} classes, {} loaded, {} recorded, \
+                                 {} fst memo hits, epoch {}\n",
+                                stats.warm_hits,
+                                stats.classes,
+                                store.loaded(),
+                                s.inserted,
+                                stats.fst_memo_hits,
+                                store.epoch(),
+                            ),
+                        )?;
+                    }
+                    None => emit(
+                        out,
+                        format!("cache: disabled, {} fst memo hits\n", stats.fst_memo_hits),
+                    )?,
+                }
+            }
             Ok(if report.is_compliant() { 0 } else { 1 })
         }
         Command::Diff {
@@ -339,11 +415,50 @@ mod tests {
                 granularity,
                 threads,
                 dedup,
+                cache_dir,
+                no_cache,
+                cache_stats,
                 ..
             } => {
                 assert_eq!(granularity, Granularity::Device);
                 assert_eq!(threads, 4);
                 assert!(dedup, "dedup defaults to on");
+                assert_eq!(cache_dir, None, "cache is opt-in");
+                assert!(!no_cache);
+                assert!(!cache_stats);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_cache_flags() {
+        let cmd = parse_args(&args(&[
+            "check",
+            "--spec",
+            "s.rela",
+            "--db",
+            "db.json",
+            "--pre",
+            "a.json",
+            "--post",
+            "b.json",
+            "--cache-dir",
+            ".rela-cache",
+            "--no-cache",
+            "--cache-stats",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Check {
+                cache_dir,
+                no_cache,
+                cache_stats,
+                ..
+            } => {
+                assert_eq!(cache_dir, Some(PathBuf::from(".rela-cache")));
+                assert!(no_cache);
+                assert!(cache_stats);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -418,6 +533,9 @@ mod tests {
                 granularity: Granularity::Group,
                 threads: 1,
                 dedup: true,
+                cache_dir: None,
+                no_cache: false,
+                cache_stats: false,
             };
             let mut sink = Vec::new();
             let code = run(&cmd, &mut sink).unwrap();
@@ -442,6 +560,109 @@ mod tests {
         assert_eq!(code, 1);
         let text = String::from_utf8(sink).unwrap();
         assert!(text.contains("56 traffic classes"), "{text}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The CI `cache-warm` contract, in-process: same snapshot pair
+    /// twice with `--cache-dir` ⇒ the second run reports warm hits and
+    /// byte-identical verdicts.
+    #[test]
+    fn cache_dir_makes_second_run_warm_and_identical() {
+        let dir = std::env::temp_dir().join(format!("rela-cachecli-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut sink = Vec::new();
+        run(&Command::Demo { out: dir.clone() }, &mut sink).unwrap();
+
+        let check = || {
+            let cmd = Command::Check {
+                spec: dir.join("change.rela"),
+                db: dir.join("db.json"),
+                pre: dir.join("pre.json"),
+                post: dir.join("post_v2.json"),
+                granularity: Granularity::Group,
+                threads: 1,
+                dedup: true,
+                cache_dir: Some(dir.join("cache")),
+                no_cache: false,
+                cache_stats: true,
+            };
+            let mut sink = Vec::new();
+            let code = run(&cmd, &mut sink).unwrap();
+            (code, String::from_utf8(sink).unwrap())
+        };
+        let (code1, cold) = check();
+        let (code2, warm) = check();
+        assert_eq!(code1, 1, "{cold}");
+        assert_eq!(code2, 1, "{warm}");
+        assert!(cold.contains("cache: 0 warm hits"), "{cold}");
+
+        // second run: every class replays from the store
+        let warm_line = warm.lines().find(|l| l.starts_with("cache:")).unwrap();
+        let warm_hits: usize = warm_line
+            .split(" warm hits")
+            .next()
+            .unwrap()
+            .trim_start_matches("cache: ")
+            .parse()
+            .unwrap();
+        assert!(warm_hits > 0, "{warm}");
+
+        // verdicts and counterexamples are byte-identical (timing and
+        // cache-counter lines excluded)
+        let verdicts = |text: &str| {
+            text.lines()
+                .filter(|l| {
+                    !l.starts_with("checked ")
+                        && !l.starts_with("behavior classes:")
+                        && !l.starts_with("cache:")
+                        && !l.starts_with("warning:")
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(verdicts(&cold), verdicts(&warm));
+
+        // an unopenable cache dir degrades to a cold run with a warning
+        // (never a usage error: the inputs are all valid)
+        let cmd = Command::Check {
+            spec: dir.join("change.rela"),
+            db: dir.join("db.json"),
+            pre: dir.join("pre.json"),
+            post: dir.join("post_v2.json"),
+            granularity: Granularity::Group,
+            threads: 1,
+            dedup: true,
+            cache_dir: Some(PathBuf::from("/dev/null/not-a-directory")),
+            no_cache: false,
+            cache_stats: false,
+        };
+        let mut sink = Vec::new();
+        let code = run(&cmd, &mut sink).unwrap();
+        let text = String::from_utf8(sink).unwrap();
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("warning: cache disabled"), "{text}");
+        assert_eq!(verdicts(&cold), verdicts(&text));
+
+        // --no-cache leaves the store untouched and still agrees
+        let cmd = Command::Check {
+            spec: dir.join("change.rela"),
+            db: dir.join("db.json"),
+            pre: dir.join("pre.json"),
+            post: dir.join("post_v2.json"),
+            granularity: Granularity::Group,
+            threads: 1,
+            dedup: true,
+            cache_dir: Some(dir.join("cache")),
+            no_cache: true,
+            cache_stats: true,
+        };
+        let mut sink = Vec::new();
+        let code = run(&cmd, &mut sink).unwrap();
+        let text = String::from_utf8(sink).unwrap();
+        assert_eq!(code, 1);
+        assert!(text.contains("cache: disabled"), "{text}");
+        assert_eq!(verdicts(&cold), verdicts(&text));
 
         std::fs::remove_dir_all(&dir).ok();
     }

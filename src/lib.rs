@@ -15,6 +15,8 @@
 //! - [`sim`] — control-plane simulator, change scenarios, workloads
 //! - [`lang`] — the Rela language, compiler, and checker (the paper's
 //!   contribution)
+//! - [`cache`] — the persistent cross-run verdict store behind
+//!   incremental re-checking (`rela check --cache-dir`)
 //! - [`baseline`] — single-snapshot verification and path-diff baselines
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
@@ -24,6 +26,7 @@
 
 pub use rela_automata as automata;
 pub use rela_baseline as baseline;
+pub use rela_cache as cache;
 pub use rela_core as lang;
 pub use rela_net as net;
 pub use rela_sim as sim;

@@ -365,12 +365,18 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // consume one UTF-8 char (input is a &str, so this is safe)
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // bulk-copy the maximal run up to the next quote or
+                    // escape: the input arrived as a &str and `"`/`\` are
+                    // ASCII, so the run lies on char boundaries and one
+                    // UTF-8 validation covers it (validating the whole
+                    // remaining input per character is quadratic)
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\') {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.error("invalid utf-8"))?;
-                    let c = rest.chars().next().expect("peeked");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }

@@ -3,7 +3,7 @@
 //! machine-readable `BENCH_check.json` so the perf trajectory of the
 //! checker is observable (and gated) across PRs.
 //!
-//! Two scenario kinds:
+//! Three scenario kinds:
 //!
 //! - **dedup** — the fig6/fig7 testbeds at several WAN scales, with
 //!   dedup on *and* off at equal thread count, asserting identical
@@ -14,6 +14,13 @@
 //!   iterations of one change replayed against a persistent verdict
 //!   cache ([`rela_cache::VerdictStore`]), measuring cold→warm speedup
 //!   with cache-free runs cross-checking every replayed verdict.
+//! - **ingest** — the cold path from snapshot files on disk to a
+//!   verdict, streamed (`SnapshotReader` → `align_streaming` →
+//!   `check_stream`) vs. materialized (`from_json` → `align` → `check`)
+//!   at 12k and 100k+ FECs. Each path runs in a fresh child process so
+//!   peak RSS (`VmHWM`) isolates its true footprint; report identity is
+//!   asserted via a verdict fingerprint, and the scenario's `speedup`
+//!   records the peak-RSS reduction (materialized ÷ streamed).
 //!
 //! Run: `cargo run --release -p rela-bench --bin perf [-- --smoke]
 //!       [--out FILE] [--threads N]`
@@ -59,10 +66,14 @@ use rela_core::{
     cache_epoch, compile_program, parse_program, CheckOptions, CheckReport, Checker,
     CompiledProgram,
 };
-use rela_net::{Granularity, SnapshotPair};
+use rela_net::{
+    content_hash128, Granularity, Snapshot, SnapshotPair, SnapshotReader, SnapshotWriter,
+};
 use rela_sim::workload::{iteration_changes, spec_of_size, synthetic_wan, WanParams};
-use rela_sim::{configured, simulate};
+use rela_sim::{configured, simulate, simulate_each};
 use serde::{Serialize, Value};
+use std::io::BufWriter;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 struct Scenario {
@@ -434,6 +445,277 @@ fn run_iterative(threads: usize, smoke: bool) -> Value {
     Value::Obj(fields)
 }
 
+// ---- cold-ingest: streamed vs. materialized snapshot loading ----------
+
+/// Peak resident set of this process (`VmHWM`), in KiB. Linux-only;
+/// `None` elsewhere (the scenario then records null RSS fields).
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// A fingerprint of everything verdict-relevant in a report (its
+/// rendering minus the timing lines): lets two ingest-worker processes
+/// prove they produced byte-identical reports without shipping them.
+fn report_fingerprint(report: &CheckReport) -> String {
+    let normalized = report
+        .to_string()
+        .lines()
+        .filter(|l| !l.starts_with("checked ") && !l.starts_with("behavior classes:"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    format!("{:032x}", content_hash128(normalized.as_bytes()))
+}
+
+/// Child-process entry point (`perf --ingest-worker MODE PRE POST
+/// REGIONS RPG LINKS FPP ATOMICS THREADS`): run one cold ingest+check in
+/// a fresh address space — so `VmHWM` measures exactly this load path,
+/// unpolluted by the allocator retention of whatever ran before — and
+/// print a one-line JSON result.
+fn ingest_worker(args: &[String]) -> ! {
+    let mode = args[0].as_str();
+    let (pre_path, post_path) = (&args[1], &args[2]);
+    let params = WanParams {
+        regions: args[3].parse().expect("regions"),
+        routers_per_group: args[4].parse().expect("routers_per_group"),
+        parallel_links: args[5].parse().expect("parallel_links"),
+        fecs_per_pair: args[6].parse().expect("fecs_per_pair"),
+    };
+    let spec_atomics: usize = args[7].parse().expect("spec_atomics");
+    let threads: usize = args[8].parse().expect("threads");
+
+    // rebuild the deterministic WAN for its location db + spec
+    let wan = synthetic_wan(&params);
+    let program = parse_program(&spec_of_size(spec_atomics, params.regions)).expect("spec parses");
+    let compiled =
+        compile_program(&program, &wan.topology.db, Granularity::Group).expect("spec compiles");
+    let checker = Checker::new(&compiled, &wan.topology.db).with_options(CheckOptions {
+        threads,
+        ..CheckOptions::default()
+    });
+
+    let t0 = Instant::now();
+    let report = match mode {
+        "materialized" => {
+            let load = |path: &str| -> Snapshot {
+                let text = std::fs::read_to_string(path).expect("snapshot file");
+                Snapshot::from_json(&text).expect("snapshot parses")
+            };
+            let pair = SnapshotPair::align(&load(pre_path), &load(post_path));
+            checker.check(&pair)
+        }
+        "stream" => {
+            let open = |path: &str| {
+                SnapshotReader::new(std::fs::File::open(path).expect("snapshot file"))
+                    .with_label(path)
+            };
+            checker
+                .check_stream(SnapshotPair::align_streaming(
+                    open(pre_path),
+                    open(post_path),
+                ))
+                .expect("snapshot streams")
+        }
+        other => panic!("unknown ingest mode `{other}`"),
+    };
+    let wall = t0.elapsed();
+
+    let stats = report.stats;
+    let doc = Value::obj(vec![
+        ("wall_s", wall.as_secs_f64().to_value()),
+        (
+            "peak_rss_kb",
+            match peak_rss_kb() {
+                Some(kb) => kb.to_value(),
+                None => Value::Null,
+            },
+        ),
+        ("fecs", stats.fecs.to_value()),
+        ("classes", stats.classes.to_value()),
+        ("cache_hits", stats.dedup_hits.to_value()),
+        ("cache_hit_rate", stats.hit_rate().to_value()),
+        ("violations", report.violations.len().to_value()),
+        ("report_hash", report_fingerprint(&report).to_value()),
+    ]);
+    println!("{}", serde_json::to_string(&doc).expect("serializes"));
+    std::process::exit(0)
+}
+
+/// Write one snapshot file record-by-record (never holding the
+/// snapshot), returning its byte size.
+fn write_snapshot_file(
+    path: &Path,
+    topo: &rela_sim::Topology,
+    cfg: &rela_sim::NetworkConfig,
+    traffic: &rela_sim::TrafficMatrix,
+) -> u64 {
+    let file = std::fs::File::create(path).expect("snapshot file");
+    let mut writer = SnapshotWriter::new(BufWriter::new(file)).expect("snapshot header");
+    let unconverged = simulate_each(topo, cfg, traffic, |flow, graph| {
+        writer.write(&flow, &graph).expect("snapshot record");
+    });
+    assert!(unconverged.is_empty(), "ingest WAN must converge");
+    writer.finish().expect("snapshot trailer");
+    std::fs::metadata(path).expect("written file").len()
+}
+
+/// Spawn this binary as an ingest worker and parse its JSON result.
+fn ingest_child(mode: &str, pre: &Path, post: &Path, params: &WanParams, threads: usize) -> Value {
+    let exe = std::env::current_exe().expect("own binary path");
+    let out = std::process::Command::new(exe)
+        .arg("--ingest-worker")
+        .arg(mode)
+        .arg(pre)
+        .arg(post)
+        .args(
+            [
+                params.regions,
+                params.routers_per_group,
+                params.parallel_links,
+                params.fecs_per_pair as usize,
+                INGEST_SPEC_ATOMICS,
+                threads,
+            ]
+            .map(|n| n.to_string()),
+        )
+        .output()
+        .expect("spawn ingest worker");
+    assert!(
+        out.status.success(),
+        "ingest worker ({mode}) failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("worker output is utf-8");
+    let line = stdout.lines().last().expect("worker printed a result");
+    serde_json::from_str(line).expect("worker result parses")
+}
+
+/// The cold-ingest spec size (3·1 + 1 atomics, same family as fig6).
+const INGEST_SPEC_ATOMICS: usize = 4;
+
+/// The **ingest** scenario kind: how fast — and in how much memory — a
+/// cold validation gets from snapshot files on disk to a verdict, with
+/// the streamed path (`SnapshotReader` → `align_streaming` →
+/// `check_stream`) measured against the materialized one
+/// (`from_json` → `align` → `check`). Each path runs in a fresh child
+/// process so `VmHWM` isolates its true peak; both must produce a
+/// byte-identical report (asserted via a verdict fingerprint). The
+/// scenario's `speedup` field records the peak-RSS reduction
+/// (materialized ÷ streamed).
+fn run_ingest(name: &str, params: &WanParams, threads: usize) -> Value {
+    eprintln!(
+        "[{name}] generating snapshot files ({} regions, {} FECs/pair)...",
+        params.regions, params.fecs_per_pair,
+    );
+    let wan = synthetic_wan(params);
+    let dir = std::env::temp_dir().join(format!("rela-perf-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let pre_path = dir.join("pre.json");
+    let post_path = dir.join("post.json");
+    let t0 = Instant::now();
+    let pre_bytes = write_snapshot_file(&pre_path, &wan.topology, &wan.config, &wan.traffic);
+    let post_cfg = configured(&wan.config, &wan.topology, &wan.representative_change);
+    let post_bytes = write_snapshot_file(&post_path, &wan.topology, &post_cfg, &wan.traffic);
+    let gen = t0.elapsed();
+    eprintln!(
+        "[{name}] wrote {:.1} MiB in {} (streamed, record-by-record)",
+        (pre_bytes + post_bytes) as f64 / (1024.0 * 1024.0),
+        secs(gen),
+    );
+
+    let streamed = ingest_child("stream", &pre_path, &post_path, params, threads);
+    let materialized = ingest_child("materialized", &pre_path, &post_path, params, threads);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let f = |v: &Value, key: &str| v.get(key).and_then(Value::as_f64);
+    let verdicts_match = streamed.get("report_hash") == materialized.get("report_hash")
+        && streamed.get("report_hash").is_some();
+    assert!(
+        verdicts_match,
+        "[{name}] streamed and materialized reports diverged — the streaming path is unsound"
+    );
+    let rss_stream = f(&streamed, "peak_rss_kb");
+    let rss_mat = f(&materialized, "peak_rss_kb");
+    let reduction = match (rss_mat, rss_stream) {
+        (Some(m), Some(s)) if s > 0.0 => Some(m / s),
+        _ => None,
+    };
+    eprintln!(
+        "[{name}] {} FECs | stream {} / {} KiB vs materialized {} / {} KiB | peak-RSS reduction {}",
+        streamed.get("fecs").and_then(Value::as_u64).unwrap_or(0),
+        secs(Duration::from_secs_f64(
+            f(&streamed, "wall_s").unwrap_or(0.0)
+        )),
+        rss_stream.map_or_else(|| "?".into(), |v| format!("{v:.0}")),
+        secs(Duration::from_secs_f64(
+            f(&materialized, "wall_s").unwrap_or(0.0)
+        )),
+        rss_mat.map_or_else(|| "?".into(), |v| format!("{v:.0}")),
+        reduction.map_or_else(|| "?".into(), |v| format!("{v:.2}×")),
+    );
+
+    let copy = |v: &Value, key: &str| v.get(key).cloned().unwrap_or(Value::Null);
+    let mut fields = vec![
+        ("name".to_owned(), name.to_value()),
+        ("kind".to_owned(), "ingest".to_value()),
+        ("regions".to_owned(), params.regions.to_value()),
+        (
+            "routers_per_group".to_owned(),
+            params.routers_per_group.to_value(),
+        ),
+        (
+            "parallel_links".to_owned(),
+            params.parallel_links.to_value(),
+        ),
+        (
+            "fecs_per_pair".to_owned(),
+            (params.fecs_per_pair as usize).to_value(),
+        ),
+        ("spec_atomics".to_owned(), INGEST_SPEC_ATOMICS.to_value()),
+        ("granularity".to_owned(), "group".to_value()),
+        (
+            "snapshot_bytes".to_owned(),
+            (pre_bytes + post_bytes).to_value(),
+        ),
+        ("gen_s".to_owned(), gen.as_secs_f64().to_value()),
+    ];
+    for key in [
+        "fecs",
+        "classes",
+        "cache_hits",
+        "cache_hit_rate",
+        "violations",
+    ] {
+        fields.push((key.to_owned(), copy(&streamed, key)));
+    }
+    fields.push(("wall_s".to_owned(), copy(&streamed, "wall_s")));
+    fields.push((
+        "wall_materialized_s".to_owned(),
+        copy(&materialized, "wall_s"),
+    ));
+    fields.push((
+        "peak_rss_streamed_kb".to_owned(),
+        copy(&streamed, "peak_rss_kb"),
+    ));
+    fields.push((
+        "peak_rss_materialized_kb".to_owned(),
+        copy(&materialized, "peak_rss_kb"),
+    ));
+    // kind-agnostic consumers (the gate) read the RSS reduction as the
+    // scenario's "speedup": the quantity streaming exists to improve
+    fields.push((
+        "speedup".to_owned(),
+        match reduction {
+            Some(r) => r.to_value(),
+            None => Value::Null,
+        },
+    ));
+    fields.push(("wall_nodedup_s".to_owned(), Value::Null));
+    fields.push(("verdicts_match".to_owned(), Value::Bool(verdicts_match)));
+    Value::Obj(fields)
+}
+
 /// Re-read the emitted file and assert the invariants CI relies on:
 /// it parses, has scenarios, every scenario decided at least one class,
 /// reports a hit rate, and no measured comparison diverged. `smoke`
@@ -489,8 +771,48 @@ fn validate(path: &str) {
     eprintln!("{path}: validated ({} scenarios)", scenarios.len());
 }
 
+/// The cold-ingest scales: ~12k FECs (the dedup-sweep scale point) and
+/// 100k+ FECs (tracking the paper's 10⁶ headline), or one tiny scale in
+/// smoke mode.
+fn ingest_scales(smoke: bool) -> Vec<(&'static str, WanParams)> {
+    if smoke {
+        return vec![(
+            "cold-ingest-smoke",
+            WanParams {
+                regions: 3,
+                routers_per_group: 1,
+                parallel_links: 1,
+                fecs_per_pair: 32,
+            },
+        )];
+    }
+    vec![
+        (
+            "cold-ingest-12k",
+            WanParams {
+                regions: 4,
+                routers_per_group: 2,
+                parallel_links: 2,
+                fecs_per_pair: 1024,
+            },
+        ),
+        (
+            "cold-ingest-100k",
+            WanParams {
+                regions: 5,
+                routers_per_group: 2,
+                parallel_links: 2,
+                fecs_per_pair: 5120,
+            },
+        ),
+    ]
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--ingest-worker") {
+        ingest_worker(&args[1..]);
+    }
     let smoke = args.iter().any(|a| a == "--smoke");
     let out_path = args
         .iter()
@@ -510,6 +832,9 @@ fn main() {
         .map(|s| run_scenario(s, threads, smoke))
         .collect();
     results.push(run_iterative(threads, smoke));
+    for (name, params) in ingest_scales(smoke) {
+        results.push(run_ingest(name, &params, threads));
+    }
     let doc = Value::obj(vec![
         ("schema", "rela-perf/v1".to_value()),
         ("threads", threads.to_value()),

@@ -1,0 +1,71 @@
+//! The streamed cold path must be indistinguishable from the
+//! materialized one: on the fig6/fig7 testbeds, feeding the serialized
+//! snapshots through `SnapshotReader` → `align_streaming` →
+//! `check_stream` produces a byte-identical `CheckReport` to
+//! `from_json` → `align` → `check` (timing lines excluded — they are
+//! the only nondeterministic output).
+
+use rela_core::{compile_program, parse_program, CheckOptions, CheckReport, Checker};
+use rela_net::{Granularity, SnapshotPair, SnapshotReader};
+use rela_sim::workload::{spec_of_size, synthetic_wan, WanParams};
+use rela_sim::{configured, simulate};
+
+/// The report rendering minus its timing-dependent lines.
+fn verdict_bytes(report: &CheckReport) -> String {
+    report
+        .to_string()
+        .lines()
+        .filter(|l| !l.starts_with("checked ") && !l.starts_with("behavior classes:"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn assert_streamed_identical(params: &WanParams, spec_atomics: usize, granularity: Granularity) {
+    let wan = synthetic_wan(params);
+    let (pre, unconverged) = simulate(&wan.topology, &wan.config, &wan.traffic);
+    assert!(unconverged.is_empty(), "base WAN must converge");
+    let post_cfg = configured(&wan.config, &wan.topology, &wan.representative_change);
+    let (post, unconverged) = simulate(&wan.topology, &post_cfg, &wan.traffic);
+    assert!(unconverged.is_empty(), "changed WAN must converge");
+
+    let program = parse_program(&spec_of_size(spec_atomics, params.regions)).expect("spec parses");
+    let compiled = compile_program(&program, &wan.topology.db, granularity).expect("spec compiles");
+    let checker = Checker::new(&compiled, &wan.topology.db).with_options(CheckOptions {
+        threads: 2,
+        ..CheckOptions::default()
+    });
+
+    let materialized = checker.check(&SnapshotPair::align(&pre, &post));
+    let pre_json = pre.to_json().expect("pre serializes");
+    let post_json = post.to_json().expect("post serializes");
+    let streamed = checker
+        .check_stream(SnapshotPair::align_streaming(
+            SnapshotReader::new(pre_json.as_bytes()),
+            SnapshotReader::new(post_json.as_bytes()),
+        ))
+        .expect("streams are well-formed");
+
+    assert_eq!(streamed.total, materialized.total);
+    assert_eq!(streamed.compliant, materialized.compliant);
+    assert_eq!(streamed.part_counts, materialized.part_counts);
+    assert_eq!(streamed.violations, materialized.violations);
+    assert_eq!(streamed.stats.classes, materialized.stats.classes);
+    assert_eq!(streamed.stats.dedup_hits, materialized.stats.dedup_hits);
+    assert_eq!(
+        verdict_bytes(&streamed),
+        verdict_bytes(&materialized),
+        "streamed and materialized reports diverged"
+    );
+}
+
+/// The Fig. 6 testbed (default WAN scale, group granularity).
+#[test]
+fn fig6_testbed_streams_byte_identically() {
+    assert_streamed_identical(&WanParams::default(), 4, Granularity::Group);
+}
+
+/// The Fig. 7 interface-granularity column (the path-explosion one).
+#[test]
+fn fig7_testbed_streams_byte_identically() {
+    assert_streamed_identical(&WanParams::default(), 1, Granularity::Interface);
+}

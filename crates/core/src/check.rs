@@ -32,9 +32,10 @@ use rela_automata::{determinize, enumerate_words, equivalent, image, Dfa, Fst, N
 use rela_cache::{CacheEpoch, CacheKey, VerdictStore};
 use rela_net::{
     behavior_hash, canonical_graph, content_hash128, graph_to_fsa_prepared, AlignedFec,
-    BehaviorHash, ForwardingGraph, Granularity, LocationDb, SnapshotPair, DROP_LOCATION,
+    BehaviorHash, FlowSpec, ForwardingGraph, Granularity, LocationDb, SnapshotPair, DROP_LOCATION,
 };
-use std::collections::HashMap;
+use std::borrow::Borrow;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -44,7 +45,11 @@ use std::time::{Duration, Instant};
 /// checker's verdicts, witness enumeration, or rendering could change
 /// without a crate version bump — a new engine must never replay an old
 /// engine's verdicts.
-pub const ENGINE_VERSION: &str = concat!("rela-core/", env!("CARGO_PKG_VERSION"), "/engine.1");
+// engine.2: symbol interning moved to a sorted set of representative
+// locations (`prepare_table`), which changes automaton layouts and
+// therefore witness enumeration order — engine.1 renderings must not
+// replay.
+pub const ENGINE_VERSION: &str = concat!("rela-core/", env!("CARGO_PKG_VERSION"), "/engine.2");
 
 /// The persistent-cache epoch for a parsed program bound to a location
 /// database: a content hash of the spec AST *and* the database it
@@ -205,16 +210,104 @@ impl<'a> Checker<'a> {
     /// Check every FEC of an aligned snapshot pair.
     pub fn check(&self, pair: &SnapshotPair) -> CheckReport {
         let start = Instant::now();
-        // Pre-pass: intern every location appearing in any graph into a
-        // single master table, then share it *read-only* across workers —
-        // symbol identity agrees by construction, no per-worker clones.
-        let mut table = self.program.table.clone();
-        for fec in &pair.fecs {
-            self.intern_graph(&fec.pre, &mut table);
-            self.intern_graph(&fec.post, &mut table);
-        }
-        let table = table; // frozen
+        let threads = self.resolve_threads();
+        let classes = self.group_into_classes(pair, threads);
+        let reps: Vec<&AlignedFec> = classes.iter().map(|c| &pair.fecs[c.members[0]]).collect();
+        let flows: Vec<&FlowSpec> = pair.fecs.iter().map(|f| &f.flow).collect();
+        self.run_classes(start, &flows, &classes, &reps)
+    }
 
+    /// Check a stream of aligned FECs — the cold-path counterpart of
+    /// [`Checker::check`] fed by [`SnapshotPair::align_streaming`].
+    ///
+    /// Records enter the fingerprint pass as they arrive: each FEC is
+    /// hashed and grouped immediately, and only the *first member of
+    /// each behavior class* (plus every flow key, needed for the report)
+    /// is retained. With dedup on, peak memory is therefore
+    /// O(classes) graphs instead of O(FECs) — on WAN-scale snapshots,
+    /// where classes ≪ FECs, this is the bulk of the cold-start
+    /// footprint (with `--no-dedup` every FEC is its own class and the
+    /// saving vanishes). Deciding starts once the stream ends.
+    ///
+    /// The produced [`CheckReport`] is byte-identical to the
+    /// materialized path's on the same records in any order: grouping
+    /// keys are content hashes, representatives are canonicalized before
+    /// deciding, the symbol table is built order-independently (see
+    /// `prepare_table`), and per-FEC results are sorted by flow. The
+    /// first stream error aborts the check and is returned unchanged.
+    pub fn check_stream<E>(
+        &self,
+        fecs: impl IntoIterator<Item = Result<AlignedFec, E>>,
+    ) -> Result<CheckReport, E> {
+        let start = Instant::now();
+        let mut flows: Vec<FlowSpec> = Vec::new();
+        let mut classes: Vec<BehaviorClass> = Vec::new();
+        let mut reps: Vec<AlignedFec> = Vec::new();
+        let mut index: HashMap<(BehaviorHash, BehaviorHash, usize), usize> = HashMap::new();
+        for fec in fecs {
+            let fec = fec?;
+            let ix = flows.len();
+            flows.push(fec.flow.clone());
+            if !self.options.dedup {
+                classes.push(BehaviorClass {
+                    route: self.route_of(&fec),
+                    members: vec![ix],
+                    key: None,
+                });
+                reps.push(fec);
+                continue;
+            }
+            let (route, pre, post) = self.fingerprint_of(&fec);
+            match index.entry((pre, post, route.unwrap_or(usize::MAX))) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    classes[*e.get()].members.push(ix);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(classes.len());
+                    classes.push(BehaviorClass {
+                        route,
+                        members: vec![ix],
+                        key: Some((pre, post)),
+                    });
+                    reps.push(fec);
+                }
+            }
+        }
+        Ok(self.run_classes(start, &flows, &classes, &reps))
+    }
+
+    /// `options.threads`, with `0` resolved to the machine's available
+    /// parallelism.
+    fn resolve_threads(&self) -> usize {
+        if self.options.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.options.threads
+        }
+    }
+
+    /// The decide-and-broadcast engine shared by [`Checker::check`] and
+    /// [`Checker::check_stream`]: given the per-FEC flow keys, the
+    /// behavior classes, and one representative FEC per class
+    /// (`reps[i]` represents `classes[i]`; borrowed from the pair in the
+    /// materialized path, owned in the streaming path), consult the
+    /// persistent store, decide the cold classes over a work-stealing
+    /// queue, and broadcast verdicts to every member.
+    fn run_classes<F, R>(
+        &self,
+        start: Instant,
+        flows: &[F],
+        classes: &[BehaviorClass],
+        reps: &[R],
+    ) -> CheckReport
+    where
+        F: Borrow<FlowSpec> + Sync,
+        R: Borrow<AlignedFec> + Sync,
+    {
+        debug_assert_eq!(classes.len(), reps.len());
+        let table = self.prepare_table(reps);
         let default_lowered = LoweredCheck::new(&self.program.default_check);
         let routed_lowered: Vec<LoweredCheck<'_>> = self
             .program
@@ -222,15 +315,7 @@ impl<'a> Checker<'a> {
             .iter()
             .map(|r| LoweredCheck::new(&r.check))
             .collect();
-
-        let threads = if self.options.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            self.options.threads
-        };
-        let classes = self.group_into_classes(pair, threads);
+        let threads = self.resolve_threads();
 
         // Consult the persistent store: a class whose verdict a previous
         // run (same spec, same engine, same options) already decided
@@ -245,7 +330,7 @@ impl<'a> Checker<'a> {
                     cache.get(&key).and_then(|payload| {
                         FecResult::from_cache_value(
                             &payload,
-                            pair.fecs[class.members[0]].flow.clone(),
+                            flows[class.members[0]].borrow().clone(),
                         )
                     })
                 });
@@ -270,7 +355,7 @@ impl<'a> Checker<'a> {
                 let t0 = Instant::now();
                 let before = phases;
                 let result = self.check_class(
-                    &pair.fecs[class.members[0]],
+                    reps[ix].borrow(),
                     class.route,
                     class.key,
                     &default_lowered,
@@ -288,7 +373,6 @@ impl<'a> Checker<'a> {
                     .map(|_| {
                         let cursor = &cursor;
                         let cold = &cold;
-                        let classes = &classes;
                         let table = &table;
                         let memo = &memo;
                         let default_ref = &default_lowered;
@@ -306,7 +390,7 @@ impl<'a> Checker<'a> {
                                 let t0 = Instant::now();
                                 let before = local_phases;
                                 let result = self.check_class(
-                                    &pair.fecs[class.members[0]],
+                                    reps[ix].borrow(),
                                     class.route,
                                     class.key,
                                     default_ref,
@@ -344,7 +428,7 @@ impl<'a> Checker<'a> {
 
         // Broadcast each representative's verdict to every class member.
         let mut max_class_time = Duration::ZERO;
-        let mut slots: Vec<Option<FecResult>> = vec![None; pair.fecs.len()];
+        let mut slots: Vec<Option<FecResult>> = vec![None; flows.len()];
         let broadcast = decided
             .into_iter()
             .map(|(ix, result, wall, _)| (ix, result, wall))
@@ -356,7 +440,7 @@ impl<'a> Checker<'a> {
             max_class_time = max_class_time.max(class_time);
             for &member in &classes[class_ix].members {
                 let mut r = result.clone();
-                r.flow = pair.fecs[member].flow.clone();
+                r.flow = flows[member].borrow().clone();
                 slots[member] = Some(r);
             }
         }
@@ -366,9 +450,9 @@ impl<'a> Checker<'a> {
             .collect();
         results.sort_by(|a, b| a.flow.cmp(&b.flow));
         let stats = CheckStats {
-            fecs: pair.fecs.len(),
+            fecs: flows.len(),
             classes: classes.len(),
-            dedup_hits: pair.fecs.len() - classes.len(),
+            dedup_hits: flows.len() - classes.len(),
             warm_hits,
             fst_memo_hits: memo.hits.load(Ordering::Relaxed),
             phases,
@@ -510,9 +594,7 @@ impl<'a> Checker<'a> {
 
     /// Check a single FEC (useful for incremental workflows and tests).
     pub fn check_fec(&self, fec: &AlignedFec) -> FecResult {
-        let mut table = self.program.table.clone();
-        self.intern_graph(&fec.pre, &mut table);
-        self.intern_graph(&fec.post, &mut table);
+        let table = self.prepare_table(std::slice::from_ref(fec));
         let default_lowered = LoweredCheck::new(&self.program.default_check);
         let routed_lowered: Vec<LoweredCheck<'_>> = self
             .program
@@ -532,30 +614,66 @@ impl<'a> Checker<'a> {
         )
     }
 
-    fn intern_graph(&self, graph: &ForwardingGraph, table: &mut SymbolTable) {
+    /// Build the read-only master symbol table for a run: the program's
+    /// own symbols, then every location the representative graphs
+    /// mention at the program granularity, interned in **sorted order**.
+    ///
+    /// Interning the sorted *set* makes the table — and therefore
+    /// automaton layouts, witness enumeration order, and report bytes —
+    /// a function of the graphs' content only, independent of FEC
+    /// arrival order, dedup mode, and thread count. That invariant is
+    /// what lets [`Checker::check_stream`] promise byte-identical
+    /// reports to [`Checker::check`]. Interning only class
+    /// representatives is sound and sufficient: members of a class share
+    /// the representative's granularity-level location set (the
+    /// fingerprint hashes those very labels), so the pre-pass is
+    /// O(classes), not O(FECs).
+    fn prepare_table<R: Borrow<AlignedFec>>(&self, reps: &[R]) -> SymbolTable {
+        let mut names: BTreeSet<String> = BTreeSet::new();
+        for rep in reps {
+            let fec = rep.borrow();
+            self.collect_graph_symbols(&fec.pre, &mut names);
+            self.collect_graph_symbols(&fec.post, &mut names);
+        }
+        let mut table = self.program.table.clone();
+        for name in &names {
+            table.intern(name);
+        }
+        table
+    }
+
+    /// Collect the location names `graph` contributes to the alphabet at
+    /// the program granularity (the symbols `graph_to_fsa_prepared` will
+    /// look up).
+    fn collect_graph_symbols(&self, graph: &ForwardingGraph, names: &mut BTreeSet<String>) {
+        let mut add = |name: &str| {
+            if !names.contains(name) {
+                names.insert(name.to_owned());
+            }
+        };
         match self.program.granularity {
             Granularity::Device => {
                 for v in &graph.vertices {
-                    table.intern(v);
+                    add(v);
                 }
             }
             Granularity::Group => {
                 for v in &graph.vertices {
-                    table.intern(self.db.group_of(v).unwrap_or(v));
+                    add(self.db.group_of(v).unwrap_or(v));
                 }
             }
             Granularity::Interface => {
                 for e in &graph.edges {
-                    table.intern(&format!("{}:{}", graph.vertices[e.from], e.src_port));
-                    table.intern(&format!("{}:{}", graph.vertices[e.to], e.dst_port));
+                    add(&format!("{}:{}", graph.vertices[e.from], e.src_port));
+                    add(&format!("{}:{}", graph.vertices[e.to], e.dst_port));
                 }
                 for v in &graph.vertices {
-                    table.intern(v);
+                    add(v);
                 }
             }
         }
         if !graph.drops.is_empty() {
-            table.intern(DROP_LOCATION);
+            add(DROP_LOCATION);
         }
     }
 
@@ -1344,6 +1462,100 @@ mod tests {
         let report = run_check(NOCHANGE, &db, Granularity::Device, &pair).unwrap();
         assert!(report.is_compliant());
         assert_eq!(report.total, 0);
+    }
+
+    /// The report rendering minus its timing-dependent lines: what must
+    /// be byte-identical across engine paths.
+    fn verdict_bytes(report: &CheckReport) -> String {
+        report
+            .to_string()
+            .lines()
+            .filter(|l| !l.starts_with("checked ") && !l.starts_with("behavior classes:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn check_stream_is_byte_identical_to_check_in_any_arrival_order() {
+        let db = db();
+        let pair = duplicated_pair(16);
+        let program = crate::parser::parse_program(NOCHANGE).unwrap();
+        let compiled = crate::compile::compile_program(&program, &db, Granularity::Device).unwrap();
+        let checker = Checker::new(&compiled, &db);
+        let materialized = checker.check(&pair);
+
+        // forward arrival order
+        let streamed = checker
+            .check_stream(pair.fecs.iter().cloned().map(Ok::<_, ()>))
+            .unwrap();
+        // reversed arrival order (a different representative per class)
+        let reversed = checker
+            .check_stream(pair.fecs.iter().rev().cloned().map(Ok::<_, ()>))
+            .unwrap();
+        for report in [&streamed, &reversed] {
+            assert_eq!(report.total, materialized.total);
+            assert_eq!(report.compliant, materialized.compliant);
+            assert_eq!(report.part_counts, materialized.part_counts);
+            assert_eq!(report.violations, materialized.violations);
+            assert_eq!(report.stats.classes, materialized.stats.classes);
+            assert_eq!(report.stats.dedup_hits, materialized.stats.dedup_hits);
+            assert_eq!(verdict_bytes(report), verdict_bytes(&materialized));
+        }
+    }
+
+    #[test]
+    fn check_stream_without_dedup_agrees_too() {
+        let db = db();
+        let pair = duplicated_pair(8);
+        let program = crate::parser::parse_program(NOCHANGE).unwrap();
+        let compiled = crate::compile::compile_program(&program, &db, Granularity::Device).unwrap();
+        let options = CheckOptions {
+            dedup: false,
+            ..CheckOptions::default()
+        };
+        let checker = Checker::new(&compiled, &db).with_options(options);
+        let materialized = checker.check(&pair);
+        let streamed = checker
+            .check_stream(pair.fecs.iter().rev().cloned().map(Ok::<_, ()>))
+            .unwrap();
+        assert_eq!(streamed.stats.classes, 8, "no-dedup: one class per FEC");
+        assert_eq!(verdict_bytes(&streamed), verdict_bytes(&materialized));
+    }
+
+    #[test]
+    fn check_stream_replays_warm_from_the_persistent_store() {
+        let db = db();
+        let pair = duplicated_pair(10);
+        let program = crate::parser::parse_program(NOCHANGE).unwrap();
+        let compiled = crate::compile::compile_program(&program, &db, Granularity::Device).unwrap();
+        let store = VerdictStore::in_memory(cache_epoch(&program, &db));
+        // cold through the materialized path...
+        let cold = Checker::new(&compiled, &db).with_cache(&store).check(&pair);
+        // ...warm through the streaming path: the engines share the store
+        let warm = Checker::new(&compiled, &db)
+            .with_cache(&store)
+            .check_stream(pair.fecs.iter().cloned().map(Ok::<_, ()>))
+            .unwrap();
+        assert_eq!(warm.stats.warm_hits, warm.stats.classes);
+        assert_eq!(verdict_bytes(&warm), verdict_bytes(&cold));
+    }
+
+    #[test]
+    fn check_stream_aborts_on_the_first_stream_error() {
+        let db = db();
+        let pair = duplicated_pair(4);
+        let program = crate::parser::parse_program(NOCHANGE).unwrap();
+        let compiled = crate::compile::compile_program(&program, &db, Granularity::Device).unwrap();
+        let stream = pair
+            .fecs
+            .iter()
+            .cloned()
+            .map(Ok)
+            .chain(std::iter::once(Err("post.json: truncated")));
+        let err = Checker::new(&compiled, &db)
+            .check_stream(stream)
+            .unwrap_err();
+        assert_eq!(err, "post.json: truncated");
     }
 }
 

@@ -28,4 +28,6 @@ pub use granularity::{device_path_to_group, interface_path_to_device};
 pub use graph::{linear_graph, Edge, ForwardingGraph, GraphError, VertexId};
 pub use location::{glob_match, interface_device, Device, Granularity, DROP_LOCATION};
 pub use prefix::{Ipv4Prefix, PrefixParseError, PrefixTrie};
-pub use snapshot::{AlignedFec, Snapshot, SnapshotPair};
+pub use snapshot::{
+    AlignStream, AlignedFec, Snapshot, SnapshotError, SnapshotPair, SnapshotReader, SnapshotWriter,
+};

@@ -7,11 +7,27 @@
 //! per FEC per snapshot. [`SnapshotPair::align`] joins the two snapshots
 //! on the flow key; a flow absent from one side gets an empty graph
 //! (the network does not carry it).
+//!
+//! # Streaming ingestion
+//!
+//! At the ROADMAP's 10⁶-FEC target, materializing a snapshot's full JSON
+//! text plus its decoded map before alignment even starts dominates cold
+//! runs and doubles peak memory. The streaming path avoids both:
+//! [`SnapshotReader`] pulls `(flow, graph)` records one at a time from
+//! any [`Read`] source (holding at most one decoded record),
+//! [`SnapshotWriter`] emits the same wire format record-by-record, and
+//! [`SnapshotPair::align_streaming`] hash-joins a pre and a post record
+//! stream on the flow key — emitting each aligned FEC the moment both
+//! sides are known and spilling only yet-unmatched records. The wire
+//! format itself is specified in `docs/SNAPSHOT_FORMAT.md`.
 
 use crate::fec::FlowSpec;
 use crate::graph::ForwardingGraph;
 use serde::{Deserialize, Serialize, Value};
-use std::collections::BTreeMap;
+use serde_json::JsonReader;
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+use std::io::{Read, Write};
 
 /// Forwarding state for every traffic class of one network version.
 ///
@@ -45,10 +61,15 @@ impl Deserialize for Snapshot {
             .ok_or_else(|| serde::Error::mismatch("an array", fecs_value))?;
         let fecs = entries
             .iter()
-            .map(|entry| {
+            .enumerate()
+            .map(|(ix, entry)| {
+                // attach the failing entry's index: "missing field `flow`"
+                // alone is useless in a million-entry snapshot (the full
+                // error contract lives in docs/SNAPSHOT_FORMAT.md)
+                let attach = |e: serde::Error| serde::Error::custom(format!("fecs[{ix}]: {e}"));
                 Ok((
-                    serde::field::<FlowSpec>(entry, "flow")?,
-                    serde::field::<ForwardingGraph>(entry, "graph")?,
+                    serde::field::<FlowSpec>(entry, "flow").map_err(attach)?,
+                    serde::field::<ForwardingGraph>(entry, "graph").map_err(attach)?,
                 ))
             })
             .collect::<Result<_, serde::Error>>()?;
@@ -96,6 +117,20 @@ impl Snapshot {
     pub fn from_json(json: &str) -> serde_json::Result<Snapshot> {
         serde_json::from_str(json)
     }
+
+    /// Deserialize from any [`Read`] source through the streaming
+    /// reader. For documents conforming to `docs/SNAPSHOT_FORMAT.md`
+    /// this decodes the same snapshot as [`Snapshot::from_json`] over
+    /// the same bytes, but never materializes the input text or a whole
+    /// `Value` tree, and its errors carry the byte offset and entry
+    /// index of the failure. It is deliberately *stricter* than the
+    /// lenient batch loader on non-conforming input: duplicate flow
+    /// keys are an error (the batch loader silently keeps the last),
+    /// and `fecs` must be the top level's first and only field (the
+    /// batch loader ignores extra fields).
+    pub fn from_reader(source: impl Read) -> Result<Snapshot, SnapshotError> {
+        SnapshotReader::new(source).collect()
+    }
 }
 
 impl FromIterator<(FlowSpec, ForwardingGraph)> for Snapshot {
@@ -103,6 +138,304 @@ impl FromIterator<(FlowSpec, ForwardingGraph)> for Snapshot {
         Snapshot {
             fecs: iter.into_iter().collect(),
         }
+    }
+}
+
+/// A failure while streaming a snapshot: what went wrong, *where* in the
+/// byte stream, and *which* FEC entry was being read.
+///
+/// The error contract (also in `docs/SNAPSHOT_FORMAT.md`): every error
+/// raised while a `fecs` entry is being consumed carries that entry's
+/// 0-based index ([`SnapshotError::entry_index`]), and every error
+/// carries the absolute byte offset of the failure when the reader knows
+/// it ([`SnapshotError::byte_offset`]) — in a multi-gigabyte snapshot,
+/// "missing field `flow`" without an address is not actionable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError {
+    message: String,
+    entry: Option<usize>,
+    offset: Option<u64>,
+    /// Offset already rendered inside `message` (JSON-level errors embed
+    /// their own position); don't append it again.
+    offset_in_message: bool,
+    label: Option<String>,
+}
+
+impl SnapshotError {
+    /// Wrap a JSON-level error (its message already embeds the
+    /// line/column/byte position).
+    fn from_json(e: serde_json::Error) -> SnapshotError {
+        SnapshotError {
+            offset: e.byte_offset(),
+            message: e.to_string(),
+            entry: None,
+            offset_in_message: true,
+            label: None,
+        }
+    }
+
+    /// A record- or structure-level error at a known offset.
+    fn at(message: impl Into<String>, offset: u64) -> SnapshotError {
+        SnapshotError {
+            message: message.into(),
+            entry: None,
+            offset: Some(offset),
+            offset_in_message: false,
+            label: None,
+        }
+    }
+
+    fn with_entry(mut self, ix: usize) -> SnapshotError {
+        self.entry = Some(ix);
+        self
+    }
+
+    /// The human-readable failure description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// 0-based index of the `fecs` entry being read when the failure
+    /// occurred; `None` for failures outside any entry (header, trailer).
+    pub fn entry_index(&self) -> Option<usize> {
+        self.entry
+    }
+
+    /// Absolute byte offset of the failure in the input stream.
+    pub fn byte_offset(&self) -> Option<u64> {
+        self.offset
+    }
+
+    /// The source label attached via [`SnapshotReader::with_label`], if
+    /// any (typically the file path).
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(label) = &self.label {
+            write!(f, "{label}: ")?;
+        }
+        if let Some(ix) = self.entry {
+            write!(f, "snapshot entry #{ix}: ")?;
+        }
+        f.write_str(&self.message)?;
+        match self.offset {
+            Some(offset) if !self.offset_in_message => write!(f, " (byte {offset})"),
+            _ => Ok(()),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Reader state: the wire format's fixed skeleton is consumed lazily
+/// around the record loop.
+enum ReaderState {
+    /// Header (`{"fecs": [`) not yet consumed.
+    Start,
+    /// Inside the `fecs` array.
+    Records,
+    /// Trailer consumed (or a previous call failed); the iterator is
+    /// fused.
+    Done,
+}
+
+/// A pull-based reader of the snapshot wire format: yields one
+/// `(flow, graph)` record at a time from any [`Read`] source, holding at
+/// most one decoded record in memory.
+///
+/// Beyond decoding, the reader enforces the format's structural rules
+/// (documented in `docs/SNAPSHOT_FORMAT.md`): the top level must be an
+/// object whose first and only field is `fecs`, and a `flow` key may
+/// appear at most once — a duplicate is an error here, not a silent
+/// last-write-wins. Errors surface the byte offset and the failing entry
+/// index; after an error the iterator is fused (yields `None`).
+///
+/// ```
+/// use rela_net::{Snapshot, SnapshotReader};
+///
+/// let json = br#"{"fecs": []}"#;
+/// let records: Result<Vec<_>, _> = SnapshotReader::new(&json[..]).collect();
+/// assert!(records.unwrap().is_empty());
+/// ```
+pub struct SnapshotReader<R: Read> {
+    json: JsonReader<R>,
+    state: ReaderState,
+    /// Index of the next entry to be read.
+    index: usize,
+    /// Flow keys seen so far (duplicate detection). Keys only — the
+    /// graphs, which dominate a snapshot's bytes, are not retained.
+    seen: HashSet<FlowSpec>,
+    label: Option<String>,
+}
+
+impl<R: Read> SnapshotReader<R> {
+    /// Wrap a byte source. No input is read until the first record is
+    /// pulled.
+    pub fn new(source: R) -> SnapshotReader<R> {
+        SnapshotReader {
+            json: JsonReader::new(source),
+            state: ReaderState::Start,
+            index: 0,
+            seen: HashSet::new(),
+            label: None,
+        }
+    }
+
+    /// Attach a source label (typically the file path) to every error
+    /// this reader produces.
+    pub fn with_label(mut self, label: impl Into<String>) -> SnapshotReader<R> {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Number of records successfully read so far.
+    pub fn records_read(&self) -> usize {
+        self.index
+    }
+
+    fn fail(&mut self, e: SnapshotError) -> SnapshotError {
+        self.state = ReaderState::Done;
+        SnapshotError {
+            label: self.label.clone(),
+            ..e
+        }
+    }
+
+    /// Consume `{"fecs": [`.
+    fn read_header(&mut self) -> Result<(), SnapshotError> {
+        self.json.begin_object().map_err(SnapshotError::from_json)?;
+        match self.json.next_key().map_err(SnapshotError::from_json)? {
+            Some(key) if key == "fecs" => {}
+            Some(key) => {
+                return Err(SnapshotError::at(
+                    format!("expected the `fecs` field, found `{key}`"),
+                    self.json.byte_offset(),
+                ))
+            }
+            None => {
+                return Err(SnapshotError::at(
+                    "missing field `fecs`",
+                    self.json.byte_offset(),
+                ))
+            }
+        }
+        self.json.begin_array().map_err(SnapshotError::from_json)?;
+        self.state = ReaderState::Records;
+        Ok(())
+    }
+
+    /// Consume `}` plus trailing whitespace/EOF after the records.
+    fn read_trailer(&mut self) -> Result<(), SnapshotError> {
+        if let Some(key) = self.json.next_key().map_err(SnapshotError::from_json)? {
+            return Err(SnapshotError::at(
+                format!("unexpected field `{key}` after `fecs`"),
+                self.json.byte_offset(),
+            ));
+        }
+        self.json.end().map_err(SnapshotError::from_json)?;
+        self.state = ReaderState::Done;
+        Ok(())
+    }
+
+    /// Decode the entry under the cursor.
+    fn read_record(&mut self) -> Result<(FlowSpec, ForwardingGraph), SnapshotError> {
+        let start = self.json.byte_offset();
+        let entry = self.json.read_value().map_err(SnapshotError::from_json)?;
+        let flow = serde::field::<FlowSpec>(&entry, "flow")
+            .map_err(|e| SnapshotError::at(e.to_string(), start))?;
+        let graph = serde::field::<ForwardingGraph>(&entry, "graph")
+            .map_err(|e| SnapshotError::at(e.to_string(), start))?;
+        if !self.seen.insert(flow.clone()) {
+            return Err(SnapshotError::at(format!("duplicate flow {flow}"), start));
+        }
+        Ok((flow, graph))
+    }
+}
+
+impl<R: Read> Iterator for SnapshotReader<R> {
+    type Item = Result<(FlowSpec, ForwardingGraph), SnapshotError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let ReaderState::Start = self.state {
+            if let Err(e) = self.read_header() {
+                return Some(Err(self.fail(e)));
+            }
+        }
+        if let ReaderState::Done = self.state {
+            return None;
+        }
+        match self.json.next_element() {
+            Err(e) => {
+                let ix = self.index;
+                Some(Err(self.fail(SnapshotError::from_json(e).with_entry(ix))))
+            }
+            Ok(false) => match self.read_trailer() {
+                Ok(()) => None,
+                Err(e) => Some(Err(self.fail(e))),
+            },
+            Ok(true) => {
+                let ix = self.index;
+                match self.read_record() {
+                    Ok(record) => {
+                        self.index += 1;
+                        Some(Ok(record))
+                    }
+                    Err(e) => Some(Err(self.fail(e.with_entry(ix)))),
+                }
+            }
+        }
+    }
+}
+
+/// A record-by-record writer of the snapshot wire format — the streaming
+/// counterpart of [`Snapshot::to_json`]. Feeding the same records in
+/// flow order produces byte-identical output; any feed order produces a
+/// valid snapshot (readers do not require ordering).
+///
+/// Call [`SnapshotWriter::finish`] to emit the closing brackets; a
+/// dropped, unfinished writer leaves a truncated document.
+pub struct SnapshotWriter<W: Write> {
+    out: W,
+    written: usize,
+}
+
+impl<W: Write> SnapshotWriter<W> {
+    /// Start a snapshot document on `out` (writes the header
+    /// immediately).
+    pub fn new(mut out: W) -> std::io::Result<SnapshotWriter<W>> {
+        out.write_all(b"{\"fecs\":[")?;
+        Ok(SnapshotWriter { out, written: 0 })
+    }
+
+    /// Append one `(flow, graph)` record. The caller is responsible for
+    /// not writing the same flow twice (streaming readers reject
+    /// duplicates).
+    pub fn write(&mut self, flow: &FlowSpec, graph: &ForwardingGraph) -> std::io::Result<()> {
+        let entry = Value::obj(vec![("flow", flow.to_value()), ("graph", graph.to_value())]);
+        let json = serde_json::to_string(&entry)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        if self.written > 0 {
+            self.out.write_all(b",")?;
+        }
+        self.out.write_all(json.as_bytes())?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Close the document and hand back the underlying writer.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.out.write_all(b"]}")?;
+        self.out.flush()?;
+        Ok(self.out)
     }
 }
 
@@ -176,6 +509,49 @@ impl SnapshotPair {
         SnapshotPair { fecs }
     }
 
+    /// Incrementally join a pre and a post record stream on the flow
+    /// key: a streaming [`SnapshotPair::align`].
+    ///
+    /// The two streams are pulled in lockstep and hash-joined: as soon
+    /// as a flow has been seen on both sides its [`AlignedFec`] is
+    /// emitted (and its graphs dropped from the join state), so a
+    /// consumer can start checking while the files are still being
+    /// parsed. Only *unmatched* records spill into the join maps — on
+    /// the common workload (two snapshots of one network, near-identical
+    /// key sets, similar order) the spill stays small instead of holding
+    /// both snapshots. When both streams end, flows present on only one
+    /// side are drained in flow order with an empty graph on the other
+    /// side.
+    ///
+    /// Matched FECs are emitted in arrival order, not flow order; the
+    /// set of emitted FECs is exactly what [`SnapshotPair::align`] would
+    /// produce (collect through [`SnapshotPair::from_stream`] for the
+    /// sorted form). The first error from either stream ends the
+    /// iteration (the stream is fused afterwards).
+    pub fn align_streaming<A: Read, B: Read>(
+        pre: SnapshotReader<A>,
+        post: SnapshotReader<B>,
+    ) -> AlignStream<A, B> {
+        AlignStream {
+            pre: Some(pre),
+            post: Some(post),
+            pre_pending: BTreeMap::new(),
+            post_pending: BTreeMap::new(),
+            failed: false,
+        }
+    }
+
+    /// Collect a stream of aligned FECs into a [`SnapshotPair`],
+    /// restoring the flow-sorted order [`SnapshotPair::align`]
+    /// guarantees. Stops at the first stream error.
+    pub fn from_stream<E>(
+        stream: impl IntoIterator<Item = Result<AlignedFec, E>>,
+    ) -> Result<SnapshotPair, E> {
+        let mut fecs = stream.into_iter().collect::<Result<Vec<AlignedFec>, E>>()?;
+        fecs.sort_by(|a, b| a.flow.cmp(&b.flow));
+        Ok(SnapshotPair { fecs })
+    }
+
     /// Number of aligned traffic classes.
     pub fn len(&self) -> usize {
         self.fecs.len()
@@ -194,6 +570,128 @@ impl SnapshotPair {
     /// Deserialize from the JSON exchange format.
     pub fn from_json(json: &str) -> serde_json::Result<SnapshotPair> {
         serde_json::from_str(json)
+    }
+}
+
+/// The incremental pre/post join produced by
+/// [`SnapshotPair::align_streaming`]: an iterator of aligned FECs (or
+/// the first stream error).
+pub struct AlignStream<A: Read, B: Read> {
+    /// `None` once the side's stream is exhausted.
+    pre: Option<SnapshotReader<A>>,
+    post: Option<SnapshotReader<B>>,
+    /// Records seen on one side whose partner has not arrived yet.
+    pre_pending: BTreeMap<FlowSpec, ForwardingGraph>,
+    post_pending: BTreeMap<FlowSpec, ForwardingGraph>,
+    failed: bool,
+}
+
+impl<A: Read, B: Read> AlignStream<A, B> {
+    /// Pull one record from one side; `Ok(Some(fec))` if it completed a
+    /// pair. `pull::<false>` reads the pre side, `pull::<true>` the post
+    /// side.
+    fn pull<const POST: bool>(&mut self) -> Result<Option<AlignedFec>, SnapshotError> {
+        let next = if POST {
+            self.post.as_mut().and_then(Iterator::next)
+        } else {
+            self.pre.as_mut().and_then(Iterator::next)
+        };
+        match next {
+            None => {
+                if POST {
+                    self.post = None;
+                } else {
+                    self.pre = None;
+                }
+                Ok(None)
+            }
+            Some(Err(e)) => Err(e),
+            Some(Ok((flow, graph))) => {
+                let (own, other) = if POST {
+                    (&mut self.post_pending, &mut self.pre_pending)
+                } else {
+                    (&mut self.pre_pending, &mut self.post_pending)
+                };
+                match other.remove(&flow) {
+                    Some(partner) => {
+                        let (pre, post) = if POST {
+                            (partner, graph)
+                        } else {
+                            (graph, partner)
+                        };
+                        Ok(Some(AlignedFec { flow, pre, post }))
+                    }
+                    None => {
+                        own.insert(flow, graph);
+                        Ok(None)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drain one flow present on only one side (both streams ended).
+    /// Smallest flow first, merged across the two maps.
+    fn drain_one(&mut self) -> Option<AlignedFec> {
+        let from_pre = match (
+            self.pre_pending.keys().next(),
+            self.post_pending.keys().next(),
+        ) {
+            (Some(p), Some(q)) => p < q,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        if from_pre {
+            let (flow, pre) = self.pre_pending.pop_first().expect("checked non-empty");
+            Some(AlignedFec {
+                flow,
+                pre,
+                post: ForwardingGraph::default(),
+            })
+        } else {
+            let (flow, post) = self.post_pending.pop_first().expect("checked non-empty");
+            Some(AlignedFec {
+                flow,
+                pre: ForwardingGraph::default(),
+                post,
+            })
+        }
+    }
+}
+
+impl<A: Read, B: Read> Iterator for AlignStream<A, B> {
+    type Item = Result<AlignedFec, SnapshotError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        // Alternate sides while either stream has records, emitting the
+        // first completed pair; once both end, drain the one-sided rest.
+        while self.pre.is_some() || self.post.is_some() {
+            if self.pre.is_some() {
+                match self.pull::<false>() {
+                    Ok(Some(fec)) => return Some(Ok(fec)),
+                    Ok(None) => {}
+                    Err(e) => {
+                        self.failed = true;
+                        return Some(Err(e));
+                    }
+                }
+            }
+            if self.post.is_some() {
+                match self.pull::<true>() {
+                    Ok(Some(fec)) => return Some(Ok(fec)),
+                    Ok(None) => {}
+                    Err(e) => {
+                        self.failed = true;
+                        return Some(Err(e));
+                    }
+                }
+            }
+        }
+        self.drain_one().map(Ok)
     }
 }
 
@@ -277,5 +775,193 @@ mod tests {
         .into_iter()
         .collect();
         assert_eq!(snap.len(), 2);
+    }
+
+    #[test]
+    fn entry_errors_name_the_failing_index() {
+        // entry 1 lacks `graph`: the error must say which of the N failed
+        let json = r#"{"fecs": [
+            {"flow": {"dst": "10.0.0.0/24", "ingress": "x1"},
+             "graph": {"vertices": [], "edges": [], "sources": [], "sinks": [], "drops": []}},
+            {"flow": {"dst": "10.0.1.0/24", "ingress": "x1"}}
+        ]}"#;
+        let err = Snapshot::from_json(json).unwrap_err();
+        assert!(err.to_string().contains("fecs[1]"), "{err}");
+        assert!(err.to_string().contains("graph"), "{err}");
+    }
+
+    // ---- streaming reader/writer ------------------------------------
+
+    fn three_fec_snapshot() -> Snapshot {
+        let mut snap = Snapshot::new();
+        snap.insert(flow("10.0.0.0/24", "x1"), linear_graph(&["x1", "A1", "D1"]));
+        snap.insert(flow("10.0.1.0/24", "x1"), linear_graph(&["x1", "B1"]));
+        snap.insert(flow("10.0.2.0/24", "x2"), linear_graph(&["x2", "C1"]));
+        snap
+    }
+
+    #[test]
+    fn streaming_reader_agrees_with_batch_loader() {
+        let snap = three_fec_snapshot();
+        let json = snap.to_json().unwrap();
+        let streamed = Snapshot::from_reader(json.as_bytes()).unwrap();
+        assert_eq!(streamed.len(), snap.len());
+        for ((f1, g1), (f2, g2)) in streamed.iter().zip(snap.iter()) {
+            assert_eq!(f1, f2);
+            assert_eq!(g1, g2);
+        }
+    }
+
+    #[test]
+    fn streaming_writer_matches_to_json_bytes() {
+        let snap = three_fec_snapshot();
+        let mut writer = SnapshotWriter::new(Vec::new()).unwrap();
+        for (f, g) in snap.iter() {
+            writer.write(f, g).unwrap();
+        }
+        assert_eq!(writer.written(), 3);
+        let bytes = writer.finish().unwrap();
+        // fed in flow order, the writer reproduces to_json byte-for-byte
+        assert_eq!(String::from_utf8(bytes).unwrap(), snap.to_json().unwrap());
+    }
+
+    #[test]
+    fn mid_record_truncation_reports_offset_and_entry() {
+        let json = three_fec_snapshot().to_json().unwrap();
+        // cut inside the second record
+        let second = json.match_indices("{\"flow\"").nth(1).unwrap().0;
+        let cut = &json[..second + 20];
+        let err = Snapshot::from_reader(cut.as_bytes()).unwrap_err();
+        assert_eq!(err.entry_index(), Some(1), "{err}");
+        let offset = err.byte_offset().expect("offset is tracked");
+        assert!(offset as usize <= cut.len());
+        assert!(offset as usize >= second, "{err}");
+        assert!(err.to_string().contains("byte"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_flow_keys_are_rejected_with_index() {
+        let g = linear_graph(&["x1", "A1"]);
+        let mut writer = SnapshotWriter::new(Vec::new()).unwrap();
+        writer.write(&flow("10.0.0.0/24", "x1"), &g).unwrap();
+        writer.write(&flow("10.0.1.0/24", "x1"), &g).unwrap();
+        writer.write(&flow("10.0.0.0/24", "x1"), &g).unwrap(); // dup of #0
+        let bytes = writer.finish().unwrap();
+        let err = Snapshot::from_reader(&bytes[..]).unwrap_err();
+        assert_eq!(err.entry_index(), Some(2), "{err}");
+        assert!(err.to_string().contains("duplicate flow"), "{err}");
+        assert!(err.byte_offset().is_some());
+    }
+
+    #[test]
+    fn non_object_top_level_is_rejected() {
+        for bad in ["[]", "42", "\"fecs\"", "null"] {
+            let err = Snapshot::from_reader(bad.as_bytes()).unwrap_err();
+            assert!(err.to_string().contains("expected an object"), "{err}");
+        }
+        // an object without `fecs`, and one with a stray leading field
+        let err = Snapshot::from_reader(&b"{}"[..]).unwrap_err();
+        assert!(err.to_string().contains("missing field `fecs`"), "{err}");
+        let err = Snapshot::from_reader(&br#"{"meta": 1, "fecs": []}"#[..]).unwrap_err();
+        assert!(
+            err.to_string().contains("expected the `fecs` field"),
+            "{err}"
+        );
+        // trailing fields after the records are also structural errors
+        let err = Snapshot::from_reader(&br#"{"fecs": [], "meta": 1}"#[..]).unwrap_err();
+        assert!(err.to_string().contains("unexpected field `meta`"), "{err}");
+    }
+
+    #[test]
+    fn record_level_mismatches_carry_entry_and_offset() {
+        let json = br#"{"fecs": [{"graph": {"vertices": [], "edges": [],
+                        "sources": [], "sinks": [], "drops": []}}]}"#;
+        let err = Snapshot::from_reader(&json[..]).unwrap_err();
+        assert_eq!(err.entry_index(), Some(0));
+        assert!(err.to_string().contains("missing field `flow`"), "{err}");
+        assert!(err.byte_offset().is_some());
+    }
+
+    #[test]
+    fn reader_is_fused_after_an_error() {
+        let mut reader = SnapshotReader::new(&b"[]"[..]);
+        assert!(reader.next().unwrap().is_err());
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn error_label_prefixes_the_message() {
+        let reader = SnapshotReader::new(&b"[]"[..]).with_label("pre.json");
+        let err = reader.collect::<Result<Vec<_>, _>>().unwrap_err();
+        assert_eq!(err.label(), Some("pre.json"));
+        assert!(err.to_string().starts_with("pre.json: "), "{err}");
+    }
+
+    #[test]
+    fn align_streaming_agrees_with_align() {
+        // overlap, pre-only, and post-only flows, in mixed order
+        let f_shared1 = flow("10.0.0.0/24", "x1");
+        let f_shared2 = flow("10.0.3.0/24", "x2");
+        let f_pre_only = flow("10.0.1.0/24", "x1");
+        let f_post_only = flow("10.0.2.0/24", "x2");
+        let mut pre = Snapshot::new();
+        pre.insert(f_shared1.clone(), linear_graph(&["x1", "A1"]));
+        pre.insert(f_pre_only.clone(), linear_graph(&["x1", "B1"]));
+        pre.insert(f_shared2.clone(), linear_graph(&["x2", "C1"]));
+        let mut post = Snapshot::new();
+        post.insert(f_shared1.clone(), linear_graph(&["x1", "A1", "D1"]));
+        post.insert(f_post_only.clone(), linear_graph(&["x2", "D1"]));
+        post.insert(f_shared2.clone(), linear_graph(&["x2", "C1"]));
+
+        let materialized = SnapshotPair::align(&pre, &post);
+        let pre_json = pre.to_json().unwrap();
+        let post_json = post.to_json().unwrap();
+        let streamed = SnapshotPair::from_stream(SnapshotPair::align_streaming(
+            SnapshotReader::new(pre_json.as_bytes()),
+            SnapshotReader::new(post_json.as_bytes()),
+        ))
+        .unwrap();
+        assert_eq!(streamed.len(), materialized.len());
+        for (a, b) in streamed.fecs.iter().zip(&materialized.fecs) {
+            assert_eq!(a.flow, b.flow);
+            assert_eq!(a.pre, b.pre);
+            assert_eq!(a.post, b.post);
+        }
+    }
+
+    #[test]
+    fn align_streaming_spills_only_unmatched_records() {
+        // identical key sets in identical order: every pull pairs up, so
+        // matched FECs appear before the streams are exhausted and the
+        // pending maps never grow beyond one record
+        let snap = three_fec_snapshot();
+        let json = snap.to_json().unwrap();
+        let mut stream = SnapshotPair::align_streaming(
+            SnapshotReader::new(json.as_bytes()),
+            SnapshotReader::new(json.as_bytes()),
+        );
+        let first = stream.next().unwrap().unwrap();
+        assert!(first.pre.carries_traffic());
+        assert!(
+            stream.pre_pending.len() <= 1 && stream.post_pending.is_empty(),
+            "join state spilled whole snapshots: {} / {}",
+            stream.pre_pending.len(),
+            stream.post_pending.len()
+        );
+        let rest: Result<Vec<_>, _> = stream.collect();
+        assert_eq!(rest.unwrap().len() + 1, snap.len());
+    }
+
+    #[test]
+    fn align_streaming_surfaces_side_errors() {
+        let good = three_fec_snapshot().to_json().unwrap();
+        let bad = &good[..good.len() / 2];
+        let err = SnapshotPair::from_stream(SnapshotPair::align_streaming(
+            SnapshotReader::new(good.as_bytes()).with_label("pre.json"),
+            SnapshotReader::new(bad.as_bytes()).with_label("post.json"),
+        ))
+        .unwrap_err();
+        assert_eq!(err.label(), Some("post.json"), "{err}");
+        assert!(err.byte_offset().is_some());
     }
 }

@@ -143,19 +143,45 @@ pub fn simulate(
     cfg: &NetworkConfig,
     traffic: &TrafficMatrix,
 ) -> (Snapshot, Vec<Ipv4Prefix>) {
-    let igp = IgpView::new(topo, cfg);
     let mut snapshot = Snapshot::new();
+    let unconverged = simulate_each(topo, cfg, traffic, |flow, graph| {
+        snapshot.insert(flow, graph);
+    });
+    (snapshot, unconverged)
+}
+
+/// Simulate the full network, emitting each flow's forwarding graph to
+/// `sink` as it is computed — the streaming counterpart of [`simulate`].
+///
+/// Flows are processed grouped by destination prefix (each prefix's FIB
+/// is computed exactly once, as in [`simulate`]), so peak memory is one
+/// FIB plus one graph instead of a whole [`Snapshot`] — what lets a
+/// 10⁶-FEC workload be written straight to a
+/// [`rela_net::SnapshotWriter`] without ever being held. Emission order
+/// is deterministic: ascending `(prefix, ingress)`, which is exactly
+/// [`FlowSpec`](rela_net::FlowSpec) order for the flow specs the traffic
+/// matrix produces. Returns the prefixes whose control plane failed to
+/// converge.
+pub fn simulate_each(
+    topo: &Topology,
+    cfg: &NetworkConfig,
+    traffic: &TrafficMatrix,
+    mut sink: impl FnMut(rela_net::FlowSpec, ForwardingGraph),
+) -> Vec<Ipv4Prefix> {
+    let igp = IgpView::new(topo, cfg);
     let mut unconverged = Vec::new();
-    let mut fib_cache: BTreeMap<Ipv4Prefix, PrefixFib> = BTreeMap::new();
-    for prefix in traffic.prefixes() {
-        let fib = compute_fib(topo, cfg, &igp, &prefix);
-        if !fib.converged {
-            unconverged.push(prefix);
-        }
-        fib_cache.insert(prefix, fib);
-    }
+    let mut current: Option<(Ipv4Prefix, PrefixFib)> = None;
+    // TrafficMatrix iterates in (dst, ingress) order, so one pass sees
+    // each prefix's flows contiguously and one FIB is live at a time
     for flow in traffic.iter() {
-        let fib = &fib_cache[&flow.dst];
+        if !matches!(&current, Some((prefix, _)) if *prefix == flow.dst) {
+            let fib = compute_fib(topo, cfg, &igp, &flow.dst);
+            if !fib.converged {
+                unconverged.push(flow.dst);
+            }
+            current = Some((flow.dst, fib));
+        }
+        let fib = &current.as_ref().expect("FIB computed above").1;
         let graph = build_fec_graph(topo, fib, &flow.ingress);
         debug_assert!(
             graph.validate().is_ok(),
@@ -163,9 +189,9 @@ pub fn simulate(
             flow.dst,
             flow.ingress
         );
-        snapshot.insert(TrafficMatrix::flow_spec(flow), graph);
+        sink(TrafficMatrix::flow_spec(flow), graph);
     }
-    (snapshot, unconverged)
+    unconverged
 }
 
 #[cfg(test)]
@@ -323,6 +349,30 @@ mod tests {
         assert_eq!(snap.len(), 6);
         let carried = snap.iter().filter(|(_, g)| g.carries_traffic()).count();
         assert_eq!(carried, 5);
+    }
+
+    /// The streaming generator writes the same snapshot bytes the
+    /// materialized one serializes — record by record, without ever
+    /// holding a [`Snapshot`].
+    #[test]
+    fn simulate_each_streams_the_same_snapshot() {
+        use rela_net::SnapshotWriter;
+        let topo = diamond();
+        let mut cfg = NetworkConfig::new();
+        cfg.originate("y1", p("10.1.0.0/16"));
+        cfg.policy_mut("D1").acl_deny.push(p("10.1.2.0/24"));
+        let mut tm = TrafficMatrix::new();
+        tm.add_range(p("10.1.0.0/16"), 24, 4, "x1");
+        tm.add(p("10.99.0.0/24"), "x1"); // uncarried
+
+        let (snap, unconverged) = simulate(&topo, &cfg, &tm);
+        let mut writer = SnapshotWriter::new(Vec::new()).unwrap();
+        let streamed_unconverged = simulate_each(&topo, &cfg, &tm, |flow, graph| {
+            writer.write(&flow, &graph).unwrap();
+        });
+        assert_eq!(streamed_unconverged, unconverged);
+        let bytes = writer.finish().unwrap();
+        assert_eq!(String::from_utf8(bytes).unwrap(), snap.to_json().unwrap());
     }
 
     #[test]

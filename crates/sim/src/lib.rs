@@ -29,7 +29,7 @@ pub mod workload;
 pub use bgp::{compute_routes, Candidate, DeviceRoute, RoutingOutcome};
 pub use change::{apply_changes, configured, ConfigChange};
 pub use config::{DevicePolicy, DeviceSelector, NetworkConfig, PolicyRule, RuleAction};
-pub use forwarding::{build_fec_graph, compute_fib, simulate, FibEntry, PrefixFib};
+pub use forwarding::{build_fec_graph, compute_fib, simulate, simulate_each, FibEntry, PrefixFib};
 pub use igp::IgpView;
 pub use topology::{Link, Topology, TopologyBuilder};
 pub use traffic::{Flow, TrafficMatrix};

@@ -15,9 +15,10 @@
 
 use rela_baseline::{path_diff, DiffOptions};
 
-use rela_net::{Granularity, LocationDb, Snapshot, SnapshotPair};
+use rela_net::{Granularity, LocationDb, Snapshot, SnapshotPair, SnapshotReader};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fs::File;
 use std::path::{Path, PathBuf};
 
 /// A parsed command line.
@@ -48,6 +49,9 @@ pub enum Command {
         /// `--cache-stats`: print warm-hit/store counters after the
         /// report.
         cache_stats: bool,
+        /// Snapshot ingestion path: streamed by default (`true`),
+        /// materialized with `--no-stream`.
+        stream: bool,
     },
     /// Print the §2.3 path diff (the manual-inspection baseline).
     Diff {
@@ -100,7 +104,7 @@ rela — relational network verification (SIGCOMM 2024 reproduction)
 USAGE:
   rela check --spec FILE --db FILE --pre FILE --post FILE
              [--granularity group|device|interface] [--threads N] [--no-dedup]
-             [--cache-dir DIR] [--no-cache] [--cache-stats]
+             [--cache-dir DIR] [--no-cache] [--cache-stats] [--no-stream]
   rela diff  --db FILE --pre FILE --post FILE
              [--granularity group|device|interface]
   rela demo  [--out DIR]
@@ -114,6 +118,11 @@ hashes under an epoch of the spec + engine version, so re-validating
 iteration N+1 of a change only re-decides classes whose behavior moved.
 --no-cache skips the cache for one run; --cache-stats prints warm-hit
 and store counters after the report.
+check streams the snapshot files by default: records are parsed,
+aligned, and fingerprinted as they are read, so only one forwarding
+graph per behavior class is ever held in memory (docs/SNAPSHOT_FORMAT.md
+specifies the wire format). --no-stream loads both snapshots fully
+before aligning instead.
 diff prints the manual path-diff baseline (every changed traffic class).
 demo writes the paper's Figure 1 case study (db, snapshots, spec) so you
 can try: rela demo --out /tmp/fig1 && rela check --spec /tmp/fig1/change.rela \\
@@ -126,7 +135,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         return Ok(Command::Help);
     };
     // flags that take no value
-    const SWITCHES: [&str; 3] = ["--no-dedup", "--no-cache", "--cache-stats"];
+    const SWITCHES: [&str; 4] = ["--no-dedup", "--no-cache", "--cache-stats", "--no-stream"];
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         if !flag.starts_with("--") {
@@ -172,6 +181,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             cache_dir: flags.get("cache-dir").map(PathBuf::from),
             no_cache: flags.contains_key("no-cache"),
             cache_stats: flags.contains_key("cache-stats"),
+            stream: !flags.contains_key("no-stream"),
         }),
         "diff" => Ok(Command::Diff {
             db: need("db")?,
@@ -227,10 +237,10 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<i32, CliError>
             cache_dir,
             no_cache,
             cache_stats,
+            stream,
         } => {
             let source = read(spec)?;
             let db = load_db(db)?;
-            let pair = SnapshotPair::align(&load_snapshot(pre)?, &load_snapshot(post)?);
             let program = rela_core::parse_program(&source)
                 .map_err(|e| usage_error(format!("{}: {e}", spec.display())))?;
             let compiled = rela_core::compile_program(&program, &db, *granularity)
@@ -265,7 +275,22 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<i32, CliError>
             if let Some(store) = &store {
                 checker = checker.with_cache(store);
             }
-            let report = checker.check(&pair);
+            let report = if *stream {
+                // the default cold path: records are parsed, aligned,
+                // and fingerprinted as they are read from the files —
+                // only one graph per behavior class stays resident
+                let open = |path: &Path| -> Result<SnapshotReader<File>, CliError> {
+                    let file = File::open(path)
+                        .map_err(|e| usage_error(format!("{}: {e}", path.display())))?;
+                    Ok(SnapshotReader::new(file).with_label(path.display().to_string()))
+                };
+                checker
+                    .check_stream(SnapshotPair::align_streaming(open(pre)?, open(post)?))
+                    .map_err(|e| usage_error(format!("invalid snapshot: {e}")))?
+            } else {
+                let pair = SnapshotPair::align(&load_snapshot(pre)?, &load_snapshot(post)?);
+                checker.check(&pair)
+            };
             emit(out, report.to_string())?;
             if let Some(store) = &store {
                 // a failed flush degrades the next run to cold — warn,
@@ -536,6 +561,8 @@ mod tests {
                 cache_dir: None,
                 no_cache: false,
                 cache_stats: false,
+
+                stream: true,
             };
             let mut sink = Vec::new();
             let code = run(&cmd, &mut sink).unwrap();
@@ -586,6 +613,8 @@ mod tests {
                 cache_dir: Some(dir.join("cache")),
                 no_cache: false,
                 cache_stats: true,
+
+                stream: true,
             };
             let mut sink = Vec::new();
             let code = run(&cmd, &mut sink).unwrap();
@@ -636,6 +665,8 @@ mod tests {
             cache_dir: Some(PathBuf::from("/dev/null/not-a-directory")),
             no_cache: false,
             cache_stats: false,
+
+            stream: true,
         };
         let mut sink = Vec::new();
         let code = run(&cmd, &mut sink).unwrap();
@@ -656,6 +687,8 @@ mod tests {
             cache_dir: Some(dir.join("cache")),
             no_cache: true,
             cache_stats: true,
+
+            stream: true,
         };
         let mut sink = Vec::new();
         let code = run(&cmd, &mut sink).unwrap();
@@ -663,6 +696,90 @@ mod tests {
         assert_eq!(code, 1);
         assert!(text.contains("cache: disabled"), "{text}");
         assert_eq!(verdicts(&cold), verdicts(&text));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn no_stream_switch_parses_and_defaults_on() {
+        let base = &[
+            "check", "--spec", "s.rela", "--db", "db.json", "--pre", "a.json", "--post", "b.json",
+        ];
+        match parse_args(&args(base)).unwrap() {
+            Command::Check { stream, .. } => assert!(stream, "streaming is the default"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let mut with_flag: Vec<&str> = base.to_vec();
+        with_flag.push("--no-stream");
+        match parse_args(&args(&with_flag)).unwrap() {
+            Command::Check { stream, .. } => assert!(!stream),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Streamed (default) and `--no-stream` runs over the same files
+    /// produce byte-identical reports and the same exit code.
+    #[test]
+    fn streamed_and_materialized_checks_agree() {
+        let dir = std::env::temp_dir().join(format!("rela-stream-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut sink = Vec::new();
+        run(&Command::Demo { out: dir.clone() }, &mut sink).unwrap();
+
+        let check = |stream: bool| {
+            let cmd = Command::Check {
+                spec: dir.join("change.rela"),
+                db: dir.join("db.json"),
+                pre: dir.join("pre.json"),
+                post: dir.join("post_v2.json"),
+                granularity: Granularity::Group,
+                threads: 1,
+                dedup: true,
+                cache_dir: None,
+                no_cache: false,
+                cache_stats: false,
+                stream,
+            };
+            let mut sink = Vec::new();
+            let code = run(&cmd, &mut sink).unwrap();
+            (code, String::from_utf8(sink).unwrap())
+        };
+        let (code_s, streamed) = check(true);
+        let (code_m, materialized) = check(false);
+        assert_eq!(code_s, 1);
+        assert_eq!(code_m, 1);
+        let verdicts = |text: &str| {
+            text.lines()
+                .filter(|l| !l.starts_with("checked "))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(verdicts(&streamed), verdicts(&materialized));
+
+        // a malformed snapshot is an input error (2) whose message names
+        // the failing entry and the offending file
+        let truncated = dir.join("truncated.json");
+        let text = std::fs::read_to_string(dir.join("post_v2.json")).unwrap();
+        std::fs::write(&truncated, &text[..text.len() * 2 / 3]).unwrap();
+        let cmd = Command::Check {
+            spec: dir.join("change.rela"),
+            db: dir.join("db.json"),
+            pre: dir.join("pre.json"),
+            post: truncated.clone(),
+            granularity: Granularity::Group,
+            threads: 1,
+            dedup: true,
+            cache_dir: None,
+            no_cache: false,
+            cache_stats: false,
+            stream: true,
+        };
+        let mut sink = Vec::new();
+        let err = run(&cmd, &mut sink).expect_err("truncated snapshot");
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("invalid snapshot"), "{err}");
+        assert!(err.message.contains("truncated.json"), "{err}");
+        assert!(err.message.contains("entry #"), "{err}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -2,13 +2,17 @@
 //! for the vendored `serde` [`Value`] data model.
 //!
 //! Provides the API subset the workspace uses — [`to_string`],
-//! [`to_string_pretty`], [`from_str`], and the [`Result`]/[`Error`]
-//! types — with conventional JSON output (compact `","`/`":"`
-//! separators, two-space pretty indentation, `\uXXXX` escapes for
-//! control characters).
+//! [`to_string_pretty`], [`from_str`], the [`Result`]/[`Error`] types,
+//! and the incremental [`stream::JsonReader`] — with conventional JSON
+//! output (compact `","`/`":"` separators, two-space pretty indentation,
+//! `\uXXXX` escapes for control characters).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod stream;
+
+pub use stream::JsonReader;
 
 use serde::{Deserialize, Serialize, Value};
 use std::fmt;
@@ -21,6 +25,9 @@ pub struct Error {
     line: usize,
     /// 1-based column of the failure, when parsing.
     column: usize,
+    /// Absolute byte offset of the failure, when known (streaming reads
+    /// always track it; batch parsing and serialization do not).
+    offset: Option<u64>,
 }
 
 impl Error {
@@ -29,7 +36,30 @@ impl Error {
             message: message.into(),
             line,
             column,
+            offset: None,
         }
+    }
+
+    /// Build a parse error that also records the absolute byte offset of
+    /// the failure (used by [`stream::JsonReader`], whose inputs can be
+    /// far too large for line/column alone to be a useful address).
+    pub fn with_offset(
+        message: impl Into<String>,
+        line: usize,
+        column: usize,
+        offset: u64,
+    ) -> Error {
+        Error {
+            message: message.into(),
+            line,
+            column,
+            offset: Some(offset),
+        }
+    }
+
+    /// The absolute byte offset of the failure, when known.
+    pub fn byte_offset(&self) -> Option<u64> {
+        self.offset
     }
 }
 
@@ -40,10 +70,14 @@ impl fmt::Display for Error {
                 f,
                 "{} at line {} column {}",
                 self.message, self.line, self.column
-            )
+            )?;
         } else {
-            f.write_str(&self.message)
+            f.write_str(&self.message)?;
         }
+        if let Some(offset) = self.offset {
+            write!(f, " (byte {offset})")?;
+        }
+        Ok(())
     }
 }
 
@@ -54,6 +88,11 @@ impl From<serde::Error> for Error {
         Error::new(e.to_string(), 0, 0)
     }
 }
+
+/// Maximum container nesting, matching real serde_json's default
+/// recursion limit (deeper input errors instead of overflowing the
+/// stack). Shared by the batch parser and [`stream::JsonReader`].
+pub(crate) const MAX_DEPTH: usize = 128;
 
 /// Alias for `Result` with [`Error`], mirroring `serde_json::Result`.
 pub type Result<T> = std::result::Result<T, Error>;
@@ -169,10 +208,6 @@ fn write_string(out: &mut String, s: &str) {
 }
 
 // ---- parser --------------------------------------------------------------
-
-/// Maximum container nesting, matching real serde_json's default
-/// recursion limit (deeper input errors instead of overflowing the stack).
-const MAX_DEPTH: usize = 128;
 
 struct Parser<'a> {
     bytes: &'a [u8],

@@ -1,0 +1,615 @@
+//! A pull-based, incremental JSON reader over any [`std::io::Read`]
+//! source.
+//!
+//! [`JsonReader`] is the streaming counterpart of [`crate::from_str`]:
+//! instead of materializing the whole input text and one [`Value`] tree,
+//! it keeps a small refill buffer and hands the caller a cursor over the
+//! document's structure — enter an object or array, step through its
+//! entries, and parse one complete sub-value at a time. A consumer of a
+//! large top-level collection (the snapshot wire format's `fecs` array)
+//! therefore holds at most one record's `Value` in memory.
+//!
+//! The reader tracks absolute byte offsets and line/column positions as
+//! it consumes input; every error carries all three (see
+//! [`crate::Error::byte_offset`]), so a caller can report *where* in a
+//! multi-gigabyte file a malformed record sits.
+//!
+//! ```
+//! use serde_json::stream::JsonReader;
+//! use serde::Value;
+//!
+//! let doc = br#"{"fecs": [{"n": 1}, {"n": 2}]}"#;
+//! let mut r = JsonReader::new(&doc[..]);
+//! r.begin_object().unwrap();
+//! assert_eq!(r.next_key().unwrap().as_deref(), Some("fecs"));
+//! r.begin_array().unwrap();
+//! let mut seen = Vec::new();
+//! while r.next_element().unwrap() {
+//!     let record: Value = r.read_value().unwrap();
+//!     seen.push(record.get("n").and_then(Value::as_i64).unwrap());
+//! }
+//! assert_eq!(r.next_key().unwrap(), None);
+//! r.end().unwrap();
+//! assert_eq!(seen, vec![1, 2]);
+//! ```
+
+use crate::{Error, Result, MAX_DEPTH};
+use serde::Value;
+use std::io::Read;
+
+/// Refill chunk size. Small enough that the reader's resident footprint
+/// is negligible next to one decoded record, large enough to amortize
+/// `read` syscalls.
+const CHUNK: usize = 64 * 1024;
+
+/// An incremental cursor over a JSON document read from `R`.
+///
+/// The caller drives the document structure explicitly:
+/// [`begin_object`](JsonReader::begin_object) /
+/// [`begin_array`](JsonReader::begin_array) enter a container,
+/// [`next_key`](JsonReader::next_key) /
+/// [`next_element`](JsonReader::next_element) step through it (and
+/// consume its closing bracket when exhausted), and
+/// [`read_value`](JsonReader::read_value) parses one complete sub-value
+/// of any shape. [`end`](JsonReader::end) asserts the input is fully
+/// consumed.
+pub struct JsonReader<R: Read> {
+    src: R,
+    /// Fixed refill buffer, allocated once; `buf[pos..len]` is unread.
+    buf: Vec<u8>,
+    /// Next unread index into `buf`.
+    pos: usize,
+    /// Number of valid bytes in `buf`.
+    len: usize,
+    /// Absolute offset of `buf[0]` in the overall input.
+    base: u64,
+    /// The source returned 0 bytes: no more input exists.
+    eof: bool,
+    /// Per-open-container flag: no element consumed yet (so the next
+    /// entry is not preceded by a comma).
+    first: Vec<bool>,
+    /// 1-based line of the next unread byte.
+    line: usize,
+    /// Absolute offset where the current line starts.
+    line_start: u64,
+}
+
+impl<R: Read> JsonReader<R> {
+    /// Wrap a byte source. No input is read until the first cursor call.
+    pub fn new(src: R) -> JsonReader<R> {
+        JsonReader {
+            src,
+            buf: vec![0; CHUNK],
+            pos: 0,
+            len: 0,
+            base: 0,
+            eof: false,
+            first: Vec::new(),
+            line: 1,
+            line_start: 0,
+        }
+    }
+
+    /// Absolute byte offset of the next unread input byte.
+    pub fn byte_offset(&self) -> u64 {
+        self.base + self.pos as u64
+    }
+
+    fn error(&self, message: impl Into<String>) -> Error {
+        let offset = self.byte_offset();
+        let column = (offset - self.line_start) as usize + 1;
+        Error::with_offset(message, self.line, column, offset)
+    }
+
+    /// Ensure at least one unread byte is buffered, unless at EOF. The
+    /// reader never looks ahead more than one byte, so a refill only
+    /// happens when the buffer is fully consumed.
+    fn fill(&mut self) -> Result<()> {
+        if self.pos < self.len || self.eof {
+            return Ok(());
+        }
+        self.base += self.len as u64;
+        self.pos = 0;
+        self.len = self
+            .src
+            .read(&mut self.buf)
+            .map_err(|e| self.error(format!("io error: {e}")))?;
+        if self.len == 0 {
+            self.eof = true;
+        }
+        Ok(())
+    }
+
+    fn peek(&mut self) -> Result<Option<u8>> {
+        self.fill()?;
+        if self.pos < self.len {
+            Ok(Some(self.buf[self.pos]))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Consume one byte (which must have been peeked).
+    fn bump(&mut self) {
+        if self.pos < self.len && self.buf[self.pos] == b'\n' {
+            self.line += 1;
+            self.line_start = self.byte_offset() + 1;
+        }
+        self.pos += 1;
+    }
+
+    fn skip_ws(&mut self) -> Result<()> {
+        while matches!(self.peek()?, Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.bump();
+        }
+        Ok(())
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        match self.peek()? {
+            Some(b) if b == byte => {
+                self.bump();
+                Ok(())
+            }
+            Some(_) => Err(self.error(format!("expected `{}`", byte as char))),
+            None => Err(self.error(format!(
+                "unexpected end of input (expected `{}`)",
+                byte as char
+            ))),
+        }
+    }
+
+    /// Enter an object: consume `{` (after whitespace).
+    pub fn begin_object(&mut self) -> Result<()> {
+        self.skip_ws()?;
+        match self.peek()? {
+            Some(b'{') => {
+                self.bump();
+                self.first.push(true);
+                Ok(())
+            }
+            Some(_) => Err(self.error("expected an object")),
+            None => Err(self.error("unexpected end of input (expected an object)")),
+        }
+    }
+
+    /// Enter an array: consume `[` (after whitespace).
+    pub fn begin_array(&mut self) -> Result<()> {
+        self.skip_ws()?;
+        match self.peek()? {
+            Some(b'[') => {
+                self.bump();
+                self.first.push(true);
+                Ok(())
+            }
+            Some(_) => Err(self.error("expected an array")),
+            None => Err(self.error("unexpected end of input (expected an array)")),
+        }
+    }
+
+    /// Step to the next object entry: returns its key, leaving the cursor
+    /// on the entry's value. Returns `None` — consuming the `}` — when
+    /// the object is exhausted.
+    pub fn next_key(&mut self) -> Result<Option<String>> {
+        if !self.step_into_next(b'}')? {
+            return Ok(None);
+        }
+        self.skip_ws()?;
+        let key = self.read_string()?;
+        self.skip_ws()?;
+        self.expect(b':')?;
+        Ok(Some(key))
+    }
+
+    /// Step to the next array element: `true` leaves the cursor on the
+    /// element (call [`read_value`](JsonReader::read_value) next);
+    /// `false` means the array is exhausted and its `]` was consumed.
+    pub fn next_element(&mut self) -> Result<bool> {
+        self.step_into_next(b']')
+    }
+
+    /// Shared comma/close handling for both container kinds.
+    fn step_into_next(&mut self, close: u8) -> Result<bool> {
+        self.skip_ws()?;
+        let first = *self
+            .first
+            .last()
+            .ok_or_else(|| self.error("not inside a container"))?;
+        match self.peek()? {
+            Some(b) if b == close => {
+                self.bump();
+                self.first.pop();
+                Ok(false)
+            }
+            Some(b',') if !first => {
+                self.bump();
+                self.skip_ws()?;
+                // a close bracket after a comma is a trailing comma
+                if self.peek()? == Some(close) {
+                    return Err(self.error("trailing comma"));
+                }
+                Ok(true)
+            }
+            Some(_) if first => {
+                *self.first.last_mut().expect("container open") = false;
+                Ok(true)
+            }
+            Some(_) => Err(self.error(format!("expected `,` or `{}`", close as char))),
+            None => Err(self.error(format!(
+                "unexpected end of input (expected `,` or `{}`)",
+                close as char
+            ))),
+        }
+    }
+
+    /// Parse one complete value (scalar or container subtree) into a
+    /// [`Value`]. This is where a streaming consumer bounds its memory:
+    /// only the sub-value under the cursor is materialized.
+    pub fn read_value(&mut self) -> Result<Value> {
+        self.read_value_at(0)
+    }
+
+    fn read_value_at(&mut self, depth: usize) -> Result<Value> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("recursion limit exceeded"));
+        }
+        self.skip_ws()?;
+        match self.peek()? {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.read_string().map(Value::Str),
+            Some(b'[') => {
+                self.bump();
+                self.first.push(true);
+                let mut items = Vec::new();
+                while self.next_element()? {
+                    items.push(self.read_value_at(depth + 1)?);
+                }
+                Ok(Value::Arr(items))
+            }
+            Some(b'{') => {
+                self.bump();
+                self.first.push(true);
+                let mut fields = Vec::new();
+                while let Some(key) = self.next_key()? {
+                    fields.push((key, self.read_value_at(depth + 1)?));
+                }
+                Ok(Value::Obj(fields))
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.read_number(),
+            Some(c) => Err(self.error(format!("unexpected character `{}`", c as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value> {
+        for &b in word.as_bytes() {
+            match self.peek()? {
+                Some(got) if got == b => self.bump(),
+                _ => return Err(self.error(format!("expected `{word}`"))),
+            }
+        }
+        Ok(value)
+    }
+
+    /// Parse a string token. Escapes are decoded; the result is validated
+    /// as UTF-8 once, after the closing quote.
+    fn read_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            match self.peek()? {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.bump();
+                    return String::from_utf8(out).map_err(|_| self.error("invalid utf-8"));
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    let escaped = match self.peek()? {
+                        Some(b'"') => b'"',
+                        Some(b'\\') => b'\\',
+                        Some(b'/') => b'/',
+                        Some(b'b') => 0x08,
+                        Some(b'f') => 0x0c,
+                        Some(b'n') => b'\n',
+                        Some(b'r') => b'\r',
+                        Some(b't') => b'\t',
+                        Some(b'u') => {
+                            self.bump();
+                            let code = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                // high surrogate: must pair with a low one
+                                if self.peek()? == Some(b'\\') {
+                                    self.bump();
+                                    self.expect(b'u')?;
+                                    let low = self.hex4()?;
+                                    if (0xDC00..0xE000).contains(&low) {
+                                        char::from_u32(
+                                            0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00),
+                                        )
+                                    } else {
+                                        None
+                                    }
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(code)
+                            };
+                            let c = c.ok_or_else(|| self.error("invalid \\u escape"))?;
+                            let mut enc = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut enc).as_bytes());
+                            continue;
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    };
+                    out.push(escaped);
+                    self.bump();
+                }
+                Some(_) => {
+                    // copy the maximal buffered run up to the next quote,
+                    // escape, or buffer end in one extend
+                    let start = self.pos;
+                    while self.pos < self.len {
+                        let b = self.buf[self.pos];
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        if b == b'\n' {
+                            self.line += 1;
+                            self.line_start = self.base + self.pos as u64 + 1;
+                        }
+                        self.pos += 1;
+                    }
+                    out.extend_from_slice(&self.buf[start..self.pos]);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek()? {
+                Some(b) if b.is_ascii_hexdigit() => (b as char).to_digit(16).expect("hex digit"),
+                Some(_) => return Err(self.error("invalid \\u escape")),
+                None => return Err(self.error("truncated \\u escape")),
+            };
+            self.bump();
+            code = code * 16 + d;
+        }
+        Ok(code)
+    }
+
+    /// Consume `[0-9]+` into `text`, erroring if no digit is present.
+    fn digits(&mut self, text: &mut Vec<u8>, expected: &str) -> Result<()> {
+        if !matches!(self.peek()?, Some(c) if c.is_ascii_digit()) {
+            return Err(self.error(expected));
+        }
+        while let Some(c) = self.peek()? {
+            if !c.is_ascii_digit() {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        Ok(())
+    }
+
+    /// Strict JSON number grammar, identical to the batch parser's.
+    fn read_number(&mut self) -> Result<Value> {
+        let mut text: Vec<u8> = Vec::new();
+        if self.peek()? == Some(b'-') {
+            text.push(b'-');
+            self.bump();
+        }
+        match self.peek()? {
+            Some(b'0') => {
+                text.push(b'0');
+                self.bump();
+                if matches!(self.peek()?, Some(c) if c.is_ascii_digit()) {
+                    return Err(self.error("leading zeros are not allowed"));
+                }
+            }
+            _ => self.digits(&mut text, "expected a digit")?,
+        }
+        let mut is_float = false;
+        if self.peek()? == Some(b'.') {
+            is_float = true;
+            text.push(b'.');
+            self.bump();
+            self.digits(&mut text, "expected a digit after the decimal point")?;
+        }
+        if matches!(self.peek()?, Some(b'e' | b'E')) {
+            is_float = true;
+            text.push(b'e');
+            self.bump();
+            if let Some(sign @ (b'+' | b'-')) = self.peek()? {
+                text.push(sign);
+                self.bump();
+            }
+            self.digits(&mut text, "expected a digit in the exponent")?;
+        }
+        let text = std::str::from_utf8(&text).expect("ascii number text");
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.error("invalid number"))
+        } else {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .or_else(|_| text.parse::<u64>().map(Value::UInt))
+                .or_else(|_| text.parse::<f64>().map(Value::Float))
+                .map_err(|_| self.error("invalid number"))
+        }
+    }
+
+    /// Assert the document is complete: only whitespace remains.
+    pub fn end(&mut self) -> Result<()> {
+        self.skip_ws()?;
+        match self.peek()? {
+            None => Ok(()),
+            Some(_) => Err(self.error("trailing characters")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reader that yields one byte per `read` call: every token
+    /// boundary in these tests crosses a refill.
+    struct Drip<'a>(&'a [u8]);
+
+    impl Read for Drip<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            match self.0.split_first() {
+                Some((&b, rest)) => {
+                    buf[0] = b;
+                    self.0 = rest;
+                    Ok(1)
+                }
+                None => Ok(0),
+            }
+        }
+    }
+
+    fn read_doc(bytes: &[u8]) -> Result<Value> {
+        let mut r = JsonReader::new(Drip(bytes));
+        let v = r.read_value()?;
+        r.end()?;
+        Ok(v)
+    }
+
+    #[test]
+    fn streamed_parse_agrees_with_batch_parse() {
+        let doc = br#" {"a": [1, 2.5, -3e2], "b": {"nested": "hi\n\u0041"},
+                       "c": [true, false, null], "d": "unicode \ud83d\ude00 ok"} "#;
+        let streamed = read_doc(doc).unwrap();
+        let batch: Value = crate::from_str(std::str::from_utf8(doc).unwrap()).unwrap();
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn cursor_walks_top_level_entries_without_whole_doc() {
+        let doc = br#"{"meta": 7, "items": [{"k": "x"}, {"k": "y"}]}"#;
+        let mut r = JsonReader::new(Drip(doc));
+        r.begin_object().unwrap();
+        assert_eq!(r.next_key().unwrap().as_deref(), Some("meta"));
+        assert_eq!(r.read_value().unwrap(), Value::Int(7));
+        assert_eq!(r.next_key().unwrap().as_deref(), Some("items"));
+        r.begin_array().unwrap();
+        let mut keys = Vec::new();
+        while r.next_element().unwrap() {
+            let item = r.read_value().unwrap();
+            keys.push(item.get("k").unwrap().as_str().unwrap().to_owned());
+        }
+        assert_eq!(keys, vec!["x", "y"]);
+        assert_eq!(r.next_key().unwrap(), None);
+        r.end().unwrap();
+    }
+
+    #[test]
+    fn empty_containers_and_whitespace() {
+        assert_eq!(read_doc(b" [ ] ").unwrap(), Value::Arr(vec![]));
+        assert_eq!(read_doc(b" { } ").unwrap(), Value::Obj(vec![]));
+        let mut r = JsonReader::new(Drip(b"{ }"));
+        r.begin_object().unwrap();
+        assert_eq!(r.next_key().unwrap(), None);
+        r.end().unwrap();
+    }
+
+    #[test]
+    fn errors_carry_byte_offsets() {
+        // truncation mid-record
+        let mut r = JsonReader::new(Drip(br#"{"a": [1, 2"#));
+        r.begin_object().unwrap();
+        r.next_key().unwrap();
+        let err = r.read_value().unwrap_err();
+        assert_eq!(err.byte_offset(), Some(11), "{err}");
+        assert!(err.to_string().contains("byte 11"), "{err}");
+
+        // a bad token mid-document points at the token
+        let doc = b"[1, x]";
+        let mut r = JsonReader::new(Drip(doc));
+        r.begin_array().unwrap();
+        assert!(r.next_element().unwrap());
+        r.read_value().unwrap();
+        assert!(r.next_element().unwrap());
+        let err = r.read_value().unwrap_err();
+        assert_eq!(err.byte_offset(), Some(4));
+    }
+
+    #[test]
+    fn line_and_column_track_newlines() {
+        let doc = b"[1,\n 2,,3]";
+        let mut r = JsonReader::new(Drip(doc));
+        r.begin_array().unwrap();
+        assert!(r.next_element().unwrap());
+        r.read_value().unwrap();
+        assert!(r.next_element().unwrap());
+        r.read_value().unwrap();
+        assert!(r.next_element().unwrap());
+        let err = r.read_value().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+    }
+
+    #[test]
+    fn strict_grammar_matches_batch_parser() {
+        for bad in [
+            &b"01"[..],
+            b"1.",
+            b"-.5",
+            b"1e",
+            b"[1 2]",
+            b"[1,]",
+            b"{\"a\" 1}",
+            b"\"\\ud83dx\"",
+            b"\"\\udc00\"",
+            b"truth",
+        ] {
+            assert!(read_doc(bad).is_err(), "{:?}", std::str::from_utf8(bad));
+            assert!(
+                crate::from_str::<Value>(std::str::from_utf8(bad).unwrap()).is_err(),
+                "batch parser disagrees on {:?}",
+                std::str::from_utf8(bad)
+            );
+        }
+        assert_eq!(read_doc(b"-0.5e+2").unwrap(), Value::Float(-50.0));
+    }
+
+    #[test]
+    fn trailing_characters_are_rejected_by_end() {
+        let mut r = JsonReader::new(Drip(b"{} junk"));
+        r.begin_object().unwrap();
+        assert_eq!(r.next_key().unwrap(), None);
+        let err = r.end().unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let deep: Vec<u8> = b"["
+            .iter()
+            .cycle()
+            .take(100_000)
+            .chain(b"]".iter().cycle().take(100_000))
+            .copied()
+            .collect();
+        let mut r = JsonReader::new(&deep[..]);
+        let err = r.read_value().unwrap_err();
+        assert!(err.to_string().contains("recursion limit"), "{err}");
+    }
+
+    #[test]
+    fn large_strings_cross_refill_boundaries() {
+        let long = "x".repeat(3 * CHUNK) + "é☃";
+        let doc = crate::to_string(&long).unwrap();
+        let back = read_doc(doc.as_bytes()).unwrap();
+        assert_eq!(back, Value::Str(long));
+    }
+}

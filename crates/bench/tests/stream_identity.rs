@@ -1,12 +1,13 @@
-//! The streamed cold path must be indistinguishable from the
-//! materialized one: on the fig6/fig7 testbeds, feeding the serialized
-//! snapshots through `SnapshotReader` → `align_streaming` →
-//! `check_stream` produces a byte-identical `CheckReport` to
-//! `from_json` → `align` → `check` (timing lines excluded — they are
-//! the only nondeterministic output).
+//! The streamed and pipelined cold paths must be indistinguishable from
+//! the materialized one: on the fig6/fig7 testbeds, feeding the
+//! serialized snapshots through `SnapshotReader` → `align_streaming` →
+//! `check_stream`, or through `SnapshotFramer` → `check_pipelined`,
+//! produces a byte-identical `CheckReport` to `from_json` → `align` →
+//! `check` (timing lines excluded — they are the only nondeterministic
+//! output).
 
 use rela_core::{compile_program, parse_program, CheckOptions, CheckReport, Checker};
-use rela_net::{Granularity, SnapshotPair, SnapshotReader};
+use rela_net::{Granularity, SnapshotFramer, SnapshotPair, SnapshotReader};
 use rela_sim::workload::{spec_of_size, synthetic_wan, WanParams};
 use rela_sim::{configured, simulate};
 
@@ -55,6 +56,20 @@ fn assert_streamed_identical(params: &WanParams, spec_atomics: usize, granularit
         verdict_bytes(&streamed),
         verdict_bytes(&materialized),
         "streamed and materialized reports diverged"
+    );
+
+    let pipelined = checker
+        .check_pipelined(
+            SnapshotFramer::new(pre_json.as_bytes()),
+            SnapshotFramer::new(post_json.as_bytes()),
+        )
+        .expect("streams are well-formed");
+    assert_eq!(pipelined.stats.classes, materialized.stats.classes);
+    assert_eq!(pipelined.stats.dedup_hits, materialized.stats.dedup_hits);
+    assert_eq!(
+        verdict_bytes(&pipelined),
+        verdict_bytes(&materialized),
+        "pipelined and materialized reports diverged"
     );
 }
 

@@ -43,14 +43,23 @@
 
 use rela_net::{content_hash128, BehaviorHash, Granularity};
 use serde::Value;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, SystemTime};
 
 /// The on-disk schema tag; bump when the file layout changes shape.
 pub const SCHEMA: &str = "rela-cache/v1";
+
+/// Number of internal map shards. Warm-replay consults run concurrently
+/// across checker workers (one lookup + payload clone per class); a
+/// single mutex would serialize exactly the pass that sharding the
+/// consult is meant to parallelize.
+const SHARDS: usize = 16;
 
 /// A cache generation: verdicts recorded under one epoch are only ever
 /// replayed under the same epoch.
@@ -142,7 +151,9 @@ pub struct VerdictStore {
     /// `None` for a memory-only store (tests, `--no-cache` probes).
     path: Option<PathBuf>,
     epoch: CacheEpoch,
-    entries: Mutex<HashMap<String, Value>>,
+    /// Sharded by key hash: warm-replay consults from concurrent checker
+    /// workers land on different locks.
+    entries: Vec<Mutex<HashMap<String, Value>>>,
     /// How many entries came from disk (for stats/reporting).
     loaded: usize,
     hits: AtomicUsize,
@@ -150,12 +161,28 @@ pub struct VerdictStore {
     inserted: AtomicUsize,
 }
 
+fn shard_of(key: &str) -> usize {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() as usize) % SHARDS
+}
+
+fn shard_map(entries: HashMap<String, Value>) -> Vec<Mutex<HashMap<String, Value>>> {
+    let mut shards: Vec<HashMap<String, Value>> = (0..SHARDS).map(|_| HashMap::new()).collect();
+    for (k, v) in entries {
+        shards[shard_of(&k)].insert(k, v);
+    }
+    shards.into_iter().map(Mutex::new).collect()
+}
+
 impl VerdictStore {
     /// Open (or cold-start) the store for `epoch` under `dir`. The
     /// directory is created if missing. Unreadable or malformed store
-    /// files yield an empty store — cold, not a crash.
+    /// files yield an empty store — cold, not a crash. Stale temp files
+    /// left by crashed writers are swept.
     pub fn open(dir: &Path, epoch: CacheEpoch) -> std::io::Result<VerdictStore> {
         std::fs::create_dir_all(dir)?;
+        sweep_stale_temp_files(dir);
         let path = dir.join(format!("verdicts-{epoch}.json"));
         let entries = std::fs::read_to_string(&path)
             .ok()
@@ -165,11 +192,27 @@ impl VerdictStore {
             path: Some(path),
             epoch,
             loaded: entries.len(),
-            entries: Mutex::new(entries),
+            entries: shard_map(entries),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             inserted: AtomicUsize::new(0),
         })
+    }
+
+    /// [`VerdictStore::open`] plus an open-time garbage-collection sweep
+    /// of the directory under `policy` (the opened epoch's file is never
+    /// removed). This is what long-lived change pipelines want: every
+    /// `rela check --cache-dir` keeps the directory bounded without a
+    /// separate maintenance step. GC failures are swallowed — the sweep
+    /// is hygiene, never a reason to fail a run.
+    pub fn open_with_gc(
+        dir: &Path,
+        epoch: CacheEpoch,
+        policy: &GcPolicy,
+    ) -> std::io::Result<VerdictStore> {
+        let store = VerdictStore::open(dir, epoch)?;
+        let _ = gc(dir, Some(epoch), policy);
+        Ok(store)
     }
 
     /// A store that never touches disk (`persist` is a no-op).
@@ -178,7 +221,7 @@ impl VerdictStore {
             path: None,
             epoch,
             loaded: 0,
-            entries: Mutex::new(HashMap::new()),
+            entries: shard_map(HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             inserted: AtomicUsize::new(0),
@@ -192,7 +235,10 @@ impl VerdictStore {
 
     /// Number of entries currently held.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("store lock").len()
+        self.entries
+            .iter()
+            .map(|s| s.lock().expect("store lock").len())
+            .sum()
     }
 
     /// True when no verdicts are held.
@@ -207,11 +253,11 @@ impl VerdictStore {
 
     /// Look up a verdict payload.
     pub fn get(&self, key: &CacheKey) -> Option<Value> {
-        let found = self
-            .entries
+        let rendered = key.render();
+        let found = self.entries[shard_of(&rendered)]
             .lock()
             .expect("store lock")
-            .get(&key.render())
+            .get(&rendered)
             .cloned();
         match found {
             Some(v) => {
@@ -229,10 +275,11 @@ impl VerdictStore {
     /// write identical payloads for identical keys).
     pub fn put(&self, key: &CacheKey, payload: Value) {
         self.inserted.fetch_add(1, Ordering::Relaxed);
-        self.entries
+        let rendered = key.render();
+        self.entries[shard_of(&rendered)]
             .lock()
             .expect("store lock")
-            .insert(key.render(), payload);
+            .insert(rendered, payload);
     }
 
     /// This run's lookup/insert counters.
@@ -250,13 +297,20 @@ impl VerdictStore {
         let Some(path) = &self.path else {
             return Ok(());
         };
-        let entries = self.entries.lock().expect("store lock");
-        let mut fields: Vec<(String, Value)> = entries
+        let mut fields: Vec<(String, Value)> = self
+            .entries
             .iter()
-            .map(|(k, v)| (k.clone(), v.clone()))
+            .flat_map(|shard| {
+                shard
+                    .lock()
+                    .expect("store lock")
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<Vec<_>>()
+            })
             .collect();
-        // deterministic file bytes: sorted keys, stable across HashMap
-        // iteration order and across runs
+        // deterministic file bytes: sorted keys, stable across shard and
+        // HashMap iteration order and across runs
         fields.sort_by(|a, b| a.0.cmp(&b.0));
         let doc = Value::obj(vec![
             ("schema", Value::Str(SCHEMA.to_owned())),
@@ -279,6 +333,139 @@ impl VerdictStore {
         std::fs::write(&tmp, json + "\n")?;
         std::fs::rename(&tmp, path)
     }
+}
+
+/// Retention policy for [`gc`] and [`VerdictStore::open_with_gc`].
+#[derive(Debug, Clone, Copy)]
+pub struct GcPolicy {
+    /// Beyond the protected (current) epoch, keep at most this many
+    /// other epoch files, most recently modified first. `None` keeps
+    /// all; `Some(0)` keeps only the current epoch.
+    pub keep_epochs: Option<usize>,
+    /// Total byte cap across retained epoch files; the oldest are
+    /// removed until the directory fits (the current epoch's file is
+    /// never removed). `None` = no cap.
+    pub max_bytes: Option<u64>,
+}
+
+impl Default for GcPolicy {
+    /// The open-time sweep default: a handful of sibling epochs survive
+    /// (a change pipeline iterating on a few spec versions stays fully
+    /// warm), anything older goes, no size cap.
+    fn default() -> GcPolicy {
+        GcPolicy {
+            keep_epochs: Some(8),
+            max_bytes: None,
+        }
+    }
+}
+
+/// What a [`gc`] sweep did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Files removed (epoch files + stale temp files).
+    pub removed_files: usize,
+    /// Bytes those files held.
+    pub removed_bytes: u64,
+    /// Epoch files retained.
+    pub retained_files: usize,
+    /// Bytes the retained files hold.
+    pub retained_bytes: u64,
+}
+
+/// Temp files from crashed writers are reclaimed once they are clearly
+/// abandoned; a live writer renames its temp file within milliseconds.
+const STALE_TEMP_AGE: Duration = Duration::from_secs(3600);
+
+fn is_stale_temp(path: &Path, meta: &std::fs::Metadata) -> bool {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    name.starts_with("verdicts-")
+        && name.contains(".tmp.")
+        && meta
+            .modified()
+            .ok()
+            .and_then(|m| SystemTime::now().duration_since(m).ok())
+            .is_some_and(|age| age > STALE_TEMP_AGE)
+}
+
+fn sweep_stale_temp_files(dir: &Path) {
+    let Ok(read) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in read.flatten() {
+        let path = entry.path();
+        if let Ok(meta) = entry.metadata() {
+            if is_stale_temp(&path, &meta) {
+                std::fs::remove_file(&path).ok();
+            }
+        }
+    }
+}
+
+/// Garbage-collect a cache directory (`rela cache gc`, and the
+/// open-time sweep behind [`VerdictStore::open_with_gc`]).
+///
+/// Removes, in order:
+/// 1. stale temp files abandoned by crashed writers;
+/// 2. epoch files beyond `policy.keep_epochs`, most recently modified
+///    first — superseded spec versions age out of a long-lived change
+///    pipeline's directory;
+/// 3. the oldest remaining epoch files until the directory fits
+///    `policy.max_bytes`.
+///
+/// The `current` epoch's file (when given) is always retained — GC must
+/// never make the very store a run is using go cold.
+pub fn gc(dir: &Path, current: Option<CacheEpoch>, policy: &GcPolicy) -> std::io::Result<GcStats> {
+    let mut stats = GcStats::default();
+    let current_name = current.map(|e| format!("verdicts-{e}.json"));
+    // (mtime, size, path) of every non-current epoch file
+    let mut others: Vec<(SystemTime, u64, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let Ok(meta) = entry.metadata() else { continue };
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if is_stale_temp(&path, &meta) {
+            stats.removed_files += 1;
+            stats.removed_bytes += meta.len();
+            std::fs::remove_file(&path).ok();
+            continue;
+        }
+        if !name.starts_with("verdicts-") || !name.ends_with(".json") {
+            continue;
+        }
+        if current_name.as_deref() == Some(name) {
+            stats.retained_files += 1;
+            stats.retained_bytes += meta.len();
+            continue;
+        }
+        let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+        others.push((mtime, meta.len(), path));
+    }
+    // newest first; the tail beyond keep_epochs goes
+    others.sort_by_key(|(mtime, _, _)| std::cmp::Reverse(*mtime));
+    let keep = policy.keep_epochs.unwrap_or(usize::MAX).min(others.len());
+    for (_, size, path) in others.drain(keep..) {
+        stats.removed_files += 1;
+        stats.removed_bytes += size;
+        std::fs::remove_file(&path).ok();
+    }
+    // size cap: drop the oldest retained non-current files until we fit
+    if let Some(cap) = policy.max_bytes {
+        let mut total: u64 = stats.retained_bytes + others.iter().map(|(_, s, _)| s).sum::<u64>();
+        while total > cap {
+            let Some((_, size, path)) = others.pop() else {
+                break; // only the current epoch remains
+            };
+            stats.removed_files += 1;
+            stats.removed_bytes += size;
+            total -= size;
+            std::fs::remove_file(&path).ok();
+        }
+    }
+    stats.retained_files += others.len();
+    stats.retained_bytes += others.iter().map(|(_, s, _)| s).sum::<u64>();
+    Ok(stats)
 }
 
 /// Parse a store file's text; `None` on any malformation (wrong JSON,
@@ -423,6 +610,132 @@ mod tests {
         b.persist().unwrap();
         assert_eq!(std::fs::read_to_string(&path).unwrap(), first);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Populate one epoch file in `dir` and return its path.
+    fn write_epoch(dir: &Path, tag: u128, entries: usize) -> PathBuf {
+        let epoch = CacheEpoch::derive(tag, "engine/v1");
+        let store = VerdictStore::open(dir, epoch).unwrap();
+        for i in 0..entries {
+            store.put(&key(i as u128, 1, None), Value::Int(i as i64));
+        }
+        store.persist().unwrap();
+        dir.join(format!("verdicts-{epoch}.json"))
+    }
+
+    #[test]
+    fn gc_prunes_superseded_epochs_but_never_the_current_one() {
+        let dir = tmpdir("gc-epochs");
+        let current = CacheEpoch::derive(0, "engine/v1");
+        let current_path = write_epoch(&dir, 0, 4);
+        let old_paths: Vec<PathBuf> = (1..=3).map(|t| write_epoch(&dir, t, 2)).collect();
+
+        // keep_epochs = 0: only the current epoch survives
+        let stats = gc(
+            &dir,
+            Some(current),
+            &GcPolicy {
+                keep_epochs: Some(0),
+                max_bytes: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.removed_files, 3, "{stats:?}");
+        assert_eq!(stats.retained_files, 1);
+        assert!(current_path.exists());
+        for p in &old_paths {
+            assert!(!p.exists(), "{} survived", p.display());
+        }
+        // the surviving store still replays
+        let store = VerdictStore::open(&dir, current).unwrap();
+        assert_eq!(store.loaded(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_size_cap_drops_oldest_first() {
+        let dir = tmpdir("gc-cap");
+        let current = CacheEpoch::derive(0, "engine/v1");
+        write_epoch(&dir, 0, 2);
+        let oldest = write_epoch(&dir, 1, 50);
+        // ensure distinct mtimes (coarse clocks)
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let newest = write_epoch(&dir, 2, 2);
+
+        let cap = std::fs::metadata(dir.join(format!("verdicts-{current}.json")))
+            .unwrap()
+            .len()
+            + std::fs::metadata(&newest).unwrap().len();
+        let stats = gc(
+            &dir,
+            Some(current),
+            &GcPolicy {
+                keep_epochs: None,
+                max_bytes: Some(cap),
+            },
+        )
+        .unwrap();
+        assert!(!oldest.exists(), "size cap must evict the oldest file");
+        assert!(newest.exists());
+        assert!(stats.retained_bytes <= cap, "{stats:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_with_gc_sweeps_and_still_replays() {
+        let dir = tmpdir("gc-open");
+        let current = CacheEpoch::derive(0, "engine/v1");
+        write_epoch(&dir, 0, 3);
+        for t in 1..=12 {
+            write_epoch(&dir, t, 1);
+        }
+        // a fresh-looking temp file must survive (a writer may be live);
+        // gc only reclaims abandoned ones
+        let fresh_tmp = dir.join("verdicts-x.json.tmp.999.0");
+        std::fs::write(&fresh_tmp, "{}").unwrap();
+
+        let store = VerdictStore::open_with_gc(&dir, current, &GcPolicy::default()).unwrap();
+        assert_eq!(store.loaded(), 3, "sweep must not touch the opened epoch");
+        let epoch_files = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| {
+                let name = e.file_name();
+                let name = name.to_string_lossy();
+                name.starts_with("verdicts-") && name.ends_with(".json")
+            })
+            .count();
+        assert_eq!(epoch_files, 9, "current + 8 most recent siblings");
+        assert!(fresh_tmp.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_gets_hit_distinct_shards() {
+        // smoke the sharded map under concurrent readers/writers
+        let store = std::sync::Arc::new(VerdictStore::in_memory(CacheEpoch::derive(9, "e")));
+        for i in 0..256u128 {
+            store.put(&key(i, i, None), Value::Int(i as i64));
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let store = store.clone();
+                std::thread::spawn(move || {
+                    for i in 0..256u128 {
+                        assert_eq!(
+                            store.get(&key(i, i, None)),
+                            Some(Value::Int(i as i64)),
+                            "thread {t}"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.stats().hits, 256 * 4);
+        assert_eq!(store.len(), 256);
     }
 
     #[test]

@@ -24,18 +24,26 @@ use crate::ast::Program;
 use crate::compile::{CompiledCheck, CompiledProgram, GuardedPart};
 use crate::counterexample::{diff_equation, EquationDiff, PathRenderer, WitnessLimits};
 use crate::lower::{lower_pathset_dfa, lower_rel, PairFsas};
+use crate::pipeline::{
+    Channel, ClassRef, ClassRegistry, DecideQueue, EagerOutcome, EagerTask, ErrorSink, FlowRef,
+    JoinMap, Joined, OneSided, PoisonOnPanic, Provenance, Recv, Side,
+};
 use crate::report::{
     CheckReport, CheckStats, FecResult, PartViolation, PhaseTimings, ViolationDetail,
 };
 use crate::rir::RirSpec;
-use rela_automata::{determinize, enumerate_words, equivalent, image, Dfa, Fst, Nfa, SymbolTable};
+use rela_automata::{
+    determinize, enumerate_words, equivalent, image, minimize, Dfa, Fst, Nfa, SymbolTable,
+};
 use rela_cache::{CacheEpoch, CacheKey, VerdictStore};
 use rela_net::{
     behavior_hash, canonical_graph, content_hash128, graph_to_fsa_prepared, AlignedFec,
-    BehaviorHash, FlowSpec, ForwardingGraph, Granularity, LocationDb, SnapshotPair, DROP_LOCATION,
+    BehaviorHash, FlowSpec, ForwardingGraph, Granularity, LocationDb, RawRecord, SnapshotError,
+    SnapshotFramer, SnapshotPair, DROP_LOCATION,
 };
 use std::borrow::Borrow;
 use std::collections::{BTreeSet, HashMap};
+use std::io::Read;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -46,10 +54,14 @@ use std::time::{Duration, Instant};
 /// without a crate version bump — a new engine must never replay an old
 /// engine's verdicts.
 // engine.2: symbol interning moved to a sorted set of representative
-// locations (`prepare_table`), which changes automaton layouts and
-// therefore witness enumeration order — engine.1 renderings must not
-// replay.
-pub const ENGINE_VERSION: &str = concat!("rela-core/", env!("CARGO_PKG_VERSION"), "/engine.2");
+// locations (`table_of`), which changes automaton layouts and therefore
+// witness enumeration order — engine.1 renderings must not replay.
+// engine.3: the store-key variant fingerprint widened from 24 to 25
+// option bytes (`minimize_sides`), so entries written by engine.2 could
+// never match again — keeping the epoch would leave them as permanent
+// dead weight in the live store file; moving the epoch lets `cache gc`
+// age the old file out instead.
+pub const ENGINE_VERSION: &str = concat!("rela-core/", env!("CARGO_PKG_VERSION"), "/engine.3");
 
 /// The persistent-cache epoch for a parsed program bound to a location
 /// database: a content hash of the spec AST *and* the database it
@@ -84,6 +96,17 @@ pub struct CheckOptions {
     /// per class (on by default; `false` re-decides every FEC from
     /// scratch, which is only useful for benchmarking the dedup win).
     pub dedup: bool,
+    /// Hopcroft-minimize each determinized equation side before the
+    /// equivalence check (the minimize-before-equiv ablation; measured
+    /// by the perf harness's `ablation` scenario). Changes witness
+    /// enumeration order, so it participates in the verdict-store
+    /// variant fingerprint and defaults to off.
+    pub minimize_sides: bool,
+    /// Records in flight per decode worker in the pipelined cold path:
+    /// [`Checker::check_pipelined`]'s bounded channel holds
+    /// `pipeline_depth × workers` undecoded spans, which is the
+    /// back-pressure bound on raw-record memory. `0` = default (8).
+    pub pipeline_depth: usize,
 }
 
 impl Default for CheckOptions {
@@ -93,9 +116,14 @@ impl Default for CheckOptions {
             threads: 0,
             list_paths: 4,
             dedup: true,
+            minimize_sides: false,
+            pipeline_depth: 0,
         }
     }
 }
+
+/// Default records in flight per decode worker (`pipeline_depth` 0).
+const DEFAULT_PIPELINE_DEPTH: usize = 8;
 
 /// One behavior class: the pspec route shared by all members, the
 /// member indices into `pair.fecs` (first member is the representative),
@@ -107,8 +135,94 @@ struct BehaviorClass {
     key: Option<(BehaviorHash, BehaviorHash)>,
 }
 
-/// Memo key: `(side behavior hash, route, part index, is_post_side)`.
-type MemoKey = (u128, usize, usize, bool);
+/// Per-worker state of the pipelined cold path: the flows this worker
+/// completed pairs for (concatenated into the global flow list after the
+/// join), its eager consult/decide outcomes, and its phase timings.
+struct PipelineWorkerState {
+    flows: Vec<FlowSpec>,
+    outcomes: Vec<(ClassRef, EagerOutcome)>,
+    phases: PhaseTimings,
+}
+
+impl PipelineWorkerState {
+    fn new() -> PipelineWorkerState {
+        PipelineWorkerState {
+            flows: Vec::new(),
+            outcomes: Vec::new(),
+            phases: PhaseTimings::default(),
+        }
+    }
+}
+
+/// Records per channel message: framed spans travel in small batches so
+/// the per-record synchronization cost (mutex + condvar per send/recv)
+/// amortizes — at 10⁵⁺ records it would otherwise rival decode itself.
+const FRAME_BATCH: usize = 16;
+
+/// A framer thread body: raw record framing only — spans go over the
+/// bounded channel to the decode pool in [`FRAME_BATCH`]-sized batches.
+/// Stops early when the pipeline aborts; the last framer to finish
+/// closes the channel.
+fn frame_side<R: Read>(
+    mut framer: SnapshotFramer<R>,
+    side: Side,
+    channel: &Channel<(Side, Vec<RawRecord>)>,
+    errors: &ErrorSink,
+    producers_left: &AtomicUsize,
+) {
+    let _poison_guard = PoisonOnPanic(channel);
+    let mut batch: Vec<RawRecord> = Vec::with_capacity(FRAME_BATCH);
+    for item in &mut framer {
+        if errors.aborted() {
+            break;
+        }
+        match item {
+            Ok(raw) => {
+                batch.push(raw);
+                if batch.len() == FRAME_BATCH {
+                    let full = std::mem::replace(&mut batch, Vec::with_capacity(FRAME_BATCH));
+                    if channel.send((side, full)).is_err() {
+                        batch = Vec::new();
+                        break; // poisoned: the pipeline is aborting
+                    }
+                }
+            }
+            Err(e) => {
+                errors.record(side, e);
+                channel.poison();
+                break;
+            }
+        }
+    }
+    if !batch.is_empty() {
+        let _ = channel.send((side, batch));
+    }
+    if producers_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+        channel.close();
+    }
+}
+
+/// Content fingerprint of a symbol table's interned location-name set
+/// (the program's own symbols are fixed per run, so the names suffice).
+/// Disambiguates [`MemoKey`]s between decides that used different
+/// tables — see the type's documentation.
+fn table_fingerprint(names: &BTreeSet<String>) -> u128 {
+    let mut bytes = Vec::new();
+    for name in names {
+        bytes.extend_from_slice(name.as_bytes());
+        bytes.push(0xff); // separator: adjacent names cannot collide
+    }
+    content_hash128(&bytes)
+}
+
+/// Memo key: `(side behavior hash, route, part index, is_post_side,
+/// symbol-table fingerprint)`. The table fingerprint matters because a
+/// DFA's state/symbol layout is a function of the table it was built
+/// against: the batch engines decide every class under one run-global
+/// table, while the pipelined engine's eager decides use per-class
+/// tables — sides may only be shared between decides that interned the
+/// same symbol set.
+type MemoKey = (u128, usize, usize, bool, u128);
 
 /// In-run memo of determinized equation sides, keyed by [`MemoKey`].
 /// Many classes share one unchanged side (typically `pre` on a
@@ -276,6 +390,453 @@ impl<'a> Checker<'a> {
         Ok(self.run_classes(start, &flows, &classes, &reps))
     }
 
+    /// Check two snapshot streams through the fully pipelined cold path.
+    ///
+    /// Where [`Checker::check_stream`] decodes, fingerprints, and groups
+    /// every record on the calling thread and only starts deciding after
+    /// the stream ends, this method overlaps all three stages:
+    ///
+    /// 1. **Framers** (one thread per snapshot) extract undecoded record
+    ///    spans ([`rela_net::SnapshotFramer`]) and push them over a
+    ///    bounded channel — back-pressure caps raw-record memory at
+    ///    `pipeline_depth × workers` spans.
+    /// 2. **Decode workers** parse each span, compute its side's
+    ///    [`BehaviorHash`], and hash-join it with its partner on the
+    ///    flow key (sharded join map; only unmatched records spill).
+    /// 3. A **class registry** (sharded by `(pre, post, route)`) admits
+    ///    the first representative of each behavior class; graph
+    ///    residency stays O(classes).
+    /// 4. Idle workers **begin deciding** admitted classes while records
+    ///    still arrive: warm classes replay from the persistent store
+    ///    immediately, and cold classes are decided eagerly against a
+    ///    per-class symbol table. Compliant verdicts carry no rendered
+    ///    paths, so they are final; violating ones are re-decided by the
+    ///    finisher under the run's definitive sorted table so witness
+    ///    bytes match the batch engines exactly.
+    ///
+    /// The produced report is byte-identical to [`Checker::check`] and
+    /// [`Checker::check_stream`] on the same records at any pipeline
+    /// depth and thread count. The first stream error aborts the
+    /// pipeline (framers stop, workers drain) and is returned with the
+    /// serial reader's offset/entry-index contract; when several errors
+    /// are discovered concurrently, the lowest entry index wins, `pre`
+    /// before `post`.
+    pub fn check_pipelined<A, B>(
+        &self,
+        pre: SnapshotFramer<A>,
+        post: SnapshotFramer<B>,
+    ) -> Result<CheckReport, SnapshotError>
+    where
+        A: Read + Send,
+        B: Read + Send,
+    {
+        let start = Instant::now();
+        let threads = self.resolve_threads();
+        let workers = threads.max(1);
+        let depth = match self.options.pipeline_depth {
+            0 => DEFAULT_PIPELINE_DEPTH,
+            depth => depth,
+        };
+        let labels: [Option<String>; 2] = [
+            pre.label().map(str::to_owned),
+            post.label().map(str::to_owned),
+        ];
+        let default_lowered = LoweredCheck::new(&self.program.default_check);
+        let routed_lowered: Vec<LoweredCheck<'_>> = self
+            .program
+            .routed
+            .iter()
+            .map(|r| LoweredCheck::new(&r.check))
+            .collect();
+
+        // capacity counts batches; ≈ depth × workers records in flight
+        let channel: Channel<(Side, Vec<RawRecord>)> =
+            Channel::new(depth.saturating_mul(workers).div_ceil(FRAME_BATCH).max(2));
+        let shards = workers.next_power_of_two().max(8);
+        let join = JoinMap::new(shards);
+        let registry = ClassRegistry::new(shards, self.options.dedup);
+        let decide_queue = DecideQueue::new();
+        let errors = ErrorSink::new();
+        let memo = FstMemo::new();
+        let producers_left = AtomicUsize::new(2);
+
+        let mut locals: Vec<PipelineWorkerState> = std::thread::scope(|scope| {
+            {
+                let (channel, errors, left) = (&channel, &errors, &producers_left);
+                scope.spawn(move || frame_side(pre, Side::Pre, channel, errors, left));
+                scope.spawn(move || frame_side(post, Side::Post, channel, errors, left));
+            }
+            let handles: Vec<_> = (0..workers)
+                .map(|worker| {
+                    let channel = &channel;
+                    let join = &join;
+                    let registry = &registry;
+                    let decide_queue = &decide_queue;
+                    let errors = &errors;
+                    let memo = &memo;
+                    let default_ref = &default_lowered;
+                    let routed_ref = &routed_lowered;
+                    let labels = &labels;
+                    scope.spawn(move || {
+                        self.pipeline_worker(
+                            worker,
+                            channel,
+                            join,
+                            registry,
+                            decide_queue,
+                            errors,
+                            memo,
+                            default_ref,
+                            routed_ref,
+                            labels,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pipeline worker panicked"))
+                .collect()
+        });
+
+        if errors.aborted() {
+            return Err(errors.into_first().expect("abort implies a recorded error"));
+        }
+
+        // Both streams ended cleanly: drain flows seen on one side only
+        // (the missing side is the empty graph, hashed at the same
+        // level, exactly as the serial fingerprint pass would).
+        let mut drain_state = PipelineWorkerState::new();
+        for one in join.drain_one_sided() {
+            let OneSided {
+                flow,
+                side,
+                graph,
+                hash,
+            } = one;
+            let route = self.route_of_flow(&flow);
+            let empty_hash = self.options.dedup.then(|| {
+                behavior_hash(&ForwardingGraph::default(), self.db, self.hash_level(route))
+            });
+            let (fec, key) = match side {
+                Side::Pre => (
+                    AlignedFec {
+                        flow,
+                        pre: graph,
+                        post: ForwardingGraph::default(),
+                    },
+                    hash.zip(empty_hash),
+                ),
+                Side::Post => (
+                    AlignedFec {
+                        flow,
+                        pre: ForwardingGraph::default(),
+                        post: graph,
+                    },
+                    empty_hash.zip(hash),
+                ),
+            };
+            self.pipeline_admit(
+                workers, // the drain acts as one extra pseudo-worker
+                fec,
+                key,
+                route,
+                &registry,
+                &decide_queue,
+                &mut drain_state,
+            );
+        }
+        locals.push(drain_state);
+
+        // Flatten worker-local state into the flat engine inputs.
+        let mut phases = PhaseTimings::default();
+        let mut offsets = Vec::with_capacity(locals.len());
+        let mut flows: Vec<FlowSpec> = Vec::new();
+        let mut outcomes: Vec<(ClassRef, EagerOutcome)> = Vec::new();
+        for mut local in locals {
+            offsets.push(flows.len());
+            flows.append(&mut local.flows);
+            outcomes.append(&mut local.outcomes);
+            phases.merge(&local.phases);
+        }
+        let (accs, shard_offsets) = registry.into_classes();
+        let mut classes: Vec<BehaviorClass> = Vec::with_capacity(accs.len());
+        let mut reps: Vec<Arc<AlignedFec>> = Vec::with_capacity(accs.len());
+        for acc in accs {
+            classes.push(BehaviorClass {
+                route: acc.route,
+                key: acc.key,
+                members: acc
+                    .members
+                    .iter()
+                    .map(|m| offsets[m.worker] + m.local)
+                    .collect(),
+            });
+            reps.push(acc.rep);
+        }
+
+        // Partition the eager outcomes: warm replays and compliant eager
+        // decides are final; violating provisionals and classes never
+        // reached (tasks left queued when the stream ended) go to the
+        // finisher.
+        let mut covered = vec![false; classes.len()];
+        let mut warm: Vec<(usize, FecResult)> = Vec::new();
+        let mut done: Vec<(usize, FecResult, Duration, PhaseTimings)> = Vec::new();
+        let mut redo: Vec<usize> = Vec::new();
+        for (class_ref, outcome) in outcomes {
+            let global = shard_offsets[class_ref.shard] + class_ref.index;
+            covered[global] = true;
+            match outcome {
+                EagerOutcome::Warm(result) => warm.push((global, result)),
+                EagerOutcome::Compliant(result, wall, class_phases) => {
+                    done.push((global, result, wall, class_phases))
+                }
+                EagerOutcome::ViolatingProvisional => redo.push(global),
+            }
+        }
+        redo.extend((0..classes.len()).filter(|&ix| !covered[ix]));
+        redo.sort_unstable();
+
+        // Final decides under the run's definitive sorted table — the
+        // same table every batch engine would build, which is what makes
+        // witness bytes identical across engines.
+        let names = self.collect_symbols(&reps);
+        let table_fp = table_fingerprint(&names);
+        let table = self.table_of(&names);
+        let (fresh, final_phases) = self.decide_classes(
+            &redo,
+            &classes,
+            &reps,
+            &default_lowered,
+            &routed_lowered,
+            &table,
+            table_fp,
+            &memo,
+            threads,
+        );
+        phases.merge(&final_phases);
+
+        // Write every fresh decision back to the store (eager compliant
+        // verdicts and finisher decisions alike).
+        if let Some(cache) = self.cache {
+            for (ix, result, wall, class_phases) in done.iter().chain(fresh.iter()) {
+                if let Some(key) = self.store_key(&classes[*ix]) {
+                    cache.put(&key, result.to_cache_value(*wall, class_phases));
+                }
+            }
+        }
+
+        let decided: Vec<(usize, FecResult, Duration)> = done
+            .into_iter()
+            .chain(fresh)
+            .map(|(ix, result, wall, _)| (ix, result, wall))
+            .collect();
+        Ok(self.assemble_report(
+            start,
+            &flows,
+            &classes,
+            warm,
+            decided,
+            memo.hits.load(Ordering::Relaxed),
+            phases,
+        ))
+    }
+
+    /// One decode/fingerprint worker: pull raw spans while they arrive,
+    /// and decide admitted classes in the gaps (decode has priority —
+    /// it is what un-blocks the framers).
+    #[allow(clippy::too_many_arguments)] // internal; mirrors the engine's data flow
+    fn pipeline_worker(
+        &self,
+        worker: usize,
+        channel: &Channel<(Side, Vec<RawRecord>)>,
+        join: &JoinMap,
+        registry: &ClassRegistry,
+        decide_queue: &DecideQueue,
+        errors: &ErrorSink,
+        memo: &FstMemo,
+        default_lowered: &LoweredCheck<'_>,
+        routed_lowered: &[LoweredCheck<'_>],
+        labels: &[Option<String>; 2],
+    ) -> PipelineWorkerState {
+        let _poison_guard = PoisonOnPanic(channel);
+        let mut state = PipelineWorkerState::new();
+        loop {
+            match channel.recv(Duration::from_millis(1)) {
+                Recv::Item((side, batch)) => {
+                    for raw in batch {
+                        if let Err((side, e)) = self.pipeline_record(
+                            worker,
+                            side,
+                            raw,
+                            join,
+                            registry,
+                            decide_queue,
+                            labels,
+                            &mut state,
+                        ) {
+                            errors.record(side, e);
+                            channel.poison();
+                            break;
+                        }
+                    }
+                }
+                Recv::Timeout => {
+                    if let Some(task) = decide_queue.pop() {
+                        self.eager_decide(task, memo, default_lowered, routed_lowered, &mut state);
+                    }
+                }
+                Recv::Closed => return state,
+            }
+        }
+    }
+
+    /// Decode one framed record, fingerprint its side, and join it with
+    /// its partner; a completed pair is admitted to the class registry.
+    #[allow(clippy::too_many_arguments)] // internal; mirrors the engine's data flow
+    fn pipeline_record(
+        &self,
+        worker: usize,
+        side: Side,
+        raw: RawRecord,
+        join: &JoinMap,
+        registry: &ClassRegistry,
+        decide_queue: &DecideQueue,
+        labels: &[Option<String>; 2],
+        state: &mut PipelineWorkerState,
+    ) -> Result<(), (Side, SnapshotError)> {
+        let label = labels[match side {
+            Side::Pre => 0,
+            Side::Post => 1,
+        }]
+        .as_deref();
+        let (flow, graph) = raw.decode(label).map_err(|e| (side, e))?;
+        let route = self.route_of_flow(&flow);
+        let hash = self
+            .options
+            .dedup
+            .then(|| behavior_hash(&graph, self.db, self.hash_level(route)));
+        let provenance = Provenance {
+            index: raw.index,
+            offset: raw.offset,
+        };
+        match join.insert(side, &flow, graph, hash, provenance) {
+            Joined::Pending => Ok(()),
+            Joined::Duplicate(second) => {
+                // `second` is the occurrence with the larger entry index
+                // — what the serial reader names, whichever record a
+                // worker happened to decode first
+                let mut e = SnapshotError::at(format!("duplicate flow {flow}"), second.offset)
+                    .with_entry(second.index);
+                if let Some(label) = label {
+                    e = e.with_source_label(label);
+                }
+                Err((side, e))
+            }
+            Joined::Paired {
+                fec,
+                pre_hash,
+                post_hash,
+            } => {
+                self.pipeline_admit(
+                    worker,
+                    fec,
+                    pre_hash.zip(post_hash),
+                    route,
+                    registry,
+                    decide_queue,
+                    state,
+                );
+                Ok(())
+            }
+        }
+    }
+
+    /// Admit one aligned FEC to the class registry. A founding member
+    /// consults the persistent store right here on the worker (the
+    /// pipelined form of the sharded warm lookup); a store miss queues
+    /// the class for an eager decide.
+    #[allow(clippy::too_many_arguments)] // internal; mirrors the engine's data flow
+    fn pipeline_admit(
+        &self,
+        worker: usize,
+        fec: AlignedFec,
+        key: Option<(BehaviorHash, BehaviorHash)>,
+        route: Option<usize>,
+        registry: &ClassRegistry,
+        decide_queue: &DecideQueue,
+        state: &mut PipelineWorkerState,
+    ) {
+        let member = FlowRef {
+            worker,
+            local: state.flows.len(),
+        };
+        state.flows.push(fec.flow.clone());
+        if let Some((class, rep)) = registry.admit(fec, key, route, member) {
+            let stub = BehaviorClass {
+                route,
+                members: Vec::new(),
+                key,
+            };
+            let replay = self
+                .cache
+                .zip(self.store_key(&stub))
+                .and_then(|(cache, store_key)| {
+                    cache
+                        .get(&store_key)
+                        .and_then(|payload| FecResult::from_cache_value(&payload, rep.flow.clone()))
+                });
+            match replay {
+                Some(result) => state.outcomes.push((class, EagerOutcome::Warm(result))),
+                None => decide_queue.push(EagerTask {
+                    class,
+                    rep,
+                    route,
+                    key,
+                }),
+            }
+        }
+    }
+
+    /// Decide one class mid-ingest against a **per-class** symbol table
+    /// (the run-global table cannot exist until the stream ends). A
+    /// compliant verdict is final: it renders no paths, so its bytes
+    /// cannot depend on the table. A violating verdict proves only the
+    /// boolean — language (in)equivalence is invariant under the table
+    /// relabeling — while its witnesses are table-sensitive, so it is
+    /// handed back for a finisher re-decide.
+    fn eager_decide(
+        &self,
+        task: EagerTask,
+        memo: &FstMemo,
+        default_lowered: &LoweredCheck<'_>,
+        routed_lowered: &[LoweredCheck<'_>],
+        state: &mut PipelineWorkerState,
+    ) {
+        let names = self.collect_symbols(std::slice::from_ref(&task.rep));
+        let table_fp = table_fingerprint(&names);
+        let table = self.table_of(&names);
+        let t0 = Instant::now();
+        let before = state.phases;
+        let result = self.check_class(
+            task.rep.borrow(),
+            task.route,
+            task.key,
+            default_lowered,
+            routed_lowered,
+            &table,
+            table_fp,
+            memo,
+            &mut state.phases,
+        );
+        let outcome = if result.violations.is_empty() {
+            EagerOutcome::Compliant(result, t0.elapsed(), state.phases.since(&before))
+        } else {
+            EagerOutcome::ViolatingProvisional
+        };
+        state.outcomes.push((task.class, outcome));
+    }
+
     /// `options.threads`, with `0` resolved to the machine's available
     /// parallelism.
     fn resolve_threads(&self) -> usize {
@@ -307,7 +868,9 @@ impl<'a> Checker<'a> {
         R: Borrow<AlignedFec> + Sync,
     {
         debug_assert_eq!(classes.len(), reps.len());
-        let table = self.prepare_table(reps);
+        let names = self.collect_symbols(reps);
+        let table_fp = table_fingerprint(&names);
+        let table = self.table_of(&names);
         let default_lowered = LoweredCheck::new(&self.program.default_check);
         let routed_lowered: Vec<LoweredCheck<'_>> = self
             .program
@@ -317,14 +880,76 @@ impl<'a> Checker<'a> {
             .collect();
         let threads = self.resolve_threads();
 
-        // Consult the persistent store: a class whose verdict a previous
-        // run (same spec, same engine, same options) already decided
-        // replays warm.
-        let mut warm: Vec<(usize, FecResult)> = Vec::new();
-        let mut cold: Vec<usize> = Vec::with_capacity(classes.len());
-        for (ix, class) in classes.iter().enumerate() {
-            let cached = self
-                .cache
+        // Consult the persistent store (sharded across workers): a class
+        // whose verdict a previous run (same spec, same engine, same
+        // options) already decided replays warm.
+        let (warm, cold) = self.consult_store(flows, classes, threads);
+
+        // Decide one representative per cold class over the
+        // work-stealing queue.
+        let memo = FstMemo::new();
+        let (decided, phases) = self.decide_classes(
+            &cold,
+            classes,
+            reps,
+            &default_lowered,
+            &routed_lowered,
+            &table,
+            table_fp,
+            &memo,
+            threads,
+        );
+
+        // Write fresh decisions back to the store (in memory; the owner
+        // of the store persists to disk after the run).
+        if let Some(cache) = self.cache {
+            for (ix, result, wall, class_phases) in &decided {
+                if let Some(key) = self.store_key(&classes[*ix]) {
+                    cache.put(&key, result.to_cache_value(*wall, class_phases));
+                }
+            }
+        }
+
+        let decided = decided
+            .into_iter()
+            .map(|(ix, result, wall, _)| (ix, result, wall))
+            .collect();
+        self.assemble_report(
+            start,
+            flows,
+            classes,
+            warm,
+            decided,
+            memo.hits.load(Ordering::Relaxed),
+            phases,
+        )
+    }
+
+    /// Consult the persistent store for every class, sharded across
+    /// workers. The per-class consult — store lookup, payload clone,
+    /// JSON→[`FecResult`] parse — is the *entire* check on a fully-warm
+    /// run, and a serial pass leaves every core but one idle (ROADMAP:
+    /// parallel warm-replay lookup). Contiguous chunks keep the
+    /// warm/cold lists in class order, identical to a serial consult.
+    fn consult_store<F>(
+        &self,
+        flows: &[F],
+        classes: &[BehaviorClass],
+        threads: usize,
+    ) -> (Vec<(usize, FecResult)>, Vec<usize>)
+    where
+        F: Borrow<FlowSpec> + Sync,
+    {
+        if self.cache.is_none() {
+            return (Vec::new(), (0..classes.len()).collect());
+        }
+        // don't spawn when thread startup dwarfs the lookups
+        const MIN_CLASSES_PER_WORKER: usize = 64;
+        let workers = threads
+            .min(classes.len().div_ceil(MIN_CLASSES_PER_WORKER))
+            .max(1);
+        let consult_one = |class: &BehaviorClass| -> Option<FecResult> {
+            self.cache
                 .zip(self.store_key(class))
                 .and_then(|(cache, key)| {
                     cache.get(&key).and_then(|payload| {
@@ -333,24 +958,67 @@ impl<'a> Checker<'a> {
                             flows[class.members[0]].borrow().clone(),
                         )
                     })
-                });
-            match cached {
+                })
+        };
+        let outcomes: Vec<Option<FecResult>> = if workers <= 1 {
+            classes.iter().map(consult_one).collect()
+        } else {
+            let chunk = classes.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = classes
+                    .chunks(chunk)
+                    .map(|shard| {
+                        let consult_one = &consult_one;
+                        scope.spawn(move || shard.iter().map(consult_one).collect::<Vec<_>>())
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("consult worker panicked"))
+                    .collect()
+            })
+        };
+        let mut warm = Vec::new();
+        let mut cold = Vec::with_capacity(classes.len());
+        for (ix, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
                 Some(result) => warm.push((ix, result)),
                 None => cold.push(ix),
             }
         }
-        let warm_hits = warm.len();
+        (warm, cold)
+    }
 
-        // Decide one representative per cold class. Workers pull the
-        // next undecided class from an atomic cursor (work stealing): a
-        // pathological class occupies one worker while the rest drain
-        // the queue, instead of stalling a statically assigned chunk.
-        let memo = FstMemo::new();
+    /// Decide the classes listed in `cold` (indices into `classes`) over
+    /// a work-stealing queue: workers pull the next undecided class from
+    /// an atomic cursor, so a pathological class occupies one worker
+    /// while the rest drain the queue, instead of stalling a statically
+    /// assigned chunk. Shared by [`Checker::run_classes`] and the
+    /// pipelined finisher.
+    #[allow(clippy::too_many_arguments)] // internal; mirrors the engine's data flow
+    fn decide_classes<R>(
+        &self,
+        cold: &[usize],
+        classes: &[BehaviorClass],
+        reps: &[R],
+        default_lowered: &LoweredCheck<'_>,
+        routed_lowered: &[LoweredCheck<'_>],
+        table: &SymbolTable,
+        table_fp: u128,
+        memo: &FstMemo,
+        threads: usize,
+    ) -> (
+        Vec<(usize, FecResult, Duration, PhaseTimings)>,
+        PhaseTimings,
+    )
+    where
+        R: Borrow<AlignedFec> + Sync,
+    {
         let mut decided: Vec<(usize, FecResult, Duration, PhaseTimings)> =
             Vec::with_capacity(cold.len());
         let mut phases = PhaseTimings::default();
         if threads <= 1 || cold.len() <= 1 {
-            for &ix in &cold {
+            for &ix in cold {
                 let class = &classes[ix];
                 let t0 = Instant::now();
                 let before = phases;
@@ -358,10 +1026,11 @@ impl<'a> Checker<'a> {
                     reps[ix].borrow(),
                     class.route,
                     class.key,
-                    &default_lowered,
-                    &routed_lowered,
-                    &table,
-                    &memo,
+                    default_lowered,
+                    routed_lowered,
+                    table,
+                    table_fp,
+                    memo,
                     &mut phases,
                 );
                 decided.push((ix, result, t0.elapsed(), phases.since(&before)));
@@ -372,11 +1041,6 @@ impl<'a> Checker<'a> {
                 let handles: Vec<_> = (0..threads)
                     .map(|_| {
                         let cursor = &cursor;
-                        let cold = &cold;
-                        let table = &table;
-                        let memo = &memo;
-                        let default_ref = &default_lowered;
-                        let routed_ref = &routed_lowered;
                         scope.spawn(move || {
                             let mut out = Vec::new();
                             let mut local_phases = PhaseTimings::default();
@@ -393,9 +1057,10 @@ impl<'a> Checker<'a> {
                                     reps[ix].borrow(),
                                     class.route,
                                     class.key,
-                                    default_ref,
-                                    routed_ref,
+                                    default_lowered,
+                                    routed_lowered,
                                     table,
+                                    table_fp,
                                     memo,
                                     &mut local_phases,
                                 );
@@ -415,27 +1080,34 @@ impl<'a> Checker<'a> {
                 phases.merge(&local_phases);
             }
         }
+        (decided, phases)
+    }
 
-        // Write fresh decisions back to the store (in memory; the owner
-        // of the store persists to disk after the run).
-        if let Some(cache) = self.cache {
-            for (ix, result, wall, class_phases) in &decided {
-                if let Some(key) = self.store_key(&classes[*ix]) {
-                    cache.put(&key, result.to_cache_value(*wall, class_phases));
-                }
-            }
-        }
-
-        // Broadcast each representative's verdict to every class member.
+    /// Broadcast each representative's verdict to every class member and
+    /// aggregate the report: slots are filled by member flow index, then
+    /// sorted by flow, so the report bytes are independent of class
+    /// ordering and decide scheduling.
+    #[allow(clippy::too_many_arguments)] // internal; mirrors the engine's data flow
+    fn assemble_report<F>(
+        &self,
+        start: Instant,
+        flows: &[F],
+        classes: &[BehaviorClass],
+        warm: Vec<(usize, FecResult)>,
+        decided: Vec<(usize, FecResult, Duration)>,
+        fst_memo_hits: usize,
+        phases: PhaseTimings,
+    ) -> CheckReport
+    where
+        F: Borrow<FlowSpec>,
+    {
+        let warm_hits = warm.len();
         let mut max_class_time = Duration::ZERO;
         let mut slots: Vec<Option<FecResult>> = vec![None; flows.len()];
-        let broadcast = decided
-            .into_iter()
-            .map(|(ix, result, wall, _)| (ix, result, wall))
-            .chain(
-                warm.into_iter()
-                    .map(|(ix, result)| (ix, result, Duration::ZERO)),
-            );
+        let broadcast = decided.into_iter().chain(
+            warm.into_iter()
+                .map(|(ix, result)| (ix, result, Duration::ZERO)),
+        );
         for (class_ix, result, class_time) in broadcast {
             max_class_time = max_class_time.max(class_time);
             for &member in &classes[class_ix].members {
@@ -454,7 +1126,7 @@ impl<'a> Checker<'a> {
             classes: classes.len(),
             dedup_hits: flows.len() - classes.len(),
             warm_hits,
-            fst_memo_hits: memo.hits.load(Ordering::Relaxed),
+            fst_memo_hits,
             phases,
             max_class_time,
         };
@@ -502,23 +1174,31 @@ impl<'a> Checker<'a> {
     /// behavior hashes at the granularity the routed check observes.
     fn fingerprint_of(&self, fec: &AlignedFec) -> (Option<usize>, BehaviorHash, BehaviorHash) {
         let route = self.route_of(fec);
-        let check = route
-            .map(|r| &self.program.routed[r].check)
-            .unwrap_or(&self.program.default_check);
-        // ECMP limit verdicts count link-level paths, so those FECs
-        // are hashed at interface fidelity regardless of the program
-        // granularity; everything else dedups at the granularity the
-        // program actually observes.
-        let level = if matches!(check, CompiledCheck::PathLimit { .. }) {
-            Granularity::Interface
-        } else {
-            self.program.granularity
-        };
+        let level = self.hash_level(route);
         (
             route,
             behavior_hash(&fec.pre, self.db, level),
             behavior_hash(&fec.post, self.db, level),
         )
+    }
+
+    /// The granularity at which a FEC on `route` is behavior-hashed.
+    /// ECMP limit verdicts count link-level paths, so those FECs are
+    /// hashed at interface fidelity regardless of the program
+    /// granularity; everything else dedups at the granularity the
+    /// program actually observes. A side can therefore be hashed knowing
+    /// only its flow (the route is a function of the flow alone), which
+    /// is what lets pipelined decode workers fingerprint each side
+    /// before the pre/post join.
+    fn hash_level(&self, route: Option<usize>) -> Granularity {
+        let check = route
+            .map(|r| &self.program.routed[r].check)
+            .unwrap_or(&self.program.default_check);
+        if matches!(check, CompiledCheck::PathLimit { .. }) {
+            Granularity::Interface
+        } else {
+            self.program.granularity
+        }
     }
 
     /// The grouping fingerprint pass, sharded across workers. Hashing
@@ -571,10 +1251,13 @@ impl<'a> Checker<'a> {
     /// only affect scheduling and are excluded).
     fn store_key(&self, class: &BehaviorClass) -> Option<CacheKey> {
         let (pre, post) = class.key?;
-        let mut opts = [0u8; 24];
+        let mut opts = [0u8; 25];
         opts[..8].copy_from_slice(&(self.options.witness.max_paths as u64).to_le_bytes());
         opts[8..16].copy_from_slice(&(self.options.witness.max_len as u64).to_le_bytes());
-        opts[16..].copy_from_slice(&(self.options.list_paths as u64).to_le_bytes());
+        opts[16..24].copy_from_slice(&(self.options.list_paths as u64).to_le_bytes());
+        // side minimization changes witness enumeration order, i.e. the
+        // payload bytes — never share entries across the ablation
+        opts[24] = u8::from(self.options.minimize_sides);
         Some(CacheKey {
             pre,
             post,
@@ -586,15 +1269,23 @@ impl<'a> Checker<'a> {
 
     /// The first pspec whose predicate matches the flow, if any.
     fn route_of(&self, fec: &AlignedFec) -> Option<usize> {
+        self.route_of_flow(&fec.flow)
+    }
+
+    /// The first pspec whose predicate matches `flow`, if any. Routes
+    /// are a function of the flow alone, so pipelined workers can route
+    /// a record before its partner side arrives.
+    fn route_of_flow(&self, flow: &FlowSpec) -> Option<usize> {
         self.program
             .routed
             .iter()
-            .position(|r| r.pred.matches(&fec.flow))
+            .position(|r| r.pred.matches(flow))
     }
 
     /// Check a single FEC (useful for incremental workflows and tests).
     pub fn check_fec(&self, fec: &AlignedFec) -> FecResult {
-        let table = self.prepare_table(std::slice::from_ref(fec));
+        let names = self.collect_symbols(std::slice::from_ref(fec));
+        let table = self.table_of(&names);
         let default_lowered = LoweredCheck::new(&self.program.default_check);
         let routed_lowered: Vec<LoweredCheck<'_>> = self
             .program
@@ -609,34 +1300,41 @@ impl<'a> Checker<'a> {
             &default_lowered,
             &routed_lowered,
             &table,
+            table_fingerprint(&names),
             &FstMemo::new(),
             &mut PhaseTimings::default(),
         )
     }
 
-    /// Build the read-only master symbol table for a run: the program's
-    /// own symbols, then every location the representative graphs
-    /// mention at the program granularity, interned in **sorted order**.
-    ///
-    /// Interning the sorted *set* makes the table — and therefore
-    /// automaton layouts, witness enumeration order, and report bytes —
-    /// a function of the graphs' content only, independent of FEC
-    /// arrival order, dedup mode, and thread count. That invariant is
-    /// what lets [`Checker::check_stream`] promise byte-identical
-    /// reports to [`Checker::check`]. Interning only class
-    /// representatives is sound and sufficient: members of a class share
-    /// the representative's granularity-level location set (the
-    /// fingerprint hashes those very labels), so the pre-pass is
-    /// O(classes), not O(FECs).
-    fn prepare_table<R: Borrow<AlignedFec>>(&self, reps: &[R]) -> SymbolTable {
+    /// The sorted set of location names the representative graphs
+    /// mention at the program granularity — the content the run's master
+    /// symbol table is built from (see [`Checker::table_of`]).
+    fn collect_symbols<R: Borrow<AlignedFec>>(&self, reps: &[R]) -> BTreeSet<String> {
         let mut names: BTreeSet<String> = BTreeSet::new();
         for rep in reps {
             let fec = rep.borrow();
             self.collect_graph_symbols(&fec.pre, &mut names);
             self.collect_graph_symbols(&fec.post, &mut names);
         }
+        names
+    }
+
+    /// Build a read-only symbol table: the program's own symbols, then
+    /// `names` interned in **sorted order**.
+    ///
+    /// Interning the sorted *set* makes the table — and therefore
+    /// automaton layouts, witness enumeration order, and report bytes —
+    /// a function of the graphs' content only, independent of FEC
+    /// arrival order, dedup mode, and thread count. That invariant is
+    /// what lets [`Checker::check_stream`] and
+    /// [`Checker::check_pipelined`] promise byte-identical reports to
+    /// [`Checker::check`]. Interning only class representatives is sound
+    /// and sufficient: members of a class share the representative's
+    /// granularity-level location set (the fingerprint hashes those very
+    /// labels), so the pre-pass is O(classes), not O(FECs).
+    fn table_of(&self, names: &BTreeSet<String>) -> SymbolTable {
         let mut table = self.program.table.clone();
-        for name in &names {
+        for name in names {
             table.intern(name);
         }
         table
@@ -692,6 +1390,7 @@ impl<'a> Checker<'a> {
         default_lowered: &LoweredCheck<'_>,
         routed_lowered: &[LoweredCheck<'_>],
         table: &SymbolTable,
+        table_fp: u128,
         memo: &FstMemo,
         phases: &mut PhaseTimings,
     ) -> FecResult {
@@ -720,6 +1419,7 @@ impl<'a> Checker<'a> {
                 &renderer,
                 class_key,
                 route.unwrap_or(usize::MAX),
+                table_fp,
                 memo,
                 phases,
             ),
@@ -791,33 +1491,39 @@ impl<'a> Checker<'a> {
         renderer: &PathRenderer<'_>,
         class_key: Option<(BehaviorHash, BehaviorHash)>,
         route_key: usize,
+        table_fp: u128,
         memo: &FstMemo,
         phases: &mut PhaseTimings,
     ) -> Vec<PartViolation> {
+        // the ablation knob: optionally Hopcroft-minimize each side
+        // before the equivalence check (cost counted as determinization)
+        let det_side = |nfa: &Nfa, phases: &mut PhaseTimings| {
+            let t0 = Instant::now();
+            let mut dfa = determinize(nfa);
+            if self.options.minimize_sides {
+                dfa = minimize(&dfa);
+            }
+            phases.determinize += t0.elapsed();
+            dfa
+        };
         let mut out = Vec::new();
         for (part_ix, (part, (fst_pre, fst_post))) in parts.iter().zip(fsts).enumerate() {
             let lhs = memo.get_or_compute(
-                class_key.map(|(pre, _)| (pre.as_u128(), route_key, part_ix, false)),
+                class_key.map(|(pre, _)| (pre.as_u128(), route_key, part_ix, false, table_fp)),
                 || {
                     let t0 = Instant::now();
                     let nfa = image(&env.pre, fst_pre).trim();
                     phases.lower += t0.elapsed();
-                    let t0 = Instant::now();
-                    let dfa = determinize(&nfa);
-                    phases.determinize += t0.elapsed();
-                    dfa
+                    det_side(&nfa, phases)
                 },
             );
             let rhs = memo.get_or_compute(
-                class_key.map(|(_, post)| (post.as_u128(), route_key, part_ix, true)),
+                class_key.map(|(_, post)| (post.as_u128(), route_key, part_ix, true, table_fp)),
                 || {
                     let t0 = Instant::now();
                     let nfa = image(&env.post, fst_post).trim();
                     phases.lower += t0.elapsed();
-                    let t0 = Instant::now();
-                    let dfa = determinize(&nfa);
-                    phases.determinize += t0.elapsed();
-                    dfa
+                    det_side(&nfa, phases)
                 },
             );
             let t0 = Instant::now();
@@ -1538,6 +2244,288 @@ mod tests {
             .unwrap();
         assert_eq!(warm.stats.warm_hits, warm.stats.classes);
         assert_eq!(verdict_bytes(&warm), verdict_bytes(&cold));
+    }
+
+    /// The two snapshots behind [`duplicated_pair`], unaligned.
+    fn duplicated_snapshots(flows: usize) -> (Snapshot, Snapshot) {
+        let mut pre = Snapshot::new();
+        let mut post = Snapshot::new();
+        for i in 0..flows {
+            let f = flow(&format!("10.1.{i}.0/24"), "x1");
+            pre.insert(f.clone(), linear_graph(&["x1", "A1-r1", "y1"]));
+            if i % 2 == 0 {
+                post.insert(f, linear_graph(&["x1", "A2-r1", "y1"]));
+            } else {
+                post.insert(f, linear_graph(&["x1", "A1-r1", "y1"]));
+            }
+        }
+        (pre, post)
+    }
+
+    fn pipelined(checker: &Checker<'_>, pre: &Snapshot, post: &Snapshot) -> CheckReport {
+        use rela_net::SnapshotFramer;
+        let pre_json = pre.to_json().unwrap();
+        let post_json = post.to_json().unwrap();
+        checker
+            .check_pipelined(
+                SnapshotFramer::new(pre_json.as_bytes()),
+                SnapshotFramer::new(post_json.as_bytes()),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn check_pipelined_is_byte_identical_across_depths_and_threads() {
+        let db = db();
+        let (pre, post) = duplicated_snapshots(16);
+        let pair = SnapshotPair::align(&pre, &post);
+        let program = crate::parser::parse_program(NOCHANGE).unwrap();
+        let compiled = crate::compile::compile_program(&program, &db, Granularity::Device).unwrap();
+        let materialized = Checker::new(&compiled, &db).check(&pair);
+        assert!(!materialized.is_compliant(), "the testbed must violate");
+
+        for depth in [1usize, 2, 8] {
+            for threads in [1usize, 2, 4] {
+                let checker = Checker::new(&compiled, &db).with_options(CheckOptions {
+                    threads,
+                    pipeline_depth: depth,
+                    ..CheckOptions::default()
+                });
+                let report = pipelined(&checker, &pre, &post);
+                assert_eq!(report.stats.classes, materialized.stats.classes);
+                assert_eq!(report.stats.fecs, materialized.stats.fecs);
+                assert_eq!(
+                    verdict_bytes(&report),
+                    verdict_bytes(&materialized),
+                    "depth {depth} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn check_pipelined_handles_one_sided_flows_and_no_dedup() {
+        let db = db();
+        // overlap, pre-only, and post-only flows
+        let mut pre = Snapshot::new();
+        let mut post = Snapshot::new();
+        pre.insert(flow("10.1.0.0/24", "x1"), linear_graph(&["x1", "A1-r1"]));
+        pre.insert(flow("10.1.1.0/24", "x1"), linear_graph(&["x1", "B1-r1"]));
+        post.insert(flow("10.1.0.0/24", "x1"), linear_graph(&["x1", "A1-r1"]));
+        post.insert(flow("10.1.2.0/24", "x1"), linear_graph(&["x1", "D1-r1"]));
+        let pair = SnapshotPair::align(&pre, &post);
+        let program = crate::parser::parse_program(NOCHANGE).unwrap();
+        let compiled = crate::compile::compile_program(&program, &db, Granularity::Device).unwrap();
+        for dedup in [true, false] {
+            let options = CheckOptions {
+                dedup,
+                threads: 2,
+                ..CheckOptions::default()
+            };
+            let checker = Checker::new(&compiled, &db).with_options(options);
+            let batch = checker.check(&pair);
+            let piped = pipelined(&checker, &pre, &post);
+            assert_eq!(piped.total, 3, "dedup={dedup}");
+            assert_eq!(
+                verdict_bytes(&piped),
+                verdict_bytes(&batch),
+                "dedup={dedup}"
+            );
+        }
+    }
+
+    #[test]
+    fn check_pipelined_replays_fully_warm_runs_from_the_store() {
+        let db = db();
+        let (pre, post) = duplicated_snapshots(10);
+        let pair = SnapshotPair::align(&pre, &post);
+        let program = crate::parser::parse_program(NOCHANGE).unwrap();
+        let compiled = crate::compile::compile_program(&program, &db, Granularity::Device).unwrap();
+        let store = VerdictStore::in_memory(cache_epoch(&program, &db));
+        // cold through the pipelined path populates the store...
+        let checker = Checker::new(&compiled, &db).with_cache(&store);
+        let cold = pipelined(&checker, &pre, &post);
+        assert_eq!(cold.stats.warm_hits, 0);
+        assert_eq!(store.stats().inserted, cold.stats.classes);
+        // ...and the warm pipelined run replays every class on the
+        // workers (no decides at all)
+        let warm = pipelined(&checker, &pre, &post);
+        assert_eq!(warm.stats.warm_hits, warm.stats.classes);
+        assert_eq!(verdict_bytes(&warm), verdict_bytes(&cold));
+        // the batch engines replay the very same store entries
+        let batch_warm = Checker::new(&compiled, &db).with_cache(&store).check(&pair);
+        assert_eq!(batch_warm.stats.warm_hits, batch_warm.stats.classes);
+        assert_eq!(verdict_bytes(&batch_warm), verdict_bytes(&cold));
+    }
+
+    #[test]
+    fn check_pipelined_matches_the_serial_error_contract() {
+        use rela_net::{SnapshotFramer, SnapshotReader};
+        let db = db();
+        let (pre, post) = duplicated_snapshots(6);
+        let pre_json = pre.to_json().unwrap();
+        let post_json = post.to_json().unwrap();
+        // truncate the post stream inside record #3
+        let third = post_json.match_indices("{\"flow\"").nth(3).unwrap().0;
+        let cut = &post_json[..third + 25];
+        let program = crate::parser::parse_program(NOCHANGE).unwrap();
+        let compiled = crate::compile::compile_program(&program, &db, Granularity::Device).unwrap();
+        let checker = Checker::new(&compiled, &db).with_options(CheckOptions {
+            threads: 4,
+            ..CheckOptions::default()
+        });
+        let serial_err = checker
+            .check_stream(SnapshotPair::align_streaming(
+                SnapshotReader::new(pre_json.as_bytes()).with_label("pre.json"),
+                SnapshotReader::new(cut.as_bytes()).with_label("post.json"),
+            ))
+            .unwrap_err();
+        let piped_err = checker
+            .check_pipelined(
+                SnapshotFramer::new(pre_json.as_bytes()).with_label("pre.json"),
+                SnapshotFramer::new(cut.as_bytes()).with_label("post.json"),
+            )
+            .unwrap_err();
+        assert_eq!(piped_err, serial_err);
+        assert_eq!(piped_err.entry_index(), Some(3));
+        assert_eq!(piped_err.label(), Some("post.json"));
+        assert!(piped_err.byte_offset().is_some());
+
+        // record-level decode failures carry the same contract
+        let bad = r#"{"fecs": [{"graph": {"vertices": [], "edges": [],
+                      "sources": [], "sinks": [], "drops": []}}]}"#;
+        let serial_err = checker
+            .check_stream(SnapshotPair::align_streaming(
+                SnapshotReader::new(bad.as_bytes()).with_label("pre.json"),
+                SnapshotReader::new(post_json.as_bytes()).with_label("post.json"),
+            ))
+            .unwrap_err();
+        let piped_err = checker
+            .check_pipelined(
+                SnapshotFramer::new(bad.as_bytes()).with_label("pre.json"),
+                SnapshotFramer::new(post_json.as_bytes()).with_label("post.json"),
+            )
+            .unwrap_err();
+        assert_eq!(piped_err, serial_err);
+        assert!(piped_err.to_string().contains("missing field `flow`"));
+    }
+
+    #[test]
+    fn check_pipelined_rejects_duplicate_flows() {
+        use rela_net::{SnapshotFramer, SnapshotWriter};
+        let db = db();
+        let g = linear_graph(&["x1", "A1-r1"]);
+        let mut writer = SnapshotWriter::new(Vec::new()).unwrap();
+        writer.write(&flow("10.1.0.0/24", "x1"), &g).unwrap();
+        writer.write(&flow("10.1.1.0/24", "x1"), &g).unwrap();
+        writer.write(&flow("10.1.0.0/24", "x1"), &g).unwrap(); // dup of #0
+        let dup_json = String::from_utf8(writer.finish().unwrap()).unwrap();
+        let clean = duplicated_snapshots(3).1.to_json().unwrap();
+        let program = crate::parser::parse_program(NOCHANGE).unwrap();
+        let compiled = crate::compile::compile_program(&program, &db, Granularity::Device).unwrap();
+        let err = Checker::new(&compiled, &db)
+            .check_pipelined(
+                SnapshotFramer::new(dup_json.as_bytes()).with_label("pre.json"),
+                SnapshotFramer::new(clean.as_bytes()),
+            )
+            .unwrap_err();
+        assert_eq!(err.entry_index(), Some(2), "{err}");
+        assert_eq!(err.label(), Some("pre.json"));
+        assert!(err.to_string().contains("duplicate flow"), "{err}");
+
+        // duplicates more than one frame batch apart: whichever
+        // occurrence a worker decodes first, the error must name the
+        // *second* occurrence (entry 20), like the serial reader
+        let mut writer = SnapshotWriter::new(Vec::new()).unwrap();
+        for i in 0..20 {
+            writer
+                .write(&flow(&format!("10.2.{i}.0/24"), "x1"), &g)
+                .unwrap();
+        }
+        writer.write(&flow("10.2.0.0/24", "x1"), &g).unwrap(); // dup of #0
+        let wide_json = String::from_utf8(writer.finish().unwrap()).unwrap();
+        let serial_err = rela_net::SnapshotReader::new(wide_json.as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert_eq!(serial_err.entry_index(), Some(20));
+        for threads in [1usize, 4] {
+            for _ in 0..4 {
+                let err = Checker::new(&compiled, &db)
+                    .with_options(CheckOptions {
+                        threads,
+                        pipeline_depth: 1,
+                        ..CheckOptions::default()
+                    })
+                    .check_pipelined(
+                        SnapshotFramer::new(wide_json.as_bytes()),
+                        SnapshotFramer::new(wide_json.as_bytes()),
+                    )
+                    .unwrap_err();
+                assert_eq!(err.entry_index(), Some(20), "threads {threads}: {err}");
+                assert_eq!(err.byte_offset(), serial_err.byte_offset());
+            }
+        }
+    }
+
+    #[test]
+    fn check_pipelined_empty_streams_are_compliant() {
+        use rela_net::SnapshotFramer;
+        let db = db();
+        let program = crate::parser::parse_program(NOCHANGE).unwrap();
+        let compiled = crate::compile::compile_program(&program, &db, Granularity::Device).unwrap();
+        let empty = br#"{"fecs": []}"#;
+        let report = Checker::new(&compiled, &db)
+            .check_pipelined(
+                SnapshotFramer::new(&empty[..]),
+                SnapshotFramer::new(&empty[..]),
+            )
+            .unwrap();
+        assert!(report.is_compliant());
+        assert_eq!(report.total, 0);
+    }
+
+    #[test]
+    fn minimize_sides_ablation_preserves_verdicts() {
+        let pair = duplicated_pair(12);
+        let plain = check_with(CheckOptions::default(), &pair);
+        let minimized = check_with(
+            CheckOptions {
+                minimize_sides: true,
+                ..CheckOptions::default()
+            },
+            &pair,
+        );
+        // verdict-level agreement: minimization may reorder witness
+        // enumeration, but never changes what holds
+        assert_eq!(minimized.total, plain.total);
+        assert_eq!(minimized.compliant, plain.compliant);
+        assert_eq!(minimized.part_counts, plain.part_counts);
+        let flows = |r: &CheckReport| {
+            r.violations
+                .iter()
+                .map(|v| v.flow.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(flows(&minimized), flows(&plain));
+    }
+
+    #[test]
+    fn minimize_sides_never_shares_store_entries_with_plain_runs() {
+        let db = db();
+        let pair = duplicated_pair(8);
+        let program = crate::parser::parse_program(NOCHANGE).unwrap();
+        let compiled = crate::compile::compile_program(&program, &db, Granularity::Device).unwrap();
+        let store = VerdictStore::in_memory(cache_epoch(&program, &db));
+        let plain = Checker::new(&compiled, &db).with_cache(&store).check(&pair);
+        assert_eq!(plain.stats.warm_hits, 0);
+        let ablated = Checker::new(&compiled, &db)
+            .with_options(CheckOptions {
+                minimize_sides: true,
+                ..CheckOptions::default()
+            })
+            .with_cache(&store)
+            .check(&pair);
+        assert_eq!(ablated.stats.warm_hits, 0, "option changes ⇒ full miss");
     }
 
     #[test]

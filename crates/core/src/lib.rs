@@ -30,6 +30,7 @@ pub mod counterexample;
 pub mod lexer;
 pub mod lower;
 pub mod parser;
+mod pipeline;
 pub mod pspec;
 pub mod report;
 pub mod rir;

@@ -512,6 +512,134 @@ mod dedup {
         }
     }
 
+    /// A report's rendering minus its timing-dependent lines: what must
+    /// be byte-identical across engine paths.
+    fn report_bytes(report: &CheckReport) -> String {
+        report
+            .to_string()
+            .lines()
+            .filter(|l| !l.starts_with("checked ") && !l.starts_with("behavior classes:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Pipelined, streamed, and materialized checks produce
+        /// byte-identical reports on randomized snapshot pairs, across
+        /// pipeline depths 1/2/8 and thread counts — the tentpole
+        /// invariant of the decode/fingerprint/decide pipeline.
+        #[test]
+        fn pipeline_depth_and_threads_never_change_the_report(
+            bases in proptest::collection::vec(graph_strategy(), 1..4),
+            picks in proptest::collection::vec((0..4usize, 0..4usize), 1..13),
+        ) {
+            use rela_net::{SnapshotFramer, SnapshotReader};
+            let graphs: Vec<ForwardingGraph> = bases
+                .iter()
+                .map(|(walk, parallel, dropped)| build_graph(walk, *parallel, *dropped))
+                .collect();
+            let mut pre = Snapshot::new();
+            let mut post = Snapshot::new();
+            for (i, (p, q)) in picks.iter().enumerate() {
+                let flow = flow_of(i);
+                pre.insert(flow.clone(), graphs[p % graphs.len()].clone());
+                post.insert(flow, graphs[q % graphs.len()].clone());
+            }
+            let pair = SnapshotPair::align(&pre, &post);
+            let pre_json = pre.to_json().expect("pre serializes");
+            let post_json = post.to_json().expect("post serializes");
+
+            let db = db();
+            let program = parse_program(SPEC).expect("spec parses");
+            let compiled =
+                compile_program(&program, &db, Granularity::Group).expect("spec compiles");
+            let reference = report_bytes(&Checker::new(&compiled, &db).check(&pair));
+
+            let streamed = Checker::new(&compiled, &db)
+                .check_stream(SnapshotPair::align_streaming(
+                    SnapshotReader::new(pre_json.as_bytes()),
+                    SnapshotReader::new(post_json.as_bytes()),
+                ))
+                .expect("clean streams");
+            prop_assert_eq!(report_bytes(&streamed), reference.clone(), "streamed");
+
+            for depth in [1usize, 2, 8] {
+                for threads in [1usize, 4] {
+                    let piped = Checker::new(&compiled, &db)
+                        .with_options(CheckOptions {
+                            threads,
+                            pipeline_depth: depth,
+                            ..CheckOptions::default()
+                        })
+                        .check_pipelined(
+                            SnapshotFramer::new(pre_json.as_bytes()),
+                            SnapshotFramer::new(post_json.as_bytes()),
+                        )
+                        .expect("clean streams");
+                    prop_assert_eq!(
+                        report_bytes(&piped),
+                        reference.clone(),
+                        "depth {} threads {}",
+                        depth,
+                        threads
+                    );
+                }
+            }
+        }
+
+        /// A mid-stream error aborts the pipelined check with exactly
+        /// the serial reader's error — message, byte offset, entry
+        /// index, and label — wherever the stream is cut.
+        #[test]
+        fn pipeline_errors_match_the_serial_contract(
+            bases in proptest::collection::vec(graph_strategy(), 1..3),
+            picks in proptest::collection::vec((0..4usize, 0..4usize), 2..9),
+            cut_permille in 100..950usize,
+        ) {
+            use rela_net::{SnapshotFramer, SnapshotReader};
+            let graphs: Vec<ForwardingGraph> = bases
+                .iter()
+                .map(|(walk, parallel, dropped)| build_graph(walk, *parallel, *dropped))
+                .collect();
+            let mut pre = Snapshot::new();
+            let mut post = Snapshot::new();
+            for (i, (p, q)) in picks.iter().enumerate() {
+                let flow = flow_of(i);
+                pre.insert(flow.clone(), graphs[p % graphs.len()].clone());
+                post.insert(flow, graphs[q % graphs.len()].clone());
+            }
+            let pre_json = pre.to_json().expect("pre serializes");
+            let post_json = post.to_json().expect("post serializes");
+            let cut = &post_json[..post_json.len() * cut_permille / 1000];
+
+            let db = db();
+            let program = parse_program(SPEC).expect("spec parses");
+            let compiled =
+                compile_program(&program, &db, Granularity::Group).expect("spec compiles");
+            let serial_err = Checker::new(&compiled, &db)
+                .check_stream(SnapshotPair::align_streaming(
+                    SnapshotReader::new(pre_json.as_bytes()).with_label("pre.json"),
+                    SnapshotReader::new(cut.as_bytes()).with_label("post.json"),
+                ))
+                .expect_err("truncated post stream");
+            for threads in [1usize, 4] {
+                let piped_err = Checker::new(&compiled, &db)
+                    .with_options(CheckOptions {
+                        threads,
+                        ..CheckOptions::default()
+                    })
+                    .check_pipelined(
+                        SnapshotFramer::new(pre_json.as_bytes()).with_label("pre.json"),
+                        SnapshotFramer::new(cut.as_bytes()).with_label("post.json"),
+                    )
+                    .expect_err("truncated post stream");
+                prop_assert_eq!(&piped_err, &serial_err, "threads {}", threads);
+            }
+        }
+    }
+
     proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

@@ -29,5 +29,6 @@ pub use graph::{linear_graph, Edge, ForwardingGraph, GraphError, VertexId};
 pub use location::{glob_match, interface_device, Device, Granularity, DROP_LOCATION};
 pub use prefix::{Ipv4Prefix, PrefixParseError, PrefixTrie};
 pub use snapshot::{
-    AlignStream, AlignedFec, Snapshot, SnapshotError, SnapshotPair, SnapshotReader, SnapshotWriter,
+    snapshot_source, AlignStream, AlignedFec, RawRecord, Snapshot, SnapshotError, SnapshotFramer,
+    SnapshotPair, SnapshotReader, SnapshotWriter,
 };

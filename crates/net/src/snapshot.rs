@@ -28,6 +28,7 @@ use serde_json::JsonReader;
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 use std::io::{Read, Write};
+use std::path::Path;
 
 /// Forwarding state for every traffic class of one network version.
 ///
@@ -174,8 +175,11 @@ impl SnapshotError {
         }
     }
 
-    /// A record- or structure-level error at a known offset.
-    fn at(message: impl Into<String>, offset: u64) -> SnapshotError {
+    /// A record- or structure-level error at a known byte offset.
+    /// Public so pipeline consumers that detect record-level failures
+    /// downstream of the framer (e.g. duplicate flows discovered during
+    /// a concurrent join) can report them under the same contract.
+    pub fn at(message: impl Into<String>, offset: u64) -> SnapshotError {
         SnapshotError {
             message: message.into(),
             entry: None,
@@ -185,8 +189,15 @@ impl SnapshotError {
         }
     }
 
-    fn with_entry(mut self, ix: usize) -> SnapshotError {
+    /// Attach the 0-based `fecs` entry index.
+    pub fn with_entry(mut self, ix: usize) -> SnapshotError {
         self.entry = Some(ix);
+        self
+    }
+
+    /// Attach a source label (typically the file path).
+    pub fn with_source_label(mut self, label: impl Into<String>) -> SnapshotError {
+        self.label = Some(label.into());
         self
     }
 
@@ -243,60 +254,100 @@ enum ReaderState {
     Done,
 }
 
-/// A pull-based reader of the snapshot wire format: yields one
-/// `(flow, graph)` record at a time from any [`Read`] source, holding at
-/// most one decoded record in memory.
+/// One undecoded `fecs` entry: the raw JSON span of the record plus its
+/// provenance, as produced by a [`SnapshotFramer`].
 ///
-/// Beyond decoding, the reader enforces the format's structural rules
-/// (documented in `docs/SNAPSHOT_FORMAT.md`): the top level must be an
-/// object whose first and only field is `fecs`, and a `flow` key may
-/// appear at most once — a duplicate is an error here, not a silent
-/// last-write-wins. Errors surface the byte offset and the failing entry
-/// index; after an error the iterator is fused (yields `None`).
+/// The span is a complete, strictly-validated JSON value — re-parsing it
+/// cannot hit a syntax error, only record-level shape errors (missing
+/// fields, wrong types), which [`RawRecord::decode`] reports at the
+/// record's start offset exactly as the serial [`SnapshotReader`] does.
+#[derive(Debug, Clone)]
+pub struct RawRecord {
+    /// The record's raw JSON text.
+    pub bytes: Vec<u8>,
+    /// Absolute byte offset of the span's first byte in the input.
+    pub offset: u64,
+    /// 0-based index among the `fecs` entries.
+    pub index: usize,
+}
+
+impl RawRecord {
+    /// Decode the span into its `(flow, graph)` pair. Errors carry the
+    /// record's byte offset and entry index; `label` (typically the
+    /// source file path) is attached when given.
+    pub fn decode(
+        &self,
+        label: Option<&str>,
+    ) -> Result<(FlowSpec, ForwardingGraph), SnapshotError> {
+        let fail = |message: String| SnapshotError {
+            message,
+            entry: Some(self.index),
+            offset: Some(self.offset),
+            offset_in_message: false,
+            label: label.map(str::to_owned),
+        };
+        // the framer validated the span: strings are checked UTF-8 and
+        // everything else is ASCII, so both conversions are infallible
+        // on framer-produced records (kept as errors for hand-built ones)
+        let text = std::str::from_utf8(&self.bytes)
+            .map_err(|_| fail("record span is not valid utf-8".to_owned()))?;
+        let entry: Value =
+            serde_json::from_str(text).map_err(|e| fail(format!("record span: {e}")))?;
+        let flow = serde::field::<FlowSpec>(&entry, "flow").map_err(|e| fail(e.to_string()))?;
+        let graph =
+            serde::field::<ForwardingGraph>(&entry, "graph").map_err(|e| fail(e.to_string()))?;
+        Ok((flow, graph))
+    }
+}
+
+/// The framing half of the snapshot reader: walks the wire format's
+/// skeleton (`{"fecs": [ ... ]}`) and yields each entry as an undecoded
+/// [`RawRecord`] span, without building a single `Value`.
 ///
-/// ```
-/// use rela_net::{Snapshot, SnapshotReader};
-///
-/// let json = br#"{"fecs": []}"#;
-/// let records: Result<Vec<_>, _> = SnapshotReader::new(&json[..]).collect();
-/// assert!(records.unwrap().is_empty());
-/// ```
-pub struct SnapshotReader<R: Read> {
+/// This is what a pipelined consumer runs on its reader thread — framing
+/// touches every byte once (strict grammar, so malformed JSON fails here
+/// with the same message and offset as the decoding reader) but defers
+/// all allocation-heavy decoding to [`RawRecord::decode`], which can run
+/// on worker threads. [`SnapshotReader`] is this framer plus an inline
+/// decoder and duplicate-flow detection.
+pub struct SnapshotFramer<R: Read> {
     json: JsonReader<R>,
     state: ReaderState,
-    /// Index of the next entry to be read.
+    /// Index of the next entry to be framed.
     index: usize,
-    /// Flow keys seen so far (duplicate detection). Keys only — the
-    /// graphs, which dominate a snapshot's bytes, are not retained.
-    seen: HashSet<FlowSpec>,
     label: Option<String>,
 }
 
-impl<R: Read> SnapshotReader<R> {
+impl<R: Read> SnapshotFramer<R> {
     /// Wrap a byte source. No input is read until the first record is
     /// pulled.
-    pub fn new(source: R) -> SnapshotReader<R> {
-        SnapshotReader {
+    pub fn new(source: R) -> SnapshotFramer<R> {
+        SnapshotFramer {
             json: JsonReader::new(source),
             state: ReaderState::Start,
             index: 0,
-            seen: HashSet::new(),
             label: None,
         }
     }
 
     /// Attach a source label (typically the file path) to every error
-    /// this reader produces.
-    pub fn with_label(mut self, label: impl Into<String>) -> SnapshotReader<R> {
+    /// this framer produces.
+    pub fn with_label(mut self, label: impl Into<String>) -> SnapshotFramer<R> {
         self.label = Some(label.into());
         self
     }
 
-    /// Number of records successfully read so far.
-    pub fn records_read(&self) -> usize {
+    /// The source label, if any.
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+
+    /// Number of records framed so far.
+    pub fn records_framed(&self) -> usize {
         self.index
     }
 
+    /// Attach this framer's label to an error and fuse the iterator.
     fn fail(&mut self, e: SnapshotError) -> SnapshotError {
         self.state = ReaderState::Done;
         SnapshotError {
@@ -340,24 +391,10 @@ impl<R: Read> SnapshotReader<R> {
         self.state = ReaderState::Done;
         Ok(())
     }
-
-    /// Decode the entry under the cursor.
-    fn read_record(&mut self) -> Result<(FlowSpec, ForwardingGraph), SnapshotError> {
-        let start = self.json.byte_offset();
-        let entry = self.json.read_value().map_err(SnapshotError::from_json)?;
-        let flow = serde::field::<FlowSpec>(&entry, "flow")
-            .map_err(|e| SnapshotError::at(e.to_string(), start))?;
-        let graph = serde::field::<ForwardingGraph>(&entry, "graph")
-            .map_err(|e| SnapshotError::at(e.to_string(), start))?;
-        if !self.seen.insert(flow.clone()) {
-            return Err(SnapshotError::at(format!("duplicate flow {flow}"), start));
-        }
-        Ok((flow, graph))
-    }
 }
 
-impl<R: Read> Iterator for SnapshotReader<R> {
-    type Item = Result<(FlowSpec, ForwardingGraph), SnapshotError>;
+impl<R: Read> Iterator for SnapshotFramer<R> {
+    type Item = Result<RawRecord, SnapshotError>;
 
     fn next(&mut self) -> Option<Self::Item> {
         if let ReaderState::Start = self.state {
@@ -379,15 +416,114 @@ impl<R: Read> Iterator for SnapshotReader<R> {
             },
             Ok(true) => {
                 let ix = self.index;
-                match self.read_record() {
-                    Ok(record) => {
+                let offset = self.json.byte_offset();
+                let mut bytes = Vec::new();
+                match self.json.read_raw_value(&mut bytes) {
+                    Ok(()) => {
                         self.index += 1;
-                        Some(Ok(record))
+                        Some(Ok(RawRecord {
+                            bytes,
+                            offset,
+                            index: ix,
+                        }))
                     }
-                    Err(e) => Some(Err(self.fail(e.with_entry(ix)))),
+                    Err(e) => Some(Err(self.fail(SnapshotError::from_json(e).with_entry(ix)))),
                 }
             }
         }
+    }
+}
+
+/// A pull-based reader of the snapshot wire format: yields one
+/// `(flow, graph)` record at a time from any [`Read`] source, holding at
+/// most one decoded record in memory. Built as a [`SnapshotFramer`] with
+/// an inline [`RawRecord::decode`] step.
+///
+/// Beyond decoding, the reader enforces the format's structural rules
+/// (documented in `docs/SNAPSHOT_FORMAT.md`): the top level must be an
+/// object whose first and only field is `fecs`, and a `flow` key may
+/// appear at most once — a duplicate is an error here, not a silent
+/// last-write-wins. Errors surface the byte offset and the failing entry
+/// index; after an error the iterator is fused (yields `None`).
+///
+/// ```
+/// use rela_net::{Snapshot, SnapshotReader};
+///
+/// let json = br#"{"fecs": []}"#;
+/// let records: Result<Vec<_>, _> = SnapshotReader::new(&json[..]).collect();
+/// assert!(records.unwrap().is_empty());
+/// ```
+pub struct SnapshotReader<R: Read> {
+    framer: SnapshotFramer<R>,
+    /// Records successfully decoded so far.
+    decoded: usize,
+    /// Flow keys seen so far (duplicate detection). Keys only — the
+    /// graphs, which dominate a snapshot's bytes, are not retained.
+    seen: HashSet<FlowSpec>,
+}
+
+impl<R: Read> SnapshotReader<R> {
+    /// Wrap a byte source. No input is read until the first record is
+    /// pulled.
+    pub fn new(source: R) -> SnapshotReader<R> {
+        SnapshotReader {
+            framer: SnapshotFramer::new(source),
+            decoded: 0,
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Attach a source label (typically the file path) to every error
+    /// this reader produces.
+    pub fn with_label(mut self, label: impl Into<String>) -> SnapshotReader<R> {
+        self.framer = self.framer.with_label(label);
+        self
+    }
+
+    /// Number of records successfully read so far.
+    pub fn records_read(&self) -> usize {
+        self.decoded
+    }
+}
+
+impl<R: Read> Iterator for SnapshotReader<R> {
+    type Item = Result<(FlowSpec, ForwardingGraph), SnapshotError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let raw = match self.framer.next()? {
+            Ok(raw) => raw,
+            Err(e) => return Some(Err(e)),
+        };
+        match raw.decode(self.framer.label()) {
+            Ok((flow, graph)) => {
+                if !self.seen.insert(flow.clone()) {
+                    let e = SnapshotError::at(format!("duplicate flow {flow}"), raw.offset)
+                        .with_entry(raw.index);
+                    return Some(Err(self.framer.fail(e)));
+                }
+                self.decoded += 1;
+                Some(Ok((flow, graph)))
+            }
+            Err(e) => {
+                // decode already attached entry/offset/label; fuse only
+                self.framer.state = ReaderState::Done;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Open a snapshot file as a byte source, decoding gzip-compressed
+/// streams transparently: a path ending in `.gz` is wrapped in a
+/// streaming [`flate2`] inflater, so compressed snapshots ride the same
+/// framer/reader as plain ones without a separate decompress step (see
+/// `docs/SNAPSHOT_FORMAT.md`).
+pub fn snapshot_source(path: &Path) -> std::io::Result<Box<dyn Read + Send>> {
+    let file = std::fs::File::open(path)?;
+    if path.extension().is_some_and(|ext| ext == "gz") {
+        Ok(Box::new(flate2::read::GzDecoder::new(file)))
+    } else {
+        Ok(Box::new(file))
     }
 }
 
@@ -895,6 +1031,92 @@ mod tests {
         let err = reader.collect::<Result<Vec<_>, _>>().unwrap_err();
         assert_eq!(err.label(), Some("pre.json"));
         assert!(err.to_string().starts_with("pre.json: "), "{err}");
+    }
+
+    #[test]
+    fn framer_spans_decode_to_the_reader_records() {
+        let snap = three_fec_snapshot();
+        let json = snap.to_json().unwrap();
+        let framed: Vec<RawRecord> = SnapshotFramer::new(json.as_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(framed.len(), snap.len());
+        for (ix, raw) in framed.iter().enumerate() {
+            assert_eq!(raw.index, ix);
+            // the span sits at its recorded offset in the document
+            let end = raw.offset as usize + raw.bytes.len();
+            assert_eq!(json.as_bytes()[raw.offset as usize..end], raw.bytes[..]);
+        }
+        let decoded: Vec<_> = framed.iter().map(|r| r.decode(None).unwrap()).collect();
+        for ((f1, g1), (f2, g2)) in decoded.iter().zip(snap.iter()) {
+            assert_eq!(f1, f2);
+            assert_eq!(g1, g2);
+        }
+    }
+
+    #[test]
+    fn framer_reports_syntax_errors_like_the_reader() {
+        // truncation and structural errors must carry the same entry and
+        // offset whether framing or decoding
+        let json = three_fec_snapshot().to_json().unwrap();
+        let second = json.match_indices("{\"flow\"").nth(1).unwrap().0;
+        let cut = &json[..second + 20];
+        let reader_err = SnapshotReader::new(cut.as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        let framer_err = SnapshotFramer::new(cut.as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert_eq!(framer_err, reader_err);
+    }
+
+    #[test]
+    fn raw_record_decode_names_missing_fields_at_the_span() {
+        let json = br#"{"fecs": [{"graph": {"vertices": [], "edges": [],
+                        "sources": [], "sinks": [], "drops": []}}]}"#;
+        let raw = SnapshotFramer::new(&json[..]).next().unwrap().unwrap();
+        let err = raw.decode(Some("pre.json")).unwrap_err();
+        assert_eq!(err.entry_index(), Some(0));
+        assert_eq!(err.byte_offset(), Some(raw.offset));
+        assert_eq!(err.label(), Some("pre.json"));
+        assert!(err.to_string().contains("missing field `flow`"), "{err}");
+    }
+
+    #[test]
+    fn gzipped_snapshots_ride_the_same_reader() {
+        use flate2::{write::GzEncoder, Compression};
+        let snap = three_fec_snapshot();
+        let json = snap.to_json().unwrap();
+        let mut enc = GzEncoder::new(Vec::new(), Compression::default());
+        enc.write_all(json.as_bytes()).unwrap();
+        let gz = enc.finish().unwrap();
+
+        let dir = std::env::temp_dir().join(format!("rela-gz-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let gz_path = dir.join("snap.json.gz");
+        let plain_path = dir.join("snap.json");
+        std::fs::write(&gz_path, &gz).unwrap();
+        std::fs::write(&plain_path, &json).unwrap();
+
+        for path in [&gz_path, &plain_path] {
+            let source = snapshot_source(path).unwrap();
+            let streamed: Vec<_> = SnapshotReader::new(source)
+                .collect::<Result<_, _>>()
+                .unwrap();
+            assert_eq!(streamed.len(), snap.len());
+            for ((f1, g1), (f2, g2)) in streamed.iter().zip(snap.iter()) {
+                assert_eq!(f1, f2);
+                assert_eq!(g1, g2);
+            }
+        }
+        // offsets in errors are decompressed-stream offsets
+        let cut = &gz[..gz.len() / 2];
+        std::fs::write(&gz_path, cut).unwrap();
+        let err = SnapshotReader::new(snapshot_source(&gz_path).unwrap())
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert!(err.to_string().contains("io error"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

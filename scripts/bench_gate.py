@@ -5,16 +5,21 @@ Compares a freshly produced BENCH_check.json against the committed
 trajectory point and fails (exit 1) when:
 
   - any fresh scenario reports ``verdicts_match: false`` — the dedup
-    engine or the persistent cache changed a verdict, which is a
-    soundness bug regardless of timing; or
+    engine, the persistent cache, or the ingest pipeline changed a
+    verdict, which is a soundness bug regardless of timing;
   - a scenario shared by name with the baseline regressed its
-    ``speedup`` by more than ``ALLOWED_REGRESSION`` (30%).
+    ``speedup`` by more than ``ALLOWED_REGRESSION`` (30%); or
+  - a ``pipelined-ingest`` scenario's wall time regressed by more than
+    30% relative to its serial-streamed baseline compared to the
+    committed trajectory point (the ratio ``wall_s /
+    wall_serial_stream_s`` grew by more than 30%).
 
-Speedup comparisons are *relative* (dedup-vs-no-dedup, warm-vs-cold on
-the same host), so they are meaningful across machines in a way raw
-wall-clock is not. When either file carries the ``"smoke": true``
-marker (a `perf -- --smoke` run skips the expensive baselines), all
-speedup comparisons are skipped and only the soundness check runs.
+Comparisons are *relative* (dedup-vs-no-dedup, warm-vs-cold,
+pipelined-vs-serial on the same host), so they are meaningful across
+machines in a way raw wall-clock is not. When either file carries the
+``"smoke": true`` marker (a `perf -- --smoke` run skips the expensive
+baselines and is too small to time meaningfully), all timing
+comparisons are skipped and only the soundness check runs.
 
 usage: bench_gate.py FRESH_JSON BASELINE_JSON
 """
@@ -23,6 +28,15 @@ import json
 import sys
 
 ALLOWED_REGRESSION = 0.30
+
+
+def pipeline_ratio(scenario):
+    """wall_s / wall_serial_stream_s for a pipelined-ingest scenario."""
+    wall = scenario.get("wall_s")
+    serial = scenario.get("wall_serial_stream_s")
+    if not wall or not serial:
+        return None
+    return wall / serial
 
 
 def fail(messages):
@@ -74,6 +88,27 @@ def main():
                     f"ok {s['name']}: speedup {s['speedup']:.1f}x "
                     f">= floor {floor:.1f}x"
                 )
+            # pipelined-ingest: the wall-time ratio vs the serial
+            # streamed path must not regress either (a pipeline that
+            # got slower shows up here even if the serial baseline
+            # moved too)
+            if s.get("kind") == "pipelined-ingest":
+                ratio = pipeline_ratio(s)
+                base_ratio = pipeline_ratio(b)
+                if ratio is None or base_ratio is None:
+                    continue
+                ceiling = base_ratio * (1.0 + ALLOWED_REGRESSION)
+                if ratio > ceiling:
+                    failures.append(
+                        f"{s['name']}: pipelined/serial wall ratio "
+                        f"{ratio:.2f} exceeded {ceiling:.2f} "
+                        f"(baseline {base_ratio:.2f} + 30%)"
+                    )
+                else:
+                    print(
+                        f"ok {s['name']}: pipelined/serial wall ratio "
+                        f"{ratio:.2f} <= ceiling {ceiling:.2f}"
+                    )
         print(f"compared {shared} shared scenario(s) against {base_path}")
 
     if failures:

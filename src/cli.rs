@@ -15,10 +15,13 @@
 
 use rela_baseline::{path_diff, DiffOptions};
 
-use rela_net::{Granularity, LocationDb, Snapshot, SnapshotPair, SnapshotReader};
+use rela_net::{
+    snapshot_source, Granularity, LocationDb, Snapshot, SnapshotFramer, SnapshotPair,
+    SnapshotReader,
+};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::fs::File;
+use std::io::Read;
 use std::path::{Path, PathBuf};
 
 /// A parsed command line.
@@ -52,6 +55,26 @@ pub enum Command {
         /// Snapshot ingestion path: streamed by default (`true`),
         /// materialized with `--no-stream`.
         stream: bool,
+        /// Pipelined decode depth (`--pipeline-depth`): records in
+        /// flight per decode worker. `None` = pipelined with the default
+        /// depth (the default); `Some(0)` disables pipelining (the
+        /// serial streamed path); ignored with `--no-stream`.
+        pipeline_depth: Option<usize>,
+    },
+    /// Cache maintenance: `rela cache gc`.
+    CacheGc {
+        /// The cache directory to prune.
+        cache_dir: PathBuf,
+        /// Spec + location db identifying the *current* epoch (pruning
+        /// then drops every other epoch beyond `--keep-epochs`).
+        spec: Option<PathBuf>,
+        /// Location database path (paired with `spec`).
+        db: Option<PathBuf>,
+        /// How many non-current epoch files to keep (default: 0 with a
+        /// spec, unlimited without).
+        keep_epochs: Option<usize>,
+        /// Total size cap in bytes for the directory.
+        max_bytes: Option<u64>,
     },
     /// Print the §2.3 path diff (the manual-inspection baseline).
     Diff {
@@ -105,8 +128,11 @@ USAGE:
   rela check --spec FILE --db FILE --pre FILE --post FILE
              [--granularity group|device|interface] [--threads N] [--no-dedup]
              [--cache-dir DIR] [--no-cache] [--cache-stats] [--no-stream]
+             [--pipeline-depth N]
   rela diff  --db FILE --pre FILE --post FILE
              [--granularity group|device|interface]
+  rela cache gc --cache-dir DIR [--spec FILE --db FILE]
+             [--keep-epochs N] [--max-bytes N]
   rela demo  [--out DIR]
   rela help
 
@@ -115,14 +141,21 @@ check validates the change: exit 0 = compliant, 1 = violations found.
 scratch instead of once per distinct pre/post behavior).
 --cache-dir persists decided verdicts across runs keyed by behavior
 hashes under an epoch of the spec + engine version, so re-validating
-iteration N+1 of a change only re-decides classes whose behavior moved.
+iteration N+1 of a change only re-decides classes whose behavior moved
+(opening the store also sweeps stale epochs: see `rela cache gc`).
 --no-cache skips the cache for one run; --cache-stats prints warm-hit
 and store counters after the report.
-check streams the snapshot files by default: records are parsed,
-aligned, and fingerprinted as they are read, so only one forwarding
+check ingests the snapshot files through a pipeline by default: a reader
+thread frames raw records, a worker pool decodes and fingerprints them,
+and deciding begins while records still arrive — only one forwarding
 graph per behavior class is ever held in memory (docs/SNAPSHOT_FORMAT.md
-specifies the wire format). --no-stream loads both snapshots fully
-before aligning instead.
+specifies the wire format; files ending in .gz are gunzipped on the fly).
+--pipeline-depth N bounds the records in flight per worker (0 = serial
+streamed ingestion); --no-stream loads both snapshots fully before
+aligning instead.
+cache gc prunes a verdict-store directory: with --spec/--db, every epoch
+other than the current spec's is dropped (keep the N most recent instead
+with --keep-epochs); --max-bytes caps the directory size.
 diff prints the manual path-diff baseline (every changed traffic class).
 demo writes the paper's Figure 1 case study (db, snapshots, spec) so you
 can try: rela demo --out /tmp/fig1 && rela check --spec /tmp/fig1/change.rela \\
@@ -131,9 +164,17 @@ can try: rela demo --out /tmp/fig1 && rela check --spec /tmp/fig1/change.rela \\
 /// Parse command-line arguments (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut flags: BTreeMap<String, String> = BTreeMap::new();
-    let Some((cmd, rest)) = args.split_first() else {
+    let Some((cmd, mut rest)) = args.split_first() else {
         return Ok(Command::Help);
     };
+    // `cache` takes a subcommand before its flags
+    if cmd == "cache" {
+        match rest.split_first() {
+            Some((sub, tail)) if sub == "gc" => rest = tail,
+            Some((sub, _)) => return Err(usage_error(format!("unknown cache subcommand `{sub}`"))),
+            None => return Err(usage_error("`cache` needs a subcommand (try `cache gc`)")),
+        }
+    }
     // flags that take no value
     const SWITCHES: [&str; 4] = ["--no-dedup", "--no-cache", "--cache-stats", "--no-stream"];
     let mut it = rest.iter();
@@ -182,12 +223,38 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             no_cache: flags.contains_key("no-cache"),
             cache_stats: flags.contains_key("cache-stats"),
             stream: !flags.contains_key("no-stream"),
+            pipeline_depth: match flags.get("pipeline-depth") {
+                None => None,
+                Some(raw) => Some(
+                    raw.parse()
+                        .map_err(|_| usage_error(format!("invalid --pipeline-depth `{raw}`")))?,
+                ),
+            },
         }),
         "diff" => Ok(Command::Diff {
             db: need("db")?,
             pre: need("pre")?,
             post: need("post")?,
             granularity,
+        }),
+        "cache" => Ok(Command::CacheGc {
+            cache_dir: need("cache-dir")?,
+            spec: flags.get("spec").map(PathBuf::from),
+            db: flags.get("db").map(PathBuf::from),
+            keep_epochs: match flags.get("keep-epochs") {
+                None => None,
+                Some(raw) => Some(
+                    raw.parse()
+                        .map_err(|_| usage_error(format!("invalid --keep-epochs `{raw}`")))?,
+                ),
+            },
+            max_bytes: match flags.get("max-bytes") {
+                None => None,
+                Some(raw) => Some(
+                    raw.parse()
+                        .map_err(|_| usage_error(format!("invalid --max-bytes `{raw}`")))?,
+                ),
+            },
         }),
         "demo" => Ok(Command::Demo {
             out: flags
@@ -209,8 +276,17 @@ fn load_db(path: &Path) -> Result<LocationDb, CliError> {
         .map_err(|e| usage_error(format!("{}: invalid location db: {e}", path.display())))
 }
 
+/// Open a snapshot file as a byte source (`.gz` inflates on the fly).
+fn open_snapshot(path: &Path) -> Result<Box<dyn Read + Send>, CliError> {
+    snapshot_source(path).map_err(|e| usage_error(format!("{}: {e}", path.display())))
+}
+
 fn load_snapshot(path: &Path) -> Result<Snapshot, CliError> {
-    Snapshot::from_json(&read(path)?)
+    let mut text = String::new();
+    open_snapshot(path)?
+        .read_to_string(&mut text)
+        .map_err(|e| usage_error(format!("{}: {e}", path.display())))?;
+    Snapshot::from_json(&text)
         .map_err(|e| usage_error(format!("{}: invalid snapshot: {e}", path.display())))
 }
 
@@ -238,6 +314,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<i32, CliError>
             no_cache,
             cache_stats,
             stream,
+            pipeline_depth,
         } => {
             let source = read(spec)?;
             let db = load_db(db)?;
@@ -248,6 +325,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<i32, CliError>
             let options = rela_core::CheckOptions {
                 threads: *threads,
                 dedup: *dedup,
+                pipeline_depth: pipeline_depth.unwrap_or(0),
                 ..rela_core::CheckOptions::default()
             };
             // an unopenable store degrades to a cold (cache-free) run —
@@ -256,8 +334,13 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<i32, CliError>
             let mut cache_warning = None;
             let store = match (cache_dir, no_cache) {
                 (Some(dir), false) => {
-                    match rela_cache::VerdictStore::open(dir, rela_core::cache_epoch(&program, &db))
-                    {
+                    // open-time sweep: stale sibling epochs age out of
+                    // long-lived change-pipeline directories
+                    match rela_cache::VerdictStore::open_with_gc(
+                        dir,
+                        rela_core::cache_epoch(&program, &db),
+                        &rela_cache::GcPolicy::default(),
+                    ) {
                         Ok(store) => Some(store),
                         Err(e) => {
                             cache_warning =
@@ -275,14 +358,25 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<i32, CliError>
             if let Some(store) = &store {
                 checker = checker.with_cache(store);
             }
-            let report = if *stream {
-                // the default cold path: records are parsed, aligned,
-                // and fingerprinted as they are read from the files —
+            let report = if *stream && *pipeline_depth != Some(0) {
+                // the default cold path: framer threads extract raw
+                // records, a worker pool decodes/fingerprints/joins
+                // them, and deciding begins while records still arrive —
                 // only one graph per behavior class stays resident
-                let open = |path: &Path| -> Result<SnapshotReader<File>, CliError> {
-                    let file = File::open(path)
-                        .map_err(|e| usage_error(format!("{}: {e}", path.display())))?;
-                    Ok(SnapshotReader::new(file).with_label(path.display().to_string()))
+                let frame =
+                    |path: &Path| -> Result<SnapshotFramer<Box<dyn Read + Send>>, CliError> {
+                        Ok(SnapshotFramer::new(open_snapshot(path)?)
+                            .with_label(path.display().to_string()))
+                    };
+                checker
+                    .check_pipelined(frame(pre)?, frame(post)?)
+                    .map_err(|e| usage_error(format!("invalid snapshot: {e}")))?
+            } else if *stream {
+                // --pipeline-depth 0: the serial streamed path (one
+                // reader thread parses, aligns, and fingerprints)
+                let open = |path: &Path| -> Result<SnapshotReader<Box<dyn Read + Send>>, CliError> {
+                    Ok(SnapshotReader::new(open_snapshot(path)?)
+                        .with_label(path.display().to_string()))
                 };
                 checker
                     .check_stream(SnapshotPair::align_streaming(open(pre)?, open(post)?))
@@ -325,6 +419,48 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<i32, CliError>
                 }
             }
             Ok(if report.is_compliant() { 0 } else { 1 })
+        }
+        Command::CacheGc {
+            cache_dir,
+            spec,
+            db,
+            keep_epochs,
+            max_bytes,
+        } => {
+            let current = match (spec, db) {
+                (Some(spec), Some(db)) => {
+                    let source = read(spec)?;
+                    let program = rela_core::parse_program(&source)
+                        .map_err(|e| usage_error(format!("{}: {e}", spec.display())))?;
+                    let db = load_db(db)?;
+                    Some(rela_core::cache_epoch(&program, &db))
+                }
+                (None, None) => None,
+                _ => {
+                    return Err(usage_error(
+                        "cache gc needs both --spec and --db (or neither)",
+                    ))
+                }
+            };
+            // defaults: with a current epoch, prune everything else;
+            // without one, only explicit limits prune
+            let policy = rela_cache::GcPolicy {
+                keep_epochs: keep_epochs.or(if current.is_some() { Some(0) } else { None }),
+                max_bytes: *max_bytes,
+            };
+            let stats = rela_cache::gc(cache_dir, current, &policy)
+                .map_err(|e| usage_error(format!("{}: {e}", cache_dir.display())))?;
+            emit(
+                out,
+                format!(
+                    "cache gc: removed {} file(s) ({} bytes), retained {} file(s) ({} bytes)\n",
+                    stats.removed_files,
+                    stats.removed_bytes,
+                    stats.retained_files,
+                    stats.retained_bytes
+                ),
+            )?;
+            Ok(0)
         }
         Command::Diff {
             db,
@@ -563,6 +699,7 @@ mod tests {
                 cache_stats: false,
 
                 stream: true,
+                pipeline_depth: None,
             };
             let mut sink = Vec::new();
             let code = run(&cmd, &mut sink).unwrap();
@@ -615,6 +752,7 @@ mod tests {
                 cache_stats: true,
 
                 stream: true,
+                pipeline_depth: None,
             };
             let mut sink = Vec::new();
             let code = run(&cmd, &mut sink).unwrap();
@@ -667,6 +805,7 @@ mod tests {
             cache_stats: false,
 
             stream: true,
+            pipeline_depth: None,
         };
         let mut sink = Vec::new();
         let code = run(&cmd, &mut sink).unwrap();
@@ -689,6 +828,7 @@ mod tests {
             cache_stats: true,
 
             stream: true,
+            pipeline_depth: None,
         };
         let mut sink = Vec::new();
         let code = run(&cmd, &mut sink).unwrap();
@@ -717,6 +857,171 @@ mod tests {
         }
     }
 
+    #[test]
+    fn pipeline_depth_flag_parses() {
+        let base = &[
+            "check", "--spec", "s.rela", "--db", "db.json", "--pre", "a.json", "--post", "b.json",
+        ];
+        match parse_args(&args(base)).unwrap() {
+            Command::Check { pipeline_depth, .. } => {
+                assert_eq!(pipeline_depth, None, "pipelined by default")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let mut with_flag: Vec<&str> = base.to_vec();
+        with_flag.extend(["--pipeline-depth", "2"]);
+        match parse_args(&args(&with_flag)).unwrap() {
+            Command::Check { pipeline_depth, .. } => assert_eq!(pipeline_depth, Some(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+        let mut bad: Vec<&str> = base.to_vec();
+        bad.extend(["--pipeline-depth", "many"]);
+        assert_eq!(parse_args(&args(&bad)).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn cache_gc_parses_and_prunes() {
+        match parse_args(&args(&["cache", "gc", "--cache-dir", "d"])).unwrap() {
+            Command::CacheGc {
+                cache_dir,
+                spec,
+                keep_epochs,
+                max_bytes,
+                ..
+            } => {
+                assert_eq!(cache_dir, PathBuf::from("d"));
+                assert_eq!(spec, None);
+                assert_eq!(keep_epochs, None);
+                assert_eq!(max_bytes, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(parse_args(&args(&["cache"])).unwrap_err().code, 2);
+        assert_eq!(parse_args(&args(&["cache", "prune"])).unwrap_err().code, 2);
+
+        // end to end: populate a store via check, gc with the live spec
+        // keeps it, a superseded epoch file is dropped
+        let dir = std::env::temp_dir().join(format!("rela-cligc-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut sink = Vec::new();
+        run(&Command::Demo { out: dir.clone() }, &mut sink).unwrap();
+        let cache_dir = dir.join("cache");
+        let check = Command::Check {
+            spec: dir.join("change.rela"),
+            db: dir.join("db.json"),
+            pre: dir.join("pre.json"),
+            post: dir.join("post_v2.json"),
+            granularity: Granularity::Group,
+            threads: 1,
+            dedup: true,
+            cache_dir: Some(cache_dir.clone()),
+            no_cache: false,
+            cache_stats: false,
+            stream: true,
+            pipeline_depth: None,
+        };
+        run(&check, &mut Vec::new()).unwrap();
+        // plant a superseded epoch file
+        let stale = cache_dir.join(format!("verdicts-{:032x}.json", 7));
+        std::fs::write(&stale, "{}").unwrap();
+        let gc = Command::CacheGc {
+            cache_dir: cache_dir.clone(),
+            spec: Some(dir.join("change.rela")),
+            db: Some(dir.join("db.json")),
+            keep_epochs: None,
+            max_bytes: None,
+        };
+        let mut sink = Vec::new();
+        assert_eq!(run(&gc, &mut sink).unwrap(), 0);
+        let text = String::from_utf8(sink).unwrap();
+        assert!(text.contains("removed 1 file(s)"), "{text}");
+        assert!(!stale.exists());
+        // the live epoch still replays warm
+        let mut sink = Vec::new();
+        run(&check, &mut sink).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Pipelined (default), serial streamed (`--pipeline-depth 0`), and
+    /// materialized (`--no-stream`) runs over the same files — plus a
+    /// gzipped copy through the pipelined path — produce byte-identical
+    /// reports and the same exit code.
+    #[test]
+    fn pipelined_streamed_materialized_and_gz_checks_agree() {
+        use flate2::{write::GzEncoder, Compression};
+        use std::io::Write as _;
+        let dir = std::env::temp_dir().join(format!("rela-pipe-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut sink = Vec::new();
+        run(&Command::Demo { out: dir.clone() }, &mut sink).unwrap();
+
+        // gzip the snapshot pair
+        for name in ["pre.json", "post_v2.json"] {
+            let text = std::fs::read(dir.join(name)).unwrap();
+            let mut enc = GzEncoder::new(Vec::new(), Compression::default());
+            enc.write_all(&text).unwrap();
+            std::fs::write(dir.join(format!("{name}.gz")), enc.finish().unwrap()).unwrap();
+        }
+
+        let check = |pre: &str, post: &str, stream: bool, depth: Option<usize>| {
+            let cmd = Command::Check {
+                spec: dir.join("change.rela"),
+                db: dir.join("db.json"),
+                pre: dir.join(pre),
+                post: dir.join(post),
+                granularity: Granularity::Group,
+                threads: 2,
+                dedup: true,
+                cache_dir: None,
+                no_cache: false,
+                cache_stats: false,
+                stream,
+                pipeline_depth: depth,
+            };
+            let mut sink = Vec::new();
+            let code = run(&cmd, &mut sink).unwrap();
+            (code, String::from_utf8(sink).unwrap())
+        };
+        let verdicts = |text: &str| {
+            text.lines()
+                .filter(|l| !l.starts_with("checked "))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let (code_p, piped) = check("pre.json", "post_v2.json", true, None);
+        let (code_s, serial) = check("pre.json", "post_v2.json", true, Some(0));
+        let (code_m, materialized) = check("pre.json", "post_v2.json", false, None);
+        let (code_z, gz) = check("pre.json.gz", "post_v2.json.gz", true, Some(2));
+        assert_eq!([code_p, code_s, code_m, code_z], [1, 1, 1, 1]);
+        assert_eq!(verdicts(&piped), verdicts(&serial));
+        assert_eq!(verdicts(&piped), verdicts(&materialized));
+        assert_eq!(verdicts(&piped), verdicts(&gz));
+
+        // a malformed gz stream is an input error naming the file
+        let gz_path = dir.join("pre.json.gz");
+        let bytes = std::fs::read(&gz_path).unwrap();
+        std::fs::write(&gz_path, &bytes[..bytes.len() / 2]).unwrap();
+        let cmd = Command::Check {
+            spec: dir.join("change.rela"),
+            db: dir.join("db.json"),
+            pre: gz_path.clone(),
+            post: dir.join("post_v2.json"),
+            granularity: Granularity::Group,
+            threads: 1,
+            dedup: true,
+            cache_dir: None,
+            no_cache: false,
+            cache_stats: false,
+            stream: true,
+            pipeline_depth: None,
+        };
+        let err = run(&cmd, &mut Vec::new()).expect_err("truncated gz");
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("pre.json.gz"), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     /// Streamed (default) and `--no-stream` runs over the same files
     /// produce byte-identical reports and the same exit code.
     #[test]
@@ -739,6 +1044,7 @@ mod tests {
                 no_cache: false,
                 cache_stats: false,
                 stream,
+                pipeline_depth: None,
             };
             let mut sink = Vec::new();
             let code = run(&cmd, &mut sink).unwrap();
@@ -773,6 +1079,7 @@ mod tests {
             no_cache: false,
             cache_stats: false,
             stream: true,
+            pipeline_depth: None,
         };
         let mut sink = Vec::new();
         let err = run(&cmd, &mut sink).expect_err("truncated snapshot");

@@ -1,0 +1,1009 @@
+//! Vendored offline stand-in for the `flate2` crate: enough of gzip
+//! (RFC 1952) over DEFLATE (RFC 1951) for Rela's compressed snapshot
+//! streams.
+//!
+//! The decode side ([`read::GzDecoder`]) is a full streaming inflater —
+//! stored, fixed-Huffman, and dynamic-Huffman blocks, multi-member
+//! files, CRC32 + ISIZE trailer verification — implementing
+//! [`std::io::Read`], so a `.json.gz` snapshot rides the same pull-based
+//! framer as an uncompressed one without ever materializing the
+//! decompressed text. The encode side ([`write::GzEncoder`]) emits valid
+//! gzip using stored or fixed-Huffman literal blocks (no LZ77 match
+//! search): it exists so tests and tooling can produce compressed inputs
+//! offline, not to win compression ratios.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+
+/// DEFLATE window size: matches may reach this far back.
+const WINDOW: usize = 32 * 1024;
+
+/// Pause the symbol loop once this much decoded output is buffered.
+const PAUSE: usize = WINDOW;
+
+// ---- CRC32 (the gzip polynomial) --------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// Incremental CRC32 (IEEE, as used by gzip trailers).
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32(u32);
+
+impl Default for Crc32 {
+    fn default() -> Crc32 {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// Start a fresh checksum.
+    pub fn new() -> Crc32 {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    /// Fold `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut c = self.0;
+        for &b in data {
+            c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.0 = c;
+    }
+
+    /// The checksum of everything folded in so far.
+    pub fn finish(&self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+fn bad_data(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+fn eof(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::UnexpectedEof, message.to_owned())
+}
+
+// ---- bit-level input ---------------------------------------------------
+
+/// LSB-first bit reader over a byte source, with a small refill buffer.
+/// After any `bits` call fewer than 8 bits remain buffered, so `align`
+/// (drop to the next byte boundary) never discards whole bytes.
+struct BitReader<R: Read> {
+    src: R,
+    buf: Vec<u8>,
+    pos: usize,
+    len: usize,
+    bitbuf: u32,
+    nbits: u32,
+}
+
+impl<R: Read> BitReader<R> {
+    fn new(src: R) -> BitReader<R> {
+        BitReader {
+            src,
+            buf: vec![0; 16 * 1024],
+            pos: 0,
+            len: 0,
+            bitbuf: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Next raw byte, or `None` at end of input. Only meaningful on a
+    /// byte boundary (`nbits == 0`).
+    fn try_byte(&mut self) -> io::Result<Option<u8>> {
+        debug_assert_eq!(self.nbits, 0, "byte read while bit-misaligned");
+        if self.pos == self.len {
+            self.pos = 0;
+            self.len = self.src.read(&mut self.buf)?;
+            if self.len == 0 {
+                return Ok(None);
+            }
+        }
+        let b = self.buf[self.pos];
+        self.pos += 1;
+        Ok(Some(b))
+    }
+
+    fn byte(&mut self) -> io::Result<u8> {
+        self.try_byte()?
+            .ok_or_else(|| eof("unexpected end of gzip stream"))
+    }
+
+    /// Read `n ≤ 16` bits, LSB-first.
+    fn bits(&mut self, n: u32) -> io::Result<u32> {
+        while self.nbits < n {
+            // temporarily aligned from the byte reader's point of view:
+            // whole bytes are only ever pulled through `bitbuf` here
+            if self.pos == self.len {
+                self.pos = 0;
+                self.len = self.src.read(&mut self.buf)?;
+                if self.len == 0 {
+                    return Err(eof("unexpected end of deflate stream"));
+                }
+            }
+            self.bitbuf |= u32::from(self.buf[self.pos]) << self.nbits;
+            self.pos += 1;
+            self.nbits += 8;
+        }
+        let out = self.bitbuf & ((1u32 << n) - 1);
+        self.bitbuf >>= n;
+        self.nbits -= n;
+        Ok(out)
+    }
+
+    /// Drop the partial bits of the current byte (stored-block headers
+    /// and trailers are byte-aligned).
+    fn align(&mut self) {
+        self.bitbuf = 0;
+        self.nbits = 0;
+    }
+
+    fn u32_le(&mut self) -> io::Result<u32> {
+        let mut out = 0u32;
+        for shift in [0u32, 8, 16, 24] {
+            out |= u32::from(self.byte()?) << shift;
+        }
+        Ok(out)
+    }
+}
+
+// ---- canonical Huffman decoding ---------------------------------------
+
+/// A canonical Huffman code: per-length symbol counts plus the symbols
+/// sorted by (length, symbol) — decoded bit-by-bit, `puff`-style.
+struct Huffman {
+    counts: [u16; 16],
+    symbols: Vec<u16>,
+}
+
+impl Huffman {
+    /// Build from per-symbol code lengths (0 = unused). Over-subscribed
+    /// codes are rejected; incomplete codes are accepted (needed for the
+    /// common single-symbol distance tables).
+    fn build(lengths: &[u8]) -> io::Result<Huffman> {
+        let mut counts = [0u16; 16];
+        for &len in lengths {
+            if len > 15 {
+                return Err(bad_data("huffman code length exceeds 15"));
+            }
+            counts[usize::from(len)] += 1;
+        }
+        let mut left: i32 = 1;
+        for &count in &counts[1..] {
+            left = (left << 1) - i32::from(count);
+            if left < 0 {
+                return Err(bad_data("over-subscribed huffman code"));
+            }
+        }
+        // offsets of each length's first symbol in the sorted table
+        let mut offsets = [0usize; 16];
+        for len in 1..15 {
+            offsets[len + 1] = offsets[len] + usize::from(counts[len]);
+        }
+        let mut symbols = vec![0u16; lengths.iter().filter(|&&l| l > 0).count()];
+        for (sym, &len) in lengths.iter().enumerate() {
+            if len > 0 {
+                symbols[offsets[usize::from(len)]] = sym as u16;
+                offsets[usize::from(len)] += 1;
+            }
+        }
+        Ok(Huffman { counts, symbols })
+    }
+
+    fn decode<R: Read>(&self, bits: &mut BitReader<R>) -> io::Result<u16> {
+        let mut code = 0i32;
+        let mut first = 0i32;
+        let mut index = 0i32;
+        for len in 1..=15 {
+            code |= bits.bits(1)? as i32;
+            let count = i32::from(self.counts[len]);
+            if code - first < count {
+                return Ok(self.symbols[(index + (code - first)) as usize]);
+            }
+            index += count;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        Err(bad_data("invalid huffman code"))
+    }
+}
+
+// length codes 257..=285
+const LEN_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+const LEN_EXTRA: [u32; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+// distance codes 0..=29
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u32; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+// order of code-length-code lengths in a dynamic block header
+const CLC_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+fn fixed_literal_lengths() -> Vec<u8> {
+    let mut lengths = vec![8u8; 288];
+    for l in lengths.iter_mut().take(256).skip(144) {
+        *l = 9;
+    }
+    for l in lengths.iter_mut().take(280).skip(256) {
+        *l = 7;
+    }
+    lengths
+}
+
+/// Streaming decoders.
+pub mod read {
+    use super::*;
+
+    /// Inflater state between `read` calls.
+    enum State {
+        /// Before a member header (`first_magic` = magic byte already
+        /// consumed while probing for a next member).
+        Header { first_magic: bool },
+        /// Between blocks: next 3 bits are a block header.
+        BlockHeader,
+        /// Inside a stored block.
+        Stored { remaining: u16, last: bool },
+        /// Inside a compressed block.
+        Compressed {
+            lit: Huffman,
+            dist: Huffman,
+            last: bool,
+        },
+        /// All blocks of the member consumed; trailer unread.
+        Trailer,
+        /// Input fully consumed and verified.
+        Done,
+    }
+
+    /// A streaming gzip decoder: wraps any [`Read`] of gzip bytes and
+    /// reads as the decompressed bytes. Trailer CRC32/ISIZE are
+    /// verified; concatenated members decode as one stream (per RFC
+    /// 1952 §2.2).
+    ///
+    /// ```
+    /// use flate2::{write::GzEncoder, read::GzDecoder, Compression};
+    /// use std::io::{Read, Write};
+    ///
+    /// let mut enc = GzEncoder::new(Vec::new(), Compression::default());
+    /// enc.write_all(b"hello gzip").unwrap();
+    /// let compressed = enc.finish().unwrap();
+    /// let mut out = String::new();
+    /// GzDecoder::new(&compressed[..]).read_to_string(&mut out).unwrap();
+    /// assert_eq!(out, "hello gzip");
+    /// ```
+    pub struct GzDecoder<R: Read> {
+        bits: BitReader<R>,
+        state: State,
+        /// Sliding history for match copies (ring buffer).
+        window: Vec<u8>,
+        wpos: usize,
+        /// Total bytes emitted for the current member (dist validation +
+        /// ISIZE check).
+        member_out: u64,
+        crc: Crc32,
+        /// Decoded, not yet handed to the caller.
+        out: VecDeque<u8>,
+    }
+
+    impl<R: Read> GzDecoder<R> {
+        /// Wrap a gzip byte source.
+        pub fn new(src: R) -> GzDecoder<R> {
+            GzDecoder {
+                bits: BitReader::new(src),
+                state: State::Header { first_magic: false },
+                window: vec![0; WINDOW],
+                wpos: 0,
+                member_out: 0,
+                crc: Crc32::new(),
+                out: VecDeque::new(),
+            }
+        }
+
+        fn emit(&mut self, byte: u8) {
+            self.out.push_back(byte);
+            self.window[self.wpos] = byte;
+            self.wpos = (self.wpos + 1) % WINDOW;
+            self.member_out += 1;
+            self.crc.update(&[byte]);
+        }
+
+        fn read_header(&mut self, first_magic: bool) -> io::Result<()> {
+            if !first_magic && self.bits.byte()? != 0x1f {
+                return Err(bad_data("not a gzip stream (bad magic)"));
+            }
+            if self.bits.byte()? != 0x8b {
+                return Err(bad_data("not a gzip stream (bad magic)"));
+            }
+            if self.bits.byte()? != 8 {
+                return Err(bad_data("unsupported gzip compression method"));
+            }
+            let flg = self.bits.byte()?;
+            if flg & 0xE0 != 0 {
+                return Err(bad_data("reserved gzip FLG bits set"));
+            }
+            for _ in 0..6 {
+                self.bits.byte()?; // MTIME, XFL, OS
+            }
+            if flg & 0x04 != 0 {
+                // FEXTRA: little-endian length, then payload
+                let len = u16::from(self.bits.byte()?) | (u16::from(self.bits.byte()?) << 8);
+                for _ in 0..len {
+                    self.bits.byte()?;
+                }
+            }
+            for flag in [0x08u8, 0x10] {
+                // FNAME, FCOMMENT: NUL-terminated
+                if flg & flag != 0 {
+                    while self.bits.byte()? != 0 {}
+                }
+            }
+            if flg & 0x02 != 0 {
+                self.bits.byte()?; // FHCRC (not verified: CRC32 of the
+                self.bits.byte()?; // whole member is, below)
+            }
+            self.member_out = 0;
+            self.crc = Crc32::new();
+            self.state = State::BlockHeader;
+            Ok(())
+        }
+
+        fn read_block_header(&mut self) -> io::Result<()> {
+            let last = self.bits.bits(1)? == 1;
+            match self.bits.bits(2)? {
+                0 => {
+                    self.bits.align();
+                    let len = self.bits.bits(16)? as u16;
+                    let nlen = self.bits.bits(16)? as u16;
+                    if len != !nlen {
+                        return Err(bad_data("stored block LEN/NLEN mismatch"));
+                    }
+                    self.state = State::Stored {
+                        remaining: len,
+                        last,
+                    };
+                }
+                1 => {
+                    let lit = Huffman::build(&fixed_literal_lengths())?;
+                    let dist = Huffman::build(&[5u8; 30])?;
+                    self.state = State::Compressed { lit, dist, last };
+                }
+                2 => {
+                    let (lit, dist) = self.read_dynamic_tables()?;
+                    self.state = State::Compressed { lit, dist, last };
+                }
+                _ => return Err(bad_data("reserved deflate block type")),
+            }
+            Ok(())
+        }
+
+        fn read_dynamic_tables(&mut self) -> io::Result<(Huffman, Huffman)> {
+            let hlit = self.bits.bits(5)? as usize + 257;
+            let hdist = self.bits.bits(5)? as usize + 1;
+            let hclen = self.bits.bits(4)? as usize + 4;
+            if hlit > 286 || hdist > 30 {
+                return Err(bad_data("dynamic block table sizes out of range"));
+            }
+            let mut clc_lengths = [0u8; 19];
+            for &sym in CLC_ORDER.iter().take(hclen) {
+                clc_lengths[sym] = self.bits.bits(3)? as u8;
+            }
+            let clc = Huffman::build(&clc_lengths)?;
+            let mut lengths: Vec<u8> = Vec::with_capacity(hlit + hdist);
+            while lengths.len() < hlit + hdist {
+                match clc.decode(&mut self.bits)? {
+                    sym @ 0..=15 => lengths.push(sym as u8),
+                    16 => {
+                        let &prev = lengths
+                            .last()
+                            .ok_or_else(|| bad_data("length repeat with no previous length"))?;
+                        let n = self.bits.bits(2)? + 3;
+                        lengths.extend(std::iter::repeat_n(prev, n as usize));
+                    }
+                    17 => {
+                        let n = self.bits.bits(3)? + 3;
+                        lengths.extend(std::iter::repeat_n(0, n as usize));
+                    }
+                    18 => {
+                        let n = self.bits.bits(7)? + 11;
+                        lengths.extend(std::iter::repeat_n(0, n as usize));
+                    }
+                    _ => return Err(bad_data("invalid code-length symbol")),
+                }
+            }
+            if lengths.len() != hlit + hdist {
+                return Err(bad_data("length repeat overflows the tables"));
+            }
+            if lengths[256] == 0 {
+                return Err(bad_data("dynamic block has no end-of-block code"));
+            }
+            let lit = Huffman::build(&lengths[..hlit])?;
+            let dist = Huffman::build(&lengths[hlit..])?;
+            Ok((lit, dist))
+        }
+
+        /// Decode compressed-block symbols until end-of-block or until
+        /// enough output is buffered to pause.
+        fn run_compressed(&mut self) -> io::Result<()> {
+            loop {
+                if self.out.len() >= PAUSE {
+                    return Ok(());
+                }
+                let State::Compressed { lit, last, .. } = &self.state else {
+                    unreachable!("run_compressed outside a compressed block");
+                };
+                let last = *last;
+                let sym = lit.decode(&mut self.bits)?;
+                match sym {
+                    0..=255 => self.emit(sym as u8),
+                    256 => {
+                        self.state = if last {
+                            State::Trailer
+                        } else {
+                            State::BlockHeader
+                        };
+                        return Ok(());
+                    }
+                    257..=285 => {
+                        let li = usize::from(sym - 257);
+                        let len =
+                            usize::from(LEN_BASE[li]) + self.bits.bits(LEN_EXTRA[li])? as usize;
+                        let State::Compressed { dist, .. } = &self.state else {
+                            unreachable!();
+                        };
+                        let dsym = usize::from(dist.decode(&mut self.bits)?);
+                        if dsym >= 30 {
+                            return Err(bad_data("invalid distance code"));
+                        }
+                        let distance = usize::from(DIST_BASE[dsym])
+                            + self.bits.bits(DIST_EXTRA[dsym])? as usize;
+                        if (distance as u64) > self.member_out || distance > WINDOW {
+                            return Err(bad_data("match distance beyond window"));
+                        }
+                        // overlapping copies (distance < length) re-read
+                        // freshly emitted bytes: the ring walk lands on
+                        // them naturally because `emit` writes at `wpos`
+                        let mut from = (self.wpos + WINDOW - distance) % WINDOW;
+                        for _ in 0..len {
+                            let byte = self.window[from];
+                            from = (from + 1) % WINDOW;
+                            self.emit(byte);
+                        }
+                    }
+                    _ => return Err(bad_data("invalid literal/length code")),
+                }
+            }
+        }
+
+        fn read_trailer(&mut self) -> io::Result<()> {
+            self.bits.align();
+            let crc = self.bits.u32_le()?;
+            let isize_ = self.bits.u32_le()?;
+            if crc != self.crc.finish() {
+                return Err(bad_data("gzip CRC32 mismatch"));
+            }
+            if u64::from(isize_) != self.member_out & 0xFFFF_FFFF {
+                return Err(bad_data("gzip ISIZE mismatch"));
+            }
+            // another member may follow (concatenated gzip)
+            self.state = match self.bits.try_byte()? {
+                None => State::Done,
+                Some(0x1f) => State::Header { first_magic: true },
+                Some(_) => return Err(bad_data("trailing garbage after gzip member")),
+            };
+            Ok(())
+        }
+
+        /// Advance the state machine until output is buffered or the
+        /// stream ends.
+        fn pump(&mut self) -> io::Result<()> {
+            while self.out.is_empty() {
+                match &mut self.state {
+                    State::Header { first_magic } => {
+                        let first = *first_magic;
+                        self.read_header(first)?;
+                    }
+                    State::BlockHeader => self.read_block_header()?,
+                    State::Stored { remaining, last } => {
+                        let last = *last;
+                        if *remaining == 0 {
+                            self.state = if last {
+                                State::Trailer
+                            } else {
+                                State::BlockHeader
+                            };
+                            continue;
+                        }
+                        let n = (*remaining).min(PAUSE as u16);
+                        *remaining -= n;
+                        for _ in 0..n {
+                            let b = self.bits.byte()?;
+                            self.emit(b);
+                        }
+                    }
+                    State::Compressed { .. } => self.run_compressed()?,
+                    State::Trailer => self.read_trailer()?,
+                    State::Done => return Ok(()),
+                }
+            }
+            Ok(())
+        }
+    }
+
+    impl<R: Read> Read for GzDecoder<R> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if buf.is_empty() {
+                return Ok(0);
+            }
+            if self.out.is_empty() {
+                self.pump()?;
+            }
+            let n = self.out.len().min(buf.len());
+            for slot in buf.iter_mut().take(n) {
+                *slot = self.out.pop_front().expect("buffered output");
+            }
+            Ok(n)
+        }
+    }
+}
+
+/// How hard the encoder tries. The vendored encoder has exactly two
+/// strategies: `none` emits stored blocks, anything else fixed-Huffman
+/// literal blocks (no match search — valid, just not maximally small).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Compression(u32);
+
+impl Compression {
+    /// Stored (uncompressed) blocks.
+    pub fn none() -> Compression {
+        Compression(0)
+    }
+
+    /// Fixed-Huffman literal blocks.
+    pub fn fast() -> Compression {
+        Compression(1)
+    }
+
+    /// Alias for [`Compression::fast`] in this stand-in.
+    pub fn new(level: u32) -> Compression {
+        Compression(level)
+    }
+
+    /// The level requested at construction.
+    pub fn level(&self) -> u32 {
+        self.0
+    }
+}
+
+impl Default for Compression {
+    fn default() -> Compression {
+        Compression(6)
+    }
+}
+
+/// Streaming encoders.
+pub mod write {
+    use super::*;
+
+    /// A streaming gzip encoder over any [`Write`] sink. Call
+    /// [`GzEncoder::finish`] to emit the trailer; a dropped, unfinished
+    /// encoder leaves a truncated stream.
+    pub struct GzEncoder<W: Write> {
+        out: W,
+        /// Pending uncompressed bytes (flushed per block).
+        buf: Vec<u8>,
+        bitbuf: u32,
+        nbits: u32,
+        crc: Crc32,
+        total: u64,
+        stored: bool,
+        wrote_header: bool,
+    }
+
+    impl<W: Write> GzEncoder<W> {
+        /// Start a gzip stream on `out`.
+        pub fn new(out: W, level: Compression) -> GzEncoder<W> {
+            GzEncoder {
+                out,
+                buf: Vec::new(),
+                bitbuf: 0,
+                nbits: 0,
+                crc: Crc32::new(),
+                total: 0,
+                stored: level == Compression::none(),
+                wrote_header: false,
+            }
+        }
+
+        fn push_bits(&mut self, value: u32, n: u32) -> io::Result<()> {
+            self.bitbuf |= value << self.nbits;
+            self.nbits += n;
+            while self.nbits >= 8 {
+                self.out.write_all(&[(self.bitbuf & 0xFF) as u8])?;
+                self.bitbuf >>= 8;
+                self.nbits -= 8;
+            }
+            Ok(())
+        }
+
+        /// Emit a Huffman code (MSB-first, per RFC 1951 §3.1.1).
+        fn push_code(&mut self, code: u32, len: u32) -> io::Result<()> {
+            for i in (0..len).rev() {
+                self.push_bits((code >> i) & 1, 1)?;
+            }
+            Ok(())
+        }
+
+        fn align(&mut self) -> io::Result<()> {
+            if self.nbits > 0 {
+                self.out.write_all(&[(self.bitbuf & 0xFF) as u8])?;
+            }
+            self.bitbuf = 0;
+            self.nbits = 0;
+            Ok(())
+        }
+
+        fn write_header(&mut self) -> io::Result<()> {
+            if !self.wrote_header {
+                // magic, deflate, no flags, zero mtime, xfl, "unknown" OS
+                self.out
+                    .write_all(&[0x1f, 0x8b, 8, 0, 0, 0, 0, 0, 0, 0xff])?;
+                self.wrote_header = true;
+            }
+            Ok(())
+        }
+
+        /// Flush pending bytes as one non-final block.
+        fn flush_block(&mut self) -> io::Result<()> {
+            self.write_header()?;
+            let data = std::mem::take(&mut self.buf);
+            if data.is_empty() {
+                return Ok(());
+            }
+            if self.stored {
+                for chunk in data.chunks(u16::MAX as usize) {
+                    self.push_bits(0, 1)?; // BFINAL=0
+                    self.push_bits(0, 2)?; // stored
+                    self.align()?;
+                    let len = chunk.len() as u16;
+                    self.out.write_all(&len.to_le_bytes())?;
+                    self.out.write_all(&(!len).to_le_bytes())?;
+                    self.out.write_all(chunk)?;
+                }
+            } else {
+                self.push_bits(0, 1)?; // BFINAL=0
+                self.push_bits(1, 2)?; // fixed Huffman
+                for &b in &data {
+                    let (code, len) = fixed_code(b);
+                    self.push_code(code, len)?;
+                }
+                self.push_code(0, 7)?; // end of block (symbol 256)
+            }
+            Ok(())
+        }
+
+        /// Close the stream: flush pending data, emit an empty final
+        /// block and the CRC32/ISIZE trailer, and return the sink.
+        pub fn finish(mut self) -> io::Result<W> {
+            self.flush_block()?;
+            // empty final stored block terminates the deflate stream
+            self.push_bits(1, 1)?;
+            self.push_bits(0, 2)?;
+            self.align()?;
+            self.out.write_all(&0u16.to_le_bytes())?;
+            self.out.write_all(&(!0u16).to_le_bytes())?;
+            self.out.write_all(&self.crc.finish().to_le_bytes())?;
+            self.out
+                .write_all(&((self.total & 0xFFFF_FFFF) as u32).to_le_bytes())?;
+            self.out.flush()?;
+            Ok(self.out)
+        }
+    }
+
+    /// The fixed literal code for byte `b` (RFC 1951 §3.2.6).
+    fn fixed_code(b: u8) -> (u32, u32) {
+        if b < 144 {
+            (0x30 + u32::from(b), 8)
+        } else {
+            (0x190 + u32::from(b) - 144, 9)
+        }
+    }
+
+    impl<W: Write> Write for GzEncoder<W> {
+        fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+            self.crc.update(data);
+            self.total += data.len() as u64;
+            self.buf.extend_from_slice(data);
+            if self.buf.len() >= WINDOW {
+                self.flush_block()?;
+            }
+            Ok(data.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            self.flush_block()?;
+            self.out.flush()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::read::GzDecoder;
+    use super::write::GzEncoder;
+    use super::*;
+
+    fn roundtrip(data: &[u8], level: Compression) -> Vec<u8> {
+        let mut enc = GzEncoder::new(Vec::new(), level);
+        enc.write_all(data).unwrap();
+        let compressed = enc.finish().unwrap();
+        let mut out = Vec::new();
+        GzDecoder::new(&compressed[..])
+            .read_to_end(&mut out)
+            .unwrap();
+        out
+    }
+
+    /// Deterministic pseudo-random bytes (no RNG dependency).
+    fn noise(n: usize) -> Vec<u8> {
+        let mut state = 0x9E37_79B9u32;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                (state >> 24) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stored_and_fixed_roundtrip() {
+        for level in [Compression::none(), Compression::fast()] {
+            for data in [
+                &b""[..],
+                b"a",
+                b"hello, hello, hello gzip world",
+                &noise(100_000),
+                &vec![0xAB; 70_000], // spans multiple stored blocks
+            ] {
+                assert_eq!(roundtrip(data, level), data, "level {level:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn high_bytes_use_nine_bit_codes() {
+        // bytes ≥ 144 exercise the 9-bit half of the fixed literal code
+        let data: Vec<u8> = (0u8..=255).cycle().take(4096).collect();
+        assert_eq!(roundtrip(&data, Compression::fast()), data);
+    }
+
+    #[test]
+    fn concatenated_members_decode_as_one_stream() {
+        let mut enc = GzEncoder::new(Vec::new(), Compression::fast());
+        enc.write_all(b"first ").unwrap();
+        let mut bytes = enc.finish().unwrap();
+        let mut enc = GzEncoder::new(Vec::new(), Compression::none());
+        enc.write_all(b"second").unwrap();
+        bytes.extend_from_slice(&enc.finish().unwrap());
+        let mut out = String::new();
+        GzDecoder::new(&bytes[..]).read_to_string(&mut out).unwrap();
+        assert_eq!(out, "first second");
+    }
+
+    #[test]
+    fn corrupt_crc_is_rejected() {
+        let mut enc = GzEncoder::new(Vec::new(), Compression::fast());
+        enc.write_all(b"payload").unwrap();
+        let mut bytes = enc.finish().unwrap();
+        let n = bytes.len();
+        bytes[n - 5] ^= 0xFF; // inside the CRC32 field
+        let err = GzDecoder::new(&bytes[..])
+            .read_to_end(&mut Vec::new())
+            .unwrap_err();
+        assert!(err.to_string().contains("CRC32"), "{err}");
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_errors() {
+        let mut enc = GzEncoder::new(Vec::new(), Compression::fast());
+        enc.write_all(b"some payload worth truncating").unwrap();
+        let bytes = enc.finish().unwrap();
+        let err = GzDecoder::new(&bytes[..bytes.len() / 2])
+            .read_to_end(&mut Vec::new())
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "{err}");
+
+        let err = GzDecoder::new(&b"not gzip at all"[..])
+            .read_to_end(&mut Vec::new())
+            .unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+
+        let mut trailing = bytes.clone();
+        trailing.push(0x42);
+        let err = GzDecoder::new(&trailing[..])
+            .read_to_end(&mut Vec::new())
+            .unwrap_err();
+        assert!(err.to_string().contains("trailing garbage"), "{err}");
+    }
+
+    #[test]
+    fn optional_header_fields_are_skipped() {
+        // hand-build a header with FEXTRA + FNAME + FCOMMENT + FHCRC,
+        // then splice in the deflate body + trailer from the encoder
+        let enc = {
+            let mut e = GzEncoder::new(Vec::new(), Compression::none());
+            e.write_all(b"decorated").unwrap();
+            e.finish().unwrap()
+        };
+        let body = &enc[10..]; // strip the encoder's plain header
+        let mut bytes = vec![0x1f, 0x8b, 8, 0x02 | 0x04 | 0x08 | 0x10];
+        bytes.extend_from_slice(&[0; 6]); // mtime/xfl/os
+        bytes.extend_from_slice(&3u16.to_le_bytes()); // FEXTRA len
+        bytes.extend_from_slice(b"xyz");
+        bytes.extend_from_slice(b"name.json\0");
+        bytes.extend_from_slice(b"a comment\0");
+        bytes.extend_from_slice(&[0xAA, 0xBB]); // FHCRC (unverified)
+        bytes.extend_from_slice(body);
+        let mut out = String::new();
+        GzDecoder::new(&bytes[..]).read_to_string(&mut out).unwrap();
+        assert_eq!(out, "decorated");
+    }
+
+    /// LSB-first bit writer for hand-building deflate test vectors.
+    struct BitWriter {
+        out: Vec<u8>,
+        bitbuf: u32,
+        nbits: u32,
+    }
+
+    impl BitWriter {
+        fn new() -> BitWriter {
+            BitWriter {
+                out: Vec::new(),
+                bitbuf: 0,
+                nbits: 0,
+            }
+        }
+
+        fn bits(&mut self, value: u32, n: u32) {
+            self.bitbuf |= value << self.nbits;
+            self.nbits += n;
+            while self.nbits >= 8 {
+                self.out.push((self.bitbuf & 0xFF) as u8);
+                self.bitbuf >>= 8;
+                self.nbits -= 8;
+            }
+        }
+
+        /// Emit a Huffman code MSB-first.
+        fn code(&mut self, code: u32, len: u32) {
+            for i in (0..len).rev() {
+                self.bits((code >> i) & 1, 1);
+            }
+        }
+
+        fn finish(mut self) -> Vec<u8> {
+            if self.nbits > 0 {
+                self.out.push((self.bitbuf & 0xFF) as u8);
+            }
+            self.out
+        }
+    }
+
+    #[test]
+    fn dynamic_huffman_block_decodes() {
+        // Hand-built dynamic block: literal 0x00 → length-1 code, EOB →
+        // length-1 code, everything else unused; one distance code of
+        // length 1 (unused). Payload: three NULs.
+        let mut w = BitWriter::new();
+        w.bits(1, 1); // BFINAL
+        w.bits(2, 2); // dynamic
+        w.bits(0, 5); // HLIT  = 257
+        w.bits(0, 5); // HDIST = 1
+        w.bits(15, 4); // HCLEN = 19 (all code-length lengths present)
+                       // code-length code: symbols {1, 18} get length 1, rest 0
+        for sym in CLC_ORDER {
+            w.bits(if sym == 1 || sym == 18 { 1 } else { 0 }, 3);
+        }
+        // canonical CLC: sym 1 → code 0, sym 18 → code 1 (both 1 bit)
+        let (cl_one, cl_rep18) = ((0u32, 1u32), (1u32, 1u32));
+        // literal lengths: sym0=1, 255 zeros (138 + 117), sym256=1
+        w.code(cl_one.0, cl_one.1);
+        w.code(cl_rep18.0, cl_rep18.1);
+        w.bits(138 - 11, 7);
+        w.code(cl_rep18.0, cl_rep18.1);
+        w.bits(117 - 11, 7);
+        w.code(cl_one.0, cl_one.1);
+        // distance lengths: one code of length 1
+        w.code(cl_one.0, cl_one.1);
+        // data: lit/len code is sym0 → 0, sym256 → 1 (canonical, 1 bit)
+        w.code(0, 1);
+        w.code(0, 1);
+        w.code(0, 1);
+        w.code(1, 1); // EOB
+        let deflate = w.finish();
+
+        let mut bytes = vec![0x1f, 0x8b, 8, 0, 0, 0, 0, 0, 0, 0xff];
+        bytes.extend_from_slice(&deflate);
+        let mut crc = Crc32::new();
+        crc.update(&[0, 0, 0]);
+        bytes.extend_from_slice(&crc.finish().to_le_bytes());
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+
+        let mut out = Vec::new();
+        GzDecoder::new(&bytes[..]).read_to_end(&mut out).unwrap();
+        assert_eq!(out, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn back_reference_copies_resolve_through_the_window() {
+        // Fixed-Huffman block with a literal run then an overlapping
+        // match: "abc" + (len 6, dist 3) = "abcabcabc".
+        let mut w = BitWriter::new();
+        w.bits(1, 1); // BFINAL
+        w.bits(1, 2); // fixed
+        for b in *b"abc" {
+            w.code(0x30 + u32::from(b), 8);
+        }
+        // length 6 → symbol 260 (code 0b0000100, 7 bits), no extra
+        w.code(260 - 256, 7);
+        // distance 3 → symbol 2 (5 bits), no extra
+        w.code(2, 5);
+        w.code(0, 7); // EOB
+        let deflate = w.finish();
+
+        let mut bytes = vec![0x1f, 0x8b, 8, 0, 0, 0, 0, 0, 0, 0xff];
+        bytes.extend_from_slice(&deflate);
+        let mut crc = Crc32::new();
+        crc.update(b"abcabcabc");
+        bytes.extend_from_slice(&crc.finish().to_le_bytes());
+        bytes.extend_from_slice(&9u32.to_le_bytes());
+
+        let mut out = String::new();
+        GzDecoder::new(&bytes[..]).read_to_string(&mut out).unwrap();
+        assert_eq!(out, "abcabcabc");
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // the classic check value: crc32("123456789") = 0xCBF43926
+        let mut crc = Crc32::new();
+        crc.update(b"123456789");
+        assert_eq!(crc.finish(), 0xCBF4_3926);
+    }
+}

@@ -446,6 +446,257 @@ impl<R: Read> JsonReader<R> {
         }
     }
 
+    /// Scan one complete value without decoding it, appending its raw
+    /// bytes (interior whitespace included, leading whitespace excluded)
+    /// to `out`.
+    ///
+    /// This is the framing half of a decode pipeline: it applies exactly
+    /// the same strict grammar as [`read_value`](JsonReader::read_value)
+    /// — identical error messages at identical offsets — but
+    /// materializes nothing beyond the raw span, so a reader thread can
+    /// hand complete records to decode workers without paying for
+    /// [`Value`] construction. The span re-parses to the same [`Value`]
+    /// the decoding reader would have produced.
+    pub fn read_raw_value(&mut self, out: &mut Vec<u8>) -> Result<()> {
+        self.skip_ws()?;
+        self.scan_raw_at(0, out)
+    }
+
+    fn scan_raw_at(&mut self, depth: usize, out: &mut Vec<u8>) -> Result<()> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("recursion limit exceeded"));
+        }
+        self.scan_ws_raw(out)?;
+        match self.peek()? {
+            Some(b'n') => self.scan_literal_raw("null", out),
+            Some(b't') => self.scan_literal_raw("true", out),
+            Some(b'f') => self.scan_literal_raw("false", out),
+            Some(b'"') => self.scan_string_raw(out),
+            Some(open @ (b'[' | b'{')) => {
+                let close = if open == b'[' { b']' } else { b'}' };
+                out.push(open);
+                self.bump();
+                self.scan_container_raw(depth, close, out)
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.scan_number_raw(out),
+            Some(c) => Err(self.error(format!("unexpected character `{}`", c as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    /// Scan a container body after its opening bracket, mirroring the
+    /// comma/close handling of [`step_into_next`](Self::step_into_next)
+    /// byte for byte (so malformed input fails with the same message at
+    /// the same offset as the decoding reader).
+    fn scan_container_raw(&mut self, depth: usize, close: u8, out: &mut Vec<u8>) -> Result<()> {
+        let mut first = true;
+        loop {
+            self.scan_ws_raw(out)?;
+            match self.peek()? {
+                Some(b) if b == close => {
+                    out.push(b);
+                    self.bump();
+                    return Ok(());
+                }
+                Some(b',') if !first => {
+                    out.push(b',');
+                    self.bump();
+                    self.scan_ws_raw(out)?;
+                    if self.peek()? == Some(close) {
+                        return Err(self.error("trailing comma"));
+                    }
+                }
+                Some(_) if first => first = false,
+                Some(_) => return Err(self.error(format!("expected `,` or `{}`", close as char))),
+                None => {
+                    return Err(self.error(format!(
+                        "unexpected end of input (expected `,` or `{}`)",
+                        close as char
+                    )))
+                }
+            }
+            if close == b'}' {
+                self.scan_ws_raw(out)?;
+                self.scan_string_raw(out)?;
+                self.scan_ws_raw(out)?;
+                match self.peek()? {
+                    Some(b':') => {
+                        out.push(b':');
+                        self.bump();
+                    }
+                    Some(_) => return Err(self.error("expected `:`")),
+                    None => return Err(self.error("unexpected end of input (expected `:`)")),
+                }
+            }
+            self.scan_raw_at(depth + 1, out)?;
+        }
+    }
+
+    fn scan_ws_raw(&mut self, out: &mut Vec<u8>) -> Result<()> {
+        while let Some(b @ (b' ' | b'\t' | b'\n' | b'\r')) = self.peek()? {
+            out.push(b);
+            self.bump();
+        }
+        Ok(())
+    }
+
+    fn scan_literal_raw(&mut self, word: &str, out: &mut Vec<u8>) -> Result<()> {
+        for &b in word.as_bytes() {
+            match self.peek()? {
+                Some(got) if got == b => {
+                    out.push(got);
+                    self.bump();
+                }
+                _ => return Err(self.error(format!("expected `{word}`"))),
+            }
+        }
+        Ok(())
+    }
+
+    /// Raw mirror of [`read_string`](Self::read_string): validates the
+    /// token (escapes, surrogate pairs, UTF-8) without decoding escapes.
+    fn scan_string_raw(&mut self, out: &mut Vec<u8>) -> Result<()> {
+        match self.peek()? {
+            Some(b'"') => {
+                out.push(b'"');
+                self.bump();
+            }
+            Some(_) => return Err(self.error("expected `\"`")),
+            None => return Err(self.error("unexpected end of input (expected `\"`)")),
+        }
+        let content_start = out.len();
+        loop {
+            match self.peek()? {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.bump();
+                    // escape sequences are pure ASCII, so the raw content
+                    // is valid UTF-8 exactly when the decoded string is —
+                    // same error at the same post-quote offset as the
+                    // decoding reader
+                    if std::str::from_utf8(&out[content_start..]).is_err() {
+                        return Err(self.error("invalid utf-8"));
+                    }
+                    out.push(b'"');
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    out.push(b'\\');
+                    self.bump();
+                    match self.peek()? {
+                        Some(c @ (b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't')) => {
+                            out.push(c);
+                            self.bump();
+                        }
+                        Some(b'u') => {
+                            out.push(b'u');
+                            self.bump();
+                            let code = self.hex4_raw(out)?;
+                            let valid = if (0xD800..0xDC00).contains(&code) {
+                                // high surrogate: must pair with a low one
+                                if self.peek()? == Some(b'\\') {
+                                    out.push(b'\\');
+                                    self.bump();
+                                    match self.peek()? {
+                                        Some(b'u') => {
+                                            out.push(b'u');
+                                            self.bump();
+                                            let low = self.hex4_raw(out)?;
+                                            (0xDC00..0xE000).contains(&low)
+                                        }
+                                        Some(_) => return Err(self.error("expected `u`")),
+                                        None => {
+                                            return Err(self
+                                                .error("unexpected end of input (expected `u`)"))
+                                        }
+                                    }
+                                } else {
+                                    false
+                                }
+                            } else {
+                                // lone low surrogates are unencodable
+                                !(0xDC00..0xE000).contains(&code)
+                            };
+                            if !valid {
+                                return Err(self.error("invalid \\u escape"));
+                            }
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                }
+                Some(_) => {
+                    // copy the maximal buffered run up to the next quote,
+                    // escape, or buffer end in one extend
+                    let start = self.pos;
+                    while self.pos < self.len {
+                        let b = self.buf[self.pos];
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        if b == b'\n' {
+                            self.line += 1;
+                            self.line_start = self.base + self.pos as u64 + 1;
+                        }
+                        self.pos += 1;
+                    }
+                    out.extend_from_slice(&self.buf[start..self.pos]);
+                }
+            }
+        }
+    }
+
+    fn hex4_raw(&mut self, out: &mut Vec<u8>) -> Result<u32> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek()? {
+                Some(b) if b.is_ascii_hexdigit() => {
+                    out.push(b);
+                    (b as char).to_digit(16).expect("hex digit")
+                }
+                Some(_) => return Err(self.error("invalid \\u escape")),
+                None => return Err(self.error("truncated \\u escape")),
+            };
+            self.bump();
+            code = code * 16 + d;
+        }
+        Ok(code)
+    }
+
+    /// Raw mirror of [`read_number`](Self::read_number): the strict
+    /// grammar without the numeric parse (re-parsing the span performs
+    /// it).
+    fn scan_number_raw(&mut self, out: &mut Vec<u8>) -> Result<()> {
+        if self.peek()? == Some(b'-') {
+            out.push(b'-');
+            self.bump();
+        }
+        match self.peek()? {
+            Some(b'0') => {
+                out.push(b'0');
+                self.bump();
+                if matches!(self.peek()?, Some(c) if c.is_ascii_digit()) {
+                    return Err(self.error("leading zeros are not allowed"));
+                }
+            }
+            _ => self.digits(out, "expected a digit")?,
+        }
+        if self.peek()? == Some(b'.') {
+            out.push(b'.');
+            self.bump();
+            self.digits(out, "expected a digit after the decimal point")?;
+        }
+        if let Some(e @ (b'e' | b'E')) = self.peek()? {
+            out.push(e);
+            self.bump();
+            if let Some(sign @ (b'+' | b'-')) = self.peek()? {
+                out.push(sign);
+                self.bump();
+            }
+            self.digits(out, "expected a digit in the exponent")?;
+        }
+        Ok(())
+    }
+
     /// Assert the document is complete: only whitespace remains.
     pub fn end(&mut self) -> Result<()> {
         self.skip_ws()?;
@@ -602,6 +853,94 @@ mod tests {
             .collect();
         let mut r = JsonReader::new(&deep[..]);
         let err = r.read_value().unwrap_err();
+        assert!(err.to_string().contains("recursion limit"), "{err}");
+    }
+
+    #[test]
+    fn raw_spans_reparse_to_the_same_value() {
+        let docs: [&[u8]; 6] = [
+            br#"{"a": [1, 2.5, -3e2], "b": {"nested": "hi\n\u0041"}}"#,
+            br#"[true, false, null, "unicode \ud83d\ude00 ok"]"#,
+            b"  -0.5e+2 ",
+            b"\"plain\"",
+            b"{ }",
+            b"[ [ ], { \"k\" : [ 0 ] } ]",
+        ];
+        for doc in docs {
+            let mut r = JsonReader::new(Drip(doc));
+            let mut span = Vec::new();
+            r.read_raw_value(&mut span).unwrap();
+            r.end().unwrap();
+            let reparsed: Value = crate::from_str(std::str::from_utf8(&span).unwrap()).unwrap();
+            let decoded = read_doc(doc).unwrap();
+            assert_eq!(reparsed, decoded, "{:?}", std::str::from_utf8(doc));
+        }
+    }
+
+    #[test]
+    fn raw_scan_errors_match_the_decoding_reader() {
+        // every strict-grammar rejection must fail identically (message
+        // and offset) whether the value is decoded or raw-scanned
+        let bad: [&[u8]; 16] = [
+            b"01",
+            b"1.",
+            b"-.5",
+            b"1e",
+            b"[1 2]",
+            b"[1,]",
+            b"{\"a\" 1}",
+            b"{\"a\": 1,}",
+            b"\"\\ud83dx\"",
+            b"\"\\udc00\"",
+            b"truth",
+            b"\"unterminated",
+            b"[1, x]",
+            b"{3: 1}",
+            b"\"bad \\q escape\"",
+            b"{\"a\": [1,",
+        ];
+        for doc in bad {
+            let decode_err = read_doc(doc).unwrap_err();
+            let mut r = JsonReader::new(Drip(doc));
+            let raw_err = r
+                .read_raw_value(&mut Vec::new())
+                .err()
+                .or_else(|| r.end().err())
+                .unwrap_or_else(|| panic!("raw scan accepted {:?}", std::str::from_utf8(doc)));
+            assert_eq!(
+                raw_err.to_string(),
+                decode_err.to_string(),
+                "on {:?}",
+                std::str::from_utf8(doc)
+            );
+            assert_eq!(raw_err.byte_offset(), decode_err.byte_offset());
+        }
+    }
+
+    #[test]
+    fn raw_scan_interleaves_with_cursor_walks() {
+        // frame the records of a fecs-like array without decoding them
+        let doc = br#"{"fecs": [{"n": 1}, {"n": [2, 3]}]}"#;
+        let mut r = JsonReader::new(Drip(doc));
+        r.begin_object().unwrap();
+        assert_eq!(r.next_key().unwrap().as_deref(), Some("fecs"));
+        r.begin_array().unwrap();
+        let mut spans = Vec::new();
+        while r.next_element().unwrap() {
+            let mut span = Vec::new();
+            r.read_raw_value(&mut span).unwrap();
+            spans.push(String::from_utf8(span).unwrap());
+        }
+        assert_eq!(r.next_key().unwrap(), None);
+        r.end().unwrap();
+        assert_eq!(spans, vec!["{\"n\": 1}", "{\"n\": [2, 3]}"]);
+    }
+
+    #[test]
+    fn raw_scan_rejects_deep_nesting() {
+        let deep: Vec<u8> = b"[".iter().cycle().take(100_000).copied().collect();
+        let mut r = JsonReader::new(&deep[..]);
+        let err = r.read_raw_value(&mut Vec::new()).unwrap_err();
         assert!(err.to_string().contains("recursion limit"), "{err}");
     }
 

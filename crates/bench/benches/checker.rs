@@ -9,10 +9,30 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rela_baseline::{path_diff, DiffOptions};
 use rela_bench::{build_testbed, Testbed};
-use rela_core::check::run_check;
-use rela_net::Granularity;
+use rela_core::{CheckReport, CheckSession, JobSpec, SessionConfig};
+use rela_net::{Granularity, LocationDb, SnapshotPair};
 use rela_sim::workload::{spec_of_size, WanParams};
 use std::hint::black_box;
+
+/// One cold validation (parse + compile + check) through the session
+/// API — the quantity the paper's Fig. 6/7 time.
+fn run_check(
+    source: &str,
+    db: &LocationDb,
+    granularity: Granularity,
+    pair: &SnapshotPair,
+) -> CheckReport {
+    let session = CheckSession::open(
+        source,
+        db.clone(),
+        SessionConfig {
+            granularity,
+            ..SessionConfig::default()
+        },
+    )
+    .expect("spec compiles");
+    session.run(JobSpec::pair(pair)).expect("in-memory pair")
+}
 
 fn small_params() -> WanParams {
     WanParams {
@@ -38,7 +58,6 @@ fn bench_by_spec_size(c: &mut Criterion) {
                     Granularity::Group,
                     &tb.pair,
                 )
-                .expect("spec compiles")
             })
         });
     }
@@ -59,12 +78,7 @@ fn bench_by_granularity(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(granularity),
             &granularity,
-            |b, &g| {
-                b.iter(|| {
-                    run_check(black_box(&source), &tb.wan.topology.db, g, &tb.pair)
-                        .expect("spec compiles")
-                })
-            },
+            |b, &g| b.iter(|| run_check(black_box(&source), &tb.wan.topology.db, g, &tb.pair)),
         );
     }
     group.finish();
@@ -93,7 +107,6 @@ fn bench_pathdiff_baseline(c: &mut Criterion) {
                 Granularity::Device,
                 &tb.pair,
             )
-            .expect("spec compiles")
         })
     });
     group.finish();

@@ -10,7 +10,7 @@
 //! Run: `cargo run --release -p rela-bench --bin ablation [-- --regions 6 --fecs-per-pair 8]`
 
 use rela_bench::{build_testbed, secs, time_validation};
-use rela_core::{compile_program, parse_program, CheckOptions, Checker};
+use rela_core::{CheckSession, JobSpec, SessionConfig};
 use rela_net::Granularity;
 use rela_sim::workload::spec_of_size;
 use std::time::{Duration, Instant};
@@ -22,9 +22,6 @@ fn main() {
     eprintln!("testbed: {} FECs", tb.pair.len());
 
     let source = spec_of_size(7, params.regions);
-    let program = parse_program(&source).expect("parses");
-    let compiled =
-        compile_program(&program, &tb.wan.topology.db, Granularity::Group).expect("compiles");
 
     println!("== Ablation: worker threads for per-FEC checking ==");
     println!();
@@ -36,16 +33,23 @@ fn main() {
     let mut candidates = vec![1usize, 2, 4, 8, 16];
     candidates.retain(|&t| t <= cores.max(1) * 2);
     for threads in candidates {
-        let checker = Checker::new(&compiled, &tb.wan.topology.db).with_options(CheckOptions {
-            threads,
-            ..CheckOptions::default()
-        });
+        // thread count is session state, so each pool size is its own
+        // session; compilation stays outside the timed region either way
+        let session = CheckSession::open(
+            &source,
+            tb.wan.topology.db.clone(),
+            SessionConfig {
+                granularity: Granularity::Group,
+                threads,
+            },
+        )
+        .expect("compiles");
         // warm up, then take the best of 3 to suppress scheduler noise
-        let _ = checker.check(&tb.pair);
+        let _ = session.run(JobSpec::pair(&tb.pair));
         let best = (0..3)
             .map(|_| {
                 let start = Instant::now();
-                let _ = checker.check(&tb.pair);
+                let _ = session.run(JobSpec::pair(&tb.pair));
                 start.elapsed()
             })
             .min()

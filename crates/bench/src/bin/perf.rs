@@ -73,8 +73,8 @@
 use rela_bench::{build_testbed, secs, Testbed};
 use rela_cache::VerdictStore;
 use rela_core::{
-    cache_epoch, compile_program, parse_program, CheckOptions, CheckReport, Checker,
-    CompiledProgram,
+    compile_program, parse_program, CheckOptions, CheckReport, CheckSession, Checker,
+    CompiledProgram, JobOptions, JobSpec, SessionConfig,
 };
 use rela_net::{
     content_hash128, Granularity, Snapshot, SnapshotFramer, SnapshotPair, SnapshotReader,
@@ -371,35 +371,42 @@ fn run_iterative(threads: usize, smoke: bool) -> Value {
         .collect();
 
     let source = spec_of_size(spec_atomics, params.regions);
-    let program = parse_program(&source).expect("spec parses");
-    let compiled = compile_program(&program, &wan.topology.db, granularity).expect("spec compiles");
-    let epoch = cache_epoch(&program, &wan.topology.db);
     let cache_dir = std::env::temp_dir().join(format!("rela-perf-{name}-{}", std::process::id()));
     std::fs::remove_dir_all(&cache_dir).ok();
 
-    let options = CheckOptions {
-        threads,
-        ..CheckOptions::default()
-    };
+    // the resident-service model (`rela serve`): one warm session holds
+    // the compiled spec, the open store, and the FST memo across every
+    // iteration — iteration N+1 pays only for classes whose behavior
+    // moved
+    let mut session = CheckSession::open(
+        &source,
+        wan.topology.db.clone(),
+        SessionConfig {
+            granularity,
+            threads,
+        },
+    )
+    .expect("spec compiles");
+    let store = VerdictStore::open(&cache_dir, session.epoch()).expect("cache dir is writable");
+    session.attach_store(store);
     let mut verdicts_match = true;
     let mut walls: Vec<Duration> = Vec::new();
     let mut last_report = None;
     let mut last_warm = 0;
     for (ix, pair) in pairs.iter().enumerate() {
         let t0 = Instant::now();
-        let store = VerdictStore::open(&cache_dir, epoch).expect("cache dir is writable");
-        let report = Checker::new(&compiled, &wan.topology.db)
-            .with_options(options)
-            .with_cache(&store)
-            .check(pair);
-        store.persist().expect("cache persists");
+        let report = session.run(JobSpec::pair(pair)).expect("in-memory pair");
+        session.persist_if_dirty().expect("cache persists");
         let wall = t0.elapsed();
         walls.push(wall);
 
         // correctness: a cache-free decision of the same pair agrees
-        let fresh = Checker::new(&compiled, &wan.topology.db)
-            .with_options(options)
-            .check(pair);
+        let fresh = session
+            .run(JobSpec::pair(pair).with_options(JobOptions {
+                use_cache: false,
+                ..JobOptions::default()
+            }))
+            .expect("in-memory pair");
         verdicts_match &= reports_agree(&report, &fresh);
         eprintln!(
             "[{name}] iteration {}: {} in {} ({} of {} classes warm)",
@@ -530,8 +537,7 @@ fn ingest_worker(args: &[String]) -> ! {
         }
         "pipelined" => {
             let frame = |path: &str| {
-                SnapshotFramer::new(std::fs::File::open(path).expect("snapshot file"))
-                    .with_label(path)
+                SnapshotFramer::new(std::fs::File::open(path).expect("snapshot file"), path)
             };
             checker
                 .check_pipelined(frame(pre_path), frame(post_path))

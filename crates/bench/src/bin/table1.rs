@@ -5,7 +5,7 @@
 //!
 //! Run: `cargo run --release -p rela-bench --bin table1`
 
-use rela_core::check::run_check;
+use rela_core::{CheckSession, JobSpec, SessionConfig};
 use rela_net::{Granularity, SnapshotPair};
 use rela_sim::scenarios::{case_study, CASE_STUDY_SPEC};
 
@@ -19,8 +19,16 @@ fn main() {
     let pre = study.pre_snapshot();
     let post = study.post_snapshot(1); // v2 = Figure 1c
     let pair = SnapshotPair::align(&pre, &post);
-    let report = run_check(&spec, &study.topology.db, Granularity::Group, &pair)
-        .expect("case-study spec compiles");
+    let session = CheckSession::open(
+        &spec,
+        study.topology.db.clone(),
+        SessionConfig {
+            granularity: Granularity::Group,
+            ..SessionConfig::default()
+        },
+    )
+    .expect("case-study spec compiles");
+    let report = session.run(JobSpec::pair(&pair)).expect("in-memory pair");
 
     println!("== Table 1: counterexamples for the Figure 1c implementation (v2) ==");
     println!();

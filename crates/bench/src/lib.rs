@@ -15,8 +15,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use rela_core::check::run_check;
-use rela_core::CheckReport;
+use rela_core::{CheckReport, CheckSession, JobSpec, SessionConfig};
 use rela_net::{Granularity, LocationDb, SnapshotPair};
 use rela_sim::workload::{synthetic_wan, SyntheticWan, WanParams};
 use rela_sim::{configured, simulate};
@@ -51,8 +50,21 @@ pub fn time_validation(
     granularity: Granularity,
     pair: &SnapshotPair,
 ) -> (Duration, CheckReport) {
+    // the clone stays outside the timer: Fig. 6/7 time the validation
+    // (parse + compile + check), not harness bookkeeping
+    let db = db.clone();
     let start = Instant::now();
-    let report = run_check(source, db, granularity, pair).expect("spec must compile");
+    // session open + one job = exactly the old one-shot path
+    let session = CheckSession::open(
+        source,
+        db,
+        SessionConfig {
+            granularity,
+            ..SessionConfig::default()
+        },
+    )
+    .expect("spec must compile");
+    let report = session.run(JobSpec::pair(pair)).expect("in-memory pair");
     (start.elapsed(), report)
 }
 

@@ -60,8 +60,8 @@ fn assert_streamed_identical(params: &WanParams, spec_atomics: usize, granularit
 
     let pipelined = checker
         .check_pipelined(
-            SnapshotFramer::new(pre_json.as_bytes()),
-            SnapshotFramer::new(post_json.as_bytes()),
+            SnapshotFramer::new(pre_json.as_bytes(), "pre.json"),
+            SnapshotFramer::new(post_json.as_bytes(), "post.json"),
         )
         .expect("streams are well-formed");
     assert_eq!(pipelined.stats.classes, materialized.stats.classes);

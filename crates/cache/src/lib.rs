@@ -48,7 +48,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, SystemTime};
 
@@ -159,6 +159,10 @@ pub struct VerdictStore {
     hits: AtomicUsize,
     misses: AtomicUsize,
     inserted: AtomicUsize,
+    /// Set on every `put`, cleared by a successful `persist` — lets a
+    /// resident session skip rewriting an unchanged store after every
+    /// fully-warm job.
+    dirty: AtomicBool,
 }
 
 fn shard_of(key: &str) -> usize {
@@ -196,6 +200,7 @@ impl VerdictStore {
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             inserted: AtomicUsize::new(0),
+            dirty: AtomicBool::new(false),
         })
     }
 
@@ -225,6 +230,7 @@ impl VerdictStore {
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             inserted: AtomicUsize::new(0),
+            dirty: AtomicBool::new(false),
         }
     }
 
@@ -275,6 +281,7 @@ impl VerdictStore {
     /// write identical payloads for identical keys).
     pub fn put(&self, key: &CacheKey, payload: Value) {
         self.inserted.fetch_add(1, Ordering::Relaxed);
+        self.dirty.store(true, Ordering::Release);
         let rendered = key.render();
         self.entries[shard_of(&rendered)]
             .lock()
@@ -331,7 +338,28 @@ impl VerdictStore {
             TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
         std::fs::write(&tmp, json + "\n")?;
-        std::fs::rename(&tmp, path)
+        std::fs::rename(&tmp, path)?;
+        self.dirty.store(false, Ordering::Release);
+        Ok(())
+    }
+
+    /// True when a `put` has landed since the last successful
+    /// [`VerdictStore::persist`].
+    pub fn is_dirty(&self) -> bool {
+        self.dirty.load(Ordering::Acquire)
+    }
+
+    /// [`VerdictStore::persist`], skipped entirely when nothing changed
+    /// since the last flush. Returns whether a flush happened. This is
+    /// the per-job flush a resident session uses: a fully-warm job
+    /// inserts nothing, so a daemon replaying the same pair repeatedly
+    /// never rewrites the epoch file.
+    pub fn persist_if_dirty(&self) -> std::io::Result<bool> {
+        if !self.is_dirty() {
+            return Ok(false);
+        }
+        self.persist()?;
+        Ok(true)
     }
 }
 

@@ -224,18 +224,29 @@ fn table_fingerprint(names: &BTreeSet<String>) -> u128 {
 /// same symbol set.
 type MemoKey = (u128, usize, usize, bool, u128);
 
-/// In-run memo of determinized equation sides, keyed by [`MemoKey`].
+/// Size cap for a shared, session-lifetime [`FstMemo`]: beyond this many
+/// retained sides new computations are returned uncached, bounding a
+/// resident daemon's memory without evicting the hot entries a warm
+/// workload keeps re-hitting.
+const FST_MEMO_CAP: usize = 4096;
+
+/// Memo of determinized equation sides, keyed by [`MemoKey`].
 /// Many classes share one unchanged side (typically `pre` on a
 /// mostly-unchanged snapshot), so `det(image(State, R))` for that side
 /// is computed once and reused instead of re-running
 /// image → trim → determinize per class.
-struct FstMemo {
+///
+/// Per-run by default; a `CheckSession` shares one memo across jobs via
+/// [`Checker::with_memo`] so an unchanged side survives from one
+/// submission to the next (the keys are content hashes, so reuse across
+/// runs is exactly as sound as reuse within one).
+pub(crate) struct FstMemo {
     map: Mutex<HashMap<MemoKey, Arc<Dfa>>>,
-    hits: AtomicUsize,
+    pub(crate) hits: AtomicUsize,
 }
 
 impl FstMemo {
-    fn new() -> FstMemo {
+    pub(crate) fn new() -> FstMemo {
         FstMemo {
             map: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
@@ -255,7 +266,10 @@ impl FstMemo {
             return hit;
         }
         let dfa = Arc::new(compute());
-        self.map.lock().expect("memo lock").insert(key, dfa.clone());
+        let mut map = self.map.lock().expect("memo lock");
+        if map.len() < FST_MEMO_CAP {
+            map.insert(key, dfa.clone());
+        }
         dfa
     }
 }
@@ -293,6 +307,7 @@ pub struct Checker<'a> {
     db: &'a LocationDb,
     options: CheckOptions,
     cache: Option<&'a VerdictStore>,
+    memo: Option<&'a FstMemo>,
 }
 
 impl<'a> Checker<'a> {
@@ -303,6 +318,7 @@ impl<'a> Checker<'a> {
             db,
             options: CheckOptions::default(),
             cache: None,
+            memo: None,
         }
     }
 
@@ -318,6 +334,16 @@ impl<'a> Checker<'a> {
     /// persistence — call [`VerdictStore::persist`] after checking.
     pub fn with_cache(mut self, cache: &'a VerdictStore) -> Checker<'a> {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Share a session-lifetime FST memo across runs (crate-internal:
+    /// the session API is the public surface for this). The reported
+    /// `fst_memo_hits` stat is this run's delta, computed as a
+    /// before/after difference — approximate only when jobs share the
+    /// memo concurrently.
+    pub(crate) fn with_memo(mut self, memo: &'a FstMemo) -> Checker<'a> {
+        self.memo = Some(memo);
         self
     }
 
@@ -457,7 +483,9 @@ impl<'a> Checker<'a> {
         let registry = ClassRegistry::new(shards, self.options.dedup);
         let decide_queue = DecideQueue::new();
         let errors = ErrorSink::new();
-        let memo = FstMemo::new();
+        let local_memo = FstMemo::new();
+        let memo: &FstMemo = self.memo.unwrap_or(&local_memo);
+        let memo_hits_before = memo.hits.load(Ordering::Relaxed);
         let producers_left = AtomicUsize::new(2);
 
         let mut locals: Vec<PipelineWorkerState> = std::thread::scope(|scope| {
@@ -473,7 +501,7 @@ impl<'a> Checker<'a> {
                     let registry = &registry;
                     let decide_queue = &decide_queue;
                     let errors = &errors;
-                    let memo = &memo;
+                    let memo: &FstMemo = memo;
                     let default_ref = &default_lowered;
                     let routed_ref = &routed_lowered;
                     let labels = &labels;
@@ -611,7 +639,7 @@ impl<'a> Checker<'a> {
             &routed_lowered,
             &table,
             table_fp,
-            &memo,
+            memo,
             threads,
         );
         phases.merge(&final_phases);
@@ -637,7 +665,9 @@ impl<'a> Checker<'a> {
             &classes,
             warm,
             decided,
-            memo.hits.load(Ordering::Relaxed),
+            memo.hits
+                .load(Ordering::Relaxed)
+                .saturating_sub(memo_hits_before),
             phases,
         ))
     }
@@ -887,7 +917,9 @@ impl<'a> Checker<'a> {
 
         // Decide one representative per cold class over the
         // work-stealing queue.
-        let memo = FstMemo::new();
+        let local_memo = FstMemo::new();
+        let memo: &FstMemo = self.memo.unwrap_or(&local_memo);
+        let memo_hits_before = memo.hits.load(Ordering::Relaxed);
         let (decided, phases) = self.decide_classes(
             &cold,
             classes,
@@ -896,7 +928,7 @@ impl<'a> Checker<'a> {
             &routed_lowered,
             &table,
             table_fp,
-            &memo,
+            memo,
             threads,
         );
 
@@ -920,7 +952,9 @@ impl<'a> Checker<'a> {
             classes,
             warm,
             decided,
-            memo.hits.load(Ordering::Relaxed),
+            memo.hits
+                .load(Ordering::Relaxed)
+                .saturating_sub(memo_hits_before),
             phases,
         )
     }
@@ -1648,10 +1682,12 @@ fn render_language(nfa: &Nfa, renderer: &PathRenderer<'_>, limits: WitnessLimits
 
 /// Convenience entry point: parse, compile, and check in one call.
 ///
-/// # Examples
+/// Superseded by the session API, which holds the compiled spec (and
+/// optionally a verdict store and FST memo) across any number of jobs —
+/// this wrapper opens a throwaway session per call:
 ///
 /// ```
-/// use rela_core::check::run_check;
+/// use rela_core::{CheckSession, JobSpec, SessionConfig};
 /// use rela_net::{Device, LocationDb, Granularity, Snapshot, SnapshotPair,
 ///                FlowSpec, linear_graph};
 ///
@@ -1666,30 +1702,62 @@ fn render_language(nfa: &Nfa, renderer: &PathRenderer<'_>, limits: WitnessLimits
 /// post.insert(flow, linear_graph(&["A1", "B1"]));
 /// let pair = SnapshotPair::align(&pre, &post);
 ///
-/// let report = run_check(
+/// let session = CheckSession::open(
 ///     "spec nochange := { .* : preserve }\ncheck nochange",
-///     &db,
-///     Granularity::Device,
-///     &pair,
+///     db,
+///     SessionConfig { granularity: Granularity::Device, ..SessionConfig::default() },
 /// ).unwrap();
+/// let report = session.run(JobSpec::pair(&pair)).unwrap();
 /// assert!(report.is_compliant());
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "open a `CheckSession` and run a `JobSpec` instead"
+)]
 pub fn run_check(
     source: &str,
     db: &LocationDb,
     granularity: Granularity,
     pair: &SnapshotPair,
 ) -> Result<CheckReport, crate::RelaError> {
-    let program = crate::parser::parse_program(source)?;
-    let compiled = crate::compile::compile_program(&program, db, granularity)?;
-    let checker = Checker::new(&compiled, db);
-    Ok(checker.check(pair))
+    let session = crate::session::CheckSession::open(
+        source,
+        db.clone(),
+        crate::session::SessionConfig {
+            granularity,
+            ..crate::session::SessionConfig::default()
+        },
+    )?;
+    Ok(session
+        .run(crate::session::JobSpec::pair(pair))
+        .expect("an in-memory pair cannot fail snapshot ingest"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use rela_net::{linear_graph, Device, FlowSpec, Snapshot};
+
+    /// Session-API stand-in for the deprecated `run_check` shim
+    /// (shadows the glob import, so the tests exercise the live path).
+    pub(crate) fn run_check(
+        source: &str,
+        db: &LocationDb,
+        granularity: Granularity,
+        pair: &SnapshotPair,
+    ) -> Result<CheckReport, crate::RelaError> {
+        let session = crate::session::CheckSession::open(
+            source,
+            db.clone(),
+            crate::session::SessionConfig {
+                granularity,
+                ..Default::default()
+            },
+        )?;
+        Ok(session
+            .run(crate::session::JobSpec::pair(pair))
+            .expect("an in-memory pair cannot fail snapshot ingest"))
+    }
 
     fn db() -> LocationDb {
         let mut db = LocationDb::new();
@@ -2268,8 +2336,8 @@ mod tests {
         let post_json = post.to_json().unwrap();
         checker
             .check_pipelined(
-                SnapshotFramer::new(pre_json.as_bytes()),
-                SnapshotFramer::new(post_json.as_bytes()),
+                SnapshotFramer::new(pre_json.as_bytes(), "pre.json"),
+                SnapshotFramer::new(post_json.as_bytes(), "post.json"),
             )
             .unwrap()
     }
@@ -2382,8 +2450,8 @@ mod tests {
             .unwrap_err();
         let piped_err = checker
             .check_pipelined(
-                SnapshotFramer::new(pre_json.as_bytes()).with_label("pre.json"),
-                SnapshotFramer::new(cut.as_bytes()).with_label("post.json"),
+                SnapshotFramer::new(pre_json.as_bytes(), "pre.json"),
+                SnapshotFramer::new(cut.as_bytes(), "post.json"),
             )
             .unwrap_err();
         assert_eq!(piped_err, serial_err);
@@ -2402,8 +2470,8 @@ mod tests {
             .unwrap_err();
         let piped_err = checker
             .check_pipelined(
-                SnapshotFramer::new(bad.as_bytes()).with_label("pre.json"),
-                SnapshotFramer::new(post_json.as_bytes()).with_label("post.json"),
+                SnapshotFramer::new(bad.as_bytes(), "pre.json"),
+                SnapshotFramer::new(post_json.as_bytes(), "post.json"),
             )
             .unwrap_err();
         assert_eq!(piped_err, serial_err);
@@ -2425,8 +2493,8 @@ mod tests {
         let compiled = crate::compile::compile_program(&program, &db, Granularity::Device).unwrap();
         let err = Checker::new(&compiled, &db)
             .check_pipelined(
-                SnapshotFramer::new(dup_json.as_bytes()).with_label("pre.json"),
-                SnapshotFramer::new(clean.as_bytes()),
+                SnapshotFramer::new(dup_json.as_bytes(), "pre.json"),
+                SnapshotFramer::new(clean.as_bytes(), "post.json"),
             )
             .unwrap_err();
         assert_eq!(err.entry_index(), Some(2), "{err}");
@@ -2457,8 +2525,8 @@ mod tests {
                         ..CheckOptions::default()
                     })
                     .check_pipelined(
-                        SnapshotFramer::new(wide_json.as_bytes()),
-                        SnapshotFramer::new(wide_json.as_bytes()),
+                        SnapshotFramer::new(wide_json.as_bytes(), "pre.json"),
+                        SnapshotFramer::new(wide_json.as_bytes(), "post.json"),
                     )
                     .unwrap_err();
                 assert_eq!(err.entry_index(), Some(20), "threads {threads}: {err}");
@@ -2476,8 +2544,8 @@ mod tests {
         let empty = br#"{"fecs": []}"#;
         let report = Checker::new(&compiled, &db)
             .check_pipelined(
-                SnapshotFramer::new(&empty[..]),
-                SnapshotFramer::new(&empty[..]),
+                SnapshotFramer::new(&empty[..], "pre.json"),
+                SnapshotFramer::new(&empty[..], "post.json"),
             )
             .unwrap();
         assert!(report.is_compliant());
@@ -2551,6 +2619,8 @@ mod tests {
 mod limit_tests {
     use super::*;
     use rela_net::{Device, FlowSpec, ForwardingGraph, Snapshot};
+
+    use super::tests::run_check;
 
     fn db() -> LocationDb {
         let mut db = LocationDb::new();

@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 
 /// How many witness paths to list per difference, and how long they may
 /// grow during enumeration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WitnessLimits {
     /// Maximum number of paths listed per difference direction.
     pub max_paths: usize,

@@ -35,9 +35,12 @@ pub mod pspec;
 pub mod report;
 pub mod rir;
 pub mod semantics;
+pub mod session;
 
 pub use ast::{Def, Modifier, PathRegex, PredExpr, Program, RirExpr, RirSpecExpr, SpecExpr};
-pub use check::{cache_epoch, run_check, CheckOptions, Checker, ENGINE_VERSION};
+#[allow(deprecated)]
+pub use check::run_check;
+pub use check::{cache_epoch, CheckOptions, Checker, ENGINE_VERSION};
 pub use compile::{
     compile_program, CompileError, CompiledCheck, CompiledProgram, GuardedPart, RoutedCheck,
 };
@@ -48,6 +51,9 @@ pub use report::{
     CheckReport, CheckStats, FecResult, PartViolation, PhaseTimings, ViolationDetail,
 };
 pub use rir::{PathSet, Rel, RirSpec};
+pub use session::{
+    CheckSession, IngestMode, JobInput, JobOptions, JobSpec, LabeledSource, SessionConfig,
+};
 
 /// Any failure on the parse → compile → check path.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -574,8 +574,8 @@ mod dedup {
                             ..CheckOptions::default()
                         })
                         .check_pipelined(
-                            SnapshotFramer::new(pre_json.as_bytes()),
-                            SnapshotFramer::new(post_json.as_bytes()),
+                            SnapshotFramer::new(pre_json.as_bytes(), "pre.json"),
+                            SnapshotFramer::new(post_json.as_bytes(), "post.json"),
                         )
                         .expect("clean streams");
                     prop_assert_eq!(
@@ -631,8 +631,8 @@ mod dedup {
                         ..CheckOptions::default()
                     })
                     .check_pipelined(
-                        SnapshotFramer::new(pre_json.as_bytes()).with_label("pre.json"),
-                        SnapshotFramer::new(cut.as_bytes()).with_label("post.json"),
+                        SnapshotFramer::new(pre_json.as_bytes(), "pre.json"),
+                        SnapshotFramer::new(cut.as_bytes(), "post.json"),
                     )
                     .expect_err("truncated post stream");
                 prop_assert_eq!(&piped_err, &serial_err, "threads {}", threads);

@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 
 mod behavior;
+mod chunk;
 mod db;
 mod fec;
 mod fsa;
@@ -21,6 +22,7 @@ mod prefix;
 mod snapshot;
 
 pub use behavior::{behavior_hash, canonical_graph, content_hash128, BehaviorHash, ParseHashError};
+pub use chunk::{chunk_pipe, ChunkReader, ChunkSender};
 pub use db::{AttrPred, LocationDb};
 pub use fec::FlowSpec;
 pub use fsa::{graph_to_fsa, graph_to_fsa_prepared};

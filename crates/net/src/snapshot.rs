@@ -321,23 +321,23 @@ pub struct SnapshotFramer<R: Read> {
 impl<R: Read> SnapshotFramer<R> {
     /// Wrap a byte source. No input is read until the first record is
     /// pulled.
-    pub fn new(source: R) -> SnapshotFramer<R> {
+    ///
+    /// The source label — a file path for file-backed sources, a job
+    /// and side name for socket-fed streams — is mandatory: a framer is
+    /// the entry point of the pipelined (and framed-protocol) ingest
+    /// path, where an unlabelled error cannot be traced back to the
+    /// submission that caused it. Every error this framer produces
+    /// carries the label alongside the entry index and byte offset.
+    pub fn new(source: R, label: impl Into<String>) -> SnapshotFramer<R> {
         SnapshotFramer {
             json: JsonReader::new(source),
             state: ReaderState::Start,
             index: 0,
-            label: None,
+            label: Some(label.into()),
         }
     }
 
-    /// Attach a source label (typically the file path) to every error
-    /// this framer produces.
-    pub fn with_label(mut self, label: impl Into<String>) -> SnapshotFramer<R> {
-        self.label = Some(label.into());
-        self
-    }
-
-    /// The source label, if any.
+    /// The source label.
     pub fn label(&self) -> Option<&str> {
         self.label.as_deref()
     }
@@ -467,7 +467,16 @@ impl<R: Read> SnapshotReader<R> {
     /// pulled.
     pub fn new(source: R) -> SnapshotReader<R> {
         SnapshotReader {
-            framer: SnapshotFramer::new(source),
+            // A serial reader may legitimately be label-free (in-memory
+            // sources in tests and doc examples), so the framer is built
+            // directly rather than through `SnapshotFramer::new`, which
+            // demands a label.
+            framer: SnapshotFramer {
+                json: JsonReader::new(source),
+                state: ReaderState::Start,
+                index: 0,
+                label: None,
+            },
             decoded: 0,
             seen: HashSet::new(),
         }
@@ -476,7 +485,7 @@ impl<R: Read> SnapshotReader<R> {
     /// Attach a source label (typically the file path) to every error
     /// this reader produces.
     pub fn with_label(mut self, label: impl Into<String>) -> SnapshotReader<R> {
-        self.framer = self.framer.with_label(label);
+        self.framer.label = Some(label.into());
         self
     }
 
@@ -1037,7 +1046,7 @@ mod tests {
     fn framer_spans_decode_to_the_reader_records() {
         let snap = three_fec_snapshot();
         let json = snap.to_json().unwrap();
-        let framed: Vec<RawRecord> = SnapshotFramer::new(json.as_bytes())
+        let framed: Vec<RawRecord> = SnapshotFramer::new(json.as_bytes(), "pre.json")
             .collect::<Result<_, _>>()
             .unwrap();
         assert_eq!(framed.len(), snap.len());
@@ -1062,9 +1071,10 @@ mod tests {
         let second = json.match_indices("{\"flow\"").nth(1).unwrap().0;
         let cut = &json[..second + 20];
         let reader_err = SnapshotReader::new(cut.as_bytes())
+            .with_label("pre.json")
             .collect::<Result<Vec<_>, _>>()
             .unwrap_err();
-        let framer_err = SnapshotFramer::new(cut.as_bytes())
+        let framer_err = SnapshotFramer::new(cut.as_bytes(), "pre.json")
             .collect::<Result<Vec<_>, _>>()
             .unwrap_err();
         assert_eq!(framer_err, reader_err);
@@ -1074,7 +1084,10 @@ mod tests {
     fn raw_record_decode_names_missing_fields_at_the_span() {
         let json = br#"{"fecs": [{"graph": {"vertices": [], "edges": [],
                         "sources": [], "sinks": [], "drops": []}}]}"#;
-        let raw = SnapshotFramer::new(&json[..]).next().unwrap().unwrap();
+        let raw = SnapshotFramer::new(&json[..], "pre.json")
+            .next()
+            .unwrap()
+            .unwrap();
         let err = raw.decode(Some("pre.json")).unwrap_err();
         assert_eq!(err.entry_index(), Some(0));
         assert_eq!(err.byte_offset(), Some(raw.offset));

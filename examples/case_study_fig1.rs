@@ -11,7 +11,7 @@
 //!
 //! Run: `cargo run --example case_study_fig1`
 
-use rela::lang::check::run_check;
+use rela::lang::{CheckSession, JobSpec, SessionConfig};
 use rela::net::{device_path_to_group, FlowSpec, Granularity, SnapshotPair};
 use rela::sim::scenarios::{case_study, CASE_STUDY_SPEC};
 
@@ -28,6 +28,20 @@ fn main() {
          rir sideEffects := pre <= post && post <= (pre | xa .*)\n\
          pspec sideP := (ingress == \"xa\") -> sideEffects\n"
     );
+    // compile each spec revision once; every iteration is then a warm
+    // job against the matching session (the `rela serve` usage pattern)
+    let open = |source: &str| {
+        CheckSession::open(
+            source,
+            study.topology.db.clone(),
+            SessionConfig {
+                granularity: Granularity::Group,
+                ..SessionConfig::default()
+            },
+        )
+        .expect("spec compiles")
+    };
+    let sessions = [open(&original), open(&refined)];
 
     // show the T1 path before the change
     let t1 = FlowSpec::new("10.1.0.0/24".parse().unwrap(), "x1");
@@ -47,11 +61,10 @@ fn main() {
 
     for (ix, iteration) in study.iterations.iter().enumerate() {
         println!("── iteration {}: {}", iteration.name, iteration.description);
-        let spec = if ix == 0 { &original } else { &refined };
+        let session = &sessions[usize::from(ix != 0)];
         let post = study.post_snapshot(ix);
         let pair = SnapshotPair::align(&pre, &post);
-        let report =
-            run_check(spec, &study.topology.db, Granularity::Group, &pair).expect("spec compiles");
+        let report = session.run(JobSpec::pair(&pair)).expect("in-memory pair");
         if report.is_compliant() {
             println!("   PASS — change validated automatically and completely\n");
         } else {

@@ -11,7 +11,7 @@
 //!
 //! Run: `cargo run --example link_maintenance`
 
-use rela::lang::check::run_check;
+use rela::lang::{CheckSession, JobSpec, SessionConfig};
 use rela::net::{Granularity, SnapshotPair};
 use rela::sim::{
     configured, simulate, ConfigChange, DeviceSelector, NetworkConfig, PolicyRule, RuleAction,
@@ -73,6 +73,17 @@ fn main() {
         }]
     };
 
+    // One warm session validates both candidate implementations.
+    let session = CheckSession::open(
+        spec,
+        topo.db.clone(),
+        SessionConfig {
+            granularity: Granularity::Group,
+            ..SessionConfig::default()
+        },
+    )
+    .expect("spec compiles");
+
     // Correct implementation: deny the whole aggregate from B1.
     let (post, _) = simulate(
         &topo,
@@ -80,7 +91,7 @@ fn main() {
         &traffic,
     );
     let pair = SnapshotPair::align(&pre, &post);
-    let report = run_check(spec, &topo.db, Granularity::Group, &pair).expect("spec compiles");
+    let report = session.run(JobSpec::pair(&pair)).expect("in-memory pair");
     println!("full drain:\n{report}");
     assert!(report.is_compliant());
 
@@ -92,7 +103,7 @@ fn main() {
         &traffic,
     );
     let pair = SnapshotPair::align(&pre, &post_bad);
-    let report = run_check(spec, &topo.db, Granularity::Group, &pair).expect("spec compiles");
+    let report = session.run(JobSpec::pair(&pair)).expect("in-memory pair");
     println!("typo'd drain (should FAIL):\n{report}");
     assert!(!report.is_compliant());
     assert_eq!(report.count_for("drain"), 8);

@@ -10,7 +10,7 @@
 //!
 //! Run: `cargo run --example prefix_decommission`
 
-use rela::lang::check::run_check;
+use rela::lang::{CheckSession, JobSpec, SessionConfig};
 use rela::net::{Granularity, SnapshotPair};
 use rela::sim::{
     configured, simulate, ConfigChange, DeviceSelector, NetworkConfig, TopologyBuilder,
@@ -49,6 +49,17 @@ fn main() {
         check nochange
     "#;
 
+    // One warm session validates every candidate implementation.
+    let session = CheckSession::open(
+        spec,
+        topo.db.clone(),
+        SessionConfig {
+            granularity: Granularity::Device,
+            ..SessionConfig::default()
+        },
+    )
+    .expect("spec compiles");
+
     // Correct implementation: withdraw the origination.
     let withdraw = vec![ConfigChange::RemoveOrigination {
         devices: DeviceSelector::Name("y1".into()),
@@ -56,7 +67,7 @@ fn main() {
     }];
     let (post, _) = simulate(&topo, &configured(&cfg, &topo, &withdraw), &traffic);
     let pair = SnapshotPair::align(&pre, &post);
-    let report = run_check(spec, &topo.db, Granularity::Device, &pair).expect("spec compiles");
+    let report = session.run(JobSpec::pair(&pair)).expect("in-memory pair");
     println!("withdrawal validation:\n{report}");
 
     // Buggy implementation: an ACL filter instead of a withdrawal — the
@@ -68,6 +79,6 @@ fn main() {
     }];
     let (post_bad, _) = simulate(&topo, &configured(&cfg, &topo, &filter), &traffic);
     let pair = SnapshotPair::align(&pre, &post_bad);
-    let report = run_check(spec, &topo.db, Granularity::Device, &pair).expect("spec compiles");
+    let report = session.run(JobSpec::pair(&pair)).expect("in-memory pair");
     println!("ACL-instead-of-withdrawal (should FAIL):\n{report}");
 }

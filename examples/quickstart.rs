@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --example quickstart`
 
-use rela::lang::check::run_check;
+use rela::lang::{CheckSession, JobSpec, SessionConfig};
 use rela::net::{linear_graph, Device, FlowSpec, Granularity, LocationDb, Snapshot, SnapshotPair};
 
 fn main() {
@@ -34,12 +34,24 @@ fn main() {
         check nochange
     "#;
 
+    // 4. Compile the spec once into a session; each candidate
+    //    implementation is then one cheap job against the warm session.
+    let session = CheckSession::open(
+        spec,
+        db,
+        SessionConfig {
+            granularity: Granularity::Device,
+            ..SessionConfig::default()
+        },
+    )
+    .expect("spec compiles");
+
     // 4a. A correct implementation: web moved, DNS untouched.
     let mut post_good = Snapshot::new();
     post_good.insert(web.clone(), linear_graph(&["x1", "A2", "y1"]));
     post_good.insert(dns.clone(), linear_graph(&["x1", "B1", "y1"]));
     let pair = SnapshotPair::align(&pre, &post_good);
-    let report = run_check(spec, &db, Granularity::Device, &pair).expect("spec compiles");
+    let report = session.run(JobSpec::pair(&pair)).expect("in-memory pair");
     println!("correct implementation:\n{report}");
     assert!(report.is_compliant());
 
@@ -49,7 +61,7 @@ fn main() {
     post_bad.insert(web, linear_graph(&["x1", "A2", "y1"]));
     post_bad.insert(dns, linear_graph(&["x1", "A2", "y1"]));
     let pair = SnapshotPair::align(&pre, &post_bad);
-    let report = run_check(spec, &db, Granularity::Device, &pair).expect("spec compiles");
+    let report = session.run(JobSpec::pair(&pair)).expect("in-memory pair");
     println!("buggy implementation:\n{report}");
     assert!(!report.is_compliant());
 }

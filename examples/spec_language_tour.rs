@@ -5,7 +5,7 @@
 //!
 //! Run: `cargo run --example spec_language_tour`
 
-use rela::lang::check::run_check;
+use rela::lang::{CheckSession, JobSpec, SessionConfig};
 use rela::net::{linear_graph, Device, FlowSpec, Granularity, LocationDb, Snapshot, SnapshotPair};
 
 /// Build a pair from (pre-paths, post-paths) per flow.
@@ -21,7 +21,16 @@ fn pair(db_flows: &[(&str, Vec<&str>, Vec<&str>)]) -> SnapshotPair {
 }
 
 fn demo(db: &LocationDb, expect_pass: bool, title: &str, spec: &str, pair: &SnapshotPair) {
-    let report = run_check(spec, db, Granularity::Device, pair).expect("spec compiles");
+    let session = CheckSession::open(
+        spec,
+        db.clone(),
+        SessionConfig {
+            granularity: Granularity::Device,
+            ..SessionConfig::default()
+        },
+    )
+    .expect("spec compiles");
+    let report = session.run(JobSpec::pair(pair)).expect("in-memory pair");
     let verdict = if report.is_compliant() {
         "PASS"
     } else {

@@ -15,14 +15,32 @@
 
 use rela_baseline::{path_diff, DiffOptions};
 
-use rela_net::{
-    snapshot_source, Granularity, LocationDb, Snapshot, SnapshotFramer, SnapshotPair,
-    SnapshotReader,
-};
+use rela_core::{CheckSession, IngestMode, JobOptions, JobSpec, LabeledSource, SessionConfig};
+use rela_net::{snapshot_source, Granularity, LocationDb, Snapshot, SnapshotPair};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::Read;
 use std::path::{Path, PathBuf};
+
+/// Everything a `rela serve` daemon holds warm: the session inputs
+/// (spec + location db + granularity/threads), the socket it listens
+/// on, and an optional verdict-cache directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Path of the Unix socket to listen on.
+    pub socket: PathBuf,
+    /// Path to the `.rela` spec program (compiled once at startup).
+    pub spec: PathBuf,
+    /// Path to the location database JSON (loaded once at startup).
+    pub db: PathBuf,
+    /// Location granularity the spec compiles at.
+    pub granularity: Granularity,
+    /// Worker threads per job (0 = auto).
+    pub threads: usize,
+    /// Persistent verdict-cache directory kept open for the daemon's
+    /// lifetime; `None` serves without a cache.
+    pub cache_dir: Option<PathBuf>,
+}
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,25 +59,42 @@ pub enum Command {
         granularity: Granularity,
         /// Worker threads (0 = auto).
         threads: usize,
-        /// Behavior-class dedup (on unless `--no-dedup`).
-        dedup: bool,
+        /// Per-job options (`--no-dedup`, `--no-cache`, `--no-stream`,
+        /// `--pipeline-depth` all fold in here) — the same struct a
+        /// `rela submit` client serializes over the wire.
+        job: JobOptions,
         /// Persistent verdict-cache directory (`--cache-dir`); `None`
         /// checks from scratch.
         cache_dir: Option<PathBuf>,
-        /// `--no-cache`: ignore `--cache-dir` for this run (useful when
-        /// a wrapper script always passes the directory).
-        no_cache: bool,
         /// `--cache-stats`: print warm-hit/store counters after the
         /// report.
         cache_stats: bool,
-        /// Snapshot ingestion path: streamed by default (`true`),
-        /// materialized with `--no-stream`.
-        stream: bool,
-        /// Pipelined decode depth (`--pipeline-depth`): records in
-        /// flight per decode worker. `None` = pipelined with the default
-        /// depth (the default); `Some(0)` disables pipelining (the
-        /// serial streamed path); ignored with `--no-stream`.
-        pipeline_depth: Option<usize>,
+    },
+    /// Run the resident verification daemon: `rela serve`.
+    Serve(ServeConfig),
+    /// Submit one check job to a running daemon: `rela submit`.
+    Submit {
+        /// Path of the daemon's Unix socket.
+        socket: PathBuf,
+        /// Path to the pre-change snapshot JSON.
+        pre: PathBuf,
+        /// Path to the post-change snapshot JSON.
+        post: PathBuf,
+        /// Per-job options, serialized into the JOB frame.
+        job: JobOptions,
+        /// `--cache-stats`: print the daemon's warm-hit counters after
+        /// the report.
+        cache_stats: bool,
+    },
+    /// Probe a running daemon: `rela submit --ping`.
+    Ping {
+        /// Path of the daemon's Unix socket.
+        socket: PathBuf,
+    },
+    /// Ask a running daemon to drain and exit: `rela submit --shutdown`.
+    Shutdown {
+        /// Path of the daemon's Unix socket.
+        socket: PathBuf,
     },
     /// Cache maintenance: `rela cache gc`.
     CacheGc {
@@ -129,6 +164,13 @@ USAGE:
              [--granularity group|device|interface] [--threads N] [--no-dedup]
              [--cache-dir DIR] [--no-cache] [--cache-stats] [--no-stream]
              [--pipeline-depth N]
+  rela serve --socket PATH --spec FILE --db FILE
+             [--granularity group|device|interface] [--threads N]
+             [--cache-dir DIR]
+  rela submit --socket PATH --pre FILE --post FILE
+             [--no-dedup] [--no-cache] [--cache-stats] [--no-stream]
+             [--pipeline-depth N]
+  rela submit --socket PATH --ping | --shutdown
   rela diff  --db FILE --pre FILE --post FILE
              [--granularity group|device|interface]
   rela cache gc --cache-dir DIR [--spec FILE --db FILE]
@@ -153,6 +195,13 @@ specifies the wire format; files ending in .gz are gunzipped on the fly).
 --pipeline-depth N bounds the records in flight per worker (0 = serial
 streamed ingestion); --no-stream loads both snapshots fully before
 aligning instead.
+serve keeps a compiled spec, location db, verdict store, and FST memo
+resident behind a Unix socket; submit streams a snapshot pair to it and
+prints a report byte-identical to a one-shot check of the same pair —
+re-validating iteration N+1 of a change pays none of the startup cost.
+SIGTERM (or submit --shutdown) drains the daemon: in-flight jobs finish,
+new submissions are refused, then it exits 0 (docs/SERVE_PROTOCOL.md
+specifies the wire protocol).
 cache gc prunes a verdict-store directory: with --spec/--db, every epoch
 other than the current spec's is dropped (keep the N most recent instead
 with --keep-epochs); --max-bytes caps the directory size.
@@ -176,7 +225,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         }
     }
     // flags that take no value
-    const SWITCHES: [&str; 4] = ["--no-dedup", "--no-cache", "--cache-stats", "--no-stream"];
+    const SWITCHES: [&str; 6] = [
+        "--no-dedup",
+        "--no-cache",
+        "--cache-stats",
+        "--no-stream",
+        "--ping",
+        "--shutdown",
+    ];
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         if !flag.starts_with("--") {
@@ -207,6 +263,39 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             )))
         }
     };
+    // `--no-stream`/`--pipeline-depth`/`--no-dedup`/`--no-cache` all
+    // fold into one JobOptions, shared verbatim between the one-shot
+    // CLI and the serve wire protocol
+    let job_options = |flags: &BTreeMap<String, String>| -> Result<JobOptions, CliError> {
+        let ingest = if flags.contains_key("no-stream") {
+            // materialized ingestion wins over any pipeline depth
+            IngestMode::Materialized
+        } else {
+            match flags.get("pipeline-depth") {
+                None => IngestMode::Pipelined { depth: 0 },
+                Some(raw) => {
+                    let depth: usize = raw
+                        .parse()
+                        .map_err(|_| usage_error(format!("invalid --pipeline-depth `{raw}`")))?;
+                    if depth == 0 {
+                        IngestMode::Serial
+                    } else {
+                        IngestMode::Pipelined { depth }
+                    }
+                }
+            }
+        };
+        Ok(JobOptions {
+            dedup: !flags.contains_key("no-dedup"),
+            use_cache: !flags.contains_key("no-cache"),
+            ingest,
+            ..JobOptions::default()
+        })
+    };
+    let threads = flags
+        .get("threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
     match cmd.as_str() {
         "check" => Ok(Command::Check {
             spec: need("spec")?,
@@ -214,23 +303,35 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             pre: need("pre")?,
             post: need("post")?,
             granularity,
-            threads: flags
-                .get("threads")
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(0),
-            dedup: !flags.contains_key("no-dedup"),
+            threads,
+            job: job_options(&flags)?,
             cache_dir: flags.get("cache-dir").map(PathBuf::from),
-            no_cache: flags.contains_key("no-cache"),
             cache_stats: flags.contains_key("cache-stats"),
-            stream: !flags.contains_key("no-stream"),
-            pipeline_depth: match flags.get("pipeline-depth") {
-                None => None,
-                Some(raw) => Some(
-                    raw.parse()
-                        .map_err(|_| usage_error(format!("invalid --pipeline-depth `{raw}`")))?,
-                ),
-            },
         }),
+        "serve" => Ok(Command::Serve(ServeConfig {
+            socket: need("socket")?,
+            spec: need("spec")?,
+            db: need("db")?,
+            granularity,
+            threads,
+            cache_dir: flags.get("cache-dir").map(PathBuf::from),
+        })),
+        "submit" => {
+            let socket = need("socket")?;
+            if flags.contains_key("ping") {
+                Ok(Command::Ping { socket })
+            } else if flags.contains_key("shutdown") {
+                Ok(Command::Shutdown { socket })
+            } else {
+                Ok(Command::Submit {
+                    socket,
+                    pre: need("pre")?,
+                    post: need("post")?,
+                    job: job_options(&flags)?,
+                    cache_stats: flags.contains_key("cache-stats"),
+                })
+            }
+        }
         "diff" => Ok(Command::Diff {
             db: need("db")?,
             pre: need("pre")?,
@@ -309,93 +410,59 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<i32, CliError>
             post,
             granularity,
             threads,
-            dedup,
+            job,
             cache_dir,
-            no_cache,
             cache_stats,
-            stream,
-            pipeline_depth,
         } => {
+            // the one-shot CLI is "open a session, run one job, exit" —
+            // the same path a `rela serve` daemon keeps warm
             let source = read(spec)?;
             let db = load_db(db)?;
-            let program = rela_core::parse_program(&source)
-                .map_err(|e| usage_error(format!("{}: {e}", spec.display())))?;
-            let compiled = rela_core::compile_program(&program, &db, *granularity)
-                .map_err(|e| usage_error(format!("{}: {e}", spec.display())))?;
-            let options = rela_core::CheckOptions {
-                threads: *threads,
-                dedup: *dedup,
-                pipeline_depth: pipeline_depth.unwrap_or(0),
-                ..rela_core::CheckOptions::default()
-            };
+            let mut session = CheckSession::open(
+                &source,
+                db,
+                SessionConfig {
+                    granularity: *granularity,
+                    threads: *threads,
+                },
+            )
+            .map_err(|e| usage_error(format!("{}: {e}", spec.display())))?;
             // an unopenable store degrades to a cold (cache-free) run —
             // the cache is an accelerator, never a dependency, so an IO
             // problem must not block or re-label a valid validation
-            let mut cache_warning = None;
-            let store = match (cache_dir, no_cache) {
-                (Some(dir), false) => {
-                    // open-time sweep: stale sibling epochs age out of
-                    // long-lived change-pipeline directories
-                    match rela_cache::VerdictStore::open_with_gc(
-                        dir,
-                        rela_core::cache_epoch(&program, &db),
-                        &rela_cache::GcPolicy::default(),
-                    ) {
-                        Ok(store) => Some(store),
-                        Err(e) => {
-                            cache_warning =
-                                Some(format!("warning: cache disabled: {}: {e}\n", dir.display()));
-                            None
-                        }
-                    }
+            if let Some(dir) = cache_dir.as_ref().filter(|_| job.use_cache) {
+                // open-time sweep: stale sibling epochs age out of
+                // long-lived change-pipeline directories
+                match rela_cache::VerdictStore::open_with_gc(
+                    dir,
+                    session.epoch(),
+                    &rela_cache::GcPolicy::default(),
+                ) {
+                    Ok(store) => session.attach_store(store),
+                    Err(e) => emit(
+                        out,
+                        format!("warning: cache disabled: {}: {e}\n", dir.display()),
+                    )?,
                 }
-                _ => None,
-            };
-            if let Some(warning) = cache_warning {
-                emit(out, warning)?;
             }
-            let mut checker = rela_core::Checker::new(&compiled, &db).with_options(options);
-            if let Some(store) = &store {
-                checker = checker.with_cache(store);
-            }
-            let report = if *stream && *pipeline_depth != Some(0) {
-                // the default cold path: framer threads extract raw
-                // records, a worker pool decodes/fingerprints/joins
-                // them, and deciding begins while records still arrive —
-                // only one graph per behavior class stays resident
-                let frame =
-                    |path: &Path| -> Result<SnapshotFramer<Box<dyn Read + Send>>, CliError> {
-                        Ok(SnapshotFramer::new(open_snapshot(path)?)
-                            .with_label(path.display().to_string()))
-                    };
-                checker
-                    .check_pipelined(frame(pre)?, frame(post)?)
-                    .map_err(|e| usage_error(format!("invalid snapshot: {e}")))?
-            } else if *stream {
-                // --pipeline-depth 0: the serial streamed path (one
-                // reader thread parses, aligns, and fingerprints)
-                let open = |path: &Path| -> Result<SnapshotReader<Box<dyn Read + Send>>, CliError> {
-                    Ok(SnapshotReader::new(open_snapshot(path)?)
-                        .with_label(path.display().to_string()))
-                };
-                checker
-                    .check_stream(SnapshotPair::align_streaming(open(pre)?, open(post)?))
-                    .map_err(|e| usage_error(format!("invalid snapshot: {e}")))?
-            } else {
-                let pair = SnapshotPair::align(&load_snapshot(pre)?, &load_snapshot(post)?);
-                checker.check(&pair)
+            let open = |path: &Path| -> Result<LabeledSource<'static>, CliError> {
+                Ok(LabeledSource::new(
+                    open_snapshot(path)?,
+                    path.display().to_string(),
+                ))
             };
+            let report = session
+                .run(JobSpec::streams(open(pre)?, open(post)?).with_options(*job))
+                .map_err(|e| usage_error(format!("invalid snapshot: {e}")))?;
             emit(out, report.to_string())?;
-            if let Some(store) = &store {
-                // a failed flush degrades the next run to cold — warn,
-                // don't fail a completed validation over it
-                if let Err(e) = store.persist() {
-                    emit(out, format!("warning: could not persist cache: {e}\n"))?;
-                }
+            // a failed flush degrades the next run to cold — warn,
+            // don't fail a completed validation over it
+            if let Err(e) = session.persist_if_dirty() {
+                emit(out, format!("warning: could not persist cache: {e}\n"))?;
             }
             if *cache_stats {
                 let stats = report.stats;
-                match &store {
+                match session.store() {
                     Some(store) => {
                         let s = store.stats();
                         emit(
@@ -420,6 +487,16 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<i32, CliError>
             }
             Ok(if report.is_compliant() { 0 } else { 1 })
         }
+        Command::Serve(config) => crate::serve::serve(config, out),
+        Command::Submit {
+            socket,
+            pre,
+            post,
+            job,
+            cache_stats,
+        } => crate::client::submit(socket, pre, post, job, *cache_stats, out),
+        Command::Ping { socket } => crate::client::ping(socket, out),
+        Command::Shutdown { socket } => crate::client::shutdown(socket, out),
         Command::CacheGc {
             cache_dir,
             spec,
@@ -575,17 +652,16 @@ mod tests {
             Command::Check {
                 granularity,
                 threads,
-                dedup,
+                job,
                 cache_dir,
-                no_cache,
                 cache_stats,
                 ..
             } => {
                 assert_eq!(granularity, Granularity::Device);
                 assert_eq!(threads, 4);
-                assert!(dedup, "dedup defaults to on");
+                assert!(job.dedup, "dedup defaults to on");
+                assert!(job.use_cache, "the cache is consulted when attached");
                 assert_eq!(cache_dir, None, "cache is opt-in");
-                assert!(!no_cache);
                 assert!(!cache_stats);
             }
             other => panic!("unexpected {other:?}"),
@@ -613,12 +689,12 @@ mod tests {
         match cmd {
             Command::Check {
                 cache_dir,
-                no_cache,
+                job,
                 cache_stats,
                 ..
             } => {
                 assert_eq!(cache_dir, Some(PathBuf::from(".rela-cache")));
-                assert!(no_cache);
+                assert!(!job.use_cache, "--no-cache folds into the job options");
                 assert!(cache_stats);
             }
             other => panic!("unexpected {other:?}"),
@@ -641,7 +717,7 @@ mod tests {
         ]))
         .unwrap();
         match cmd {
-            Command::Check { dedup, .. } => assert!(!dedup),
+            Command::Check { job, .. } => assert!(!job.dedup),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -693,13 +769,9 @@ mod tests {
                 post: dir.join(post),
                 granularity: Granularity::Group,
                 threads: 1,
-                dedup: true,
+                job: JobOptions::default(),
                 cache_dir: None,
-                no_cache: false,
                 cache_stats: false,
-
-                stream: true,
-                pipeline_depth: None,
             };
             let mut sink = Vec::new();
             let code = run(&cmd, &mut sink).unwrap();
@@ -746,13 +818,9 @@ mod tests {
                 post: dir.join("post_v2.json"),
                 granularity: Granularity::Group,
                 threads: 1,
-                dedup: true,
+                job: JobOptions::default(),
                 cache_dir: Some(dir.join("cache")),
-                no_cache: false,
                 cache_stats: true,
-
-                stream: true,
-                pipeline_depth: None,
             };
             let mut sink = Vec::new();
             let code = run(&cmd, &mut sink).unwrap();
@@ -799,13 +867,9 @@ mod tests {
             post: dir.join("post_v2.json"),
             granularity: Granularity::Group,
             threads: 1,
-            dedup: true,
+            job: JobOptions::default(),
             cache_dir: Some(PathBuf::from("/dev/null/not-a-directory")),
-            no_cache: false,
             cache_stats: false,
-
-            stream: true,
-            pipeline_depth: None,
         };
         let mut sink = Vec::new();
         let code = run(&cmd, &mut sink).unwrap();
@@ -822,13 +886,12 @@ mod tests {
             post: dir.join("post_v2.json"),
             granularity: Granularity::Group,
             threads: 1,
-            dedup: true,
+            job: JobOptions {
+                use_cache: false,
+                ..JobOptions::default()
+            },
             cache_dir: Some(dir.join("cache")),
-            no_cache: true,
             cache_stats: true,
-
-            stream: true,
-            pipeline_depth: None,
         };
         let mut sink = Vec::new();
         let code = run(&cmd, &mut sink).unwrap();
@@ -846,13 +909,17 @@ mod tests {
             "check", "--spec", "s.rela", "--db", "db.json", "--pre", "a.json", "--post", "b.json",
         ];
         match parse_args(&args(base)).unwrap() {
-            Command::Check { stream, .. } => assert!(stream, "streaming is the default"),
+            Command::Check { job, .. } => assert_eq!(
+                job.ingest,
+                IngestMode::Pipelined { depth: 0 },
+                "pipelined streaming is the default"
+            ),
             other => panic!("unexpected {other:?}"),
         }
         let mut with_flag: Vec<&str> = base.to_vec();
         with_flag.push("--no-stream");
         match parse_args(&args(&with_flag)).unwrap() {
-            Command::Check { stream, .. } => assert!(!stream),
+            Command::Check { job, .. } => assert_eq!(job.ingest, IngestMode::Materialized),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -862,21 +929,82 @@ mod tests {
         let base = &[
             "check", "--spec", "s.rela", "--db", "db.json", "--pre", "a.json", "--post", "b.json",
         ];
-        match parse_args(&args(base)).unwrap() {
-            Command::Check { pipeline_depth, .. } => {
-                assert_eq!(pipeline_depth, None, "pipelined by default")
-            }
-            other => panic!("unexpected {other:?}"),
-        }
         let mut with_flag: Vec<&str> = base.to_vec();
         with_flag.extend(["--pipeline-depth", "2"]);
         match parse_args(&args(&with_flag)).unwrap() {
-            Command::Check { pipeline_depth, .. } => assert_eq!(pipeline_depth, Some(2)),
+            Command::Check { job, .. } => {
+                assert_eq!(job.ingest, IngestMode::Pipelined { depth: 2 })
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let mut serial: Vec<&str> = base.to_vec();
+        serial.extend(["--pipeline-depth", "0"]);
+        match parse_args(&args(&serial)).unwrap() {
+            Command::Check { job, .. } => assert_eq!(
+                job.ingest,
+                IngestMode::Serial,
+                "depth 0 is the serial streamed path"
+            ),
             other => panic!("unexpected {other:?}"),
         }
         let mut bad: Vec<&str> = base.to_vec();
         bad.extend(["--pipeline-depth", "many"]);
         assert_eq!(parse_args(&args(&bad)).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn serve_and_submit_commands_parse() {
+        match parse_args(&args(&[
+            "serve",
+            "--socket",
+            "/tmp/rela.sock",
+            "--spec",
+            "s.rela",
+            "--db",
+            "db.json",
+            "--cache-dir",
+            ".rela-cache",
+        ]))
+        .unwrap()
+        {
+            Command::Serve(config) => {
+                assert_eq!(config.socket, PathBuf::from("/tmp/rela.sock"));
+                assert_eq!(config.granularity, Granularity::Group);
+                assert_eq!(config.threads, 0);
+                assert_eq!(config.cache_dir, Some(PathBuf::from(".rela-cache")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(&args(&[
+            "submit",
+            "--socket",
+            "/tmp/rela.sock",
+            "--pre",
+            "a.json",
+            "--post",
+            "b.json",
+            "--no-dedup",
+        ]))
+        .unwrap()
+        {
+            Command::Submit { job, .. } => assert!(!job.dedup),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(&args(&["submit", "--socket", "s", "--ping"])).unwrap() {
+            Command::Ping { socket } => assert_eq!(socket, PathBuf::from("s")),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(&args(&["submit", "--socket", "s", "--shutdown"])).unwrap() {
+            Command::Shutdown { .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // a daemonless submit needs the snapshot pair
+        let err = parse_args(&args(&["submit", "--socket", "s"])).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--pre"), "{err}");
+        // serve requires a socket path
+        let err = parse_args(&args(&["serve", "--spec", "s", "--db", "d"])).unwrap_err();
+        assert!(err.message.contains("--socket"), "{err}");
     }
 
     #[test]
@@ -913,12 +1041,9 @@ mod tests {
             post: dir.join("post_v2.json"),
             granularity: Granularity::Group,
             threads: 1,
-            dedup: true,
+            job: JobOptions::default(),
             cache_dir: Some(cache_dir.clone()),
-            no_cache: false,
             cache_stats: false,
-            stream: true,
-            pipeline_depth: None,
         };
         run(&check, &mut Vec::new()).unwrap();
         // plant a superseded epoch file
@@ -963,7 +1088,7 @@ mod tests {
             std::fs::write(dir.join(format!("{name}.gz")), enc.finish().unwrap()).unwrap();
         }
 
-        let check = |pre: &str, post: &str, stream: bool, depth: Option<usize>| {
+        let check = |pre: &str, post: &str, ingest: IngestMode| {
             let cmd = Command::Check {
                 spec: dir.join("change.rela"),
                 db: dir.join("db.json"),
@@ -971,12 +1096,12 @@ mod tests {
                 post: dir.join(post),
                 granularity: Granularity::Group,
                 threads: 2,
-                dedup: true,
+                job: JobOptions {
+                    ingest,
+                    ..JobOptions::default()
+                },
                 cache_dir: None,
-                no_cache: false,
                 cache_stats: false,
-                stream,
-                pipeline_depth: depth,
             };
             let mut sink = Vec::new();
             let code = run(&cmd, &mut sink).unwrap();
@@ -988,10 +1113,18 @@ mod tests {
                 .collect::<Vec<_>>()
                 .join("\n")
         };
-        let (code_p, piped) = check("pre.json", "post_v2.json", true, None);
-        let (code_s, serial) = check("pre.json", "post_v2.json", true, Some(0));
-        let (code_m, materialized) = check("pre.json", "post_v2.json", false, None);
-        let (code_z, gz) = check("pre.json.gz", "post_v2.json.gz", true, Some(2));
+        let (code_p, piped) = check(
+            "pre.json",
+            "post_v2.json",
+            IngestMode::Pipelined { depth: 0 },
+        );
+        let (code_s, serial) = check("pre.json", "post_v2.json", IngestMode::Serial);
+        let (code_m, materialized) = check("pre.json", "post_v2.json", IngestMode::Materialized);
+        let (code_z, gz) = check(
+            "pre.json.gz",
+            "post_v2.json.gz",
+            IngestMode::Pipelined { depth: 2 },
+        );
         assert_eq!([code_p, code_s, code_m, code_z], [1, 1, 1, 1]);
         assert_eq!(verdicts(&piped), verdicts(&serial));
         assert_eq!(verdicts(&piped), verdicts(&materialized));
@@ -1008,12 +1141,9 @@ mod tests {
             post: dir.join("post_v2.json"),
             granularity: Granularity::Group,
             threads: 1,
-            dedup: true,
+            job: JobOptions::default(),
             cache_dir: None,
-            no_cache: false,
             cache_stats: false,
-            stream: true,
-            pipeline_depth: None,
         };
         let err = run(&cmd, &mut Vec::new()).expect_err("truncated gz");
         assert_eq!(err.code, 2);
@@ -1031,7 +1161,7 @@ mod tests {
         let mut sink = Vec::new();
         run(&Command::Demo { out: dir.clone() }, &mut sink).unwrap();
 
-        let check = |stream: bool| {
+        let check = |ingest: IngestMode| {
             let cmd = Command::Check {
                 spec: dir.join("change.rela"),
                 db: dir.join("db.json"),
@@ -1039,19 +1169,19 @@ mod tests {
                 post: dir.join("post_v2.json"),
                 granularity: Granularity::Group,
                 threads: 1,
-                dedup: true,
+                job: JobOptions {
+                    ingest,
+                    ..JobOptions::default()
+                },
                 cache_dir: None,
-                no_cache: false,
                 cache_stats: false,
-                stream,
-                pipeline_depth: None,
             };
             let mut sink = Vec::new();
             let code = run(&cmd, &mut sink).unwrap();
             (code, String::from_utf8(sink).unwrap())
         };
-        let (code_s, streamed) = check(true);
-        let (code_m, materialized) = check(false);
+        let (code_s, streamed) = check(IngestMode::Pipelined { depth: 0 });
+        let (code_m, materialized) = check(IngestMode::Materialized);
         assert_eq!(code_s, 1);
         assert_eq!(code_m, 1);
         let verdicts = |text: &str| {
@@ -1074,12 +1204,9 @@ mod tests {
             post: truncated.clone(),
             granularity: Granularity::Group,
             threads: 1,
-            dedup: true,
+            job: JobOptions::default(),
             cache_dir: None,
-            no_cache: false,
             cache_stats: false,
-            stream: true,
-            pipeline_depth: None,
         };
         let mut sink = Vec::new();
         let err = run(&cmd, &mut sink).expect_err("truncated snapshot");

@@ -1,0 +1,206 @@
+//! `rela submit` / `rela ping`: thin clients for a `rela serve` daemon.
+//!
+//! The client owns file access and decompression (`.gz` inflates
+//! client-side, exactly like one-shot `rela check`) and streams the
+//! snapshot pair to the daemon in interleaved chunks, so the daemon's
+//! lockstep aligner never waits on a side the client hasn't started
+//! sending. The reply carries the full report text, which is printed
+//! verbatim — a warm submit is byte-identical to a one-shot check of
+//! the same pair (timing lines aside).
+
+use crate::cli::CliError;
+use crate::proto::{
+    read_frame, write_frame, KIND_ERROR, KIND_JOB, KIND_PING, KIND_PONG, KIND_POST, KIND_PRE,
+    KIND_REPORT, KIND_SHUTDOWN,
+};
+use rela_core::JobOptions;
+use rela_net::snapshot_source;
+use serde::{Serialize, Value};
+use std::io::Read;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Snapshot bytes per chunk frame. Small enough to interleave the two
+/// sides finely, large enough that framing overhead is noise.
+const CHUNK: usize = 64 * 1024;
+
+fn usage_error(message: impl Into<String>) -> CliError {
+    CliError {
+        message: message.into(),
+        code: 2,
+    }
+}
+
+fn connect(socket: &Path) -> Result<UnixStream, CliError> {
+    UnixStream::connect(socket).map_err(|e| {
+        usage_error(format!(
+            "{}: {e} (is `rela serve` running?)",
+            socket.display()
+        ))
+    })
+}
+
+/// One side's sender state during the interleaved transfer.
+struct SideFeed {
+    source: Box<dyn Read + Send>,
+    kind: u8,
+    done: bool,
+}
+
+impl SideFeed {
+    fn open(path: &Path, kind: u8) -> Result<SideFeed, CliError> {
+        Ok(SideFeed {
+            source: snapshot_source(path)
+                .map_err(|e| usage_error(format!("{}: {e}", path.display())))?,
+            kind,
+            done: false,
+        })
+    }
+
+    /// Send up to one chunk; on EOF send the zero-length end marker.
+    /// Returns `Err` only for local read failures — remote write
+    /// failures surface as `Ok(false)` so the caller can go collect the
+    /// daemon's (probably already-sent) error reply.
+    fn pump(&mut self, stream: &mut UnixStream) -> Result<bool, CliError> {
+        if self.done {
+            return Ok(true);
+        }
+        let mut buf = vec![0u8; CHUNK];
+        let n = self
+            .source
+            .read(&mut buf)
+            .map_err(|e| usage_error(format!("reading snapshot: {e}")))?;
+        self.done = n == 0;
+        Ok(write_frame(stream, self.kind, &buf[..n]).is_ok())
+    }
+}
+
+/// Submit one check job; prints the daemon's report and returns the
+/// check's exit code (0 compliant, 1 violations, 2 errors).
+pub fn submit(
+    socket: &Path,
+    pre: &Path,
+    post: &Path,
+    options: &JobOptions,
+    cache_stats: bool,
+    out: &mut dyn std::io::Write,
+) -> Result<i32, CliError> {
+    let mut stream = connect(socket)?;
+    let json = serde_json::to_string(&options.to_value())
+        .map_err(|e| usage_error(format!("serializing job options: {e}")))?;
+    let mut pre = SideFeed::open(pre, KIND_PRE)?;
+    let mut post = SideFeed::open(post, KIND_POST)?;
+    let sent = write_frame(&mut stream, KIND_JOB, json.as_bytes()).is_ok();
+    if sent {
+        // interleave the sides so the daemon's lockstep aligner always
+        // has bytes for whichever side it pulls next
+        while !(pre.done && post.done) {
+            if !pre.pump(&mut stream)? || !post.pump(&mut stream)? {
+                // the daemon hung up mid-transfer — it has (or will
+                // have) a reply explaining why; stop sending, read it
+                break;
+            }
+        }
+    }
+
+    match read_frame(&mut stream) {
+        Ok(Some((KIND_REPORT, payload))) => {
+            let reply = parse_reply(&payload)?;
+            let exit: i64 = serde::field(&reply, "exit")
+                .map_err(|e| usage_error(format!("malformed reply: {e}")))?;
+            let report: String = serde::field(&reply, "report")
+                .map_err(|e| usage_error(format!("malformed reply: {e}")))?;
+            out.write_all(report.as_bytes())
+                .map_err(|e| usage_error(format!("write failed: {e}")))?;
+            if cache_stats {
+                let stats = reply.get("stats").cloned().unwrap_or(Value::Null);
+                let count =
+                    |name: &str| -> u64 { stats.get(name).and_then(Value::as_u64).unwrap_or(0) };
+                writeln!(
+                    out,
+                    "cache: {} warm hits / {} classes, {} fst memo hits",
+                    count("warm_hits"),
+                    count("classes"),
+                    count("fst_memo_hits"),
+                )
+                .map_err(|e| usage_error(format!("write failed: {e}")))?;
+            }
+            Ok(exit as i32)
+        }
+        Ok(Some((KIND_ERROR, payload))) => Err(usage_error(error_message(&payload))),
+        Ok(Some((kind, _))) => Err(usage_error(format!("unexpected reply frame 0x{kind:02x}"))),
+        Ok(None) => Err(usage_error("daemon closed the connection without a reply")),
+        Err(e) => Err(usage_error(format!("reading reply: {e}"))),
+    }
+}
+
+/// Probe the daemon; prints its status line. Exit 0 when it answers.
+pub fn ping(socket: &Path, out: &mut dyn std::io::Write) -> Result<i32, CliError> {
+    let mut stream = connect(socket)?;
+    write_frame(&mut stream, KIND_PING, b"")
+        .map_err(|e| usage_error(format!("sending ping: {e}")))?;
+    let pong = read_pong(&mut stream)?;
+    writeln!(
+        out,
+        "daemon alive: {} job(s) run, {} in flight, draining: {}",
+        pong.jobs_run, pong.jobs_active, pong.draining
+    )
+    .map_err(|e| usage_error(format!("write failed: {e}")))?;
+    Ok(0)
+}
+
+/// Ask the daemon to drain and exit (in-flight jobs finish first).
+pub fn shutdown(socket: &Path, out: &mut dyn std::io::Write) -> Result<i32, CliError> {
+    let mut stream = connect(socket)?;
+    write_frame(&mut stream, KIND_SHUTDOWN, b"")
+        .map_err(|e| usage_error(format!("sending shutdown: {e}")))?;
+    let pong = read_pong(&mut stream)?;
+    writeln!(out, "daemon draining after {} job(s)", pong.jobs_run)
+        .map_err(|e| usage_error(format!("write failed: {e}")))?;
+    Ok(0)
+}
+
+fn parse_reply(payload: &[u8]) -> Result<Value, CliError> {
+    std::str::from_utf8(payload)
+        .map_err(|e| usage_error(format!("malformed reply: {e}")))
+        .and_then(|text| {
+            serde_json::from_str(text).map_err(|e| usage_error(format!("malformed reply: {e}")))
+        })
+}
+
+fn error_message(payload: &[u8]) -> String {
+    parse_reply(payload)
+        .ok()
+        .and_then(|v| v.get("message").and_then(Value::as_str).map(str::to_owned))
+        .unwrap_or_else(|| "daemon reported an unintelligible error".to_owned())
+}
+
+/// The daemon's status as reported in a `PONG` frame.
+struct Pong {
+    jobs_run: u64,
+    jobs_active: u64,
+    draining: bool,
+}
+
+fn read_pong(stream: &mut UnixStream) -> Result<Pong, CliError> {
+    match read_frame(stream) {
+        Ok(Some((KIND_PONG, payload))) => {
+            let reply = parse_reply(&payload)?;
+            Ok(Pong {
+                jobs_run: reply.get("jobs_run").and_then(Value::as_u64).unwrap_or(0),
+                jobs_active: reply
+                    .get("jobs_active")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0),
+                draining: reply
+                    .get("draining")
+                    .and_then(Value::as_bool)
+                    .unwrap_or(false),
+            })
+        }
+        Ok(Some((KIND_ERROR, payload))) => Err(usage_error(error_message(&payload))),
+        Ok(Some((kind, _))) => Err(usage_error(format!("unexpected reply frame 0x{kind:02x}"))),
+        Ok(None) => Err(usage_error("daemon closed the connection without a reply")),
+        Err(e) => Err(usage_error(format!("reading reply: {e}"))),
+    }
+}

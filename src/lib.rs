@@ -32,3 +32,6 @@ pub use rela_net as net;
 pub use rela_sim as sim;
 
 pub mod cli;
+pub mod client;
+pub mod proto;
+pub mod serve;

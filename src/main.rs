@@ -1,15 +1,41 @@
 //! The `rela` binary. See [`rela::cli`] for the command reference.
 
+// libc is not a dependency, so the one signal registration the daemon
+// needs is declared by hand. `signal(2)` with a plain function pointer
+// is portable across the platforms the Unix-socket daemon supports.
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// SIGTERM/SIGINT handler for `rela serve`: flip the drain flag and
+/// return. A single atomic store is async-signal-safe; the accept loop
+/// notices within one poll interval.
+extern "C" fn on_terminate(_signum: i32) {
+    rela::serve::request_drain();
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match rela::cli::parse_args(&args) {
-        Ok(cmd) => match rela::cli::run(&cmd, &mut std::io::stdout()) {
-            Ok(code) => code,
-            Err(e) => {
-                eprintln!("error: {e}");
-                e.code
+        Ok(cmd) => {
+            if matches!(cmd, rela::cli::Command::Serve(_)) {
+                // graceful drain instead of the default fatal handlers
+                unsafe {
+                    signal(SIGTERM, on_terminate as *const () as usize);
+                    signal(SIGINT, on_terminate as *const () as usize);
+                }
             }
-        },
+            match rela::cli::run(&cmd, &mut std::io::stdout()) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    e.code
+                }
+            }
+        }
         Err(e) => {
             eprintln!("error: {e}\n\n{}", rela::cli::USAGE);
             e.code

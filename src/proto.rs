@@ -1,0 +1,114 @@
+//! The `rela serve` framed wire protocol (see `docs/SERVE_PROTOCOL.md`).
+//!
+//! Every message is one frame: a one-byte kind tag, a little-endian
+//! `u32` payload length, then the payload. Control payloads are JSON
+//! (the crate's vendored dialect); snapshot payloads are raw bytes of
+//! the wire format in `docs/SNAPSHOT_FORMAT.md`, chunked. The framing
+//! is deliberately dumb — no versioning handshake, no compression — so
+//! a client is ~50 lines in any language.
+
+use std::io::{Read, Write};
+
+/// Job submission (client → server). Payload: the serialized
+/// `JobOptions` object.
+pub const KIND_JOB: u8 = 0x01;
+/// One chunk of the pre-change snapshot (client → server). A
+/// zero-length payload ends the side.
+pub const KIND_PRE: u8 = 0x02;
+/// One chunk of the post-change snapshot (client → server). A
+/// zero-length payload ends the side.
+pub const KIND_POST: u8 = 0x03;
+/// Completed check (server → client). Payload: `{"exit", "report",
+/// "stats"}`.
+pub const KIND_REPORT: u8 = 0x10;
+/// Failed job or protocol violation (server → client). Payload:
+/// `{"message"}`.
+pub const KIND_ERROR: u8 = 0x11;
+/// Liveness probe (client → server), empty payload.
+pub const KIND_PING: u8 = 0x20;
+/// Probe reply (server → client). Payload: `{"jobs_run", "draining"}`.
+pub const KIND_PONG: u8 = 0x21;
+/// Ask the daemon to drain and exit (client → server), empty payload.
+/// Acknowledged with a PONG before the drain begins.
+pub const KIND_SHUTDOWN: u8 = 0x22;
+
+/// Upper bound on one frame's payload. Large snapshots are *chunked* by
+/// the sender, so a frame this big is a protocol violation, not a big
+/// network — the cap keeps a malformed length prefix from soaking up
+/// memory.
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Write one frame.
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame payload too large")
+    })?;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "frame payload too large",
+        ));
+    }
+    w.write_all(&[kind])?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Read one frame. `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<(u8, Vec<u8>)>> {
+    let mut kind = [0u8; 1];
+    if r.read(&mut kind)? == 0 {
+        return Ok(None);
+    }
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some((kind[0], payload)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, KIND_JOB, b"{}").unwrap();
+        write_frame(&mut buf, KIND_PRE, b"").unwrap();
+        write_frame(&mut buf, KIND_POST, &[0xff; 300]).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Some((KIND_JOB, b"{}".to_vec()))
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), Some((KIND_PRE, Vec::new())));
+        let (kind, payload) = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!((kind, payload.len()), (KIND_POST, 300));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = vec![KIND_PRE];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, KIND_PRE, b"abcdef").unwrap();
+        buf.truncate(buf.len() - 2);
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -1,0 +1,403 @@
+//! `rela serve`: a resident verification daemon over a Unix socket.
+//!
+//! The daemon is one [`rela_core::CheckSession`] kept warm behind a
+//! socket: the spec is parsed and compiled once, the location database
+//! is loaded once, the verdict store is opened once, and the FST memo
+//! accumulates across jobs — so the paper's §8.1 iterate-and-resubmit
+//! loop pays none of that per job. Each connection submits framed check
+//! jobs (`src/proto.rs`, documented in `docs/SERVE_PROTOCOL.md`) whose
+//! reports are byte-identical to a one-shot `rela check` of the same
+//! pair.
+//!
+//! Shutdown is a *drain*: `SIGTERM`/`SIGINT` (or a `SHUTDOWN` frame)
+//! stop the daemon accepting new jobs, in-flight jobs run to completion
+//! and get their replies, then the socket is unlinked and the process
+//! exits 0.
+
+use crate::cli::{CliError, ServeConfig};
+use crate::proto::{
+    read_frame, write_frame, KIND_ERROR, KIND_JOB, KIND_PING, KIND_PONG, KIND_POST, KIND_PRE,
+    KIND_REPORT, KIND_SHUTDOWN,
+};
+use rela_core::{CheckSession, JobOptions, JobSpec, LabeledSource, SessionConfig};
+use rela_net::chunk_pipe;
+use serde::{Deserialize, Serialize, Value};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// The process-wide drain flag. A static (not daemon-local state)
+/// because the signal handler in `main.rs` must reach it from an
+/// async-signal context, where only a lock-free store is safe.
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+/// Ask the running daemon to drain: stop accepting jobs, finish
+/// in-flight ones, exit. Async-signal-safe (a single atomic store).
+pub fn request_drain() {
+    DRAIN.store(true, Ordering::Release);
+}
+
+/// Whether a drain has been requested.
+pub fn drain_requested() -> bool {
+    DRAIN.load(Ordering::Acquire)
+}
+
+/// How often the accept loop polls the drain flag between connections.
+const ACCEPT_POLL: Duration = Duration::from_millis(15);
+
+/// Per-connection read timeout: a client that stalls mid-frame for this
+/// long is dropped (its job, if any, fails with a truncated stream).
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// `SO_RCVTIMEO` poll granularity for connection reads. Kept much
+/// shorter than [`READ_TIMEOUT`] so [`Patient`] can tell a genuinely
+/// stalled peer (many expiries in a row) from one spurious wakeup.
+const READ_POLL: Duration = Duration::from_secs(1);
+
+/// A connection reader that survives signal delivery. `SIGTERM` may
+/// land on any connection thread, and on Linux a blocked `read` with
+/// `SO_RCVTIMEO` set fails with `WouldBlock` when a handler interrupts
+/// it — even under `SA_RESTART`. Treating that as a dead peer would
+/// tear down the very in-flight job the drain is supposed to finish, so
+/// reads retry until [`READ_TIMEOUT`] of continuous silence.
+struct Patient<'a>(&'a UnixStream);
+
+impl std::io::Read for Patient<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        use std::io::ErrorKind::{Interrupted, TimedOut, WouldBlock};
+        let deadline = std::time::Instant::now() + READ_TIMEOUT;
+        loop {
+            match (&mut &*self.0).read(buf) {
+                Err(e) if e.kind() == Interrupted => continue,
+                Err(e)
+                    if matches!(e.kind(), WouldBlock | TimedOut)
+                        && std::time::Instant::now() < deadline =>
+                {
+                    continue
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+fn io_error(context: &str, e: std::io::Error) -> CliError {
+    CliError {
+        message: format!("{context}: {e}"),
+        code: 2,
+    }
+}
+
+/// Bind the daemon socket, replacing a *stale* socket file (left by a
+/// crashed daemon) but refusing to displace a live one.
+fn bind_socket(path: &Path) -> Result<UnixListener, CliError> {
+    if path.exists() {
+        match UnixStream::connect(path) {
+            Ok(_) => {
+                return Err(CliError {
+                    message: format!("{}: a daemon is already serving here", path.display()),
+                    code: 2,
+                })
+            }
+            Err(_) => {
+                // nobody answers: stale socket from a dead process
+                std::fs::remove_file(path).map_err(|e| io_error(&path.display().to_string(), e))?;
+            }
+        }
+    }
+    UnixListener::bind(path).map_err(|e| io_error(&path.display().to_string(), e))
+}
+
+/// Run the daemon until drained. Returns the process exit code (0 after
+/// a clean drain).
+pub fn serve(config: &ServeConfig, out: &mut dyn std::io::Write) -> Result<i32, CliError> {
+    // a fresh serve starts undrained even if a previous in-process
+    // daemon (tests) was drained
+    DRAIN.store(false, Ordering::Release);
+
+    let source = std::fs::read_to_string(&config.spec)
+        .map_err(|e| io_error(&config.spec.display().to_string(), e))?;
+    let db: rela_net::LocationDb = serde_json::from_str(
+        &std::fs::read_to_string(&config.db)
+            .map_err(|e| io_error(&config.db.display().to_string(), e))?,
+    )
+    .map_err(|e| CliError {
+        message: format!("{}: invalid location db: {e}", config.db.display()),
+        code: 2,
+    })?;
+    let mut session = CheckSession::open(
+        &source,
+        db,
+        SessionConfig {
+            granularity: config.granularity,
+            threads: config.threads,
+        },
+    )
+    .map_err(|e| CliError {
+        message: format!("{}: {e}", config.spec.display()),
+        code: 2,
+    })?;
+    if let Some(dir) = &config.cache_dir {
+        match rela_cache::VerdictStore::open_with_gc(
+            dir,
+            session.epoch(),
+            &rela_cache::GcPolicy::default(),
+        ) {
+            Ok(store) => session.attach_store(store),
+            Err(e) => {
+                let _ = writeln!(out, "warning: cache disabled: {}: {e}", dir.display());
+            }
+        }
+    }
+
+    let listener = bind_socket(&config.socket)?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| io_error("socket", e))?;
+    writeln!(
+        out,
+        "serving {} on {} ({} granularity{})",
+        config.spec.display(),
+        config.socket.display(),
+        config.granularity,
+        match &config.cache_dir {
+            Some(dir) => format!(", cache {}", dir.display()),
+            None => String::new(),
+        }
+    )
+    .map_err(|e| io_error("write failed", e))?;
+    out.flush().ok();
+
+    let session = &session;
+    let active = AtomicUsize::new(0);
+    let job_seq = AtomicUsize::new(0);
+    let jobs_active = AtomicUsize::new(0);
+    std::thread::scope(|scope| loop {
+        if drain_requested() && active.load(Ordering::Acquire) == 0 {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                active.fetch_add(1, Ordering::AcqRel);
+                let (active, job_seq, jobs_active) = (&active, &job_seq, &jobs_active);
+                scope.spawn(move || {
+                    handle_connection(stream, session, job_seq, jobs_active);
+                    active.fetch_sub(1, Ordering::AcqRel);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) => {
+                eprintln!("warning: accept failed: {e}");
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    });
+
+    std::fs::remove_file(&config.socket).ok();
+    if let Err(e) = session.persist_if_dirty() {
+        let _ = writeln!(out, "warning: could not persist cache: {e}");
+    }
+    writeln!(out, "drained after {} job(s)", session.jobs_run())
+        .map_err(|e| io_error("write failed", e))?;
+    Ok(0)
+}
+
+fn send_json(stream: &mut UnixStream, kind: u8, value: &Value) -> std::io::Result<()> {
+    let json = serde_json::to_string(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    write_frame(stream, kind, json.as_bytes())
+}
+
+fn send_error(stream: &mut UnixStream, message: String) {
+    let _ = send_json(
+        stream,
+        KIND_ERROR,
+        &Value::obj(vec![("message", Value::Str(message))]),
+    );
+}
+
+/// Decrement a counter when dropped: keeps `jobs_active` honest across
+/// every exit path of [`run_job`].
+struct CountGuard<'a>(&'a AtomicUsize);
+
+impl Drop for CountGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Serve one connection: any number of pings and job submissions until
+/// the peer hangs up (or violates the protocol).
+fn handle_connection(
+    mut stream: UnixStream,
+    session: &CheckSession,
+    job_seq: &AtomicUsize,
+    jobs_active: &AtomicUsize,
+) {
+    stream.set_read_timeout(Some(READ_POLL)).ok();
+    let pong = |session: &CheckSession, draining: bool| {
+        Value::obj(vec![
+            ("jobs_run", session.jobs_run().to_value()),
+            (
+                "jobs_active",
+                jobs_active.load(Ordering::Acquire).to_value(),
+            ),
+            ("draining", draining.to_value()),
+        ])
+    };
+    loop {
+        let frame = match read_frame(&mut Patient(&stream)) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return, // peer closed
+            Err(_) => return,   // timeout or torn frame: nothing sane to reply to
+        };
+        match frame {
+            (KIND_PING, _) => {
+                let _ = send_json(&mut stream, KIND_PONG, &pong(session, drain_requested()));
+            }
+            (KIND_SHUTDOWN, _) => {
+                request_drain();
+                let _ = send_json(&mut stream, KIND_PONG, &pong(session, true));
+            }
+            (KIND_JOB, payload) => {
+                if drain_requested() {
+                    send_error(
+                        &mut stream,
+                        "daemon is draining and accepts no new jobs".to_owned(),
+                    );
+                    continue;
+                }
+                let id = job_seq.fetch_add(1, Ordering::AcqRel) + 1;
+                jobs_active.fetch_add(1, Ordering::AcqRel);
+                let _running = CountGuard(jobs_active);
+                run_job(&mut stream, session, &payload, id);
+            }
+            (kind, _) => {
+                send_error(&mut stream, format!("unexpected frame kind 0x{kind:02x}"));
+                return;
+            }
+        }
+    }
+}
+
+/// Ingest one job's snapshot chunks and reply with its report.
+///
+/// The connection thread demultiplexes `PRE`/`POST` chunk frames into
+/// two unbounded in-memory pipes while the job thread runs the check
+/// over them — unbounded because the engine's streaming aligner pulls
+/// the two sides in lockstep, and a bounded pipe would deadlock against
+/// a client that (legitimately) sends one side first.
+fn run_job(stream: &mut UnixStream, session: &CheckSession, payload: &[u8], id: usize) {
+    let options = match std::str::from_utf8(payload)
+        .map_err(|e| e.to_string())
+        .and_then(|text| serde_json::from_str(text).map_err(|e| e.to_string()))
+        .and_then(|value| JobOptions::from_value(&value).map_err(|e| e.to_string()))
+    {
+        Ok(options) => options,
+        Err(e) => {
+            send_error(stream, format!("job-{id}: malformed job options: {e}"));
+            return;
+        }
+    };
+
+    let (pre_tx, pre_rx) = chunk_pipe();
+    let (post_tx, post_rx) = chunk_pipe();
+    let mut pre_tx = Some(pre_tx);
+    let mut post_tx = Some(post_tx);
+
+    let (result, protocol_error) = std::thread::scope(|scope| {
+        let job = scope.spawn(move || {
+            session.run(
+                JobSpec::streams(
+                    LabeledSource::new(pre_rx, format!("job-{id}:pre")),
+                    LabeledSource::new(post_rx, format!("job-{id}:post")),
+                )
+                .with_options(options),
+            )
+        });
+        let mut protocol_error: Option<String> = None;
+        while pre_tx.is_some() || post_tx.is_some() {
+            match read_frame(&mut Patient(&*stream)) {
+                Ok(Some((KIND_PRE, chunk))) => match (&pre_tx, chunk.is_empty()) {
+                    (Some(_), true) => drop(pre_tx.take()),
+                    (Some(tx), false) => {
+                        tx.send(chunk);
+                    }
+                    (None, _) => {
+                        protocol_error = Some(format!("job-{id}: pre chunk after end-of-side"));
+                        break;
+                    }
+                },
+                Ok(Some((KIND_POST, chunk))) => match (&post_tx, chunk.is_empty()) {
+                    (Some(_), true) => drop(post_tx.take()),
+                    (Some(tx), false) => {
+                        tx.send(chunk);
+                    }
+                    (None, _) => {
+                        protocol_error = Some(format!("job-{id}: post chunk after end-of-side"));
+                        break;
+                    }
+                },
+                Ok(Some((kind, _))) => {
+                    protocol_error = Some(format!(
+                        "job-{id}: unexpected frame kind 0x{kind:02x} during snapshot transfer"
+                    ));
+                    break;
+                }
+                Ok(None) => {
+                    protocol_error = Some(format!("job-{id}: connection closed mid-snapshot"));
+                    break;
+                }
+                Err(e) => {
+                    protocol_error = Some(format!("job-{id}: {e}"));
+                    break;
+                }
+            }
+        }
+        // dropping the senders gives the job clean EOFs, so it always
+        // terminates; its verdict is discarded on a protocol error
+        drop(pre_tx.take());
+        drop(post_tx.take());
+        (job.join(), protocol_error)
+    });
+
+    if let Some(message) = protocol_error {
+        send_error(stream, message);
+        return;
+    }
+    match result {
+        Ok(Ok(report)) => {
+            let stats = report.stats;
+            let reply = Value::obj(vec![
+                (
+                    "exit",
+                    if report.is_compliant() { 0u32 } else { 1u32 }.to_value(),
+                ),
+                ("report", Value::Str(report.to_string())),
+                (
+                    "stats",
+                    Value::obj(vec![
+                        ("fecs", stats.fecs.to_value()),
+                        ("classes", stats.classes.to_value()),
+                        ("warm_hits", stats.warm_hits.to_value()),
+                        ("dedup_hits", stats.dedup_hits.to_value()),
+                        ("fst_memo_hits", stats.fst_memo_hits.to_value()),
+                    ]),
+                ),
+            ]);
+            let _ = send_json(stream, KIND_REPORT, &reply);
+            if let Err(e) = session.persist_if_dirty() {
+                eprintln!("warning: could not persist cache: {e}");
+            }
+        }
+        Ok(Err(snapshot_error)) => {
+            send_error(stream, format!("invalid snapshot: {snapshot_error}"));
+        }
+        Err(_) => {
+            send_error(stream, format!("job-{id}: check panicked"));
+        }
+    }
+}

@@ -10,7 +10,7 @@
 //! Table 1's counterexamples (wrong T1 path with the bounce through B3;
 //! T2 collateral via the C-region detour) are also asserted.
 
-use rela_core::check::run_check;
+use rela_core::{CheckSession, JobSpec, SessionConfig};
 use rela_net::{FlowSpec, Granularity, SnapshotPair};
 use rela_sim::scenarios::{case_study, CASE_STUDY_SPEC, T1_COUNT, T2_COUNT, XA_COUNT};
 
@@ -30,7 +30,16 @@ fn check_iteration(spec: &str, iteration: usize) -> rela_core::CheckReport {
     let pre = study.pre_snapshot();
     let post = study.post_snapshot(iteration);
     let pair = SnapshotPair::align(&pre, &post);
-    run_check(spec, &study.topology.db, Granularity::Group, &pair).expect("check runs")
+    let session = CheckSession::open(
+        spec,
+        study.topology.db.clone(),
+        SessionConfig {
+            granularity: Granularity::Group,
+            ..SessionConfig::default()
+        },
+    )
+    .expect("check runs");
+    session.run(JobSpec::pair(&pair)).expect("in-memory pair")
 }
 
 #[test]
@@ -143,7 +152,15 @@ fn device_level_check_also_works() {
     let pre = study.pre_snapshot();
     let post = study.post_snapshot(3);
     let pair = SnapshotPair::align(&pre, &post);
-    let report = run_check(&report_spec, &study.topology.db, Granularity::Device, &pair)
-        .expect("check runs");
+    let session = CheckSession::open(
+        &report_spec,
+        study.topology.db.clone(),
+        SessionConfig {
+            granularity: Granularity::Device,
+            ..SessionConfig::default()
+        },
+    )
+    .expect("check runs");
+    let report = session.run(JobSpec::pair(&pair)).expect("in-memory pair");
     assert!(report.is_compliant(), "{report}");
 }

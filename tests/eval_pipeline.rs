@@ -4,10 +4,29 @@
 //! whole flow survives a JSON round trip (the file-based interface the
 //! paper's toolchain uses, §7).
 
-use rela::lang::check::run_check;
-use rela::net::{Granularity, Snapshot, SnapshotPair};
+use rela::lang::{CheckReport, CheckSession, JobSpec, RelaError, SessionConfig};
+use rela::net::{Granularity, LocationDb, Snapshot, SnapshotPair};
 use rela::sim::workload::{evaluation_specs, spec_of_size, synthetic_wan, WanParams};
 use rela::sim::{configured, simulate};
+
+/// Open a one-job session: the session API equivalent of the old
+/// `run_check` helper.
+fn run_check(
+    spec: &str,
+    db: &LocationDb,
+    granularity: Granularity,
+    pair: &SnapshotPair,
+) -> Result<CheckReport, RelaError> {
+    let session = CheckSession::open(
+        spec,
+        db.clone(),
+        SessionConfig {
+            granularity,
+            ..SessionConfig::default()
+        },
+    )?;
+    Ok(session.run(JobSpec::pair(pair)).expect("in-memory pair"))
+}
 
 fn small_params() -> WanParams {
     WanParams {

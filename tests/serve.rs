@@ -1,0 +1,340 @@
+//! End-to-end tests for the resident verification service: N concurrent
+//! clients against one warm daemon get replies byte-identical to a
+//! one-shot `rela check`, warm resubmission replays every class from the
+//! store, and `SIGTERM` drains gracefully — the in-flight job finishes,
+//! new submissions are refused, and the daemon exits 0.
+
+use rela::cli::{self, Command};
+use rela::lang::JobOptions;
+use rela::proto::{read_frame, write_frame, KIND_ERROR, KIND_JOB, KIND_PRE, KIND_REPORT};
+use serde::Serialize;
+use std::io::Read as _;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command as Process, Stdio};
+use std::time::{Duration, Instant};
+
+/// Strip timing/counter lines: what must be byte-identical across
+/// engines, cache states, and the serve path.
+fn verdict_bytes(text: &str) -> String {
+    text.lines()
+        .filter(|l| {
+            !l.starts_with("checked ")
+                && !l.starts_with("behavior classes:")
+                && !l.starts_with("cache:")
+                && !l.starts_with("warning:")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Write the Figure 1 demo inputs into a fresh temp dir.
+fn demo_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rela-serve-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    cli::run(&Command::Demo { out: dir.clone() }, &mut Vec::new()).expect("demo writes");
+    dir
+}
+
+/// A spawned daemon that is SIGKILLed and reaped if a test panics
+/// before its clean-drain assertions run, so a failing test never
+/// leaks a resident process (or a zombie).
+struct Daemon(Option<Child>);
+
+impl Daemon {
+    fn id(&self) -> u32 {
+        self.0.as_ref().expect("daemon not yet reaped").id()
+    }
+
+    /// Hand the child back for the clean-exit assertions; the guard no
+    /// longer kills it.
+    fn into_inner(mut self) -> Child {
+        self.0.take().expect("daemon not yet reaped")
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.0.take() {
+            child.kill().ok();
+            child.wait().ok();
+        }
+    }
+}
+
+/// Spawn `rela serve` on `socket` and wait until it answers pings.
+fn spawn_daemon(dir: &Path, socket: &Path, cache_dir: Option<&Path>) -> Daemon {
+    let mut cmd = Process::new(env!("CARGO_BIN_EXE_rela"));
+    cmd.args(["serve", "--socket"])
+        .arg(socket)
+        .arg("--spec")
+        .arg(dir.join("change.rela"))
+        .arg("--db")
+        .arg(dir.join("db.json"))
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    if let Some(cache) = cache_dir {
+        cmd.arg("--cache-dir").arg(cache);
+    }
+    let daemon = Daemon(Some(cmd.spawn().expect("daemon spawns")));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if cli::run(
+            &Command::Ping {
+                socket: socket.to_path_buf(),
+            },
+            &mut Vec::new(),
+        )
+        .is_ok()
+        {
+            return daemon;
+        }
+        assert!(Instant::now() < deadline, "daemon never became ready");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn submit(socket: &Path, dir: &Path, post: &str, cache_stats: bool) -> (i32, String) {
+    let mut sink = Vec::new();
+    let code = cli::run(
+        &Command::Submit {
+            socket: socket.to_path_buf(),
+            pre: dir.join("pre.json"),
+            post: dir.join(post),
+            job: JobOptions::default(),
+            cache_stats,
+        },
+        &mut sink,
+    )
+    .expect("submit succeeds");
+    (code, String::from_utf8(sink).unwrap())
+}
+
+/// Poll the daemon's status line until it contains `needle`.
+fn wait_for_ping(socket: &Path, needle: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let mut sink = Vec::new();
+        let answered = cli::run(
+            &Command::Ping {
+                socket: socket.to_path_buf(),
+            },
+            &mut sink,
+        )
+        .is_ok();
+        if answered && String::from_utf8(sink).unwrap().contains(needle) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon never reported {needle:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn wait_exit(daemon: Daemon, socket: &Path) {
+    let status = daemon.into_inner().wait().expect("daemon exits");
+    assert_eq!(status.code(), Some(0), "drained daemon must exit 0");
+    assert!(!socket.exists(), "socket must be unlinked after drain");
+}
+
+#[test]
+fn concurrent_submits_match_one_shot_and_replay_warm() {
+    let dir = demo_dir("concurrent");
+    let socket = dir.join("daemon.sock");
+    let cache = dir.join("cache");
+
+    // ground truth: a one-shot `rela check` of the same pair
+    let mut sink = Vec::new();
+    let one_shot_code = cli::run(
+        &Command::Check {
+            spec: dir.join("change.rela"),
+            db: dir.join("db.json"),
+            pre: dir.join("pre.json"),
+            post: dir.join("post_v2.json"),
+            granularity: rela::net::Granularity::Group,
+            threads: 1,
+            job: JobOptions::default(),
+            cache_dir: None,
+            cache_stats: false,
+        },
+        &mut sink,
+    )
+    .expect("one-shot check runs");
+    assert_eq!(one_shot_code, 1, "post_v2 has violations (Table 1)");
+    let one_shot = String::from_utf8(sink).unwrap();
+
+    let daemon = spawn_daemon(&dir, &socket, Some(&cache));
+
+    // N concurrent clients, one warm daemon: every reply byte-identical
+    let replies: Vec<(i32, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..3)
+            .map(|_| scope.spawn(|| submit(&socket, &dir, "post_v2.json", false)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (code, text) in &replies {
+        assert_eq!(*code, 1, "{text}");
+        assert_eq!(
+            verdict_bytes(text),
+            verdict_bytes(&one_shot),
+            "daemon reply diverged from one-shot check"
+        );
+    }
+
+    // resubmission replays every class from the warm store
+    let (code, text) = submit(&socket, &dir, "post_v2.json", true);
+    assert_eq!(code, 1, "{text}");
+    let cache_line = text
+        .lines()
+        .find(|l| l.starts_with("cache: "))
+        .expect("submit --cache-stats prints a cache line");
+    let mut counts = cache_line
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse::<usize>().unwrap());
+    let warm_hits = counts.next().expect("warm hits count");
+    let classes = counts.next().expect("classes count");
+    assert!(classes > 0, "{cache_line}");
+    assert_eq!(
+        warm_hits, classes,
+        "warm resubmit must replay every class: {cache_line}"
+    );
+    assert_eq!(verdict_bytes(&text), verdict_bytes(&one_shot));
+
+    // a different iteration through the same session still agrees with
+    // its own one-shot check (v4 is the compliant one)
+    let (code, _) = submit(&socket, &dir, "post_v4.json", false);
+    assert_eq!(code, 0, "post_v4 is compliant");
+
+    let mut sink = Vec::new();
+    cli::run(
+        &Command::Shutdown {
+            socket: socket.clone(),
+        },
+        &mut sink,
+    )
+    .expect("shutdown is acknowledged");
+    let ack = String::from_utf8(sink).unwrap();
+    assert!(ack.contains("draining"), "{ack}");
+    wait_exit(daemon, &socket);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_submission_reports_job_id_and_offset() {
+    let dir = demo_dir("malformed");
+    let socket = dir.join("daemon.sock");
+    let daemon = spawn_daemon(&dir, &socket, None);
+
+    let mut stream = UnixStream::connect(&socket).expect("connects");
+    let options = serde_json::to_string(&JobOptions::default().to_value()).unwrap();
+    write_frame(&mut stream, KIND_JOB, options.as_bytes()).unwrap();
+    write_frame(&mut stream, KIND_PRE, b"{\"fecs\": [this is not json").unwrap();
+    write_frame(&mut stream, KIND_PRE, b"").unwrap();
+    write_frame(&mut stream, rela::proto::KIND_POST, b"{\"fecs\": []}").unwrap();
+    write_frame(&mut stream, rela::proto::KIND_POST, b"").unwrap();
+    match read_frame(&mut stream).unwrap() {
+        Some((kind, payload)) => {
+            let text = String::from_utf8(payload).unwrap();
+            assert_eq!(kind, KIND_ERROR, "{text}");
+            // the diagnostic names the daemon-assigned job, the side,
+            // and where in the stream decoding failed
+            assert!(text.contains("job-1:pre"), "{text}");
+            assert!(text.contains("byte"), "{text}");
+        }
+        None => panic!("expected an error reply"),
+    }
+    drop(stream);
+
+    let mut sink = Vec::new();
+    cli::run(
+        &Command::Shutdown {
+            socket: socket.clone(),
+        },
+        &mut sink,
+    )
+    .expect("shutdown is acknowledged");
+    wait_exit(daemon, &socket);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sigterm_drains_in_flight_job_and_refuses_new_ones() {
+    let dir = demo_dir("drain");
+    let socket = dir.join("daemon.sock");
+    let daemon = spawn_daemon(&dir, &socket, None);
+
+    // start a job by hand and leave it mid-snapshot
+    let mut stream = UnixStream::connect(&socket).expect("connects");
+    let options = serde_json::to_string(&JobOptions::default().to_value()).unwrap();
+    write_frame(&mut stream, KIND_JOB, options.as_bytes()).unwrap();
+    let pre = std::fs::read(dir.join("pre.json")).unwrap();
+    let (head, tail) = pre.split_at(pre.len() / 2);
+    write_frame(&mut stream, KIND_PRE, head).unwrap();
+
+    // wait until the daemon has actually started the job — a SIGTERM
+    // racing the accept would (correctly) drain with nothing in flight
+    wait_for_ping(&socket, ", 1 in flight,");
+
+    // SIGTERM mid-job: the daemon must drain, not die
+    let pid = daemon.id().to_string();
+    let killed = Process::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("kill runs");
+    assert!(killed.success());
+    // wait until the daemon reports itself draining
+    wait_for_ping(&socket, "draining: true");
+
+    // new submissions are refused while draining
+    let mut refused = UnixStream::connect(&socket).expect("still accepting connections");
+    write_frame(&mut refused, KIND_JOB, options.as_bytes()).unwrap();
+    match read_frame(&mut refused).unwrap() {
+        Some((kind, payload)) => {
+            assert_eq!(kind, KIND_ERROR);
+            let text = String::from_utf8(payload).unwrap();
+            assert!(text.contains("draining"), "{text}");
+        }
+        None => panic!("expected a draining error reply"),
+    }
+    drop(refused);
+
+    // the in-flight job runs to completion and gets its report
+    write_frame(&mut stream, KIND_PRE, tail).unwrap();
+    write_frame(&mut stream, KIND_PRE, b"").unwrap();
+    let post = std::fs::read(dir.join("post_v4.json")).unwrap();
+    write_frame(&mut stream, rela::proto::KIND_POST, &post).unwrap();
+    write_frame(&mut stream, rela::proto::KIND_POST, b"").unwrap();
+    match read_frame(&mut stream).unwrap() {
+        Some((kind, payload)) => {
+            assert_eq!(kind, KIND_REPORT, "{}", String::from_utf8_lossy(&payload));
+            let text = String::from_utf8(payload).unwrap();
+            assert!(text.contains("\"exit\":0"), "{text}");
+        }
+        None => panic!("expected the in-flight job's report"),
+    }
+    drop(stream);
+
+    // with the last connection gone the drain completes
+    let mut child = daemon.into_inner();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            break status;
+        }
+        if Instant::now() >= deadline {
+            child.kill().ok();
+            child.wait().ok();
+            panic!("daemon never drained");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(status.code(), Some(0));
+    assert!(!socket.exists(), "socket must be unlinked after drain");
+    let mut out = String::new();
+    child.stdout.take().unwrap().read_to_string(&mut out).ok();
+    assert!(out.contains("drained after 1 job(s)"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -3,11 +3,30 @@
 //! every buggy implementation fails it — the executable version of the
 //! paper's §9.1 expressiveness claim.
 
-use rela::lang::check::run_check;
-use rela::net::SnapshotPair;
+use rela::lang::{CheckReport, CheckSession, JobSpec, RelaError, SessionConfig};
+use rela::net::{Granularity, LocationDb, SnapshotPair};
 use rela::sim::templates::{templates, IntentKind};
 use rela::sim::workload::{synthetic_wan, WanParams};
 use rela::sim::{configured, simulate};
+
+/// Open a one-job session: the session API equivalent of the old
+/// `run_check` helper.
+fn run_check(
+    spec: &str,
+    db: &LocationDb,
+    granularity: Granularity,
+    pair: &SnapshotPair,
+) -> Result<CheckReport, RelaError> {
+    let session = CheckSession::open(
+        spec,
+        db.clone(),
+        SessionConfig {
+            granularity,
+            ..SessionConfig::default()
+        },
+    )?;
+    Ok(session.run(JobSpec::pair(pair)).expect("in-memory pair"))
+}
 
 fn params() -> WanParams {
     WanParams {

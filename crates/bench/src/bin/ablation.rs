@@ -41,6 +41,7 @@ fn main() {
             SessionConfig {
                 granularity: Granularity::Group,
                 threads,
+                ..SessionConfig::default()
             },
         )
         .expect("compiles");

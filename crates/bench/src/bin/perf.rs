@@ -3,7 +3,7 @@
 //! machine-readable `BENCH_check.json` so the perf trajectory of the
 //! checker is observable (and gated) across PRs.
 //!
-//! Five scenario kinds:
+//! Seven scenario kinds:
 //!
 //! - **dedup** — the fig6/fig7 testbeds at several WAN scales, with
 //!   dedup on *and* off at equal thread count, asserting identical
@@ -31,6 +31,19 @@
 //!   child-process methodology; `speedup` is the wall ratio
 //!   (serial ÷ pipelined) and `rss_ratio` the memory cost of the
 //!   in-flight spans (pipelined ÷ serial).
+//! - **delta-ingest** — the §8.1 loop delta-first: a resident session
+//!   (`retain_base`) re-checks one iteration submitted as delta
+//!   documents (`rela-sim`'s native emitter) vs. the same pair
+//!   resubmitted in full with every verdict warm; `speedup` is
+//!   full-warm ÷ delta wall, reports byte-identical, decodes bounded
+//!   by the changed-record count.
+//! - **binary-ingest** — the cold pipelined path fed the
+//!   length-prefixed binary container (`rela snapshot pack` output)
+//!   vs. the same snapshots as JSON; `speedup` is JSON ÷ binary wall
+//!   and `rss_ratio` binary ÷ JSON peak RSS.
+//!
+//! Every scenario object carries `rss_ratio` — a positive measurement
+//! for the child-process ingest kinds, `null` for everything else.
 //!
 //! Run: `cargo run --release -p rela-bench --bin perf [-- --smoke]
 //!       [--out FILE] [--threads N]`
@@ -74,13 +87,15 @@ use rela_bench::{build_testbed, secs, Testbed};
 use rela_cache::VerdictStore;
 use rela_core::{
     compile_program, parse_program, CheckOptions, CheckReport, CheckSession, Checker,
-    CompiledProgram, JobOptions, JobSpec, SessionConfig,
+    CompiledProgram, JobOptions, JobSpec, LabeledSource, SessionConfig,
 };
 use rela_net::{
-    content_hash128, Granularity, Snapshot, SnapshotFramer, SnapshotPair, SnapshotReader,
-    SnapshotWriter,
+    content_hash128, BinarySnapshotWriter, Granularity, Snapshot, SnapshotFramer, SnapshotPair,
+    SnapshotReader, SnapshotWriter,
 };
-use rela_sim::workload::{iteration_changes, spec_of_size, synthetic_wan, WanParams};
+use rela_sim::workload::{
+    iteration_changes, iteration_deltas, spec_of_size, synthetic_wan, WanParams,
+};
 use rela_sim::{configured, simulate, simulate_each};
 use serde::{Serialize, Value};
 use std::io::BufWriter;
@@ -311,6 +326,9 @@ fn run_scenario(s: &Scenario, threads: usize, smoke: bool) -> Value {
             fields.push(("verdicts_match".to_owned(), Value::Null));
         }
     }
+    // rss_ratio is measured only by the ingest kinds; every scenario
+    // carries the key so consumers need no kind-specific schema
+    fields.push(("rss_ratio".to_owned(), Value::Null));
     Value::Obj(fields)
 }
 
@@ -384,6 +402,7 @@ fn run_iterative(threads: usize, smoke: bool) -> Value {
         SessionConfig {
             granularity,
             threads,
+            ..SessionConfig::default()
         },
     )
     .expect("spec compiles");
@@ -460,6 +479,7 @@ fn run_iterative(threads: usize, smoke: bool) -> Value {
     fields.push(("wall_nodedup_s".to_owned(), Value::Null));
     fields.push(("speedup".to_owned(), speedup.to_value()));
     fields.push(("verdicts_match".to_owned(), Value::Bool(verdicts_match)));
+    fields.push(("rss_ratio".to_owned(), Value::Null));
     Value::Obj(fields)
 }
 
@@ -737,6 +757,15 @@ fn run_ingest(name: &str, params: &WanParams, threads: usize) -> Value {
             None => Value::Null,
         },
     ));
+    // same orientation as the other ingest kinds: measured path ÷
+    // baseline (streamed ÷ materialized — the reciprocal of `speedup`)
+    fields.push((
+        "rss_ratio".to_owned(),
+        match (rss_stream, rss_mat) {
+            (Some(s), Some(m)) if m > 0.0 => (s / m).to_value(),
+            _ => Value::Null,
+        },
+    ));
     fields.push(("wall_nodedup_s".to_owned(), Value::Null));
     fields.push(("verdicts_match".to_owned(), Value::Bool(verdicts_match)));
     Value::Obj(fields)
@@ -899,6 +928,338 @@ fn pipelined_scales(smoke: bool) -> Vec<(&'static str, WanParams)> {
     ]
 }
 
+/// The **delta-ingest** scenario kind: the §8.1 loop delta-first. A
+/// resident session ([`SessionConfig::retain_base`] plus an in-memory
+/// verdict store) ingests the seed pair cold, advances one iteration in
+/// full (so the retained base is one small change behind), then
+/// receives the next iteration twice: once as the delta documents
+/// `rela-sim` now emits natively ([`iteration_deltas`]) and once as a
+/// full warm resubmission of the very same pair — the prior baseline,
+/// where every verdict is warm but every byte is still re-framed and
+/// re-hashed. Reports must be byte-identical (verdict fingerprint), the
+/// delta run may decode at most the changed records, and `speedup` is
+/// full-warm wall ÷ delta wall: the work-proportionality claim that
+/// wall time scales with the changed-FEC count, not the snapshot size.
+fn run_delta_ingest(name: &str, params: &WanParams, threads: usize, smoke: bool) -> Value {
+    eprintln!(
+        "[{name}] building delta iterations ({} regions, {} FECs/pair)...",
+        params.regions, params.fecs_per_pair,
+    );
+    let wan = synthetic_wan(params);
+    let di = iteration_deltas(&wan, params, 3);
+    let pre_json = di.pre.to_json().expect("snapshot serializes");
+    let posts: Vec<String> = di
+        .posts
+        .iter()
+        .map(|p| p.to_json().expect("snapshot serializes"))
+        .collect();
+
+    let source = spec_of_size(INGEST_SPEC_ATOMICS, params.regions);
+    let mut session = CheckSession::open(
+        &source,
+        wan.topology.db.clone(),
+        SessionConfig {
+            granularity: Granularity::Group,
+            threads,
+            retain_base: true,
+        },
+    )
+    .expect("spec compiles");
+    session.attach_store(VerdictStore::in_memory(session.epoch()));
+    let full = |session: &CheckSession, post: &str, label: &str| {
+        let t0 = Instant::now();
+        let report = session
+            .run(JobSpec::streams(
+                LabeledSource::new(pre_json.as_bytes(), "pre"),
+                LabeledSource::new(post.as_bytes(), label.to_owned()),
+            ))
+            .expect("snapshot streams");
+        (t0.elapsed(), report)
+    };
+    let (wall_cold, _) = full(&session, &posts[0], "post-0");
+    assert_eq!(
+        session.base_epoch(),
+        Some(di.seed_epoch),
+        "[{name}] the session's retained epoch must match the emitter's"
+    );
+    // advance the base to iteration 1 so the measured delta carries
+    // exactly one iteration's change
+    full(&session, &posts[1], "post-1");
+    let delta = &di.deltas[1];
+    let t0 = Instant::now();
+    let delta_report = session
+        .run(
+            JobSpec::deltas(
+                LabeledSource::new(&delta.pre_doc[..], "delta:pre"),
+                LabeledSource::new(&delta.post_doc[..], "delta:post"),
+            )
+            .with_options(JobOptions {
+                delta_base: Some(delta.base.as_u128()),
+                ..JobOptions::default()
+            }),
+        )
+        .expect("delta job");
+    let wall_delta = t0.elapsed();
+    assert!(
+        delta_report.stats.graph_decodes <= 2 * delta.changed,
+        "[{name}] delta decoded {} graphs for {} changed records",
+        delta_report.stats.graph_decodes,
+        delta.changed,
+    );
+    // the baseline: the same iteration-2 pair resubmitted in full with
+    // every verdict already warm — re-framing and re-hashing the whole
+    // snapshot is all that's left, which is exactly what a delta avoids
+    let (wall_full, full_report) = full(&session, &posts[2], "post-2");
+    let verdicts_match = report_fingerprint(&delta_report) == report_fingerprint(&full_report);
+    assert!(
+        verdicts_match,
+        "[{name}] delta and full reports diverged — the delta path is unsound"
+    );
+    let speedup = wall_full.as_secs_f64() / wall_delta.as_secs_f64().max(f64::EPSILON);
+    eprintln!(
+        "[{name}] {} FECs, {} changed | delta {} ({} decodes) vs full-warm {} ({speedup:.1}×) | cold {} | verdicts identical",
+        delta_report.stats.fecs,
+        delta.changed,
+        secs(wall_delta),
+        delta_report.stats.graph_decodes,
+        secs(wall_full),
+        secs(wall_cold),
+    );
+    if !smoke {
+        assert!(
+            speedup >= 5.0,
+            "[{name}] a delta must beat a warm full resubmission by ≥5× (got {speedup:.1}×)"
+        );
+    }
+
+    let mut fields = base_fields(
+        name,
+        "delta-ingest",
+        params,
+        INGEST_SPEC_ATOMICS,
+        Granularity::Group,
+        &delta_report,
+    );
+    fields.push(("changed_records".to_owned(), delta.changed.to_value()));
+    fields.push((
+        "graph_decodes".to_owned(),
+        delta_report.stats.graph_decodes.to_value(),
+    ));
+    fields.push(("wall_s".to_owned(), wall_delta.as_secs_f64().to_value()));
+    fields.push((
+        "wall_full_warm_s".to_owned(),
+        wall_full.as_secs_f64().to_value(),
+    ));
+    fields.push(("wall_cold_s".to_owned(), wall_cold.as_secs_f64().to_value()));
+    fields.push(("wall_nodedup_s".to_owned(), Value::Null));
+    fields.push(("speedup".to_owned(), speedup.to_value()));
+    fields.push(("verdicts_match".to_owned(), Value::Bool(verdicts_match)));
+    // in-process measurement — no per-path child, so no RSS isolation
+    fields.push(("rss_ratio".to_owned(), Value::Null));
+    Value::Obj(fields)
+}
+
+/// The delta-ingest scales: the 12k-FEC dedup-sweep scale point (the
+/// acceptance scale for work-proportional re-ingest) or a tiny smoke
+/// scale.
+fn delta_scales(smoke: bool) -> Vec<(&'static str, WanParams)> {
+    if smoke {
+        return vec![(
+            "delta-ingest-smoke",
+            WanParams {
+                regions: 3,
+                routers_per_group: 1,
+                parallel_links: 1,
+                fecs_per_pair: 32,
+            },
+        )];
+    }
+    vec![(
+        "delta-ingest-12k",
+        WanParams {
+            regions: 4,
+            routers_per_group: 2,
+            parallel_links: 2,
+            fecs_per_pair: 1024,
+        },
+    )]
+}
+
+/// Pack a JSON snapshot file into the binary container byte-exactly
+/// (raw span moves, never a graph decode), returning the output size.
+fn pack_binary(src: &Path, dst: &Path) -> u64 {
+    let label = src.display().to_string();
+    let input = std::fs::File::open(src).expect("snapshot file");
+    let mut framer = SnapshotFramer::new(std::io::BufReader::new(input), label.clone());
+    let out = std::fs::File::create(dst).expect("binary snapshot file");
+    let mut writer = BinarySnapshotWriter::new(BufWriter::new(out)).expect("binary header");
+    for raw in &mut framer {
+        let raw = raw.expect("snapshot frames");
+        let (flow, graph) = raw.split_spans(Some(&label)).expect("canonical records");
+        writer
+            .write_raw(&raw.bytes[flow], &raw.bytes[graph])
+            .expect("binary record");
+    }
+    writer.finish().expect("binary trailer");
+    std::fs::metadata(dst).expect("written file").len()
+}
+
+/// The **binary-ingest** scenario kind: the same cold pipelined
+/// validation fed the length-prefixed binary container
+/// (`docs/SNAPSHOT_FORMAT.md`) instead of JSON. The JSON files are
+/// packed with raw span moves (`rela snapshot pack` semantics), both
+/// containers run through the pipelined ingest in fresh child
+/// processes, and the reports must be byte-identical — the container is
+/// a transport encoding, never a semantic one. `speedup` is JSON wall ÷
+/// binary wall (length-prefixed framing skips the per-byte JSON
+/// scanner) and `rss_ratio` is binary ÷ JSON peak RSS.
+fn run_binary_ingest(name: &str, params: &WanParams, threads: usize) -> Value {
+    eprintln!(
+        "[{name}] generating snapshot files ({} regions, {} FECs/pair)...",
+        params.regions, params.fecs_per_pair,
+    );
+    let wan = synthetic_wan(params);
+    let dir = std::env::temp_dir().join(format!("rela-perf-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let pre_json = dir.join("pre.json");
+    let post_json = dir.join("post.json");
+    let t0 = Instant::now();
+    let json_bytes = write_snapshot_file(&pre_json, &wan.topology, &wan.config, &wan.traffic) + {
+        let post_cfg = configured(&wan.config, &wan.topology, &wan.representative_change);
+        write_snapshot_file(&post_json, &wan.topology, &post_cfg, &wan.traffic)
+    };
+    let gen = t0.elapsed();
+    let pre_rsnb = dir.join("pre.rsnb");
+    let post_rsnb = dir.join("post.rsnb");
+    let t0 = Instant::now();
+    let binary_bytes = pack_binary(&pre_json, &pre_rsnb) + pack_binary(&post_json, &post_rsnb);
+    let pack = t0.elapsed();
+    eprintln!(
+        "[{name}] packed {:.1} MiB of JSON into {:.1} MiB of binary in {}",
+        json_bytes as f64 / (1024.0 * 1024.0),
+        binary_bytes as f64 / (1024.0 * 1024.0),
+        secs(pack),
+    );
+
+    let json_run = ingest_child("pipelined", &pre_json, &post_json, params, threads);
+    let binary_run = ingest_child("pipelined", &pre_rsnb, &post_rsnb, params, threads);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let f = |v: &Value, key: &str| v.get(key).and_then(Value::as_f64);
+    let verdicts_match = binary_run.get("report_hash") == json_run.get("report_hash")
+        && binary_run.get("report_hash").is_some();
+    assert!(
+        verdicts_match,
+        "[{name}] binary and JSON ingest reports diverged — the container changed a verdict"
+    );
+    let wall_json = f(&json_run, "wall_s").unwrap_or(0.0);
+    let wall_binary = f(&binary_run, "wall_s").unwrap_or(0.0);
+    let speedup = if wall_binary > 0.0 {
+        Some(wall_json / wall_binary)
+    } else {
+        None
+    };
+    let rss_ratio = match (f(&binary_run, "peak_rss_kb"), f(&json_run, "peak_rss_kb")) {
+        (Some(b), Some(j)) if j > 0.0 => Some(b / j),
+        _ => None,
+    };
+    eprintln!(
+        "[{name}] {} FECs | binary {} vs JSON {} ({}) | RSS ratio {}",
+        binary_run.get("fecs").and_then(Value::as_u64).unwrap_or(0),
+        secs(Duration::from_secs_f64(wall_binary)),
+        secs(Duration::from_secs_f64(wall_json)),
+        speedup.map_or_else(|| "?".into(), |v| format!("{v:.2}×")),
+        rss_ratio.map_or_else(|| "?".into(), |v| format!("{v:.2}×")),
+    );
+
+    let copy = |v: &Value, key: &str| v.get(key).cloned().unwrap_or(Value::Null);
+    let mut fields = vec![
+        ("name".to_owned(), name.to_value()),
+        ("kind".to_owned(), "binary-ingest".to_value()),
+        ("regions".to_owned(), params.regions.to_value()),
+        (
+            "routers_per_group".to_owned(),
+            params.routers_per_group.to_value(),
+        ),
+        (
+            "parallel_links".to_owned(),
+            params.parallel_links.to_value(),
+        ),
+        (
+            "fecs_per_pair".to_owned(),
+            (params.fecs_per_pair as usize).to_value(),
+        ),
+        ("spec_atomics".to_owned(), INGEST_SPEC_ATOMICS.to_value()),
+        ("granularity".to_owned(), "group".to_value()),
+        ("snapshot_bytes".to_owned(), json_bytes.to_value()),
+        ("binary_bytes".to_owned(), binary_bytes.to_value()),
+        ("gen_s".to_owned(), gen.as_secs_f64().to_value()),
+        ("pack_s".to_owned(), pack.as_secs_f64().to_value()),
+    ];
+    for key in [
+        "fecs",
+        "classes",
+        "cache_hits",
+        "cache_hit_rate",
+        "violations",
+    ] {
+        fields.push((key.to_owned(), copy(&binary_run, key)));
+    }
+    fields.push(("wall_s".to_owned(), copy(&binary_run, "wall_s")));
+    fields.push(("wall_json_s".to_owned(), copy(&json_run, "wall_s")));
+    fields.push((
+        "peak_rss_binary_kb".to_owned(),
+        copy(&binary_run, "peak_rss_kb"),
+    ));
+    fields.push((
+        "peak_rss_json_kb".to_owned(),
+        copy(&json_run, "peak_rss_kb"),
+    ));
+    fields.push((
+        "rss_ratio".to_owned(),
+        match rss_ratio {
+            Some(r) => r.to_value(),
+            None => Value::Null,
+        },
+    ));
+    fields.push((
+        "speedup".to_owned(),
+        match speedup {
+            Some(r) => r.to_value(),
+            None => Value::Null,
+        },
+    ));
+    fields.push(("wall_nodedup_s".to_owned(), Value::Null));
+    fields.push(("verdicts_match".to_owned(), Value::Bool(verdicts_match)));
+    Value::Obj(fields)
+}
+
+/// The binary-ingest scales: the 100k+ headline scale (the acceptance
+/// point is its cold wall against the committed JSON `cold-ingest-100k`
+/// trajectory), or a tiny smoke scale.
+fn binary_scales(smoke: bool) -> Vec<(&'static str, WanParams)> {
+    if smoke {
+        return vec![(
+            "binary-ingest-smoke",
+            WanParams {
+                regions: 3,
+                routers_per_group: 1,
+                parallel_links: 1,
+                fecs_per_pair: 32,
+            },
+        )];
+    }
+    vec![(
+        "binary-ingest-102k",
+        WanParams {
+            regions: 5,
+            routers_per_group: 2,
+            parallel_links: 2,
+            fecs_per_pair: 5120,
+        },
+    )]
+}
+
 /// The **ablation** scenario kind: does Hopcroft-minimizing each
 /// determinized equation side before the equivalence check pay for
 /// itself on the interface-granularity path explosion (ROADMAP:
@@ -993,6 +1354,7 @@ fn run_ablation(threads: usize, smoke: bool) -> Value {
     fields.push(("wall_nodedup_s".to_owned(), Value::Null));
     fields.push(("speedup".to_owned(), speedup.to_value()));
     fields.push(("verdicts_match".to_owned(), Value::Bool(verdicts_match)));
+    fields.push(("rss_ratio".to_owned(), Value::Null));
     Value::Obj(fields)
 }
 
@@ -1039,6 +1401,28 @@ fn validate(path: &str) {
             Some(Value::Float(f)) => assert!(*f > 0.0, "{name}: bad speedup {f}"),
             Some(Value::Null) if smoke => {}
             other => panic!("{name}: speedup is {other:?}"),
+        }
+        // every scenario carries rss_ratio: a positive measurement for
+        // the child-process ingest kinds, null elsewhere
+        match s.get("rss_ratio") {
+            Some(Value::Float(f)) => assert!(*f > 0.0, "{name}: bad rss_ratio {f}"),
+            Some(Value::Null) => {}
+            other => panic!("{name}: rss_ratio is {other:?}"),
+        }
+        if s.get("kind").and_then(Value::as_str) == Some("delta-ingest") {
+            let changed = s
+                .get("changed_records")
+                .and_then(Value::as_u64)
+                .expect("changed_records");
+            assert!(changed > 0, "{name}: a delta run must carry a real change");
+            let decodes = s
+                .get("graph_decodes")
+                .and_then(Value::as_u64)
+                .expect("graph_decodes");
+            assert!(
+                decodes <= 2 * changed,
+                "{name}: {decodes} decodes for {changed} changed records"
+            );
         }
         if s.get("kind").and_then(Value::as_str) == Some("iterative") {
             let warm = s
@@ -1119,6 +1503,12 @@ fn main() {
     for (name, params) in pipelined_scales(smoke) {
         results.push(run_pipelined_ingest(name, &params, threads));
     }
+    for (name, params) in delta_scales(smoke) {
+        results.push(run_delta_ingest(name, &params, threads, smoke));
+    }
+    for (name, params) in binary_scales(smoke) {
+        results.push(run_binary_ingest(name, &params, threads));
+    }
     let doc = Value::obj(vec![
         ("schema", "rela-perf/v1".to_value()),
         ("threads", threads.to_value()),
@@ -1143,6 +1533,8 @@ fn main() {
         // iterative runs; "-" when skipped (smoke)
         let baseline = match kind {
             "iterative" => s.get("wall_cold_s").and_then(Value::as_f64),
+            "delta-ingest" => s.get("wall_full_warm_s").and_then(Value::as_f64),
+            "binary-ingest" => s.get("wall_json_s").and_then(Value::as_f64),
             _ => s.get("wall_nodedup_s").and_then(Value::as_f64),
         };
         let fmt_s = |v: Option<f64>| match v {

@@ -94,6 +94,15 @@ impl fmt::Display for CacheEpoch {
     }
 }
 
+/// XOR this into [`CacheKey::variant`] to key an entry by **raw record
+/// byte hashes** instead of behavior fingerprints. Byte-keyed entries
+/// short-circuit admission before any graph decode (`pre`/`post` carry
+/// `content_hash128` of the raw graph spans via
+/// `BehaviorHash::from_u128`); the salt keeps the two key families
+/// disjoint inside one epoch file even on the astronomically unlikely
+/// hash coincidence.
+pub const BYTE_VARIANT_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
 /// The identity of one cached verdict: everything that determines what
 /// the checker would decide for a behavior class, minus the spec and
 /// engine (which live in the epoch).

@@ -26,7 +26,7 @@ use crate::counterexample::{diff_equation, EquationDiff, PathRenderer, WitnessLi
 use crate::lower::{lower_pathset_dfa, lower_rel, PairFsas};
 use crate::pipeline::{
     Channel, ClassRef, ClassRegistry, DecideQueue, EagerOutcome, EagerTask, ErrorSink, FlowRef,
-    JoinMap, Joined, OneSided, PoisonOnPanic, Provenance, Recv, Side,
+    GraphSpan, JoinMap, Joined, JoinedSide, OneSided, PoisonOnPanic, Provenance, Recv, Side,
 };
 use crate::report::{
     CheckReport, CheckStats, FecResult, PartViolation, PhaseTimings, ViolationDetail,
@@ -35,12 +35,14 @@ use crate::rir::RirSpec;
 use rela_automata::{
     determinize, enumerate_words, equivalent, image, minimize, Dfa, Fst, Nfa, SymbolTable,
 };
-use rela_cache::{CacheEpoch, CacheKey, VerdictStore};
+use rela_cache::{CacheEpoch, CacheKey, VerdictStore, BYTE_VARIANT_SALT};
 use rela_net::{
-    behavior_hash, canonical_graph, content_hash128, graph_to_fsa_prepared, AlignedFec,
-    BehaviorHash, FlowSpec, ForwardingGraph, Granularity, LocationDb, RawRecord, SnapshotError,
-    SnapshotFramer, SnapshotPair, DROP_LOCATION,
+    behavior_hash, canonical_graph, content_hash128, decode_graph_span, graph_to_fsa_prepared,
+    pair_epoch, record_mix, side_fold, AlignedFec, BehaviorHash, FlowDecoded, FlowSpec,
+    ForwardingGraph, Granularity, LocationDb, RawRecord, SnapshotError, SnapshotFramer,
+    SnapshotPair, DROP_LOCATION,
 };
+use serde::{Serialize, Value};
 use std::borrow::Borrow;
 use std::collections::{BTreeSet, HashMap};
 use std::io::Read;
@@ -133,15 +135,85 @@ struct BehaviorClass {
     route: Option<usize>,
     members: Vec<usize>,
     key: Option<(BehaviorHash, BehaviorHash)>,
+    /// The founding member's raw-span content hashes, when the class
+    /// came through byte-level admission — fresh verdicts are mirrored
+    /// to the store under this key so the next run replays them without
+    /// decoding a byte.
+    byte_key: Option<(u128, u128)>,
+}
+
+/// One snapshot record retained for delta-base replay: the flow key,
+/// the undecoded graph span, the span's content hash, and the record's
+/// entry index in its stream.
+#[derive(Clone)]
+pub(crate) struct RetainedRecord {
+    pub(crate) flow: FlowSpec,
+    pub(crate) span: GraphSpan,
+    pub(crate) hash: u128,
+    pub(crate) index: usize,
+}
+
+/// The snapshot pair retained after a successful pipelined run, kept so
+/// a later `--delta-base` submission can replay the unchanged records
+/// without the client resending (or the daemon re-framing) them. The
+/// epoch is content-derived ([`rela_net::pair_epoch`] over the per-side
+/// record folds), so it identifies the pair bytes themselves, not the
+/// job that carried them.
+pub(crate) struct RetainedBase {
+    pub(crate) epoch: u128,
+    pub(crate) pre: Vec<RetainedRecord>,
+    pub(crate) post: Vec<RetainedRecord>,
+}
+
+/// A shared slot for the most recent [`RetainedBase`] — the session owns
+/// it; the checker fills it after each successful pipelined run.
+pub(crate) type RetentionSlot = Mutex<Option<Arc<RetainedBase>>>;
+
+/// One pre-framed pipeline input, used by the delta path to mix replayed
+/// base records with the freshly framed delta records.
+pub(crate) enum PreparedItem {
+    /// A record framed from a delta document (an upsert): decoded and
+    /// admitted exactly like a framer-produced record.
+    Record { side: Side, raw: RawRecord },
+    /// An unchanged base record whose partner side changed: replays
+    /// through the flow join to meet the new partner.
+    Replay { side: Side, record: RetainedRecord },
+    /// A flow unchanged on both sides: admitted as a pre-joined pair,
+    /// skipping the join map entirely.
+    PairReplay {
+        pre: RetainedRecord,
+        post: RetainedRecord,
+    },
+}
+
+/// One bounded-channel message: a batch of framed raw records from a
+/// framer thread, or a batch of prepared items from the delta feeder.
+pub(crate) enum PipeBatch {
+    Raw(Side, Vec<RawRecord>),
+    Prepared(Vec<PreparedItem>),
+}
+
+/// What feeds the pipelined engine: two snapshot framers (the full
+/// path) or a pre-built item list (the delta path).
+enum PipeFeed<A: Read, B: Read> {
+    // boxed: a framer's buffers dwarf the prepared-items variant
+    Framers(Box<SnapshotFramer<A>>, Box<SnapshotFramer<B>>),
+    Prepared(Vec<PreparedItem>),
 }
 
 /// Per-worker state of the pipelined cold path: the flows this worker
 /// completed pairs for (concatenated into the global flow list after the
-/// join), its eager consult/decide outcomes, and its phase timings.
+/// join), its eager consult/decide outcomes, its phase timings, the
+/// graph decodes it actually performed, the symbol names replayed out of
+/// byte-keyed store entries, and the records captured for delta-base
+/// retention.
 struct PipelineWorkerState {
     flows: Vec<FlowSpec>,
     outcomes: Vec<(ClassRef, EagerOutcome)>,
     phases: PhaseTimings,
+    decodes: usize,
+    symbols: BTreeSet<String>,
+    captured: Vec<(Side, RetainedRecord)>,
 }
 
 impl PipelineWorkerState {
@@ -150,6 +222,9 @@ impl PipelineWorkerState {
             flows: Vec::new(),
             outcomes: Vec::new(),
             phases: PhaseTimings::default(),
+            decodes: 0,
+            symbols: BTreeSet::new(),
+            captured: Vec::new(),
         }
     }
 }
@@ -166,7 +241,7 @@ const FRAME_BATCH: usize = 16;
 fn frame_side<R: Read>(
     mut framer: SnapshotFramer<R>,
     side: Side,
-    channel: &Channel<(Side, Vec<RawRecord>)>,
+    channel: &Channel<PipeBatch>,
     errors: &ErrorSink,
     producers_left: &AtomicUsize,
 ) {
@@ -181,7 +256,7 @@ fn frame_side<R: Read>(
                 batch.push(raw);
                 if batch.len() == FRAME_BATCH {
                     let full = std::mem::replace(&mut batch, Vec::with_capacity(FRAME_BATCH));
-                    if channel.send((side, full)).is_err() {
+                    if channel.send(PipeBatch::Raw(side, full)).is_err() {
                         batch = Vec::new();
                         break; // poisoned: the pipeline is aborting
                     }
@@ -195,11 +270,60 @@ fn frame_side<R: Read>(
         }
     }
     if !batch.is_empty() {
-        let _ = channel.send((side, batch));
+        let _ = channel.send(PipeBatch::Raw(side, batch));
     }
     if producers_left.fetch_sub(1, Ordering::AcqRel) == 1 {
         channel.close();
     }
+}
+
+/// The delta-path producer body: streams pre-built items (replays and
+/// framed delta records) over the same bounded channel the framers use,
+/// so back-pressure and abort behave identically in both modes.
+fn feed_prepared(
+    items: Vec<PreparedItem>,
+    channel: &Channel<PipeBatch>,
+    errors: &ErrorSink,
+    producers_left: &AtomicUsize,
+) {
+    let _poison_guard = PoisonOnPanic(channel);
+    let mut batch: Vec<PreparedItem> = Vec::with_capacity(FRAME_BATCH);
+    for item in items {
+        if errors.aborted() {
+            break;
+        }
+        batch.push(item);
+        if batch.len() == FRAME_BATCH {
+            let full = std::mem::replace(&mut batch, Vec::with_capacity(FRAME_BATCH));
+            if channel.send(PipeBatch::Prepared(full)).is_err() {
+                batch = Vec::new();
+                break; // poisoned: the pipeline is aborting
+            }
+        }
+    }
+    if !batch.is_empty() {
+        let _ = channel.send(PipeBatch::Prepared(batch));
+    }
+    if producers_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+        channel.close();
+    }
+}
+
+/// Fold `symbols` into a cached-verdict payload as a sorted `symbols`
+/// array (replacing any present). Byte-keyed entries must carry the
+/// founding representative's interned location names: a byte-warm class
+/// replays with a placeholder rep that contributes nothing to the run's
+/// symbol table, so the table — and with it the witness bytes of every
+/// *other* class — would drift from the full-decode run without them.
+fn payload_with_symbols(mut payload: Value, symbols: &BTreeSet<String>) -> Value {
+    if let Value::Obj(fields) = &mut payload {
+        fields.retain(|(k, _)| k != "symbols");
+        fields.push((
+            "symbols".to_owned(),
+            Value::Arr(symbols.iter().map(|s| s.to_value()).collect()),
+        ));
+    }
+    payload
 }
 
 /// Content fingerprint of a symbol table's interned location-name set
@@ -308,6 +432,7 @@ pub struct Checker<'a> {
     options: CheckOptions,
     cache: Option<&'a VerdictStore>,
     memo: Option<&'a FstMemo>,
+    retention: Option<&'a RetentionSlot>,
 }
 
 impl<'a> Checker<'a> {
@@ -319,6 +444,7 @@ impl<'a> Checker<'a> {
             options: CheckOptions::default(),
             cache: None,
             memo: None,
+            retention: None,
         }
     }
 
@@ -344,6 +470,14 @@ impl<'a> Checker<'a> {
     /// memo concurrently.
     pub(crate) fn with_memo(mut self, memo: &'a FstMemo) -> Checker<'a> {
         self.memo = Some(memo);
+        self
+    }
+
+    /// Retain the snapshot pair of each successful pipelined run into
+    /// `slot` (crate-internal: the session owns the slot and uses it to
+    /// serve `--delta-base` submissions against the retained epoch).
+    pub(crate) fn with_retention(mut self, slot: &'a RetentionSlot) -> Checker<'a> {
+        self.retention = Some(slot);
         self
     }
 
@@ -393,6 +527,7 @@ impl<'a> Checker<'a> {
                     route: self.route_of(&fec),
                     members: vec![ix],
                     key: None,
+                    byte_key: None,
                 });
                 reps.push(fec);
                 continue;
@@ -408,6 +543,7 @@ impl<'a> Checker<'a> {
                         route,
                         members: vec![ix],
                         key: Some((pre, post)),
+                        byte_key: None,
                     });
                     reps.push(fec);
                 }
@@ -456,6 +592,40 @@ impl<'a> Checker<'a> {
         A: Read + Send,
         B: Read + Send,
     {
+        let labels: [Option<String>; 2] = [
+            pre.label().map(str::to_owned),
+            post.label().map(str::to_owned),
+        ];
+        self.run_pipelined(PipeFeed::Framers(Box::new(pre), Box::new(post)), labels)
+    }
+
+    /// Check a pre-built item feed through the pipelined engine — the
+    /// delta path: replayed base records and freshly framed delta
+    /// records ride the same bounded channel, workers, and byte-level
+    /// admission as a full snapshot pair, which is what makes the delta
+    /// reply byte-identical to a full resubmission.
+    pub(crate) fn check_prepared(
+        &self,
+        items: Vec<PreparedItem>,
+        labels: [Option<String>; 2],
+    ) -> Result<CheckReport, SnapshotError> {
+        self.run_pipelined(
+            PipeFeed::<std::io::Empty, std::io::Empty>::Prepared(items),
+            labels,
+        )
+    }
+
+    /// The pipelined engine shared by [`Checker::check_pipelined`] and
+    /// the delta path.
+    fn run_pipelined<A, B>(
+        &self,
+        feed: PipeFeed<A, B>,
+        labels: [Option<String>; 2],
+    ) -> Result<CheckReport, SnapshotError>
+    where
+        A: Read + Send,
+        B: Read + Send,
+    {
         let start = Instant::now();
         let threads = self.resolve_threads();
         let workers = threads.max(1);
@@ -463,10 +633,6 @@ impl<'a> Checker<'a> {
             0 => DEFAULT_PIPELINE_DEPTH,
             depth => depth,
         };
-        let labels: [Option<String>; 2] = [
-            pre.label().map(str::to_owned),
-            post.label().map(str::to_owned),
-        ];
         let default_lowered = LoweredCheck::new(&self.program.default_check);
         let routed_lowered: Vec<LoweredCheck<'_>> = self
             .program
@@ -476,7 +642,7 @@ impl<'a> Checker<'a> {
             .collect();
 
         // capacity counts batches; ≈ depth × workers records in flight
-        let channel: Channel<(Side, Vec<RawRecord>)> =
+        let channel: Channel<PipeBatch> =
             Channel::new(depth.saturating_mul(workers).div_ceil(FRAME_BATCH).max(2));
         let shards = workers.next_power_of_two().max(8);
         let join = JoinMap::new(shards);
@@ -486,13 +652,23 @@ impl<'a> Checker<'a> {
         let local_memo = FstMemo::new();
         let memo: &FstMemo = self.memo.unwrap_or(&local_memo);
         let memo_hits_before = memo.hits.load(Ordering::Relaxed);
-        let producers_left = AtomicUsize::new(2);
+        let producers_left = AtomicUsize::new(match &feed {
+            PipeFeed::Framers(..) => 2,
+            PipeFeed::Prepared(..) => 1,
+        });
 
         let mut locals: Vec<PipelineWorkerState> = std::thread::scope(|scope| {
             {
                 let (channel, errors, left) = (&channel, &errors, &producers_left);
-                scope.spawn(move || frame_side(pre, Side::Pre, channel, errors, left));
-                scope.spawn(move || frame_side(post, Side::Post, channel, errors, left));
+                match feed {
+                    PipeFeed::Framers(pre, post) => {
+                        scope.spawn(move || frame_side(*pre, Side::Pre, channel, errors, left));
+                        scope.spawn(move || frame_side(*post, Side::Post, channel, errors, left));
+                    }
+                    PipeFeed::Prepared(items) => {
+                        scope.spawn(move || feed_prepared(items, channel, errors, left));
+                    }
+                }
             }
             let handles: Vec<_> = (0..workers)
                 .map(|worker| {
@@ -532,47 +708,55 @@ impl<'a> Checker<'a> {
         }
 
         // Both streams ended cleanly: drain flows seen on one side only
-        // (the missing side is the empty graph, hashed at the same
-        // level, exactly as the serial fingerprint pass would).
+        // (the missing side is the canonical empty-graph span, so it
+        // byte-hashes and fingerprints exactly as the serial pass
+        // would). Sorted by entry index so a decode error surfaces for
+        // the record the serial reader would hit first.
         let mut drain_state = PipelineWorkerState::new();
-        for one in join.drain_one_sided() {
+        let empty_span = GraphSpan::whole(
+            serde_json::to_string(&ForwardingGraph::default().to_value())
+                .expect("the empty graph serializes")
+                .into_bytes(),
+        );
+        let empty_hash = content_hash128(empty_span.as_slice());
+        let mut one_sided = join.drain_one_sided();
+        one_sided.sort_by_key(|one| (one.provenance.index, one.side));
+        for one in one_sided {
             let OneSided {
                 flow,
                 side,
-                graph,
+                span,
                 hash,
+                provenance,
             } = one;
             let route = self.route_of_flow(&flow);
-            let empty_hash = self.options.dedup.then(|| {
-                behavior_hash(&ForwardingGraph::default(), self.db, self.hash_level(route))
-            });
-            let (fec, key) = match side {
-                Side::Pre => (
-                    AlignedFec {
-                        flow,
-                        pre: graph,
-                        post: ForwardingGraph::default(),
-                    },
-                    hash.zip(empty_hash),
-                ),
-                Side::Post => (
-                    AlignedFec {
-                        flow,
-                        pre: ForwardingGraph::default(),
-                        post: graph,
-                    },
-                    empty_hash.zip(hash),
-                ),
+            let own = JoinedSide {
+                span,
+                hash,
+                provenance,
             };
-            self.pipeline_admit(
+            let absent = JoinedSide {
+                span: empty_span.clone(),
+                hash: empty_hash,
+                provenance,
+            };
+            let (pre_side, post_side) = match side {
+                Side::Pre => (own, absent),
+                Side::Post => (absent, own),
+            };
+            if let Err((_, e)) = self.pipeline_admit_spans(
                 workers, // the drain acts as one extra pseudo-worker
-                fec,
-                key,
+                flow,
                 route,
+                pre_side,
+                post_side,
                 &registry,
                 &decide_queue,
+                &labels,
                 &mut drain_state,
-            );
+            ) {
+                return Err(e);
+            }
         }
         locals.push(drain_state);
 
@@ -581,11 +765,17 @@ impl<'a> Checker<'a> {
         let mut offsets = Vec::with_capacity(locals.len());
         let mut flows: Vec<FlowSpec> = Vec::new();
         let mut outcomes: Vec<(ClassRef, EagerOutcome)> = Vec::new();
+        let mut graph_decodes = 0usize;
+        let mut replayed_symbols: BTreeSet<String> = BTreeSet::new();
+        let mut captured: Vec<(Side, RetainedRecord)> = Vec::new();
         for mut local in locals {
             offsets.push(flows.len());
             flows.append(&mut local.flows);
             outcomes.append(&mut local.outcomes);
             phases.merge(&local.phases);
+            graph_decodes += local.decodes;
+            replayed_symbols.extend(local.symbols);
+            captured.append(&mut local.captured);
         }
         let (accs, shard_offsets) = registry.into_classes();
         let mut classes: Vec<BehaviorClass> = Vec::with_capacity(accs.len());
@@ -594,6 +784,7 @@ impl<'a> Checker<'a> {
             classes.push(BehaviorClass {
                 route: acc.route,
                 key: acc.key,
+                byte_key: acc.byte_key,
                 members: acc
                     .members
                     .iter()
@@ -627,8 +818,11 @@ impl<'a> Checker<'a> {
 
         // Final decides under the run's definitive sorted table — the
         // same table every batch engine would build, which is what makes
-        // witness bytes identical across engines.
-        let names = self.collect_symbols(&reps);
+        // witness bytes identical across engines. Byte-warm classes
+        // replay with placeholder reps, so the symbol names their
+        // payloads recorded are folded back in here.
+        let mut names = self.collect_symbols(&reps);
+        names.extend(replayed_symbols);
         let table_fp = table_fingerprint(&names);
         let table = self.table_of(&names);
         let (fresh, final_phases) = self.decide_classes(
@@ -645,13 +839,47 @@ impl<'a> Checker<'a> {
         phases.merge(&final_phases);
 
         // Write every fresh decision back to the store (eager compliant
-        // verdicts and finisher decisions alike).
+        // verdicts and finisher decisions alike) — under the behavior
+        // key, and mirrored under the founding byte key so the next run
+        // can replay without decoding.
         if let Some(cache) = self.cache {
             for (ix, result, wall, class_phases) in done.iter().chain(fresh.iter()) {
-                if let Some(key) = self.store_key(&classes[*ix]) {
-                    cache.put(&key, result.to_cache_value(*wall, class_phases));
+                let class = &classes[*ix];
+                if let Some(key) = self.store_key(class) {
+                    let value = result.to_cache_value(*wall, class_phases);
+                    if let Some(byte_key) = class.byte_key {
+                        let symbols = self.collect_symbols(std::slice::from_ref(&reps[*ix]));
+                        cache.put(
+                            &self.byte_store_key(byte_key, class.route),
+                            payload_with_symbols(value.clone(), &symbols),
+                        );
+                    }
+                    cache.put(&key, value);
                 }
             }
+        }
+
+        // Retain the pair for delta-base replay (only a clean, complete
+        // run may become a base).
+        if let Some(slot) = self.retention {
+            captured.sort_by_key(|(side, record)| (*side, record.index));
+            let mut pre_records = Vec::new();
+            let mut post_records = Vec::new();
+            for (side, record) in captured {
+                match side {
+                    Side::Pre => pre_records.push(record),
+                    Side::Post => post_records.push(record),
+                }
+            }
+            let fold_of = |records: &[RetainedRecord]| {
+                side_fold(records.iter().map(|r| record_mix(&r.flow, r.hash)))
+            };
+            let epoch = pair_epoch(fold_of(&pre_records), fold_of(&post_records)).as_u128();
+            *slot.lock().expect("retention lock") = Some(Arc::new(RetainedBase {
+                epoch,
+                pre: pre_records,
+                post: post_records,
+            }));
         }
 
         let decided: Vec<(usize, FecResult, Duration)> = done
@@ -669,6 +897,7 @@ impl<'a> Checker<'a> {
                 .load(Ordering::Relaxed)
                 .saturating_sub(memo_hits_before),
             phases,
+            graph_decodes,
         ))
     }
 
@@ -679,7 +908,7 @@ impl<'a> Checker<'a> {
     fn pipeline_worker(
         &self,
         worker: usize,
-        channel: &Channel<(Side, Vec<RawRecord>)>,
+        channel: &Channel<PipeBatch>,
         join: &JoinMap,
         registry: &ClassRegistry,
         decide_queue: &DecideQueue,
@@ -693,12 +922,29 @@ impl<'a> Checker<'a> {
         let mut state = PipelineWorkerState::new();
         loop {
             match channel.recv(Duration::from_millis(1)) {
-                Recv::Item((side, batch)) => {
+                Recv::Item(PipeBatch::Raw(side, batch)) => {
                     for raw in batch {
                         if let Err((side, e)) = self.pipeline_record(
                             worker,
                             side,
                             raw,
+                            join,
+                            registry,
+                            decide_queue,
+                            labels,
+                            &mut state,
+                        ) {
+                            errors.record(side, e);
+                            channel.poison();
+                            break;
+                        }
+                    }
+                }
+                Recv::Item(PipeBatch::Prepared(batch)) => {
+                    for item in batch {
+                        if let Err((side, e)) = self.pipeline_prepared(
+                            worker,
+                            item,
                             join,
                             registry,
                             decide_queue,
@@ -721,8 +967,90 @@ impl<'a> Checker<'a> {
         }
     }
 
-    /// Decode one framed record, fingerprint its side, and join it with
-    /// its partner; a completed pair is admitted to the class registry.
+    /// Process one prepared (delta-path) item.
+    #[allow(clippy::too_many_arguments)] // internal; mirrors the engine's data flow
+    fn pipeline_prepared(
+        &self,
+        worker: usize,
+        item: PreparedItem,
+        join: &JoinMap,
+        registry: &ClassRegistry,
+        decide_queue: &DecideQueue,
+        labels: &[Option<String>; 2],
+        state: &mut PipelineWorkerState,
+    ) -> Result<(), (Side, SnapshotError)> {
+        match item {
+            PreparedItem::Record { side, raw } => self.pipeline_record(
+                worker,
+                side,
+                raw,
+                join,
+                registry,
+                decide_queue,
+                labels,
+                state,
+            ),
+            PreparedItem::Replay { side, record } => {
+                let provenance = Provenance {
+                    index: record.index,
+                    offset: 0, // replayed spans have no document offset
+                };
+                self.pipeline_side(
+                    worker,
+                    side,
+                    record.flow,
+                    record.span,
+                    record.hash,
+                    provenance,
+                    join,
+                    registry,
+                    decide_queue,
+                    labels,
+                    state,
+                )
+            }
+            PreparedItem::PairReplay { pre, post } => {
+                if self.retention.is_some() {
+                    state.captured.push((Side::Pre, pre.clone()));
+                    state.captured.push((Side::Post, post.clone()));
+                }
+                let flow = pre.flow;
+                let route = self.route_of_flow(&flow);
+                let pre_side = JoinedSide {
+                    span: pre.span,
+                    hash: pre.hash,
+                    provenance: Provenance {
+                        index: pre.index,
+                        offset: 0,
+                    },
+                };
+                let post_side = JoinedSide {
+                    span: post.span,
+                    hash: post.hash,
+                    provenance: Provenance {
+                        index: post.index,
+                        offset: 0,
+                    },
+                };
+                self.pipeline_admit_spans(
+                    worker,
+                    flow,
+                    route,
+                    pre_side,
+                    post_side,
+                    registry,
+                    decide_queue,
+                    labels,
+                    state,
+                )
+            }
+        }
+    }
+
+    /// Decode one framed record's flow key, fingerprint its raw graph
+    /// span, and hand it to the side joiner. The graph itself stays
+    /// undecoded — byte-level admission decides whether decoding is
+    /// needed at all.
     #[allow(clippy::too_many_arguments)] // internal; mirrors the engine's data flow
     fn pipeline_record(
         &self,
@@ -740,22 +1068,85 @@ impl<'a> Checker<'a> {
             Side::Post => 1,
         }]
         .as_deref();
-        let (flow, graph) = raw.decode(label).map_err(|e| (side, e))?;
-        let route = self.route_of_flow(&flow);
-        let hash = self
-            .options
-            .dedup
-            .then(|| behavior_hash(&graph, self.db, self.hash_level(route)));
         let provenance = Provenance {
             index: raw.index,
             offset: raw.offset,
         };
-        match join.insert(side, &flow, graph, hash, provenance) {
+        let (flow, span) = match raw.decode_flow(label).map_err(|e| (side, e))? {
+            FlowDecoded::Split(flow, range) => (
+                flow,
+                GraphSpan {
+                    bytes: Arc::new(raw.bytes),
+                    range,
+                },
+            ),
+            // non-canonical encoding: re-serialize the parsed graph so
+            // byte keys are encoding-invariant
+            FlowDecoded::Full(flow, graph) => (
+                flow,
+                GraphSpan::whole(
+                    serde_json::to_string(&graph.to_value())
+                        .expect("a parsed graph re-serializes")
+                        .into_bytes(),
+                ),
+            ),
+        };
+        let hash = content_hash128(span.as_slice());
+        self.pipeline_side(
+            worker,
+            side,
+            flow,
+            span,
+            hash,
+            provenance,
+            join,
+            registry,
+            decide_queue,
+            labels,
+            state,
+        )
+    }
+
+    /// Join one fingerprinted side with its partner; a completed pair is
+    /// admitted to the class registry.
+    #[allow(clippy::too_many_arguments)] // internal; mirrors the engine's data flow
+    fn pipeline_side(
+        &self,
+        worker: usize,
+        side: Side,
+        flow: FlowSpec,
+        span: GraphSpan,
+        hash: u128,
+        provenance: Provenance,
+        join: &JoinMap,
+        registry: &ClassRegistry,
+        decide_queue: &DecideQueue,
+        labels: &[Option<String>; 2],
+        state: &mut PipelineWorkerState,
+    ) -> Result<(), (Side, SnapshotError)> {
+        if self.retention.is_some() {
+            state.captured.push((
+                side,
+                RetainedRecord {
+                    flow: flow.clone(),
+                    span: span.clone(),
+                    hash,
+                    index: provenance.index,
+                },
+            ));
+        }
+        let route = self.route_of_flow(&flow);
+        match join.insert(side, &flow, span, hash, provenance) {
             Joined::Pending => Ok(()),
             Joined::Duplicate(second) => {
                 // `second` is the occurrence with the larger entry index
                 // — what the serial reader names, whichever record a
                 // worker happened to decode first
+                let label = labels[match side {
+                    Side::Pre => 0,
+                    Side::Post => 1,
+                }]
+                .as_deref();
                 let mut e = SnapshotError::at(format!("duplicate flow {flow}"), second.offset)
                     .with_entry(second.index);
                 if let Some(label) = label {
@@ -763,69 +1154,208 @@ impl<'a> Checker<'a> {
                 }
                 Err((side, e))
             }
-            Joined::Paired {
-                fec,
-                pre_hash,
-                post_hash,
-            } => {
-                self.pipeline_admit(
-                    worker,
-                    fec,
-                    pre_hash.zip(post_hash),
-                    route,
-                    registry,
-                    decide_queue,
-                    state,
-                );
-                Ok(())
-            }
+            Joined::Paired { pre, post } => self.pipeline_admit_spans(
+                worker,
+                flow,
+                route,
+                pre,
+                post,
+                registry,
+                decide_queue,
+                labels,
+                state,
+            ),
         }
     }
 
-    /// Admit one aligned FEC to the class registry. A founding member
-    /// consults the persistent store right here on the worker (the
-    /// pipelined form of the sharded warm lookup); a store miss queues
-    /// the class for an eager decide.
+    /// Admit one paired flow to the class registry by its raw byte key.
+    /// A byte-key hit joins the already-resolved class with zero decode
+    /// work; a miss resolves a class — decode, fingerprint,
+    /// behavior-admit, store-consult — under the byte-shard lock, so
+    /// exactly one member per byte key pays for the decode.
     #[allow(clippy::too_many_arguments)] // internal; mirrors the engine's data flow
-    fn pipeline_admit(
+    fn pipeline_admit_spans(
         &self,
         worker: usize,
-        fec: AlignedFec,
-        key: Option<(BehaviorHash, BehaviorHash)>,
+        flow: FlowSpec,
         route: Option<usize>,
+        pre: JoinedSide,
+        post: JoinedSide,
         registry: &ClassRegistry,
         decide_queue: &DecideQueue,
+        labels: &[Option<String>; 2],
         state: &mut PipelineWorkerState,
-    ) {
+    ) -> Result<(), (Side, SnapshotError)> {
         let member = FlowRef {
             worker,
             local: state.flows.len(),
         };
-        state.flows.push(fec.flow.clone());
-        if let Some((class, rep)) = registry.admit(fec, key, route, member) {
-            let stub = BehaviorClass {
-                route,
-                members: Vec::new(),
-                key,
+        state.flows.push(flow.clone());
+        if !self.options.dedup {
+            let pre_graph = self.decode_side(Side::Pre, &pre, labels, state)?;
+            let post_graph = self.decode_side(Side::Post, &post, labels, state)?;
+            let fec = AlignedFec {
+                flow,
+                pre: pre_graph,
+                post: post_graph,
             };
-            let replay = self
-                .cache
-                .zip(self.store_key(&stub))
-                .and_then(|(cache, store_key)| {
-                    cache
-                        .get(&store_key)
-                        .and_then(|payload| FecResult::from_cache_value(&payload, rep.flow.clone()))
-                });
-            match replay {
-                Some(result) => state.outcomes.push((class, EagerOutcome::Warm(result))),
-                None => decide_queue.push(EagerTask {
-                    class,
-                    rep,
-                    route,
-                    key,
-                }),
+            let (class, rep) = registry.admit(fec, None, None, route, member);
+            let rep = rep.expect("a keyless admission founds a class");
+            decide_queue.push(EagerTask {
+                class,
+                rep,
+                route,
+                key: None,
+            });
+            return Ok(());
+        }
+        let byte_key = (pre.hash, post.hash, route.unwrap_or(usize::MAX));
+        registry.admit_by_bytes(byte_key, member, || {
+            self.resolve_byte_class(
+                &flow,
+                route,
+                &pre,
+                &post,
+                (pre.hash, post.hash),
+                member,
+                registry,
+                decide_queue,
+                labels,
+                state,
+            )
+        })?;
+        Ok(())
+    }
+
+    /// Resolve the behavior class for a byte-key founder: consult the
+    /// byte-keyed store first (a hit replays the verdict with **zero**
+    /// graph decodes), else decode both sides, fingerprint, admit by
+    /// behavior key, and — when this member also founds the behavior
+    /// class — consult the behavior-keyed store as before.
+    #[allow(clippy::too_many_arguments)] // internal; mirrors the engine's data flow
+    fn resolve_byte_class(
+        &self,
+        flow: &FlowSpec,
+        route: Option<usize>,
+        pre: &JoinedSide,
+        post: &JoinedSide,
+        byte_key: (u128, u128),
+        member: FlowRef,
+        registry: &ClassRegistry,
+        decide_queue: &DecideQueue,
+        labels: &[Option<String>; 2],
+        state: &mut PipelineWorkerState,
+    ) -> Result<ClassRef, (Side, SnapshotError)> {
+        if let Some(cache) = self.cache {
+            let key = self.byte_store_key(byte_key, route);
+            if let Some(payload) = cache.get(&key) {
+                if let Some(result) = FecResult::from_cache_value(&payload, flow.clone()) {
+                    // the placeholder representative renders nothing, so
+                    // the payload carries the symbols its class would
+                    // have contributed to the definitive table
+                    if let Some(symbols) = payload.get("symbols").and_then(|v| v.as_arr()) {
+                        for name in symbols {
+                            if let Some(name) = name.as_str() {
+                                state.symbols.insert(name.to_owned());
+                            }
+                        }
+                    }
+                    let placeholder = AlignedFec {
+                        flow: flow.clone(),
+                        pre: ForwardingGraph::default(),
+                        post: ForwardingGraph::default(),
+                    };
+                    let (class, _) = registry.admit(placeholder, None, None, route, member);
+                    state.outcomes.push((class, EagerOutcome::Warm(result)));
+                    return Ok(class);
+                }
             }
         }
+        let pre_graph = self.decode_side(Side::Pre, pre, labels, state)?;
+        let post_graph = self.decode_side(Side::Post, post, labels, state)?;
+        let level = self.hash_level(route);
+        let key = (
+            behavior_hash(&pre_graph, self.db, level),
+            behavior_hash(&post_graph, self.db, level),
+        );
+        let fec = AlignedFec {
+            flow: flow.clone(),
+            pre: pre_graph,
+            post: post_graph,
+        };
+        let (class, rep) = registry.admit(fec, Some(key), Some(byte_key), route, member);
+        let Some(rep) = rep else {
+            // joined a behavior class founded under a different byte key
+            return Ok(class);
+        };
+        let replay = self
+            .cache
+            .zip(self.store_key_parts(Some(key), route))
+            .and_then(|(cache, store_key)| {
+                cache.get(&store_key).and_then(|payload| {
+                    FecResult::from_cache_value(&payload, rep.flow.clone())
+                        .map(|result| (payload, result))
+                })
+            });
+        match replay {
+            Some((payload, result)) => {
+                if let Some(cache) = self.cache {
+                    // twin the behavior-warm verdict under the byte key
+                    // so the next identical snapshot skips the decode
+                    let symbols = self.collect_symbols(std::slice::from_ref(&rep));
+                    cache.put(
+                        &self.byte_store_key(byte_key, route),
+                        payload_with_symbols(payload, &symbols),
+                    );
+                }
+                state.outcomes.push((class, EagerOutcome::Warm(result)));
+            }
+            None => decide_queue.push(EagerTask {
+                class,
+                rep,
+                route,
+                key: Some(key),
+            }),
+        }
+        Ok(class)
+    }
+
+    /// Decode one side's graph span, attributing failures exactly as the
+    /// serial reader would for the same record.
+    fn decode_side(
+        &self,
+        side: Side,
+        joined: &JoinedSide,
+        labels: &[Option<String>; 2],
+        state: &mut PipelineWorkerState,
+    ) -> Result<ForwardingGraph, (Side, SnapshotError)> {
+        state.decodes += 1;
+        decode_graph_span(joined.span.as_slice()).map_err(|message| {
+            let label = labels[match side {
+                Side::Pre => 0,
+                Side::Post => 1,
+            }]
+            .as_deref();
+            if !joined.span.is_whole() {
+                // the span came out of an intact record: re-run the
+                // serial decoder over it so the error text matches the
+                // serial contract byte for byte
+                let raw = RawRecord {
+                    bytes: (*joined.span.bytes).clone(),
+                    offset: joined.provenance.offset,
+                    index: joined.provenance.index,
+                };
+                if let Err(e) = raw.decode(label) {
+                    return (side, e);
+                }
+            }
+            let mut e = SnapshotError::at(message, joined.provenance.offset)
+                .with_entry(joined.provenance.index);
+            if let Some(label) = label {
+                e = e.with_source_label(label);
+            }
+            (side, e)
+        })
     }
 
     /// Decide one class mid-ingest against a **per-class** symbol table
@@ -956,6 +1486,9 @@ impl<'a> Checker<'a> {
                 .load(Ordering::Relaxed)
                 .saturating_sub(memo_hits_before),
             phases,
+            // the batch paths materialize every record during ingest, so
+            // every record costs one graph decode
+            flows.len() * 2,
         )
     }
 
@@ -1131,6 +1664,7 @@ impl<'a> Checker<'a> {
         decided: Vec<(usize, FecResult, Duration)>,
         fst_memo_hits: usize,
         phases: PhaseTimings,
+        graph_decodes: usize,
     ) -> CheckReport
     where
         F: Borrow<FlowSpec>,
@@ -1163,6 +1697,7 @@ impl<'a> Checker<'a> {
             fst_memo_hits,
             phases,
             max_class_time,
+            graph_decodes,
         };
         CheckReport::with_stats(results, start.elapsed(), stats)
     }
@@ -1180,6 +1715,7 @@ impl<'a> Checker<'a> {
                     route: self.route_of(fec),
                     members: vec![ix],
                     key: None,
+                    byte_key: None,
                 })
                 .collect();
         }
@@ -1197,6 +1733,7 @@ impl<'a> Checker<'a> {
                         route,
                         members: vec![ix],
                         key: Some((pre, post)),
+                        byte_key: None,
                     });
                 }
             }
@@ -1284,7 +1821,12 @@ impl<'a> Checker<'a> {
     /// different options must never share an entry (`dedup`/`threads`
     /// only affect scheduling and are excluded).
     fn store_key(&self, class: &BehaviorClass) -> Option<CacheKey> {
-        let (pre, post) = class.key?;
+        self.store_key_parts(class.key, class.route)
+    }
+
+    /// The option fingerprint folded into every store key; see
+    /// [`Checker::store_key`].
+    fn store_variant(&self) -> u64 {
         let mut opts = [0u8; 25];
         opts[..8].copy_from_slice(&(self.options.witness.max_paths as u64).to_le_bytes());
         opts[8..16].copy_from_slice(&(self.options.witness.max_len as u64).to_le_bytes());
@@ -1292,13 +1834,36 @@ impl<'a> Checker<'a> {
         // side minimization changes witness enumeration order, i.e. the
         // payload bytes — never share entries across the ablation
         opts[24] = u8::from(self.options.minimize_sides);
+        content_hash128(&opts) as u64
+    }
+
+    /// [`Checker::store_key`] from the bare key parts.
+    fn store_key_parts(
+        &self,
+        key: Option<(BehaviorHash, BehaviorHash)>,
+        route: Option<usize>,
+    ) -> Option<CacheKey> {
+        let (pre, post) = key?;
         Some(CacheKey {
             pre,
             post,
             granularity: self.program.granularity,
-            route: class.route,
-            variant: content_hash128(&opts) as u64,
+            route,
+            variant: self.store_variant(),
         })
+    }
+
+    /// The byte-keyed twin of [`Checker::store_key`]: the span content
+    /// hashes stand in for the behavior hashes and the variant is
+    /// salted so the two key families can never collide.
+    fn byte_store_key(&self, byte_key: (u128, u128), route: Option<usize>) -> CacheKey {
+        CacheKey {
+            pre: BehaviorHash::from_u128(byte_key.0),
+            post: BehaviorHash::from_u128(byte_key.1),
+            granularity: self.program.granularity,
+            route,
+            variant: self.store_variant() ^ BYTE_VARIANT_SALT,
+        }
     }
 
     /// The first pspec whose predicate matches the flow, if any.
@@ -1678,59 +2243,6 @@ fn render_language(nfa: &Nfa, renderer: &PathRenderer<'_>, limits: WitnessLimits
         .into_iter()
         .map(|w| renderer.render_witness(&w))
         .collect()
-}
-
-/// Convenience entry point: parse, compile, and check in one call.
-///
-/// Superseded by the session API, which holds the compiled spec (and
-/// optionally a verdict store and FST memo) across any number of jobs —
-/// this wrapper opens a throwaway session per call:
-///
-/// ```
-/// use rela_core::{CheckSession, JobSpec, SessionConfig};
-/// use rela_net::{Device, LocationDb, Granularity, Snapshot, SnapshotPair,
-///                FlowSpec, linear_graph};
-///
-/// let mut db = LocationDb::new();
-/// db.add_device(Device::new("A1", "A1"));
-/// db.add_device(Device::new("B1", "B1"));
-///
-/// let mut pre = Snapshot::new();
-/// let flow = FlowSpec::new("10.0.0.0/24".parse().unwrap(), "A1");
-/// pre.insert(flow.clone(), linear_graph(&["A1", "B1"]));
-/// let mut post = Snapshot::new();
-/// post.insert(flow, linear_graph(&["A1", "B1"]));
-/// let pair = SnapshotPair::align(&pre, &post);
-///
-/// let session = CheckSession::open(
-///     "spec nochange := { .* : preserve }\ncheck nochange",
-///     db,
-///     SessionConfig { granularity: Granularity::Device, ..SessionConfig::default() },
-/// ).unwrap();
-/// let report = session.run(JobSpec::pair(&pair)).unwrap();
-/// assert!(report.is_compliant());
-/// ```
-#[deprecated(
-    since = "0.1.0",
-    note = "open a `CheckSession` and run a `JobSpec` instead"
-)]
-pub fn run_check(
-    source: &str,
-    db: &LocationDb,
-    granularity: Granularity,
-    pair: &SnapshotPair,
-) -> Result<CheckReport, crate::RelaError> {
-    let session = crate::session::CheckSession::open(
-        source,
-        db.clone(),
-        crate::session::SessionConfig {
-            granularity,
-            ..crate::session::SessionConfig::default()
-        },
-    )?;
-    Ok(session
-        .run(crate::session::JobSpec::pair(pair))
-        .expect("an in-memory pair cannot fail snapshot ingest"))
 }
 
 #[cfg(test)]
@@ -2414,11 +2926,15 @@ mod tests {
         let checker = Checker::new(&compiled, &db).with_cache(&store);
         let cold = pipelined(&checker, &pre, &post);
         assert_eq!(cold.stats.warm_hits, 0);
-        assert_eq!(store.stats().inserted, cold.stats.classes);
+        // every class stores its behavior-keyed entry plus the
+        // byte-keyed twin that lets identical bytes skip the decode
+        assert_eq!(store.stats().inserted, cold.stats.classes * 2);
         // ...and the warm pipelined run replays every class on the
-        // workers (no decides at all)
+        // workers (no decides at all) straight from the byte-keyed
+        // twins — without decoding a single graph
         let warm = pipelined(&checker, &pre, &post);
         assert_eq!(warm.stats.warm_hits, warm.stats.classes);
+        assert_eq!(warm.stats.graph_decodes, 0);
         assert_eq!(verdict_bytes(&warm), verdict_bytes(&cold));
         // the batch engines replay the very same store entries
         let batch_warm = Checker::new(&compiled, &db).with_cache(&store).check(&pair);

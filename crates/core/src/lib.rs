@@ -38,8 +38,6 @@ pub mod semantics;
 pub mod session;
 
 pub use ast::{Def, Modifier, PathRegex, PredExpr, Program, RirExpr, RirSpecExpr, SpecExpr};
-#[allow(deprecated)]
-pub use check::run_check;
 pub use check::{cache_epoch, CheckOptions, Checker, ENGINE_VERSION};
 pub use compile::{
     compile_program, CompileError, CompiledCheck, CompiledProgram, GuardedPart, RoutedCheck,

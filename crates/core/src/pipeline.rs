@@ -10,10 +10,11 @@
 //! drives these pieces from `std::thread::scope` workers.
 
 use crate::report::FecResult;
-use rela_net::{AlignedFec, BehaviorHash, FlowSpec, ForwardingGraph, SnapshotError};
+use rela_net::{AlignedFec, BehaviorHash, FlowSpec, SnapshotError};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
+use std::ops::Range;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -217,10 +218,44 @@ impl ErrorSink {
 
 // ---- sharded flow-join map ---------------------------------------------
 
-/// A spilled record waiting for its partner side.
+/// A raw graph-value span, shared without copying: `bytes` is the full
+/// backing buffer (typically an entire `{"flow":…,"graph":…}` record)
+/// and `range` addresses the graph value inside it. The byte-admission
+/// engine joins, hashes, and deduplicates these spans — a graph is only
+/// ever decoded when its byte content has not been seen before.
+#[derive(Clone)]
+pub(crate) struct GraphSpan {
+    pub(crate) bytes: Arc<Vec<u8>>,
+    pub(crate) range: Range<usize>,
+}
+
+impl GraphSpan {
+    /// Wrap a standalone buffer that *is* the span.
+    pub(crate) fn whole(bytes: Vec<u8>) -> GraphSpan {
+        let range = 0..bytes.len();
+        GraphSpan {
+            bytes: Arc::new(bytes),
+            range,
+        }
+    }
+
+    pub(crate) fn as_slice(&self) -> &[u8] {
+        &self.bytes[self.range.clone()]
+    }
+
+    /// Does the span cover its whole backing buffer (no enclosing
+    /// record to reconstruct error messages from)?
+    pub(crate) fn is_whole(&self) -> bool {
+        self.range == (0..self.bytes.len())
+    }
+}
+
+/// A spilled record waiting for its partner side: the undecoded graph
+/// span plus its content hash (decode happens only after the byte-level
+/// admission check on the joined pair).
 struct PendingSide {
-    graph: ForwardingGraph,
-    hash: Option<BehaviorHash>,
+    span: GraphSpan,
+    hash: u128,
     provenance: Provenance,
 }
 
@@ -255,19 +290,20 @@ struct JoinEntry {
     post: SideSlot,
 }
 
-/// What inserting one decoded record into the join produced.
-// the Paired payload is consumed immediately by the caller; boxing it
-// would add a per-record allocation for no resident-size benefit
-#[allow(clippy::large_enum_variant)]
+/// One half of a joined pair: the undecoded span, its content hash, and
+/// where the record sat in its stream.
+pub(crate) struct JoinedSide {
+    pub(crate) span: GraphSpan,
+    pub(crate) hash: u128,
+    pub(crate) provenance: Provenance,
+}
+
+/// What inserting one framed record into the join produced.
 pub(crate) enum Joined {
     /// Partner not seen yet; the record spilled into the join state.
     Pending,
-    /// Both sides are now known: a complete aligned FEC.
-    Paired {
-        fec: AlignedFec,
-        pre_hash: Option<BehaviorHash>,
-        post_hash: Option<BehaviorHash>,
-    },
+    /// Both sides are now known: an aligned span pair, still undecoded.
+    Paired { pre: JoinedSide, post: JoinedSide },
     /// The flow already appeared on this side; the payload is the
     /// provenance of the occurrence with the **larger** entry index
     /// (the second in stream order — the one the serial reader names),
@@ -276,13 +312,14 @@ pub(crate) enum Joined {
     Duplicate(Provenance),
 }
 
-/// An aligned FEC drained after both streams ended: present on one side
-/// only (the other side is the empty graph).
+/// A flow drained after both streams ended: present on one side only
+/// (the other side is the empty graph).
 pub(crate) struct OneSided {
     pub(crate) flow: FlowSpec,
     pub(crate) side: Side,
-    pub(crate) graph: ForwardingGraph,
-    pub(crate) hash: Option<BehaviorHash>,
+    pub(crate) span: GraphSpan,
+    pub(crate) hash: u128,
+    pub(crate) provenance: Provenance,
 }
 
 /// The streaming hash-join on the flow key, sharded by flow hash so
@@ -309,14 +346,14 @@ impl JoinMap {
         (hasher.finish() as usize) % self.shards.len()
     }
 
-    /// Insert one decoded record; pairs it with its partner if that side
+    /// Insert one framed record; pairs it with its partner if that side
     /// already arrived.
     pub(crate) fn insert(
         &self,
         side: Side,
         flow: &FlowSpec,
-        graph: ForwardingGraph,
-        hash: Option<BehaviorHash>,
+        span: GraphSpan,
+        hash: u128,
         provenance: Provenance,
     ) -> Joined {
         let mut shard = self.shards[self.shard_of(flow)].lock().expect("join lock");
@@ -345,24 +382,26 @@ impl JoinMap {
             SideSlot::Pending(partner) => {
                 *own = SideSlot::Done(provenance);
                 let PendingSide {
-                    graph: partner_graph,
+                    span: partner_span,
                     hash: partner_hash,
                     provenance: partner_provenance,
                 } = *partner;
                 *other = SideSlot::Done(partner_provenance);
-                let (pre, post, pre_hash, post_hash) = match side {
-                    Side::Pre => (graph, partner_graph, hash, partner_hash),
-                    Side::Post => (partner_graph, graph, partner_hash, hash),
+                let own_side = JoinedSide {
+                    span,
+                    hash,
+                    provenance,
                 };
-                Joined::Paired {
-                    fec: AlignedFec {
-                        flow: flow.clone(),
-                        pre,
-                        post,
-                    },
-                    pre_hash,
-                    post_hash,
-                }
+                let partner_side = JoinedSide {
+                    span: partner_span,
+                    hash: partner_hash,
+                    provenance: partner_provenance,
+                };
+                let (pre, post) = match side {
+                    Side::Pre => (own_side, partner_side),
+                    Side::Post => (partner_side, own_side),
+                };
+                Joined::Paired { pre, post }
             }
             restored @ SideSlot::Done(_) => {
                 *other = restored;
@@ -372,7 +411,7 @@ impl JoinMap {
             }
             SideSlot::Absent => {
                 *own = SideSlot::Pending(Box::new(PendingSide {
-                    graph,
+                    span,
                     hash,
                     provenance,
                 }));
@@ -392,14 +431,16 @@ impl JoinMap {
                     (SideSlot::Pending(pending), SideSlot::Absent) => out.push(OneSided {
                         flow,
                         side: Side::Pre,
-                        graph: pending.graph,
+                        span: pending.span,
                         hash: pending.hash,
+                        provenance: pending.provenance,
                     }),
                     (SideSlot::Absent, SideSlot::Pending(pending)) => out.push(OneSided {
                         flow,
                         side: Side::Post,
-                        graph: pending.graph,
+                        span: pending.span,
                         hash: pending.hash,
+                        provenance: pending.provenance,
                     }),
                     (SideSlot::Done(_), SideSlot::Done(_)) => {}
                     _ => unreachable!("join entry in an impossible end state"),
@@ -424,6 +465,13 @@ pub(crate) struct FlowRef {
 pub(crate) struct ClassAcc {
     pub(crate) route: Option<usize>,
     pub(crate) key: Option<(BehaviorHash, BehaviorHash)>,
+    /// The `(pre, post)` raw-span content hashes of the member that
+    /// founded the class, when it arrived through byte-level admission —
+    /// the key under which a fresh verdict is *also* written to the
+    /// store so the next run can replay it without decoding. `None` for
+    /// byte-warm placeholder classes (their byte entry already exists)
+    /// and with dedup off.
+    pub(crate) byte_key: Option<(u128, u128)>,
     /// The first member's aligned FEC — the class representative (shared
     /// with the decide queue, which may already be checking it).
     pub(crate) rep: Arc<AlignedFec>,
@@ -438,8 +486,14 @@ pub(crate) struct ClassRef {
     pub(crate) index: usize,
 }
 
+/// Behavior-class fingerprint key: the `(pre, post, route)` triple a
+/// class is admitted under. The byte-admission index reuses the same
+/// shape with span content hashes in place of behavior fingerprints
+/// and `usize::MAX` as the default-check route.
+pub(crate) type ClassKey = (u128, u128, usize);
+
 struct RegistryShard {
-    index: HashMap<(u128, u128, usize), usize>,
+    index: HashMap<ClassKey, usize>,
     classes: Vec<ClassAcc>,
 }
 
@@ -448,8 +502,15 @@ struct RegistryShard {
 /// graphs. Sharded by key hash so workers admitting different classes
 /// rarely contend. With dedup off every FEC founds its own class (the
 /// index map is bypassed), mirroring the serial engine.
+///
+/// A second sharded index maps **raw-span content hashes** to classes
+/// ([`ClassRegistry::admit_by_bytes`]): byte-identical records are
+/// identical JSON, hence identical graphs, hence the same behavior
+/// fingerprints — so once one member of a byte class has decoded and
+/// resolved, every later member joins without touching its bytes again.
 pub(crate) struct ClassRegistry {
     shards: Vec<Mutex<RegistryShard>>,
+    byte_index: Vec<Mutex<HashMap<ClassKey, ClassRef>>>,
     dedup: bool,
 }
 
@@ -464,21 +525,26 @@ impl ClassRegistry {
                     })
                 })
                 .collect(),
+            byte_index: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             dedup,
         }
     }
 
-    /// Admit one aligned FEC. Returns the representative handle when
-    /// this member *founded* the class (the caller then consults the
-    /// store or queues a decide); `None` when it joined an existing one
-    /// (its graphs are dropped with `fec`).
+    /// Admit one aligned FEC under its behavior fingerprint. Returns the
+    /// class it landed in, plus the representative handle when this
+    /// member *founded* the class (the caller then consults the store or
+    /// queues a decide); `None` when it joined an existing one (its
+    /// graphs are dropped with `fec`).
     pub(crate) fn admit(
         &self,
         fec: AlignedFec,
         key: Option<(BehaviorHash, BehaviorHash)>,
+        byte_key: Option<(u128, u128)>,
         route: Option<usize>,
         member: FlowRef,
-    ) -> Option<(ClassRef, Arc<AlignedFec>)> {
+    ) -> (ClassRef, Option<Arc<AlignedFec>>) {
         let (map_key, shard_ix) = match key {
             Some((pre, post)) if self.dedup => {
                 let map_key = (pre.as_u128(), post.as_u128(), route.unwrap_or(usize::MAX));
@@ -495,7 +561,13 @@ impl ClassRegistry {
         if let Some(map_key) = map_key {
             if let Some(&existing) = shard.index.get(&map_key) {
                 shard.classes[existing].members.push(member);
-                return None;
+                return (
+                    ClassRef {
+                        shard: shard_ix,
+                        index: existing,
+                    },
+                    None,
+                );
             }
             shard.index.insert(map_key, ix);
         }
@@ -503,16 +575,50 @@ impl ClassRegistry {
         shard.classes.push(ClassAcc {
             route,
             key,
+            byte_key,
             rep: rep.clone(),
             members: vec![member],
         });
-        Some((
+        (
             ClassRef {
                 shard: shard_ix,
                 index: ix,
             },
-            rep,
-        ))
+            Some(rep),
+        )
+    }
+
+    /// Add a member to an already-admitted class.
+    pub(crate) fn add_member(&self, class: ClassRef, member: FlowRef) {
+        let mut shard = self.shards[class.shard].lock().expect("registry lock");
+        shard.classes[class.index].members.push(member);
+    }
+
+    /// Byte-level admission: join the class already resolved for this
+    /// `(pre-span-hash, post-span-hash, route)` byte key, or run
+    /// `found` — decode, fingerprint, behavior-admit, store-consult —
+    /// to resolve one. `found` runs **under the byte-shard lock**, so
+    /// exactly one member per byte key decodes even when workers race;
+    /// lock order is byte shard → registry shard (acyclic, `found` may
+    /// call [`ClassRegistry::admit`]). Returns whether this member
+    /// founded the byte class.
+    pub(crate) fn admit_by_bytes<E>(
+        &self,
+        byte_key: ClassKey,
+        member: FlowRef,
+        found: impl FnOnce() -> Result<ClassRef, E>,
+    ) -> Result<bool, E> {
+        let mut hasher = DefaultHasher::new();
+        byte_key.hash(&mut hasher);
+        let shard_ix = (hasher.finish() as usize) % self.byte_index.len();
+        let mut shard = self.byte_index[shard_ix].lock().expect("byte index lock");
+        if let Some(&class) = shard.get(&byte_key) {
+            self.add_member(class, member);
+            return Ok(false);
+        }
+        let class = found()?;
+        shard.insert(byte_key, class);
+        Ok(true)
     }
 
     /// Flatten the shards into a single class list. Returns the classes

@@ -208,6 +208,13 @@ pub struct CheckStats {
     /// Wall-clock of the slowest single behavior class — the quantity
     /// work-stealing bounds the critical path by.
     pub max_class_time: Duration,
+    /// Forwarding graphs actually decoded during ingest. The pipelined
+    /// path admits records by raw-span content hash, so byte-identical
+    /// records beyond a class founder — and byte-warm classes replayed
+    /// from the store — cost zero decodes. Batch paths decode every
+    /// record (`2 × fecs`). Not printed by `Display` (report bytes are
+    /// decode-schedule-invariant); exported via the serve stats JSON.
+    pub graph_decodes: usize,
 }
 
 impl CheckStats {
@@ -281,6 +288,104 @@ impl CheckReport {
     /// Violation count for one sub-spec (0 if never violated).
     pub fn count_for(&self, part: &str) -> usize {
         self.part_counts.get(part).copied().unwrap_or(0)
+    }
+
+    /// Serialize the whole report — verdict, stats, and per-FEC
+    /// violations — for tooling (`rela report --json`). Unlike the
+    /// `Display` table nothing is clipped, and the decode-schedule
+    /// counters (`graph_decodes`) that `Display` deliberately omits are
+    /// included.
+    pub fn to_value(&self) -> Value {
+        let violations: Vec<Value> = self
+            .violations
+            .iter()
+            .map(|v| {
+                let parts: Vec<Value> = v
+                    .violations
+                    .iter()
+                    .map(|p| {
+                        Value::obj(vec![
+                            ("part", p.part.to_value()),
+                            ("detail", p.detail.to_string().to_value()),
+                        ])
+                    })
+                    .collect();
+                Value::obj(vec![
+                    ("flow", v.flow.to_string().to_value()),
+                    ("check_name", v.check_name.to_value()),
+                    ("route", v.route.to_value()),
+                    ("pre_paths", v.pre_paths.to_value()),
+                    ("post_paths", v.post_paths.to_value()),
+                    ("violations", Value::Arr(parts)),
+                ])
+            })
+            .collect();
+        let part_counts: Vec<(String, Value)> = self
+            .part_counts
+            .iter()
+            .map(|(part, count)| (part.clone(), count.to_value()))
+            .collect();
+        let stats = Value::obj(vec![
+            ("fecs", self.stats.fecs.to_value()),
+            ("classes", self.stats.classes.to_value()),
+            ("dedup_hits", self.stats.dedup_hits.to_value()),
+            ("warm_hits", self.stats.warm_hits.to_value()),
+            ("fst_memo_hits", self.stats.fst_memo_hits.to_value()),
+            ("graph_decodes", self.stats.graph_decodes.to_value()),
+            ("hit_rate", self.stats.hit_rate().to_value()),
+            (
+                "max_class_time_s",
+                self.stats.max_class_time.as_secs_f64().to_value(),
+            ),
+            ("phases_s", self.stats.phases.to_cache_value()),
+        ]);
+        Value::obj(vec![
+            (
+                "verdict",
+                if self.is_compliant() { "PASS" } else { "FAIL" }.to_value(),
+            ),
+            ("total", self.total.to_value()),
+            ("compliant", self.compliant.to_value()),
+            ("violating", self.violations.len().to_value()),
+            ("elapsed_s", self.elapsed.as_secs_f64().to_value()),
+            ("part_counts", Value::Obj(part_counts)),
+            ("stats", stats),
+            ("violations", Value::Arr(violations)),
+        ])
+    }
+
+    /// Render the per-FEC verdict table as CSV (`rela report --csv`):
+    /// one row per violated sub-spec, header only when compliant.
+    /// Aggregate stats ride the JSON export, not this table.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("flow,check,route,part,detail,pre_paths,post_paths\n");
+        for v in &self.violations {
+            for p in &v.violations {
+                let row = [
+                    v.flow.to_string(),
+                    v.check_name.clone(),
+                    v.route.clone().unwrap_or_default(),
+                    p.part.clone(),
+                    p.detail.to_string(),
+                    v.pre_paths.join("; "),
+                    v.post_paths.join("; "),
+                ];
+                let escaped: Vec<String> = row.iter().map(|field| csv_field(field)).collect();
+                out.push_str(&escaped.join(","));
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Quote a CSV field when it contains a delimiter, quote, or newline
+/// (RFC 4180 escaping: embedded quotes double).
+fn csv_field(field: &str) -> String {
+    if field.contains(['"', ',', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
     }
 }
 
@@ -460,6 +565,79 @@ mod tests {
             original.flow
         )
         .is_none());
+    }
+
+    #[test]
+    fn json_export_carries_stats_and_verdicts() {
+        let mut report = CheckReport::new(
+            vec![result("10.1.0.0/24", &["e2e"]), result("10.1.2.0/24", &[])],
+            Duration::from_millis(5),
+        );
+        report.stats.fecs = 2;
+        report.stats.classes = 1;
+        report.stats.graph_decodes = 4;
+        let value = report.to_value();
+        // survive a JSON print/parse cycle, as tooling consumes it
+        let text = serde_json::to_string(&value).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.get("verdict").and_then(Value::as_str), Some("FAIL"));
+        assert_eq!(back.get("total").and_then(Value::as_u64), Some(2));
+        assert_eq!(back.get("compliant").and_then(Value::as_u64), Some(1));
+        let stats = back.get("stats").unwrap();
+        assert_eq!(stats.get("graph_decodes").and_then(Value::as_u64), Some(4));
+        assert!(stats.get("phases_s").and_then(|p| p.get("lower")).is_some());
+        assert_eq!(
+            back.get("part_counts")
+                .and_then(|p| p.get("e2e"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+        let violations = back.get("violations").and_then(Value::as_arr).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(
+            violations[0].get("flow").and_then(Value::as_str),
+            Some("(10.1.0.0/24, ingress=x1)")
+        );
+        let parts = violations[0]
+            .get("violations")
+            .and_then(Value::as_arr)
+            .unwrap();
+        assert_eq!(parts[0].get("part").and_then(Value::as_str), Some("e2e"));
+        assert!(parts[0]
+            .get("detail")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("expected"));
+    }
+
+    #[test]
+    fn csv_export_is_one_row_per_violated_part() {
+        let report = CheckReport::new(
+            vec![result("10.1.0.0/24", &["e2e", "nochange"])],
+            Duration::from_millis(5),
+        );
+        let csv = report.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "{csv}");
+        assert_eq!(
+            lines[0],
+            "flow,check,route,part,detail,pre_paths,post_paths"
+        );
+        // the flow's display form contains a comma, so it must be quoted
+        assert!(
+            lines[1].starts_with("\"(10.1.0.0/24, ingress=x1)\","),
+            "{csv}"
+        );
+        assert!(lines[1].contains(",e2e,"), "{csv}");
+        assert!(lines[2].contains(",nochange,"), "{csv}");
+
+        // a compliant report is just the header
+        let clean = CheckReport::new(vec![], Duration::from_millis(1));
+        assert_eq!(clean.to_csv().lines().count(), 1);
+
+        // embedded quotes double per RFC 4180
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("plain"), "plain");
     }
 
     #[test]

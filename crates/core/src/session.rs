@@ -48,18 +48,25 @@
 //! assert!(report.is_compliant());
 //! ```
 
-use crate::check::{cache_epoch, CheckOptions, Checker, FstMemo};
+use crate::check::{
+    cache_epoch, CheckOptions, Checker, FstMemo, PreparedItem, RetainedBase, RetainedRecord,
+    RetentionSlot,
+};
 use crate::compile::{compile_program, CompiledProgram};
 use crate::parser::parse_program;
+use crate::pipeline::Side;
 use crate::report::CheckReport;
 use crate::RelaError;
 use rela_cache::{CacheEpoch, VerdictStore};
 use rela_net::{
-    Granularity, LocationDb, Snapshot, SnapshotError, SnapshotFramer, SnapshotPair, SnapshotReader,
+    FlowDecoded, FlowSpec, Granularity, LocationDb, Snapshot, SnapshotDelta, SnapshotEpoch,
+    SnapshotError, SnapshotFramer, SnapshotPair, SnapshotReader,
 };
 use serde::{Deserialize, Serialize, Value};
+use std::collections::{HashMap, HashSet};
 use std::io::Read;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Session-lifetime configuration: what the spec compiles against and
 /// how much parallelism every job gets. Fixed at [`CheckSession::open`]
@@ -72,6 +79,12 @@ pub struct SessionConfig {
     /// Worker threads per job; `0` uses the machine's available
     /// parallelism.
     pub threads: usize,
+    /// Retain the raw records of each pipeline-ingested pair (and its
+    /// snapshot epoch) so the *next* job may submit only a delta
+    /// ([`JobInput::Deltas`]). Costs the base snapshot's bytes in
+    /// memory; resident daemons and iteration loops want it, one-shot
+    /// runs do not.
+    pub retain_base: bool,
 }
 
 impl Default for SessionConfig {
@@ -79,6 +92,7 @@ impl Default for SessionConfig {
         SessionConfig {
             granularity: Granularity::Group,
             threads: 0,
+            retain_base: false,
         }
     }
 }
@@ -132,6 +146,11 @@ pub struct JobOptions {
     /// Consult (and write back to) the session's verdict store, when
     /// one is attached.
     pub use_cache: bool,
+    /// For [`JobInput::Deltas`]: the snapshot epoch the delta documents
+    /// claim as their base. The job fails unless it matches the
+    /// session's retained base (and the `base` field of both delta
+    /// documents). Ignored for other inputs.
+    pub delta_base: Option<u128>,
 }
 
 impl Default for JobOptions {
@@ -144,6 +163,7 @@ impl Default for JobOptions {
             minimize_sides: defaults.minimize_sides,
             ingest: IngestMode::default(),
             use_cache: true,
+            delta_base: None,
         }
     }
 }
@@ -164,6 +184,13 @@ impl Serialize for JobOptions {
             ("ingest", Value::Str(mode.to_owned())),
             ("pipeline_depth", depth.to_value()),
             ("use_cache", self.use_cache.to_value()),
+            (
+                "delta_base",
+                match self.delta_base {
+                    Some(epoch) => Value::Str(format!("{}", SnapshotEpoch::from_u128(epoch))),
+                    None => Value::Null,
+                },
+            ),
         ])
     }
 }
@@ -191,6 +218,20 @@ impl Deserialize for JobOptions {
             minimize_sides: serde::field(value, "minimize_sides")?,
             ingest,
             use_cache: serde::field(value, "use_cache")?,
+            // absent (pre-delta clients) and null both mean "no base"
+            delta_base: match value.get("delta_base") {
+                None | Some(Value::Null) => None,
+                Some(v) => {
+                    let text = v
+                        .as_str()
+                        .ok_or_else(|| serde::Error::custom("`delta_base` must be a hex string"))?;
+                    Some(
+                        text.parse::<SnapshotEpoch>()
+                            .map_err(serde::Error::custom)?
+                            .as_u128(),
+                    )
+                }
+            },
         })
     }
 }
@@ -230,6 +271,16 @@ pub enum JobInput<'a> {
         /// The post-change snapshot.
         post: LabeledSource<'a>,
     },
+    /// Two delta documents (`docs/SNAPSHOT_FORMAT.md`) against the
+    /// session's retained base pair; unchanged records replay from the
+    /// retained spans without being re-sent or re-decoded. Requires
+    /// [`SessionConfig::retain_base`] and a prior full ingest.
+    Deltas {
+        /// The pre-side delta document.
+        pre: LabeledSource<'a>,
+        /// The post-side delta document.
+        post: LabeledSource<'a>,
+    },
 }
 
 /// One check job: request-scoped input plus request-scoped options.
@@ -257,6 +308,14 @@ impl<'a> JobSpec<'a> {
         }
     }
 
+    /// A job over two labelled delta documents, default options.
+    pub fn deltas(pre: LabeledSource<'a>, post: LabeledSource<'a>) -> JobSpec<'a> {
+        JobSpec {
+            input: JobInput::Deltas { pre, post },
+            options: JobOptions::default(),
+        }
+    }
+
     /// Replace the options.
     pub fn with_options(mut self, options: JobOptions) -> JobSpec<'a> {
         self.options = options;
@@ -280,6 +339,9 @@ pub struct CheckSession {
     memo: FstMemo,
     config: SessionConfig,
     jobs_run: AtomicUsize,
+    /// The last pipeline-ingested pair's raw records and snapshot epoch
+    /// (populated only when [`SessionConfig::retain_base`] is set).
+    retained: RetentionSlot,
 }
 
 impl CheckSession {
@@ -302,6 +364,7 @@ impl CheckSession {
             memo: FstMemo::new(),
             config,
             jobs_run: AtomicUsize::new(0),
+            retained: Mutex::new(None),
         })
     }
 
@@ -342,6 +405,19 @@ impl CheckSession {
         self.jobs_run.load(Ordering::Relaxed)
     }
 
+    /// The snapshot epoch of the retained base pair, if
+    /// [`SessionConfig::retain_base`] is set and a pipelined job has
+    /// completed. This is the epoch a [`JobInput::Deltas`] job must
+    /// target (and what `rela serve` advertises during delta
+    /// negotiation).
+    pub fn base_epoch(&self) -> Option<SnapshotEpoch> {
+        self.retained
+            .lock()
+            .expect("retention lock")
+            .as_ref()
+            .map(|base| SnapshotEpoch::from_u128(base.epoch))
+    }
+
     /// Run one check job. The report is byte-identical across ingest
     /// modes and across warm/cold sessions; errors carry the input's
     /// source label, entry index, and byte offset.
@@ -365,8 +441,16 @@ impl CheckSession {
                 checker = checker.with_cache(store);
             }
         }
+        if self.config.retain_base {
+            // only the pipelined engine captures records, so the slot
+            // tracks the last pipelined (full or delta) ingest
+            checker = checker.with_retention(&self.retained);
+        }
         let result = match job.input {
             JobInput::Pair(pair) => Ok(checker.check(pair)),
+            JobInput::Deltas { pre, post } => {
+                self.run_delta(&checker, pre, post, job.options.delta_base)
+            }
             JobInput::Streams { pre, post } => match job.options.ingest {
                 IngestMode::Pipelined { .. } => checker.check_pipelined(
                     SnapshotFramer::new(pre.reader, pre.label),
@@ -392,6 +476,61 @@ impl CheckSession {
         result
     }
 
+    /// Run a delta job: parse both delta documents, verify they target
+    /// the retained base epoch, splice replayed base records with the
+    /// delta's own, and feed the result through the pipelined engine.
+    fn run_delta(
+        &self,
+        checker: &Checker<'_>,
+        pre: LabeledSource<'_>,
+        post: LabeledSource<'_>,
+        declared_base: Option<u128>,
+    ) -> Result<CheckReport, SnapshotError> {
+        let pre_label = pre.label.clone();
+        let post_label = post.label.clone();
+        let base = self
+            .retained
+            .lock()
+            .expect("retention lock")
+            .clone()
+            .ok_or_else(|| {
+                SnapshotError::at(
+                    "no retained base snapshot: submit a full snapshot pair first",
+                    0,
+                )
+                .with_source_label(pre_label.clone())
+            })?;
+        let expect = SnapshotEpoch::from_u128(base.epoch);
+        if let Some(declared) = declared_base {
+            if declared != base.epoch {
+                return Err(SnapshotError::at(
+                    format!(
+                        "declared delta base {} does not match the retained base {expect}",
+                        SnapshotEpoch::from_u128(declared)
+                    ),
+                    0,
+                )
+                .with_source_label(pre_label.clone()));
+            }
+        }
+        let pre_delta = SnapshotDelta::from_reader(pre.reader, &pre_label)?;
+        let post_delta = SnapshotDelta::from_reader(post.reader, &post_label)?;
+        for (delta, label) in [(&pre_delta, &pre_label), (&post_delta, &post_label)] {
+            if delta.base != expect {
+                return Err(SnapshotError::at(
+                    format!(
+                        "delta base {} does not match the retained base {expect}",
+                        delta.base
+                    ),
+                    0,
+                )
+                .with_source_label(label.clone()));
+            }
+        }
+        let items = delta_items(&base, pre_delta, post_delta, [&pre_label, &post_label])?;
+        checker.check_prepared(items, [Some(pre_label), Some(post_label)])
+    }
+
     /// Flush the attached store to disk if any job inserted fresh
     /// verdicts since the last flush. Returns whether a write happened;
     /// `Ok(false)` with no store attached.
@@ -401,6 +540,81 @@ impl CheckSession {
             None => Ok(false),
         }
     }
+}
+
+/// Splice the prepared item list for a delta job: every base record
+/// whose flow is untouched by its side's delta replays from the
+/// retained spans (as a zero-decode [`PreparedItem::PairReplay`] when
+/// both sides kept it), and the delta's own records enter as raw
+/// upserts. Removed flows simply don't reappear.
+fn delta_items(
+    base: &Arc<RetainedBase>,
+    pre: SnapshotDelta,
+    post: SnapshotDelta,
+    labels: [&String; 2],
+) -> Result<Vec<PreparedItem>, SnapshotError> {
+    let flows_of = |delta: &SnapshotDelta, label: &str| -> Result<Vec<FlowSpec>, SnapshotError> {
+        delta
+            .records
+            .iter()
+            .map(|raw| {
+                Ok(match raw.decode_flow(Some(label))? {
+                    FlowDecoded::Split(flow, _) => flow,
+                    FlowDecoded::Full(flow, _) => flow,
+                })
+            })
+            .collect()
+    };
+    let pre_flows = flows_of(&pre, labels[0])?;
+    let post_flows = flows_of(&post, labels[1])?;
+    let pre_changed: HashSet<&FlowSpec> = pre.removed.iter().chain(pre_flows.iter()).collect();
+    let post_changed: HashSet<&FlowSpec> = post.removed.iter().chain(post_flows.iter()).collect();
+    let post_keep: HashMap<&FlowSpec, &RetainedRecord> = base
+        .post
+        .iter()
+        .filter(|r| !post_changed.contains(&r.flow))
+        .map(|r| (&r.flow, r))
+        .collect();
+    let mut items = Vec::new();
+    let mut paired: HashSet<&FlowSpec> = HashSet::new();
+    for record in base.pre.iter().filter(|r| !pre_changed.contains(&r.flow)) {
+        match post_keep.get(&record.flow) {
+            Some(partner) => {
+                paired.insert(&record.flow);
+                items.push(PreparedItem::PairReplay {
+                    pre: record.clone(),
+                    post: (*partner).clone(),
+                });
+            }
+            None => items.push(PreparedItem::Replay {
+                side: Side::Pre,
+                record: record.clone(),
+            }),
+        }
+    }
+    for record in base
+        .post
+        .iter()
+        .filter(|r| !post_changed.contains(&r.flow) && !paired.contains(&r.flow))
+    {
+        items.push(PreparedItem::Replay {
+            side: Side::Post,
+            record: record.clone(),
+        });
+    }
+    for raw in pre.records {
+        items.push(PreparedItem::Record {
+            side: Side::Pre,
+            raw,
+        });
+    }
+    for raw in post.records {
+        items.push(PreparedItem::Record {
+            side: Side::Post,
+            raw,
+        });
+    }
+    Ok(items)
 }
 
 #[cfg(test)]
@@ -437,6 +651,7 @@ mod tests {
             SessionConfig {
                 granularity: Granularity::Device,
                 threads: 1,
+                retain_base: false,
             },
         )
         .unwrap()
@@ -530,6 +745,7 @@ mod tests {
             minimize_sides: true,
             ingest: IngestMode::Pipelined { depth: 5 },
             use_cache: false,
+            delta_base: Some(0xdead_beef),
         };
         let json = serde_json::to_string(&opts.to_value()).unwrap();
         let back = JobOptions::from_value(&serde_json::from_str(&json).unwrap()).unwrap();
@@ -542,6 +758,148 @@ mod tests {
             let back = JobOptions::from_value(&opts.to_value()).unwrap();
             assert_eq!(back, opts);
         }
+    }
+
+    fn retaining_session() -> CheckSession {
+        let mut s = CheckSession::open(
+            SPEC,
+            db(),
+            SessionConfig {
+                granularity: Granularity::Device,
+                threads: 1,
+                retain_base: true,
+            },
+        )
+        .unwrap();
+        s.attach_store(VerdictStore::in_memory(s.epoch()));
+        s
+    }
+
+    /// Three-flow snapshots; `detour` reroutes flow 1's post side.
+    fn delta_fixture(detour: bool) -> (String, String) {
+        let mut pre = Snapshot::new();
+        let mut post = Snapshot::new();
+        for ix in 0..3 {
+            let flow = FlowSpec::new(format!("10.0.{ix}.0/24").parse().unwrap(), "A1");
+            pre.insert(flow.clone(), linear_graph(&["A1", "B1"]));
+            let path: &[&str] = if detour && ix == 1 {
+                &["A1", "C1"]
+            } else {
+                &["A1", "B1"]
+            };
+            post.insert(flow, linear_graph(path));
+        }
+        (pre.to_json().unwrap(), post.to_json().unwrap())
+    }
+
+    #[test]
+    fn delta_job_matches_full_resubmission_and_skips_decodes() {
+        use rela_net::{diff_side, pair_epoch, scan_side, write_delta};
+        let s = retaining_session();
+        let (base_pre, base_post) = delta_fixture(false);
+        let (new_pre, new_post) = delta_fixture(true);
+        s.run(JobSpec::streams(
+            LabeledSource::new(base_pre.as_bytes(), "base:pre"),
+            LabeledSource::new(base_post.as_bytes(), "base:post"),
+        ))
+        .unwrap();
+        let epoch = s.base_epoch().expect("base retained after a pipelined job");
+        // the offline scanner derives the very same epoch the session
+        // captured during ingest
+        let scan = |json: &str, label: &str| {
+            scan_side(SnapshotFramer::new(json.as_bytes(), label.to_owned())).unwrap()
+        };
+        let base_pre_scan = scan(&base_pre, "base:pre");
+        let base_post_scan = scan(&base_post, "base:post");
+        assert_eq!(epoch, pair_epoch(base_pre_scan.fold, base_post_scan.fold));
+        // diff each side and render the delta documents
+        let delta_doc = |base_scan, json: &str, label: &str| {
+            let diff = diff_side(base_scan, &scan(json, label));
+            let mut doc = Vec::new();
+            write_delta(&mut doc, epoch, &diff.removed, &diff.records).unwrap();
+            doc
+        };
+        let pre_doc = delta_doc(&base_pre_scan, &new_pre, "new:pre");
+        let post_doc = delta_doc(&base_post_scan, &new_post, "new:post");
+        let delta_report = s
+            .run(
+                JobSpec::deltas(
+                    LabeledSource::new(&pre_doc[..], "delta:pre"),
+                    LabeledSource::new(&post_doc[..], "delta:post"),
+                )
+                .with_options(JobOptions {
+                    delta_base: Some(epoch.as_u128()),
+                    ..JobOptions::default()
+                }),
+            )
+            .unwrap();
+        // the delta run decodes only the changed flow's pair: the two
+        // unchanged flows replay without touching their graphs
+        assert_eq!(delta_report.stats.fecs, 3);
+        assert_eq!(delta_report.stats.graph_decodes, 2);
+        // the delta ingest retains the *new* pair as the next base
+        let new_epoch = s.base_epoch().unwrap();
+        assert_ne!(new_epoch, epoch);
+        // byte-identical to resubmitting the new snapshots in full
+        let full = s
+            .run(JobSpec::streams(
+                LabeledSource::new(new_pre.as_bytes(), "new:pre"),
+                LabeledSource::new(new_post.as_bytes(), "new:post"),
+            ))
+            .unwrap();
+        assert_eq!(verdict_bytes(&delta_report), verdict_bytes(&full));
+        assert_eq!(s.base_epoch().unwrap(), new_epoch, "same pair, same epoch");
+    }
+
+    #[test]
+    fn delta_jobs_reject_a_wrong_or_missing_base() {
+        let s = retaining_session();
+        let doc = |base: &str| format!("{{\"base\":\"{base}\",\"removed\":[],\"records\":[]}}");
+        let zeros = "0".repeat(32);
+        // no base retained yet
+        let err = s
+            .run(JobSpec::deltas(
+                LabeledSource::new(doc(&zeros).into_bytes().as_slice(), "d:pre"),
+                LabeledSource::new(doc(&zeros).into_bytes().as_slice(), "d:post"),
+            ))
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("no retained base snapshot"),
+            "{err}"
+        );
+        // ingest a base, then target a stale epoch
+        let (pre, post) = delta_fixture(false);
+        s.run(JobSpec::streams(
+            LabeledSource::new(pre.as_bytes(), "base:pre"),
+            LabeledSource::new(post.as_bytes(), "base:post"),
+        ))
+        .unwrap();
+        let err = s
+            .run(JobSpec::deltas(
+                LabeledSource::new(doc(&zeros).into_bytes().as_slice(), "d:pre"),
+                LabeledSource::new(doc(&zeros).into_bytes().as_slice(), "d:post"),
+            ))
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("does not match the retained base"),
+            "{err}"
+        );
+        assert_eq!(err.label(), Some("d:pre"));
+        // a declared base wins over the documents: mismatch rejects
+        // before the documents are even parsed
+        let err = s
+            .run(
+                JobSpec::deltas(
+                    LabeledSource::new(&b"not json"[..], "d:pre"),
+                    LabeledSource::new(&b"not json"[..], "d:post"),
+                )
+                .with_options(JobOptions {
+                    delta_base: Some(1),
+                    ..JobOptions::default()
+                }),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("declared delta base"), "{err}");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 mod behavior;
 mod chunk;
 mod db;
+mod delta;
 mod fec;
 mod fsa;
 mod granularity;
@@ -24,6 +25,10 @@ mod snapshot;
 pub use behavior::{behavior_hash, canonical_graph, content_hash128, BehaviorHash, ParseHashError};
 pub use chunk::{chunk_pipe, ChunkReader, ChunkSender};
 pub use db::{AttrPred, LocationDb};
+pub use delta::{
+    diff_side, pair_epoch, record_mix, scan_side, side_fold, write_delta, ScannedRecord, SideDiff,
+    SideScan, SnapshotDelta, SnapshotEpoch,
+};
 pub use fec::FlowSpec;
 pub use fsa::{graph_to_fsa, graph_to_fsa_prepared};
 pub use granularity::{device_path_to_group, interface_path_to_device};
@@ -31,6 +36,7 @@ pub use graph::{linear_graph, Edge, ForwardingGraph, GraphError, VertexId};
 pub use location::{glob_match, interface_device, Device, Granularity, DROP_LOCATION};
 pub use prefix::{Ipv4Prefix, PrefixParseError, PrefixTrie};
 pub use snapshot::{
-    snapshot_source, AlignStream, AlignedFec, RawRecord, Snapshot, SnapshotError, SnapshotFramer,
-    SnapshotPair, SnapshotReader, SnapshotWriter,
+    decode_graph_span, snapshot_source, AlignStream, AlignedFec, BinarySnapshotWriter, FlowDecoded,
+    RawRecord, Snapshot, SnapshotError, SnapshotFramer, SnapshotPair, SnapshotReader,
+    SnapshotWriter, BINARY_MAGIC, BINARY_VERSION,
 };

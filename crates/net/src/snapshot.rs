@@ -20,6 +20,18 @@
 //! stream on the flow key — emitting each aligned FEC the moment both
 //! sides are known and spilling only yet-unmatched records. The wire
 //! format itself is specified in `docs/SNAPSHOT_FORMAT.md`.
+//!
+//! # Container formats
+//!
+//! Two containers carry the same records: the JSON document
+//! (`{"fecs": [...]}`) and a length-prefixed binary layout
+//! ([`BinarySnapshotWriter`], `RSNB` magic) whose records are the same
+//! serialized `flow`/`graph` value spans without the JSON skeleton —
+//! built so a framer can hand out spans without scanning bytes, and a
+//! consumer can content-hash a record without parsing it. Both
+//! [`SnapshotFramer`] and [`SnapshotReader`] sniff the container from
+//! the first bytes, so every ingest path (including gzipped sources via
+//! [`snapshot_source`]) accepts either format transparently.
 
 use crate::fec::FlowSpec;
 use crate::graph::ForwardingGraph;
@@ -165,7 +177,7 @@ pub struct SnapshotError {
 impl SnapshotError {
     /// Wrap a JSON-level error (its message already embeds the
     /// line/column/byte position).
-    fn from_json(e: serde_json::Error) -> SnapshotError {
+    pub(crate) fn from_json(e: serde_json::Error) -> SnapshotError {
         SnapshotError {
             offset: e.byte_offset(),
             message: e.to_string(),
@@ -242,24 +254,34 @@ impl fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
-/// Reader state: the wire format's fixed skeleton is consumed lazily
-/// around the record loop.
-enum ReaderState {
-    /// Header (`{"fecs": [`) not yet consumed.
-    Start,
-    /// Inside the `fecs` array.
-    Records,
-    /// Trailer consumed (or a previous call failed); the iterator is
-    /// fused.
-    Done,
-}
+// ---- binary container format ------------------------------------------
+
+/// Magic bytes opening a binary snapshot (see `docs/SNAPSHOT_FORMAT.md`).
+pub const BINARY_MAGIC: [u8; 4] = *b"RSNB";
+
+/// Current version of the binary snapshot layout, written little-endian
+/// right after the magic.
+pub const BINARY_VERSION: u32 = 1;
+
+/// The `flow-key-len` value that marks the end of a binary snapshot.
+const BINARY_SENTINEL: u32 = u32::MAX;
+
+/// Cap on one serialized flow key (a corrupt length prefix must not
+/// trigger a multi-gigabyte allocation).
+const BINARY_FLOW_CAP: u32 = 1 << 20;
+
+/// Cap on one serialized graph span (matches the serve protocol's
+/// 64 MiB frame cap).
+const BINARY_GRAPH_CAP: u32 = 64 << 20;
 
 /// One undecoded `fecs` entry: the raw JSON span of the record plus its
 /// provenance, as produced by a [`SnapshotFramer`].
 ///
-/// The span is a complete, strictly-validated JSON value — re-parsing it
-/// cannot hit a syntax error, only record-level shape errors (missing
-/// fields, wrong types), which [`RawRecord::decode`] reports at the
+/// From a JSON container the span is a complete, strictly-validated JSON
+/// value — re-parsing it cannot hit a syntax error. From a binary
+/// container the span is reassembled from length-prefixed value spans
+/// without validation, so [`RawRecord::decode`] may also surface syntax
+/// errors there; either way, record-level failures are reported at the
 /// record's start offset exactly as the serial [`SnapshotReader`] does.
 #[derive(Debug, Clone)]
 pub struct RawRecord {
@@ -298,24 +320,203 @@ impl RawRecord {
             serde::field::<ForwardingGraph>(&entry, "graph").map_err(|e| fail(e.to_string()))?;
         Ok((flow, graph))
     }
+
+    /// Locate the `flow` and `graph` value spans inside the record
+    /// without parsing either value — what byte-level admission and the
+    /// `snapshot pack` converter run instead of a decode. Handles the
+    /// canonical record encodings both framers produce (plain `"flow"`
+    /// and `"graph"` keys in either order, arbitrary inter-token
+    /// whitespace); errors carry the record's offset and entry index
+    /// like [`RawRecord::decode`], with the missing-field messages
+    /// matching the serial reader's exactly.
+    pub fn split_spans(
+        &self,
+        label: Option<&str>,
+    ) -> Result<(std::ops::Range<usize>, std::ops::Range<usize>), SnapshotError> {
+        let fail = |message: &str| SnapshotError {
+            message: message.to_owned(),
+            entry: Some(self.index),
+            offset: Some(self.offset),
+            offset_in_message: false,
+            label: label.map(str::to_owned),
+        };
+        let b = &self.bytes[..];
+        let mut pos = skip_ws(b, 0);
+        if b.get(pos) != Some(&b'{') {
+            return Err(fail("record span is not an object"));
+        }
+        pos += 1;
+        let mut flow: Option<std::ops::Range<usize>> = None;
+        let mut graph: Option<std::ops::Range<usize>> = None;
+        loop {
+            pos = skip_ws(b, pos);
+            match b.get(pos) {
+                Some(b'}') => break,
+                Some(b'"') => {}
+                _ => return Err(fail("malformed record span")),
+            }
+            let key_end =
+                scan_string(b, pos).ok_or_else(|| fail("unterminated string in record span"))?;
+            let key = &b[pos..key_end];
+            pos = skip_ws(b, key_end);
+            if b.get(pos) != Some(&b':') {
+                return Err(fail("malformed record span"));
+            }
+            pos = skip_ws(b, pos + 1);
+            let value_end = scan_value(b, pos).ok_or_else(|| fail("truncated record span"))?;
+            match key {
+                b"\"flow\"" => flow = Some(pos..value_end),
+                b"\"graph\"" => graph = Some(pos..value_end),
+                _ => {}
+            }
+            pos = skip_ws(b, value_end);
+            match b.get(pos) {
+                Some(b',') => pos += 1,
+                Some(b'}') => break,
+                _ => return Err(fail("malformed record span")),
+            }
+        }
+        match (flow, graph) {
+            (Some(f), Some(g)) => Ok((f, g)),
+            (None, _) => Err(fail("missing field `flow`")),
+            (_, None) => Err(fail("missing field `graph`")),
+        }
+    }
+
+    /// Parse the record's flow key and locate its graph span *without*
+    /// decoding the graph — the entry point of the pipelined
+    /// byte-admission fast path. Falls back to a full
+    /// [`RawRecord::decode`] when the span scanner cannot handle the
+    /// encoding (escaped keys, malformed spans), so every error is
+    /// exactly what the serial reader would have reported.
+    pub fn decode_flow(&self, label: Option<&str>) -> Result<FlowDecoded, SnapshotError> {
+        if let Ok((flow_span, graph_span)) = self.split_spans(label) {
+            let parsed = std::str::from_utf8(&self.bytes[flow_span])
+                .ok()
+                .and_then(|text| serde_json::from_str::<Value>(text).ok())
+                .and_then(|value| FlowSpec::from_value(&value).ok());
+            if let Some(flow) = parsed {
+                return Ok(FlowDecoded::Split(flow, graph_span));
+            }
+        }
+        let (flow, graph) = self.decode(label)?;
+        Ok(FlowDecoded::Full(flow, graph))
+    }
 }
 
-/// The framing half of the snapshot reader: walks the wire format's
-/// skeleton (`{"fecs": [ ... ]}`) and yields each entry as an undecoded
-/// [`RawRecord`] span, without building a single `Value`.
+/// What [`RawRecord::decode_flow`] produced.
+// the Full payload is consumed immediately by the caller; boxing the
+// graph would add an allocation to a path that exists to avoid them
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum FlowDecoded {
+    /// The parsed flow key plus the byte range of the record's
+    /// *undecoded* graph span.
+    Split(FlowSpec, std::ops::Range<usize>),
+    /// The record needed a full decode (non-canonical encoding): both
+    /// values, already parsed.
+    Full(FlowSpec, ForwardingGraph),
+}
+
+/// Decode one graph value span, as located by [`RawRecord::split_spans`].
+/// The message matches what the serial reader reports for the same shape
+/// failure; the caller owns offset/entry/label attribution.
+pub fn decode_graph_span(bytes: &[u8]) -> Result<ForwardingGraph, String> {
+    let text =
+        std::str::from_utf8(bytes).map_err(|_| "record span is not valid utf-8".to_owned())?;
+    let value: Value = serde_json::from_str(text).map_err(|e| format!("record span: {e}"))?;
+    ForwardingGraph::from_value(&value).map_err(|e| e.to_string())
+}
+
+fn skip_ws(b: &[u8], mut pos: usize) -> usize {
+    while matches!(b.get(pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+        pos += 1;
+    }
+    pos
+}
+
+/// End position (exclusive) of the string starting at `pos` (which must
+/// hold a `"`), honoring escapes; `None` if unterminated.
+fn scan_string(b: &[u8], pos: usize) -> Option<usize> {
+    let mut i = pos + 1;
+    loop {
+        match b.get(i)? {
+            b'"' => return Some(i + 1),
+            b'\\' => i += 2,
+            _ => i += 1,
+        }
+    }
+}
+
+/// End position (exclusive) of the JSON value starting at `pos`:
+/// strings scan escape-aware, containers by depth (string-aware),
+/// primitives run to the next delimiter. `None` on truncation.
+fn scan_value(b: &[u8], pos: usize) -> Option<usize> {
+    match b.get(pos)? {
+        b'"' => scan_string(b, pos),
+        b'{' | b'[' => {
+            let mut depth = 0usize;
+            let mut i = pos;
+            loop {
+                match b.get(i)? {
+                    b'"' => i = scan_string(b, i)?,
+                    b'{' | b'[' => {
+                        depth += 1;
+                        i += 1;
+                    }
+                    b'}' | b']' => {
+                        depth = depth.checked_sub(1)?;
+                        i += 1;
+                        if depth == 0 {
+                            return Some(i);
+                        }
+                    }
+                    _ => i += 1,
+                }
+            }
+        }
+        _ => {
+            let mut i = pos;
+            while let Some(c) = b.get(i) {
+                if matches!(c, b',' | b'}' | b']' | b' ' | b'\t' | b'\n' | b'\r') {
+                    break;
+                }
+                i += 1;
+            }
+            (i > pos).then_some(i)
+        }
+    }
+}
+
+/// The framing half of the snapshot reader: yields each entry of a JSON
+/// *or* binary snapshot as an undecoded [`RawRecord`] span, without
+/// building a single `Value`. The container format is sniffed from the
+/// first four bytes ([`BINARY_MAGIC`] opens a binary snapshot; anything
+/// else is parsed as the JSON document).
 ///
 /// This is what a pipelined consumer runs on its reader thread — framing
-/// touches every byte once (strict grammar, so malformed JSON fails here
-/// with the same message and offset as the decoding reader) but defers
-/// all allocation-heavy decoding to [`RawRecord::decode`], which can run
-/// on worker threads. [`SnapshotReader`] is this framer plus an inline
-/// decoder and duplicate-flow detection.
+/// touches every byte at most once (the JSON grammar is strict, so
+/// malformed JSON fails here with the same message and offset as the
+/// decoding reader; binary framing is pure length-prefix arithmetic) but
+/// defers all allocation-heavy decoding to [`RawRecord::decode`] /
+/// [`RawRecord::decode_flow`], which can run on worker threads.
+/// [`SnapshotReader`] is this framer plus an inline decoder and
+/// duplicate-flow detection.
 pub struct SnapshotFramer<R: Read> {
-    json: JsonReader<R>,
-    state: ReaderState,
+    inner: FramerInner<R>,
     /// Index of the next entry to be framed.
     index: usize,
     label: Option<String>,
+}
+
+/// The framer's container-specific state.
+enum FramerInner<R: Read> {
+    /// No bytes pulled yet; the format is decided on first use.
+    Unsniffed(Option<R>),
+    Json(JsonFramer<R>),
+    Binary(BinaryFramer<R>),
+    /// Finished or failed; the iterator is fused.
+    Done,
 }
 
 impl<R: Read> SnapshotFramer<R> {
@@ -330,8 +531,7 @@ impl<R: Read> SnapshotFramer<R> {
     /// carries the label alongside the entry index and byte offset.
     pub fn new(source: R, label: impl Into<String>) -> SnapshotFramer<R> {
         SnapshotFramer {
-            json: JsonReader::new(source),
-            state: ReaderState::Start,
+            inner: FramerInner::Unsniffed(Some(source)),
             index: 0,
             label: Some(label.into()),
         }
@@ -347,15 +547,126 @@ impl<R: Read> SnapshotFramer<R> {
         self.index
     }
 
+    /// Fuse the iterator (no further records will be yielded).
+    fn fuse_iter(&mut self) {
+        self.inner = FramerInner::Done;
+    }
+
     /// Attach this framer's label to an error and fuse the iterator.
     fn fail(&mut self, e: SnapshotError) -> SnapshotError {
-        self.state = ReaderState::Done;
+        self.inner = FramerInner::Done;
         SnapshotError {
             label: self.label.clone(),
             ..e
         }
     }
+}
 
+impl<R: Read> Iterator for SnapshotFramer<R> {
+    type Item = Result<RawRecord, SnapshotError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let FramerInner::Unsniffed(source) = &mut self.inner {
+            let source = source.take().expect("unsniffed framer holds its source");
+            match sniff_format(source) {
+                Ok(inner) => self.inner = inner,
+                Err(e) => return Some(Err(self.fail(e))),
+            }
+        }
+        let result = match &mut self.inner {
+            FramerInner::Done => return None,
+            FramerInner::Json(j) => j.next_record(self.index),
+            FramerInner::Binary(b) => b.next_record(self.index),
+            FramerInner::Unsniffed(_) => unreachable!("format sniffed above"),
+        };
+        match result {
+            Ok(Some(raw)) => {
+                self.index += 1;
+                Some(Ok(raw))
+            }
+            Ok(None) => {
+                self.inner = FramerInner::Done;
+                None
+            }
+            Err(e) => Some(Err(self.fail(e))),
+        }
+    }
+}
+
+/// Read up to four head bytes and decide the container format. A binary
+/// header is consumed (and its version checked); for JSON the head
+/// bytes are replayed in front of the source so the JSON reader's byte
+/// offsets stay absolute.
+fn sniff_format<R: Read>(mut source: R) -> Result<FramerInner<R>, SnapshotError> {
+    let mut head = [0u8; 4];
+    let mut have = 0;
+    while have < head.len() {
+        match source.read(&mut head[have..]) {
+            Ok(0) => break,
+            Ok(n) => have += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(SnapshotError::at(format!("io error: {e}"), have as u64)),
+        }
+    }
+    if have == head.len() && head == BINARY_MAGIC {
+        let mut framer = BinaryFramer {
+            source,
+            offset: head.len() as u64,
+        };
+        let mut version = [0u8; 4];
+        framer.read_exact(&mut version, "the format version", None)?;
+        let v = u32::from_le_bytes(version);
+        if v != BINARY_VERSION {
+            return Err(SnapshotError::at(
+                format!("unsupported binary snapshot version {v} (expected {BINARY_VERSION})"),
+                head.len() as u64,
+            ));
+        }
+        Ok(FramerInner::Binary(framer))
+    } else {
+        Ok(FramerInner::Json(JsonFramer {
+            json: JsonReader::new(PrefixedReader {
+                prefix: head,
+                len: have,
+                pos: 0,
+                inner: source,
+            }),
+            started: false,
+        }))
+    }
+}
+
+/// Replays the sniffed head bytes before the underlying source, so a
+/// JSON reader built on top sees the stream from byte 0 and its offsets
+/// stay absolute.
+struct PrefixedReader<R> {
+    prefix: [u8; 4],
+    len: usize,
+    pos: usize,
+    inner: R,
+}
+
+impl<R: Read> Read for PrefixedReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos < self.len {
+            let n = (self.len - self.pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.prefix[self.pos..self.pos + n]);
+            self.pos += n;
+            return Ok(n);
+        }
+        self.inner.read(buf)
+    }
+}
+
+/// Framing state for the JSON container: the document skeleton
+/// (`{"fecs": [ ... ]}`) is consumed lazily around the record loop.
+struct JsonFramer<R: Read> {
+    json: JsonReader<PrefixedReader<R>>,
+    /// Header (`{"fecs": [`) consumed.
+    started: bool,
+}
+
+impl<R: Read> JsonFramer<R> {
     /// Consume `{"fecs": [`.
     fn read_header(&mut self) -> Result<(), SnapshotError> {
         self.json.begin_object().map_err(SnapshotError::from_json)?;
@@ -375,7 +686,7 @@ impl<R: Read> SnapshotFramer<R> {
             }
         }
         self.json.begin_array().map_err(SnapshotError::from_json)?;
-        self.state = ReaderState::Records;
+        self.started = true;
         Ok(())
     }
 
@@ -388,49 +699,142 @@ impl<R: Read> SnapshotFramer<R> {
             ));
         }
         self.json.end().map_err(SnapshotError::from_json)?;
-        self.state = ReaderState::Done;
         Ok(())
+    }
+
+    /// Frame the next record span; `Ok(None)` on a clean trailer.
+    fn next_record(&mut self, index: usize) -> Result<Option<RawRecord>, SnapshotError> {
+        if !self.started {
+            self.read_header()?;
+        }
+        match self.json.next_element() {
+            Err(e) => Err(SnapshotError::from_json(e).with_entry(index)),
+            Ok(false) => {
+                self.read_trailer()?;
+                Ok(None)
+            }
+            Ok(true) => {
+                let offset = self.json.byte_offset();
+                let mut bytes = Vec::new();
+                self.json
+                    .read_raw_value(&mut bytes)
+                    .map_err(|e| SnapshotError::from_json(e).with_entry(index))?;
+                Ok(Some(RawRecord {
+                    bytes,
+                    offset,
+                    index,
+                }))
+            }
+        }
     }
 }
 
-impl<R: Read> Iterator for SnapshotFramer<R> {
-    type Item = Result<RawRecord, SnapshotError>;
+/// Framing state for the binary container (header already consumed by
+/// the sniffer): records are pure length-prefix arithmetic, reassembled
+/// into the `{"flow":F,"graph":G}` span shape the rest of the engine
+/// speaks. A record's offset is the absolute position of its first
+/// length prefix.
+struct BinaryFramer<R: Read> {
+    source: R,
+    /// Absolute offset of the next unread byte.
+    offset: u64,
+}
 
-    fn next(&mut self) -> Option<Self::Item> {
-        if let ReaderState::Start = self.state {
-            if let Err(e) = self.read_header() {
-                return Some(Err(self.fail(e)));
-            }
-        }
-        if let ReaderState::Done = self.state {
-            return None;
-        }
-        match self.json.next_element() {
-            Err(e) => {
-                let ix = self.index;
-                Some(Err(self.fail(SnapshotError::from_json(e).with_entry(ix))))
-            }
-            Ok(false) => match self.read_trailer() {
-                Ok(()) => None,
-                Err(e) => Some(Err(self.fail(e))),
-            },
-            Ok(true) => {
-                let ix = self.index;
-                let offset = self.json.byte_offset();
-                let mut bytes = Vec::new();
-                match self.json.read_raw_value(&mut bytes) {
-                    Ok(()) => {
-                        self.index += 1;
-                        Some(Ok(RawRecord {
-                            bytes,
-                            offset,
-                            index: ix,
-                        }))
-                    }
-                    Err(e) => Some(Err(self.fail(SnapshotError::from_json(e).with_entry(ix)))),
+impl<R: Read> BinaryFramer<R> {
+    fn read_exact(
+        &mut self,
+        buf: &mut [u8],
+        what: &str,
+        entry: Option<usize>,
+    ) -> Result<(), SnapshotError> {
+        let attach = |e: SnapshotError| match entry {
+            Some(ix) => e.with_entry(ix),
+            None => e,
+        };
+        let mut have = 0;
+        while have < buf.len() {
+            match self.source.read(&mut buf[have..]) {
+                Ok(0) => {
+                    return Err(attach(SnapshotError::at(
+                        format!("unexpected end of binary snapshot reading {what}"),
+                        self.offset + have as u64,
+                    )))
+                }
+                Ok(n) => have += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    return Err(attach(SnapshotError::at(
+                        format!("io error: {e}"),
+                        self.offset + have as u64,
+                    )))
                 }
             }
         }
+        self.offset += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Read one little-endian length prefix, enforcing `cap` (the
+    /// sentinel is exempt — the caller decides whether it is legal).
+    fn read_len(&mut self, what: &str, cap: u32, index: usize) -> Result<u32, SnapshotError> {
+        let at = self.offset;
+        let mut buf = [0u8; 4];
+        self.read_exact(&mut buf, what, Some(index))?;
+        let len = u32::from_le_bytes(buf);
+        if len != BINARY_SENTINEL && len > cap {
+            return Err(SnapshotError::at(
+                format!("{what} of {len} bytes exceeds the {cap}-byte cap"),
+                at,
+            )
+            .with_entry(index));
+        }
+        Ok(len)
+    }
+
+    /// Frame the next record span; `Ok(None)` on the end sentinel.
+    fn next_record(&mut self, index: usize) -> Result<Option<RawRecord>, SnapshotError> {
+        let record_start = self.offset;
+        let flow_len = self.read_len("a flow-key length", BINARY_FLOW_CAP, index)?;
+        if flow_len == BINARY_SENTINEL {
+            // end marker: nothing may follow it
+            let mut probe = [0u8; 1];
+            loop {
+                match self.source.read(&mut probe) {
+                    Ok(0) => return Ok(None),
+                    Ok(_) => {
+                        return Err(SnapshotError::at(
+                            "trailing bytes after the binary snapshot end marker",
+                            self.offset,
+                        ))
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(SnapshotError::at(format!("io error: {e}"), self.offset)),
+                }
+            }
+        }
+        let mut flow = vec![0u8; flow_len as usize];
+        self.read_exact(&mut flow, "a flow-key span", Some(index))?;
+        let graph_len = self.read_len("a graph length", BINARY_GRAPH_CAP, index)?;
+        if graph_len == BINARY_SENTINEL {
+            return Err(SnapshotError::at(
+                "end marker in place of a graph length",
+                self.offset - 4,
+            )
+            .with_entry(index));
+        }
+        let mut graph = vec![0u8; graph_len as usize];
+        self.read_exact(&mut graph, "a graph span", Some(index))?;
+        let mut bytes = Vec::with_capacity(flow.len() + graph.len() + 18);
+        bytes.extend_from_slice(b"{\"flow\":");
+        bytes.extend_from_slice(&flow);
+        bytes.extend_from_slice(b",\"graph\":");
+        bytes.extend_from_slice(&graph);
+        bytes.push(b'}');
+        Ok(Some(RawRecord {
+            bytes,
+            offset: record_start,
+            index,
+        }))
     }
 }
 
@@ -472,8 +876,7 @@ impl<R: Read> SnapshotReader<R> {
             // directly rather than through `SnapshotFramer::new`, which
             // demands a label.
             framer: SnapshotFramer {
-                json: JsonReader::new(source),
-                state: ReaderState::Start,
+                inner: FramerInner::Unsniffed(Some(source)),
                 index: 0,
                 label: None,
             },
@@ -515,7 +918,7 @@ impl<R: Read> Iterator for SnapshotReader<R> {
             }
             Err(e) => {
                 // decode already attached entry/offset/label; fuse only
-                self.framer.state = ReaderState::Done;
+                self.framer.fuse_iter();
                 Some(Err(e))
             }
         }
@@ -526,7 +929,10 @@ impl<R: Read> Iterator for SnapshotReader<R> {
 /// streams transparently: a path ending in `.gz` is wrapped in a
 /// streaming [`flate2`] inflater, so compressed snapshots ride the same
 /// framer/reader as plain ones without a separate decompress step (see
-/// `docs/SNAPSHOT_FORMAT.md`).
+/// `docs/SNAPSHOT_FORMAT.md`). The container format (JSON or binary) is
+/// *not* decided here — the framer/reader sniffs it from the first
+/// bytes, after decompression, so `.json`, `.json.gz`, `.rsnb`, and
+/// `.rsnb.gz` all open the same way.
 pub fn snapshot_source(path: &Path) -> std::io::Result<Box<dyn Read + Send>> {
     let file = std::fs::File::open(path)?;
     if path.extension().is_some_and(|ext| ext == "gz") {
@@ -579,6 +985,70 @@ impl<W: Write> SnapshotWriter<W> {
     /// Close the document and hand back the underlying writer.
     pub fn finish(mut self) -> std::io::Result<W> {
         self.out.write_all(b"]}")?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// A record-by-record writer of the *binary* snapshot container
+/// (`docs/SNAPSHOT_FORMAT.md`): the [`BINARY_MAGIC`]/[`BINARY_VERSION`]
+/// header, one length-prefixed `(flow, graph)` span pair per record,
+/// and a sentinel end marker emitted by
+/// [`BinarySnapshotWriter::finish`]. Record spans are the exact bytes
+/// the JSON writer would have produced for the same values, so packing
+/// and unpacking are byte-exact inverses and both containers hash (and
+/// therefore byte-admit) identically.
+pub struct BinarySnapshotWriter<W: Write> {
+    out: W,
+    written: usize,
+}
+
+impl<W: Write> BinarySnapshotWriter<W> {
+    /// Start a binary snapshot on `out` (writes the header immediately).
+    pub fn new(mut out: W) -> std::io::Result<BinarySnapshotWriter<W>> {
+        out.write_all(&BINARY_MAGIC)?;
+        out.write_all(&BINARY_VERSION.to_le_bytes())?;
+        Ok(BinarySnapshotWriter { out, written: 0 })
+    }
+
+    /// Append one `(flow, graph)` record. The caller is responsible for
+    /// not writing the same flow twice (streaming readers reject
+    /// duplicates).
+    pub fn write(&mut self, flow: &FlowSpec, graph: &ForwardingGraph) -> std::io::Result<()> {
+        let invalid = |e: serde_json::Error| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+        };
+        let flow_json = serde_json::to_string(&flow.to_value()).map_err(invalid)?;
+        let graph_json = serde_json::to_string(&graph.to_value()).map_err(invalid)?;
+        self.write_raw(flow_json.as_bytes(), graph_json.as_bytes())
+    }
+
+    /// Append one record from already-serialized value spans — the
+    /// `rela snapshot pack` passthrough, which moves records between
+    /// containers without ever decoding them.
+    pub fn write_raw(&mut self, flow: &[u8], graph: &[u8]) -> std::io::Result<()> {
+        if flow.len() > BINARY_FLOW_CAP as usize || graph.len() > BINARY_GRAPH_CAP as usize {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "record span exceeds the binary format's length cap",
+            ));
+        }
+        self.out.write_all(&(flow.len() as u32).to_le_bytes())?;
+        self.out.write_all(flow)?;
+        self.out.write_all(&(graph.len() as u32).to_le_bytes())?;
+        self.out.write_all(graph)?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Write the end marker and hand back the underlying writer.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.out.write_all(&BINARY_SENTINEL.to_le_bytes())?;
         self.out.flush()?;
         Ok(self.out)
     }
@@ -1130,6 +1600,184 @@ mod tests {
             .unwrap_err();
         assert!(err.to_string().contains("io error"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // ---- binary container & span splitting --------------------------
+
+    fn pack(snap: &Snapshot) -> Vec<u8> {
+        let mut writer = BinarySnapshotWriter::new(Vec::new()).unwrap();
+        for (f, g) in snap.iter() {
+            writer.write(f, g).unwrap();
+        }
+        writer.finish().unwrap()
+    }
+
+    #[test]
+    fn binary_snapshots_ride_the_same_reader() {
+        let snap = three_fec_snapshot();
+        let packed = pack(&snap);
+        assert_eq!(&packed[..4], &BINARY_MAGIC);
+        let streamed = Snapshot::from_reader(&packed[..]).unwrap();
+        assert_eq!(streamed.len(), snap.len());
+        for ((f1, g1), (f2, g2)) in streamed.iter().zip(snap.iter()) {
+            assert_eq!(f1, f2);
+            assert_eq!(g1, g2);
+        }
+    }
+
+    #[test]
+    fn binary_spans_match_json_spans_byte_for_byte() {
+        // byte-level admission requires both containers to yield the
+        // exact same record spans — the content hashes must agree
+        let snap = three_fec_snapshot();
+        let json = snap.to_json().unwrap();
+        let packed = pack(&snap);
+        let from_json: Vec<RawRecord> = SnapshotFramer::new(json.as_bytes(), "a")
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let from_bin: Vec<RawRecord> = SnapshotFramer::new(&packed[..], "b")
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(from_json.len(), from_bin.len());
+        for (a, b) in from_json.iter().zip(&from_bin) {
+            assert_eq!(a.bytes, b.bytes);
+            assert_eq!(a.index, b.index);
+        }
+    }
+
+    #[test]
+    fn binary_truncation_reports_offset_and_entry() {
+        let snap = three_fec_snapshot();
+        let packed = pack(&snap);
+        // find the second record's start: walk one record from offset 8
+        let second = {
+            let flow_len = u32::from_le_bytes(packed[8..12].try_into().unwrap()) as usize;
+            let graph_at = 12 + flow_len;
+            let graph_len =
+                u32::from_le_bytes(packed[graph_at..graph_at + 4].try_into().unwrap()) as usize;
+            graph_at + 4 + graph_len
+        };
+        let cut = &packed[..second + 6];
+        let err = SnapshotFramer::new(cut, "pre.bin")
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert_eq!(err.entry_index(), Some(1), "{err}");
+        assert!(err.byte_offset().unwrap() as usize >= second, "{err}");
+        assert!(err.to_string().contains("unexpected end"), "{err}");
+        assert_eq!(err.label(), Some("pre.bin"));
+    }
+
+    #[test]
+    fn binary_end_marker_is_required_and_final() {
+        let snap = three_fec_snapshot();
+        let packed = pack(&snap);
+        // strip the sentinel: truncation error, not a clean end
+        let err = SnapshotFramer::new(&packed[..packed.len() - 4], "x")
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert!(err.to_string().contains("unexpected end"), "{err}");
+        // trailing bytes after the sentinel are rejected
+        let mut extra = packed.clone();
+        extra.push(0);
+        let err = SnapshotFramer::new(&extra[..], "x")
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert!(err.to_string().contains("trailing bytes"), "{err}");
+    }
+
+    #[test]
+    fn binary_version_mismatch_is_rejected() {
+        let mut packed = pack(&three_fec_snapshot());
+        packed[4..8].copy_from_slice(&7u32.to_le_bytes());
+        let err = SnapshotFramer::new(&packed[..], "x")
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("unsupported binary snapshot version 7"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn short_inputs_sniff_as_json() {
+        // fewer than 4 bytes cannot be a binary header; the JSON reader
+        // owns the (syntax) error
+        let err = Snapshot::from_reader(&b"{"[..]).unwrap_err();
+        assert!(err.byte_offset().is_some(), "{err}");
+        let err = Snapshot::from_reader(&b""[..]).unwrap_err();
+        assert!(err.to_string().contains("expected"), "{err}");
+    }
+
+    #[test]
+    fn split_spans_locates_values_across_encodings() {
+        let cases = [
+            r#"{"flow":{"dst":"10.0.0.0/24"},"graph":[1,2,{"a":"]"}]}"#,
+            r#"{ "graph" : [1,2] , "flow" : {"dst":"10.0.0.0/24"} }"#,
+            "{\n\t\"flow\": \"f\\\"1\",\n\t\"graph\": null\n}",
+            r#"{"extra":7,"flow":true,"graph":"{not json}"}"#,
+        ];
+        for case in cases {
+            let raw = RawRecord {
+                bytes: case.as_bytes().to_vec(),
+                offset: 3,
+                index: 1,
+            };
+            let (flow, graph) = raw.split_spans(None).unwrap();
+            // each located span must itself be a parsable JSON value
+            for range in [flow, graph] {
+                let text = std::str::from_utf8(&case.as_bytes()[range]).unwrap();
+                serde_json::from_str::<Value>(text).unwrap_or_else(|e| panic!("{case}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn split_spans_missing_fields_match_the_decode_contract() {
+        let raw = RawRecord {
+            bytes: br#"{"graph": null}"#.to_vec(),
+            offset: 11,
+            index: 4,
+        };
+        let err = raw.split_spans(Some("pre.json")).unwrap_err();
+        assert_eq!(err.entry_index(), Some(4));
+        assert_eq!(err.byte_offset(), Some(11));
+        assert_eq!(err.label(), Some("pre.json"));
+        assert!(err.to_string().contains("missing field `flow`"), "{err}");
+        let raw = RawRecord {
+            bytes: br#"{"flow": null}"#.to_vec(),
+            offset: 0,
+            index: 0,
+        };
+        let err = raw.split_spans(None).unwrap_err();
+        assert!(err.to_string().contains("missing field `graph`"), "{err}");
+    }
+
+    #[test]
+    fn decode_flow_splits_canonical_records_and_falls_back() {
+        let snap = three_fec_snapshot();
+        let json = snap.to_json().unwrap();
+        for raw in SnapshotFramer::new(json.as_bytes(), "pre.json") {
+            let raw = raw.unwrap();
+            match raw.decode_flow(Some("pre.json")).unwrap() {
+                FlowDecoded::Split(flow, graph_span) => {
+                    let (expect_flow, expect_graph) = raw.decode(None).unwrap();
+                    assert_eq!(flow, expect_flow);
+                    let graph = decode_graph_span(&raw.bytes[graph_span]).unwrap();
+                    assert_eq!(graph, expect_graph);
+                }
+                FlowDecoded::Full(..) => panic!("canonical record took the fallback"),
+            }
+        }
+        // shape errors surface through the fallback with decode's message
+        let raw = RawRecord {
+            bytes: br#"{"graph": null}"#.to_vec(),
+            offset: 5,
+            index: 2,
+        };
+        let err = raw.decode_flow(None).unwrap_err();
+        let expect = raw.decode(None).unwrap_err();
+        assert_eq!(err, expect);
     }
 
     #[test]

@@ -13,11 +13,15 @@
 //! the Fig. 7 sizes N ∈ {1, 4, 7, 13, 37}); and the bench harness times
 //! each spec against the same snapshot pair.
 
-use crate::change::ConfigChange;
+use crate::change::{configured, ConfigChange};
 use crate::config::{DeviceSelector, NetworkConfig};
+use crate::forwarding::simulate;
 use crate::topology::{Topology, TopologyBuilder};
 use crate::traffic::TrafficMatrix;
-use rela_net::{Granularity, Ipv4Prefix};
+use rela_net::{
+    diff_side, pair_epoch, scan_side, write_delta, Granularity, Ipv4Prefix, SideScan, Snapshot,
+    SnapshotEpoch, SnapshotFramer,
+};
 
 /// Size and shape of the synthetic WAN.
 #[derive(Debug, Clone, Copy)]
@@ -188,6 +192,100 @@ pub fn iteration_changes(params: &WanParams, k: usize) -> Vec<Vec<ConfigChange>>
             }]
         })
         .collect()
+}
+
+/// One §8.1 iteration rendered as a pair of delta documents (see
+/// [`iteration_deltas`]).
+pub struct IterationDelta {
+    /// Epoch of the snapshot pair this delta applies against.
+    pub base: SnapshotEpoch,
+    /// Epoch of the pair after applying it.
+    pub epoch: SnapshotEpoch,
+    /// The pre-side delta document — always an empty change set, since
+    /// every iteration shares the same pre-change snapshot.
+    pub pre_doc: Vec<u8>,
+    /// The post-side delta document.
+    pub post_doc: Vec<u8>,
+    /// Changed or added post-side records the document carries.
+    pub changed: usize,
+    /// Post-side flows the document removes.
+    pub removed: usize,
+}
+
+/// The §8.1 loop rendered delta-first (see [`iteration_deltas`]).
+pub struct DeltaIterations {
+    /// The shared pre-change snapshot.
+    pub pre: Snapshot,
+    /// The full post-change snapshot of every iteration — the oracle
+    /// the delta path must reproduce byte-for-byte.
+    pub posts: Vec<Snapshot>,
+    /// Epoch of the seed pair `(pre, posts[0])`.
+    pub seed_epoch: SnapshotEpoch,
+    /// `deltas[i]` upgrades the pair of iteration `i` to iteration
+    /// `i + 1` (`deltas.len() == posts.len() - 1`).
+    pub deltas: Vec<IterationDelta>,
+}
+
+/// Render the [`iteration_changes`] loop delta-first: iteration 0 stays
+/// a full snapshot pair (the seed a resident checker ingests cold), and
+/// every later iteration becomes a pair of delta documents against its
+/// predecessor — the pre side an empty change set, the post side only
+/// the records the iteration's change actually moved. The documents
+/// come from the same byte-level scanner/differ the CLI and daemon use
+/// ([`scan_side`] / [`diff_side`]), so the epochs they name agree with
+/// what a `rela serve` daemon retains after ingesting the same pair.
+///
+/// # Panics
+///
+/// Panics when `k == 0` or the WAN fails to converge.
+pub fn iteration_deltas(wan: &SyntheticWan, params: &WanParams, k: usize) -> DeltaIterations {
+    assert!(k > 0, "need at least the seed iteration");
+    let (pre, unconverged) = simulate(&wan.topology, &wan.config, &wan.traffic);
+    assert!(unconverged.is_empty(), "base WAN must converge");
+    let scan = |snap: &Snapshot, label: &str| -> SideScan {
+        let json = snap.to_json().expect("snapshot serializes");
+        scan_side(SnapshotFramer::new(json.as_bytes(), label.to_owned()))
+            .expect("canonical snapshots scan")
+    };
+    let pre_scan = scan(&pre, "pre");
+    let mut posts = Vec::with_capacity(k);
+    let mut deltas = Vec::with_capacity(k.saturating_sub(1));
+    let mut previous: Option<(SideScan, SnapshotEpoch)> = None;
+    let mut seed_epoch = None;
+    for (ix, changes) in iteration_changes(params, k).iter().enumerate() {
+        let cfg = configured(&wan.config, &wan.topology, changes);
+        let (post, unconverged) = simulate(&wan.topology, &cfg, &wan.traffic);
+        assert!(unconverged.is_empty(), "changed WAN must converge");
+        let post_scan = scan(&post, &format!("post-{ix}"));
+        let epoch = pair_epoch(pre_scan.fold, post_scan.fold);
+        match previous.take() {
+            Some((base_scan, base)) => {
+                let diff = diff_side(&base_scan, &post_scan);
+                let mut pre_doc = Vec::new();
+                write_delta(&mut pre_doc, base, &[], &[]).expect("delta writes");
+                let mut post_doc = Vec::new();
+                write_delta(&mut post_doc, base, &diff.removed, &diff.records)
+                    .expect("delta writes");
+                deltas.push(IterationDelta {
+                    base,
+                    epoch,
+                    pre_doc,
+                    post_doc,
+                    changed: diff.records.len(),
+                    removed: diff.removed.len(),
+                });
+            }
+            None => seed_epoch = Some(epoch),
+        }
+        previous = Some((post_scan, epoch));
+        posts.push(post);
+    }
+    DeltaIterations {
+        pre,
+        posts,
+        seed_epoch: seed_epoch.expect("k > 0"),
+        deltas,
+    }
 }
 
 /// Devices of a group while still building (names are deterministic).
@@ -402,6 +500,63 @@ mod tests {
                 previous.len()
             );
             previous = current;
+        }
+    }
+
+    #[test]
+    fn iteration_deltas_chain_and_splice_back_to_full_snapshots() {
+        use rela_net::{FlowSpec, SnapshotDelta};
+        let params = WanParams {
+            regions: 4,
+            routers_per_group: 2,
+            parallel_links: 2,
+            fecs_per_pair: 4,
+        };
+        let wan = synthetic_wan(&params);
+        let di = iteration_deltas(&wan, &params, 3);
+        assert_eq!(di.posts.len(), 3);
+        assert_eq!(di.deltas.len(), 2);
+        // the epochs chain: each delta names its predecessor's pair
+        assert_eq!(di.deltas[0].base, di.seed_epoch);
+        assert_eq!(di.deltas[0].epoch, di.deltas[1].base);
+        assert_ne!(di.deltas[1].base, di.deltas[1].epoch);
+        for (ix, delta) in di.deltas.iter().enumerate() {
+            // near-identical iterations: a real but small change set
+            assert!(delta.changed > 0, "iteration {} moved nothing", ix + 1);
+            assert!(
+                (delta.changed + delta.removed) * 4 < di.posts[ix].len(),
+                "iteration {} rewrote {}/{} records",
+                ix + 1,
+                delta.changed + delta.removed,
+                di.posts[ix].len()
+            );
+            // the pre side never moves, so its document is empty
+            let pre = SnapshotDelta::from_reader(&delta.pre_doc[..], "pre").unwrap();
+            assert_eq!(pre.base, delta.base);
+            assert!(pre.removed.is_empty() && pre.records.is_empty());
+            // splicing the post document over the previous iteration
+            // reproduces the next full snapshot byte-for-byte
+            let post = SnapshotDelta::from_reader(&delta.post_doc[..], "post").unwrap();
+            assert_eq!(post.base, delta.base);
+            let mut touched: std::collections::HashSet<FlowSpec> =
+                post.removed.iter().cloned().collect();
+            let mut spliced = Snapshot::new();
+            for raw in &post.records {
+                let (flow, graph) = raw.decode(None).unwrap();
+                touched.insert(flow.clone());
+                spliced.insert(flow, graph);
+            }
+            for (flow, graph) in di.posts[ix].iter() {
+                if !touched.contains(flow) {
+                    spliced.insert(flow.clone(), graph.clone());
+                }
+            }
+            assert_eq!(
+                spliced.to_json().unwrap(),
+                di.posts[ix + 1].to_json().unwrap(),
+                "iteration {} splice diverged",
+                ix + 1
+            );
         }
     }
 

@@ -9,10 +9,15 @@ trajectory point and fails (exit 1) when:
     verdict, which is a soundness bug regardless of timing;
   - a scenario shared by name with the baseline regressed its
     ``speedup`` by more than ``ALLOWED_REGRESSION`` (30%); or
-  - a ``pipelined-ingest`` scenario's wall time regressed by more than
-    30% relative to its serial-streamed baseline compared to the
-    committed trajectory point (the ratio ``wall_s /
-    wall_serial_stream_s`` grew by more than 30%).
+  - an ingest scenario's wall time regressed by more than 30% relative
+    to its in-run baseline compared to the committed trajectory point:
+    ``wall_s / wall_serial_stream_s`` for ``pipelined-ingest``,
+    ``wall_s / wall_full_warm_s`` for ``delta-ingest``, and
+    ``wall_s / wall_json_s`` for ``binary-ingest``.
+
+Fields may be ``null`` (smoke runs skip baselines; non-ingest
+scenarios carry ``"rss_ratio": null`` by schema) — every comparison
+skips, never trips, on a missing or null field.
 
 Comparisons are *relative* (dedup-vs-no-dedup, warm-vs-cold,
 pipelined-vs-serial on the same host), so they are meaningful across
@@ -29,14 +34,24 @@ import sys
 
 ALLOWED_REGRESSION = 0.30
 
+# Per-kind in-run baseline field: the gate holds the ratio
+# wall_s / <baseline field> to within ALLOWED_REGRESSION of the
+# committed trajectory point.
+RATIO_BASELINE_FIELDS = {
+    "pipelined-ingest": "wall_serial_stream_s",
+    "delta-ingest": "wall_full_warm_s",
+    "binary-ingest": "wall_json_s",
+}
 
-def pipeline_ratio(scenario):
-    """wall_s / wall_serial_stream_s for a pipelined-ingest scenario."""
+
+def wall_ratio(scenario, baseline_field):
+    """wall_s over the scenario's in-run baseline; None when either
+    side is missing, null, or zero (null-safe by construction)."""
     wall = scenario.get("wall_s")
-    serial = scenario.get("wall_serial_stream_s")
-    if not wall or not serial:
+    base = scenario.get(baseline_field)
+    if not wall or not base:
         return None
-    return wall / serial
+    return wall / base
 
 
 def fail(messages):
@@ -88,26 +103,26 @@ def main():
                     f"ok {s['name']}: speedup {s['speedup']:.1f}x "
                     f">= floor {floor:.1f}x"
                 )
-            # pipelined-ingest: the wall-time ratio vs the serial
-            # streamed path must not regress either (a pipeline that
-            # got slower shows up here even if the serial baseline
-            # moved too)
-            if s.get("kind") == "pipelined-ingest":
-                ratio = pipeline_ratio(s)
-                base_ratio = pipeline_ratio(b)
+            # ingest kinds: the wall-time ratio vs the in-run baseline
+            # must not regress either (a path that got slower shows up
+            # here even if its baseline moved too)
+            field = RATIO_BASELINE_FIELDS.get(s.get("kind"))
+            if field is not None:
+                ratio = wall_ratio(s, field)
+                base_ratio = wall_ratio(b, field)
                 if ratio is None or base_ratio is None:
                     continue
                 ceiling = base_ratio * (1.0 + ALLOWED_REGRESSION)
                 if ratio > ceiling:
                     failures.append(
-                        f"{s['name']}: pipelined/serial wall ratio "
-                        f"{ratio:.2f} exceeded {ceiling:.2f} "
-                        f"(baseline {base_ratio:.2f} + 30%)"
+                        f"{s['name']}: wall_s/{field} ratio "
+                        f"{ratio:.3f} exceeded {ceiling:.3f} "
+                        f"(baseline {base_ratio:.3f} + 30%)"
                     )
                 else:
                     print(
-                        f"ok {s['name']}: pipelined/serial wall ratio "
-                        f"{ratio:.2f} <= ceiling {ceiling:.2f}"
+                        f"ok {s['name']}: wall_s/{field} ratio "
+                        f"{ratio:.3f} <= ceiling {ceiling:.3f}"
                     )
         print(f"compared {shared} shared scenario(s) against {base_path}")
 

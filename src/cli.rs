@@ -16,10 +16,13 @@
 use rela_baseline::{path_diff, DiffOptions};
 
 use rela_core::{CheckSession, IngestMode, JobOptions, JobSpec, LabeledSource, SessionConfig};
-use rela_net::{snapshot_source, Granularity, LocationDb, Snapshot, SnapshotPair};
+use rela_net::{
+    diff_side, pair_epoch, scan_side, snapshot_source, write_delta, BinarySnapshotWriter,
+    Granularity, LocationDb, SideScan, Snapshot, SnapshotEpoch, SnapshotFramer, SnapshotPair,
+};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::io::Read;
+use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 /// Everything a `rela serve` daemon holds warm: the session inputs
@@ -80,6 +83,12 @@ pub enum Command {
         pre: PathBuf,
         /// Path to the post-change snapshot JSON.
         post: PathBuf,
+        /// `--delta-pre`/`--delta-post`: per-side delta documents to
+        /// send instead of the full pair when the daemon still retains
+        /// the base epoch in `job.delta_base` (see `rela snapshot
+        /// diff`). The full `pre`/`post` paths stay mandatory — they
+        /// are the fallback when the daemon answers `DELTA_MISS`.
+        delta: Option<(PathBuf, PathBuf)>,
         /// Per-job options, serialized into the JOB frame.
         job: JobOptions,
         /// `--cache-stats`: print the daemon's warm-hit counters after
@@ -110,6 +119,55 @@ pub enum Command {
         keep_epochs: Option<usize>,
         /// Total size cap in bytes for the directory.
         max_bytes: Option<u64>,
+    },
+    /// Run a check but print a machine-readable export instead of the
+    /// human table: `rela report --json|--csv`.
+    Report {
+        /// Path to the `.rela` spec program.
+        spec: PathBuf,
+        /// Path to the location database JSON.
+        db: PathBuf,
+        /// Path to the pre-change snapshot.
+        pre: PathBuf,
+        /// Path to the post-change snapshot.
+        post: PathBuf,
+        /// Location granularity.
+        granularity: Granularity,
+        /// Worker threads (0 = auto).
+        threads: usize,
+        /// Per-job options (same flags as `check`).
+        job: JobOptions,
+        /// Persistent verdict-cache directory (`--cache-dir`).
+        cache_dir: Option<PathBuf>,
+        /// `--csv`: per-FEC verdict rows instead of the full JSON
+        /// export.
+        csv: bool,
+    },
+    /// Convert a snapshot between the JSON and binary containers
+    /// without decoding records: `rela snapshot pack`.
+    SnapshotPack {
+        /// Source snapshot (`--in`; either container, `.gz` inflates).
+        input: PathBuf,
+        /// Destination path (`--out`).
+        output: PathBuf,
+        /// `--unpack`: emit the JSON container instead of binary.
+        unpack: bool,
+    },
+    /// Scan a base pair and a new pair, write per-side delta documents
+    /// for `rela submit --delta-base`: `rela snapshot diff`.
+    SnapshotDiff {
+        /// Base pre-change snapshot (`--base-pre`).
+        base_pre: PathBuf,
+        /// Base post-change snapshot (`--base-post`).
+        base_post: PathBuf,
+        /// New pre-change snapshot (`--pre`).
+        pre: PathBuf,
+        /// New post-change snapshot (`--post`).
+        post: PathBuf,
+        /// Where the pre-side delta document goes (`--out-pre`).
+        out_pre: PathBuf,
+        /// Where the post-side delta document goes (`--out-post`).
+        out_post: PathBuf,
     },
     /// Print the §2.3 path diff (the manual-inspection baseline).
     Diff {
@@ -168,9 +226,15 @@ USAGE:
              [--granularity group|device|interface] [--threads N]
              [--cache-dir DIR]
   rela submit --socket PATH --pre FILE --post FILE
+             [--delta-base EPOCH --delta-pre FILE --delta-post FILE]
              [--no-dedup] [--no-cache] [--cache-stats] [--no-stream]
              [--pipeline-depth N]
   rela submit --socket PATH --ping | --shutdown
+  rela report --spec FILE --db FILE --pre FILE --post FILE [--json | --csv]
+             [check flags]
+  rela snapshot pack --in FILE --out FILE [--unpack]
+  rela snapshot diff --base-pre FILE --base-post FILE --pre FILE --post FILE
+             --out-pre FILE --out-post FILE
   rela diff  --db FILE --pre FILE --post FILE
              [--granularity group|device|interface]
   rela cache gc --cache-dir DIR [--spec FILE --db FILE]
@@ -202,6 +266,20 @@ re-validating iteration N+1 of a change pays none of the startup cost.
 SIGTERM (or submit --shutdown) drains the daemon: in-flight jobs finish,
 new submissions are refused, then it exits 0 (docs/SERVE_PROTOCOL.md
 specifies the wire protocol).
+submit can ship only the change: --delta-base names the snapshot epoch
+the daemon retained (printed as `base epoch:` by a --cache-stats submit)
+and --delta-pre/--delta-post carry per-side delta documents (see
+`rela snapshot diff`); when the daemon no longer holds that base it
+answers with its current epoch and the client falls back to streaming
+the full --pre/--post pair, so the submit always completes.
+report runs the same check as `check` but prints a machine-readable
+export: --json (the default; verdict, stats, and per-FEC violations) or
+--csv (one row per violated sub-spec).
+snapshot pack converts between the JSON and binary snapshot containers
+(docs/SNAPSHOT_FORMAT.md) without decoding records — both containers
+hash and check identically; --unpack emits JSON from either input.
+snapshot diff scans a base pair and a new pair (no graph ever decodes)
+and writes per-side delta documents naming the base pair's epoch.
 cache gc prunes a verdict-store directory: with --spec/--db, every epoch
 other than the current spec's is dropped (keep the N most recent instead
 with --keep-epochs); --max-bytes caps the directory size.
@@ -216,7 +294,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let Some((cmd, mut rest)) = args.split_first() else {
         return Ok(Command::Help);
     };
-    // `cache` takes a subcommand before its flags
+    // `cache` and `snapshot` take a subcommand before their flags
     if cmd == "cache" {
         match rest.split_first() {
             Some((sub, tail)) if sub == "gc" => rest = tail,
@@ -224,14 +302,34 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             None => return Err(usage_error("`cache` needs a subcommand (try `cache gc`)")),
         }
     }
+    let mut snapshot_sub = "";
+    if cmd == "snapshot" {
+        match rest.split_first() {
+            Some((sub, tail)) if sub == "pack" || sub == "diff" => {
+                snapshot_sub = sub;
+                rest = tail;
+            }
+            Some((sub, _)) => {
+                return Err(usage_error(format!("unknown snapshot subcommand `{sub}`")))
+            }
+            None => {
+                return Err(usage_error(
+                    "`snapshot` needs a subcommand (try `snapshot pack` or `snapshot diff`)",
+                ))
+            }
+        }
+    }
     // flags that take no value
-    const SWITCHES: [&str; 6] = [
+    const SWITCHES: [&str; 9] = [
         "--no-dedup",
         "--no-cache",
         "--cache-stats",
         "--no-stream",
         "--ping",
         "--shutdown",
+        "--unpack",
+        "--json",
+        "--csv",
     ];
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -323,15 +421,69 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             } else if flags.contains_key("shutdown") {
                 Ok(Command::Shutdown { socket })
             } else {
+                let delta_base = match flags.get("delta-base") {
+                    None => None,
+                    Some(raw) => Some(
+                        raw.parse::<SnapshotEpoch>()
+                            .map_err(|e| usage_error(format!("invalid --delta-base `{raw}`: {e}")))?
+                            .as_u128(),
+                    ),
+                };
+                let delta = match (flags.get("delta-pre"), flags.get("delta-post")) {
+                    (Some(pre), Some(post)) => Some((PathBuf::from(pre), PathBuf::from(post))),
+                    (None, None) => None,
+                    _ => {
+                        return Err(usage_error(
+                            "--delta-pre and --delta-post must be given together",
+                        ))
+                    }
+                };
+                if delta.is_some() != delta_base.is_some() {
+                    return Err(usage_error(
+                        "a delta submit needs --delta-base, --delta-pre, and --delta-post together",
+                    ));
+                }
+                let mut job = job_options(&flags)?;
+                job.delta_base = delta_base;
                 Ok(Command::Submit {
                     socket,
                     pre: need("pre")?,
                     post: need("post")?,
-                    job: job_options(&flags)?,
+                    delta,
+                    job,
                     cache_stats: flags.contains_key("cache-stats"),
                 })
             }
         }
+        "report" => {
+            if flags.contains_key("json") && flags.contains_key("csv") {
+                return Err(usage_error("pick one of --json or --csv"));
+            }
+            Ok(Command::Report {
+                spec: need("spec")?,
+                db: need("db")?,
+                pre: need("pre")?,
+                post: need("post")?,
+                granularity,
+                threads,
+                job: job_options(&flags)?,
+                cache_dir: flags.get("cache-dir").map(PathBuf::from),
+                csv: flags.contains_key("csv"),
+            })
+        }
+        "snapshot" if snapshot_sub == "pack" => Ok(Command::SnapshotPack {
+            input: need("in")?,
+            output: need("out")?,
+            unpack: flags.contains_key("unpack"),
+        }),
+        "snapshot" => Ok(Command::SnapshotDiff {
+            base_pre: need("base-pre")?,
+            base_post: need("base-post")?,
+            pre: need("pre")?,
+            post: need("post")?,
+            out_pre: need("out-pre")?,
+            out_post: need("out-post")?,
+        }),
         "diff" => Ok(Command::Diff {
             db: need("db")?,
             pre: need("pre")?,
@@ -391,6 +543,57 @@ fn load_snapshot(path: &Path) -> Result<Snapshot, CliError> {
         .map_err(|e| usage_error(format!("{}: invalid snapshot: {e}", path.display())))
 }
 
+/// Open a check session — the "open a session, run one job, exit" path
+/// both `check` and `report` share with a `rela serve` daemon — with an
+/// optional verdict store attached. An unopenable store degrades to a
+/// cold (cache-free) run with a warning: the cache is an accelerator,
+/// never a dependency, so an IO problem must not block or re-label a
+/// valid validation.
+fn open_session(
+    spec: &Path,
+    db: &Path,
+    granularity: Granularity,
+    threads: usize,
+    use_cache: bool,
+    cache_dir: Option<&Path>,
+    out: &mut dyn Write,
+) -> Result<CheckSession, CliError> {
+    let source = read(spec)?;
+    let db = load_db(db)?;
+    let mut session = CheckSession::open(
+        &source,
+        db,
+        SessionConfig {
+            granularity,
+            threads,
+            retain_base: false,
+        },
+    )
+    .map_err(|e| usage_error(format!("{}: {e}", spec.display())))?;
+    if let Some(dir) = cache_dir.filter(|_| use_cache) {
+        // open-time sweep: stale sibling epochs age out of long-lived
+        // change-pipeline directories
+        match rela_cache::VerdictStore::open_with_gc(
+            dir,
+            session.epoch(),
+            &rela_cache::GcPolicy::default(),
+        ) {
+            Ok(store) => session.attach_store(store),
+            Err(e) => writeln!(out, "warning: cache disabled: {}: {e}", dir.display())
+                .map_err(|e| usage_error(format!("write failed: {e}")))?,
+        }
+    }
+    Ok(session)
+}
+
+/// Open a snapshot path as a labeled streaming source for a job.
+fn labeled(path: &Path) -> Result<LabeledSource<'static>, CliError> {
+    Ok(LabeledSource::new(
+        open_snapshot(path)?,
+        path.display().to_string(),
+    ))
+}
+
 /// Execute a command, writing human output through `out`. Returns the
 /// process exit code.
 pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<i32, CliError> {
@@ -414,45 +617,17 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<i32, CliError>
             cache_dir,
             cache_stats,
         } => {
-            // the one-shot CLI is "open a session, run one job, exit" —
-            // the same path a `rela serve` daemon keeps warm
-            let source = read(spec)?;
-            let db = load_db(db)?;
-            let mut session = CheckSession::open(
-                &source,
+            let session = open_session(
+                spec,
                 db,
-                SessionConfig {
-                    granularity: *granularity,
-                    threads: *threads,
-                },
-            )
-            .map_err(|e| usage_error(format!("{}: {e}", spec.display())))?;
-            // an unopenable store degrades to a cold (cache-free) run —
-            // the cache is an accelerator, never a dependency, so an IO
-            // problem must not block or re-label a valid validation
-            if let Some(dir) = cache_dir.as_ref().filter(|_| job.use_cache) {
-                // open-time sweep: stale sibling epochs age out of
-                // long-lived change-pipeline directories
-                match rela_cache::VerdictStore::open_with_gc(
-                    dir,
-                    session.epoch(),
-                    &rela_cache::GcPolicy::default(),
-                ) {
-                    Ok(store) => session.attach_store(store),
-                    Err(e) => emit(
-                        out,
-                        format!("warning: cache disabled: {}: {e}\n", dir.display()),
-                    )?,
-                }
-            }
-            let open = |path: &Path| -> Result<LabeledSource<'static>, CliError> {
-                Ok(LabeledSource::new(
-                    open_snapshot(path)?,
-                    path.display().to_string(),
-                ))
-            };
+                *granularity,
+                *threads,
+                job.use_cache,
+                cache_dir.as_deref(),
+                out,
+            )?;
             let report = session
-                .run(JobSpec::streams(open(pre)?, open(post)?).with_options(*job))
+                .run(JobSpec::streams(labeled(pre)?, labeled(post)?).with_options(*job))
                 .map_err(|e| usage_error(format!("invalid snapshot: {e}")))?;
             emit(out, report.to_string())?;
             // a failed flush degrades the next run to cold — warn,
@@ -492,9 +667,161 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<i32, CliError>
             socket,
             pre,
             post,
+            delta,
             job,
             cache_stats,
-        } => crate::client::submit(socket, pre, post, job, *cache_stats, out),
+        } => crate::client::submit(
+            socket,
+            pre,
+            post,
+            delta.as_ref().map(|(a, b)| (a.as_path(), b.as_path())),
+            job,
+            *cache_stats,
+            out,
+        ),
+        Command::Report {
+            spec,
+            db,
+            pre,
+            post,
+            granularity,
+            threads,
+            job,
+            cache_dir,
+            csv,
+        } => {
+            let session = open_session(
+                spec,
+                db,
+                *granularity,
+                *threads,
+                job.use_cache,
+                cache_dir.as_deref(),
+                out,
+            )?;
+            let report = session
+                .run(JobSpec::streams(labeled(pre)?, labeled(post)?).with_options(*job))
+                .map_err(|e| usage_error(format!("invalid snapshot: {e}")))?;
+            let rendered = if *csv {
+                report.to_csv()
+            } else {
+                let mut text = serde_json::to_string_pretty(&report.to_value())
+                    .map_err(|e| usage_error(e.to_string()))?;
+                text.push('\n');
+                text
+            };
+            emit(out, rendered)?;
+            if let Err(e) = session.persist_if_dirty() {
+                emit(out, format!("warning: could not persist cache: {e}\n"))?;
+            }
+            Ok(if report.is_compliant() { 0 } else { 1 })
+        }
+        Command::SnapshotPack {
+            input,
+            output,
+            unpack,
+        } => {
+            let label = input.display().to_string();
+            let mut framer = SnapshotFramer::new(open_snapshot(input)?, label.clone());
+            let file = std::fs::File::create(output)
+                .map_err(|e| usage_error(format!("{}: {e}", output.display())))?;
+            let sink = std::io::BufWriter::new(file);
+            let fail_out = |e: std::io::Error| usage_error(format!("{}: {e}", output.display()));
+            let count = if *unpack {
+                // record spans are already the JSON writer's bytes, so
+                // splicing them reproduces the JSON container exactly
+                let mut sink = sink;
+                sink.write_all(b"{\"fecs\":[").map_err(fail_out)?;
+                let mut written = 0usize;
+                for raw in &mut framer {
+                    let raw = raw.map_err(|e| usage_error(format!("invalid snapshot: {e}")))?;
+                    if written > 0 {
+                        sink.write_all(b",").map_err(fail_out)?;
+                    }
+                    sink.write_all(&raw.bytes).map_err(fail_out)?;
+                    written += 1;
+                }
+                sink.write_all(b"]}").map_err(fail_out)?;
+                sink.flush().map_err(fail_out)?;
+                written
+            } else {
+                let mut writer = BinarySnapshotWriter::new(sink).map_err(fail_out)?;
+                for raw in &mut framer {
+                    let raw = raw.map_err(|e| usage_error(format!("invalid snapshot: {e}")))?;
+                    match raw.split_spans(Some(&label)) {
+                        Ok((flow, graph)) => writer
+                            .write_raw(&raw.bytes[flow], &raw.bytes[graph])
+                            .map_err(fail_out)?,
+                        Err(_) => {
+                            // non-canonical encoding: decode once and
+                            // re-serialize to the canonical spans
+                            let (flow, graph) = raw
+                                .decode(Some(&label))
+                                .map_err(|e| usage_error(format!("invalid snapshot: {e}")))?;
+                            writer.write(&flow, &graph).map_err(fail_out)?;
+                        }
+                    }
+                }
+                let written = writer.written();
+                writer
+                    .finish()
+                    .map_err(fail_out)?
+                    .flush()
+                    .map_err(fail_out)?;
+                written
+            };
+            emit(
+                out,
+                format!(
+                    "{}: wrote {} record(s) ({})\n",
+                    output.display(),
+                    count,
+                    if *unpack { "json" } else { "binary" }
+                ),
+            )?;
+            Ok(0)
+        }
+        Command::SnapshotDiff {
+            base_pre,
+            base_post,
+            pre,
+            post,
+            out_pre,
+            out_post,
+        } => {
+            let scan = |path: &Path| -> Result<SideScan, CliError> {
+                let framer = SnapshotFramer::new(open_snapshot(path)?, path.display().to_string());
+                scan_side(framer).map_err(|e| usage_error(format!("invalid snapshot: {e}")))
+            };
+            let (base_pre, base_post) = (scan(base_pre)?, scan(base_post)?);
+            // the delta names the *pair* epoch, so both base sides are
+            // scanned even when only one side changed
+            let epoch = pair_epoch(base_pre.fold, base_post.fold);
+            let write = |path: &Path, base: &SideScan, new: &SideScan| {
+                let diff = diff_side(base, new);
+                let file = std::fs::File::create(path)
+                    .map_err(|e| usage_error(format!("{}: {e}", path.display())))?;
+                write_delta(
+                    std::io::BufWriter::new(file),
+                    epoch,
+                    &diff.removed,
+                    &diff.records,
+                )
+                .map_err(|e| usage_error(format!("{}: {e}", path.display())))?;
+                Ok::<(usize, usize), CliError>((diff.records.len(), diff.removed.len()))
+            };
+            let (pre_changed, pre_removed) = write(out_pre, &base_pre, &scan(pre)?)?;
+            let (post_changed, post_removed) = write(out_post, &base_post, &scan(post)?)?;
+            emit(
+                out,
+                format!(
+                    "base epoch: {epoch}\n\
+                     pre delta: {pre_changed} changed/added, {pre_removed} removed\n\
+                     post delta: {post_changed} changed/added, {post_removed} removed\n"
+                ),
+            )?;
+            Ok(0)
+        }
         Command::Ping { socket } => crate::client::ping(socket, out),
         Command::Shutdown { socket } => crate::client::shutdown(socket, out),
         Command::CacheGc {
@@ -1005,6 +1332,312 @@ mod tests {
         // serve requires a socket path
         let err = parse_args(&args(&["serve", "--spec", "s", "--db", "d"])).unwrap_err();
         assert!(err.message.contains("--socket"), "{err}");
+    }
+
+    #[test]
+    fn submit_delta_flags_parse_together_or_not_at_all() {
+        let epoch = "00000000000000000000000000000abc";
+        match parse_args(&args(&[
+            "submit",
+            "--socket",
+            "s",
+            "--pre",
+            "a.json",
+            "--post",
+            "b.json",
+            "--delta-base",
+            epoch,
+            "--delta-pre",
+            "da.json",
+            "--delta-post",
+            "db.json",
+        ]))
+        .unwrap()
+        {
+            Command::Submit { delta, job, .. } => {
+                assert_eq!(
+                    delta,
+                    Some((PathBuf::from("da.json"), PathBuf::from("db.json")))
+                );
+                assert_eq!(job.delta_base, Some(0xabc));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // a plain submit carries no delta
+        match parse_args(&args(&[
+            "submit", "--socket", "s", "--pre", "a.json", "--post", "b.json",
+        ]))
+        .unwrap()
+        {
+            Command::Submit { delta, job, .. } => {
+                assert_eq!(delta, None);
+                assert_eq!(job.delta_base, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // one delta path without the other, or paths without a base
+        // (and vice versa), are usage errors
+        let incomplete: &[&[&str]] = &[
+            &["--delta-pre", "da.json"],
+            &["--delta-base", epoch],
+            &["--delta-pre", "da.json", "--delta-post", "db.json"],
+        ];
+        for extra in incomplete {
+            let mut argv = vec!["submit", "--socket", "s", "--pre", "a", "--post", "b"];
+            argv.extend_from_slice(extra);
+            assert_eq!(parse_args(&args(&argv)).unwrap_err().code, 2, "{extra:?}");
+        }
+        // the base must be a 32-hex epoch
+        let err = parse_args(&args(&[
+            "submit",
+            "--socket",
+            "s",
+            "--pre",
+            "a",
+            "--post",
+            "b",
+            "--delta-base",
+            "xyz",
+            "--delta-pre",
+            "da",
+            "--delta-post",
+            "db",
+        ]))
+        .unwrap_err();
+        assert!(err.message.contains("--delta-base"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_and_report_commands_parse() {
+        match parse_args(&args(&[
+            "snapshot", "pack", "--in", "a.json", "--out", "a.rsnb",
+        ]))
+        .unwrap()
+        {
+            Command::SnapshotPack {
+                input,
+                output,
+                unpack,
+            } => {
+                assert_eq!(input, PathBuf::from("a.json"));
+                assert_eq!(output, PathBuf::from("a.rsnb"));
+                assert!(!unpack);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(&args(&[
+            "snapshot", "pack", "--in", "a.rsnb", "--out", "a.json", "--unpack",
+        ]))
+        .unwrap()
+        {
+            Command::SnapshotPack { unpack, .. } => assert!(unpack),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(&args(&[
+            "snapshot",
+            "diff",
+            "--base-pre",
+            "bp",
+            "--base-post",
+            "bq",
+            "--pre",
+            "p",
+            "--post",
+            "q",
+            "--out-pre",
+            "op",
+            "--out-post",
+            "oq",
+        ]))
+        .unwrap()
+        {
+            Command::SnapshotDiff {
+                base_pre, out_post, ..
+            } => {
+                assert_eq!(base_pre, PathBuf::from("bp"));
+                assert_eq!(out_post, PathBuf::from("oq"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(parse_args(&args(&["snapshot"])).unwrap_err().code, 2);
+        assert_eq!(
+            parse_args(&args(&["snapshot", "unpack"])).unwrap_err().code,
+            2
+        );
+
+        match parse_args(&args(&[
+            "report", "--spec", "s", "--db", "d", "--pre", "a", "--post", "b", "--csv",
+        ]))
+        .unwrap()
+        {
+            Command::Report { csv, .. } => assert!(csv),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(&args(&[
+            "report", "--spec", "s", "--db", "d", "--pre", "a", "--post", "b",
+        ]))
+        .unwrap()
+        {
+            Command::Report { csv, job, .. } => {
+                assert!(!csv, "JSON is the default export");
+                assert!(job.dedup);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = parse_args(&args(&[
+            "report", "--spec", "s", "--db", "d", "--pre", "a", "--post", "b", "--json", "--csv",
+        ]))
+        .unwrap_err();
+        assert!(err.message.contains("--json or --csv"), "{err}");
+    }
+
+    /// `snapshot pack` then `pack --unpack` is a byte-exact inverse, a
+    /// packed snapshot checks identically to its JSON source, and
+    /// `report --json/--csv` exports agree with the human verdict.
+    #[test]
+    fn pack_roundtrips_and_report_exports_agree() {
+        use serde::Value;
+        let dir = std::env::temp_dir().join(format!("rela-pack-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut sink = Vec::new();
+        run(&Command::Demo { out: dir.clone() }, &mut sink).unwrap();
+
+        // pack both sides to binary, unpack one back to JSON
+        for name in ["pre.json", "post_v2.json"] {
+            let packed = dir.join(format!("{name}.rsnb"));
+            let cmd = Command::SnapshotPack {
+                input: dir.join(name),
+                output: packed.clone(),
+                unpack: false,
+            };
+            let mut sink = Vec::new();
+            assert_eq!(run(&cmd, &mut sink).unwrap(), 0);
+            let text = String::from_utf8(sink).unwrap();
+            assert!(text.contains("record(s) (binary)"), "{text}");
+            assert!(std::fs::metadata(&packed).unwrap().len() > 0);
+        }
+        let unpacked = dir.join("pre.unpacked.json");
+        let cmd = Command::SnapshotPack {
+            input: dir.join("pre.json.rsnb"),
+            output: unpacked.clone(),
+            unpack: true,
+        };
+        run(&cmd, &mut Vec::new()).unwrap();
+        assert_eq!(
+            std::fs::read(&unpacked).unwrap(),
+            std::fs::read(dir.join("pre.json")).unwrap(),
+            "pack → unpack must be byte-exact"
+        );
+
+        // a check over the packed pair matches the JSON pair
+        let check = |pre: PathBuf, post: PathBuf| {
+            let cmd = Command::Check {
+                spec: dir.join("change.rela"),
+                db: dir.join("db.json"),
+                pre,
+                post,
+                granularity: Granularity::Group,
+                threads: 1,
+                job: JobOptions::default(),
+                cache_dir: None,
+                cache_stats: false,
+            };
+            let mut sink = Vec::new();
+            let code = run(&cmd, &mut sink).unwrap();
+            (code, String::from_utf8(sink).unwrap())
+        };
+        let verdicts = |text: &str| {
+            text.lines()
+                .filter(|l| !l.starts_with("checked "))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let (code_j, json_text) = check(dir.join("pre.json"), dir.join("post_v2.json"));
+        let (code_b, bin_text) = check(dir.join("pre.json.rsnb"), dir.join("post_v2.json.rsnb"));
+        assert_eq!([code_j, code_b], [1, 1]);
+        assert_eq!(verdicts(&json_text), verdicts(&bin_text));
+
+        // report --json agrees with the human verdict and carries stats
+        let report = |csv: bool| {
+            let cmd = Command::Report {
+                spec: dir.join("change.rela"),
+                db: dir.join("db.json"),
+                pre: dir.join("pre.json"),
+                post: dir.join("post_v2.json"),
+                granularity: Granularity::Group,
+                threads: 1,
+                job: JobOptions::default(),
+                cache_dir: None,
+                csv,
+            };
+            let mut sink = Vec::new();
+            let code = run(&cmd, &mut sink).unwrap();
+            (code, String::from_utf8(sink).unwrap())
+        };
+        let (code, json) = report(false);
+        assert_eq!(code, 1);
+        let value: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value.get("verdict").and_then(Value::as_str), Some("FAIL"));
+        assert!(value.get("stats").and_then(|s| s.get("fecs")).is_some());
+        let (code, csv) = report(true);
+        assert_eq!(code, 1);
+        assert!(csv.starts_with("flow,check,route,part,detail"), "{csv}");
+        assert!(csv.lines().count() > 1, "{csv}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `snapshot diff` emits per-side delta documents whose base epoch
+    /// both sides share, and an unchanged side diffs to empty.
+    #[test]
+    fn snapshot_diff_writes_delta_documents() {
+        let dir = std::env::temp_dir().join(format!("rela-sdiff-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut sink = Vec::new();
+        run(&Command::Demo { out: dir.clone() }, &mut sink).unwrap();
+
+        let cmd = Command::SnapshotDiff {
+            base_pre: dir.join("pre.json"),
+            base_post: dir.join("post_v2.json"),
+            pre: dir.join("pre.json"),
+            post: dir.join("post_v4.json"),
+            out_pre: dir.join("delta_pre.json"),
+            out_post: dir.join("delta_post.json"),
+        };
+        let mut sink = Vec::new();
+        assert_eq!(run(&cmd, &mut sink).unwrap(), 0);
+        let text = String::from_utf8(sink).unwrap();
+        assert!(text.contains("base epoch: "), "{text}");
+        assert!(
+            text.contains("pre delta: 0 changed/added, 0 removed"),
+            "{text}"
+        );
+
+        let epoch = text
+            .lines()
+            .next()
+            .unwrap()
+            .trim_start_matches("base epoch: ")
+            .to_owned();
+        let pre_delta = rela_net::SnapshotDelta::from_reader(
+            std::fs::File::open(dir.join("delta_pre.json")).unwrap(),
+            "delta_pre.json",
+        )
+        .unwrap();
+        let post_delta = rela_net::SnapshotDelta::from_reader(
+            std::fs::File::open(dir.join("delta_post.json")).unwrap(),
+            "delta_post.json",
+        )
+        .unwrap();
+        assert_eq!(pre_delta.base.to_string(), epoch);
+        assert_eq!(post_delta.base, pre_delta.base);
+        assert!(pre_delta.records.is_empty() && pre_delta.removed.is_empty());
+        assert!(
+            !post_delta.records.is_empty(),
+            "v2 → v4 changes post-side records"
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

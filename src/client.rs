@@ -10,8 +10,8 @@
 
 use crate::cli::CliError;
 use crate::proto::{
-    read_frame, write_frame, KIND_ERROR, KIND_JOB, KIND_PING, KIND_PONG, KIND_POST, KIND_PRE,
-    KIND_REPORT, KIND_SHUTDOWN,
+    read_frame, write_frame, KIND_DELTA_MISS, KIND_DELTA_OK, KIND_ERROR, KIND_JOB, KIND_PING,
+    KIND_PONG, KIND_POST, KIND_PRE, KIND_REPORT, KIND_SHUTDOWN,
 };
 use rela_core::JobOptions;
 use rela_net::snapshot_source;
@@ -77,10 +77,16 @@ impl SideFeed {
 
 /// Submit one check job; prints the daemon's report and returns the
 /// check's exit code (0 compliant, 1 violations, 2 errors).
+///
+/// With `delta` paths and `options.delta_base` set, the client first
+/// negotiates: if the daemon retains exactly that base epoch it accepts
+/// (`DELTA_OK`) and only the delta documents travel; otherwise
+/// (`DELTA_MISS`) the client falls back to streaming the full pair.
 pub fn submit(
     socket: &Path,
     pre: &Path,
     post: &Path,
+    delta: Option<(&Path, &Path)>,
     options: &JobOptions,
     cache_stats: bool,
     out: &mut dyn std::io::Write,
@@ -88,9 +94,41 @@ pub fn submit(
     let mut stream = connect(socket)?;
     let json = serde_json::to_string(&options.to_value())
         .map_err(|e| usage_error(format!("serializing job options: {e}")))?;
+    let sent = write_frame(&mut stream, KIND_JOB, json.as_bytes()).is_ok();
+    let (pre, post) = match (delta, options.delta_base) {
+        (Some((delta_pre, delta_post)), Some(_)) if sent => {
+            // the daemon answers the negotiation before any snapshot
+            // bytes move
+            match read_frame(&mut stream) {
+                Ok(Some((KIND_DELTA_OK, _))) => (delta_pre, delta_post),
+                Ok(Some((KIND_DELTA_MISS, payload))) => {
+                    let base = parse_reply(&payload)
+                        .ok()
+                        .and_then(|v| v.get("base").and_then(Value::as_str).map(str::to_owned));
+                    writeln!(
+                        out,
+                        "delta base not retained by daemon (its base: {}); sending full snapshots",
+                        base.as_deref().unwrap_or("none")
+                    )
+                    .map_err(|e| usage_error(format!("write failed: {e}")))?;
+                    (pre, post)
+                }
+                Ok(Some((KIND_ERROR, payload))) => {
+                    return Err(usage_error(error_message(&payload)))
+                }
+                Ok(Some((kind, _))) => {
+                    return Err(usage_error(format!("unexpected reply frame 0x{kind:02x}")))
+                }
+                Ok(None) => {
+                    return Err(usage_error("daemon closed the connection without a reply"))
+                }
+                Err(e) => return Err(usage_error(format!("reading delta negotiation: {e}"))),
+            }
+        }
+        _ => (pre, post),
+    };
     let mut pre = SideFeed::open(pre, KIND_PRE)?;
     let mut post = SideFeed::open(post, KIND_POST)?;
-    let sent = write_frame(&mut stream, KIND_JOB, json.as_bytes()).is_ok();
     if sent {
         // interleave the sides so the daemon's lockstep aligner always
         // has bytes for whichever side it pulls next
@@ -118,12 +156,17 @@ pub fn submit(
                     |name: &str| -> u64 { stats.get(name).and_then(Value::as_u64).unwrap_or(0) };
                 writeln!(
                     out,
-                    "cache: {} warm hits / {} classes, {} fst memo hits",
+                    "cache: {} warm hits / {} classes, {} fst memo hits, {} graph decodes",
                     count("warm_hits"),
                     count("classes"),
                     count("fst_memo_hits"),
+                    count("graph_decodes"),
                 )
                 .map_err(|e| usage_error(format!("write failed: {e}")))?;
+                if let Some(base) = stats.get("base_epoch").and_then(Value::as_str) {
+                    writeln!(out, "base epoch: {base}")
+                        .map_err(|e| usage_error(format!("write failed: {e}")))?;
+                }
             }
             Ok(exit as i32)
         }

@@ -31,6 +31,17 @@ pub const KIND_PONG: u8 = 0x21;
 /// Ask the daemon to drain and exit (client → server), empty payload.
 /// Acknowledged with a PONG before the drain begins.
 pub const KIND_SHUTDOWN: u8 = 0x22;
+/// Delta negotiation accept (server → client): the daemon holds the
+/// base epoch the job's `delta_base` names, so the `PRE`/`POST` frames
+/// that follow carry *delta documents*. Payload: `{"base"}` (the
+/// agreed 32-hex epoch).
+pub const KIND_DELTA_OK: u8 = 0x30;
+/// Delta negotiation refusal (server → client): the daemon has no
+/// retained base or a different one; the client must fall back to full
+/// snapshots. Payload: `{"base"}` (the daemon's current epoch, or
+/// null). The job stays open — the following `PRE`/`POST` frames are a
+/// full pair.
+pub const KIND_DELTA_MISS: u8 = 0x31;
 
 /// Upper bound on one frame's payload. Large snapshots are *chunked* by
 /// the sender, so a frame this big is a protocol violation, not a big

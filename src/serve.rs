@@ -16,8 +16,8 @@
 
 use crate::cli::{CliError, ServeConfig};
 use crate::proto::{
-    read_frame, write_frame, KIND_ERROR, KIND_JOB, KIND_PING, KIND_PONG, KIND_POST, KIND_PRE,
-    KIND_REPORT, KIND_SHUTDOWN,
+    read_frame, write_frame, KIND_DELTA_MISS, KIND_DELTA_OK, KIND_ERROR, KIND_JOB, KIND_PING,
+    KIND_PONG, KIND_POST, KIND_PRE, KIND_REPORT, KIND_SHUTDOWN,
 };
 use rela_core::{CheckSession, JobOptions, JobSpec, LabeledSource, SessionConfig};
 use rela_net::chunk_pipe;
@@ -132,6 +132,9 @@ pub fn serve(config: &ServeConfig, out: &mut dyn std::io::Write) -> Result<i32, 
         SessionConfig {
             granularity: config.granularity,
             threads: config.threads,
+            // a resident daemon is exactly the iterate-and-resubmit
+            // loop delta ingest exists for
+            retain_base: true,
         },
     )
     .map_err(|e| CliError {
@@ -291,7 +294,7 @@ fn handle_connection(
 /// the two sides in lockstep, and a bounded pipe would deadlock against
 /// a client that (legitimately) sends one side first.
 fn run_job(stream: &mut UnixStream, session: &CheckSession, payload: &[u8], id: usize) {
-    let options = match std::str::from_utf8(payload)
+    let mut options = match std::str::from_utf8(payload)
         .map_err(|e| e.to_string())
         .and_then(|text| serde_json::from_str(text).map_err(|e| e.to_string()))
         .and_then(|value| JobOptions::from_value(&value).map_err(|e| e.to_string()))
@@ -303,6 +306,41 @@ fn run_job(stream: &mut UnixStream, session: &CheckSession, payload: &[u8], id: 
         }
     };
 
+    // delta negotiation: the client proposes a base epoch; accept only
+    // if it is exactly the pair this session retains. On a miss the job
+    // stays open — the client falls back to sending the full pair.
+    let base_value = |epoch: Option<rela_net::SnapshotEpoch>| match epoch {
+        Some(epoch) => Value::Str(epoch.to_string()),
+        None => Value::Null,
+    };
+    let mut delta = false;
+    if let Some(proposed) = options.delta_base {
+        let current = session.base_epoch();
+        if current.map(rela_net::SnapshotEpoch::as_u128) == Some(proposed) {
+            delta = true;
+            if send_json(
+                stream,
+                KIND_DELTA_OK,
+                &Value::obj(vec![("base", base_value(current))]),
+            )
+            .is_err()
+            {
+                return;
+            }
+        } else {
+            options.delta_base = None;
+            if send_json(
+                stream,
+                KIND_DELTA_MISS,
+                &Value::obj(vec![("base", base_value(current))]),
+            )
+            .is_err()
+            {
+                return;
+            }
+        }
+    }
+
     let (pre_tx, pre_rx) = chunk_pipe();
     let (post_tx, post_rx) = chunk_pipe();
     let mut pre_tx = Some(pre_tx);
@@ -310,13 +348,14 @@ fn run_job(stream: &mut UnixStream, session: &CheckSession, payload: &[u8], id: 
 
     let (result, protocol_error) = std::thread::scope(|scope| {
         let job = scope.spawn(move || {
-            session.run(
-                JobSpec::streams(
-                    LabeledSource::new(pre_rx, format!("job-{id}:pre")),
-                    LabeledSource::new(post_rx, format!("job-{id}:post")),
-                )
-                .with_options(options),
-            )
+            let pre = LabeledSource::new(pre_rx, format!("job-{id}:pre"));
+            let post = LabeledSource::new(post_rx, format!("job-{id}:post"));
+            let spec = if delta {
+                JobSpec::deltas(pre, post)
+            } else {
+                JobSpec::streams(pre, post)
+            };
+            session.run(spec.with_options(options))
         });
         let mut protocol_error: Option<String> = None;
         while pre_tx.is_some() || post_tx.is_some() {
@@ -385,6 +424,10 @@ fn run_job(stream: &mut UnixStream, session: &CheckSession, payload: &[u8], id: 
                         ("warm_hits", stats.warm_hits.to_value()),
                         ("dedup_hits", stats.dedup_hits.to_value()),
                         ("fst_memo_hits", stats.fst_memo_hits.to_value()),
+                        ("graph_decodes", stats.graph_decodes.to_value()),
+                        // the epoch of the pair just retained — what the
+                        // next delta submission should name as its base
+                        ("base_epoch", base_value(session.base_epoch())),
                     ]),
                 ),
             ]);

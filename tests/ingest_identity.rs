@@ -1,0 +1,276 @@
+//! The ingest-identity property of the delta-first pipeline: a full
+//! JSON snapshot, its binary packing, and a delta against a retained
+//! base are three encodings of the same pair, so every combination of
+//! container × ingest mode × pipeline depth must produce byte-identical
+//! reports — and a corrupted byte stream must fail with the same
+//! labelled, offset-addressed error no matter which engine path hits
+//! it first.
+
+use rela::lang::{
+    CheckReport, CheckSession, IngestMode, JobOptions, JobSpec, LabeledSource, SessionConfig,
+};
+use rela::net::{BinarySnapshotWriter, Granularity, SnapshotFramer};
+use rela::sim::workload::{iteration_deltas, spec_of_size, synthetic_wan, WanParams};
+
+fn params() -> WanParams {
+    WanParams {
+        regions: 3,
+        routers_per_group: 1,
+        parallel_links: 1,
+        fecs_per_pair: 4,
+    }
+}
+
+/// The three snapshot encodings of one evaluation pair: the canonical
+/// JSON text, its binary packing, and (for the second iteration) the
+/// delta documents against the first.
+struct Fixture {
+    spec: String,
+    db: rela::net::LocationDb,
+    pre_json: String,
+    post_seed_json: String,
+    post_json: String,
+    base_epoch: rela::net::SnapshotEpoch,
+    delta_pre: Vec<u8>,
+    delta_post: Vec<u8>,
+}
+
+fn fixture() -> Fixture {
+    let params = params();
+    let wan = synthetic_wan(&params);
+    let di = iteration_deltas(&wan, &params, 2);
+    Fixture {
+        spec: spec_of_size(4, params.regions),
+        db: wan.topology.db,
+        pre_json: di.pre.to_json().unwrap(),
+        post_seed_json: di.posts[0].to_json().unwrap(),
+        post_json: di.posts[1].to_json().unwrap(),
+        base_epoch: di.deltas[0].base,
+        delta_pre: di.deltas[0].pre_doc.clone(),
+        delta_post: di.deltas[0].post_doc.clone(),
+    }
+}
+
+fn session(fx: &Fixture, retain_base: bool) -> CheckSession {
+    CheckSession::open(
+        &fx.spec,
+        fx.db.clone(),
+        SessionConfig {
+            granularity: Granularity::Group,
+            threads: 1,
+            retain_base,
+        },
+    )
+    .unwrap()
+}
+
+/// Pack a canonical JSON snapshot into the binary container by raw
+/// span moves — the `rela snapshot pack` path, in memory.
+fn pack(json: &str) -> Vec<u8> {
+    let mut framer = SnapshotFramer::new(json.as_bytes(), "pack");
+    let mut writer = BinarySnapshotWriter::new(Vec::new()).unwrap();
+    for raw in &mut framer {
+        let raw = raw.unwrap();
+        let (flow, graph) = raw.split_spans(Some("pack")).unwrap();
+        writer
+            .write_raw(&raw.bytes[flow], &raw.bytes[graph])
+            .unwrap();
+    }
+    writer.finish().unwrap()
+}
+
+/// Verdict bytes: the report minus its timing- and stats-bearing lines
+/// (the filter every engine-equivalence test uses).
+fn verdict_bytes(report: &CheckReport) -> String {
+    report
+        .to_string()
+        .lines()
+        .filter(|l| !l.starts_with("checked ") && !l.starts_with("behavior classes:"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn stream_job<'a>(pre: &'a [u8], post: &'a [u8], ingest: IngestMode) -> JobSpec<'a> {
+    JobSpec::streams(
+        LabeledSource::new(pre, "pre"),
+        LabeledSource::new(post, "post"),
+    )
+    .with_options(JobOptions {
+        ingest,
+        ..JobOptions::default()
+    })
+}
+
+#[test]
+fn every_container_mode_and_depth_agrees_with_materialized_json() {
+    let fx = fixture();
+    let binary_pre = pack(&fx.pre_json);
+    let binary_post = pack(&fx.post_json);
+    let baseline = session(&fx, false)
+        .run(stream_job(
+            fx.pre_json.as_bytes(),
+            fx.post_json.as_bytes(),
+            IngestMode::Materialized,
+        ))
+        .unwrap();
+    assert!(!baseline.is_compliant(), "the change must be visible");
+    let containers: [(&str, &[u8], &[u8]); 2] = [
+        ("json", fx.pre_json.as_bytes(), fx.post_json.as_bytes()),
+        ("binary", &binary_pre, &binary_post),
+    ];
+    let modes = [
+        IngestMode::Materialized,
+        IngestMode::Serial,
+        IngestMode::Pipelined { depth: 0 },
+        IngestMode::Pipelined { depth: 1 },
+        IngestMode::Pipelined { depth: 2 },
+        IngestMode::Pipelined { depth: 7 },
+    ];
+    for (container, pre, post) in containers {
+        for mode in modes {
+            let report = session(&fx, false)
+                .run(stream_job(pre, post, mode))
+                .unwrap();
+            assert_eq!(
+                verdict_bytes(&report),
+                verdict_bytes(&baseline),
+                "{container} × {mode:?} diverged from materialized JSON"
+            );
+        }
+    }
+}
+
+#[test]
+fn delta_submission_agrees_with_both_containers() {
+    let fx = fixture();
+    let s = session(&fx, true);
+    // seed the retained base with the first iteration's pair
+    s.run(stream_job(
+        fx.pre_json.as_bytes(),
+        fx.post_seed_json.as_bytes(),
+        IngestMode::default(),
+    ))
+    .unwrap();
+    assert_eq!(s.base_epoch(), Some(fx.base_epoch));
+    let delta_report = s
+        .run(
+            JobSpec::deltas(
+                LabeledSource::new(&fx.delta_pre[..], "delta:pre"),
+                LabeledSource::new(&fx.delta_post[..], "delta:post"),
+            )
+            .with_options(JobOptions {
+                delta_base: Some(fx.base_epoch.as_u128()),
+                ..JobOptions::default()
+            }),
+        )
+        .unwrap();
+    let full = session(&fx, false)
+        .run(stream_job(
+            fx.pre_json.as_bytes(),
+            fx.post_json.as_bytes(),
+            IngestMode::Materialized,
+        ))
+        .unwrap();
+    assert_eq!(verdict_bytes(&delta_report), verdict_bytes(&full));
+    let binary = session(&fx, false)
+        .run(stream_job(
+            &pack(&fx.pre_json),
+            &pack(&fx.post_json),
+            IngestMode::Pipelined { depth: 0 },
+        ))
+        .unwrap();
+    assert_eq!(verdict_bytes(&delta_report), verdict_bytes(&binary));
+}
+
+/// Deterministic truncation points spread over `len` bytes, always
+/// including the mid-header and one-byte-short extremes.
+fn truncation_points(len: usize) -> Vec<usize> {
+    let mut points = vec![3.min(len), len.saturating_sub(1)];
+    let mut x = 0x9e37_79b9_u64;
+    for _ in 0..12 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        points.push((x % len as u64) as usize);
+    }
+    points.sort_unstable();
+    points.dedup();
+    points
+}
+
+#[test]
+fn truncation_errors_keep_the_label_offset_contract_in_every_container() {
+    let fx = fixture();
+    let containers: [(&str, Vec<u8>, Vec<u8>); 2] = [
+        (
+            "json",
+            fx.pre_json.clone().into_bytes(),
+            fx.post_json.clone().into_bytes(),
+        ),
+        ("binary", pack(&fx.pre_json), pack(&fx.post_json)),
+    ];
+    for (container, pre, post) in &containers {
+        for cut in truncation_points(post.len()) {
+            let clipped = &post[..cut];
+            // the serial and pipelined engines must surface the same
+            // labelled, offset-addressed error for the same corruption
+            let serial = session(&fx, false)
+                .run(stream_job(pre, clipped, IngestMode::Serial))
+                .unwrap_err();
+            let pipelined = session(&fx, false)
+                .run(stream_job(pre, clipped, IngestMode::Pipelined { depth: 2 }))
+                .unwrap_err();
+            for err in [&serial, &pipelined] {
+                assert_eq!(
+                    err.label(),
+                    Some("post"),
+                    "{container} cut at {cut}: wrong label ({err})"
+                );
+                assert!(
+                    err.byte_offset().is_some(),
+                    "{container} cut at {cut}: no byte offset ({err})"
+                );
+            }
+            assert_eq!(
+                serial.to_string(),
+                pipelined.to_string(),
+                "{container} cut at {cut}: serial and pipelined errors diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn truncated_delta_documents_keep_the_error_contract() {
+    let fx = fixture();
+    for cut in truncation_points(fx.delta_post.len()) {
+        let s = session(&fx, true);
+        s.run(stream_job(
+            fx.pre_json.as_bytes(),
+            fx.post_seed_json.as_bytes(),
+            IngestMode::default(),
+        ))
+        .unwrap();
+        let err = s
+            .run(
+                JobSpec::deltas(
+                    LabeledSource::new(&fx.delta_pre[..], "delta:pre"),
+                    LabeledSource::new(&fx.delta_post[..cut], "delta:post"),
+                )
+                .with_options(JobOptions {
+                    delta_base: Some(fx.base_epoch.as_u128()),
+                    ..JobOptions::default()
+                }),
+            )
+            .unwrap_err();
+        assert_eq!(err.label(), Some("delta:post"), "cut at {cut}: {err}");
+        assert!(
+            err.byte_offset().is_some(),
+            "cut at {cut}: no offset ({err})"
+        );
+        // a cut inside the records array addresses the broken entry
+        if err.to_string().contains("entry") {
+            assert!(err.entry_index().is_some(), "cut at {cut}: {err}");
+        }
+    }
+}

@@ -23,6 +23,8 @@ fn verdict_bytes(text: &str) -> String {
                 && !l.starts_with("behavior classes:")
                 && !l.starts_with("cache:")
                 && !l.starts_with("warning:")
+                && !l.starts_with("base epoch:")
+                && !l.starts_with("delta base not retained")
         })
         .collect::<Vec<_>>()
         .join("\n")
@@ -101,6 +103,7 @@ fn submit(socket: &Path, dir: &Path, post: &str, cache_stats: bool) -> (i32, Str
             socket: socket.to_path_buf(),
             pre: dir.join("pre.json"),
             post: dir.join(post),
+            delta: None,
             job: JobOptions::default(),
             cache_stats,
         },
@@ -108,6 +111,43 @@ fn submit(socket: &Path, dir: &Path, post: &str, cache_stats: bool) -> (i32, Str
     )
     .expect("submit succeeds");
     (code, String::from_utf8(sink).unwrap())
+}
+
+/// Submit with delta documents against `base` (full pair stays the
+/// fallback); always asks for cache stats so callers can read the
+/// decode counters and the daemon's next base epoch.
+fn submit_delta(
+    socket: &Path,
+    dir: &Path,
+    post: &str,
+    base: &str,
+    delta_pre: &Path,
+    delta_post: &Path,
+) -> (i32, String) {
+    let mut sink = Vec::new();
+    let code = cli::run(
+        &Command::Submit {
+            socket: socket.to_path_buf(),
+            pre: dir.join("pre.json"),
+            post: dir.join(post),
+            delta: Some((delta_pre.to_path_buf(), delta_post.to_path_buf())),
+            job: JobOptions {
+                delta_base: Some(base.parse::<rela::net::SnapshotEpoch>().unwrap().as_u128()),
+                ..JobOptions::default()
+            },
+            cache_stats: true,
+        },
+        &mut sink,
+    )
+    .expect("submit succeeds");
+    (code, String::from_utf8(sink).unwrap())
+}
+
+/// Pull one `name: value`-style stat off a submit --cache-stats tail.
+fn stat_line<'t>(text: &'t str, prefix: &str) -> &'t str {
+    text.lines()
+        .find(|l| l.starts_with(prefix))
+        .unwrap_or_else(|| panic!("no `{prefix}` line in: {text}"))
 }
 
 /// Poll the daemon's status line until it contains `needle`.
@@ -218,6 +258,172 @@ fn concurrent_submits_match_one_shot_and_replay_warm() {
     .expect("shutdown is acknowledged");
     let ack = String::from_utf8(sink).unwrap();
     assert!(ack.contains("draining"), "{ack}");
+    wait_exit(daemon, &socket);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The §8.1 delta-first iteration loop end-to-end: a full submission
+/// seeds the daemon's retained base, `rela snapshot diff` computes the
+/// same epoch client-side, a delta submission is byte-identical to the
+/// full-pair path while decoding only the changed records, an unchanged
+/// delta decodes nothing at all, and a stale base falls back to full
+/// snapshots without failing the submit.
+#[test]
+fn delta_submission_matches_full_and_skips_unchanged_decodes() {
+    let dir = demo_dir("delta");
+    let socket = dir.join("daemon.sock");
+    let cache = dir.join("cache");
+    let daemon = spawn_daemon(&dir, &socket, Some(&cache));
+
+    // cache-stats counters come back as: warm hits, classes, fst memo
+    // hits, graph decodes
+    let counters = |text: &str| -> Vec<usize> {
+        stat_line(text, "cache: ")
+            .split(|c: char| !c.is_ascii_digit())
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse().unwrap())
+            .collect()
+    };
+    let epoch_of = |text: &str| -> String {
+        stat_line(text, "base epoch: ")
+            .trim_start_matches("base epoch: ")
+            .to_owned()
+    };
+
+    // seed the daemon's retained base with a full (pre, v2) submission
+    let (code, seeded) = submit(&socket, &dir, "post_v2.json", true);
+    assert_eq!(code, 1, "{seeded}");
+    let base_v2 = epoch_of(&seeded);
+    assert!(counters(&seeded)[3] > 0, "a cold ingest decodes: {seeded}");
+
+    // the client-side scan agrees with the epoch the daemon retained —
+    // two parties, no coordination, same content-derived identity
+    let mut sink = Vec::new();
+    cli::run(
+        &Command::SnapshotDiff {
+            base_pre: dir.join("pre.json"),
+            base_post: dir.join("post_v2.json"),
+            pre: dir.join("pre.json"),
+            post: dir.join("post_v4.json"),
+            out_pre: dir.join("delta_pre.json"),
+            out_post: dir.join("delta_post.json"),
+        },
+        &mut sink,
+    )
+    .expect("snapshot diff runs");
+    let diffed = String::from_utf8(sink).unwrap();
+    assert_eq!(epoch_of(&diffed), base_v2, "{diffed}");
+    let post_changed: usize = stat_line(&diffed, "post delta: ")
+        .trim_start_matches("post delta: ")
+        .split(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(post_changed > 0, "{diffed}");
+
+    // ground truth: a one-shot check of the next iteration (pre, v4)
+    let mut sink = Vec::new();
+    let one_shot_code = cli::run(
+        &Command::Check {
+            spec: dir.join("change.rela"),
+            db: dir.join("db.json"),
+            pre: dir.join("pre.json"),
+            post: dir.join("post_v4.json"),
+            granularity: rela::net::Granularity::Group,
+            threads: 1,
+            job: JobOptions::default(),
+            cache_dir: None,
+            cache_stats: false,
+        },
+        &mut sink,
+    )
+    .expect("one-shot check runs");
+    assert_eq!(one_shot_code, 0, "post_v4 is compliant");
+    let one_shot_v4 = String::from_utf8(sink).unwrap();
+
+    // delta submission: the negotiation accepts, the reply is
+    // byte-identical to the full-pair path, and only the changed
+    // records were ever decoded
+    let (code, delta_text) = submit_delta(
+        &socket,
+        &dir,
+        "post_v4.json",
+        &base_v2,
+        &dir.join("delta_pre.json"),
+        &dir.join("delta_post.json"),
+    );
+    assert_eq!(code, 0, "{delta_text}");
+    assert!(
+        !delta_text.contains("sending full snapshots"),
+        "negotiation must accept the retained base: {delta_text}"
+    );
+    assert_eq!(verdict_bytes(&delta_text), verdict_bytes(&one_shot_v4));
+    let delta_decodes = counters(&delta_text)[3];
+    assert!(
+        delta_decodes <= 2 * post_changed,
+        "a delta decodes only the changed pairs ({post_changed} changed): {delta_text}"
+    );
+    let base_v4 = epoch_of(&delta_text);
+    assert_ne!(base_v4, base_v2, "the retained base advances");
+
+    // an unchanged iteration: empty deltas, zero graph decodes, every
+    // class replayed warm
+    let mut sink = Vec::new();
+    cli::run(
+        &Command::SnapshotDiff {
+            base_pre: dir.join("pre.json"),
+            base_post: dir.join("post_v4.json"),
+            pre: dir.join("pre.json"),
+            post: dir.join("post_v4.json"),
+            out_pre: dir.join("delta_pre2.json"),
+            out_post: dir.join("delta_post2.json"),
+        },
+        &mut sink,
+    )
+    .expect("snapshot diff runs");
+    assert_eq!(epoch_of(&String::from_utf8(sink).unwrap()), base_v4);
+    let (code, unchanged) = submit_delta(
+        &socket,
+        &dir,
+        "post_v4.json",
+        &base_v4,
+        &dir.join("delta_pre2.json"),
+        &dir.join("delta_post2.json"),
+    );
+    assert_eq!(code, 0, "{unchanged}");
+    let stats = counters(&unchanged);
+    let (warm_hits, classes, decodes) = (stats[0], stats[1], stats[3]);
+    assert_eq!(decodes, 0, "unchanged classes never decode: {unchanged}");
+    assert!(classes > 0, "{unchanged}");
+    assert_eq!(warm_hits, classes, "{unchanged}");
+    assert_eq!(verdict_bytes(&unchanged), verdict_bytes(&one_shot_v4));
+
+    // a stale base (the daemon has moved on) falls back to the full
+    // pair and still completes with identical verdicts
+    let (code, stale) = submit_delta(
+        &socket,
+        &dir,
+        "post_v4.json",
+        &base_v2,
+        &dir.join("delta_pre.json"),
+        &dir.join("delta_post.json"),
+    );
+    assert_eq!(code, 0, "{stale}");
+    assert!(
+        stale.contains("sending full snapshots"),
+        "a stale base must miss: {stale}"
+    );
+    assert_eq!(verdict_bytes(&stale), verdict_bytes(&one_shot_v4));
+
+    let mut sink = Vec::new();
+    cli::run(
+        &Command::Shutdown {
+            socket: socket.clone(),
+        },
+        &mut sink,
+    )
+    .expect("shutdown is acknowledged");
     wait_exit(daemon, &socket);
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -3,7 +3,7 @@
 //! machine-readable `BENCH_check.json` so the perf trajectory of the
 //! checker is observable (and gated) across PRs.
 //!
-//! Seven scenario kinds:
+//! Eight scenario kinds:
 //!
 //! - **dedup** — the fig6/fig7 testbeds at several WAN scales, with
 //!   dedup on *and* off at equal thread count, asserting identical
@@ -41,6 +41,11 @@
 //!   length-prefixed binary container (`rela snapshot pack` output)
 //!   vs. the same snapshots as JSON; `speedup` is JSON ÷ binary wall
 //!   and `rss_ratio` binary ÷ JSON peak RSS.
+//! - **mmap-ingest** — the same binary containers framed zero-copy out
+//!   of a memory mapping (`SnapshotFramer::from_map`) vs. buffered
+//!   `BufReader` framing of the identical files; `speedup` is
+//!   buffered ÷ mapped wall and `rss_ratio` mapped ÷ buffered peak
+//!   RSS, with report fingerprints asserted identical.
 //!
 //! Every scenario object carries `rss_ratio` — a positive measurement
 //! for the child-process ingest kinds, `null` for everything else.
@@ -90,8 +95,8 @@ use rela_core::{
     CompiledProgram, JobOptions, JobSpec, LabeledSource, SessionConfig,
 };
 use rela_net::{
-    content_hash128, BinarySnapshotWriter, Granularity, Snapshot, SnapshotFramer, SnapshotPair,
-    SnapshotReader, SnapshotWriter,
+    content_hash128, BinarySnapshotWriter, Granularity, MmapSource, Snapshot, SnapshotFramer,
+    SnapshotPair, SnapshotReader, SnapshotWriter,
 };
 use rela_sim::workload::{
     iteration_changes, iteration_deltas, spec_of_size, synthetic_wan, WanParams,
@@ -562,6 +567,14 @@ fn ingest_worker(args: &[String]) -> ! {
             checker
                 .check_pipelined(frame(pre_path), frame(post_path))
                 .expect("snapshot pipelines")
+        }
+        "mmap" => {
+            let frame = |path: &str| {
+                SnapshotFramer::from_map(MmapSource::open(path).expect("snapshot map"), path)
+            };
+            checker
+                .check_pipelined(frame(pre_path), frame(post_path))
+                .expect("snapshot maps")
         }
         other => panic!("unknown ingest mode `{other}`"),
     };
@@ -1097,7 +1110,7 @@ fn pack_binary(src: &Path, dst: &Path) -> u64 {
         let raw = raw.expect("snapshot frames");
         let (flow, graph) = raw.split_spans(Some(&label)).expect("canonical records");
         writer
-            .write_raw(&raw.bytes[flow], &raw.bytes[graph])
+            .write_raw(flow.as_slice(), graph.as_slice())
             .expect("binary record");
     }
     writer.finish().expect("binary trailer");
@@ -1251,6 +1264,159 @@ fn binary_scales(smoke: bool) -> Vec<(&'static str, WanParams)> {
     }
     vec![(
         "binary-ingest-102k",
+        WanParams {
+            regions: 5,
+            routers_per_group: 2,
+            parallel_links: 2,
+            fecs_per_pair: 5120,
+        },
+    )]
+}
+
+/// The **mmap-ingest** scenario kind: the same binary containers,
+/// framed zero-copy out of a memory mapping
+/// (`SnapshotFramer::from_map`) vs. buffered `BufReader` framing of the
+/// identical files. Both runs are fresh child processes over the same
+/// on-disk `.rsnb` pair, so wall and `VmHWM` isolate exactly the
+/// framing strategy; the reports must be fingerprint-identical (the
+/// mapping is an ingest transport, never a semantic change). `speedup`
+/// is buffered ÷ mapped wall and `rss_ratio` mapped ÷ buffered peak
+/// RSS — record spans borrowing the page cache should never cost more
+/// memory than copying them through a reader.
+fn run_mmap_ingest(name: &str, params: &WanParams, threads: usize) -> Value {
+    eprintln!(
+        "[{name}] generating snapshot files ({} regions, {} FECs/pair)...",
+        params.regions, params.fecs_per_pair,
+    );
+    let wan = synthetic_wan(params);
+    let dir = std::env::temp_dir().join(format!("rela-perf-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let pre_json = dir.join("pre.json");
+    let post_json = dir.join("post.json");
+    let json_bytes = write_snapshot_file(&pre_json, &wan.topology, &wan.config, &wan.traffic) + {
+        let post_cfg = configured(&wan.config, &wan.topology, &wan.representative_change);
+        write_snapshot_file(&post_json, &wan.topology, &post_cfg, &wan.traffic)
+    };
+    let pre_rsnb = dir.join("pre.rsnb");
+    let post_rsnb = dir.join("post.rsnb");
+    let binary_bytes = pack_binary(&pre_json, &pre_rsnb) + pack_binary(&post_json, &post_rsnb);
+    eprintln!(
+        "[{name}] packed {:.1} MiB of JSON into {:.1} MiB of binary",
+        json_bytes as f64 / (1024.0 * 1024.0),
+        binary_bytes as f64 / (1024.0 * 1024.0),
+    );
+
+    let buffered_run = ingest_child("pipelined", &pre_rsnb, &post_rsnb, params, threads);
+    let mapped_run = ingest_child("mmap", &pre_rsnb, &post_rsnb, params, threads);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let f = |v: &Value, key: &str| v.get(key).and_then(Value::as_f64);
+    let verdicts_match = mapped_run.get("report_hash") == buffered_run.get("report_hash")
+        && mapped_run.get("report_hash").is_some();
+    assert!(
+        verdicts_match,
+        "[{name}] mapped and buffered ingest reports diverged — the mapping changed a verdict"
+    );
+    let wall_buffered = f(&buffered_run, "wall_s").unwrap_or(0.0);
+    let wall_mapped = f(&mapped_run, "wall_s").unwrap_or(0.0);
+    let speedup = if wall_mapped > 0.0 {
+        Some(wall_buffered / wall_mapped)
+    } else {
+        None
+    };
+    let rss_ratio = match (
+        f(&mapped_run, "peak_rss_kb"),
+        f(&buffered_run, "peak_rss_kb"),
+    ) {
+        (Some(m), Some(b)) if b > 0.0 => Some(m / b),
+        _ => None,
+    };
+    eprintln!(
+        "[{name}] {} FECs | mapped {} vs buffered {} ({}) | RSS ratio {}",
+        mapped_run.get("fecs").and_then(Value::as_u64).unwrap_or(0),
+        secs(Duration::from_secs_f64(wall_mapped)),
+        secs(Duration::from_secs_f64(wall_buffered)),
+        speedup.map_or_else(|| "?".into(), |v| format!("{v:.2}×")),
+        rss_ratio.map_or_else(|| "?".into(), |v| format!("{v:.2}×")),
+    );
+
+    let copy = |v: &Value, key: &str| v.get(key).cloned().unwrap_or(Value::Null);
+    let mut fields = vec![
+        ("name".to_owned(), name.to_value()),
+        ("kind".to_owned(), "mmap-ingest".to_value()),
+        ("regions".to_owned(), params.regions.to_value()),
+        (
+            "routers_per_group".to_owned(),
+            params.routers_per_group.to_value(),
+        ),
+        (
+            "parallel_links".to_owned(),
+            params.parallel_links.to_value(),
+        ),
+        (
+            "fecs_per_pair".to_owned(),
+            (params.fecs_per_pair as usize).to_value(),
+        ),
+        ("spec_atomics".to_owned(), INGEST_SPEC_ATOMICS.to_value()),
+        ("granularity".to_owned(), "group".to_value()),
+        ("snapshot_bytes".to_owned(), json_bytes.to_value()),
+        ("binary_bytes".to_owned(), binary_bytes.to_value()),
+    ];
+    for key in [
+        "fecs",
+        "classes",
+        "cache_hits",
+        "cache_hit_rate",
+        "violations",
+    ] {
+        fields.push((key.to_owned(), copy(&mapped_run, key)));
+    }
+    fields.push(("wall_s".to_owned(), copy(&mapped_run, "wall_s")));
+    fields.push(("wall_binary_s".to_owned(), copy(&buffered_run, "wall_s")));
+    fields.push((
+        "peak_rss_mmap_kb".to_owned(),
+        copy(&mapped_run, "peak_rss_kb"),
+    ));
+    fields.push((
+        "peak_rss_binary_kb".to_owned(),
+        copy(&buffered_run, "peak_rss_kb"),
+    ));
+    fields.push((
+        "rss_ratio".to_owned(),
+        match rss_ratio {
+            Some(r) => r.to_value(),
+            None => Value::Null,
+        },
+    ));
+    fields.push((
+        "speedup".to_owned(),
+        match speedup {
+            Some(r) => r.to_value(),
+            None => Value::Null,
+        },
+    ));
+    fields.push(("wall_nodedup_s".to_owned(), Value::Null));
+    fields.push(("verdicts_match".to_owned(), Value::Bool(verdicts_match)));
+    Value::Obj(fields)
+}
+
+/// The mmap-ingest scales: the same 100k+ headline point as
+/// binary-ingest (the acceptance criterion compares the two directly),
+/// or a tiny smoke scale.
+fn mmap_scales(smoke: bool) -> Vec<(&'static str, WanParams)> {
+    if smoke {
+        return vec![(
+            "mmap-ingest-smoke",
+            WanParams {
+                regions: 3,
+                routers_per_group: 1,
+                parallel_links: 1,
+                fecs_per_pair: 32,
+            },
+        )];
+    }
+    vec![(
+        "mmap-ingest-102k",
         WanParams {
             regions: 5,
             routers_per_group: 2,
@@ -1509,6 +1675,9 @@ fn main() {
     for (name, params) in binary_scales(smoke) {
         results.push(run_binary_ingest(name, &params, threads));
     }
+    for (name, params) in mmap_scales(smoke) {
+        results.push(run_mmap_ingest(name, &params, threads));
+    }
     let doc = Value::obj(vec![
         ("schema", "rela-perf/v1".to_value()),
         ("threads", threads.to_value()),
@@ -1535,6 +1704,7 @@ fn main() {
             "iterative" => s.get("wall_cold_s").and_then(Value::as_f64),
             "delta-ingest" => s.get("wall_full_warm_s").and_then(Value::as_f64),
             "binary-ingest" => s.get("wall_json_s").and_then(Value::as_f64),
+            "mmap-ingest" => s.get("wall_binary_s").and_then(Value::as_f64),
             _ => s.get("wall_nodedup_s").and_then(Value::as_f64),
         };
         let fmt_s = |v: Option<f64>| match v {

@@ -39,7 +39,7 @@ use rela_cache::{CacheEpoch, CacheKey, VerdictStore, BYTE_VARIANT_SALT};
 use rela_net::{
     behavior_hash, canonical_graph, content_hash128, decode_graph_span, graph_to_fsa_prepared,
     pair_epoch, record_mix, side_fold, AlignedFec, BehaviorHash, FlowDecoded, FlowSpec,
-    ForwardingGraph, Granularity, LocationDb, RawRecord, SnapshotError, SnapshotFramer,
+    ForwardingGraph, Granularity, LocationDb, RawRecord, RecordBody, SnapshotError, SnapshotFramer,
     SnapshotPair, DROP_LOCATION,
 };
 use serde::{Serialize, Value};
@@ -229,15 +229,29 @@ impl PipelineWorkerState {
     }
 }
 
-/// Records per channel message: framed spans travel in small batches so
-/// the per-record synchronization cost (mutex + condvar per send/recv)
-/// amortizes — at 10⁵⁺ records it would otherwise rival decode itself.
-const FRAME_BATCH: usize = 16;
+/// Byte budget per channel message: framed spans travel in batches cut
+/// by payload bytes rather than record count (per ROADMAP), so the
+/// per-message synchronization cost (mutex + condvar per send/recv)
+/// amortizes uniformly whether a snapshot carries hundred-byte or
+/// near-cap records.
+const FRAME_BATCH_BYTES: usize = 64 * 1024;
+
+/// Record-count backstop per batch: tiny records stop accumulating well
+/// under the byte budget, keeping per-batch vectors (and the in-flight
+/// record count behind the channel capacity formula) bounded.
+const FRAME_BATCH_RECORDS: usize = 64;
+
+/// Average record size the channel-capacity formula assumes when
+/// converting a records-in-flight budget (`depth × workers`) into a
+/// batch count; with [`FRAME_BATCH_BYTES`] this reproduces the sizing
+/// the old 16-records-per-batch scheme used.
+const FRAME_RECORD_HINT: usize = 4 * 1024;
 
 /// A framer thread body: raw record framing only — spans go over the
-/// bounded channel to the decode pool in [`FRAME_BATCH`]-sized batches.
-/// Stops early when the pipeline aborts; the last framer to finish
-/// closes the channel.
+/// bounded channel to the decode pool in batches cut at
+/// [`FRAME_BATCH_BYTES`] of payload (or [`FRAME_BATCH_RECORDS`] spans,
+/// whichever comes first). Stops early when the pipeline aborts; the
+/// last framer to finish closes the channel.
 fn frame_side<R: Read>(
     mut framer: SnapshotFramer<R>,
     side: Side,
@@ -246,18 +260,20 @@ fn frame_side<R: Read>(
     producers_left: &AtomicUsize,
 ) {
     let _poison_guard = PoisonOnPanic(channel);
-    let mut batch: Vec<RawRecord> = Vec::with_capacity(FRAME_BATCH);
+    let mut batch: Vec<RawRecord> = Vec::new();
+    let mut batch_bytes = 0usize;
     for item in &mut framer {
         if errors.aborted() {
             break;
         }
         match item {
             Ok(raw) => {
+                batch_bytes += raw.span_len();
                 batch.push(raw);
-                if batch.len() == FRAME_BATCH {
-                    let full = std::mem::replace(&mut batch, Vec::with_capacity(FRAME_BATCH));
+                if batch_bytes >= FRAME_BATCH_BYTES || batch.len() >= FRAME_BATCH_RECORDS {
+                    let full = std::mem::take(&mut batch);
+                    batch_bytes = 0;
                     if channel.send(PipeBatch::Raw(side, full)).is_err() {
-                        batch = Vec::new();
                         break; // poisoned: the pipeline is aborting
                     }
                 }
@@ -287,16 +303,27 @@ fn feed_prepared(
     producers_left: &AtomicUsize,
 ) {
     let _poison_guard = PoisonOnPanic(channel);
-    let mut batch: Vec<PreparedItem> = Vec::with_capacity(FRAME_BATCH);
+    // same byte-budget batching as `frame_side`: replayed spans count
+    // their retained graph bytes, raw delta records their span bytes
+    let item_len = |item: &PreparedItem| match item {
+        PreparedItem::Record { raw, .. } => raw.span_len(),
+        PreparedItem::Replay { record, .. } => record.span.as_slice().len(),
+        PreparedItem::PairReplay { pre, post } => {
+            pre.span.as_slice().len() + post.span.as_slice().len()
+        }
+    };
+    let mut batch: Vec<PreparedItem> = Vec::new();
+    let mut batch_bytes = 0usize;
     for item in items {
         if errors.aborted() {
             break;
         }
+        batch_bytes += item_len(&item);
         batch.push(item);
-        if batch.len() == FRAME_BATCH {
-            let full = std::mem::replace(&mut batch, Vec::with_capacity(FRAME_BATCH));
+        if batch_bytes >= FRAME_BATCH_BYTES || batch.len() >= FRAME_BATCH_RECORDS {
+            let full = std::mem::take(&mut batch);
+            batch_bytes = 0;
             if channel.send(PipeBatch::Prepared(full)).is_err() {
-                batch = Vec::new();
                 break; // poisoned: the pipeline is aborting
             }
         }
@@ -641,9 +668,16 @@ impl<'a> Checker<'a> {
             .map(|r| LoweredCheck::new(&r.check))
             .collect();
 
-        // capacity counts batches; ≈ depth × workers records in flight
-        let channel: Channel<PipeBatch> =
-            Channel::new(depth.saturating_mul(workers).div_ceil(FRAME_BATCH).max(2));
+        // capacity counts batches: a records-in-flight budget of
+        // depth × workers, converted through the average-record hint
+        // into byte-cut batches
+        let channel: Channel<PipeBatch> = Channel::new(
+            depth
+                .saturating_mul(workers)
+                .saturating_mul(FRAME_RECORD_HINT)
+                .div_ceil(FRAME_BATCH_BYTES)
+                .max(2),
+        );
         let shards = workers.next_power_of_two().max(8);
         let join = JoinMap::new(shards);
         let registry = ClassRegistry::new(shards, self.options.dedup);
@@ -1073,13 +1107,22 @@ impl<'a> Checker<'a> {
             offset: raw.offset,
         };
         let (flow, span) = match raw.decode_flow(label).map_err(|e| (side, e))? {
-            FlowDecoded::Split(flow, range) => (
-                flow,
-                GraphSpan {
-                    bytes: Arc::new(raw.bytes),
-                    range,
-                },
-            ),
+            // the graph span shares the framer's backing buffer (record
+            // vec or file mapping) — no copy; keep the sibling flow span
+            // of split (binary) records for error reconstruction
+            FlowDecoded::Split(flow, graph_span) => {
+                let flow_span = match &raw.body {
+                    RecordBody::Split { flow, .. } => Some(flow.clone()),
+                    RecordBody::Json(_) => None,
+                };
+                (
+                    flow,
+                    GraphSpan {
+                        span: graph_span,
+                        flow: flow_span,
+                    },
+                )
+            }
             // non-canonical encoding: re-serialize the parsed graph so
             // byte keys are encoding-invariant
             FlowDecoded::Full(flow, graph) => (
@@ -1336,15 +1379,13 @@ impl<'a> Checker<'a> {
                 Side::Post => 1,
             }]
             .as_deref();
-            if !joined.span.is_whole() {
-                // the span came out of an intact record: re-run the
-                // serial decoder over it so the error text matches the
-                // serial contract byte for byte
-                let raw = RawRecord {
-                    bytes: (*joined.span.bytes).clone(),
-                    offset: joined.provenance.offset,
-                    index: joined.provenance.index,
-                };
+            // if the span came out of an intact record, re-run the
+            // serial decoder over the reassembled record so the error
+            // text matches the serial contract byte for byte
+            if let Some(raw) = joined
+                .span
+                .reconstruct_record(joined.provenance.offset, joined.provenance.index)
+            {
                 if let Err(e) = raw.decode(label) {
                     return (side, e);
                 }

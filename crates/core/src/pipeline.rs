@@ -10,11 +10,10 @@
 //! drives these pieces from `std::thread::scope` workers.
 
 use crate::report::FecResult;
-use rela_net::{AlignedFec, BehaviorHash, FlowSpec, SnapshotError};
+use rela_net::{AlignedFec, BehaviorHash, FlowSpec, RawRecord, SnapshotError, SpanBytes};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::ops::Range;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -218,35 +217,52 @@ impl ErrorSink {
 
 // ---- sharded flow-join map ---------------------------------------------
 
-/// A raw graph-value span, shared without copying: `bytes` is the full
-/// backing buffer (typically an entire `{"flow":…,"graph":…}` record)
-/// and `range` addresses the graph value inside it. The byte-admission
-/// engine joins, hashes, and deduplicates these spans — a graph is only
-/// ever decoded when its byte content has not been seen before.
+/// A raw graph-value span, shared without copying: `span` addresses the
+/// graph value inside its backing buffer — an owned record buffer for
+/// JSON/buffered framing, a file mapping for the zero-copy binary path
+/// (see [`SpanBytes`]). For binary-container records `flow` keeps the
+/// sibling flow span, so a decode failure can reassemble the record and
+/// report the exact serial-reader error. The byte-admission engine
+/// joins, hashes, and deduplicates these spans — a graph is only ever
+/// decoded when its byte content has not been seen before.
 #[derive(Clone)]
 pub(crate) struct GraphSpan {
-    pub(crate) bytes: Arc<Vec<u8>>,
-    pub(crate) range: Range<usize>,
+    pub(crate) span: SpanBytes,
+    pub(crate) flow: Option<SpanBytes>,
 }
 
 impl GraphSpan {
     /// Wrap a standalone buffer that *is* the span.
     pub(crate) fn whole(bytes: Vec<u8>) -> GraphSpan {
-        let range = 0..bytes.len();
         GraphSpan {
-            bytes: Arc::new(bytes),
-            range,
+            span: bytes.into(),
+            flow: None,
         }
     }
 
     pub(crate) fn as_slice(&self) -> &[u8] {
-        &self.bytes[self.range.clone()]
+        self.span.as_slice()
     }
 
-    /// Does the span cover its whole backing buffer (no enclosing
-    /// record to reconstruct error messages from)?
-    pub(crate) fn is_whole(&self) -> bool {
-        self.range == (0..self.bytes.len())
+    /// Rebuild the enclosing record for error attribution: the whole
+    /// record buffer for a JSON-container span, the reassembled split
+    /// record for a binary one, `None` for standalone spans (nothing to
+    /// reconstruct — the span is the whole story).
+    pub(crate) fn reconstruct_record(&self, offset: u64, index: usize) -> Option<RawRecord> {
+        match &self.flow {
+            Some(flow) => Some(RawRecord::from_split_spans(
+                flow.clone(),
+                self.span.clone(),
+                offset,
+                index,
+            )),
+            None if !self.span.is_whole() => Some(RawRecord::from_json_span(
+                self.span.whole_buffer(),
+                offset,
+                index,
+            )),
+            None => None,
+        }
     }
 }
 

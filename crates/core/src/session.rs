@@ -59,8 +59,8 @@ use crate::report::CheckReport;
 use crate::RelaError;
 use rela_cache::{CacheEpoch, VerdictStore};
 use rela_net::{
-    FlowDecoded, FlowSpec, Granularity, LocationDb, Snapshot, SnapshotDelta, SnapshotEpoch,
-    SnapshotError, SnapshotFramer, SnapshotPair, SnapshotReader,
+    FlowDecoded, FlowSpec, Granularity, LocationDb, MmapReader, MmapSource, Snapshot,
+    SnapshotDelta, SnapshotEpoch, SnapshotError, SnapshotFramer, SnapshotPair, SnapshotReader,
 };
 use serde::{Deserialize, Serialize, Value};
 use std::collections::{HashMap, HashSet};
@@ -236,24 +236,70 @@ impl Deserialize for JobOptions {
     }
 }
 
-/// A labelled byte stream carrying one snapshot. The label is mandatory
+/// The bytes behind a [`LabeledSource`]: a plain stream, or a memory
+/// mapping that the pipelined binary framer consumes zero-copy.
+enum SourceKind<'a> {
+    Stream(Box<dyn Read + Send + 'a>),
+    Mapped(MmapSource),
+}
+
+/// A labelled byte source carrying one snapshot. The label is mandatory
 /// — it names the source in every error (a file path for file-backed
 /// jobs, `job-N:pre`-style names for socket submissions), which is what
 /// makes a malformed record traceable to its submission.
+///
+/// A source is either a byte stream ([`LabeledSource::new`]) or a
+/// memory-mapped file ([`LabeledSource::mapped`]). Mapped RSNB
+/// containers are framed in place by the pipelined engine — record
+/// spans borrow the mapping instead of being copied — and every other
+/// mode reads the mapping through a stream adapter, so the report bytes
+/// are identical either way (`docs/INGEST.md`).
 pub struct LabeledSource<'a> {
-    /// The snapshot bytes (the wire format of `docs/SNAPSHOT_FORMAT.md`,
-    /// already decompressed).
-    pub reader: Box<dyn Read + Send + 'a>,
-    /// Source name attached to every error.
-    pub label: String,
+    source: SourceKind<'a>,
+    label: String,
 }
 
 impl<'a> LabeledSource<'a> {
-    /// Wrap a byte source with its mandatory label.
+    /// Wrap a byte source with its mandatory label. The stream must
+    /// carry the wire format of `docs/SNAPSHOT_FORMAT.md`, already
+    /// decompressed.
     pub fn new(reader: impl Read + Send + 'a, label: impl Into<String>) -> LabeledSource<'a> {
         LabeledSource {
-            reader: Box::new(reader),
+            source: SourceKind::Stream(Box::new(reader)),
             label: label.into(),
+        }
+    }
+
+    /// Wrap a memory-mapped snapshot file with its mandatory label.
+    pub fn mapped(map: MmapSource, label: impl Into<String>) -> LabeledSource<'static> {
+        LabeledSource {
+            source: SourceKind::Mapped(map),
+            label: label.into(),
+        }
+    }
+
+    /// The source name attached to every error.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Turn the source into a record framer: mapped sources frame in
+    /// place (zero-copy for RSNB containers), streams are framed through
+    /// a buffered reader.
+    fn into_framer(self) -> SnapshotFramer<Box<dyn Read + Send + 'a>> {
+        match self.source {
+            SourceKind::Stream(reader) => SnapshotFramer::new(reader, self.label),
+            SourceKind::Mapped(map) => SnapshotFramer::from_map(map, self.label),
+        }
+    }
+
+    /// Turn the source into a plain byte stream plus its label, for the
+    /// modes that parse rather than frame (serial, materialized,
+    /// deltas). Mapped sources are read through [`MmapReader`].
+    fn into_stream(self) -> (Box<dyn Read + Send + 'a>, String) {
+        match self.source {
+            SourceKind::Stream(reader) => (reader, self.label),
+            SourceKind::Mapped(map) => (Box::new(MmapReader::new(Arc::new(map))), self.label),
         }
     }
 }
@@ -452,19 +498,21 @@ impl CheckSession {
                 self.run_delta(&checker, pre, post, job.options.delta_base)
             }
             JobInput::Streams { pre, post } => match job.options.ingest {
-                IngestMode::Pipelined { .. } => checker.check_pipelined(
-                    SnapshotFramer::new(pre.reader, pre.label),
-                    SnapshotFramer::new(post.reader, post.label),
-                ),
-                IngestMode::Serial => checker.check_stream(SnapshotPair::align_streaming(
-                    SnapshotReader::new(pre.reader).with_label(pre.label),
-                    SnapshotReader::new(post.reader).with_label(post.label),
-                )),
+                IngestMode::Pipelined { .. } => {
+                    checker.check_pipelined(pre.into_framer(), post.into_framer())
+                }
+                IngestMode::Serial => {
+                    let (pre, pre_label) = pre.into_stream();
+                    let (post, post_label) = post.into_stream();
+                    checker.check_stream(SnapshotPair::align_streaming(
+                        SnapshotReader::new(pre).with_label(pre_label),
+                        SnapshotReader::new(post).with_label(post_label),
+                    ))
+                }
                 IngestMode::Materialized => {
                     let collect = |source: LabeledSource<'_>| -> Result<Snapshot, SnapshotError> {
-                        SnapshotReader::new(source.reader)
-                            .with_label(source.label)
-                            .collect()
+                        let (reader, label) = source.into_stream();
+                        SnapshotReader::new(reader).with_label(label).collect()
                     };
                     let pre = collect(pre)?;
                     let post = collect(post)?;
@@ -486,8 +534,8 @@ impl CheckSession {
         post: LabeledSource<'_>,
         declared_base: Option<u128>,
     ) -> Result<CheckReport, SnapshotError> {
-        let pre_label = pre.label.clone();
-        let post_label = post.label.clone();
+        let pre_label = pre.label().to_owned();
+        let post_label = post.label().to_owned();
         let base = self
             .retained
             .lock()
@@ -513,8 +561,8 @@ impl CheckSession {
                 .with_source_label(pre_label.clone()));
             }
         }
-        let pre_delta = SnapshotDelta::from_reader(pre.reader, &pre_label)?;
-        let post_delta = SnapshotDelta::from_reader(post.reader, &post_label)?;
+        let pre_delta = SnapshotDelta::from_reader(pre.into_stream().0, &pre_label)?;
+        let post_delta = SnapshotDelta::from_reader(post.into_stream().0, &post_label)?;
         for (delta, label) in [(&pre_delta, &pre_label), (&post_delta, &post_label)] {
             if delta.base != expect {
                 return Err(SnapshotError::at(

@@ -128,7 +128,7 @@ pub fn scan_side<R: Read>(mut framer: SnapshotFramer<R>) -> Result<SideScan, Sna
     for raw in &mut framer {
         let raw = raw?;
         let (flow, graph_span) = match raw.decode_flow(label.as_deref())? {
-            FlowDecoded::Split(flow, range) => (flow, raw.bytes[range].to_vec()),
+            FlowDecoded::Split(flow, span) => (flow, span.to_vec()),
             FlowDecoded::Full(flow, graph) => {
                 // non-canonical encoding: re-serialize to the canonical
                 // span so both parties hash the same bytes
@@ -293,11 +293,7 @@ fn read_delta(source: impl Read) -> Result<SnapshotDelta, SnapshotError> {
         let mut bytes = Vec::new();
         json.read_raw_value(&mut bytes)
             .map_err(|e| SnapshotError::from_json(e).with_entry(index))?;
-        records.push(RawRecord {
-            bytes,
-            offset,
-            index,
-        });
+        records.push(RawRecord::from_json_span(bytes, offset, index));
         index += 1;
     }
 
@@ -395,7 +391,7 @@ mod tests {
             let FlowDecoded::Split(flow, span) = raw.decode_flow(None).unwrap() else {
                 panic!("delta records are canonical")
             };
-            spliced.push((flow, raw.bytes[span].to_vec()));
+            spliced.push((flow, span.to_vec()));
         }
         spliced.sort_by(|a, b| a.flow_cmp(b));
 

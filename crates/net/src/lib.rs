@@ -8,7 +8,10 @@
 //! (de)serialization.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the mmap module opts back in with a
+// scoped `#![allow(unsafe_code)]` for its pointer/length mapping — the
+// only unsafe in the crate.
+#![deny(unsafe_code)]
 
 mod behavior;
 mod chunk;
@@ -19,6 +22,7 @@ mod fsa;
 mod granularity;
 mod graph;
 mod location;
+mod mmap;
 mod prefix;
 mod snapshot;
 
@@ -34,9 +38,10 @@ pub use fsa::{graph_to_fsa, graph_to_fsa_prepared};
 pub use granularity::{device_path_to_group, interface_path_to_device};
 pub use graph::{linear_graph, Edge, ForwardingGraph, GraphError, VertexId};
 pub use location::{glob_match, interface_device, Device, Granularity, DROP_LOCATION};
+pub use mmap::{MmapReader, MmapSource};
 pub use prefix::{Ipv4Prefix, PrefixParseError, PrefixTrie};
 pub use snapshot::{
     decode_graph_span, snapshot_source, AlignStream, AlignedFec, BinarySnapshotWriter, FlowDecoded,
-    RawRecord, Snapshot, SnapshotError, SnapshotFramer, SnapshotPair, SnapshotReader,
-    SnapshotWriter, BINARY_MAGIC, BINARY_VERSION,
+    RawRecord, RecordBody, Snapshot, SnapshotError, SnapshotFramer, SnapshotPair, SnapshotReader,
+    SnapshotWriter, SpanBytes, BINARY_MAGIC, BINARY_VERSION,
 };

@@ -1,0 +1,323 @@
+//! Memory-mapped snapshot sources: the zero-copy side of the RSNB
+//! container contract (`docs/SNAPSHOT_FORMAT.md`, `docs/INGEST.md`).
+//!
+//! [`MmapSource`] maps a file read-only via a hand-declared `mmap(2)`
+//! extern (no libc crate — the workspace builds air-gapped) and hands
+//! out the mapping as one `&[u8]`. The binary framer does pointer
+//! arithmetic over that slice, so record spans borrow the page cache
+//! directly instead of being copied through a `BufReader`. On non-unix
+//! targets, or when the `mmap-fallback` feature is enabled (CI exercises
+//! it on unix too), the same API is backed by a plain read-to-`Vec` —
+//! byte-identical behavior, no mapping.
+//!
+//! This is the only module in the crate allowed to use `unsafe`; the
+//! crate root carries `#![deny(unsafe_code)]` and every unsafe block
+//! here is scoped to the mapping's pointer/length pair.
+#![allow(unsafe_code)]
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+use std::sync::Arc;
+
+#[cfg(all(unix, not(feature = "mmap-fallback")))]
+mod sys {
+    use std::ffi::c_void;
+
+    pub(super) const PROT_READ: i32 = 1;
+    pub(super) const MAP_PRIVATE: i32 = 2;
+    pub(super) const MADV_DONTNEED: i32 = 4;
+
+    // Hand-declared POSIX mmap(2)/munmap(2)/madvise(2); the workspace
+    // vendors all dependencies, so there is no libc crate to lean on.
+    // Signatures match 64-bit unix (off_t = i64).
+    extern "C" {
+        pub(super) fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub(super) fn munmap(addr: *mut c_void, len: usize) -> i32;
+        pub(super) fn madvise(addr: *mut c_void, len: usize, advice: i32) -> i32;
+    }
+
+    pub(super) fn map_failed(ptr: *mut c_void) -> bool {
+        ptr as usize == usize::MAX
+    }
+}
+
+/// A read-only memory mapping of a snapshot file (or, on non-unix /
+/// `mmap-fallback` builds, the file read into memory). The whole file
+/// is visible as one immutable `&[u8]` for the mapping's lifetime;
+/// record spans framed out of it borrow the page cache with no copy.
+///
+/// Empty files are special-cased without a mapping (`mmap(2)` rejects
+/// zero-length maps), so `open` works on any regular file.
+#[cfg(all(unix, not(feature = "mmap-fallback")))]
+pub struct MmapSource {
+    /// Base address of the mapping; null for empty files (no mapping).
+    ptr: *const u8,
+    len: usize,
+}
+
+/// A read-only memory mapping of a snapshot file (fallback build: the
+/// file is read into an owned buffer instead of mapped, same API and
+/// byte-for-byte behavior).
+#[cfg(any(not(unix), feature = "mmap-fallback"))]
+pub struct MmapSource {
+    bytes: Vec<u8>,
+}
+
+#[cfg(all(unix, not(feature = "mmap-fallback")))]
+// SAFETY: the mapping is immutable (PROT_READ, MAP_PRIVATE) for its
+// whole lifetime, so sharing the pointer across threads is sound.
+unsafe impl Send for MmapSource {}
+#[cfg(all(unix, not(feature = "mmap-fallback")))]
+// SAFETY: see the Send impl — the mapping is never written through.
+unsafe impl Sync for MmapSource {}
+
+impl MmapSource {
+    /// Map `path` read-only. The file handle is released immediately —
+    /// a live mapping keeps the pages reachable on its own (which is
+    /// also why a spooled file may be unlinked right after mapping).
+    #[cfg(all(unix, not(feature = "mmap-fallback")))]
+    pub fn open(path: impl AsRef<Path>) -> io::Result<MmapSource> {
+        use std::os::unix::io::AsRawFd;
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        if len == 0 {
+            return Ok(MmapSource {
+                ptr: std::ptr::null(),
+                len: 0,
+            });
+        }
+        // SAFETY: fd is a valid open file descriptor for `len` readable
+        // bytes; we request a fresh private read-only mapping and check
+        // for MAP_FAILED before using the address.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if sys::map_failed(ptr) {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(MmapSource {
+            ptr: ptr as *const u8,
+            len,
+        })
+    }
+
+    /// Read `path` into memory (fallback build — same API as the real
+    /// mapping, backed by an owned buffer).
+    #[cfg(any(not(unix), feature = "mmap-fallback"))]
+    pub fn open(path: impl AsRef<Path>) -> io::Result<MmapSource> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        Ok(MmapSource { bytes })
+    }
+
+    /// The mapped bytes.
+    #[cfg(all(unix, not(feature = "mmap-fallback")))]
+    pub fn as_slice(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: ptr/len describe a live PROT_READ mapping owned by
+        // self; it is unmapped only in Drop.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// The mapped bytes.
+    #[cfg(any(not(unix), feature = "mmap-fallback"))]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Tell the kernel the first `upto` bytes have been consumed and
+    /// their pages may leave this process's resident set
+    /// (`madvise(MADV_DONTNEED)`; the framer calls this as it advances
+    /// so a large container never accumulates its whole length in RSS).
+    /// Purely advisory and strictly non-destructive: the mapping is
+    /// clean and read-only, so the page-cache copy survives and any
+    /// later access — a span borrowing the released region, say —
+    /// refaults the identical bytes with a minor fault. Failures are
+    /// ignored; no-op on fallback builds.
+    #[cfg(all(unix, not(feature = "mmap-fallback")))]
+    pub fn release_prefix(&self, upto: usize) {
+        // align the length down generously so the (page-aligned) base
+        // covers a whole number of pages for any page size in use
+        const ALIGN: usize = 1 << 20;
+        let len = upto.min(self.len) & !(ALIGN - 1);
+        if len == 0 {
+            return;
+        }
+        // SAFETY: [ptr, ptr + len) lies within the live PROT_READ
+        // mapping and MADV_DONTNEED on a clean file-backed private
+        // mapping only drops residency — observable bytes are unchanged.
+        unsafe {
+            sys::madvise(self.ptr as *mut std::ffi::c_void, len, sys::MADV_DONTNEED);
+        }
+    }
+
+    /// Fallback build: nothing to release, the backing is an owned
+    /// buffer.
+    #[cfg(any(not(unix), feature = "mmap-fallback"))]
+    pub fn release_prefix(&self, _upto: usize) {}
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the mapped file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(all(unix, not(feature = "mmap-fallback")))]
+impl Drop for MmapSource {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // SAFETY: ptr/len are the exact values returned by mmap;
+            // nothing borrows the mapping once self is dropping (the
+            // slice accessor ties borrows to self's lifetime).
+            unsafe {
+                sys::munmap(self.ptr as *mut std::ffi::c_void, self.len);
+            }
+        }
+    }
+}
+
+impl std::ops::Deref for MmapSource {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for MmapSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MmapSource")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// A [`Read`] adapter over a shared [`MmapSource`], for the ingest
+/// paths that want a stream rather than a slice (JSON content inside a
+/// mapped file, serial/materialized modes). Cloning the `Arc` is the
+/// only cost; reads copy out of the mapping like any buffered reader
+/// would.
+pub struct MmapReader {
+    map: Arc<MmapSource>,
+    pos: usize,
+}
+
+impl MmapReader {
+    /// A reader positioned at the start of the mapping.
+    pub fn new(map: Arc<MmapSource>) -> MmapReader {
+        MmapReader { map, pos: 0 }
+    }
+
+    /// The underlying mapping.
+    pub fn source(&self) -> &Arc<MmapSource> {
+        &self.map
+    }
+}
+
+impl Read for MmapReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let rest = &self.map.as_slice()[self.pos..];
+        let n = rest.len().min(buf.len());
+        buf[..n].copy_from_slice(&rest[..n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("rela-mmap-test-{}-{name}", std::process::id()));
+        path
+    }
+
+    #[test]
+    fn maps_file_contents_byte_for_byte() {
+        let path = temp_path("contents");
+        let payload: Vec<u8> = (0..4096u32).flat_map(|x| x.to_le_bytes()).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let map = MmapSource::open(&path).unwrap();
+        assert_eq!(map.as_slice(), &payload[..]);
+        assert_eq!(map.len(), payload.len());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_files_map_as_empty_slices() {
+        let path = temp_path("empty");
+        std::fs::write(&path, b"").unwrap();
+        let map = MmapSource::open(&path).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.as_slice(), b"");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn released_pages_refault_identical_bytes() {
+        let path = temp_path("release");
+        // several megabytes so the 1MiB-aligned release actually drops
+        // pages rather than rounding down to nothing
+        let payload: Vec<u8> = (0..(3 << 20) as u32).map(|x| x as u8).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let map = MmapSource::open(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(map.as_slice(), &payload[..]);
+        map.release_prefix(map.len());
+        // the advice must be observably non-destructive, unlink included
+        assert_eq!(map.as_slice(), &payload[..]);
+        map.release_prefix(usize::MAX); // clamps to the mapping
+        assert_eq!(&map.as_slice()[..16], &payload[..16]);
+    }
+
+    #[test]
+    fn mapping_outlives_an_unlinked_file() {
+        let path = temp_path("unlinked");
+        std::fs::write(&path, b"still here after unlink").unwrap();
+        let map = MmapSource::open(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(map.as_slice(), b"still here after unlink");
+    }
+
+    #[test]
+    fn reader_streams_the_mapping() {
+        let path = temp_path("reader");
+        std::fs::write(&path, b"0123456789").unwrap();
+        let map = Arc::new(MmapSource::open(&path).unwrap());
+        std::fs::remove_file(&path).unwrap();
+        let mut reader = MmapReader::new(map);
+        let mut buf = [0u8; 4];
+        assert_eq!(reader.read(&mut buf).unwrap(), 4);
+        assert_eq!(&buf, b"0123");
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).unwrap();
+        assert_eq!(rest, b"456789");
+    }
+}

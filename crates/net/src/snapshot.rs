@@ -32,15 +32,28 @@
 //! [`SnapshotFramer`] and [`SnapshotReader`] sniff the container from
 //! the first bytes, so every ingest path (including gzipped sources via
 //! [`snapshot_source`]) accepts either format transparently.
+//!
+//! A seekable binary container can additionally be ingested *zero-copy*:
+//! [`SnapshotFramer::from_map`] frames a memory-mapped file
+//! ([`crate::MmapSource`]) by pure pointer arithmetic, yielding record
+//! spans ([`SpanBytes`]) that borrow the mapping instead of copying
+//! through a `BufReader`. Both binary framers produce identical
+//! [`RecordBody::Split`] records, so reports, content hashes, and the
+//! error contract are byte-for-byte the same; `docs/INGEST.md` has the
+//! full mode matrix.
 
 use crate::fec::FlowSpec;
 use crate::graph::ForwardingGraph;
+use crate::mmap::{MmapReader, MmapSource};
 use serde::{Deserialize, Serialize, Value};
 use serde_json::JsonReader;
+use std::borrow::Cow;
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 use std::io::{Read, Write};
+use std::ops::Range;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Forwarding state for every traffic class of one network version.
 ///
@@ -274,26 +287,218 @@ const BINARY_FLOW_CAP: u32 = 1 << 20;
 /// 64 MiB frame cap).
 const BINARY_GRAPH_CAP: u32 = 64 << 20;
 
-/// One undecoded `fecs` entry: the raw JSON span of the record plus its
+/// A byte span into a shared backing buffer: an owned `Vec` for
+/// buffered framing, or a read-only file mapping for the zero-copy
+/// binary path. Cloning is O(1) — an `Arc` bump plus the range — so
+/// spans travel through channels, join maps, and retention slots
+/// without copying record bytes.
+///
+/// Equality compares span *content*, not backing identity: a mapped
+/// span and an owned span over the same bytes are equal (that is the
+/// byte-identity property the ingest modes are tested against).
+#[derive(Clone)]
+pub struct SpanBytes {
+    buf: SpanBuf,
+    range: Range<usize>,
+}
+
+/// The backing storage of a [`SpanBytes`].
+#[derive(Clone)]
+enum SpanBuf {
+    Owned(Arc<Vec<u8>>),
+    Mapped(Arc<MmapSource>),
+}
+
+impl SpanBuf {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            SpanBuf::Owned(vec) => vec,
+            SpanBuf::Mapped(map) => map.as_slice(),
+        }
+    }
+}
+
+impl SpanBytes {
+    /// A span over `range` of a memory-mapped file.
+    pub fn mapped(map: Arc<MmapSource>, range: Range<usize>) -> SpanBytes {
+        debug_assert!(range.end <= map.len() && range.start <= range.end);
+        SpanBytes {
+            buf: SpanBuf::Mapped(map),
+            range,
+        }
+    }
+
+    /// The span's bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf.as_slice()[self.range.clone()]
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// Whether the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// A sub-span addressed relative to this span's start, sharing the
+    /// same backing buffer.
+    pub fn slice(&self, rel: Range<usize>) -> SpanBytes {
+        assert!(rel.end <= self.len() && rel.start <= rel.end);
+        SpanBytes {
+            buf: self.buf.clone(),
+            range: self.range.start + rel.start..self.range.start + rel.end,
+        }
+    }
+
+    /// Whether the span covers its whole backing buffer (a standalone
+    /// span, rather than a view into an enclosing record or mapping).
+    pub fn is_whole(&self) -> bool {
+        self.range.start == 0 && self.range.end == self.buf.as_slice().len()
+    }
+
+    /// The span widened to its whole backing buffer (for a JSON-container
+    /// value span, that buffer is the enclosing record).
+    pub fn whole_buffer(&self) -> SpanBytes {
+        let len = self.buf.as_slice().len();
+        SpanBytes {
+            buf: self.buf.clone(),
+            range: 0..len,
+        }
+    }
+
+    /// Copy the span out into an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl From<Vec<u8>> for SpanBytes {
+    fn from(bytes: Vec<u8>) -> SpanBytes {
+        let len = bytes.len();
+        SpanBytes {
+            buf: SpanBuf::Owned(Arc::new(bytes)),
+            range: 0..len,
+        }
+    }
+}
+
+impl std::ops::Deref for SpanBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for SpanBytes {
+    fn eq(&self, other: &SpanBytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SpanBytes {}
+
+impl fmt::Debug for SpanBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SpanBytes({})", String::from_utf8_lossy(self.as_slice()))
+    }
+}
+
+/// One undecoded `fecs` entry: the record's value spans plus its
 /// provenance, as produced by a [`SnapshotFramer`].
 ///
-/// From a JSON container the span is a complete, strictly-validated JSON
-/// value — re-parsing it cannot hit a syntax error. From a binary
-/// container the span is reassembled from length-prefixed value spans
-/// without validation, so [`RawRecord::decode`] may also surface syntax
-/// errors there; either way, record-level failures are reported at the
-/// record's start offset exactly as the serial [`SnapshotReader`] does.
+/// From a JSON container the body is one complete, strictly-validated
+/// JSON record span — re-parsing it cannot hit a syntax error. From a
+/// binary container (buffered or memory-mapped) the body is the two
+/// length-prefixed value spans, carried *unvalidated and unglued* so
+/// byte-level admission can hash them in place; [`RawRecord::decode`]
+/// may therefore surface syntax errors there. Either way, record-level
+/// failures are reported at the record's start offset exactly as the
+/// serial [`SnapshotReader`] does.
 #[derive(Debug, Clone)]
 pub struct RawRecord {
-    /// The record's raw JSON text.
-    pub bytes: Vec<u8>,
-    /// Absolute byte offset of the span's first byte in the input.
+    /// The record's value spans.
+    pub body: RecordBody,
+    /// Absolute byte offset of the record's first byte in the input.
     pub offset: u64,
     /// 0-based index among the `fecs` entries.
     pub index: usize,
 }
 
+/// The payload of a [`RawRecord`]: one JSON record span, or the two
+/// value spans a binary container carries.
+#[derive(Debug, Clone)]
+pub enum RecordBody {
+    /// A complete `{"flow": F, "graph": G}` record span, as framed out
+    /// of the JSON container.
+    Json(SpanBytes),
+    /// The `flow` and `graph` value spans of a binary-container record,
+    /// exactly as they sit in the container (no JSON skeleton).
+    Split {
+        /// The serialized flow key.
+        flow: SpanBytes,
+        /// The serialized forwarding graph, undecoded.
+        graph: SpanBytes,
+    },
+}
+
 impl RawRecord {
+    /// A record over one complete JSON record span (what the JSON framer
+    /// yields; also the constructor for hand-built records in tests and
+    /// delta documents).
+    pub fn from_json_span(span: impl Into<SpanBytes>, offset: u64, index: usize) -> RawRecord {
+        RawRecord {
+            body: RecordBody::Json(span.into()),
+            offset,
+            index,
+        }
+    }
+
+    /// A record over a binary container's two value spans (what both
+    /// binary framers yield).
+    pub fn from_split_spans(
+        flow: SpanBytes,
+        graph: SpanBytes,
+        offset: u64,
+        index: usize,
+    ) -> RawRecord {
+        RawRecord {
+            body: RecordBody::Split { flow, graph },
+            offset,
+            index,
+        }
+    }
+
+    /// The record as one `{"flow":F,"graph":G}` JSON span: borrowed for
+    /// JSON-container records, reassembled for binary-container ones.
+    /// (The binary framer used to pay this glue copy for every record;
+    /// it is now confined to the decode and unpack paths.)
+    pub fn json_bytes(&self) -> Cow<'_, [u8]> {
+        match &self.body {
+            RecordBody::Json(span) => Cow::Borrowed(span.as_slice()),
+            RecordBody::Split { flow, graph } => {
+                let mut bytes = Vec::with_capacity(flow.len() + graph.len() + 18);
+                bytes.extend_from_slice(b"{\"flow\":");
+                bytes.extend_from_slice(flow.as_slice());
+                bytes.extend_from_slice(b",\"graph\":");
+                bytes.extend_from_slice(graph.as_slice());
+                bytes.push(b'}');
+                Cow::Owned(bytes)
+            }
+        }
+    }
+
+    /// Total payload bytes of the record body — what the pipelined
+    /// engine's byte-budget batching accounts.
+    pub fn span_len(&self) -> usize {
+        match &self.body {
+            RecordBody::Json(span) => span.len(),
+            RecordBody::Split { flow, graph } => flow.len() + graph.len(),
+        }
+    }
     /// Decode the span into its `(flow, graph)` pair. Errors carry the
     /// record's byte offset and entry index; `label` (typically the
     /// source file path) is attached when given.
@@ -311,7 +516,8 @@ impl RawRecord {
         // the framer validated the span: strings are checked UTF-8 and
         // everything else is ASCII, so both conversions are infallible
         // on framer-produced records (kept as errors for hand-built ones)
-        let text = std::str::from_utf8(&self.bytes)
+        let bytes = self.json_bytes();
+        let text = std::str::from_utf8(&bytes)
             .map_err(|_| fail("record span is not valid utf-8".to_owned()))?;
         let entry: Value =
             serde_json::from_str(text).map_err(|e| fail(format!("record span: {e}")))?;
@@ -321,9 +527,11 @@ impl RawRecord {
         Ok((flow, graph))
     }
 
-    /// Locate the `flow` and `graph` value spans inside the record
-    /// without parsing either value — what byte-level admission and the
-    /// `snapshot pack` converter run instead of a decode. Handles the
+    /// The `flow` and `graph` value spans of the record, located without
+    /// parsing either value — what byte-level admission and the
+    /// `snapshot pack` converter run instead of a decode. A binary
+    /// container already carries the two spans, so this is a pair of
+    /// O(1) clones there; a JSON record span is scanned. Handles the
     /// canonical record encodings both framers produce (plain `"flow"`
     /// and `"graph"` keys in either order, arbitrary inter-token
     /// whitespace); errors carry the record's offset and entry index
@@ -332,7 +540,11 @@ impl RawRecord {
     pub fn split_spans(
         &self,
         label: Option<&str>,
-    ) -> Result<(std::ops::Range<usize>, std::ops::Range<usize>), SnapshotError> {
+    ) -> Result<(SpanBytes, SpanBytes), SnapshotError> {
+        let span = match &self.body {
+            RecordBody::Split { flow, graph } => return Ok((flow.clone(), graph.clone())),
+            RecordBody::Json(span) => span,
+        };
         let fail = |message: &str| SnapshotError {
             message: message.to_owned(),
             entry: Some(self.index),
@@ -340,7 +552,7 @@ impl RawRecord {
             offset_in_message: false,
             label: label.map(str::to_owned),
         };
-        let b = &self.bytes[..];
+        let b = span.as_slice();
         let mut pos = skip_ws(b, 0);
         if b.get(pos) != Some(&b'{') {
             return Err(fail("record span is not an object"));
@@ -377,13 +589,13 @@ impl RawRecord {
             }
         }
         match (flow, graph) {
-            (Some(f), Some(g)) => Ok((f, g)),
+            (Some(f), Some(g)) => Ok((span.slice(f), span.slice(g))),
             (None, _) => Err(fail("missing field `flow`")),
             (_, None) => Err(fail("missing field `graph`")),
         }
     }
 
-    /// Parse the record's flow key and locate its graph span *without*
+    /// Parse the record's flow key and hand out its graph span *without*
     /// decoding the graph — the entry point of the pipelined
     /// byte-admission fast path. Falls back to a full
     /// [`RawRecord::decode`] when the span scanner cannot handle the
@@ -391,7 +603,7 @@ impl RawRecord {
     /// exactly what the serial reader would have reported.
     pub fn decode_flow(&self, label: Option<&str>) -> Result<FlowDecoded, SnapshotError> {
         if let Ok((flow_span, graph_span)) = self.split_spans(label) {
-            let parsed = std::str::from_utf8(&self.bytes[flow_span])
+            let parsed = std::str::from_utf8(flow_span.as_slice())
                 .ok()
                 .and_then(|text| serde_json::from_str::<Value>(text).ok())
                 .and_then(|value| FlowSpec::from_value(&value).ok());
@@ -410,9 +622,8 @@ impl RawRecord {
 #[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum FlowDecoded {
-    /// The parsed flow key plus the byte range of the record's
-    /// *undecoded* graph span.
-    Split(FlowSpec, std::ops::Range<usize>),
+    /// The parsed flow key plus the record's *undecoded* graph span.
+    Split(FlowSpec, SpanBytes),
     /// The record needed a full decode (non-canonical encoding): both
     /// values, already parsed.
     Full(FlowSpec, ForwardingGraph),
@@ -515,6 +726,9 @@ enum FramerInner<R: Read> {
     Unsniffed(Option<R>),
     Json(JsonFramer<R>),
     Binary(BinaryFramer<R>),
+    /// Zero-copy binary framing over a memory mapping (no `R` involved —
+    /// record spans borrow the map).
+    Mapped(MappedBinaryFramer),
     /// Finished or failed; the iterator is fused.
     Done,
 }
@@ -542,6 +756,13 @@ impl<R: Read> SnapshotFramer<R> {
         self.label.as_deref()
     }
 
+    /// Whether this framer runs the zero-copy mapped path (for stats
+    /// and diagnostics; the records it yields are indistinguishable from
+    /// the buffered binary framer's).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.inner, FramerInner::Mapped(_))
+    }
+
     /// Number of records framed so far.
     pub fn records_framed(&self) -> usize {
         self.index
@@ -562,6 +783,39 @@ impl<R: Read> SnapshotFramer<R> {
     }
 }
 
+impl<'a> SnapshotFramer<Box<dyn Read + Send + 'a>> {
+    /// Frame a memory-mapped snapshot file. A binary container
+    /// ([`BINARY_MAGIC`] head) is framed zero-copy — pointer arithmetic
+    /// over the mapping, record spans borrowing it — with the same
+    /// record sequence, offsets, and error contract as the buffered
+    /// [`SnapshotFramer::new`] over the same bytes. Any other content
+    /// (a JSON document in the mapped file) transparently rides the
+    /// ordinary sniffing path through a [`MmapReader`], so callers may
+    /// map first and ask questions never.
+    pub fn from_map(
+        map: MmapSource,
+        label: impl Into<String>,
+    ) -> SnapshotFramer<Box<dyn Read + Send + 'a>> {
+        let map = Arc::new(map);
+        if map.as_slice().get(..4) == Some(&BINARY_MAGIC[..]) {
+            SnapshotFramer {
+                inner: FramerInner::Mapped(MappedBinaryFramer {
+                    map,
+                    // the sniffed magic is consumed; the version word is
+                    // checked on the first pull, like the lazy sniffer
+                    pos: BINARY_MAGIC.len(),
+                    released: 0,
+                    version_checked: false,
+                }),
+                index: 0,
+                label: Some(label.into()),
+            }
+        } else {
+            SnapshotFramer::new(Box::new(MmapReader::new(map)), label)
+        }
+    }
+}
+
 impl<R: Read> Iterator for SnapshotFramer<R> {
     type Item = Result<RawRecord, SnapshotError>;
 
@@ -577,6 +831,7 @@ impl<R: Read> Iterator for SnapshotFramer<R> {
             FramerInner::Done => return None,
             FramerInner::Json(j) => j.next_record(self.index),
             FramerInner::Binary(b) => b.next_record(self.index),
+            FramerInner::Mapped(m) => m.next_record(self.index),
             FramerInner::Unsniffed(_) => unreachable!("format sniffed above"),
         };
         match result {
@@ -719,21 +974,16 @@ impl<R: Read> JsonFramer<R> {
                 self.json
                     .read_raw_value(&mut bytes)
                     .map_err(|e| SnapshotError::from_json(e).with_entry(index))?;
-                Ok(Some(RawRecord {
-                    bytes,
-                    offset,
-                    index,
-                }))
+                Ok(Some(RawRecord::from_json_span(bytes, offset, index)))
             }
         }
     }
 }
 
 /// Framing state for the binary container (header already consumed by
-/// the sniffer): records are pure length-prefix arithmetic, reassembled
-/// into the `{"flow":F,"graph":G}` span shape the rest of the engine
-/// speaks. A record's offset is the absolute position of its first
-/// length prefix.
+/// the sniffer): records are pure length-prefix arithmetic, yielded as
+/// [`RecordBody::Split`] value-span pairs with no reassembly. A
+/// record's offset is the absolute position of its first length prefix.
 struct BinaryFramer<R: Read> {
     source: R,
     /// Absolute offset of the next unread byte.
@@ -824,17 +1074,135 @@ impl<R: Read> BinaryFramer<R> {
         }
         let mut graph = vec![0u8; graph_len as usize];
         self.read_exact(&mut graph, "a graph span", Some(index))?;
-        let mut bytes = Vec::with_capacity(flow.len() + graph.len() + 18);
-        bytes.extend_from_slice(b"{\"flow\":");
-        bytes.extend_from_slice(&flow);
-        bytes.extend_from_slice(b",\"graph\":");
-        bytes.extend_from_slice(&graph);
-        bytes.push(b'}');
-        Ok(Some(RawRecord {
-            bytes,
-            offset: record_start,
+        Ok(Some(RawRecord::from_split_spans(
+            flow.into(),
+            graph.into(),
+            record_start,
             index,
-        }))
+        )))
+    }
+}
+
+/// Zero-copy framing state for a memory-mapped binary container: the
+/// same length-prefix arithmetic as [`BinaryFramer`], but over the
+/// mapping's slice — record spans borrow the map instead of being read
+/// into fresh buffers. Every error (message, byte offset, entry index)
+/// is identical to what the buffered framer reports for the same bytes;
+/// truncation mid-record surfaces at the mapping's end, exactly where a
+/// buffered read would have hit EOF.
+struct MappedBinaryFramer {
+    map: Arc<MmapSource>,
+    /// Absolute offset of the next unread byte.
+    pos: usize,
+    /// Watermark below which pages have been advised reclaimable
+    /// ([`MmapSource::release_prefix`]) — without this a large container
+    /// accumulates its entire length in the process's resident set as
+    /// framing touches every page. Released lagging one
+    /// [`MAPPED_RELEASE_CHUNK`] behind `pos` so in-flight spans almost
+    /// always sit on still-resident pages (a span behind the lag merely
+    /// refaults from the page cache).
+    released: usize,
+    /// The version word is validated lazily on the first pull, matching
+    /// the buffered sniffer's laziness.
+    version_checked: bool,
+}
+
+/// Granularity of the mapped framer's resident-set release: pages are
+/// advised reclaimable one chunk at a time, one chunk behind the
+/// framing cursor, bounding a side's framing footprint to ~2 chunks
+/// regardless of container size.
+const MAPPED_RELEASE_CHUNK: usize = 1 << 20;
+
+impl MappedBinaryFramer {
+    /// Claim `len` bytes at the cursor; the mapped analogue of
+    /// [`BinaryFramer::read_exact`], with the identical error contract
+    /// (a short claim errors at `pos + available`, i.e. the map's end).
+    fn take(
+        &mut self,
+        len: usize,
+        what: &str,
+        entry: Option<usize>,
+    ) -> Result<Range<usize>, SnapshotError> {
+        let have = self.map.len().saturating_sub(self.pos).min(len);
+        if have < len {
+            let e = SnapshotError::at(
+                format!("unexpected end of binary snapshot reading {what}"),
+                (self.pos + have) as u64,
+            );
+            return Err(match entry {
+                Some(ix) => e.with_entry(ix),
+                None => e,
+            });
+        }
+        let range = self.pos..self.pos + len;
+        self.pos += len;
+        Ok(range)
+    }
+
+    /// Read one little-endian length prefix, enforcing `cap` (the
+    /// sentinel is exempt — the caller decides whether it is legal).
+    fn read_len(&mut self, what: &str, cap: u32, index: usize) -> Result<u32, SnapshotError> {
+        let at = self.pos as u64;
+        let range = self.take(4, what, Some(index))?;
+        let word: [u8; 4] = self.map.as_slice()[range].try_into().expect("4-byte range");
+        let len = u32::from_le_bytes(word);
+        if len != BINARY_SENTINEL && len > cap {
+            return Err(SnapshotError::at(
+                format!("{what} of {len} bytes exceeds the {cap}-byte cap"),
+                at,
+            )
+            .with_entry(index));
+        }
+        Ok(len)
+    }
+
+    /// Frame the next record span; `Ok(None)` on the end sentinel.
+    fn next_record(&mut self, index: usize) -> Result<Option<RawRecord>, SnapshotError> {
+        if !self.version_checked {
+            let range = self.take(4, "the format version", None)?;
+            let word: [u8; 4] = self.map.as_slice()[range].try_into().expect("4-byte range");
+            let v = u32::from_le_bytes(word);
+            if v != BINARY_VERSION {
+                return Err(SnapshotError::at(
+                    format!("unsupported binary snapshot version {v} (expected {BINARY_VERSION})"),
+                    BINARY_MAGIC.len() as u64,
+                ));
+            }
+            self.version_checked = true;
+        }
+        let record_start = self.pos as u64;
+        let flow_len = self.read_len("a flow-key length", BINARY_FLOW_CAP, index)?;
+        if flow_len == BINARY_SENTINEL {
+            // end marker: nothing may follow it
+            if self.pos < self.map.len() {
+                return Err(SnapshotError::at(
+                    "trailing bytes after the binary snapshot end marker",
+                    self.pos as u64,
+                ));
+            }
+            return Ok(None);
+        }
+        let flow = self.take(flow_len as usize, "a flow-key span", Some(index))?;
+        let graph_len = self.read_len("a graph length", BINARY_GRAPH_CAP, index)?;
+        if graph_len == BINARY_SENTINEL {
+            return Err(SnapshotError::at(
+                "end marker in place of a graph length",
+                self.pos as u64 - 4,
+            )
+            .with_entry(index));
+        }
+        let graph = self.take(graph_len as usize, "a graph span", Some(index))?;
+        if self.pos >= self.released + 2 * MAPPED_RELEASE_CHUNK {
+            let upto = self.pos - MAPPED_RELEASE_CHUNK;
+            self.map.release_prefix(upto);
+            self.released = upto;
+        }
+        Ok(Some(RawRecord::from_split_spans(
+            SpanBytes::mapped(self.map.clone(), flow),
+            SpanBytes::mapped(self.map.clone(), graph),
+            record_start,
+            index,
+        )))
     }
 }
 
@@ -1523,8 +1891,9 @@ mod tests {
         for (ix, raw) in framed.iter().enumerate() {
             assert_eq!(raw.index, ix);
             // the span sits at its recorded offset in the document
-            let end = raw.offset as usize + raw.bytes.len();
-            assert_eq!(json.as_bytes()[raw.offset as usize..end], raw.bytes[..]);
+            let bytes = raw.json_bytes();
+            let end = raw.offset as usize + bytes.len();
+            assert_eq!(json.as_bytes()[raw.offset as usize..end], bytes[..]);
         }
         let decoded: Vec<_> = framed.iter().map(|r| r.decode(None).unwrap()).collect();
         for ((f1, g1), (f2, g2)) in decoded.iter().zip(snap.iter()) {
@@ -1640,8 +2009,13 @@ mod tests {
             .unwrap();
         assert_eq!(from_json.len(), from_bin.len());
         for (a, b) in from_json.iter().zip(&from_bin) {
-            assert_eq!(a.bytes, b.bytes);
+            assert_eq!(a.json_bytes(), b.json_bytes());
             assert_eq!(a.index, b.index);
+            // the located value spans agree too, across body encodings
+            let (af, ag) = a.split_spans(None).unwrap();
+            let (bf, bg) = b.split_spans(None).unwrap();
+            assert_eq!(af, bf);
+            assert_eq!(ag, bg);
         }
     }
 
@@ -1718,15 +2092,11 @@ mod tests {
             r#"{"extra":7,"flow":true,"graph":"{not json}"}"#,
         ];
         for case in cases {
-            let raw = RawRecord {
-                bytes: case.as_bytes().to_vec(),
-                offset: 3,
-                index: 1,
-            };
+            let raw = RawRecord::from_json_span(case.as_bytes().to_vec(), 3, 1);
             let (flow, graph) = raw.split_spans(None).unwrap();
             // each located span must itself be a parsable JSON value
-            for range in [flow, graph] {
-                let text = std::str::from_utf8(&case.as_bytes()[range]).unwrap();
+            for span in [flow, graph] {
+                let text = std::str::from_utf8(span.as_slice()).unwrap();
                 serde_json::from_str::<Value>(text).unwrap_or_else(|e| panic!("{case}: {e}"));
             }
         }
@@ -1734,21 +2104,13 @@ mod tests {
 
     #[test]
     fn split_spans_missing_fields_match_the_decode_contract() {
-        let raw = RawRecord {
-            bytes: br#"{"graph": null}"#.to_vec(),
-            offset: 11,
-            index: 4,
-        };
+        let raw = RawRecord::from_json_span(br#"{"graph": null}"#.to_vec(), 11, 4);
         let err = raw.split_spans(Some("pre.json")).unwrap_err();
         assert_eq!(err.entry_index(), Some(4));
         assert_eq!(err.byte_offset(), Some(11));
         assert_eq!(err.label(), Some("pre.json"));
         assert!(err.to_string().contains("missing field `flow`"), "{err}");
-        let raw = RawRecord {
-            bytes: br#"{"flow": null}"#.to_vec(),
-            offset: 0,
-            index: 0,
-        };
+        let raw = RawRecord::from_json_span(br#"{"flow": null}"#.to_vec(), 0, 0);
         let err = raw.split_spans(None).unwrap_err();
         assert!(err.to_string().contains("missing field `graph`"), "{err}");
     }
@@ -1763,18 +2125,14 @@ mod tests {
                 FlowDecoded::Split(flow, graph_span) => {
                     let (expect_flow, expect_graph) = raw.decode(None).unwrap();
                     assert_eq!(flow, expect_flow);
-                    let graph = decode_graph_span(&raw.bytes[graph_span]).unwrap();
+                    let graph = decode_graph_span(graph_span.as_slice()).unwrap();
                     assert_eq!(graph, expect_graph);
                 }
                 FlowDecoded::Full(..) => panic!("canonical record took the fallback"),
             }
         }
         // shape errors surface through the fallback with decode's message
-        let raw = RawRecord {
-            bytes: br#"{"graph": null}"#.to_vec(),
-            offset: 5,
-            index: 2,
-        };
+        let raw = RawRecord::from_json_span(br#"{"graph": null}"#.to_vec(), 5, 2);
         let err = raw.decode_flow(None).unwrap_err();
         let expect = raw.decode(None).unwrap_err();
         assert_eq!(err, expect);

@@ -12,8 +12,9 @@ trajectory point and fails (exit 1) when:
   - an ingest scenario's wall time regressed by more than 30% relative
     to its in-run baseline compared to the committed trajectory point:
     ``wall_s / wall_serial_stream_s`` for ``pipelined-ingest``,
-    ``wall_s / wall_full_warm_s`` for ``delta-ingest``, and
-    ``wall_s / wall_json_s`` for ``binary-ingest``.
+    ``wall_s / wall_full_warm_s`` for ``delta-ingest``,
+    ``wall_s / wall_json_s`` for ``binary-ingest``, and
+    ``wall_s / wall_binary_s`` for ``mmap-ingest``.
 
 Fields may be ``null`` (smoke runs skip baselines; non-ingest
 scenarios carry ``"rss_ratio": null`` by schema) — every comparison
@@ -41,6 +42,7 @@ RATIO_BASELINE_FIELDS = {
     "pipelined-ingest": "wall_serial_stream_s",
     "delta-ingest": "wall_full_warm_s",
     "binary-ingest": "wall_json_s",
+    "mmap-ingest": "wall_binary_s",
 }
 
 

@@ -18,7 +18,8 @@ use rela_baseline::{path_diff, DiffOptions};
 use rela_core::{CheckSession, IngestMode, JobOptions, JobSpec, LabeledSource, SessionConfig};
 use rela_net::{
     diff_side, pair_epoch, scan_side, snapshot_source, write_delta, BinarySnapshotWriter,
-    Granularity, LocationDb, SideScan, Snapshot, SnapshotEpoch, SnapshotFramer, SnapshotPair,
+    Granularity, LocationDb, MmapSource, SideScan, Snapshot, SnapshotEpoch, SnapshotFramer,
+    SnapshotPair, BINARY_MAGIC,
 };
 use std::collections::BTreeMap;
 use std::fmt;
@@ -587,11 +588,46 @@ fn open_session(
 }
 
 /// Open a snapshot path as a labeled streaming source for a job.
+/// Whether `path` is a plain (uncompressed) regular file opening with
+/// the RSNB magic — the case where a memory mapping replaces buffered
+/// reads. Gzip streams and pipes are not seekable/mappable; JSON files
+/// gain nothing from a mapping (their records are parsed, not framed in
+/// place). Errors report as `false` so callers fall back to the
+/// streaming open, which attributes the failure properly.
+fn mappable_rsnb(path: &Path) -> bool {
+    if path.extension().is_some_and(|ext| ext == "gz") {
+        return false;
+    }
+    let Ok(mut file) = std::fs::File::open(path) else {
+        return false;
+    };
+    if !file.metadata().is_ok_and(|m| m.is_file()) {
+        return false;
+    }
+    let mut head = [0u8; 4];
+    file.read_exact(&mut head).is_ok() && head == BINARY_MAGIC
+}
+
 fn labeled(path: &Path) -> Result<LabeledSource<'static>, CliError> {
-    Ok(LabeledSource::new(
-        open_snapshot(path)?,
-        path.display().to_string(),
-    ))
+    let label = path.display().to_string();
+    if mappable_rsnb(path) {
+        let map =
+            MmapSource::open(path).map_err(|e| usage_error(format!("{}: {e}", path.display())))?;
+        return Ok(LabeledSource::mapped(map, label));
+    }
+    Ok(LabeledSource::new(open_snapshot(path)?, label))
+}
+
+/// Open a snapshot as a record framer, memory-mapping seekable RSNB
+/// containers (zero-copy framing) and streaming everything else.
+fn open_framer(path: &Path) -> Result<SnapshotFramer<Box<dyn Read + Send + 'static>>, CliError> {
+    let label = path.display().to_string();
+    if mappable_rsnb(path) {
+        let map =
+            MmapSource::open(path).map_err(|e| usage_error(format!("{}: {e}", path.display())))?;
+        return Ok(SnapshotFramer::from_map(map, label));
+    }
+    Ok(SnapshotFramer::new(open_snapshot(path)?, label))
 }
 
 /// Execute a command, writing human output through `out`. Returns the
@@ -722,14 +758,23 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<i32, CliError>
             unpack,
         } => {
             let label = input.display().to_string();
-            let mut framer = SnapshotFramer::new(open_snapshot(input)?, label.clone());
+            // sniff the (decompressed) head so pack-on-binary can warn:
+            // re-packing RSNB is a cheap span copy, not a re-encode, but
+            // the user probably meant to pack a JSON snapshot
+            let already_binary = {
+                let mut head = [0u8; 4];
+                let mut src = open_snapshot(input)?;
+                src.read_exact(&mut head).is_ok() && head == BINARY_MAGIC
+            };
+            let mut framer = open_framer(input)?;
             let file = std::fs::File::create(output)
                 .map_err(|e| usage_error(format!("{}: {e}", output.display())))?;
             let sink = std::io::BufWriter::new(file);
             let fail_out = |e: std::io::Error| usage_error(format!("{}: {e}", output.display()));
             let count = if *unpack {
-                // record spans are already the JSON writer's bytes, so
-                // splicing them reproduces the JSON container exactly
+                // record spans are already the JSON writer's bytes (and
+                // binary spans reassemble to them), so splicing the
+                // records reproduces the canonical JSON container
                 let mut sink = sink;
                 sink.write_all(b"{\"fecs\":[").map_err(fail_out)?;
                 let mut written = 0usize;
@@ -738,19 +783,28 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<i32, CliError>
                     if written > 0 {
                         sink.write_all(b",").map_err(fail_out)?;
                     }
-                    sink.write_all(&raw.bytes).map_err(fail_out)?;
+                    sink.write_all(&raw.json_bytes()).map_err(fail_out)?;
                     written += 1;
                 }
                 sink.write_all(b"]}").map_err(fail_out)?;
                 sink.flush().map_err(fail_out)?;
                 written
             } else {
+                if already_binary {
+                    emit(
+                        out,
+                        format!(
+                            "warning: {label} is already a binary snapshot; \
+                             copying record spans unchanged\n"
+                        ),
+                    )?;
+                }
                 let mut writer = BinarySnapshotWriter::new(sink).map_err(fail_out)?;
                 for raw in &mut framer {
                     let raw = raw.map_err(|e| usage_error(format!("invalid snapshot: {e}")))?;
                     match raw.split_spans(Some(&label)) {
                         Ok((flow, graph)) => writer
-                            .write_raw(&raw.bytes[flow], &raw.bytes[graph])
+                            .write_raw(flow.as_slice(), graph.as_slice())
                             .map_err(fail_out)?,
                         Err(_) => {
                             // non-canonical encoding: decode once and
@@ -790,7 +844,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<i32, CliError>
             out_post,
         } => {
             let scan = |path: &Path| -> Result<SideScan, CliError> {
-                let framer = SnapshotFramer::new(open_snapshot(path)?, path.display().to_string());
+                let framer = open_framer(path)?;
                 scan_side(framer).map_err(|e| usage_error(format!("invalid snapshot: {e}")))
             };
             let (base_pre, base_post) = (scan(base_pre)?, scan(base_post)?);
@@ -1123,6 +1177,69 @@ mod tests {
         assert_eq!(code, 1);
         let text = String::from_utf8(sink).unwrap();
         assert!(text.contains("56 traffic classes"), "{text}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `snapshot pack` and `--unpack` are idempotent in both
+    /// directions: packing an already-binary container is a warned
+    /// span copy (byte-identical output), unpacking an already-JSON
+    /// container splices the records back verbatim, and a full
+    /// pack → unpack round trip reproduces the canonical JSON.
+    #[test]
+    fn snapshot_pack_is_idempotent_in_both_directions() {
+        let dir = std::env::temp_dir().join(format!("rela-packcli-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut sink = Vec::new();
+        run(&Command::Demo { out: dir.clone() }, &mut sink).unwrap();
+
+        let pack = |input: PathBuf, output: PathBuf, unpack: bool| {
+            let mut sink = Vec::new();
+            let code = run(
+                &Command::SnapshotPack {
+                    input,
+                    output,
+                    unpack,
+                },
+                &mut sink,
+            )
+            .unwrap();
+            assert_eq!(code, 0);
+            String::from_utf8(sink).unwrap()
+        };
+
+        let json = dir.join("pre.json");
+        let rsnb = dir.join("pre.rsnb");
+        let text = pack(json.clone(), rsnb.clone(), false);
+        assert!(!text.contains("warning"), "{text}");
+
+        // pack-on-binary: warned, byte-identical span copy
+        let repacked = dir.join("pre2.rsnb");
+        let text = pack(rsnb.clone(), repacked.clone(), false);
+        assert!(text.contains("already a binary snapshot"), "{text}");
+        assert_eq!(
+            std::fs::read(&rsnb).unwrap(),
+            std::fs::read(&repacked).unwrap(),
+            "re-packing a binary container must copy it byte for byte"
+        );
+
+        // unpack reproduces the canonical JSON exactly
+        let unpacked = dir.join("back.json");
+        pack(rsnb.clone(), unpacked.clone(), true);
+        assert_eq!(
+            std::fs::read(&json).unwrap(),
+            std::fs::read(&unpacked).unwrap(),
+            "pack → unpack must round-trip the JSON container"
+        );
+
+        // unpack-on-JSON: record splicing is the identity
+        let rejsoned = dir.join("back2.json");
+        pack(json.clone(), rejsoned.clone(), true);
+        assert_eq!(
+            std::fs::read(&json).unwrap(),
+            std::fs::read(&rejsoned).unwrap(),
+            "unpacking a JSON container must reproduce it byte for byte"
+        );
 
         std::fs::remove_dir_all(&dir).ok();
     }

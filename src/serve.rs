@@ -20,7 +20,7 @@ use crate::proto::{
     KIND_PONG, KIND_POST, KIND_PRE, KIND_REPORT, KIND_SHUTDOWN,
 };
 use rela_core::{CheckSession, JobOptions, JobSpec, LabeledSource, SessionConfig};
-use rela_net::chunk_pipe;
+use rela_net::{chunk_pipe, MmapSource, BINARY_MAGIC};
 use serde::{Deserialize, Serialize, Value};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::Path;
@@ -286,13 +286,40 @@ fn handle_connection(
     }
 }
 
+/// Where one side's chunks go while the transfer runs — decided by
+/// sniffing the side's first chunk.
+enum SideSink {
+    /// No chunk seen yet.
+    Waiting,
+    /// Streaming through an unbounded in-memory pipe (JSON, gz, deltas).
+    Piped(rela_net::ChunkSender),
+    /// An RSNB body spooling to a temp file; mapped (and the file
+    /// unlinked) at end-of-side so the engine frames it zero-copy.
+    Spooling(std::io::BufWriter<std::fs::File>, std::path::PathBuf),
+    /// End-of-side seen.
+    Done,
+}
+
+impl SideSink {
+    fn done(&self) -> bool {
+        matches!(self, SideSink::Done)
+    }
+}
+
 /// Ingest one job's snapshot chunks and reply with its report.
 ///
 /// The connection thread demultiplexes `PRE`/`POST` chunk frames into
-/// two unbounded in-memory pipes while the job thread runs the check
-/// over them — unbounded because the engine's streaming aligner pulls
-/// the two sides in lockstep, and a bounded pipe would deadlock against
-/// a client that (legitimately) sends one side first.
+/// a per-side sink picked by sniffing each side's first chunk. Sides
+/// that open with the RSNB magic spool to a temp file which is
+/// memory-mapped and unlinked at end-of-side — the pipelined engine
+/// then frames the body in place instead of copying it chunk by chunk.
+/// Every other side streams through an unbounded in-memory pipe —
+/// unbounded because the engine's streaming aligner pulls the two sides
+/// in lockstep, and a bounded pipe would deadlock against a client that
+/// (legitimately) sends one side first. The job thread starts as soon
+/// as both sides' sources exist (immediately for piped sides, at
+/// end-of-side for spooled ones), so streaming jobs keep their
+/// transfer/decode overlap.
 fn run_job(stream: &mut UnixStream, session: &CheckSession, payload: &[u8], id: usize) {
     let mut options = match std::str::from_utf8(payload)
         .map_err(|e| e.to_string())
@@ -341,45 +368,18 @@ fn run_job(stream: &mut UnixStream, session: &CheckSession, payload: &[u8], id: 
         }
     }
 
-    let (pre_tx, pre_rx) = chunk_pipe();
-    let (post_tx, post_rx) = chunk_pipe();
-    let mut pre_tx = Some(pre_tx);
-    let mut post_tx = Some(post_tx);
+    let side_names = ["pre", "post"];
+    let mut sinks = [SideSink::Waiting, SideSink::Waiting];
+    let mut sources: [Option<LabeledSource<'static>>; 2] = [None, None];
+    let mut options = Some(options);
 
     let (result, protocol_error) = std::thread::scope(|scope| {
-        let job = scope.spawn(move || {
-            let pre = LabeledSource::new(pre_rx, format!("job-{id}:pre"));
-            let post = LabeledSource::new(post_rx, format!("job-{id}:post"));
-            let spec = if delta {
-                JobSpec::deltas(pre, post)
-            } else {
-                JobSpec::streams(pre, post)
-            };
-            session.run(spec.with_options(options))
-        });
+        let mut job = None;
         let mut protocol_error: Option<String> = None;
-        while pre_tx.is_some() || post_tx.is_some() {
-            match read_frame(&mut Patient(&*stream)) {
-                Ok(Some((KIND_PRE, chunk))) => match (&pre_tx, chunk.is_empty()) {
-                    (Some(_), true) => drop(pre_tx.take()),
-                    (Some(tx), false) => {
-                        tx.send(chunk);
-                    }
-                    (None, _) => {
-                        protocol_error = Some(format!("job-{id}: pre chunk after end-of-side"));
-                        break;
-                    }
-                },
-                Ok(Some((KIND_POST, chunk))) => match (&post_tx, chunk.is_empty()) {
-                    (Some(_), true) => drop(post_tx.take()),
-                    (Some(tx), false) => {
-                        tx.send(chunk);
-                    }
-                    (None, _) => {
-                        protocol_error = Some(format!("job-{id}: post chunk after end-of-side"));
-                        break;
-                    }
-                },
+        while sinks.iter().any(|s| !s.done()) {
+            let (side, chunk) = match read_frame(&mut Patient(&*stream)) {
+                Ok(Some((KIND_PRE, chunk))) => (0usize, chunk),
+                Ok(Some((KIND_POST, chunk))) => (1usize, chunk),
                 Ok(Some((kind, _))) => {
                     protocol_error = Some(format!(
                         "job-{id}: unexpected frame kind 0x{kind:02x} during snapshot transfer"
@@ -394,19 +394,123 @@ fn run_job(stream: &mut UnixStream, session: &CheckSession, payload: &[u8], id: 
                     protocol_error = Some(format!("job-{id}: {e}"));
                     break;
                 }
+            };
+            let name = side_names[side];
+            let label = format!("job-{id}:{name}");
+            let eof = chunk.is_empty();
+            match std::mem::replace(&mut sinks[side], SideSink::Done) {
+                SideSink::Waiting if eof => {
+                    // empty side: a zero-byte stream, decided right here
+                    sources[side] = Some(LabeledSource::new(std::io::empty(), label));
+                }
+                SideSink::Waiting if chunk.starts_with(&BINARY_MAGIC) => {
+                    // RSNB body: spool it, map it at end-of-side
+                    let path = std::env::temp_dir().join(format!(
+                        "rela-serve-{}-job{id}-{name}.rsnb",
+                        std::process::id()
+                    ));
+                    match std::fs::File::create(&path) {
+                        Ok(file) => {
+                            let mut writer = std::io::BufWriter::new(file);
+                            if let Err(e) = std::io::Write::write_all(&mut writer, &chunk) {
+                                protocol_error = Some(format!("job-{id}: {name} spool: {e}"));
+                                std::fs::remove_file(&path).ok();
+                                break;
+                            }
+                            sinks[side] = SideSink::Spooling(writer, path);
+                        }
+                        Err(e) => {
+                            protocol_error = Some(format!("job-{id}: {name} spool: {e}"));
+                            break;
+                        }
+                    }
+                }
+                SideSink::Waiting => {
+                    let (tx, rx) = chunk_pipe();
+                    tx.send(chunk);
+                    sources[side] = Some(LabeledSource::new(rx, label));
+                    sinks[side] = SideSink::Piped(tx);
+                }
+                SideSink::Piped(tx) => {
+                    if eof {
+                        // dropping the sender is the reader's clean EOF
+                    } else {
+                        tx.send(chunk);
+                        sinks[side] = SideSink::Piped(tx);
+                    }
+                }
+                SideSink::Spooling(mut writer, path) => {
+                    if eof {
+                        let mapped = writer
+                            .into_inner()
+                            .map_err(|e| std::io::Error::other(e.to_string()))
+                            .and_then(|file| {
+                                drop(file);
+                                MmapSource::open(&path)
+                            });
+                        // the mapping keeps the pages alive on its own
+                        std::fs::remove_file(&path).ok();
+                        match mapped {
+                            Ok(map) => sources[side] = Some(LabeledSource::mapped(map, label)),
+                            Err(e) => {
+                                protocol_error = Some(format!("job-{id}: {name} spool: {e}"));
+                                break;
+                            }
+                        }
+                    } else {
+                        match std::io::Write::write_all(&mut writer, &chunk) {
+                            Ok(()) => sinks[side] = SideSink::Spooling(writer, path),
+                            Err(e) => {
+                                protocol_error = Some(format!("job-{id}: {name} spool: {e}"));
+                                std::fs::remove_file(&path).ok();
+                                break;
+                            }
+                        }
+                    }
+                }
+                SideSink::Done => {
+                    protocol_error = Some(format!("job-{id}: {name} chunk after end-of-side"));
+                    break;
+                }
+            }
+            if job.is_none() && sources.iter().all(Option::is_some) {
+                let pre = sources[0].take().expect("pre source");
+                let post = sources[1].take().expect("post source");
+                let options = options.take().expect("job options");
+                job = Some(scope.spawn(move || {
+                    let spec = if delta {
+                        JobSpec::deltas(pre, post)
+                    } else {
+                        JobSpec::streams(pre, post)
+                    };
+                    session.run(spec.with_options(options))
+                }));
             }
         }
-        // dropping the senders gives the job clean EOFs, so it always
-        // terminates; its verdict is discarded on a protocol error
-        drop(pre_tx.take());
-        drop(post_tx.take());
-        (job.join(), protocol_error)
+        // dropping the pipe senders (and any half-spooled files) gives a
+        // running job clean EOFs, so it always terminates; its verdict
+        // is discarded on a protocol error
+        for sink in &mut sinks {
+            if let SideSink::Spooling(_, path) = std::mem::replace(sink, SideSink::Done) {
+                std::fs::remove_file(&path).ok();
+            }
+        }
+        (job.map(|handle| handle.join()), protocol_error)
     });
 
     if let Some(message) = protocol_error {
         send_error(stream, message);
         return;
     }
+    let result = match result {
+        Some(result) => result,
+        None => {
+            // both sides ended before a source existed (can't happen:
+            // end-of-side always yields a source), but fail loudly
+            send_error(stream, format!("job-{id}: no snapshot data received"));
+            return;
+        }
+    };
     match result {
         Ok(Ok(report)) => {
             let stats = report.stats;

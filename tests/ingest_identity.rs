@@ -9,7 +9,7 @@
 use rela::lang::{
     CheckReport, CheckSession, IngestMode, JobOptions, JobSpec, LabeledSource, SessionConfig,
 };
-use rela::net::{BinarySnapshotWriter, Granularity, SnapshotFramer};
+use rela::net::{BinarySnapshotWriter, Granularity, MmapSource, SnapshotFramer};
 use rela::sim::workload::{iteration_deltas, spec_of_size, synthetic_wan, WanParams};
 
 fn params() -> WanParams {
@@ -72,9 +72,7 @@ fn pack(json: &str) -> Vec<u8> {
     for raw in &mut framer {
         let raw = raw.unwrap();
         let (flow, graph) = raw.split_spans(Some("pack")).unwrap();
-        writer
-            .write_raw(&raw.bytes[flow], &raw.bytes[graph])
-            .unwrap();
+        writer.write_raw(flow.as_slice(), graph.as_slice()).unwrap();
     }
     writer.finish().unwrap()
 }
@@ -96,6 +94,30 @@ fn stream_job<'a>(pre: &'a [u8], post: &'a [u8], ingest: IngestMode) -> JobSpec<
         LabeledSource::new(post, "post"),
     )
     .with_options(JobOptions {
+        ingest,
+        ..JobOptions::default()
+    })
+}
+
+/// Spool `bytes` to a temp file, memory-map it, and unlink the file —
+/// the zero-copy ingest path a mapped RSNB container rides (the mapping
+/// keeps the pages alive past the unlink).
+fn mapped(bytes: &[u8], label: &str) -> LabeledSource<'static> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static SPOOL: AtomicUsize = AtomicUsize::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "rela-ingest-identity-{}-{}",
+        std::process::id(),
+        SPOOL.fetch_add(1, Ordering::Relaxed),
+    ));
+    std::fs::write(&path, bytes).unwrap();
+    let map = MmapSource::open(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    LabeledSource::mapped(map, label)
+}
+
+fn mapped_job(pre: &[u8], post: &[u8], ingest: IngestMode) -> JobSpec<'static> {
+    JobSpec::streams(mapped(pre, "pre"), mapped(post, "post")).with_options(JobOptions {
         ingest,
         ..JobOptions::default()
     })
@@ -135,6 +157,16 @@ fn every_container_mode_and_depth_agrees_with_materialized_json() {
                 verdict_bytes(&report),
                 verdict_bytes(&baseline),
                 "{container} × {mode:?} diverged from materialized JSON"
+            );
+            // the same container through a memory mapping: zero-copy
+            // framing for pipelined RSNB, the stream adapter otherwise
+            let report = session(&fx, false)
+                .run(mapped_job(pre, post, mode))
+                .unwrap();
+            assert_eq!(
+                verdict_bytes(&report),
+                verdict_bytes(&baseline),
+                "{container}-mmap × {mode:?} diverged from materialized JSON"
             );
         }
     }
@@ -235,6 +267,23 @@ fn truncation_errors_keep_the_label_offset_contract_in_every_container() {
                 serial.to_string(),
                 pipelined.to_string(),
                 "{container} cut at {cut}: serial and pipelined errors diverged"
+            );
+            // a truncated *mapped* container must surface the identical
+            // error: the in-place framer shares the buffered framer's
+            // offset/entry contract byte for byte
+            let mapped_err = session(&fx, false)
+                .run(
+                    JobSpec::streams(LabeledSource::new(&pre[..], "pre"), mapped(clipped, "post"))
+                        .with_options(JobOptions {
+                            ingest: IngestMode::Pipelined { depth: 2 },
+                            ..JobOptions::default()
+                        }),
+                )
+                .unwrap_err();
+            assert_eq!(
+                serial.to_string(),
+                mapped_err.to_string(),
+                "{container} cut at {cut}: mapped and buffered errors diverged"
             );
         }
     }

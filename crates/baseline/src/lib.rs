@@ -12,9 +12,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod oracle;
 pub mod pathdiff;
 pub mod single_snapshot;
 
+pub use oracle::{changed_flows, compare, oracle_verdict, ChangedFlows, Disagreement};
 pub use pathdiff::{audit_days, path_diff, DiffEntry, DiffOptions, PathDiff};
 pub use single_snapshot::{
     naive_change_check, SingleSnapshotChecker, SnapshotSpec, SnapshotVerdict,

@@ -3,7 +3,7 @@
 //! machine-readable `BENCH_check.json` so the perf trajectory of the
 //! checker is observable (and gated) across PRs.
 //!
-//! Eight scenario kinds:
+//! Nine scenario kinds:
 //!
 //! - **dedup** — the fig6/fig7 testbeds at several WAN scales, with
 //!   dedup on *and* off at equal thread count, asserting identical
@@ -46,6 +46,14 @@
 //!   `BufReader` framing of the identical files; `speedup` is
 //!   buffered ÷ mapped wall and `rss_ratio` mapped ÷ buffered peak
 //!   RSS, with report fingerprints asserted identical.
+//! - **adversarial** — the operational scenario generators
+//!   (`rela_sim::adversarial`: failover drills, rolling maintenance,
+//!   policy migrations, ECMP churn, class skew) at a fixed seed,
+//!   checking each scenario's last iteration against the exact path
+//!   diff (`rela_baseline::path_diff`) as an independent oracle;
+//!   `speedup` is path-diff ÷ checker wall (measured even in smoke —
+//!   both runs are needed for the verdict cross-check anyway) and
+//!   `verdicts_match` records flow-set agreement.
 //!
 //! Every scenario object carries `rss_ratio` — a positive measurement
 //! for the child-process ingest kinds, `null` for everything else.
@@ -98,6 +106,7 @@ use rela_net::{
     content_hash128, BinarySnapshotWriter, Granularity, MmapSource, Snapshot, SnapshotFramer,
     SnapshotPair, SnapshotReader, SnapshotWriter,
 };
+use rela_sim::adversarial::{self, ScenarioFamily};
 use rela_sim::workload::{
     iteration_changes, iteration_deltas, spec_of_size, synthetic_wan, WanParams,
 };
@@ -1528,6 +1537,106 @@ fn run_ablation(threads: usize, smoke: bool) -> Value {
 /// it parses, has scenarios, every scenario decided at least one class,
 /// reports a hit rate, and no measured comparison diverged. `smoke`
 /// runs may carry `null` baselines (skipped), never divergent ones.
+/// The fixed seed the committed adversarial trajectory points use —
+/// scenario names embed it, so changing it renames every scenario (the
+/// gate treats them as new, not regressed).
+const ADVERSARIAL_SEED: u64 = 1;
+
+/// The **adversarial** scenario kind: one generated operational
+/// scenario, its last iteration checked against the exact path diff as
+/// an independent oracle. Both sides always run (the verdict
+/// cross-check needs them), so `speedup` — path-diff ÷ checker wall —
+/// is a real `Float` even in smoke mode.
+fn run_adversarial(family: ScenarioFamily, threads: usize) -> Value {
+    let sc = adversarial::generate(family, ADVERSARIAL_SEED);
+    eprintln!(
+        "[{}] generating ({} iterations, {} granularity): {}",
+        sc.name,
+        sc.iteration_count(),
+        sc.granularity,
+        sc.description,
+    );
+    let db = &sc.wan.topology.db;
+    let post = sc
+        .iterations
+        .posts
+        .last()
+        .expect("scenarios have iterations");
+    let pair = SnapshotPair::align(&sc.iterations.pre, post);
+    let program = parse_program(&sc.spec).expect("nochange spec parses");
+    let compiled = compile_program(&program, db, sc.granularity).expect("nochange spec compiles");
+    let start = Instant::now();
+    let report = Checker::new(&compiled, db)
+        .with_options(CheckOptions {
+            threads,
+            ..CheckOptions::default()
+        })
+        .check(&pair);
+    let wall = start.elapsed();
+    let start = Instant::now();
+    let diff = rela_baseline::path_diff(
+        &pair,
+        db,
+        rela_baseline::DiffOptions {
+            granularity: sc.granularity,
+            max_paths_listed: 1,
+        },
+    );
+    let wall_pathdiff = start.elapsed();
+    let want = rela_baseline::changed_flows(&diff);
+    let got: rela_baseline::ChangedFlows =
+        report.violations.iter().map(|v| v.flow.clone()).collect();
+    let verdicts_match = want == got;
+    let speedup = wall_pathdiff.as_secs_f64() / wall.as_secs_f64().max(f64::EPSILON);
+    eprintln!(
+        "[{}] {} FECs → {} classes ({:.1}% hits) | checker {} vs path-diff {} ({speedup:.1}×) | verdicts {}",
+        sc.name,
+        report.stats.fecs,
+        report.stats.classes,
+        100.0 * report.stats.hit_rate(),
+        secs(wall),
+        secs(wall_pathdiff),
+        if verdicts_match { "agree" } else { "DISAGREE" },
+    );
+    assert!(
+        verdicts_match,
+        "[{}] checker disagrees with the path-diff oracle — run the differential fuzz \
+         harness with RELA_FUZZ_SEEDS={ADVERSARIAL_SEED} for the repro bundle",
+        sc.name
+    );
+    let mut fields = base_fields(
+        &sc.name,
+        "adversarial",
+        &sc.params,
+        1,
+        sc.granularity,
+        &report,
+    );
+    fields.push(("family".to_owned(), family.name().to_value()));
+    fields.push(("seed".to_owned(), (ADVERSARIAL_SEED as usize).to_value()));
+    fields.push(("iterations".to_owned(), sc.iteration_count().to_value()));
+    fields.push(("description".to_owned(), sc.description.to_value()));
+    fields.push(("wall_s".to_owned(), wall.as_secs_f64().to_value()));
+    fields.push((
+        "wall_pathdiff_s".to_owned(),
+        wall_pathdiff.as_secs_f64().to_value(),
+    ));
+    fields.push(("speedup".to_owned(), speedup.to_value()));
+    fields.push(("verdicts_match".to_owned(), Value::Bool(verdicts_match)));
+    fields.push(("rss_ratio".to_owned(), Value::Null));
+    Value::Obj(fields)
+}
+
+/// Which families the adversarial kind measures: a cheap two-family
+/// sample in smoke mode, the whole registry otherwise.
+fn adversarial_scales(smoke: bool) -> Vec<ScenarioFamily> {
+    if smoke {
+        vec![ScenarioFamily::LinkMaintenance, ScenarioFamily::ClassSkew]
+    } else {
+        ScenarioFamily::ALL.to_vec()
+    }
+}
+
 fn validate(path: &str) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("re-reading {path}: {e}"));
     let value: Value =
@@ -1678,6 +1787,9 @@ fn main() {
     for (name, params) in mmap_scales(smoke) {
         results.push(run_mmap_ingest(name, &params, threads));
     }
+    for family in adversarial_scales(smoke) {
+        results.push(run_adversarial(family, threads));
+    }
     let doc = Value::obj(vec![
         ("schema", "rela-perf/v1".to_value()),
         ("threads", threads.to_value()),
@@ -1705,6 +1817,7 @@ fn main() {
             "delta-ingest" => s.get("wall_full_warm_s").and_then(Value::as_f64),
             "binary-ingest" => s.get("wall_json_s").and_then(Value::as_f64),
             "mmap-ingest" => s.get("wall_binary_s").and_then(Value::as_f64),
+            "adversarial" => s.get("wall_pathdiff_s").and_then(Value::as_f64),
             _ => s.get("wall_nodedup_s").and_then(Value::as_f64),
         };
         let fmt_s = |v: Option<f64>| match v {

@@ -719,6 +719,117 @@ mod tests {
     }
 
     #[test]
+    fn gc_size_cap_exact_limit_removes_nothing() {
+        let dir = tmpdir("gc-cap-exact");
+        let current = CacheEpoch::derive(0, "engine/v1");
+        let current_path = write_epoch(&dir, 0, 3);
+        let sibling = write_epoch(&dir, 1, 5);
+        // a store already exactly at the cap is within budget: `total >
+        // cap` is strict, so the boundary byte evicts nothing
+        let cap = std::fs::metadata(&current_path).unwrap().len()
+            + std::fs::metadata(&sibling).unwrap().len();
+        let stats = gc(
+            &dir,
+            Some(current),
+            &GcPolicy {
+                keep_epochs: None,
+                max_bytes: Some(cap),
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.removed_files, 0, "{stats:?}");
+        assert_eq!(stats.retained_files, 2);
+        assert_eq!(stats.retained_bytes, cap);
+        assert!(current_path.exists() && sibling.exists());
+        // one byte less and the sibling must go
+        let stats = gc(
+            &dir,
+            Some(current),
+            &GcPolicy {
+                keep_epochs: None,
+                max_bytes: Some(cap - 1),
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.removed_files, 1, "{stats:?}");
+        assert!(current_path.exists());
+        assert!(!sibling.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_size_cap_never_evicts_the_current_epoch_even_over_budget() {
+        let dir = tmpdir("gc-cap-over");
+        let current = CacheEpoch::derive(0, "engine/v1");
+        let current_path = write_epoch(&dir, 0, 40);
+        let sibling = write_epoch(&dir, 1, 40);
+        // a cap below even the current epoch's own size: the sibling is
+        // evicted, but the store a run is using must never go cold —
+        // the directory is left over budget rather than emptied
+        let stats = gc(
+            &dir,
+            Some(current),
+            &GcPolicy {
+                keep_epochs: None,
+                max_bytes: Some(1),
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.removed_files, 1, "{stats:?}");
+        assert!(!sibling.exists());
+        assert!(current_path.exists(), "current epoch must survive");
+        assert!(
+            stats.retained_bytes > 1,
+            "the current epoch legitimately exceeds the cap: {stats:?}"
+        );
+        // and it still replays
+        let store = VerdictStore::open(&dir, current).unwrap();
+        assert_eq!(store.loaded(), 40);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_size_cap_zero_budget_keeps_only_the_current_epoch() {
+        let dir = tmpdir("gc-cap-zero");
+        let current = CacheEpoch::derive(0, "engine/v1");
+        let current_path = write_epoch(&dir, 0, 2);
+        let siblings: Vec<PathBuf> = (1..=3).map(|t| write_epoch(&dir, t, 2)).collect();
+        let stats = gc(
+            &dir,
+            Some(current),
+            &GcPolicy {
+                keep_epochs: None,
+                max_bytes: Some(0),
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.removed_files, 3, "{stats:?}");
+        assert_eq!(stats.retained_files, 1);
+        for p in &siblings {
+            assert!(!p.exists(), "{} survived a zero budget", p.display());
+        }
+        assert!(current_path.exists());
+        // with no current epoch, a zero budget empties the directory
+        let orphan = write_epoch(&dir, 9, 2);
+        let stats = gc(
+            &dir,
+            None,
+            &GcPolicy {
+                keep_epochs: None,
+                max_bytes: Some(0),
+            },
+        )
+        .unwrap();
+        assert!(!orphan.exists());
+        assert!(
+            !current_path.exists(),
+            "no current epoch: nothing is pinned"
+        );
+        assert_eq!(stats.retained_files, 0, "{stats:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn open_with_gc_sweeps_and_still_replays() {
         let dir = tmpdir("gc-open");
         let current = CacheEpoch::derive(0, "engine/v1");

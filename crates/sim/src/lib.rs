@@ -10,11 +10,15 @@
 //! forwarding DAGs — including dropped and uncarried traffic. The
 //! [`scenarios`] module reconstructs the paper's Figure 1 case study with
 //! all four change iterations; [`workload`] generates the evaluation
-//! dataset behind Figures 5–7.
+//! dataset behind Figures 5–7; [`adversarial`] generates the messy
+//! operational scenarios (failover drills, rolling maintenance, policy
+//! migrations, ECMP churn, class skew) that the differential-fuzz
+//! harness draws from.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adversarial;
 mod bgp;
 mod change;
 mod config;

@@ -239,7 +239,23 @@ pub struct DeltaIterations {
 ///
 /// Panics when `k == 0` or the WAN fails to converge.
 pub fn iteration_deltas(wan: &SyntheticWan, params: &WanParams, k: usize) -> DeltaIterations {
-    assert!(k > 0, "need at least the seed iteration");
+    change_sequence_deltas(wan, &iteration_changes(params, k))
+}
+
+/// Render an arbitrary cumulative change sequence delta-first — the
+/// generalization of [`iteration_deltas`] that the adversarial scenario
+/// generators ride. Each element of `sequence` is a full change list
+/// applied to the WAN's *base* configuration (not chained onto its
+/// predecessor), matching how engineers iterate on one change ticket.
+///
+/// # Panics
+///
+/// Panics when `sequence` is empty or any iteration fails to converge.
+pub fn change_sequence_deltas(
+    wan: &SyntheticWan,
+    sequence: &[Vec<ConfigChange>],
+) -> DeltaIterations {
+    assert!(!sequence.is_empty(), "need at least the seed iteration");
     let (pre, unconverged) = simulate(&wan.topology, &wan.config, &wan.traffic);
     assert!(unconverged.is_empty(), "base WAN must converge");
     let scan = |snap: &Snapshot, label: &str| -> SideScan {
@@ -248,11 +264,11 @@ pub fn iteration_deltas(wan: &SyntheticWan, params: &WanParams, k: usize) -> Del
             .expect("canonical snapshots scan")
     };
     let pre_scan = scan(&pre, "pre");
-    let mut posts = Vec::with_capacity(k);
-    let mut deltas = Vec::with_capacity(k.saturating_sub(1));
+    let mut posts = Vec::with_capacity(sequence.len());
+    let mut deltas = Vec::with_capacity(sequence.len().saturating_sub(1));
     let mut previous: Option<(SideScan, SnapshotEpoch)> = None;
     let mut seed_epoch = None;
-    for (ix, changes) in iteration_changes(params, k).iter().enumerate() {
+    for (ix, changes) in sequence.iter().enumerate() {
         let cfg = configured(&wan.config, &wan.topology, changes);
         let (post, unconverged) = simulate(&wan.topology, &cfg, &wan.traffic);
         assert!(unconverged.is_empty(), "changed WAN must converge");
@@ -283,7 +299,7 @@ pub fn iteration_deltas(wan: &SyntheticWan, params: &WanParams, k: usize) -> Del
     DeltaIterations {
         pre,
         posts,
-        seed_epoch: seed_epoch.expect("k > 0"),
+        seed_epoch: seed_epoch.expect("sequence is non-empty"),
         deltas,
     }
 }

@@ -32,7 +32,7 @@
 //!   (serial ÷ pipelined) and `rss_ratio` the memory cost of the
 //!   in-flight spans (pipelined ÷ serial).
 //! - **delta-ingest** — the §8.1 loop delta-first: a resident session
-//!   (`retain_base`) re-checks one iteration submitted as delta
+//!   (`retain_bases`) re-checks one iteration submitted as delta
 //!   documents (`rela-sim`'s native emitter) vs. the same pair
 //!   resubmitted in full with every verdict warm; `speedup` is
 //!   full-warm ÷ delta wall, reports byte-identical, decodes bounded
@@ -951,7 +951,7 @@ fn pipelined_scales(smoke: bool) -> Vec<(&'static str, WanParams)> {
 }
 
 /// The **delta-ingest** scenario kind: the §8.1 loop delta-first. A
-/// resident session ([`SessionConfig::retain_base`] plus an in-memory
+/// resident session ([`SessionConfig::retain_bases`] plus an in-memory
 /// verdict store) ingests the seed pair cold, advances one iteration in
 /// full (so the retained base is one small change behind), then
 /// receives the next iteration twice: once as the delta documents
@@ -983,7 +983,8 @@ fn run_delta_ingest(name: &str, params: &WanParams, threads: usize, smoke: bool)
         SessionConfig {
             granularity: Granularity::Group,
             threads,
-            retain_base: true,
+            retain_bases: 1,
+            ..SessionConfig::default()
         },
     )
     .expect("spec compiles");

@@ -48,9 +48,11 @@ use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, SystemTime};
+
+use rela_net::faultio;
 
 /// The on-disk schema tag; bump when the file layout changes shape.
 pub const SCHEMA: &str = "rela-cache/v1";
@@ -172,6 +174,14 @@ pub struct VerdictStore {
     /// resident session skip rewriting an unchanged store after every
     /// fully-warm job.
     dirty: AtomicBool,
+    /// Monotone persist counter carried in the store file. A recovered
+    /// file's generation tells an operator (and the crash-recovery
+    /// harness) how many flushes the surviving bytes represent.
+    generation: AtomicU64,
+    /// Files open-time recovery moved aside instead of deleting:
+    /// unparseable (torn) store files and temp files abandoned by dead
+    /// writers. Empty on a clean open.
+    quarantined: Vec<PathBuf>,
 }
 
 fn shard_of(key: &str) -> usize {
@@ -190,17 +200,31 @@ fn shard_map(entries: HashMap<String, Value>) -> Vec<Mutex<HashMap<String, Value
 
 impl VerdictStore {
     /// Open (or cold-start) the store for `epoch` under `dir`. The
-    /// directory is created if missing. Unreadable or malformed store
-    /// files yield an empty store — cold, not a crash. Stale temp files
-    /// left by crashed writers are swept.
+    /// directory is created if missing. A store file that exists but
+    /// does not parse (torn by a crash mid-write, or plain corrupt) is
+    /// **quarantined** — renamed to `<name>.quarantine.<n>`, never
+    /// silently deleted — and the store cold-starts; so are temp files
+    /// abandoned by writers that are provably dead. Recovered paths are
+    /// reported by [`VerdictStore::quarantined`].
     pub fn open(dir: &Path, epoch: CacheEpoch) -> std::io::Result<VerdictStore> {
         std::fs::create_dir_all(dir)?;
-        sweep_stale_temp_files(dir);
+        let mut quarantined = sweep_stale_temp_files(dir);
         let path = dir.join(format!("verdicts-{epoch}.json"));
-        let entries = std::fs::read_to_string(&path)
-            .ok()
-            .and_then(|text| parse_store(&text, epoch))
-            .unwrap_or_default();
+        let parsed = match std::fs::read_to_string(&path) {
+            Ok(text) => match parse_store(&text, epoch) {
+                Some(parsed) => Some(parsed),
+                None => {
+                    // the bytes are evidence of what went wrong — move
+                    // them aside where an operator can inspect them
+                    if let Some(moved) = quarantine(&path) {
+                        quarantined.push(moved);
+                    }
+                    None
+                }
+            },
+            Err(_) => None,
+        };
+        let (entries, generation) = parsed.unwrap_or_default();
         Ok(VerdictStore {
             path: Some(path),
             epoch,
@@ -210,6 +234,8 @@ impl VerdictStore {
             misses: AtomicUsize::new(0),
             inserted: AtomicUsize::new(0),
             dirty: AtomicBool::new(false),
+            generation: AtomicU64::new(generation),
+            quarantined,
         })
     }
 
@@ -240,6 +266,8 @@ impl VerdictStore {
             misses: AtomicUsize::new(0),
             inserted: AtomicUsize::new(0),
             dirty: AtomicBool::new(false),
+            generation: AtomicU64::new(0),
+            quarantined: Vec::new(),
         }
     }
 
@@ -248,11 +276,27 @@ impl VerdictStore {
         self.epoch
     }
 
+    /// The persist generation the store file carries: 0 for a cold
+    /// start, incremented by every successful [`VerdictStore::persist`].
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Files open-time recovery quarantined (torn store files, temp
+    /// files from dead writers). Empty on a clean open.
+    pub fn quarantined(&self) -> &[PathBuf] {
+        &self.quarantined
+    }
+
     /// Number of entries currently held.
     pub fn len(&self) -> usize {
         self.entries
             .iter()
-            .map(|s| s.lock().expect("store lock").len())
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len()
+            })
             .sum()
     }
 
@@ -271,7 +315,7 @@ impl VerdictStore {
         let rendered = key.render();
         let found = self.entries[shard_of(&rendered)]
             .lock()
-            .expect("store lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(&rendered)
             .cloned();
         match found {
@@ -294,7 +338,7 @@ impl VerdictStore {
         let rendered = key.render();
         self.entries[shard_of(&rendered)]
             .lock()
-            .expect("store lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert(rendered, payload);
     }
 
@@ -307,8 +351,12 @@ impl VerdictStore {
         }
     }
 
-    /// Flush the store to its epoch file (temp file + atomic rename).
-    /// No-op for in-memory stores.
+    /// Flush the store to its epoch file: temp file, `fsync`, atomic
+    /// rename, directory `fsync`. A crash at any instant leaves either
+    /// the previous store file or the new one — never a torn mix — and
+    /// the renamed bytes are durable, not just in the page cache. Each
+    /// flush increments the file's generation marker. No-op for
+    /// in-memory stores.
     pub fn persist(&self) -> std::io::Result<()> {
         let Some(path) = &self.path else {
             return Ok(());
@@ -319,7 +367,7 @@ impl VerdictStore {
             .flat_map(|shard| {
                 shard
                     .lock()
-                    .expect("store lock")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .iter()
                     .map(|(k, v)| (k.clone(), v.clone()))
                     .collect::<Vec<_>>()
@@ -328,9 +376,11 @@ impl VerdictStore {
         // deterministic file bytes: sorted keys, stable across shard and
         // HashMap iteration order and across runs
         fields.sort_by(|a, b| a.0.cmp(&b.0));
+        let generation = self.generation.load(Ordering::Acquire) + 1;
         let doc = Value::obj(vec![
             ("schema", Value::Str(SCHEMA.to_owned())),
             ("epoch", Value::Str(self.epoch.to_string())),
+            ("generation", Value::UInt(generation)),
             ("entries", Value::Obj(fields)),
         ]);
         // compact, not pretty: the store is machine-read on every warm
@@ -346,9 +396,50 @@ impl VerdictStore {
             std::process::id(),
             TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
-        std::fs::write(&tmp, json + "\n")?;
-        std::fs::rename(&tmp, path)?;
+        let committed = self.write_and_rename(&tmp, path, json.into_bytes());
+        if committed.is_err() {
+            // an aborted flush (injected or real ENOSPC, rename failure)
+            // must not squat in the directory until a sweep notices it
+            let _ = std::fs::remove_file(&tmp);
+            return committed;
+        }
+        self.generation.store(generation, Ordering::Release);
         self.dirty.store(false, Ordering::Release);
+        Ok(())
+    }
+
+    /// The durability core of [`VerdictStore::persist`], with the fault
+    /// hooks the crash harness drives: writes go through the installed
+    /// [`faultio`] plan (injected `ENOSPC`/`EINTR`), and the `persist`
+    /// lifecycle point between the temp-file `fsync` and the rename can
+    /// pause (the kill-9 window), tear the temp file (a simulated
+    /// partial flush surviving the rename), or panic.
+    fn write_and_rename(&self, tmp: &Path, path: &Path, mut bytes: Vec<u8>) -> std::io::Result<()> {
+        use std::io::Write;
+        bytes.push(b'\n');
+        let mut file = std::fs::File::create(tmp)?;
+        match faultio::active() {
+            // `write_all` swallows `Interrupted`, exactly like the
+            // production retry contract the plan is testing
+            Some(plan) => faultio::FaultyWrite::new(&mut file, plan).write_all(&bytes)?,
+            None => file.write_all(&bytes)?,
+        }
+        file.sync_all()?;
+        let act = faultio::at("persist");
+        if act.tear() {
+            file.set_len(bytes.len() as u64 / 2)?;
+            file.sync_all()?;
+        }
+        drop(file);
+        act.fire();
+        std::fs::rename(tmp, path)?;
+        // the rename itself must survive a crash: fsync the directory
+        // (best-effort — not every filesystem supports opening a dir)
+        if let Some(parent) = path.parent() {
+            if let Ok(dir) = std::fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
         Ok(())
     }
 
@@ -414,10 +505,13 @@ pub struct GcStats {
 /// abandoned; a live writer renames its temp file within milliseconds.
 const STALE_TEMP_AGE: Duration = Duration::from_secs(3600);
 
+fn is_temp_file(name: &str) -> bool {
+    name.starts_with("verdicts-") && name.contains(".tmp.")
+}
+
 fn is_stale_temp(path: &Path, meta: &std::fs::Metadata) -> bool {
     let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-    name.starts_with("verdicts-")
-        && name.contains(".tmp.")
+    is_temp_file(name)
         && meta
             .modified()
             .ok()
@@ -425,18 +519,69 @@ fn is_stale_temp(path: &Path, meta: &std::fs::Metadata) -> bool {
             .is_some_and(|age| age > STALE_TEMP_AGE)
 }
 
-fn sweep_stale_temp_files(dir: &Path) {
+/// The writer pid embedded in a temp file name
+/// (`verdicts-<epoch>.tmp.<pid>.<seq>`).
+fn temp_writer_pid(name: &str) -> Option<u32> {
+    let (_, rest) = name.split_once(".tmp.")?;
+    rest.split('.').next()?.parse().ok()
+}
+
+/// True when the temp file's writer is provably gone — its pid no
+/// longer exists — so the file is a torn flush, not work in progress.
+/// Only Linux can prove it (via `/proc`); elsewhere age decides.
+fn temp_writer_dead(name: &str) -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        temp_writer_pid(name).is_some_and(|pid| !Path::new(&format!("/proc/{pid}")).exists())
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = name;
+        false
+    }
+}
+
+/// Move `path` aside to `<name>.quarantine.<n>` (first free `n`).
+/// Returns the quarantine path, or `None` when the rename failed — the
+/// caller treats that as "leave the corpse where it is".
+fn quarantine(path: &Path) -> Option<PathBuf> {
+    let name = path.file_name()?.to_str()?;
+    for n in 0..1000 {
+        let target = path.with_file_name(format!("{name}.quarantine.{n}"));
+        if target.exists() {
+            continue;
+        }
+        if std::fs::rename(path, &target).is_ok() {
+            return Some(target);
+        }
+    }
+    None
+}
+
+/// Open-time hygiene for abandoned temp files: a temp whose writer is
+/// provably dead is **quarantined** (it is the torn remains of a crash
+/// — evidence, not garbage); a temp merely old enough that its writer
+/// cannot still be mid-rename is removed. Returns the quarantined
+/// paths.
+fn sweep_stale_temp_files(dir: &Path) -> Vec<PathBuf> {
+    let mut quarantined = Vec::new();
     let Ok(read) = std::fs::read_dir(dir) else {
-        return;
+        return quarantined;
     };
     for entry in read.flatten() {
         let path = entry.path();
-        if let Ok(meta) = entry.metadata() {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if is_temp_file(name) && temp_writer_dead(name) {
+            if let Some(moved) = quarantine(&path) {
+                quarantined.push(moved);
+            }
+        } else if let Ok(meta) = entry.metadata() {
             if is_stale_temp(&path, &meta) {
                 std::fs::remove_file(&path).ok();
             }
         }
     }
+    quarantined
 }
 
 /// Garbage-collect a cache directory (`rela cache gc`, and the
@@ -505,9 +650,11 @@ pub fn gc(dir: &Path, current: Option<CacheEpoch>, policy: &GcPolicy) -> std::io
     Ok(stats)
 }
 
-/// Parse a store file's text; `None` on any malformation (wrong JSON,
-/// schema, or epoch) so the caller cold-starts.
-fn parse_store(text: &str, epoch: CacheEpoch) -> Option<HashMap<String, Value>> {
+/// Parse a store file's text into its entries and generation marker;
+/// `None` on any malformation (wrong JSON, schema, or epoch) so the
+/// caller quarantines and cold-starts. Files written before the
+/// generation marker existed parse as generation 0.
+fn parse_store(text: &str, epoch: CacheEpoch) -> Option<(HashMap<String, Value>, u64)> {
     let value: Value = serde_json::from_str(text).ok()?;
     if value.get("schema").and_then(Value::as_str) != Some(SCHEMA) {
         return None;
@@ -515,8 +662,12 @@ fn parse_store(text: &str, epoch: CacheEpoch) -> Option<HashMap<String, Value>> 
     if value.get("epoch").and_then(Value::as_str) != Some(epoch.to_string().as_str()) {
         return None;
     }
+    let generation = value.get("generation").and_then(Value::as_u64).unwrap_or(0);
     let fields = value.get("entries")?.as_obj()?;
-    Some(fields.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+    Some((
+        fields.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+        generation,
+    ))
 }
 
 #[cfg(test)]
@@ -631,22 +782,28 @@ mod tests {
 
     #[test]
     fn persisted_bytes_are_deterministic() {
-        let dir = tmpdir("determinism");
+        // identical entries at the same generation must produce
+        // identical bytes, regardless of insertion order (the
+        // generation marker is the only legitimate byte difference
+        // between flushes)
+        let dir_a = tmpdir("determinism-a");
+        let dir_b = tmpdir("determinism-b");
         let epoch = CacheEpoch::derive(5, "e");
-        let a = VerdictStore::open(&dir, epoch).unwrap();
-        // insert in one order...
+        let a = VerdictStore::open(&dir_a, epoch).unwrap();
         a.put(&key(1, 1, None), Value::Int(1));
         a.put(&key(2, 2, None), Value::Int(2));
         a.persist().unwrap();
-        let path = dir.join(format!("verdicts-{epoch}.json"));
-        let first = std::fs::read_to_string(&path).unwrap();
-        // ...reopen and re-persist after inserting in the other order
-        let b = VerdictStore::open(&dir, epoch).unwrap();
+        let b = VerdictStore::open(&dir_b, epoch).unwrap();
         b.put(&key(2, 2, None), Value::Int(2));
         b.put(&key(1, 1, None), Value::Int(1));
         b.persist().unwrap();
-        assert_eq!(std::fs::read_to_string(&path).unwrap(), first);
-        std::fs::remove_dir_all(&dir).ok();
+        let name = format!("verdicts-{epoch}.json");
+        assert_eq!(
+            std::fs::read_to_string(dir_a.join(&name)).unwrap(),
+            std::fs::read_to_string(dir_b.join(&name)).unwrap()
+        );
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
     }
 
     /// Populate one epoch file in `dir` and return its path.
@@ -837,9 +994,9 @@ mod tests {
         for t in 1..=12 {
             write_epoch(&dir, t, 1);
         }
-        // a fresh-looking temp file must survive (a writer may be live);
-        // gc only reclaims abandoned ones
-        let fresh_tmp = dir.join("verdicts-x.json.tmp.999.0");
+        // a fresh temp file from a live writer must survive; gc only
+        // reclaims abandoned ones
+        let fresh_tmp = dir.join(format!("verdicts-x.json.tmp.{}.0", std::process::id()));
         std::fs::write(&fresh_tmp, "{}").unwrap();
 
         let store = VerdictStore::open_with_gc(&dir, current, &GcPolicy::default()).unwrap();

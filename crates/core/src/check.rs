@@ -44,10 +44,10 @@ use rela_net::{
 };
 use serde::{Serialize, Value};
 use std::borrow::Borrow;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::io::Read;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// The engine identity folded into every cache epoch: the crate version
@@ -165,9 +165,117 @@ pub(crate) struct RetainedBase {
     pub(crate) post: Vec<RetainedRecord>,
 }
 
-/// A shared slot for the most recent [`RetainedBase`] — the session owns
-/// it; the checker fills it after each successful pipelined run.
-pub(crate) type RetentionSlot = Mutex<Option<Arc<RetainedBase>>>;
+impl RetainedBase {
+    /// Approximate resident bytes: the dominant cost is the undecoded
+    /// graph spans; flow keys and indices are noise next to them.
+    fn approx_bytes(&self) -> u64 {
+        self.pre
+            .iter()
+            .chain(self.post.iter())
+            .map(|r| r.span.as_slice().len() as u64 + 64)
+            .sum()
+    }
+}
+
+/// The session's retained delta bases, newest first: the last K
+/// `(pre, post)` pairs a delta job may name, bounded by a count and an
+/// optional byte budget (the same shape as the cache directory's
+/// [`rela_cache::GcPolicy`] — `keep` mirrors `keep_epochs`, the byte
+/// cap mirrors `max_bytes`). An operator iterating on two changes
+/// interleaved keeps both bases resident; eviction degrades the evicted
+/// epoch to a DELTA_MISS → full resubmit, never an error.
+pub(crate) struct RetentionSet {
+    entries: VecDeque<Arc<RetainedBase>>,
+    keep: usize,
+    max_bytes: Option<u64>,
+}
+
+impl RetentionSet {
+    pub(crate) fn new(keep: usize, max_bytes: Option<u64>) -> RetentionSet {
+        RetentionSet {
+            entries: VecDeque::new(),
+            keep: keep.max(1),
+            max_bytes,
+        }
+    }
+
+    /// Admit a freshly checked base. A pair re-checked while already
+    /// retained moves to the front (it is the most recent again) rather
+    /// than duplicating; then the set is trimmed to the count and byte
+    /// budgets, oldest first — except the newest base, which is always
+    /// kept: the pair just checked must be nameable by the very next
+    /// delta no matter how small the budget.
+    pub(crate) fn push(&mut self, base: Arc<RetainedBase>) {
+        self.entries.retain(|b| b.epoch != base.epoch);
+        self.entries.push_front(base);
+        self.entries.truncate(self.keep);
+        if let Some(budget) = self.max_bytes {
+            let mut total: u64 = self.entries.iter().map(|b| b.approx_bytes()).sum();
+            while self.entries.len() > 1 && total > budget {
+                if let Some(evicted) = self.entries.pop_back() {
+                    total -= evicted.approx_bytes();
+                }
+            }
+        }
+    }
+
+    /// The retained base with this pair epoch, if still resident.
+    pub(crate) fn find(&self, epoch: u128) -> Option<Arc<RetainedBase>> {
+        self.entries.iter().find(|b| b.epoch == epoch).cloned()
+    }
+
+    /// The most recently retained epoch.
+    pub(crate) fn newest_epoch(&self) -> Option<u128> {
+        self.entries.front().map(|b| b.epoch)
+    }
+
+    /// Every retained epoch, newest first.
+    pub(crate) fn epochs(&self) -> Vec<u128> {
+        self.entries.iter().map(|b| b.epoch).collect()
+    }
+}
+
+/// The shared retention set — the session owns it; the checker admits a
+/// base after each successful pipelined run.
+pub(crate) type RetentionSlot = Mutex<RetentionSet>;
+
+/// A cooperative cancellation token carrying a job's deadline. The
+/// engine polls it at class boundaries — between channel batches on the
+/// pipelined path, between classes on the decide loops — so a job never
+/// stops mid-class, and a deadline can overshoot by at most one class
+/// decide. `fired` records whether the engine actually abandoned work,
+/// which is what distinguishes "finished just over the wire-clock
+/// deadline" from "gave up".
+pub(crate) struct CancelToken {
+    deadline: Option<Instant>,
+    fired: AtomicBool,
+}
+
+impl CancelToken {
+    pub(crate) fn with_deadline_ms(ms: Option<u64>) -> CancelToken {
+        CancelToken {
+            deadline: ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+            fired: AtomicBool::new(false),
+        }
+    }
+
+    /// Poll the token: true once the deadline has passed (and from then
+    /// on). Records the first expiry observation in `fired`.
+    pub(crate) fn check(&self) -> bool {
+        match self.deadline {
+            Some(deadline) if Instant::now() >= deadline => {
+                self.fired.store(true, Ordering::Release);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True when the engine observed the expiry and abandoned work.
+    pub(crate) fn fired(&self) -> bool {
+        self.fired.load(Ordering::Acquire)
+    }
+}
 
 /// One pre-framed pipeline input, used by the delta path to mix replayed
 /// base records with the freshly framed delta records.
@@ -412,12 +520,22 @@ impl FstMemo {
         let Some(key) = key else {
             return Arc::new(compute());
         };
-        if let Some(hit) = self.map.lock().expect("memo lock").get(&key).cloned() {
+        // poison-immune: a worker panicking while holding this lock must
+        // not take every later job on the resident session down with it
+        // (memo entries are content-keyed and idempotent, so the map is
+        // valid whatever a panicked holder was doing)
+        let held = self
+            .map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+            .cloned();
+        if let Some(hit) = held {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
         let dfa = Arc::new(compute());
-        let mut map = self.map.lock().expect("memo lock");
+        let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
         if map.len() < FST_MEMO_CAP {
             map.insert(key, dfa.clone());
         }
@@ -460,6 +578,7 @@ pub struct Checker<'a> {
     cache: Option<&'a VerdictStore>,
     memo: Option<&'a FstMemo>,
     retention: Option<&'a RetentionSlot>,
+    cancel: Option<&'a CancelToken>,
 }
 
 impl<'a> Checker<'a> {
@@ -472,6 +591,7 @@ impl<'a> Checker<'a> {
             cache: None,
             memo: None,
             retention: None,
+            cancel: None,
         }
     }
 
@@ -506,6 +626,34 @@ impl<'a> Checker<'a> {
     pub(crate) fn with_retention(mut self, slot: &'a RetentionSlot) -> Checker<'a> {
         self.retention = Some(slot);
         self
+    }
+
+    /// Attach a cooperative cancellation token (crate-internal: the
+    /// session builds one from `JobOptions::deadline_ms`). The engine
+    /// polls it at class boundaries; once it expires the run returns an
+    /// empty report quickly and the session surfaces the deadline as a
+    /// typed error.
+    pub(crate) fn with_cancel(mut self, token: &'a CancelToken) -> Checker<'a> {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Poll the attached cancellation token, if any.
+    fn cancelled(&self) -> bool {
+        self.cancel.is_some_and(CancelToken::check)
+    }
+
+    /// True when the attached token has already fired (without
+    /// re-polling the clock).
+    fn was_cancelled(&self) -> bool {
+        self.cancel.is_some_and(CancelToken::fired)
+    }
+
+    /// The placeholder report an expired run returns. The session never
+    /// shows it — it sees the fired token and replies with a typed
+    /// deadline error — so its only job is to be cheap and well-formed.
+    fn cancelled_report(&self, start: Instant) -> CheckReport {
+        CheckReport::with_stats(Vec::new(), start.elapsed(), CheckStats::default())
     }
 
     /// Check every FEC of an aligned snapshot pair.
@@ -740,6 +888,9 @@ impl<'a> Checker<'a> {
         if errors.aborted() {
             return Err(errors.into_first().expect("abort implies a recorded error"));
         }
+        if self.was_cancelled() {
+            return Ok(self.cancelled_report(start));
+        }
 
         // Both streams ended cleanly: drain flows seen on one side only
         // (the missing side is the canonical empty-graph span, so it
@@ -871,6 +1022,12 @@ impl<'a> Checker<'a> {
             threads,
         );
         phases.merge(&final_phases);
+        if self.was_cancelled() {
+            // partial decides are individually sound but the run is not
+            // complete: nothing may be retained as a delta base, and the
+            // session replies with the deadline error instead
+            return Ok(self.cancelled_report(start));
+        }
 
         // Write every fresh decision back to the store (eager compliant
         // verdicts and finisher decisions alike) — under the behavior
@@ -909,11 +1066,13 @@ impl<'a> Checker<'a> {
                 side_fold(records.iter().map(|r| record_mix(&r.flow, r.hash)))
             };
             let epoch = pair_epoch(fold_of(&pre_records), fold_of(&post_records)).as_u128();
-            *slot.lock().expect("retention lock") = Some(Arc::new(RetainedBase {
-                epoch,
-                pre: pre_records,
-                post: post_records,
-            }));
+            slot.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(Arc::new(RetainedBase {
+                    epoch,
+                    pre: pre_records,
+                    post: post_records,
+                }));
         }
 
         let decided: Vec<(usize, FecResult, Duration)> = done
@@ -955,6 +1114,14 @@ impl<'a> Checker<'a> {
         let _poison_guard = PoisonOnPanic(channel);
         let mut state = PipelineWorkerState::new();
         loop {
+            // deadline poll between batches: poisoning the channel stops
+            // the framers and releases the other workers, so an expired
+            // job drains in one batch per worker instead of finishing
+            // the snapshot
+            if self.cancelled() {
+                channel.poison();
+                return state;
+            }
             match channel.recv(Duration::from_millis(1)) {
                 Recv::Item(PipeBatch::Raw(side, batch)) => {
                     for raw in batch {
@@ -1502,6 +1669,9 @@ impl<'a> Checker<'a> {
             memo,
             threads,
         );
+        if self.was_cancelled() {
+            return self.cancelled_report(start);
+        }
 
         // Write fresh decisions back to the store (in memory; the owner
         // of the store persists to disk after the run).
@@ -1627,6 +1797,9 @@ impl<'a> Checker<'a> {
         let mut phases = PhaseTimings::default();
         if threads <= 1 || cold.len() <= 1 {
             for &ix in cold {
+                if self.cancelled() {
+                    break;
+                }
                 let class = &classes[ix];
                 let t0 = Instant::now();
                 let before = phases;
@@ -1654,7 +1827,7 @@ impl<'a> Checker<'a> {
                             let mut local_phases = PhaseTimings::default();
                             loop {
                                 let next = cursor.fetch_add(1, Ordering::Relaxed);
-                                if next >= cold.len() {
+                                if next >= cold.len() || self.cancelled() {
                                     break;
                                 }
                                 let ix = cold[next];
@@ -2034,6 +2207,11 @@ impl<'a> Checker<'a> {
         memo: &FstMemo,
         phases: &mut PhaseTimings,
     ) -> FecResult {
+        // deterministic panic injection for the containment tests: with
+        // a `panic=decide[@n]` plan installed, the n-th class decided in
+        // this process panics here — inside a real engine worker, where
+        // an organic bug would
+        rela_net::faultio::at("decide").fire();
         let (route_name, lowered) = match route {
             Some(r) => (
                 Some(self.program.routed[r].name.clone()),

@@ -49,8 +49,8 @@
 //! ```
 
 use crate::check::{
-    cache_epoch, CheckOptions, Checker, FstMemo, PreparedItem, RetainedBase, RetainedRecord,
-    RetentionSlot,
+    cache_epoch, CancelToken, CheckOptions, Checker, FstMemo, PreparedItem, RetainedBase,
+    RetainedRecord, RetentionSet, RetentionSlot,
 };
 use crate::compile::{compile_program, CompiledProgram};
 use crate::parser::parse_program;
@@ -65,8 +65,10 @@ use rela_net::{
 use serde::{Deserialize, Serialize, Value};
 use std::collections::{HashMap, HashSet};
 use std::io::Read;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Session-lifetime configuration: what the spec compiles against and
 /// how much parallelism every job gets. Fixed at [`CheckSession::open`]
@@ -79,12 +81,18 @@ pub struct SessionConfig {
     /// Worker threads per job; `0` uses the machine's available
     /// parallelism.
     pub threads: usize,
-    /// Retain the raw records of each pipeline-ingested pair (and its
-    /// snapshot epoch) so the *next* job may submit only a delta
-    /// ([`JobInput::Deltas`]). Costs the base snapshot's bytes in
-    /// memory; resident daemons and iteration loops want it, one-shot
-    /// runs do not.
-    pub retain_base: bool,
+    /// Retain the raw records of the last `retain_bases`
+    /// pipeline-ingested pairs (each with its snapshot epoch) so later
+    /// jobs may submit only a delta against any retained epoch
+    /// ([`JobInput::Deltas`]). `0` disables retention entirely. Costs
+    /// the retained snapshots' bytes in memory; resident daemons and
+    /// iteration loops want it, one-shot runs do not.
+    pub retain_bases: usize,
+    /// Optional byte budget across all retained base pairs. When the
+    /// approximate footprint exceeds it, the oldest epochs are evicted
+    /// first; the newest pair is never evicted. `None` bounds retention
+    /// by count alone.
+    pub retain_bytes: Option<u64>,
 }
 
 impl Default for SessionConfig {
@@ -92,7 +100,8 @@ impl Default for SessionConfig {
         SessionConfig {
             granularity: Granularity::Group,
             threads: 0,
-            retain_base: false,
+            retain_bases: 0,
+            retain_bytes: None,
         }
     }
 }
@@ -147,10 +156,15 @@ pub struct JobOptions {
     /// one is attached.
     pub use_cache: bool,
     /// For [`JobInput::Deltas`]: the snapshot epoch the delta documents
-    /// claim as their base. The job fails unless it matches the
-    /// session's retained base (and the `base` field of both delta
-    /// documents). Ignored for other inputs.
+    /// claim as their base. The job fails unless that epoch is still
+    /// retained by the session (and matches the `base` field of both
+    /// delta documents). Ignored for other inputs.
     pub delta_base: Option<u128>,
+    /// Cooperative deadline for the job in milliseconds. The engine
+    /// polls it at class boundaries; a fired deadline aborts the job
+    /// with [`JobError::DeadlineExceeded`] without tearing down the
+    /// session. `None` means no deadline.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for JobOptions {
@@ -164,6 +178,7 @@ impl Default for JobOptions {
             ingest: IngestMode::default(),
             use_cache: true,
             delta_base: None,
+            deadline_ms: None,
         }
     }
 }
@@ -188,6 +203,13 @@ impl Serialize for JobOptions {
                 "delta_base",
                 match self.delta_base {
                     Some(epoch) => Value::Str(format!("{}", SnapshotEpoch::from_u128(epoch))),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "deadline_ms",
+                match self.deadline_ms {
+                    Some(ms) => Value::UInt(ms),
                     None => Value::Null,
                 },
             ),
@@ -231,6 +253,13 @@ impl Deserialize for JobOptions {
                             .as_u128(),
                     )
                 }
+            },
+            // absent (pre-deadline clients) and null both mean "none"
+            deadline_ms: match value.get("deadline_ms") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(v.as_u64().ok_or_else(|| {
+                    serde::Error::custom("`deadline_ms` must be an unsigned integer")
+                })?),
             },
         })
     }
@@ -317,10 +346,10 @@ pub enum JobInput<'a> {
         /// The post-change snapshot.
         post: LabeledSource<'a>,
     },
-    /// Two delta documents (`docs/SNAPSHOT_FORMAT.md`) against the
-    /// session's retained base pair; unchanged records replay from the
-    /// retained spans without being re-sent or re-decoded. Requires
-    /// [`SessionConfig::retain_base`] and a prior full ingest.
+    /// Two delta documents (`docs/SNAPSHOT_FORMAT.md`) against one of
+    /// the session's retained base pairs; unchanged records replay from
+    /// the retained spans without being re-sent or re-decoded. Requires
+    /// [`SessionConfig::retain_bases`] > 0 and a prior full ingest.
     Deltas {
         /// The pre-side delta document.
         pre: LabeledSource<'a>,
@@ -369,6 +398,114 @@ impl<'a> JobSpec<'a> {
     }
 }
 
+/// Why a job failed, without taking the session down with it.
+///
+/// A session is resident state shared by many jobs, so [`CheckSession::run`]
+/// contains every per-job failure: malformed input surfaces as
+/// [`JobError::Snapshot`], a fired [`JobOptions::deadline_ms`] as
+/// [`JobError::DeadlineExceeded`], and a panic anywhere in the engine as
+/// [`JobError::Panicked`] — the session stays usable for the next job in
+/// all three cases (session-lifetime locks are poison-immune and their
+/// guarded state is content-keyed, so a partial run never corrupts it).
+#[derive(Debug)]
+pub enum JobError {
+    /// The input could not be parsed or validated; carries the source
+    /// label, entry index, and byte offset of the offending record.
+    Snapshot(SnapshotError),
+    /// The job's cooperative deadline fired before deciding finished.
+    /// Nothing is retained or written back from the aborted run.
+    DeadlineExceeded {
+        /// The deadline the job declared.
+        deadline_ms: u64,
+        /// How long the job actually ran before giving up.
+        elapsed: Duration,
+    },
+    /// The engine panicked while running the job. The panic was caught
+    /// at the session boundary; `payload` is the panic message.
+    Panicked {
+        /// The panic payload, rendered as text.
+        payload: String,
+    },
+}
+
+impl JobError {
+    /// The source label of the offending input, for snapshot errors.
+    pub fn label(&self) -> Option<&str> {
+        match self {
+            JobError::Snapshot(err) => err.label(),
+            _ => None,
+        }
+    }
+
+    /// The entry index of the offending record, for snapshot errors.
+    pub fn entry_index(&self) -> Option<usize> {
+        match self {
+            JobError::Snapshot(err) => err.entry_index(),
+            _ => None,
+        }
+    }
+
+    /// The byte offset of the offending record, for snapshot errors.
+    pub fn byte_offset(&self) -> Option<u64> {
+        match self {
+            JobError::Snapshot(err) => err.byte_offset(),
+            _ => None,
+        }
+    }
+
+    /// The underlying snapshot error, if that is what this is.
+    pub fn as_snapshot(&self) -> Option<&SnapshotError> {
+        match self {
+            JobError::Snapshot(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Snapshot(err) => err.fmt(f),
+            JobError::DeadlineExceeded {
+                deadline_ms,
+                elapsed,
+            } => write!(
+                f,
+                "job deadline of {deadline_ms} ms exceeded after {:.1} ms",
+                elapsed.as_secs_f64() * 1000.0
+            ),
+            JobError::Panicked { payload } => write!(f, "check panicked: {payload}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Snapshot(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<SnapshotError> for JobError {
+    fn from(err: SnapshotError) -> JobError {
+        JobError::Snapshot(err)
+    }
+}
+
+/// Render a caught panic payload as text: `&str` and `String` payloads
+/// (everything `panic!` produces) verbatim, anything else a placeholder.
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        (*text).to_owned()
+    } else if let Some(text) = payload.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// A resident check context: the compiled spec, its location database,
 /// the derived cache epoch, an optional open verdict store, and the
 /// session-lifetime FST memo. Open once, run many jobs.
@@ -385,8 +522,9 @@ pub struct CheckSession {
     memo: FstMemo,
     config: SessionConfig,
     jobs_run: AtomicUsize,
-    /// The last pipeline-ingested pair's raw records and snapshot epoch
-    /// (populated only when [`SessionConfig::retain_base`] is set).
+    /// The last K pipeline-ingested pairs' raw records and snapshot
+    /// epochs, newest first (populated only when
+    /// [`SessionConfig::retain_bases`] > 0).
     retained: RetentionSlot,
 }
 
@@ -410,7 +548,10 @@ impl CheckSession {
             memo: FstMemo::new(),
             config,
             jobs_run: AtomicUsize::new(0),
-            retained: Mutex::new(None),
+            retained: Mutex::new(RetentionSet::new(
+                config.retain_bases.max(1),
+                config.retain_bytes,
+            )),
         })
     }
 
@@ -451,23 +592,89 @@ impl CheckSession {
         self.jobs_run.load(Ordering::Relaxed)
     }
 
-    /// The snapshot epoch of the retained base pair, if
-    /// [`SessionConfig::retain_base`] is set and a pipelined job has
-    /// completed. This is the epoch a [`JobInput::Deltas`] job must
-    /// target (and what `rela serve` advertises during delta
-    /// negotiation).
+    /// The snapshot epoch of the newest retained base pair, if
+    /// [`SessionConfig::retain_bases`] > 0 and a pipelined job has
+    /// completed. A [`JobInput::Deltas`] job may target this or any
+    /// other epoch in [`CheckSession::retained_epochs`].
     pub fn base_epoch(&self) -> Option<SnapshotEpoch> {
         self.retained
             .lock()
-            .expect("retention lock")
-            .as_ref()
-            .map(|base| SnapshotEpoch::from_u128(base.epoch))
+            .unwrap_or_else(PoisonError::into_inner)
+            .newest_epoch()
+            .map(SnapshotEpoch::from_u128)
+    }
+
+    /// All retained base epochs, newest first. These are the epochs a
+    /// delta job may target (and what `rela serve` consults during
+    /// delta negotiation).
+    pub fn retained_epochs(&self) -> Vec<SnapshotEpoch> {
+        self.retained
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .epochs()
+            .into_iter()
+            .map(SnapshotEpoch::from_u128)
+            .collect()
+    }
+
+    /// Whether `epoch` is still retained as a delta base.
+    pub fn retains_epoch(&self, epoch: SnapshotEpoch) -> bool {
+        self.retained
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .find(epoch.as_u128())
+            .is_some()
     }
 
     /// Run one check job. The report is byte-identical across ingest
     /// modes and across warm/cold sessions; errors carry the input's
     /// source label, entry index, and byte offset.
-    pub fn run(&self, job: JobSpec<'_>) -> Result<CheckReport, SnapshotError> {
+    ///
+    /// Per-job failures are contained here: a panic inside the engine
+    /// is caught at this boundary and returned as
+    /// [`JobError::Panicked`], and a fired [`JobOptions::deadline_ms`]
+    /// returns [`JobError::DeadlineExceeded`]. Either way the session
+    /// remains fully usable — the memo, store, and retention set are
+    /// guarded by poison-immune locks and only ever hold completed,
+    /// content-keyed entries, so an aborted job cannot leave them
+    /// half-written.
+    pub fn run(&self, job: JobSpec<'_>) -> Result<CheckReport, JobError> {
+        let deadline_ms = job.options.deadline_ms;
+        let token = CancelToken::with_deadline_ms(deadline_ms);
+        let start = Instant::now();
+        // AssertUnwindSafe: every structure the closure shares with the
+        // session (memo, store shards, retention set) takes insert-only,
+        // content-keyed updates under locks recovered with
+        // `PoisonError::into_inner`, so observing state after a panic is
+        // sound. Scoped-thread panics inside the engine propagate to the
+        // spawning scope and land here too.
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.run_inner(job, &token)));
+        self.jobs_run.fetch_add(1, Ordering::Relaxed);
+        match outcome {
+            Ok(Ok(report)) => {
+                if token.fired() {
+                    // the engine bailed at a class boundary and returned
+                    // the empty cancellation report — surface the
+                    // deadline, not a fake "0 violations" verdict
+                    return Err(JobError::DeadlineExceeded {
+                        deadline_ms: deadline_ms.unwrap_or(0),
+                        elapsed: start.elapsed(),
+                    });
+                }
+                Ok(report)
+            }
+            Ok(Err(err)) => Err(JobError::Snapshot(err)),
+            Err(payload) => Err(JobError::Panicked {
+                payload: panic_text(payload),
+            }),
+        }
+    }
+
+    fn run_inner(
+        &self,
+        job: JobSpec<'_>,
+        token: &CancelToken,
+    ) -> Result<CheckReport, SnapshotError> {
         let options = CheckOptions {
             witness: job.options.witness,
             threads: self.config.threads,
@@ -481,18 +688,19 @@ impl CheckSession {
         };
         let mut checker = Checker::new(&self.program, &self.db)
             .with_options(options)
-            .with_memo(&self.memo);
+            .with_memo(&self.memo)
+            .with_cancel(token);
         if job.options.use_cache {
             if let Some(store) = &self.store {
                 checker = checker.with_cache(store);
             }
         }
-        if self.config.retain_base {
-            // only the pipelined engine captures records, so the slot
-            // tracks the last pipelined (full or delta) ingest
+        if self.config.retain_bases > 0 {
+            // only the pipelined engine captures records, so the set
+            // tracks the last K pipelined (full or delta) ingests
             checker = checker.with_retention(&self.retained);
         }
-        let result = match job.input {
+        match job.input {
             JobInput::Pair(pair) => Ok(checker.check(pair)),
             JobInput::Deltas { pre, post } => {
                 self.run_delta(&checker, pre, post, job.options.delta_base)
@@ -519,14 +727,13 @@ impl CheckSession {
                     Ok(checker.check(&SnapshotPair::align(&pre, &post)))
                 }
             },
-        };
-        self.jobs_run.fetch_add(1, Ordering::Relaxed);
-        result
+        }
     }
 
-    /// Run a delta job: parse both delta documents, verify they target
-    /// the retained base epoch, splice replayed base records with the
-    /// delta's own, and feed the result through the pipelined engine.
+    /// Run a delta job: parse both delta documents, resolve the retained
+    /// base epoch they target (any of the last K), splice replayed base
+    /// records with the delta's own, and feed the result through the
+    /// pipelined engine.
     fn run_delta(
         &self,
         checker: &Checker<'_>,
@@ -536,33 +743,71 @@ impl CheckSession {
     ) -> Result<CheckReport, SnapshotError> {
         let pre_label = pre.label().to_owned();
         let post_label = post.label().to_owned();
-        let base = self
+        let find = |epoch: u128| {
+            self.retained
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .find(epoch)
+        };
+        let retained_list = || {
+            let epochs = self
+                .retained
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .epochs();
+            epochs
+                .iter()
+                .map(|e| SnapshotEpoch::from_u128(*e).to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        if self
             .retained
             .lock()
-            .expect("retention lock")
-            .clone()
-            .ok_or_else(|| {
+            .unwrap_or_else(PoisonError::into_inner)
+            .newest_epoch()
+            .is_none()
+        {
+            return Err(SnapshotError::at(
+                "no retained base snapshot: submit a full snapshot pair first",
+                0,
+            )
+            .with_source_label(pre_label));
+        }
+        // a declared base wins over the documents: an unretained epoch
+        // rejects before the documents are even parsed
+        let mut base = match declared_base {
+            Some(declared) => Some(find(declared).ok_or_else(|| {
                 SnapshotError::at(
-                    "no retained base snapshot: submit a full snapshot pair first",
-                    0,
-                )
-                .with_source_label(pre_label.clone())
-            })?;
-        let expect = SnapshotEpoch::from_u128(base.epoch);
-        if let Some(declared) = declared_base {
-            if declared != base.epoch {
-                return Err(SnapshotError::at(
                     format!(
-                        "declared delta base {} does not match the retained base {expect}",
-                        SnapshotEpoch::from_u128(declared)
+                        "declared delta base {} does not match the retained bases ({})",
+                        SnapshotEpoch::from_u128(declared),
+                        retained_list()
                     ),
                     0,
                 )
-                .with_source_label(pre_label.clone()));
-            }
-        }
+                .with_source_label(pre_label.clone())
+            })?),
+            None => None,
+        };
         let pre_delta = SnapshotDelta::from_reader(pre.into_stream().0, &pre_label)?;
         let post_delta = SnapshotDelta::from_reader(post.into_stream().0, &post_label)?;
+        if base.is_none() {
+            // no declared base: the documents name their own epoch
+            base = Some(find(pre_delta.base.as_u128()).ok_or_else(|| {
+                SnapshotError::at(
+                    format!(
+                        "delta base {} does not match the retained bases ({})",
+                        pre_delta.base,
+                        retained_list()
+                    ),
+                    0,
+                )
+                .with_source_label(pre_label.clone())
+            })?);
+        }
+        let base = base.expect("delta base resolved above");
+        let expect = SnapshotEpoch::from_u128(base.epoch);
         for (delta, label) in [(&pre_delta, &pre_label), (&post_delta, &post_label)] {
             if delta.base != expect {
                 return Err(SnapshotError::at(
@@ -699,7 +944,7 @@ mod tests {
             SessionConfig {
                 granularity: Granularity::Device,
                 threads: 1,
-                retain_base: false,
+                ..SessionConfig::default()
             },
         )
         .unwrap()
@@ -794,6 +1039,7 @@ mod tests {
             ingest: IngestMode::Pipelined { depth: 5 },
             use_cache: false,
             delta_base: Some(0xdead_beef),
+            deadline_ms: Some(1234),
         };
         let json = serde_json::to_string(&opts.to_value()).unwrap();
         let back = JobOptions::from_value(&serde_json::from_str(&json).unwrap()).unwrap();
@@ -809,13 +1055,18 @@ mod tests {
     }
 
     fn retaining_session() -> CheckSession {
+        retaining_session_k(1)
+    }
+
+    fn retaining_session_k(k: usize) -> CheckSession {
         let mut s = CheckSession::open(
             SPEC,
             db(),
             SessionConfig {
                 granularity: Granularity::Device,
                 threads: 1,
-                retain_base: true,
+                retain_bases: k,
+                retain_bytes: None,
             },
         )
         .unwrap();
@@ -948,6 +1199,138 @@ mod tests {
             )
             .unwrap_err();
         assert!(err.to_string().contains("declared delta base"), "{err}");
+    }
+
+    #[test]
+    fn deadline_zero_aborts_with_a_typed_error_and_the_session_survives() {
+        let s = session();
+        let pair = pair();
+        let err = s
+            .run(JobSpec::pair(&pair).with_options(JobOptions {
+                deadline_ms: Some(0),
+                ..JobOptions::default()
+            }))
+            .unwrap_err();
+        assert!(
+            matches!(err, JobError::DeadlineExceeded { deadline_ms: 0, .. }),
+            "{err:?}"
+        );
+        assert!(err.label().is_none(), "deadline errors carry no source");
+        // the session still serves the identical job without a deadline
+        let report = s.run(JobSpec::pair(&pair)).unwrap();
+        assert!(report.is_compliant());
+        assert_eq!(s.jobs_run(), 2, "the aborted job still counts");
+    }
+
+    #[test]
+    fn two_retained_epochs_serve_interleaved_deltas() {
+        let s = retaining_session_k(2);
+        let (pre_a, post_a) = delta_fixture(false);
+        let (pre_b, post_b) = delta_fixture(true);
+        let full = |pre: &str, post: &str, tag: &str| {
+            s.run(JobSpec::streams(
+                LabeledSource::new(pre.as_bytes(), format!("{tag}:pre")),
+                LabeledSource::new(post.as_bytes(), format!("{tag}:post")),
+            ))
+            .unwrap()
+        };
+        let report_a = full(&pre_a, &post_a, "a");
+        let epoch_a = s.base_epoch().unwrap();
+        let report_b = full(&pre_b, &post_b, "b");
+        let epoch_b = s.base_epoch().unwrap();
+        assert_ne!(epoch_a, epoch_b);
+        assert_eq!(s.retained_epochs(), vec![epoch_b, epoch_a]);
+        assert!(s.retains_epoch(epoch_a) && s.retains_epoch(epoch_b));
+        // an empty delta against either retained epoch replays that base
+        // wholesale: zero decodes, verdicts byte-identical to the full run
+        let empty_doc = |epoch: SnapshotEpoch| {
+            format!("{{\"base\":\"{epoch}\",\"removed\":[],\"records\":[]}}")
+        };
+        for (epoch, baseline) in [(epoch_a, &report_a), (epoch_b, &report_b)] {
+            let doc = empty_doc(epoch);
+            let report = s
+                .run(
+                    JobSpec::deltas(
+                        LabeledSource::new(doc.as_bytes(), "d:pre"),
+                        LabeledSource::new(doc.as_bytes(), "d:post"),
+                    )
+                    .with_options(JobOptions {
+                        delta_base: Some(epoch.as_u128()),
+                        ..JobOptions::default()
+                    }),
+                )
+                .unwrap();
+            assert_eq!(report.stats.graph_decodes, 0, "pure replay decodes nothing");
+            assert_eq!(verdict_bytes(&report), verdict_bytes(baseline));
+        }
+    }
+
+    #[test]
+    fn evicted_epochs_reject_deltas_until_resubmitted_in_full() {
+        let s = retaining_session(); // K = 1: the second ingest evicts the first
+        let (pre_a, post_a) = delta_fixture(false);
+        let (pre_b, post_b) = delta_fixture(true);
+        let full = |pre: &str, post: &str, tag: &str| {
+            s.run(JobSpec::streams(
+                LabeledSource::new(pre.as_bytes(), format!("{tag}:pre")),
+                LabeledSource::new(post.as_bytes(), format!("{tag}:post")),
+            ))
+            .unwrap()
+        };
+        let report_a = full(&pre_a, &post_a, "a");
+        let epoch_a = s.base_epoch().unwrap();
+        full(&pre_b, &post_b, "b");
+        assert!(!s.retains_epoch(epoch_a), "K=1 evicted the older base");
+        let doc = format!("{{\"base\":\"{epoch_a}\",\"removed\":[],\"records\":[]}}");
+        let err = s
+            .run(
+                JobSpec::deltas(
+                    LabeledSource::new(doc.as_bytes(), "d:pre"),
+                    LabeledSource::new(doc.as_bytes(), "d:post"),
+                )
+                .with_options(JobOptions {
+                    delta_base: Some(epoch_a.as_u128()),
+                    ..JobOptions::default()
+                }),
+            )
+            .unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("does not match the retained bases"),
+            "{err}"
+        );
+        // degrade to a full resubmission: identical verdict bytes
+        let again = full(&pre_a, &post_a, "a2");
+        assert_eq!(verdict_bytes(&again), verdict_bytes(&report_a));
+    }
+
+    #[test]
+    fn a_tight_byte_budget_keeps_only_the_newest_base() {
+        let s = CheckSession::open(
+            SPEC,
+            db(),
+            SessionConfig {
+                granularity: Granularity::Device,
+                threads: 1,
+                retain_bases: 4,
+                retain_bytes: Some(1),
+            },
+        )
+        .unwrap();
+        let (pre_a, post_a) = delta_fixture(false);
+        let (pre_b, post_b) = delta_fixture(true);
+        for (pre, post, tag) in [(&pre_a, &post_a, "a"), (&pre_b, &post_b, "b")] {
+            s.run(JobSpec::streams(
+                LabeledSource::new(pre.as_bytes(), format!("{tag}:pre")),
+                LabeledSource::new(post.as_bytes(), format!("{tag}:post")),
+            ))
+            .unwrap();
+        }
+        assert_eq!(
+            s.retained_epochs().len(),
+            1,
+            "the byte budget evicts everything but the newest"
+        );
     }
 
     #[test]

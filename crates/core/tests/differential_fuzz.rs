@@ -88,7 +88,8 @@ fn open_session(
         SessionConfig {
             granularity,
             threads,
-            retain_base,
+            retain_bases: usize::from(retain_base),
+            ..SessionConfig::default()
         },
     )
     .expect("nochange spec compiles against the scenario db")

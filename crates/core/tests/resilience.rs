@@ -1,0 +1,143 @@
+//! Panic isolation and fault-plan containment at the session boundary.
+//!
+//! These tests install the **process-global** fault plan (the same
+//! `RELA_FAULTS` mechanism the daemon uses), so they live in their own
+//! integration binary and serialize on one lock. The property under
+//! test is the tentpole containment contract: a panic injected into the
+//! engine's decide path surfaces as a typed [`JobError::Panicked`] on
+//! *that job only* — the session survives and the next job's report is
+//! byte-identical to an unfaulted run.
+
+use rela_core::{CheckReport, CheckSession, JobError, JobSpec, LabeledSource, SessionConfig};
+use rela_net::faultio::{self, FaultPlan};
+use rela_net::{linear_graph, Device, FlowSpec, Granularity, LocationDb, Snapshot};
+use std::sync::{Mutex, PoisonError};
+
+static PLAN_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_plan(spec: &str, body: impl FnOnce()) {
+    let _guard = PLAN_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    faultio::install(FaultPlan::parse(spec).expect("valid fault spec"));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+    faultio::clear();
+    if let Err(payload) = result {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+fn db() -> LocationDb {
+    let mut db = LocationDb::new();
+    for name in ["A1", "B1", "C1"] {
+        db.add_device(Device::new(name, name));
+    }
+    db
+}
+
+/// Two FECs routed A1→B1 and A1→C1, unchanged across the pair.
+fn docs() -> (String, String) {
+    let mut pre = Snapshot::new();
+    let mut post = Snapshot::new();
+    for (ix, tail) in [["B1"], ["C1"]].iter().enumerate() {
+        let flow = FlowSpec::new(format!("10.0.{ix}.0/24").parse().unwrap(), "A1");
+        let path: Vec<&str> = std::iter::once("A1").chain(tail.iter().copied()).collect();
+        pre.insert(flow.clone(), linear_graph(&path));
+        post.insert(flow, linear_graph(&path));
+    }
+    (pre.to_json().unwrap(), post.to_json().unwrap())
+}
+
+const SPEC: &str = "spec nochange := { .* : preserve }\ncheck nochange";
+
+fn session(threads: usize) -> CheckSession {
+    CheckSession::open(
+        SPEC,
+        db(),
+        SessionConfig {
+            granularity: Granularity::Device,
+            threads,
+            ..SessionConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn run(session: &CheckSession, docs: &(String, String)) -> Result<CheckReport, JobError> {
+    session.run(JobSpec::streams(
+        LabeledSource::new(docs.0.as_bytes(), "pre"),
+        LabeledSource::new(docs.1.as_bytes(), "post"),
+    ))
+}
+
+fn verdict_bytes(report: &CheckReport) -> String {
+    report
+        .to_string()
+        .lines()
+        .filter(|l| !l.starts_with("checked ") && !l.starts_with("behavior classes:"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn an_injected_decide_panic_is_contained_and_the_session_survives() {
+    let docs = docs();
+    let baseline = {
+        let clean = session(1);
+        verdict_bytes(&run(&clean, &docs).expect("unfaulted run succeeds"))
+    };
+
+    let s = session(1);
+    with_plan("panic=decide@1", || {
+        let err = run(&s, &docs).expect_err("the injected panic must fail the job");
+        match &err {
+            JobError::Panicked { payload } => {
+                assert!(payload.contains("injected fault"), "{payload}");
+                assert!(payload.contains("decide"), "{payload}");
+            }
+            other => panic!("expected Panicked, got {other}"),
+        }
+        assert!(err.as_snapshot().is_none());
+
+        // the very same session serves the next job, byte-identically
+        // to a session that never saw the fault
+        let report = run(&s, &docs).expect("the session must survive the panic");
+        assert_eq!(verdict_bytes(&report), baseline);
+        assert_eq!(s.jobs_run(), 2, "both jobs count, including the failed one");
+    });
+}
+
+#[test]
+fn a_panic_on_a_parallel_worker_is_contained_too() {
+    let docs = docs();
+    let s = session(2);
+    with_plan("panic=decide@1", || {
+        let err = run(&s, &docs).expect_err("the injected panic must fail the job");
+        assert!(matches!(err, JobError::Panicked { .. }), "{err}");
+        let report = run(&s, &docs).expect("the session must survive a worker panic");
+        assert!(report.is_compliant());
+    });
+}
+
+#[test]
+fn faulted_input_streams_replay_byte_identically_across_seeds() {
+    // read faults (short reads, EINTR, latency) on the snapshot streams
+    // must never change a verdict: the framers retry and reassemble
+    let docs = docs();
+    let baseline = {
+        let s = session(1);
+        verdict_bytes(&run(&s, &docs).unwrap())
+    };
+    for seed in 1..=4 {
+        let plan = FaultPlan::parse(&format!("seed={seed},short-read=0.6,eintr=0.3")).unwrap();
+        let s = session(1);
+        let report = s
+            .run(JobSpec::streams(
+                LabeledSource::new(
+                    faultio::FaultyRead::new(docs.0.as_bytes(), plan.clone()),
+                    "pre",
+                ),
+                LabeledSource::new(faultio::FaultyRead::new(docs.1.as_bytes(), plan), "post"),
+            ))
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(verdict_bytes(&report), baseline, "seed {seed}");
+    }
+}

@@ -17,6 +17,7 @@ mod behavior;
 mod chunk;
 mod db;
 mod delta;
+pub mod faultio;
 mod fec;
 mod fsa;
 mod granularity;

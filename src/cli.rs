@@ -44,6 +44,13 @@ pub struct ServeConfig {
     /// Persistent verdict-cache directory kept open for the daemon's
     /// lifetime; `None` serves without a cache.
     pub cache_dir: Option<PathBuf>,
+    /// How many base snapshot pairs the daemon retains as delta bases
+    /// (`--retain-epochs`, default 2). DELTA frames may name any
+    /// retained epoch; evicted epochs degrade to a full resubmit.
+    pub retain_epochs: usize,
+    /// Optional byte budget across the retained bases
+    /// (`--retain-bytes`); the newest pair is never evicted.
+    pub retain_bytes: Option<u64>,
 }
 
 /// A parsed command line.
@@ -95,6 +102,9 @@ pub enum Command {
         /// `--cache-stats`: print the daemon's warm-hit counters after
         /// the report.
         cache_stats: bool,
+        /// `--retries`/`--retry-delay-ms`: transport-failure retry with
+        /// jittered exponential backoff.
+        retry: crate::client::RetryPolicy,
     },
     /// Probe a running daemon: `rela submit --ping`.
     Ping {
@@ -214,6 +224,22 @@ fn usage_error(message: impl Into<String>) -> CliError {
     }
 }
 
+/// Map a failed job to its process exit code: 2 for input errors, 4
+/// when the job's `--deadline-ms` fired, 5 when the engine panicked
+/// (contained at the session boundary).
+fn job_error(e: rela_core::JobError) -> CliError {
+    use rela_core::JobError;
+    let code = match &e {
+        JobError::Snapshot(_) => return usage_error(format!("invalid snapshot: {e}")),
+        JobError::DeadlineExceeded { .. } => 4,
+        JobError::Panicked { .. } => 5,
+    };
+    CliError {
+        message: e.to_string(),
+        code,
+    }
+}
+
 /// The help text.
 pub const USAGE: &str = "\
 rela — relational network verification (SIGCOMM 2024 reproduction)
@@ -222,14 +248,15 @@ USAGE:
   rela check --spec FILE --db FILE --pre FILE --post FILE
              [--granularity group|device|interface] [--threads N] [--no-dedup]
              [--cache-dir DIR] [--no-cache] [--cache-stats] [--no-stream]
-             [--pipeline-depth N]
+             [--pipeline-depth N] [--deadline-ms N]
   rela serve --socket PATH --spec FILE --db FILE
              [--granularity group|device|interface] [--threads N]
-             [--cache-dir DIR]
+             [--cache-dir DIR] [--retain-epochs K] [--retain-bytes N]
   rela submit --socket PATH --pre FILE --post FILE
              [--delta-base EPOCH --delta-pre FILE --delta-post FILE]
              [--no-dedup] [--no-cache] [--cache-stats] [--no-stream]
-             [--pipeline-depth N]
+             [--pipeline-depth N] [--deadline-ms N]
+             [--retries N] [--retry-delay-ms N]
   rela submit --socket PATH --ping | --shutdown
   rela report --spec FILE --db FILE --pre FILE --post FILE [--json | --csv]
              [check flags]
@@ -267,12 +294,20 @@ re-validating iteration N+1 of a change pays none of the startup cost.
 SIGTERM (or submit --shutdown) drains the daemon: in-flight jobs finish,
 new submissions are refused, then it exits 0 (docs/SERVE_PROTOCOL.md
 specifies the wire protocol).
-submit can ship only the change: --delta-base names the snapshot epoch
-the daemon retained (printed as `base epoch:` by a --cache-stats submit)
-and --delta-pre/--delta-post carry per-side delta documents (see
-`rela snapshot diff`); when the daemon no longer holds that base it
-answers with its current epoch and the client falls back to streaming
-the full --pre/--post pair, so the submit always completes.
+submit can ship only the change: --delta-base names a snapshot epoch
+the daemon retains (printed as `base epoch:` by a --cache-stats submit;
+serve keeps the last K = --retain-epochs bases, optionally bounded by
+--retain-bytes) and --delta-pre/--delta-post carry per-side delta
+documents (see `rela snapshot diff`); when the daemon no longer holds
+that base it answers with its current epoch and the client falls back
+to streaming the full --pre/--post pair, so the submit always completes.
+--deadline-ms bounds one job: a job that runs past it is abandoned at
+the next class boundary with exit code 4 (the session/daemon survives).
+A job that panics the engine yields a typed error and exit code 5 while
+the daemon keeps serving; a draining daemon refuses new jobs with exit
+code 6. --retries N retries refused connects and torn connections with
+jittered exponential backoff (base --retry-delay-ms, default 50); typed
+daemon errors never retry.
 report runs the same check as `check` but prints a machine-readable
 export: --json (the default; verdict, stats, and per-FEC violations) or
 --csv (one row per violated sub-spec).
@@ -384,10 +419,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 }
             }
         };
+        let deadline_ms = match flags.get("deadline-ms") {
+            None => None,
+            Some(raw) => Some(
+                raw.parse::<u64>()
+                    .map_err(|_| usage_error(format!("invalid --deadline-ms `{raw}`")))?,
+            ),
+        };
         Ok(JobOptions {
             dedup: !flags.contains_key("no-dedup"),
             use_cache: !flags.contains_key("no-cache"),
             ingest,
+            deadline_ms,
             ..JobOptions::default()
         })
     };
@@ -414,6 +457,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             granularity,
             threads,
             cache_dir: flags.get("cache-dir").map(PathBuf::from),
+            retain_epochs: match flags.get("retain-epochs") {
+                None => 2,
+                Some(raw) => raw
+                    .parse()
+                    .map_err(|_| usage_error(format!("invalid --retain-epochs `{raw}`")))?,
+            },
+            retain_bytes: match flags.get("retain-bytes") {
+                None => None,
+                Some(raw) => Some(
+                    raw.parse()
+                        .map_err(|_| usage_error(format!("invalid --retain-bytes `{raw}`")))?,
+                ),
+            },
         })),
         "submit" => {
             let socket = need("socket")?;
@@ -446,6 +502,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 }
                 let mut job = job_options(&flags)?;
                 job.delta_base = delta_base;
+                let mut retry = crate::client::RetryPolicy::default();
+                if let Some(raw) = flags.get("retries") {
+                    retry.retries = raw
+                        .parse()
+                        .map_err(|_| usage_error(format!("invalid --retries `{raw}`")))?;
+                }
+                if let Some(raw) = flags.get("retry-delay-ms") {
+                    retry.delay_ms = raw
+                        .parse()
+                        .map_err(|_| usage_error(format!("invalid --retry-delay-ms `{raw}`")))?;
+                }
                 Ok(Command::Submit {
                     socket,
                     pre: need("pre")?,
@@ -453,6 +520,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     delta,
                     job,
                     cache_stats: flags.contains_key("cache-stats"),
+                    retry,
                 })
             }
         }
@@ -567,7 +635,7 @@ fn open_session(
         SessionConfig {
             granularity,
             threads,
-            retain_base: false,
+            ..SessionConfig::default()
         },
     )
     .map_err(|e| usage_error(format!("{}: {e}", spec.display())))?;
@@ -664,7 +732,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<i32, CliError>
             )?;
             let report = session
                 .run(JobSpec::streams(labeled(pre)?, labeled(post)?).with_options(*job))
-                .map_err(|e| usage_error(format!("invalid snapshot: {e}")))?;
+                .map_err(job_error)?;
             emit(out, report.to_string())?;
             // a failed flush degrades the next run to cold — warn,
             // don't fail a completed validation over it
@@ -706,6 +774,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<i32, CliError>
             delta,
             job,
             cache_stats,
+            retry,
         } => crate::client::submit(
             socket,
             pre,
@@ -713,6 +782,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<i32, CliError>
             delta.as_ref().map(|(a, b)| (a.as_path(), b.as_path())),
             job,
             *cache_stats,
+            retry,
             out,
         ),
         Command::Report {
@@ -737,7 +807,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<i32, CliError>
             )?;
             let report = session
                 .run(JobSpec::streams(labeled(pre)?, labeled(post)?).with_options(*job))
-                .map_err(|e| usage_error(format!("invalid snapshot: {e}")))?;
+                .map_err(job_error)?;
             let rendered = if *csv {
                 report.to_csv()
             } else {

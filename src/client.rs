@@ -19,10 +19,60 @@ use serde::{Serialize, Value};
 use std::io::Read;
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::Duration;
 
 /// Snapshot bytes per chunk frame. Small enough to interleave the two
 /// sides finely, large enough that framing overhead is noise.
 const CHUNK: usize = 64 * 1024;
+
+/// Client-side retry policy for transport failures: a refused connect
+/// or a connection torn down before any typed reply. Typed daemon
+/// errors (bad snapshot, deadline, panic, draining) never retry — the
+/// daemon answered; resubmitting the same job changes nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (`0` = one shot).
+    pub retries: u32,
+    /// Base backoff delay; attempt N sleeps roughly `base * 2^N` with
+    /// jitter in `[half, full]` to avoid thundering-herd resubmits.
+    pub delay_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            retries: 0,
+            delay_ms: 50,
+        }
+    }
+}
+
+/// Jittered exponential backoff: `base * 2^attempt`, uniformly jittered
+/// down to half that so simultaneous clients spread out.
+fn backoff(policy: &RetryPolicy, attempt: u32) -> Duration {
+    let full = policy.delay_ms.max(1).saturating_mul(1 << attempt.min(10));
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64)
+        .unwrap_or(0);
+    Duration::from_millis(full / 2 + nanos % (full / 2 + 1))
+}
+
+/// A submit failure, split by whether another attempt could help.
+enum SubmitError {
+    /// Transport-level: refused connect, torn connection, no reply.
+    Transport(CliError),
+    /// The daemon (or local input handling) answered definitively.
+    Fatal(CliError),
+}
+
+impl SubmitError {
+    fn into_error(self) -> CliError {
+        match self {
+            SubmitError::Transport(e) | SubmitError::Fatal(e) => e,
+        }
+    }
+}
 
 fn usage_error(message: impl Into<String>) -> CliError {
     CliError {
@@ -76,12 +126,19 @@ impl SideFeed {
 }
 
 /// Submit one check job; prints the daemon's report and returns the
-/// check's exit code (0 compliant, 1 violations, 2 errors).
+/// check's exit code (0 compliant, 1 violations, 2 errors, 4 deadline
+/// exceeded, 5 engine panic, 6 daemon draining).
 ///
 /// With `delta` paths and `options.delta_base` set, the client first
-/// negotiates: if the daemon retains exactly that base epoch it accepts
-/// (`DELTA_OK`) and only the delta documents travel; otherwise
-/// (`DELTA_MISS`) the client falls back to streaming the full pair.
+/// negotiates: if the daemon still retains that base epoch (any of its
+/// last K) it accepts (`DELTA_OK`) and only the delta documents travel;
+/// otherwise (`DELTA_MISS`) the client falls back to streaming the full
+/// pair.
+///
+/// Transport failures — a refused connect, a connection torn down
+/// before any typed reply — retry up to `retry.retries` times with
+/// jittered exponential backoff. Typed daemon errors never retry.
+#[allow(clippy::too_many_arguments)] // one argument per `rela submit` flag group
 pub fn submit(
     socket: &Path,
     pre: &Path,
@@ -89,11 +146,42 @@ pub fn submit(
     delta: Option<(&Path, &Path)>,
     options: &JobOptions,
     cache_stats: bool,
+    retry: &RetryPolicy,
     out: &mut dyn std::io::Write,
 ) -> Result<i32, CliError> {
-    let mut stream = connect(socket)?;
+    let mut attempt = 0;
+    loop {
+        match submit_once(socket, pre, post, delta, options, cache_stats, out) {
+            Err(SubmitError::Transport(e)) if attempt < retry.retries => {
+                let delay = backoff(retry, attempt);
+                attempt += 1;
+                writeln!(
+                    out,
+                    "submit attempt {attempt} failed ({}); retrying in {}ms",
+                    e.message,
+                    delay.as_millis()
+                )
+                .map_err(|e| usage_error(format!("write failed: {e}")))?;
+                std::thread::sleep(delay);
+            }
+            other => return other.map_err(SubmitError::into_error),
+        }
+    }
+}
+
+fn submit_once(
+    socket: &Path,
+    pre: &Path,
+    post: &Path,
+    delta: Option<(&Path, &Path)>,
+    options: &JobOptions,
+    cache_stats: bool,
+    out: &mut dyn std::io::Write,
+) -> Result<i32, SubmitError> {
+    use SubmitError::{Fatal, Transport};
+    let mut stream = connect(socket).map_err(Transport)?;
     let json = serde_json::to_string(&options.to_value())
-        .map_err(|e| usage_error(format!("serializing job options: {e}")))?;
+        .map_err(|e| Fatal(usage_error(format!("serializing job options: {e}"))))?;
     let sent = write_frame(&mut stream, KIND_JOB, json.as_bytes()).is_ok();
     let (pre, post) = match (delta, options.delta_base) {
         (Some((delta_pre, delta_post)), Some(_)) if sent => {
@@ -110,30 +198,40 @@ pub fn submit(
                         "delta base not retained by daemon (its base: {}); sending full snapshots",
                         base.as_deref().unwrap_or("none")
                     )
-                    .map_err(|e| usage_error(format!("write failed: {e}")))?;
+                    .map_err(|e| Fatal(usage_error(format!("write failed: {e}"))))?;
                     (pre, post)
                 }
-                Ok(Some((KIND_ERROR, payload))) => {
-                    return Err(usage_error(error_message(&payload)))
-                }
+                Ok(Some((KIND_ERROR, payload))) => return Err(Fatal(error_reply(&payload))),
                 Ok(Some((kind, _))) => {
-                    return Err(usage_error(format!("unexpected reply frame 0x{kind:02x}")))
+                    return Err(Fatal(usage_error(format!(
+                        "unexpected reply frame 0x{kind:02x}"
+                    ))))
                 }
                 Ok(None) => {
-                    return Err(usage_error("daemon closed the connection without a reply"))
+                    return Err(Transport(usage_error(
+                        "daemon closed the connection without a reply",
+                    )))
                 }
-                Err(e) => return Err(usage_error(format!("reading delta negotiation: {e}"))),
+                Err(e) => {
+                    return Err(Transport(usage_error(format!(
+                        "reading delta negotiation: {e}"
+                    ))))
+                }
             }
         }
         _ => (pre, post),
     };
-    let mut pre = SideFeed::open(pre, KIND_PRE)?;
-    let mut post = SideFeed::open(post, KIND_POST)?;
+    let mut pre = SideFeed::open(pre, KIND_PRE).map_err(Fatal)?;
+    let mut post = SideFeed::open(post, KIND_POST).map_err(Fatal)?;
     if sent {
         // interleave the sides so the daemon's lockstep aligner always
         // has bytes for whichever side it pulls next
         while !(pre.done && post.done) {
-            if !pre.pump(&mut stream)? || !post.pump(&mut stream)? {
+            let pumped = pre
+                .pump(&mut stream)
+                .and_then(|ok| Ok(ok && post.pump(&mut stream)?))
+                .map_err(Fatal)?;
+            if !pumped {
                 // the daemon hung up mid-transfer — it has (or will
                 // have) a reply explaining why; stop sending, read it
                 break;
@@ -143,13 +241,13 @@ pub fn submit(
 
     match read_frame(&mut stream) {
         Ok(Some((KIND_REPORT, payload))) => {
-            let reply = parse_reply(&payload)?;
+            let reply = parse_reply(&payload).map_err(Fatal)?;
             let exit: i64 = serde::field(&reply, "exit")
-                .map_err(|e| usage_error(format!("malformed reply: {e}")))?;
+                .map_err(|e| Fatal(usage_error(format!("malformed reply: {e}"))))?;
             let report: String = serde::field(&reply, "report")
-                .map_err(|e| usage_error(format!("malformed reply: {e}")))?;
+                .map_err(|e| Fatal(usage_error(format!("malformed reply: {e}"))))?;
             out.write_all(report.as_bytes())
-                .map_err(|e| usage_error(format!("write failed: {e}")))?;
+                .map_err(|e| Fatal(usage_error(format!("write failed: {e}"))))?;
             if cache_stats {
                 let stats = reply.get("stats").cloned().unwrap_or(Value::Null);
                 let count =
@@ -162,18 +260,22 @@ pub fn submit(
                     count("fst_memo_hits"),
                     count("graph_decodes"),
                 )
-                .map_err(|e| usage_error(format!("write failed: {e}")))?;
+                .map_err(|e| Fatal(usage_error(format!("write failed: {e}"))))?;
                 if let Some(base) = stats.get("base_epoch").and_then(Value::as_str) {
                     writeln!(out, "base epoch: {base}")
-                        .map_err(|e| usage_error(format!("write failed: {e}")))?;
+                        .map_err(|e| Fatal(usage_error(format!("write failed: {e}"))))?;
                 }
             }
             Ok(exit as i32)
         }
-        Ok(Some((KIND_ERROR, payload))) => Err(usage_error(error_message(&payload))),
-        Ok(Some((kind, _))) => Err(usage_error(format!("unexpected reply frame 0x{kind:02x}"))),
-        Ok(None) => Err(usage_error("daemon closed the connection without a reply")),
-        Err(e) => Err(usage_error(format!("reading reply: {e}"))),
+        Ok(Some((KIND_ERROR, payload))) => Err(Fatal(error_reply(&payload))),
+        Ok(Some((kind, _))) => Err(Fatal(usage_error(format!(
+            "unexpected reply frame 0x{kind:02x}"
+        )))),
+        Ok(None) => Err(Transport(usage_error(
+            "daemon closed the connection without a reply",
+        ))),
+        Err(e) => Err(Transport(usage_error(format!("reading reply: {e}")))),
     }
 }
 
@@ -211,11 +313,27 @@ fn parse_reply(payload: &[u8]) -> Result<Value, CliError> {
         })
 }
 
-fn error_message(payload: &[u8]) -> String {
-    parse_reply(payload)
-        .ok()
+/// Map a typed daemon ERROR payload to a [`CliError`] whose exit code
+/// reflects the error class: 2 for protocol/snapshot problems (and
+/// anything unintelligible), 4 when the job's deadline fired, 5 when
+/// the engine panicked on the job, 6 when the daemon refused because it
+/// is draining.
+fn error_reply(payload: &[u8]) -> CliError {
+    let value = parse_reply(payload).ok();
+    let message = value
+        .as_ref()
         .and_then(|v| v.get("message").and_then(Value::as_str).map(str::to_owned))
-        .unwrap_or_else(|| "daemon reported an unintelligible error".to_owned())
+        .unwrap_or_else(|| "daemon reported an unintelligible error".to_owned());
+    let code = match value
+        .as_ref()
+        .and_then(|v| v.get("code").and_then(Value::as_str))
+    {
+        Some("deadline") => 4,
+        Some("panic") => 5,
+        Some("draining") => 6,
+        _ => 2,
+    };
+    CliError { message, code }
 }
 
 /// The daemon's status as reported in a `PONG` frame.
@@ -241,7 +359,7 @@ fn read_pong(stream: &mut UnixStream) -> Result<Pong, CliError> {
                     .unwrap_or(false),
             })
         }
-        Ok(Some((KIND_ERROR, payload))) => Err(usage_error(error_message(&payload))),
+        Ok(Some((KIND_ERROR, payload))) => Err(error_reply(&payload)),
         Ok(Some((kind, _))) => Err(usage_error(format!("unexpected reply frame 0x{kind:02x}"))),
         Ok(None) => Err(usage_error("daemon closed the connection without a reply")),
         Err(e) => Err(usage_error(format!("reading reply: {e}"))),

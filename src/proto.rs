@@ -22,7 +22,9 @@ pub const KIND_POST: u8 = 0x03;
 /// "stats"}`.
 pub const KIND_REPORT: u8 = 0x10;
 /// Failed job or protocol violation (server → client). Payload:
-/// `{"message"}`.
+/// `{"message", "code"}` — `code` is one of the
+/// [`error_code`](crate::serve::error_code) constants and maps to a
+/// distinct client exit code (`docs/SERVE_PROTOCOL.md`).
 pub const KIND_ERROR: u8 = 0x11;
 /// Liveness probe (client → server), empty payload.
 pub const KIND_PING: u8 = 0x20;
@@ -38,9 +40,9 @@ pub const KIND_SHUTDOWN: u8 = 0x22;
 pub const KIND_DELTA_OK: u8 = 0x30;
 /// Delta negotiation refusal (server → client): the daemon has no
 /// retained base or a different one; the client must fall back to full
-/// snapshots. Payload: `{"base"}` (the daemon's current epoch, or
-/// null). The job stays open — the following `PRE`/`POST` frames are a
-/// full pair.
+/// snapshots. Payload: `{"base", "retained"}` — the refused epoch and
+/// the list of epochs the daemon still retains, newest first. The job
+/// stays open — the following `PRE`/`POST` frames are a full pair.
 pub const KIND_DELTA_MISS: u8 = 0x31;
 
 /// Upper bound on one frame's payload. Large snapshots are *chunked* by
@@ -66,9 +68,20 @@ pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> std::io::Res
 }
 
 /// Read one frame. `Ok(None)` on clean EOF at a frame boundary.
+///
+/// Interrupted reads (`EINTR` — signal delivery, fault injection) are
+/// retried here for the kind byte; `read_exact` already retries them
+/// for the length prefix and payload. A frame reader must never treat a
+/// signal as a torn frame.
 pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<(u8, Vec<u8>)>> {
     let mut kind = [0u8; 1];
-    if r.read(&mut kind)? == 0 {
+    let n = loop {
+        match r.read(&mut kind) {
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            other => break other?,
+        }
+    };
+    if n == 0 {
         return Ok(None);
     }
     let mut len = [0u8; 4];
@@ -121,5 +134,101 @@ mod tests {
         buf.truncate(buf.len() - 2);
         let err = read_frame(&mut &buf[..]).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn truncated_header_is_an_error_not_eof() {
+        // a kind byte with no length prefix: the peer died mid-header
+        for cut in 1..5 {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, KIND_JOB, b"{}").unwrap();
+            buf.truncate(cut);
+            let err = read_frame(&mut &buf[..]).unwrap_err();
+            assert_eq!(
+                err.kind(),
+                std::io::ErrorKind::UnexpectedEof,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn exactly_max_frame_is_accepted_and_one_more_rejected() {
+        let mut buf = vec![KIND_PRE];
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("cap"), "{err}");
+        // the cap itself is legal (the payload is then simply missing,
+        // which is a different — truncation — error)
+        let mut buf = vec![KIND_PRE];
+        buf.extend_from_slice(&MAX_FRAME.to_le_bytes());
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_write_is_rejected_before_any_bytes_move() {
+        let huge = vec![0u8; MAX_FRAME as usize + 1];
+        let mut buf = Vec::new();
+        let err = write_frame(&mut buf, KIND_PRE, &huge).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(buf.is_empty(), "no partial frame escapes");
+    }
+
+    #[test]
+    fn unknown_kind_bytes_still_frame_cleanly() {
+        // the framing layer is kind-agnostic: an unknown tag reads as a
+        // well-formed frame so the session layer can reject it with a
+        // typed error instead of desynchronizing the stream
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0x7f, b"???").unwrap();
+        write_frame(&mut buf, KIND_PING, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Some((0x7f, b"???".to_vec())));
+        assert_eq!(read_frame(&mut r).unwrap(), Some((KIND_PING, Vec::new())));
+    }
+
+    /// A reader that interrupts and short-reads on a fixed schedule:
+    /// frames must reassemble byte-for-byte regardless.
+    struct Hostile<'a> {
+        data: &'a [u8],
+        pos: usize,
+        tick: u32,
+    }
+
+    impl Read for Hostile<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.tick += 1;
+            if self.tick % 3 == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    "injected EINTR",
+                ));
+            }
+            let n = buf.len().min(1).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn interrupted_and_short_reads_never_tear_a_frame() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, KIND_JOB, b"{\"a\":1}").unwrap();
+        write_frame(&mut buf, KIND_POST, &[0xaa; 100]).unwrap();
+        let mut hostile = Hostile {
+            data: &buf,
+            pos: 0,
+            tick: 0,
+        };
+        assert_eq!(
+            read_frame(&mut hostile).unwrap(),
+            Some((KIND_JOB, b"{\"a\":1}".to_vec()))
+        );
+        let (kind, payload) = read_frame(&mut hostile).unwrap().unwrap();
+        assert_eq!((kind, payload), (KIND_POST, vec![0xaa; 100]));
+        assert_eq!(read_frame(&mut hostile).unwrap(), None, "clean EOF");
     }
 }

@@ -19,7 +19,7 @@ use crate::proto::{
     read_frame, write_frame, KIND_DELTA_MISS, KIND_DELTA_OK, KIND_ERROR, KIND_JOB, KIND_PING,
     KIND_PONG, KIND_POST, KIND_PRE, KIND_REPORT, KIND_SHUTDOWN,
 };
-use rela_core::{CheckSession, JobOptions, JobSpec, LabeledSource, SessionConfig};
+use rela_core::{CheckSession, JobError, JobOptions, JobSpec, LabeledSource, SessionConfig};
 use rela_net::{chunk_pipe, MmapSource, BINARY_MAGIC};
 use serde::{Deserialize, Serialize, Value};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -89,6 +89,39 @@ fn io_error(context: &str, e: std::io::Error) -> CliError {
     }
 }
 
+/// Remove RSNB spool files left in the temp directory by *dead* rela
+/// daemons (a kill -9 mid-transfer never runs the in-scope cleanup).
+/// Spool names embed the writer's pid, so liveness is checkable via
+/// `/proc`; files whose writer still runs are left alone. Returns how
+/// many files were removed.
+fn sweep_stale_spools() -> usize {
+    if !cfg!(target_os = "linux") {
+        // without /proc there is no safe liveness check
+        return 0;
+    }
+    let mut removed = 0;
+    let Ok(entries) = std::fs::read_dir(std::env::temp_dir()) else {
+        return 0;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix("rela-serve-") else {
+            continue;
+        };
+        if !name.ends_with(".rsnb") {
+            continue;
+        }
+        let Some(pid) = rest.split('-').next().and_then(|p| p.parse::<u32>().ok()) else {
+            continue;
+        };
+        if pid != std::process::id() && !Path::new(&format!("/proc/{pid}")).exists() {
+            removed += usize::from(std::fs::remove_file(entry.path()).is_ok());
+        }
+    }
+    removed
+}
+
 /// Bind the daemon socket, replacing a *stale* socket file (left by a
 /// crashed daemon) but refusing to displace a live one.
 fn bind_socket(path: &Path) -> Result<UnixListener, CliError> {
@@ -116,6 +149,18 @@ pub fn serve(config: &ServeConfig, out: &mut dyn std::io::Write) -> Result<i32, 
     // daemon (tests) was drained
     DRAIN.store(false, Ordering::Release);
 
+    // fault injection (tests, chaos drills): a malformed plan is a
+    // startup error, not something to discover mid-job
+    rela_net::faultio::install_from_env().map_err(|e| CliError {
+        message: format!("{}: {e}", rela_net::faultio::ENV_VAR),
+        code: 2,
+    })?;
+
+    let swept = sweep_stale_spools();
+    if swept > 0 {
+        let _ = writeln!(out, "removed {swept} stale spool file(s) from dead daemons");
+    }
+
     let source = std::fs::read_to_string(&config.spec)
         .map_err(|e| io_error(&config.spec.display().to_string(), e))?;
     let db: rela_net::LocationDb = serde_json::from_str(
@@ -133,8 +178,10 @@ pub fn serve(config: &ServeConfig, out: &mut dyn std::io::Write) -> Result<i32, 
             granularity: config.granularity,
             threads: config.threads,
             // a resident daemon is exactly the iterate-and-resubmit
-            // loop delta ingest exists for
-            retain_base: true,
+            // loop delta ingest exists for; K epochs let interleaved
+            // clients each keep their own delta chain alive
+            retain_bases: config.retain_epochs,
+            retain_bytes: config.retain_bytes,
         },
     )
     .map_err(|e| CliError {
@@ -214,11 +261,30 @@ fn send_json(stream: &mut UnixStream, kind: u8, value: &Value) -> std::io::Resul
     write_frame(stream, kind, json.as_bytes())
 }
 
-fn send_error(stream: &mut UnixStream, message: String) {
+/// Machine-readable ERROR codes (`docs/SERVE_PROTOCOL.md`). The client
+/// maps them to distinct process exit codes so pipelines can react to
+/// "the daemon is draining" differently from "the snapshot is garbage".
+pub mod error_code {
+    /// Malformed framing, options, or out-of-order frames.
+    pub const PROTOCOL: &str = "protocol";
+    /// The snapshot/delta input failed to parse or validate.
+    pub const SNAPSHOT: &str = "snapshot";
+    /// The job's cooperative deadline fired.
+    pub const DEADLINE: &str = "deadline";
+    /// The engine panicked on this job (the daemon itself survived).
+    pub const PANIC: &str = "panic";
+    /// The daemon is draining and refused the submission.
+    pub const DRAINING: &str = "draining";
+}
+
+fn send_error(stream: &mut UnixStream, code: &str, message: String) {
     let _ = send_json(
         stream,
         KIND_ERROR,
-        &Value::obj(vec![("message", Value::Str(message))]),
+        &Value::obj(vec![
+            ("message", Value::Str(message)),
+            ("code", Value::Str(code.to_owned())),
+        ]),
     );
 }
 
@@ -269,6 +335,7 @@ fn handle_connection(
                 if drain_requested() {
                     send_error(
                         &mut stream,
+                        error_code::DRAINING,
                         "daemon is draining and accepts no new jobs".to_owned(),
                     );
                     continue;
@@ -279,7 +346,11 @@ fn handle_connection(
                 run_job(&mut stream, session, &payload, id);
             }
             (kind, _) => {
-                send_error(&mut stream, format!("unexpected frame kind 0x{kind:02x}"));
+                send_error(
+                    &mut stream,
+                    error_code::PROTOCOL,
+                    format!("unexpected frame kind 0x{kind:02x}"),
+                );
                 return;
             }
         }
@@ -328,27 +399,42 @@ fn run_job(stream: &mut UnixStream, session: &CheckSession, payload: &[u8], id: 
     {
         Ok(options) => options,
         Err(e) => {
-            send_error(stream, format!("job-{id}: malformed job options: {e}"));
+            send_error(
+                stream,
+                error_code::PROTOCOL,
+                format!("job-{id}: malformed job options: {e}"),
+            );
             return;
         }
     };
 
-    // delta negotiation: the client proposes a base epoch; accept only
-    // if it is exactly the pair this session retains. On a miss the job
+    // delta negotiation: the client proposes a base epoch; accept if it
+    // is *any* of the K pairs this session retains. On a miss the job
     // stays open — the client falls back to sending the full pair.
     let base_value = |epoch: Option<rela_net::SnapshotEpoch>| match epoch {
         Some(epoch) => Value::Str(epoch.to_string()),
         None => Value::Null,
     };
+    let retained_value = |session: &CheckSession| {
+        Value::Arr(
+            session
+                .retained_epochs()
+                .into_iter()
+                .map(|e| Value::Str(e.to_string()))
+                .collect(),
+        )
+    };
     let mut delta = false;
     if let Some(proposed) = options.delta_base {
-        let current = session.base_epoch();
-        if current.map(rela_net::SnapshotEpoch::as_u128) == Some(proposed) {
+        if session.retains_epoch(rela_net::SnapshotEpoch::from_u128(proposed)) {
             delta = true;
             if send_json(
                 stream,
                 KIND_DELTA_OK,
-                &Value::obj(vec![("base", base_value(current))]),
+                &Value::obj(vec![(
+                    "base",
+                    base_value(Some(rela_net::SnapshotEpoch::from_u128(proposed))),
+                )]),
             )
             .is_err()
             {
@@ -359,7 +445,10 @@ fn run_job(stream: &mut UnixStream, session: &CheckSession, payload: &[u8], id: 
             if send_json(
                 stream,
                 KIND_DELTA_MISS,
-                &Value::obj(vec![("base", base_value(current))]),
+                &Value::obj(vec![
+                    ("base", base_value(session.base_epoch())),
+                    ("retained", retained_value(session)),
+                ]),
             )
             .is_err()
             {
@@ -499,7 +588,7 @@ fn run_job(stream: &mut UnixStream, session: &CheckSession, payload: &[u8], id: 
     });
 
     if let Some(message) = protocol_error {
-        send_error(stream, message);
+        send_error(stream, error_code::PROTOCOL, message);
         return;
     }
     let result = match result {
@@ -507,7 +596,11 @@ fn run_job(stream: &mut UnixStream, session: &CheckSession, payload: &[u8], id: 
         None => {
             // both sides ended before a source existed (can't happen:
             // end-of-side always yields a source), but fail loudly
-            send_error(stream, format!("job-{id}: no snapshot data received"));
+            send_error(
+                stream,
+                error_code::PROTOCOL,
+                format!("job-{id}: no snapshot data received"),
+            );
             return;
         }
     };
@@ -532,6 +625,9 @@ fn run_job(stream: &mut UnixStream, session: &CheckSession, payload: &[u8], id: 
                         // the epoch of the pair just retained — what the
                         // next delta submission should name as its base
                         ("base_epoch", base_value(session.base_epoch())),
+                        // every epoch still accepted as a delta base,
+                        // newest first (K-epoch retention)
+                        ("retained_epochs", retained_value(session)),
                     ]),
                 ),
             ]);
@@ -540,11 +636,28 @@ fn run_job(stream: &mut UnixStream, session: &CheckSession, payload: &[u8], id: 
                 eprintln!("warning: could not persist cache: {e}");
             }
         }
-        Ok(Err(snapshot_error)) => {
-            send_error(stream, format!("invalid snapshot: {snapshot_error}"));
+        Ok(Err(JobError::Snapshot(snapshot_error))) => {
+            send_error(
+                stream,
+                error_code::SNAPSHOT,
+                format!("invalid snapshot: {snapshot_error}"),
+            );
+        }
+        Ok(Err(err @ JobError::DeadlineExceeded { .. })) => {
+            send_error(stream, error_code::DEADLINE, format!("job-{id}: {err}"));
+        }
+        Ok(Err(err @ JobError::Panicked { .. })) => {
+            // the panic was contained at the session boundary: this
+            // job gets a typed error, the daemon keeps serving
+            send_error(stream, error_code::PANIC, format!("job-{id}: {err}"));
         }
         Err(_) => {
-            send_error(stream, format!("job-{id}: check panicked"));
+            // a panic outside CheckSession::run (job plumbing itself)
+            send_error(
+                stream,
+                error_code::PANIC,
+                format!("job-{id}: check panicked"),
+            );
         }
     }
 }

@@ -58,7 +58,8 @@ fn session(fx: &Fixture, retain_base: bool) -> CheckSession {
         SessionConfig {
             granularity: Granularity::Group,
             threads: 1,
-            retain_base,
+            retain_bases: usize::from(retain_base),
+            ..SessionConfig::default()
         },
     )
     .unwrap()

@@ -66,6 +66,27 @@ impl Drop for Daemon {
 
 /// Spawn `rela serve` on `socket` and wait until it answers pings.
 fn spawn_daemon(dir: &Path, socket: &Path, cache_dir: Option<&Path>) -> Daemon {
+    spawn_daemon_with(dir, socket, cache_dir, &[])
+}
+
+/// [`spawn_daemon`] with extra `rela serve` flags (retention knobs) and
+/// environment variables (`RELA_FAULTS` fault plans).
+fn spawn_daemon_with(
+    dir: &Path,
+    socket: &Path,
+    cache_dir: Option<&Path>,
+    extra: &[&str],
+) -> Daemon {
+    spawn_daemon_env(dir, socket, cache_dir, extra, &[])
+}
+
+fn spawn_daemon_env(
+    dir: &Path,
+    socket: &Path,
+    cache_dir: Option<&Path>,
+    extra: &[&str],
+    env: &[(&str, &str)],
+) -> Daemon {
     let mut cmd = Process::new(env!("CARGO_BIN_EXE_rela"));
     cmd.args(["serve", "--socket"])
         .arg(socket)
@@ -73,6 +94,8 @@ fn spawn_daemon(dir: &Path, socket: &Path, cache_dir: Option<&Path>) -> Daemon {
         .arg(dir.join("change.rela"))
         .arg("--db")
         .arg(dir.join("db.json"))
+        .args(extra)
+        .envs(env.iter().copied())
         .stdout(Stdio::piped())
         .stderr(Stdio::piped());
     if let Some(cache) = cache_dir {
@@ -96,6 +119,30 @@ fn spawn_daemon(dir: &Path, socket: &Path, cache_dir: Option<&Path>) -> Daemon {
     }
 }
 
+/// Submit and hand back the typed failure instead of panicking — for
+/// the error-path tests (deadline, panic, draining).
+fn try_submit(
+    socket: &Path,
+    dir: &Path,
+    post: &str,
+    job: JobOptions,
+) -> Result<(i32, String), cli::CliError> {
+    let mut sink = Vec::new();
+    let code = cli::run(
+        &Command::Submit {
+            socket: socket.to_path_buf(),
+            pre: dir.join("pre.json"),
+            post: dir.join(post),
+            delta: None,
+            job,
+            cache_stats: false,
+            retry: rela::client::RetryPolicy::default(),
+        },
+        &mut sink,
+    )?;
+    Ok((code, String::from_utf8(sink).unwrap()))
+}
+
 fn submit(socket: &Path, dir: &Path, post: &str, cache_stats: bool) -> (i32, String) {
     let mut sink = Vec::new();
     let code = cli::run(
@@ -106,6 +153,7 @@ fn submit(socket: &Path, dir: &Path, post: &str, cache_stats: bool) -> (i32, Str
             delta: None,
             job: JobOptions::default(),
             cache_stats,
+            retry: rela::client::RetryPolicy::default(),
         },
         &mut sink,
     )
@@ -136,6 +184,7 @@ fn submit_delta(
                 ..JobOptions::default()
             },
             cache_stats: true,
+            retry: rela::client::RetryPolicy::default(),
         },
         &mut sink,
     )
@@ -273,7 +322,9 @@ fn delta_submission_matches_full_and_skips_unchanged_decodes() {
     let dir = demo_dir("delta");
     let socket = dir.join("daemon.sock");
     let cache = dir.join("cache");
-    let daemon = spawn_daemon(&dir, &socket, Some(&cache));
+    // single-slot retention: the stale-base section below relies on the
+    // seed epoch being evicted as soon as the base advances
+    let daemon = spawn_daemon_with(&dir, &socket, Some(&cache), &["--retain-epochs", "1"]);
 
     // cache-stats counters come back as: warm hits, classes, fst memo
     // hits, graph decodes
@@ -507,6 +558,13 @@ fn sigterm_drains_in_flight_job_and_refuses_new_ones() {
     }
     drop(refused);
 
+    // `rela submit` surfaces the refusal as its own exit code so a
+    // deploy pipeline can tell "back off and wait" from "bad input"
+    let err = try_submit(&socket, &dir, "post_v4.json", JobOptions::default())
+        .expect_err("a draining daemon refuses submissions");
+    assert_eq!(err.code, 6, "{}", err.message);
+    assert!(err.message.contains("draining"), "{}", err.message);
+
     // the in-flight job runs to completion and gets its report
     write_frame(&mut stream, KIND_PRE, tail).unwrap();
     write_frame(&mut stream, KIND_PRE, b"").unwrap();
@@ -542,5 +600,422 @@ fn sigterm_drains_in_flight_job_and_refuses_new_ones() {
     let mut out = String::new();
     child.stdout.take().unwrap().read_to_string(&mut out).ok();
     assert!(out.contains("drained after 1 job(s)"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Tentpole (b) end-to-end: a fault plan panics the engine on the first
+/// job's first class decision. The client gets a typed `panic` error
+/// (exit 5) naming the job; the daemon survives and serves the *same*
+/// job again byte-identically to a one-shot check.
+#[test]
+fn a_panicking_job_is_contained_and_the_daemon_keeps_serving() {
+    let dir = demo_dir("panic");
+    let socket = dir.join("daemon.sock");
+    let daemon = spawn_daemon_env(
+        &dir,
+        &socket,
+        None,
+        &[],
+        &[("RELA_FAULTS", "panic=decide@1")],
+    );
+
+    let mut sink = Vec::new();
+    let one_shot_code = cli::run(
+        &Command::Check {
+            spec: dir.join("change.rela"),
+            db: dir.join("db.json"),
+            pre: dir.join("pre.json"),
+            post: dir.join("post_v2.json"),
+            granularity: rela::net::Granularity::Group,
+            threads: 1,
+            job: JobOptions::default(),
+            cache_dir: None,
+            cache_stats: false,
+        },
+        &mut sink,
+    )
+    .expect("one-shot check runs");
+    assert_eq!(one_shot_code, 1);
+    let one_shot = String::from_utf8(sink).unwrap();
+
+    let err = try_submit(&socket, &dir, "post_v2.json", JobOptions::default())
+        .expect_err("the injected panic must fail the job");
+    assert_eq!(err.code, 5, "{}", err.message);
+    assert!(err.message.contains("job-1"), "{}", err.message);
+    assert!(err.message.contains("panicked"), "{}", err.message);
+    assert!(err.message.contains("injected fault"), "{}", err.message);
+
+    // the daemon is still alive and the fault was one-shot: the very
+    // same submission now completes, byte-identical to the one-shot
+    let (code, text) =
+        try_submit(&socket, &dir, "post_v2.json", JobOptions::default()).expect("daemon survived");
+    assert_eq!(code, 1, "{text}");
+    assert_eq!(verdict_bytes(&text), verdict_bytes(&one_shot));
+
+    let mut sink = Vec::new();
+    cli::run(
+        &Command::Shutdown {
+            socket: socket.clone(),
+        },
+        &mut sink,
+    )
+    .expect("shutdown is acknowledged");
+    wait_exit(daemon, &socket);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Tentpole (b): a `deadline_ms` that already expired aborts the job
+/// cooperatively — typed `deadline` error, exit 4 — and the session
+/// keeps serving jobs without it.
+#[test]
+fn an_expired_deadline_exits_4_and_the_daemon_survives() {
+    let dir = demo_dir("deadline");
+    let socket = dir.join("daemon.sock");
+    let daemon = spawn_daemon(&dir, &socket, None);
+
+    let err = try_submit(
+        &socket,
+        &dir,
+        "post_v2.json",
+        JobOptions {
+            deadline_ms: Some(0),
+            ..JobOptions::default()
+        },
+    )
+    .expect_err("a 0ms deadline must abort the job");
+    assert_eq!(err.code, 4, "{}", err.message);
+    assert!(err.message.contains("deadline"), "{}", err.message);
+
+    let (code, text) =
+        try_submit(&socket, &dir, "post_v4.json", JobOptions::default()).expect("daemon survived");
+    assert_eq!(code, 0, "{text}");
+
+    let mut sink = Vec::new();
+    cli::run(
+        &Command::Shutdown {
+            socket: socket.clone(),
+        },
+        &mut sink,
+    )
+    .expect("shutdown is acknowledged");
+    wait_exit(daemon, &socket);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Tentpole (d) end-to-end: with the default `--retain-epochs 2` two
+/// interleaved delta chains — one pinned to (pre, v2), one to (pre, v4)
+/// — both take the delta path with zero misses; a third full pair then
+/// evicts the older epoch, whose next delta degrades to a full resubmit
+/// with an identical report.
+#[test]
+fn two_retained_epochs_serve_interleaved_delta_chains() {
+    let dir = demo_dir("kepoch");
+    let socket = dir.join("daemon.sock");
+    let cache = dir.join("cache");
+    // a verdict store, so unchanged delta classes replay warm instead
+    // of re-deciding (that's what makes the 0-decode assertion honest)
+    let daemon = spawn_daemon(&dir, &socket, Some(&cache));
+
+    let epoch_of = |text: &str| -> String {
+        stat_line(text, "base epoch: ")
+            .trim_start_matches("base epoch: ")
+            .to_owned()
+    };
+    let decodes_of = |text: &str| -> usize {
+        stat_line(text, "cache: ")
+            .split(|c: char| !c.is_ascii_digit())
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse().unwrap())
+            .nth(3)
+            .unwrap()
+    };
+    let diff_self = |post: &str, out: &str| -> String {
+        let mut sink = Vec::new();
+        cli::run(
+            &Command::SnapshotDiff {
+                base_pre: dir.join("pre.json"),
+                base_post: dir.join(post),
+                pre: dir.join("pre.json"),
+                post: dir.join(post),
+                out_pre: dir.join(format!("{out}_pre.json")),
+                out_post: dir.join(format!("{out}_post.json")),
+            },
+            &mut sink,
+        )
+        .expect("snapshot diff runs");
+        epoch_of(&String::from_utf8(sink).unwrap())
+    };
+
+    // two clients' epochs: (pre, v2) then (pre, v4) — both retained
+    let (code, full_v2) = submit(&socket, &dir, "post_v2.json", true);
+    assert_eq!(code, 1, "{full_v2}");
+    let epoch_v2 = epoch_of(&full_v2);
+    let (code, full_v4) = submit(&socket, &dir, "post_v4.json", true);
+    assert_eq!(code, 0, "{full_v4}");
+    let epoch_v4 = epoch_of(&full_v4);
+    assert_ne!(epoch_v2, epoch_v4);
+
+    // client 1 iterates against its v2 base: delta accepted, nothing
+    // decoded, report identical to the full submission
+    assert_eq!(diff_self("post_v2.json", "delta_a"), epoch_v2);
+    let (code, text) = submit_delta(
+        &socket,
+        &dir,
+        "post_v2.json",
+        &epoch_v2,
+        &dir.join("delta_a_pre.json"),
+        &dir.join("delta_a_post.json"),
+    );
+    assert_eq!(code, 1, "{text}");
+    assert!(
+        !text.contains("sending full snapshots"),
+        "v2 epoch must still be retained under K=2: {text}"
+    );
+    assert_eq!(
+        decodes_of(&text),
+        0,
+        "an empty delta decodes nothing: {text}"
+    );
+    assert_eq!(verdict_bytes(&text), verdict_bytes(&full_v2));
+
+    // client 2 interleaves against its v4 base: also zero misses
+    assert_eq!(diff_self("post_v4.json", "delta_b"), epoch_v4);
+    let (code, text) = submit_delta(
+        &socket,
+        &dir,
+        "post_v4.json",
+        &epoch_v4,
+        &dir.join("delta_b_pre.json"),
+        &dir.join("delta_b_post.json"),
+    );
+    assert_eq!(code, 0, "{text}");
+    assert!(
+        !text.contains("sending full snapshots"),
+        "v4 epoch must still be retained under K=2: {text}"
+    );
+    assert_eq!(decodes_of(&text), 0, "{text}");
+    assert_eq!(verdict_bytes(&text), verdict_bytes(&full_v4));
+
+    // a third distinct pair evicts the oldest epoch (v2); its verdict
+    // (the no-op change violates the spec) is not what's under test
+    let (code, text) = submit(&socket, &dir, "pre.json", false);
+    assert!(code <= 1, "{text}");
+
+    // ... so client 1's next delta degrades to a full resubmit — same
+    // report, no failure, just no longer work-proportional
+    let (code, text) = submit_delta(
+        &socket,
+        &dir,
+        "post_v2.json",
+        &epoch_v2,
+        &dir.join("delta_a_pre.json"),
+        &dir.join("delta_a_post.json"),
+    );
+    assert_eq!(code, 1, "{text}");
+    assert!(
+        text.contains("sending full snapshots"),
+        "the evicted epoch must miss: {text}"
+    );
+    assert_eq!(verdict_bytes(&text), verdict_bytes(&full_v2));
+
+    let mut sink = Vec::new();
+    cli::run(
+        &Command::Shutdown {
+            socket: socket.clone(),
+        },
+        &mut sink,
+    )
+    .expect("shutdown is acknowledged");
+    wait_exit(daemon, &socket);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite: a client that dies mid-RSNB-transfer must not leak its
+/// spool file — the daemon removes it on the disconnect path and keeps
+/// serving.
+#[test]
+fn a_client_disconnect_mid_spool_leaves_no_temp_files() {
+    let dir = demo_dir("spool");
+    let socket = dir.join("daemon.sock");
+    let daemon = spawn_daemon(&dir, &socket, None);
+    let daemon_pid = daemon.id();
+
+    // open a job whose pre side sniffs as an RSNB body, then vanish
+    let mut stream = UnixStream::connect(&socket).expect("connects");
+    let options = serde_json::to_string(&JobOptions::default().to_value()).unwrap();
+    write_frame(&mut stream, KIND_JOB, options.as_bytes()).unwrap();
+    let mut chunk = rela::net::BINARY_MAGIC.to_vec();
+    chunk.extend_from_slice(&[0u8; 4096]);
+    write_frame(&mut stream, KIND_PRE, &chunk).unwrap();
+    drop(stream);
+
+    // the daemon notices the dead peer and cleans its spool up
+    let spool_prefix = format!("rela-serve-{daemon_pid}-job");
+    let spools = || -> Vec<String> {
+        std::fs::read_dir(std::env::temp_dir())
+            .unwrap()
+            .flatten()
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with(&spool_prefix))
+            .collect()
+    };
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !spools().is_empty() {
+        assert!(
+            Instant::now() < deadline,
+            "spool files leaked: {:?}",
+            spools()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // and it still serves
+    let (code, _) = submit(&socket, &dir, "post_v4.json", false);
+    assert_eq!(code, 0);
+
+    let mut sink = Vec::new();
+    cli::run(
+        &Command::Shutdown {
+            socket: socket.clone(),
+        },
+        &mut sink,
+    )
+    .expect("shutdown is acknowledged");
+    wait_exit(daemon, &socket);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite: startup sweeps RSNB spool files abandoned by *dead*
+/// daemons (pid no longer in /proc) and leaves live writers' files
+/// alone.
+#[test]
+fn startup_sweeps_spools_of_dead_daemons_only() {
+    let tmp = std::env::temp_dir();
+    // a u32 pid far above any real one: certainly not in /proc
+    let dead = tmp.join("rela-serve-4294000001-job1-pre.rsnb");
+    std::fs::write(&dead, b"RSNBleftovers").unwrap();
+    // our own pid is alive, so this one must survive the sweep
+    let live = tmp.join(format!("rela-serve-{}-job999-pre.rsnb", std::process::id()));
+    std::fs::write(&live, b"RSNBinflight").unwrap();
+
+    let dir = demo_dir("sweep");
+    let socket = dir.join("daemon.sock");
+    let daemon = spawn_daemon(&dir, &socket, None);
+
+    assert!(!dead.exists(), "dead daemon's spool must be swept");
+    assert!(live.exists(), "live writer's spool must be kept");
+    std::fs::remove_file(&live).ok();
+
+    let mut sink = Vec::new();
+    cli::run(
+        &Command::Shutdown {
+            socket: socket.clone(),
+        },
+        &mut sink,
+    )
+    .expect("shutdown is acknowledged");
+    wait_exit(daemon, &socket);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A malformed `RELA_FAULTS` spec is a startup error (exit 2), not a
+/// daemon that silently runs un-faulted.
+#[test]
+fn a_malformed_fault_spec_fails_startup() {
+    let dir = demo_dir("badfaults");
+    let socket = dir.join("daemon.sock");
+    let status = Process::new(env!("CARGO_BIN_EXE_rela"))
+        .args(["serve", "--socket"])
+        .arg(&socket)
+        .arg("--spec")
+        .arg(dir.join("change.rela"))
+        .arg("--db")
+        .arg(dir.join("db.json"))
+        .env("RELA_FAULTS", "panic=decide@0")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("daemon spawns");
+    assert_eq!(status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Tentpole (e): transport failures retry with backoff. Against a
+/// socket nobody serves, each refused connect is retried the configured
+/// number of times before the submit fails.
+#[test]
+fn refused_connects_retry_with_backoff_then_fail() {
+    let dir = demo_dir("retrydead");
+    let socket = dir.join("nobody-home.sock");
+    let mut sink = Vec::new();
+    let err = cli::run(
+        &Command::Submit {
+            socket: socket.clone(),
+            pre: dir.join("pre.json"),
+            post: dir.join("post_v2.json"),
+            delta: None,
+            job: JobOptions::default(),
+            cache_stats: false,
+            retry: rela::client::RetryPolicy {
+                retries: 2,
+                delay_ms: 1,
+            },
+        },
+        &mut sink,
+    )
+    .expect_err("no daemon: the submit must fail");
+    assert_eq!(err.code, 2, "{}", err.message);
+    let log = String::from_utf8(sink).unwrap();
+    assert!(log.contains("submit attempt 1 failed"), "{log}");
+    assert!(log.contains("submit attempt 2 failed"), "{log}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Tentpole (e): a submit that starts before the daemon exists succeeds
+/// once the daemon comes up within the retry budget.
+#[test]
+fn retries_ride_out_a_daemon_that_starts_late() {
+    let dir = demo_dir("retrylate");
+    let socket = dir.join("daemon.sock");
+
+    let submit_thread = {
+        let (socket, dir) = (socket.clone(), dir.clone());
+        std::thread::spawn(move || {
+            let mut sink = Vec::new();
+            let code = cli::run(
+                &Command::Submit {
+                    socket,
+                    pre: dir.join("pre.json"),
+                    post: dir.join("post_v4.json"),
+                    delta: None,
+                    job: JobOptions::default(),
+                    cache_stats: false,
+                    retry: rela::client::RetryPolicy {
+                        retries: 40,
+                        delay_ms: 100,
+                    },
+                },
+                &mut sink,
+            );
+            (code, String::from_utf8(sink).unwrap())
+        })
+    };
+    std::thread::sleep(Duration::from_millis(300));
+    let daemon = spawn_daemon(&dir, &socket, None);
+
+    let (code, log) = submit_thread.join().expect("submit thread");
+    let code = code.unwrap_or_else(|e| panic!("{}: {log}", e.message));
+    assert_eq!(code, 0, "{log}");
+    assert!(log.contains("retrying in"), "{log}");
+
+    let mut sink = Vec::new();
+    cli::run(
+        &Command::Shutdown {
+            socket: socket.clone(),
+        },
+        &mut sink,
+    )
+    .expect("shutdown is acknowledged");
+    wait_exit(daemon, &socket);
     std::fs::remove_dir_all(&dir).ok();
 }

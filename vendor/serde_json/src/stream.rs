@@ -110,10 +110,13 @@ impl<R: Read> JsonReader<R> {
         }
         self.base += self.len as u64;
         self.pos = 0;
-        self.len = self
-            .src
-            .read(&mut self.buf)
-            .map_err(|e| self.error(format!("io error: {e}")))?;
+        // retry EINTR: signal delivery mid-read is not a torn document
+        self.len = loop {
+            match self.src.read(&mut self.buf) {
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                other => break other.map_err(|e| self.error(format!("io error: {e}")))?,
+            }
+        };
         if self.len == 0 {
             self.eof = true;
         }
